@@ -1,0 +1,88 @@
+// M4 — voting-DAG machinery costs: construction (per node), the
+// coalescing payoff vs the 3^T naive bound, sprinkling, the ternary
+// transform, colouring, and COBRA steps.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/initializer.hpp"
+#include "graph/samplers.hpp"
+#include "votingdag/cobra.hpp"
+#include "votingdag/coloring.hpp"
+#include "votingdag/sprinkling.hpp"
+#include "votingdag/ternary.hpp"
+
+namespace {
+
+using namespace b3v;
+
+void BM_DagBuild(benchmark::State& state) {
+  const auto n = static_cast<graph::VertexId>(1 << 16);
+  const auto sampler = graph::CirculantSampler::dense(n, 1024);
+  const int T = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const auto dag = votingdag::build_voting_dag(sampler, 0, T, ++seed);
+    nodes = dag.total_nodes();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["naive_3^T"] = std::pow(3.0, T);
+}
+BENCHMARK(BM_DagBuild)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_Sprinkle(benchmark::State& state) {
+  const auto sampler = graph::CirculantSampler::dense(1 << 16, 1024);
+  const int T = static_cast<int>(state.range(0));
+  const auto dag = votingdag::build_voting_dag(sampler, 0, T, 7);
+  for (auto _ : state) {
+    const auto sprinkled = votingdag::sprinkle(dag, T);
+    benchmark::DoNotOptimize(sprinkled.total_redirects());
+  }
+}
+BENCHMARK(BM_Sprinkle)->Arg(6)->Arg(8);
+
+void BM_ColorDag(benchmark::State& state) {
+  const auto sampler = graph::CirculantSampler::dense(1 << 16, 1024);
+  const int T = static_cast<int>(state.range(0));
+  const auto dag = votingdag::build_voting_dag(sampler, 0, T, 7);
+  const core::Opinions leaves =
+      core::iid_bernoulli(dag.level(0).size(), 0.4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(votingdag::color_dag(dag, leaves).root());
+  }
+}
+BENCHMARK(BM_ColorDag)->Arg(6)->Arg(8);
+
+void BM_TernaryTransform(benchmark::State& state) {
+  const auto sampler = graph::CirculantSampler::dense(1 << 16, 1024);
+  const int T = static_cast<int>(state.range(0));
+  const auto dag = votingdag::build_voting_dag(sampler, 0, T, 7);
+  const core::Opinions leaves =
+      core::iid_bernoulli(dag.level(0).size(), 0.4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(votingdag::ternary_transform(dag, leaves).color);
+  }
+}
+BENCHMARK(BM_TernaryTransform)->Arg(6)->Arg(8);
+
+void BM_CobraStep(benchmark::State& state) {
+  const auto sampler = graph::CirculantSampler::dense(1 << 16, 1024);
+  // Steady-state-ish occupied set: run a few steps first.
+  std::vector<graph::VertexId> occupied{0};
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    occupied = votingdag::cobra_step(sampler, occupied, 3, 11, i);
+  }
+  std::uint64_t key = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        votingdag::cobra_step(sampler, occupied, 3, 11, ++key));
+  }
+  state.counters["occupied"] = static_cast<double>(occupied.size());
+}
+BENCHMARK(BM_CobraStep)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// M2 — graph generation throughput (edges/second).
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace b3v::graph;
+
+void BM_Gnp(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const double p = 0.01;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const Graph g = erdos_renyi_gnp(n, p, seed++);
+    benchmark::DoNotOptimize(g.num_edges());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(g.num_edges()));
+  }
+}
+BENCHMARK(BM_Gnp)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_Gnm(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const EdgeId m = static_cast<EdgeId>(n) * 16;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const Graph g = erdos_renyi_gnm(n, m, seed++);
+    benchmark::DoNotOptimize(g.num_edges());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(m));
+  }
+}
+BENCHMARK(BM_Gnm)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_DenseCirculant(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    const Graph g = dense_circulant(n, 256);
+    benchmark::DoNotOptimize(g.num_edges());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(g.num_edges()));
+  }
+}
+BENCHMARK(BM_DenseCirculant)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_RandomRegular(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const auto d = static_cast<std::uint32_t>(state.range(1));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const Graph g = random_regular(n, d, seed++);
+    benchmark::DoNotOptimize(g.num_edges());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(g.num_edges()));
+  }
+}
+BENCHMARK(BM_RandomRegular)->Args({1 << 12, 8})->Args({1 << 12, 32});
+
+void BM_ChungLu(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const auto weights = power_law_weights(n, 2.5, 8.0, 256.0);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const Graph g = chung_lu(weights, seed++);
+    benchmark::DoNotOptimize(g.num_edges());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(g.num_edges()));
+  }
+}
+BENCHMARK(BM_ChungLu)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_Complete(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  for (auto _ : state) {
+    const Graph g = complete(n);
+    benchmark::DoNotOptimize(g.num_edges());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(g.num_edges()));
+  }
+}
+BENCHMARK(BM_Complete)->Arg(1 << 11)->Arg(1 << 12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

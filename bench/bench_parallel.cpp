@@ -1,0 +1,54 @@
+// M5 — parallel scaling of the simulation kernel: one Best-of-3 round
+// on a fixed instance across worker counts (the strong-scaling curve of
+// the shared-memory design; see DESIGN.md ablations).
+#include <benchmark/benchmark.h>
+
+#include "core/dynamics.hpp"
+#include "core/initializer.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace b3v;
+
+void BM_StrongScaling_Complete(benchmark::State& state) {
+  const graph::CompleteSampler sampler(1 << 20);
+  parallel::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  const core::Opinions init = core::iid_bernoulli(1 << 20, 0.4, 1);
+  core::Opinions next(1 << 20);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::step_best_of_k(
+        sampler, init, next, 3, core::TieRule::kRandom, 9, round++, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 20));
+}
+BENCHMARK(BM_StrongScaling_Complete)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->UseRealTime();
+
+void BM_ParallelReduce_Sum(benchmark::State& state) {
+  parallel::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  std::vector<std::uint64_t> data(1 << 22);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = i;
+  for (auto _ : state) {
+    const auto total = pool.parallel_reduce<std::uint64_t>(
+        0, data.size(), 1 << 14, 0,
+        [&](std::size_t lo, std::size_t hi) {
+          std::uint64_t acc = 0;
+          for (std::size_t i = lo; i < hi; ++i) acc += data[i];
+          return acc;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ParallelReduce_Sum)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// M1 — simulation step throughput: vertices/second of one synchronous
+// Best-of-k round across samplers (implicit vs materialised — the
+// DESIGN.md ablation), k values, and thread counts.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/dynamics.hpp"
+#include "core/initializer.hpp"
+#include "core/packed.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace b3v;
+
+template <typename S>
+void run_step_bench(benchmark::State& state, const S& sampler, unsigned k,
+                    unsigned threads) {
+  const std::size_t n = sampler.num_vertices();
+  parallel::ThreadPool pool(threads);
+  const core::Opinions init = core::iid_bernoulli(n, 0.4, 1);
+  core::Opinions next(n);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::step_best_of_k(
+        sampler, init, next, k, core::TieRule::kRandom, 99, round++, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_Step_CompleteImplicit(benchmark::State& state) {
+  const graph::CompleteSampler sampler(
+      static_cast<graph::VertexId>(state.range(0)));
+  run_step_bench(state, sampler, 3, static_cast<unsigned>(state.range(1)));
+}
+BENCHMARK(BM_Step_CompleteImplicit)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 20, 4});
+
+void BM_Step_CirculantImplicit(benchmark::State& state) {
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  const auto sampler = graph::CirculantSampler::dense(
+      n, static_cast<std::uint32_t>(std::pow(n, 0.7)));
+  run_step_bench(state, sampler, 3, static_cast<unsigned>(state.range(1)));
+}
+BENCHMARK(BM_Step_CirculantImplicit)->Args({1 << 16, 1})->Args({1 << 16, 4});
+
+void BM_Step_CirculantCsr(benchmark::State& state) {
+  // Same graph as the implicit variant, materialised: measures the cost
+  // of CSR row indirection vs offset arithmetic.
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  const graph::Graph g =
+      graph::dense_circulant(n, static_cast<std::uint32_t>(std::pow(n, 0.7)));
+  const graph::CsrSampler sampler(g);
+  run_step_bench(state, sampler, 3, static_cast<unsigned>(state.range(1)));
+}
+BENCHMARK(BM_Step_CirculantCsr)->Args({1 << 16, 1})->Args({1 << 16, 4});
+
+void BM_Step_GnpCsr(benchmark::State& state) {
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  const graph::Graph g =
+      graph::erdos_renyi_gnp(n, std::pow(n, -0.3), 5);
+  const graph::CsrSampler sampler(g);
+  run_step_bench(state, sampler, 3, static_cast<unsigned>(state.range(1)));
+}
+BENCHMARK(BM_Step_GnpCsr)->Args({1 << 15, 4});
+
+void BM_Step_ByK(benchmark::State& state) {
+  const graph::CompleteSampler sampler(1 << 16);
+  run_step_bench(state, sampler, static_cast<unsigned>(state.range(0)), 4);
+}
+BENCHMARK(BM_Step_ByK)->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_Step_PackedBits(benchmark::State& state) {
+  // The DESIGN.md layout ablation: bit-packed state vs the byte kernel
+  // (BM_Step_CompleteImplicit with the same n/threads is the baseline).
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  const graph::CompleteSampler sampler(n);
+  parallel::ThreadPool pool(static_cast<unsigned>(state.range(1)));
+  const core::Opinions init = core::iid_bernoulli(n, 0.4, 1);
+  core::PackedOpinions cur{std::span<const core::OpinionValue>(init)};
+  core::PackedOpinions next(n);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::step_best_of_three_packed(
+        sampler, cur, next, 99, round++, pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Step_PackedBits)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 20, 4});
+
+}  // namespace
+
+BENCHMARK_MAIN();

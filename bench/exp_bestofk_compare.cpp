@@ -1,0 +1,92 @@
+// E7 — Best-of-k comparison (the introduction's related-work table,
+// [2][4][8][1] made empirical).
+//
+//   k = 1: voter model — consensus in Theta(n) rounds on K_n, winner
+//          proportional to initial share (majority NOT amplified);
+//   k = 2: with random ties — fast, comparable to k = 3;
+//   k = 3: the paper's protocol — O(log log n) + O(log 1/delta);
+//   k = 5: faster contraction still, the regime of [1].
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "core/simulator.hpp"
+#include "experiments/runner.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/binomial.hpp"
+
+int main() {
+  using namespace b3v;
+  const auto ctx = experiments::context_from_env();
+  auto& pool = experiments::pool_for(ctx);
+  std::cout << "E7: Best-of-k comparison on dense graphs\n\n";
+
+  const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 13));
+  const std::size_t reps = ctx.rep_count(15);
+  // Random regular: an expander w.h.p., the setting of [4]; avoids the
+  // geometric stripe metastability of banded circulants (note N4).
+  const std::uint32_t d = 64;
+  const graph::Graph g =
+      graph::random_regular(n, d, rng::derive_stream(ctx.base_seed, 0xE7));
+  const graph::CsrSampler sampler(g);
+
+  for (const double delta : {0.1, 0.02}) {
+    analysis::Table table(
+        "E7 consensus time by k, random regular n=" + std::to_string(n) +
+            " d=" + std::to_string(d) + " delta=" + std::to_string(delta),
+        {"k", "tie_rule", "reps", "mean_rounds", "ci95", "red_win_rate",
+         "no_consensus(cap)", "meanfield_map(0.4)"});
+    struct Config {
+      unsigned k;
+      core::TieRule tie;
+      const char* name;
+    };
+    for (const Config cfg_k : {Config{1, core::TieRule::kRandom, "-"},
+                               Config{2, core::TieRule::kRandom, "random"},
+                               Config{2, core::TieRule::kKeepOwn, "keep-own"},
+                               Config{3, core::TieRule::kRandom, "-"},
+                               Config{5, core::TieRule::kRandom, "-"},
+                               Config{7, core::TieRule::kRandom, "-"}}) {
+      const auto agg = experiments::aggregate_runs(
+          reps,
+          rng::derive_stream(ctx.base_seed, cfg_k.k * 7919 +
+                                                (cfg_k.tie == core::TieRule::kKeepOwn)),
+          [&](std::uint64_t seed) {
+            core::SimConfig cfg;
+            cfg.k = cfg_k.k;
+            cfg.tie = cfg_k.tie;
+            cfg.seed = seed;
+            // Voter model needs Theta(n) rounds; cap to keep the run
+            // laptop-sized and report the censoring.
+            cfg.max_rounds = cfg_k.k == 1 ? 2000 : 300;
+            core::Opinions init = core::iid_bernoulli(
+                n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+            return core::run_sync(sampler, std::move(init), cfg, pool);
+          });
+      const double map04 = theory::best_of_k_map(
+          0.4, cfg_k.k,
+          cfg_k.tie == core::TieRule::kKeepOwn ? theory::EvenTie::kKeepOwn
+                                               : theory::EvenTie::kRandom);
+      table.add_row({static_cast<std::int64_t>(cfg_k.k),
+                     std::string(cfg_k.name), static_cast<std::int64_t>(reps),
+                     agg.rounds.mean(), agg.rounds.ci95_half_width(),
+                     agg.red_win_rate(),
+                     static_cast<std::int64_t>(agg.no_consensus), map04});
+    }
+    experiments::emit(ctx, table);
+  }
+  std::cout
+      << "Expected shape (read with the meanfield_map(0.4) column):\n"
+      << "  k=1 (voter): map = identity, no drift — hits the round cap; the\n"
+      << "    winner is NOT majority-amplified (Theta(n) rounds needed).\n"
+      << "  k=2 random ties: ALSO a drift-free martingale (b' = b^2 + b(1-b)\n"
+      << "    = b) — hits the cap too. This is exactly why the 2-choices\n"
+      << "    literature ([4],[8]) keeps the own opinion on ties:\n"
+      << "  k=2 keep-own: map b^2(3-2b) — identical drift to Best-of-3 —\n"
+      << "    doubly-logarithmic consensus.\n"
+      << "  k=3: the paper's protocol, same map, one fewer message than\n"
+      << "    2-choices needs state; k=5/7 contract faster still ([1]).\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E5 — Lemma 7: collision-level statistics of the upper DAG.
+//
+// For DAGs of h+1 levels over graphs of several degrees, measures the
+// distribution of C (number of levels with >= 1 collision) and compares
+//   (a) E[C] with the Binomial(h, 9^h/d) domination,
+//   (b) empirical P(C > h/2) with the closed-form tail
+//       (2e 9^h / d)^{h/2} of eq. (7).
+#include <cmath>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "experiments/runner.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/bounds.hpp"
+#include "votingdag/dag.hpp"
+
+int main() {
+  using namespace b3v;
+  const auto ctx = experiments::context_from_env();
+  std::cout << "E5: collision-level count C vs the Lemma 7 bounds\n\n";
+
+  const int h = 5;
+  const std::size_t reps = ctx.rep_count(400);
+  analysis::Table table(
+      "E5 collision levels, h=" + std::to_string(h) +
+          " (DAG of h+1 levels), " + std::to_string(reps) + " DAGs/row",
+      {"n", "d", "mean_C", "max_C", "binom_mean_bound", "emp_P(C>h/2)",
+       "eq7_tail_bound", "bound_holds"});
+
+  const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 16));
+  for (const std::uint32_t d : {128u, 512u, 2048u, 8192u, 16384u}) {
+    const auto sampler = graph::CirculantSampler::dense(n, d);
+    analysis::OnlineStats c_stats;
+    std::size_t exceed = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto dag = votingdag::build_voting_dag(
+          sampler, static_cast<graph::VertexId>(rep % n), h,
+          rng::derive_stream(ctx.base_seed, 9000 + rep));
+      const int c = dag.count_collision_levels();
+      c_stats.add(static_cast<double>(c));
+      if (c > h / 2) ++exceed;
+    }
+    // E[Bin(h, 9^h/d)] = h * min(1, 9^h/d): the domination's mean.
+    const double binom_mean =
+        h * std::min(1.0, std::pow(9.0, h) / static_cast<double>(d));
+    const double emp_tail = static_cast<double>(exceed) / static_cast<double>(reps);
+    const double bound = theory::collision_count_tail(h, d);
+    table.add_row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(d),
+                   c_stats.mean(), c_stats.max(), binom_mean, emp_tail, bound,
+                   std::string(emp_tail <= bound + 1e-12 ? "yes" : "NO")});
+  }
+  experiments::emit(ctx, table);
+  std::cout
+      << "paper: C is dominated by Bin(h, 9^h/d); P(C > h/2) <= (2e 9^h/d)^{h/2}.\n"
+      << "Expected shape: mean C and the tail collapse as d grows; the\n"
+      << "closed-form bound is loose (often the trivial 1) until 9^h << d —\n"
+      << "visible above as the bound saturating at 1 for the sparse rows\n"
+      << "while the empirical tail is already 0.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E9 — the minimum-degree hypothesis d = n^Omega(1/log log n).
+//
+// Runs the identical protocol at (nearly) identical n on families above
+// and below the threshold:
+//   above: circulant with d = n^0.7, d = n^0.4;
+//   near:  d = polylog (circulant with d = log^2 n);
+//   below: hypercube (d = log2 n), torus (d = 4), cycle (d = 2).
+// Above the threshold consensus arrives in O(log log n) rounds; below,
+// convergence slows dramatically and/or the majority guarantee degrades.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "core/simulator.hpp"
+#include "experiments/runner.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace {
+
+using namespace b3v;
+
+template <graph::NeighborSampler S>
+void run_family(const std::string& name, const S& sampler, double delta,
+                std::size_t reps, std::uint64_t cap,
+                const experiments::RunContext& ctx, parallel::ThreadPool& pool,
+                analysis::Table& table) {
+  const std::size_t n = sampler.num_vertices();
+  const auto agg = experiments::aggregate_runs(
+      reps, rng::derive_stream(ctx.base_seed, std::hash<std::string>{}(name)),
+      [&](std::uint64_t seed) {
+        core::SimConfig cfg;
+        cfg.seed = seed;
+        cfg.max_rounds = cap;
+        core::Opinions init = core::iid_bernoulli(
+            n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+        return core::run_sync(sampler, std::move(init), cfg, pool);
+      });
+  table.add_row({std::string(name), static_cast<std::int64_t>(n),
+                 static_cast<std::int64_t>(sampler.degree(0)),
+                 static_cast<std::int64_t>(reps), agg.rounds.mean(),
+                 agg.rounds.max(), agg.red_win_rate(),
+                 static_cast<std::int64_t>(agg.no_consensus)});
+}
+
+}  // namespace
+
+int main() {
+  const auto ctx = experiments::context_from_env();
+  auto& pool = experiments::pool_for(ctx);
+  std::cout << "E9: the degree threshold — same protocol, same n, varying d\n"
+            << "paper: Theorem 1 needs min degree n^Omega(1/log log n)\n\n";
+
+  const unsigned dim = 14;  // n = 16384 everywhere (torus 128x128)
+  const auto n = graph::VertexId{1} << dim;
+  const double delta = 0.1;
+  const std::size_t reps = ctx.rep_count(10);
+  const std::uint64_t cap = 3000;
+
+  analysis::Table table(
+      "E9 consensus under varying degree, n=" + std::to_string(n) +
+          " delta=" + std::to_string(delta) + " cap=" + std::to_string(cap),
+      {"family", "n", "degree", "reps", "mean_rounds", "max_rounds",
+       "red_win_rate", "capped_runs"});
+
+  run_family("circulant d=n^0.7",
+             graph::CirculantSampler::dense(
+                 n, static_cast<std::uint32_t>(std::pow(n, 0.7))),
+             delta, reps, cap, ctx, pool, table);
+  run_family("circulant d=n^0.4",
+             graph::CirculantSampler::dense(
+                 n, static_cast<std::uint32_t>(std::pow(n, 0.4))),
+             delta, reps, cap, ctx, pool, table);
+  run_family("circulant d=log^2 n",
+             graph::CirculantSampler::dense(n, dim * dim), delta, reps, cap,
+             ctx, pool, table);
+  const graph::Graph rr48 = graph::random_regular(
+      n, 48, rng::derive_stream(ctx.base_seed, 48));
+  run_family("random regular d=48", graph::CsrSampler(rr48), delta, reps, cap,
+             ctx, pool, table);
+  const graph::Graph rr16 = graph::random_regular(
+      n, 16, rng::derive_stream(ctx.base_seed, 16));
+  run_family("random regular d=16", graph::CsrSampler(rr16), delta, reps, cap,
+             ctx, pool, table);
+  run_family("hypercube d=log2 n", graph::HypercubeSampler(dim), delta, reps,
+             cap, ctx, pool, table);
+  run_family("torus 128x128 d=4", graph::TorusSampler(128, 128), delta, reps,
+             cap, ctx, pool, table);
+  run_family("circulant d=2 (cycle)",
+             graph::CirculantSampler(n, {1}), delta, reps, cap, ctx, pool,
+             table);
+  experiments::emit(ctx, table);
+
+  std::cout
+      << "Expected shape: the dense circulant rows finish in <= ~10 rounds\n"
+      << "with red winning every run. Random regular graphs (expanders) stay\n"
+      << "fast even at d = 16 — consistent with the expansion-based results\n"
+      << "of [5] — while the GEOMETRIC low-degree families degrade: the\n"
+      << "d=n^0.4 / d=log^2 n circulants can freeze into metastable blue\n"
+      << "stripes wider than their bandwidth (note N4), and torus/cycle\n"
+      << "(constant degree) hit the cap or lose the majority guarantee.\n"
+      << "The paper's min-degree hypothesis is what rules such geometric\n"
+      << "families in/out without assuming expansion.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E12 — exact-vs-simulated validation on K_n.
+//
+// The blue count on the complete graph is a (n+1)-state Markov chain
+// (src/theory/exact_chain); this binary compares the Monte-Carlo
+// simulator against the EXACT blue-win probabilities and expected
+// consensus times, and prints the exact finite-n consensus-time profile
+// that Theorem 1's asymptotics describe.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "core/simulator.hpp"
+#include "experiments/runner.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/exact_chain.hpp"
+
+int main() {
+  using namespace b3v;
+  const auto ctx = experiments::context_from_env();
+  auto& pool = experiments::pool_for(ctx);
+  std::cout << "E12: exact Markov-chain ground truth vs the simulator (K_n)\n\n";
+
+  // --- Part 1: simulator vs exact, n = 256. ---
+  const std::uint32_t n = 256;
+  const theory::ExactCompleteChain chain(n, 3);
+  const auto& win = chain.blue_win_probability();
+  const auto& time = chain.expected_absorption_time();
+  const graph::CompleteSampler sampler(n);
+  const std::size_t reps = ctx.rep_count(400);
+
+  analysis::Table table(
+      "E12 exact vs simulated, K_256, Best-of-3, " + std::to_string(reps) +
+          " sims/row",
+      {"B_0", "exact_P(blue wins)", "sim_P(blue wins)", "exact_E[rounds]",
+       "sim_mean_rounds", "P_diff_sigmas"});
+  for (const std::uint32_t b0 : {32u, 96u, 112u, 128u, 144u, 160u, 224u}) {
+    std::uint64_t blue_wins = 0;
+    analysis::OnlineStats rounds;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      core::SimConfig cfg;
+      cfg.seed = rng::derive_stream(ctx.base_seed, b0 * 100000 + rep);
+      cfg.max_rounds = 10000;
+      const auto result = core::run_sync(
+          sampler,
+          core::exact_count(n, b0, rng::derive_stream(cfg.seed, 0xC0)),
+          cfg, pool);
+      if (!result.consensus) continue;
+      rounds.add(static_cast<double>(result.rounds));
+      blue_wins += result.winner == core::Opinion::kBlue;
+    }
+    const double sim_p = static_cast<double>(blue_wins) / static_cast<double>(reps);
+    const double sigma =
+        std::sqrt(std::max(1e-12, win[b0] * (1 - win[b0]) /
+                                      static_cast<double>(reps)));
+    table.add_row({static_cast<std::int64_t>(b0), win[b0], sim_p, time[b0],
+                   rounds.mean(), std::abs(sim_p - win[b0]) / sigma});
+  }
+  experiments::emit(ctx, table);
+
+  // --- Part 2: exact consensus-time profile across n. ---
+  analysis::Table profile(
+      "E12b exact E[rounds] from B_0 = (1/2 - 0.1) n, Best-of-3 vs k",
+      {"n", "k=3", "k=5", "k=2 keep-own", "log2log2(n)"});
+  for (const std::uint32_t nn : {64u, 128u, 256u, 512u, 1024u}) {
+    const auto b0 = static_cast<std::uint32_t>(0.4 * nn);
+    const theory::ExactCompleteChain c3(nn, 3);
+    const theory::ExactCompleteChain c5(nn, 5);
+    const theory::ExactCompleteChain c2(nn, 2, core::TieRule::kKeepOwn);
+    profile.add_row({static_cast<std::int64_t>(nn),
+                     c3.expected_absorption_time()[b0],
+                     c5.expected_absorption_time()[b0],
+                     c2.expected_absorption_time()[b0],
+                     std::log2(std::log2(static_cast<double>(nn)))});
+  }
+  experiments::emit(ctx, profile);
+  std::cout
+      << "Expected shape: the simulated win probabilities sit within ~2-3\n"
+      << "sigma of the exact chain (validating the Philox-keyed kernel end\n"
+      << "to end), exact E[rounds] grows like log log n + constant, and the\n"
+      << "k=2 keep-own column tracks k=3 (identical mean-field drift).\n";
+  return 0;
+}

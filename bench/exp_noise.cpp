@@ -1,0 +1,65 @@
+// E13 (extension) — robustness of Best-of-3 to uniform noise.
+//
+// With probability `noise` a vertex adopts a fair coin instead of the
+// sampled majority. Mean-field predicts a pitchfork at noise = 1/3:
+// below it the dynamics reaches a metastable near-consensus with
+// minority mass = the stable low fixed point of
+// (1-q)(3b^2-2b^3) + q/2; above it the population stays mixed at 1/2.
+// This extension experiment probes the protocol the paper analyses
+// under the fault model its "distributed computing" motivation implies.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/dynamics.hpp"
+#include "core/initializer.hpp"
+#include "experiments/runner.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/recursions.hpp"
+
+int main() {
+  using namespace b3v;
+  const auto ctx = experiments::context_from_env();
+  auto& pool = experiments::pool_for(ctx);
+  std::cout << "E13: noisy Best-of-3 — stationary minority mass vs noise\n\n";
+
+  const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 16));
+  const graph::CompleteSampler sampler(n);
+  const std::uint64_t warmup = 30, measure = 30;
+
+  analysis::Table table(
+      "E13 stationary blue fraction, K_n n=" + std::to_string(n) +
+          " (start delta=0.1, " + std::to_string(warmup) + " warmup + " +
+          std::to_string(measure) + " measured rounds)",
+      {"noise", "sim_stationary_blue", "meanfield_fixed_point", "abs_diff"});
+  for (const double noise : {0.0, 0.05, 0.1, 0.2, 0.3, 1.0 / 3.0, 0.4}) {
+    core::Opinions cur = core::iid_bernoulli(
+        n, 0.4, rng::derive_stream(ctx.base_seed, static_cast<std::uint64_t>(noise * 1e6)));
+    core::Opinions next(n);
+    std::uint64_t blue = 0;
+    analysis::OnlineStats stationary;
+    for (std::uint64_t round = 0; round < warmup + measure; ++round) {
+      blue = core::step_best_of_k_noisy(sampler, cur, next, 3,
+                                        core::TieRule::kRandom, noise,
+                                        rng::derive_stream(ctx.base_seed, 77),
+                                        round, pool);
+      cur.swap(next);
+      if (round >= warmup) {
+        stationary.add(static_cast<double>(blue) / static_cast<double>(n));
+      }
+    }
+    const double predicted = theory::noisy_stationary_minority(noise);
+    table.add_row({noise, stationary.mean(), predicted,
+                   std::abs(stationary.mean() - predicted)});
+  }
+  experiments::emit(ctx, table);
+  std::cout
+      << "Expected shape: the measured stationary blue mass matches the\n"
+      << "mean-field fixed point to O(1/sqrt(n)); it grows smoothly with\n"
+      << "noise and jumps to ~1/2 at the pitchfork noise = 1/3 — Best-of-3\n"
+      << "tolerates up to a third of fair-coin faults before consensus\n"
+      << "degenerates.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E10 — Lemma 4's three-phase trajectory, measured.
+//
+// The proof decomposes the collapse of the blue probability into
+//   phase 3 (T3 = O(log 1/delta)): delta_t grows by >= 5/4 per step
+//            until delta_t >= 1/(2 sqrt 3)  [blue fraction <= ~0.211];
+//   phase 2 (T2 = O(log log d)): quadratic collapse p_t <= 4 p_{t-1}^2
+//            until p_t = polylog(d)/d;
+//   phase 1 (h1 = a log log d + 1 levels): squeeze to o(1/d).
+// We segment measured complete-graph trajectories at the same
+// boundaries and compare the per-phase step counts with the numeric
+// Lemma 4 bookkeeping.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "core/simulator.hpp"
+#include "experiments/runner.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/recursions.hpp"
+
+namespace {
+
+constexpr double kPhase3Boundary = 0.5 - 0.28867513459481287;  // ~0.2113
+
+struct MeasuredPhases {
+  int t3 = 0;  // rounds with blue fraction > kPhase3Boundary
+  int t2 = 0;  // rounds from boundary down to polylog(d)/d
+  int t1 = 0;  // remaining rounds to consensus
+};
+
+MeasuredPhases segment(const std::vector<std::uint64_t>& traj, std::size_t n,
+                       double d) {
+  MeasuredPhases out;
+  const double p2_boundary =
+      std::pow(std::log2(d), 2) / d;  // concrete polylog(d)/d
+  std::size_t t = 0;
+  while (t < traj.size() &&
+         static_cast<double>(traj[t]) / static_cast<double>(n) > kPhase3Boundary) {
+    ++t;
+  }
+  out.t3 = static_cast<int>(t);
+  while (t < traj.size() &&
+         static_cast<double>(traj[t]) / static_cast<double>(n) > p2_boundary) {
+    ++t;
+  }
+  out.t2 = static_cast<int>(t) - out.t3;
+  out.t1 = static_cast<int>(traj.size()) - 1 - out.t3 - out.t2;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace b3v;
+  const auto ctx = experiments::context_from_env();
+  auto& pool = experiments::pool_for(ctx);
+  std::cout << "E10: Lemma 4 phase decomposition — measured vs bookkeeping\n\n";
+
+  const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 18));
+  const double d = std::sqrt(static_cast<double>(n));  // alpha = 1/2 reference
+  const graph::CompleteSampler sampler(n);
+  const std::size_t reps = ctx.rep_count(10);
+
+  analysis::Table table(
+      "E10 measured phase lengths on K_n (n=" + std::to_string(n) +
+          ", boundaries at blue<=0.2113 and blue<=log^2(d)/d with d=sqrt(n))",
+      {"delta", "meas_T3", "meas_T2", "meas_T1", "meas_total", "lemma4_T3",
+       "lemma4_T2", "lemma4_h1", "lemma4_total"});
+
+  for (const double delta : {0.2, 0.1, 0.05, 0.01, 0.002}) {
+    analysis::OnlineStats t3s, t2s, t1s, totals;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      core::SimConfig cfg;
+      cfg.seed = rng::derive_stream(ctx.base_seed,
+                                    rep * 1000 + static_cast<std::uint64_t>(delta * 1e5));
+      cfg.max_rounds = 500;
+      const auto result = core::run_sync(
+          sampler,
+          core::iid_bernoulli(n, 0.5 - delta,
+                              rng::derive_stream(cfg.seed, 0xB10E)),
+          cfg, pool);
+      if (!result.consensus) continue;
+      const auto phases = segment(result.blue_trajectory, n, d);
+      t3s.add(phases.t3);
+      t2s.add(phases.t2);
+      t1s.add(phases.t1);
+      totals.add(static_cast<double>(result.rounds));
+    }
+    const auto predicted = theory::lemma4_phases(d, delta);
+    table.add_row({delta, t3s.mean(), t2s.mean(), t1s.mean(), totals.mean(),
+                   static_cast<std::int64_t>(predicted.t3),
+                   static_cast<std::int64_t>(predicted.t2),
+                   static_cast<std::int64_t>(predicted.h1),
+                   static_cast<std::int64_t>(predicted.total)});
+  }
+  experiments::emit(ctx, table);
+  std::cout
+      << "Expected shape: measured T3 grows with log(1/delta) and tracks the\n"
+      << "bookkeeping's T3 within small constants (the proof's 5/4 growth\n"
+      << "factor is pessimistic versus the true ~3/2 drift); T2 and the tail\n"
+      << "are O(log log) and essentially flat across delta.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E4 — Proposition 3 / eq. (2): the Sprinkling majorisation.
+//
+// Builds random voting-DAGs on a dense circulant, applies the Sprinkling
+// transform below T', and checks two things at once:
+//   (a) the coupling X_H <= X_H' holds pointwise on every realisation;
+//   (b) the empirical per-level blue rate of X_H' stays below the
+//       recursion-(2) bound p_t with eps_{t-1} = 3^{T-t+1}/d.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "experiments/runner.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/recursions.hpp"
+#include "votingdag/sprinkling.hpp"
+
+int main() {
+  using namespace b3v;
+  const auto ctx = experiments::context_from_env();
+  std::cout << "E4: Sprinkling process (Prop. 3, eq. 2) — coupling and "
+               "level-wise majorisation\n\n";
+
+  const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 14));
+  const int T = 6;
+  const int cut = 4;
+  const double p0 = 0.4;
+  const std::size_t reps = ctx.rep_count(50);
+
+  for (const std::uint32_t d : {256u, 1024u, 4096u}) {
+    const auto sampler = graph::CirculantSampler::dense(n, d);
+    const auto bound = theory::sprinkling_trajectory(p0, T, cut, d, false);
+    const auto bound_exact = theory::sprinkling_trajectory(p0, T, cut, d, true);
+
+    std::vector<double> blue(cut + 1, 0.0), nodes(cut + 1, 0.0);
+    std::size_t coupling_ok = 0;
+    double redirect_total = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const std::uint64_t seed = rng::derive_stream(ctx.base_seed, 7000 + rep);
+      const auto dag = votingdag::build_voting_dag(sampler, 0, T, seed);
+      const auto sprinkled = votingdag::sprinkle(dag, cut);
+      const core::Opinions leaves = core::iid_bernoulli(
+          dag.level(0).size(), p0, rng::derive_stream(seed, 0xFACE));
+      coupling_ok += votingdag::verify_coupling(dag, sprinkled, leaves) ? 1 : 0;
+      redirect_total += static_cast<double>(sprinkled.total_redirects());
+      const auto colouring = sprinkled.color(leaves);
+      for (int t = 0; t <= cut; ++t) {
+        blue[t] += static_cast<double>(colouring.blue_at(t));
+        nodes[t] += static_cast<double>(colouring.colors[t].size());
+      }
+    }
+
+    analysis::Table table(
+        "E4 per-level blue rate vs recursion (2), d=" + std::to_string(d) +
+            " n=" + std::to_string(n) + " T=" + std::to_string(T) +
+            " T'=" + std::to_string(cut),
+        {"level", "eps_t-1", "empirical_rate", "bound_exact", "bound_upper",
+         "within_bound"});
+    bool all_within = true;
+    for (int t = 0; t <= cut; ++t) {
+      const double rate = blue[t] / nodes[t];
+      // The bound holds in expectation; allow 3 sigma of Monte-Carlo
+      // noise on the finite per-level sample.
+      const double sigma =
+          std::sqrt(bound.p[t] * (1.0 - bound.p[t]) / std::max(1.0, nodes[t]));
+      const bool ok = rate <= bound.p[t] + 3.0 * sigma + 1e-9;
+      all_within &= ok;
+      table.add_row(
+          {static_cast<std::int64_t>(t),
+           t == 0 ? 0.0 : theory::sprinkling_epsilon(t, T, d),
+           rate, bound_exact.p[t], bound.p[t],
+           std::string(ok ? "yes" : "NO")});
+    }
+    experiments::emit(ctx, table);
+    std::cout << "d=" << d << ": coupling X_H <= X_H' held in " << coupling_ok
+              << "/" << reps << " realisations; mean redirected edges/DAG = "
+              << redirect_total / static_cast<double>(reps)
+              << "; all levels within bound: " << (all_within ? "yes" : "NO")
+              << "\n\n";
+  }
+  std::cout << "paper: the sprinkled opinions are independent per level and "
+               "majorised by Bernoulli(p_t); denser d shrinks eps and the "
+               "redirect count.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E11 — stripe metastability on geometric graphs (EXPERIMENTS.md note
+// N4): a reproduction finding that sharpens the paper's minimum-degree
+// story at finite n.
+//
+// On banded circulants, a blue run wider than the band is locally
+// stable: every vertex inside it samples a blue-majority neighbourhood.
+// Under the i.i.d. start such runs nucleate with probability ~
+// (n/d) exp(-c delta^2 d), so at fixed laptop-scale n the dynamics
+// freezes once delta drops below ~1/sqrt(d) even though Theorem 1 (an
+// asymptotic w.h.p. statement) still holds as n -> infinity.
+// Watts-Strogatz rewiring destroys the geometry: this binary sweeps the
+// rewiring probability beta and shows the stripes (and the stalls)
+// disappear with a few percent of long-range edges.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "core/metrics.hpp"
+#include "core/simulator.hpp"
+#include "experiments/runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+
+int main() {
+  using namespace b3v;
+  const auto ctx = experiments::context_from_env();
+  auto& pool = experiments::pool_for(ctx);
+  std::cout << "E11: geometric stripe metastability and its destruction by "
+               "rewiring (note N4)\n\n";
+
+  const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 14));
+  const std::uint32_t d = 128;  // band halves: +-64 positions
+  const double delta = 0.04;    // delta^2 d = 0.2: stripes nucleate often
+  const std::size_t reps = ctx.rep_count(10);
+  const std::uint64_t cap = 800;
+
+  analysis::Table table(
+      "E11 Watts-Strogatz sweep, n=" + std::to_string(n) + " d=" +
+          std::to_string(d) + " delta=" + std::to_string(delta) +
+          " cap=" + std::to_string(cap),
+      {"beta", "mean_rounds", "capped", "red_win_rate",
+       "final_longest_blue_run", "band", "stripe_frozen"});
+
+  for (const double beta : {0.0, 0.01, 0.05, 0.2, 1.0}) {
+    analysis::OnlineStats rounds, longest;
+    std::uint64_t red = 0, capped = 0, frozen = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const graph::Graph g = graph::watts_strogatz(
+          n, d, beta, rng::derive_stream(ctx.base_seed, rep * 31 +
+                                             static_cast<std::uint64_t>(beta * 100)));
+      core::SimConfig cfg;
+      cfg.seed = rng::derive_stream(ctx.base_seed, 7000 + rep);
+      cfg.max_rounds = cap;
+      cfg.record_trajectory = false;
+      core::Opinions init = core::iid_bernoulli(
+          n, 0.5 - delta, rng::derive_stream(cfg.seed, 0xB10E));
+      // Run manually so the final configuration is inspectable.
+      core::Opinions cur = std::move(init), next(n);
+      const graph::CsrSampler sampler(g);
+      std::uint64_t blue = core::count_blue(cur);
+      std::uint64_t round = 0;
+      for (; round < cap && blue != 0 && blue != n; ++round) {
+        blue = core::step_best_of_k(sampler, cur, next, 3,
+                                    core::TieRule::kRandom, cfg.seed, round,
+                                    pool);
+        cur.swap(next);
+      }
+      const auto stats = core::segment_stats(cur);
+      longest.add(static_cast<double>(stats.longest_blue));
+      if (blue == 0) {
+        ++red;
+        rounds.add(static_cast<double>(round));
+      } else if (blue == n) {
+        rounds.add(static_cast<double>(round));
+      } else {
+        ++capped;
+        // Frozen stripe: a blue run wider than the full band survives.
+        frozen += core::has_blue_stripe(cur, d) ? 1 : 0;
+      }
+    }
+    table.add_row({beta, rounds.mean(), static_cast<std::int64_t>(capped),
+                   static_cast<double>(red) / static_cast<double>(reps),
+                   longest.mean(), static_cast<std::int64_t>(d),
+                   static_cast<std::int64_t>(frozen)});
+  }
+  experiments::emit(ctx, table);
+  std::cout
+      << "Expected shape: at beta=0 (pure circulant) a large fraction of\n"
+      << "runs freeze with a blue run >= the band width d and hit the cap;\n"
+      << "a few percent of rewiring (beta=0.05) already restores fast\n"
+      << "majority consensus — expansion, not density alone, is what kills\n"
+      << "the stripes at finite n. Theorem 1's min-degree hypothesis covers\n"
+      << "this *asymptotically* (the nucleation probability\n"
+      << "(n/d) exp(-c delta^2 d) vanishes for d = n^alpha), which is the\n"
+      << "sense in which the finite-n freeze and the theorem coexist.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// F1 — reconstruction of Figure 1: the Sprinkling process on a 2-level
+// voting-DAG.
+//
+// Builds a small DAG with genuine collisions, walks the reveal order
+// exactly as Section 3 prescribes (vertices left to right, slots in
+// order), prints the before/after structure as ASCII and Graphviz DOT,
+// and verifies the coupling on this instance.
+#include <iostream>
+
+#include "core/initializer.hpp"
+#include "graph/samplers.hpp"
+#include "votingdag/coloring.hpp"
+#include "votingdag/dot_export.hpp"
+#include "votingdag/sprinkling.hpp"
+
+int main() {
+  using namespace b3v;
+  std::cout << "F1: Figure 1 reconstruction — the Sprinkling process\n\n";
+
+  // A 2-level DAG over a small complete graph; the seed is chosen so
+  // that level 1 exhibits collisions like the paper's figure.
+  const graph::CompleteSampler sampler(8);
+  votingdag::VotingDag dag;
+  std::uint64_t chosen_seed = 0;
+  for (std::uint64_t seed = 1; seed < 500; ++seed) {
+    dag = votingdag::build_voting_dag(sampler, 0, 2, seed);
+    if (dag.collisions_at_level(1) >= 2 && dag.level(1).size() == 3) {
+      chosen_seed = seed;
+      break;
+    }
+  }
+  std::cout << "seed " << chosen_seed << " produces:\n"
+            << votingdag::dag_summary(dag) << "\n";
+
+  std::cout << "H (original voting-DAG, level 2 = root (v0,2)):\n";
+  for (int t = dag.root_level(); t >= 0; --t) {
+    std::cout << "  level " << t << ":";
+    for (const auto& node : dag.level(t)) std::cout << "  v" << node.vertex;
+    std::cout << '\n';
+  }
+  std::cout << "  edges (root->level1->level0):\n";
+  for (int t = dag.root_level(); t >= 1; --t) {
+    for (const auto& node : dag.level(t)) {
+      std::cout << "    (v" << node.vertex << ",t" << t << ") -> ";
+      for (const auto c : node.child) {
+        std::cout << "v" << dag.level(t - 1)[static_cast<std::size_t>(c)].vertex
+                  << ' ';
+      }
+      std::cout << '\n';
+    }
+  }
+
+  const auto sprinkled = votingdag::sprinkle(dag, 1);
+  std::cout << "\nH' after sprinkling level 1 (collisions redirected to "
+               "artificial always-Blue squares):\n";
+  for (std::size_t i = 0; i < dag.level(1).size(); ++i) {
+    std::cout << "    (v" << dag.level(1)[i].vertex << ",t1) -> ";
+    for (const auto c : sprinkled.children(1, i)) {
+      if (c == votingdag::kArtificialBlue) {
+        std::cout << "[B] ";
+      } else {
+        std::cout << "v" << dag.level(0)[static_cast<std::size_t>(c)].vertex
+                  << ' ';
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "  redirected edges at level 1: "
+            << sprinkled.redirects_at_level(1) << "\n"
+            << "  collision-free below cut: "
+            << (sprinkled.collision_free_below_cut() ? "yes" : "no") << "\n\n";
+
+  const core::Opinions leaves =
+      core::iid_bernoulli(dag.level(0).size(), 0.4, 7);
+  std::cout << "coupling X_H <= X_H' on this instance: "
+            << (votingdag::verify_coupling(dag, sprinkled, leaves) ? "holds"
+                                                                   : "VIOLATED")
+            << "\n\n";
+
+  std::cout << "--- Graphviz DOT (H) ---\n"
+            << votingdag::dag_to_dot(dag, leaves)
+            << "\n--- Graphviz DOT (H') ---\n"
+            << votingdag::sprinkled_to_dot(sprinkled, leaves)
+            << "\n(render with `dot -Tpng` to reproduce Figure 1's layout)\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Adversarial placement study: how much does the i.i.d. hypothesis
+// matter? The §1.1 discussion contrasts the paper's randomised starting
+// condition with the adversarial model of [5], where an adversary
+// rearranges a FIXED number of blue opinions. This example fixes the
+// blue head-count at (1/2 - delta) n and compares placements on a
+// two-community (SBM) network.
+//
+//   $ ./adversarial_placement [n] [delta]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "core/simulator.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+
+int main(int argc, char** argv) {
+  using namespace b3v;
+  const auto half = static_cast<graph::VertexId>(
+      (argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8192) / 2);
+  const double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.05;
+  const auto n = static_cast<std::size_t>(2 * half);
+
+  // Two communities with dense intra- and sparse inter-links.
+  const graph::Graph g = graph::stochastic_block_model(
+      {half, half}, {{0.02, 0.001}, {0.001, 0.02}}, 7);
+  parallel::ThreadPool pool;
+  const auto spectral = graph::second_eigenvalue(g, pool);
+  std::cout << "two-community SBM: n=" << n << " m=" << g.num_edges()
+            << " min_deg=" << g.min_degree()
+            << " lambda_2=" << spectral.lambda2
+            << "  (weak expander: communities)\n\n";
+
+  const auto num_blue =
+      static_cast<std::size_t>((0.5 - delta) * static_cast<double>(n));
+  std::cout << "blue head-count fixed at " << num_blue << " of " << n
+            << " (delta=" << delta << ")\n\n";
+
+  analysis::Table table("placement comparison (15 trials each)",
+                        {"placement", "red_win_rate", "mean_rounds",
+                         "max_rounds", "failed(cap)"});
+  const int trials = 15;
+
+  struct Case {
+    const char* name;
+    int mode;  // 0 random, 1 one community, 2 low degree, 3 bfs ball
+  };
+  for (const Case c : {Case{"i.i.d.-like (random positions)", 0},
+                       Case{"packed into one community", 1},
+                       Case{"lowest-degree vertices", 2},
+                       Case{"BFS ball (geometric cluster)", 3}}) {
+    analysis::OnlineStats rounds;
+    double max_rounds = 0.0;
+    int red = 0, failed = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      core::Opinions init;
+      switch (c.mode) {
+        case 0: init = core::exact_count(n, num_blue,
+                                         rng::derive_stream(50, trial)); break;
+        case 1: init = core::block_blue(n, num_blue); break;
+        case 2: init = core::lowest_degree_blue(g, num_blue); break;
+        default: init = core::bfs_ball_blue(g, 0, num_blue); break;
+      }
+      core::SimConfig cfg;
+      cfg.seed = rng::derive_stream(999, trial * 7 + c.mode);
+      cfg.max_rounds = 2000;
+      const auto result = core::run_on_graph(g, std::move(init), cfg, pool);
+      if (!result.consensus) {
+        ++failed;
+        continue;
+      }
+      rounds.add(static_cast<double>(result.rounds));
+      max_rounds = std::max(max_rounds, static_cast<double>(result.rounds));
+      red += result.winner == core::Opinion::kRed;
+    }
+    // Capped runs count as "majority not confirmed".
+    table.add_row({std::string(c.name),
+                   static_cast<double>(red) / static_cast<double>(trials),
+                   rounds.mean(), max_rounds,
+                   static_cast<std::int64_t>(failed)});
+  }
+  table.print_ascii(std::cout);
+  std::cout
+      << "\nReading: random placement loses fast (Theorem 1's regime).\n"
+      << "Packing the SAME head-count into one community makes that\n"
+      << "community locally blue-majority: the minority either survives\n"
+      << "much longer or flips the global outcome — the dynamics must\n"
+      << "grind through the sparse cut. This is why the paper's i.i.d.\n"
+      << "hypothesis (vs [5]'s adversarial one, which needs an Omega(n)\n"
+      << "head-count gap on regular graphs) buys a delta arbitrarily\n"
+      << "close to 0.\n";
+  return 0;
+}

@@ -1,0 +1,188 @@
+// b3vsim — command-line driver for the library: pick a graph family, a
+// protocol, and an initial condition; get a trajectory or a summary
+// table. The "ship it as a tool" face of the reproduction.
+//
+//   b3vsim --graph=circulant --n=16384 --d=1024 --k=3 --delta=0.1
+//          --reps=10 [--seed=1] [--rounds=1000] [--trajectory] [--csv]
+//
+// Families: complete, circulant, gnp (--p), gnm (--m), regular (--d),
+//           ws (--d --beta), ba (--d), hypercube (--dim), torus (--rows
+//           --cols), chunglu (--gamma --wmin --wmax).
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "core/metrics.hpp"
+#include "core/simulator.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace {
+
+using namespace b3v;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& name) const { return kv.contains(name); }
+  std::string str(const std::string& name, const std::string& dflt) const {
+    const auto it = kv.find(name);
+    return it == kv.end() ? dflt : it->second;
+  }
+  double num(const std::string& name, double dflt) const {
+    const auto it = kv.find(name);
+    return it == kv.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+  std::uint64_t u64(const std::string& name, std::uint64_t dflt) const {
+    const auto it = kv.find(name);
+    return it == kv.end() ? dflt
+                          : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      args.kv[token] = "";
+    } else {
+      args.kv[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+graph::Graph make_graph(const Args& args) {
+  const std::string family = args.str("graph", "circulant");
+  const auto n = static_cast<graph::VertexId>(args.u64("n", 1 << 14));
+  const auto seed = args.u64("graph-seed", 12345);
+  if (family == "complete") return graph::complete(n);
+  if (family == "circulant") {
+    return graph::dense_circulant(
+        n, static_cast<std::uint32_t>(args.u64("d", 512)));
+  }
+  if (family == "gnp") return graph::erdos_renyi_gnp(n, args.num("p", 0.01), seed);
+  if (family == "gnm") {
+    return graph::erdos_renyi_gnm(n, args.u64("m", 8ull * n), seed);
+  }
+  if (family == "regular") {
+    return graph::random_regular(
+        n, static_cast<std::uint32_t>(args.u64("d", 32)), seed);
+  }
+  if (family == "ws") {
+    return graph::watts_strogatz(
+        n, static_cast<std::uint32_t>(args.u64("d", 32)),
+        args.num("beta", 0.1), seed);
+  }
+  if (family == "ba") {
+    return graph::barabasi_albert(
+        n, static_cast<std::uint32_t>(args.u64("d", 8)), seed);
+  }
+  if (family == "hypercube") {
+    return graph::hypercube(static_cast<unsigned>(args.u64("dim", 14)));
+  }
+  if (family == "torus") {
+    return graph::grid(static_cast<graph::VertexId>(args.u64("rows", 128)),
+                       static_cast<graph::VertexId>(args.u64("cols", 128)),
+                       /*periodic=*/true);
+  }
+  if (family == "chunglu") {
+    const auto weights = graph::power_law_weights(
+        n, args.num("gamma", 2.5), args.num("wmin", 8.0),
+        args.num("wmax", 512.0));
+    return graph::chung_lu(weights, seed);
+  }
+  throw std::invalid_argument("unknown --graph family: " + family);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.flag("help")) {
+    std::cout
+        << "b3vsim --graph=FAMILY --n=N [family params] --k=3 --delta=0.1\n"
+           "       [--reps=1] [--seed=1] [--rounds=1000] [--trajectory]\n"
+           "       [--csv] [--threads=0] [--tie=random|keepown]\n"
+           "families: complete circulant(--d) gnp(--p) gnm(--m)\n"
+           "          regular(--d) ws(--d --beta) ba(--d)\n"
+           "          hypercube(--dim) torus(--rows --cols)\n"
+           "          chunglu(--gamma --wmin --wmax)\n";
+    return 0;
+  }
+  try {
+    const graph::Graph g = make_graph(args);
+    parallel::ThreadPool pool(static_cast<unsigned>(args.u64("threads", 0)));
+    std::cerr << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
+              << " min_deg=" << g.min_degree()
+              << " max_deg=" << g.max_degree()
+              << " connected=" << (graph::is_connected(g) ? "yes" : "no")
+              << "\n";
+
+    core::SimConfig cfg;
+    cfg.k = static_cast<unsigned>(args.u64("k", 3));
+    cfg.tie = args.str("tie", "random") == "keepown" ? core::TieRule::kKeepOwn
+                                                     : core::TieRule::kRandom;
+    cfg.max_rounds = args.u64("rounds", 1000);
+    const double delta = args.num("delta", 0.1);
+    const auto reps = args.u64("reps", 1);
+    const auto base_seed = args.u64("seed", 1);
+
+    if (args.flag("trajectory")) {
+      cfg.seed = base_seed;
+      const auto result = core::run_theorem1_setting(
+          g, delta, cfg.seed, pool, cfg.max_rounds);
+      analysis::Table table("trajectory", {"round", "blue_count",
+                                           "blue_fraction", "segments"});
+      for (std::size_t t = 0; t < result.blue_trajectory.size(); ++t) {
+        table.add_row({static_cast<std::int64_t>(t),
+                       static_cast<std::int64_t>(result.blue_trajectory[t]),
+                       result.blue_fraction(t), std::string("-")});
+      }
+      if (args.flag("csv")) table.print_csv(std::cout);
+      else table.print_ascii(std::cout);
+      std::cout << (result.consensus
+                        ? (result.winner == core::Opinion::kRed
+                               ? "winner: RED (initial majority)\n"
+                               : "winner: BLUE (initial minority)\n")
+                        : "no consensus within --rounds\n");
+      return 0;
+    }
+
+    analysis::OnlineStats rounds;
+    std::uint64_t red = 0, capped = 0;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      const auto result = core::run_theorem1_setting(
+          g, delta, b3v::rng::derive_stream(base_seed, rep), pool,
+          cfg.max_rounds);
+      if (!result.consensus) {
+        ++capped;
+        continue;
+      }
+      rounds.add(static_cast<double>(result.rounds));
+      red += result.winner == core::Opinion::kRed;
+    }
+    analysis::Table table("summary", {"reps", "mean_rounds", "ci95",
+                                      "max_rounds", "red_win_rate", "capped"});
+    table.add_row({static_cast<std::int64_t>(reps), rounds.mean(),
+                   rounds.ci95_half_width(), rounds.max(),
+                   static_cast<double>(red) / static_cast<double>(reps),
+                   static_cast<std::int64_t>(capped)});
+    if (args.flag("csv")) table.print_csv(std::cout);
+    else table.print_ascii(std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "b3vsim: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

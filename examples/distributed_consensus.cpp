@@ -1,0 +1,93 @@
+// Distributed-consensus scenario: protocol selection for a gossip-style
+// agreement layer — the "distributed computing" motivation of the
+// introduction.
+//
+// A cluster of nodes must agree on one of two proposals; each node can
+// poll k random peers per round. This example compares the candidate
+// protocols (voter / 2-choices / Best-of-3 / Best-of-5) on an expander
+// overlay and prints the operational metrics an engineer would look at:
+// rounds to agreement, total messages, and probability the initial
+// majority is preserved.
+//
+//   $ ./distributed_consensus [nodes] [delta]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "core/simulator.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+
+int main(int argc, char** argv) {
+  using namespace b3v;
+  const auto n = static_cast<graph::VertexId>(
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4096);
+  const double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.05;
+
+  // Overlay: random 16-regular gossip topology (an expander w.h.p.).
+  const graph::Graph overlay = graph::random_regular(n, 16, 42);
+  std::cout << "gossip overlay: " << n << " nodes, 16-regular, "
+            << overlay.num_edges() << " links\n"
+            << "initial split: " << 0.5 + delta << " prefer A (Red), "
+            << 0.5 - delta << " prefer B (Blue)\n\n";
+
+  parallel::ThreadPool pool;
+  analysis::Table table(
+      "protocol comparison (" + std::to_string(n) + " nodes, delta=" +
+          std::to_string(delta) + ", 20 trials)",
+      {"protocol", "peers/round", "mean_rounds", "p95_rounds",
+       "mean_msgs_per_node", "majority_preserved", "failed(cap)"});
+
+  struct Protocol {
+    const char* name;
+    unsigned k;
+    core::TieRule tie;
+  };
+  for (const Protocol proto :
+       {Protocol{"voter (best-of-1)", 1, core::TieRule::kRandom},
+        Protocol{"2-choices (keep own)", 2, core::TieRule::kKeepOwn},
+        Protocol{"best-of-3 (the paper)", 3, core::TieRule::kRandom},
+        Protocol{"best-of-5", 5, core::TieRule::kRandom}}) {
+    analysis::OnlineStats rounds;
+    std::vector<double> all_rounds;
+    int preserved = 0, failed = 0;
+    const int trials = 20;
+    for (int trial = 0; trial < trials; ++trial) {
+      core::SimConfig cfg;
+      cfg.k = proto.k;
+      cfg.tie = proto.tie;
+      cfg.seed = rng::derive_stream(1234, trial * 10 + proto.k);
+      cfg.max_rounds = 1000;
+      const auto result = core::run_on_graph(
+          overlay,
+          core::iid_bernoulli(n, 0.5 - delta,
+                              rng::derive_stream(cfg.seed, 0xB10E)),
+          cfg, pool);
+      if (!result.consensus) {
+        ++failed;
+        continue;
+      }
+      rounds.add(static_cast<double>(result.rounds));
+      all_rounds.push_back(static_cast<double>(result.rounds));
+      preserved += result.winner == core::Opinion::kRed;
+    }
+    table.add_row(
+        {std::string(proto.name), static_cast<std::int64_t>(proto.k),
+         rounds.mean(),
+         all_rounds.empty() ? 0.0 : analysis::percentile(all_rounds, 95),
+         rounds.mean() * proto.k,
+         static_cast<double>(preserved) / trials,
+         static_cast<std::int64_t>(failed)});
+  }
+  table.print_ascii(std::cout);
+  std::cout
+      << "\nReading: best-of-3 agrees in ~log log n rounds with the\n"
+      << "majority preserved in every trial, at 3 messages/node/round.\n"
+      << "The voter and tie-flipping 2-choices variants stall (no drift);\n"
+      << "best-of-5 buys ~1 round for 2 extra messages — exactly the\n"
+      << "trade-off the Best-of-k literature quantifies.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Social-network scenario: opinion dynamics on a heavy-tailed
+// (Chung-Lu power-law) network — the kind of topology the paper's
+// introduction motivates ("analysis of social networks").
+//
+// Demonstrates: power-law degree generation with a minimum-degree
+// floor, workload characterisation (degree stats, clustering, spectral
+// gap), and how the minority's placement interacts with hubs.
+//
+//   $ ./social_network [n] [gamma] [delta]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "core/initializer.hpp"
+#include "core/simulator.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+
+int main(int argc, char** argv) {
+  using namespace b3v;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const double gamma = argc > 2 ? std::strtod(argv[2], nullptr) : 2.5;
+  const double delta = argc > 3 ? std::strtod(argv[3], nullptr) : 0.08;
+
+  // Power-law weights with a floor: min expected degree ~ 12, hubs up
+  // to ~ sqrt(n) — a classic social-graph profile.
+  const auto weights = graph::power_law_weights(
+      static_cast<graph::VertexId>(n), gamma, 12.0,
+      std::sqrt(static_cast<double>(n)));
+  const graph::Graph g = graph::chung_lu(weights, 2024);
+
+  std::cout << "social network: n=" << g.num_vertices()
+            << " m=" << g.num_edges() << " min_deg=" << g.min_degree()
+            << " max_deg=" << g.max_degree()
+            << " avg_deg=" << g.average_degree() << "\n";
+  std::cout << "connected: " << (graph::is_connected(g) ? "yes" : "no")
+            << ", clustering (sampled): "
+            << graph::sampled_clustering(g, 20000, 1) << "\n";
+  parallel::ThreadPool pool;
+  const auto spectral = graph::second_eigenvalue(g, pool);
+  std::cout << "lambda_2 estimate: " << spectral.lambda2
+            << (spectral.converged ? "" : " (not converged)") << "\n\n";
+
+  // Scenario 1: i.i.d. minority (the paper's hypothesis).
+  std::cout << "scenario 1: i.i.d. Blue minority with delta=" << delta << "\n";
+  analysis::OnlineStats rounds;
+  int red_wins = 0;
+  const int reps = 10;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto result = core::run_theorem1_setting(
+        g, delta, rng::derive_stream(7, rep), pool, 500);
+    if (result.consensus) {
+      rounds.add(static_cast<double>(result.rounds));
+      red_wins += result.winner == core::Opinion::kRed;
+    }
+  }
+  std::cout << "  majority (Red) won " << red_wins << "/" << reps
+            << " runs, mean consensus time " << rounds.mean() << " rounds\n\n";
+
+  // Scenario 2: the same minority mass organised on the hubs.
+  std::cout << "scenario 2: same Blue mass placed on the highest-degree "
+               "vertices (influencer takeover)\n";
+  const auto num_blue =
+      static_cast<std::size_t>((0.5 - delta) * static_cast<double>(n));
+  int red_wins_adv = 0;
+  analysis::OnlineStats rounds_adv;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::SimConfig cfg;
+    cfg.seed = rng::derive_stream(99, rep);
+    cfg.max_rounds = 500;
+    const auto result = core::run_on_graph(
+        g, core::highest_degree_blue(g, num_blue), cfg, pool);
+    if (result.consensus) {
+      rounds_adv.add(static_cast<double>(result.rounds));
+      red_wins_adv += result.winner == core::Opinion::kRed;
+    }
+  }
+  std::cout << "  majority (Red) won " << red_wins_adv << "/" << reps
+            << " runs, mean consensus time " << rounds_adv.mean()
+            << " rounds\n\n";
+  std::cout
+      << "Takeaway: under the i.i.d. hypothesis the numeric minority loses\n"
+      << "w.h.p. (Theorem 1); concentrating the same head-count on hubs\n"
+      << "shifts the *sampled* majority — each draw picks a neighbour, and\n"
+      << "hubs are everyone's neighbours — so Blue can flip the outcome.\n"
+      << "This is the §1.1 discussion of why placement (and hence the\n"
+      << "i.i.d. assumption) matters.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace b3v::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0) {
+  if (!(lo < hi) || num_bins == 0) {
+    throw std::invalid_argument("Histogram: need lo < hi and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto bin = static_cast<std::int64_t>(std::floor(t));
+  bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    out << '[' << bin_lo(b) << ", " << bin_hi(b) << ") "
+        << std::string(width, '#') << ' ' << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace b3v::analysis

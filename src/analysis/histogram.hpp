@@ -1,0 +1,33 @@
+// Fixed-width histogram for step-count and collision-count summaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace b3v::analysis {
+
+class Histogram {
+ public:
+  /// `num_bins` uniform bins over [lo, hi); out-of-range samples clamp
+  /// to the end bins (counted, so totals always match adds).
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double x) noexcept;
+
+  std::size_t num_bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// ASCII rendering: one row per bin with a proportional bar.
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace b3v::analysis

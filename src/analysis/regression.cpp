@@ -1,0 +1,48 @@
+#include "analysis/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace b3v::analysis {
+
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_line: size mismatch");
+  }
+  const std::size_t n = xs.size();
+  if (n < 2) throw std::invalid_argument("fit_line: need >= 2 points");
+
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit_line: constant x");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = fit.intercept + fit.slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+  }
+  fit.r_squared = syy == 0.0 ? 1.0 : 1.0 - ss_res / syy;
+  fit.residual_std =
+      n > 2 ? std::sqrt(ss_res / static_cast<double>(n - 2)) : 0.0;
+  return fit;
+}
+
+}  // namespace b3v::analysis

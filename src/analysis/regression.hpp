@@ -1,0 +1,20 @@
+// Least-squares line fits, used to test the paper's scaling claims
+// (consensus time vs log log n, and vs log 1/delta).
+#pragma once
+
+#include <vector>
+
+namespace b3v::analysis {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination
+  double residual_std = 0.0;
+};
+
+/// Ordinary least squares y = intercept + slope * x.
+/// Requires xs.size() == ys.size() >= 2 and non-constant xs.
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace b3v::analysis

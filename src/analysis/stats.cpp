@@ -1,0 +1,139 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rng/bounded.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace b3v::analysis {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::sem() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineStats::ci95_half_width() const noexcept {
+  return 1.959963984540054 * sem();
+}
+
+OnlineStats& OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return *this;
+  if (n_ == 0) {
+    *this = other;
+    return *this;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto total = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+  return *this;
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  Interval iv{std::max(0.0, centre - half), std::min(1.0, centre + half)};
+  if (successes == 0) iv.lo = 0.0;          // exact at the boundaries
+  if (successes == trials) iv.hi = 1.0;
+  return iv;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (pct <= 0.0) return sorted.front();
+  if (pct >= 100.0) return sorted.back();
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double percentile(std::vector<double> sample, double pct) {
+  std::sort(sample.begin(), sample.end());
+  return percentile_sorted(sample, pct);
+}
+
+ChiSquare chi_square_fit(const std::vector<std::uint64_t>& observed,
+                         const std::vector<double>& expected_probs) {
+  if (observed.size() != expected_probs.size() || observed.size() < 2) {
+    throw std::invalid_argument("chi_square_fit: need matching sizes >= 2");
+  }
+  std::uint64_t total = 0;
+  for (const auto c : observed) total += c;
+  if (total == 0) throw std::invalid_argument("chi_square_fit: empty sample");
+  ChiSquare out;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probs[i] * static_cast<double>(total);
+    if (expected <= 0.0) {
+      if (observed[i] != 0) {
+        out.statistic = std::numeric_limits<double>::infinity();
+      }
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    out.statistic += diff * diff / expected;
+  }
+  out.degrees_of_freedom = observed.size() - 1;
+  // Wilson-Hilferty: (X/k)^(1/3) ~ Normal(1 - 2/(9k), 2/(9k)).
+  const double k = static_cast<double>(out.degrees_of_freedom);
+  const double cube = std::cbrt(out.statistic / k);
+  out.z_score = (cube - (1.0 - 2.0 / (9.0 * k))) / std::sqrt(2.0 / (9.0 * k));
+  return out;
+}
+
+ChiSquare chi_square_uniform(const std::vector<std::uint64_t>& observed) {
+  return chi_square_fit(
+      observed, std::vector<double>(observed.size(),
+                                    1.0 / static_cast<double>(observed.size())));
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& sample,
+                           std::size_t resamples, std::uint64_t seed) {
+  if (sample.empty()) throw std::invalid_argument("bootstrap: empty sample");
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      acc += sample[rng::bounded_u64(gen, sample.size())];
+    }
+    means.push_back(acc / static_cast<double>(sample.size()));
+  }
+  std::sort(means.begin(), means.end());
+  return {percentile_sorted(means, 2.5), percentile_sorted(means, 97.5)};
+}
+
+}  // namespace b3v::analysis

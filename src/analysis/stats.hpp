@@ -1,0 +1,76 @@
+// Streaming statistics and interval estimates for experiment summaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace b3v::analysis {
+
+/// Welford's online mean/variance accumulator (numerically stable).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Standard error of the mean.
+  double sem() const noexcept;
+  /// Normal-approximation 95% half-width of the mean.
+  double ci95_half_width() const noexcept;
+
+  /// Merges another accumulator (parallel reduction).
+  OnlineStats& merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion (95% by default).
+/// Well-behaved at 0 and 1, unlike the Wald interval.
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = 1.959963984540054);
+
+/// Percentile (0..100) of a sample by linear interpolation. The input
+/// is copied and sorted; use `quantiles_sorted` to batch.
+double percentile(std::vector<double> sample, double pct);
+
+/// Percentile on an already-sorted sample.
+double percentile_sorted(const std::vector<double>& sorted, double pct);
+
+/// Bootstrap percentile interval for the mean: `resamples` draws of
+/// size n with replacement, 2.5/97.5 percentiles of resampled means.
+Interval bootstrap_mean_ci(const std::vector<double>& sample,
+                           std::size_t resamples, std::uint64_t seed);
+
+struct ChiSquare {
+  double statistic = 0.0;
+  std::size_t degrees_of_freedom = 0;
+  /// Wilson-Hilferty normal approximation of the upper-tail z-score:
+  /// z > 3 is a ~1e-3-level rejection of the null.
+  double z_score = 0.0;
+};
+
+/// Chi-square goodness-of-fit of observed counts against expected
+/// probabilities (must sum to ~1; expected counts should be >= ~5 for
+/// the approximation to hold). Used by the RNG uniformity tests.
+ChiSquare chi_square_fit(const std::vector<std::uint64_t>& observed,
+                         const std::vector<double>& expected_probs);
+
+/// Convenience: uniform null over observed.size() cells.
+ChiSquare chi_square_uniform(const std::vector<std::uint64_t>& observed);
+
+}  // namespace b3v::analysis

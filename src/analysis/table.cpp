@@ -1,0 +1,108 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace b3v::analysis {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: no columns");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+const Table::Cell& Table::at(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+std::string Table::format_cell(const Cell& cell) const {
+  std::ostringstream out;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    out << *s;
+  } else if (const auto* d = std::get_if<double>(&cell)) {
+    out << std::setprecision(precision_) << *d;
+  } else {
+    out << std::get<std::int64_t>(cell);
+  }
+  return out.str();
+}
+
+void Table::print_ascii(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  out << "== " << title_ << " ==\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << std::left << std::setw(static_cast<int>(width[c]) + 2) << columns_[c];
+  }
+  out << '\n';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << std::string(width[c], '-') << "  ";
+  }
+  out << '\n';
+  for (const auto& row : rendered) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    out << '\n';
+  }
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c ? "," : "") << escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << escape(format_cell(row[c]));
+    }
+    out << '\n';
+  }
+}
+
+void Table::print_markdown(std::ostream& out) const {
+  out << "**" << title_ << "**\n\n|";
+  for (const auto& col : columns_) out << ' ' << col << " |";
+  out << "\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) out << "---|";
+  out << '\n';
+  for (const auto& row : rows_) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << format_cell(row[c]) << " |";
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace b3v::analysis

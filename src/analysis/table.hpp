@@ -1,0 +1,45 @@
+// Column-oriented result table with aligned ASCII, CSV and Markdown
+// rendering. Every experiment binary in bench/ emits one of these, so
+// EXPERIMENTS.md rows can be pasted directly from program output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace b3v::analysis {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  Table(std::string title, std::vector<std::string> columns);
+
+  const std::string& title() const noexcept { return title_; }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+
+  /// Appends a row; throws if the arity differs from the header.
+  void add_row(std::vector<Cell> cells);
+
+  const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Number of significant digits for double cells (default 5).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  void print_ascii(std::ostream& out) const;
+  void print_csv(std::ostream& out) const;
+  void print_markdown(std::ostream& out) const;
+
+ private:
+  std::string format_cell(const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 5;
+};
+
+}  // namespace b3v::analysis

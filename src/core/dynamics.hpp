@@ -1,0 +1,209 @@
+// Synchronous Best-of-k voting dynamics — the paper's protocol.
+//
+// One round: every vertex v independently samples k random neighbours
+// (uniformly, WITH replacement, exactly as in Section 2) and adopts the
+// majority opinion of the sample. Odd k never ties; even k resolves
+// ties by a TieRule (the two standard rules from the introduction).
+//
+// Determinism: all randomness for vertex v in round r comes from
+// CounterRng(seed, r, v), so a round is an embarrassingly parallel map
+// and a full run is a pure function of (sampler, init, seed) — the
+// thread count never changes the outcome. This matches the paper's
+// probability space, where the round-r samples of distinct vertices are
+// independent by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "core/opinion.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+
+namespace b3v::core {
+
+/// Resolution of an exact k/2-k/2 split (even k only).
+enum class TieRule : std::uint8_t {
+  kKeepOwn,     // vertex keeps its current opinion (rule (i) in §1)
+  kRandom,      // uniform coin over the two tied opinions (rule (ii))
+  kPreferRed,   // deterministic bias (used in worst-case analyses)
+  kPreferBlue,
+};
+
+/// RNG purpose tags: separates the neighbour-sampling stream from the
+/// tie-break stream so adding tie coins never shifts sample draws.
+inline constexpr std::uint32_t kDrawNeighbors = 0;
+inline constexpr std::uint32_t kDrawTie = 1;
+
+/// Computes one vertex's next opinion under Best-of-k. Exposed for the
+/// voting-DAG cross-validation tests.
+template <graph::NeighborSampler S>
+OpinionValue next_opinion(const S& sampler, std::span<const OpinionValue> current,
+                          graph::VertexId v, unsigned k, TieRule tie,
+                          std::uint64_t seed, std::uint64_t round) {
+  rng::CounterRng gen(seed, round, v, kDrawNeighbors);
+  unsigned blues = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    blues += current[sampler.sample(v, gen)];
+  }
+  if (2 * blues > k) return 1;
+  if (2 * blues < k) return 0;
+  switch (tie) {  // only reachable for even k
+    case TieRule::kKeepOwn:
+      return current[v];
+    case TieRule::kRandom: {
+      rng::CounterRng coin(seed, round, v, kDrawTie);
+      return static_cast<OpinionValue>(coin.next_u64() & 1u);
+    }
+    case TieRule::kPreferRed:
+      return 0;
+    case TieRule::kPreferBlue:
+      return 1;
+  }
+  return current[v];
+}
+
+/// One synchronous round over all vertices; returns the blue count of
+/// the written `next` buffer. `current` and `next` must both have
+/// sampler.num_vertices() entries and must not alias.
+template <graph::NeighborSampler S>
+std::uint64_t step_best_of_k(const S& sampler, std::span<const OpinionValue> current,
+                             std::span<OpinionValue> next, unsigned k, TieRule tie,
+                             std::uint64_t seed, std::uint64_t round,
+                             parallel::ThreadPool& pool) {
+  const std::size_t n = sampler.num_vertices();
+  if (current.size() != n || next.size() != n) {
+    throw std::invalid_argument("step_best_of_k: buffer size mismatch");
+  }
+  if (k == 0) throw std::invalid_argument("step_best_of_k: k >= 1");
+  constexpr std::size_t kGrain = 4096;
+  return pool.parallel_reduce<std::uint64_t>(
+      0, n, kGrain, 0,
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t blues = 0;
+        if (k == 3) {
+          // Fast path for the paper's protocol: unrolled three draws.
+          for (std::size_t v = lo; v < hi; ++v) {
+            rng::CounterRng gen(seed, round, static_cast<std::uint64_t>(v),
+                                kDrawNeighbors);
+            const auto vid = static_cast<graph::VertexId>(v);
+            const unsigned b = current[sampler.sample(vid, gen)] +
+                               current[sampler.sample(vid, gen)] +
+                               current[sampler.sample(vid, gen)];
+            const OpinionValue out = b >= 2 ? 1 : 0;
+            next[v] = out;
+            blues += out;
+          }
+        } else {
+          for (std::size_t v = lo; v < hi; ++v) {
+            const OpinionValue out =
+                next_opinion(sampler, current, static_cast<graph::VertexId>(v), k,
+                             tie, seed, round);
+            next[v] = out;
+            blues += out;
+          }
+        }
+        return blues;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+/// RNG purpose tag for the noise coin of the noisy dynamics.
+inline constexpr std::uint32_t kDrawNoise = 3;
+
+/// Noisy Best-of-k round: with probability `noise` a vertex ignores its
+/// sample and adopts a uniformly random opinion instead (communication
+/// faults / contrarians). With noise > 0 consensus is no longer
+/// absorbing; the interesting observable is the stationary minority
+/// mass, which mean-field predicts as the stable fixed point of
+///   b' = (1 - noise) * map_k(b) + noise/2
+/// (see theory::noisy_best_of_three_map and exp_noise). Returns the
+/// blue count of `next`.
+template <graph::NeighborSampler S>
+std::uint64_t step_best_of_k_noisy(const S& sampler,
+                                   std::span<const OpinionValue> current,
+                                   std::span<OpinionValue> next, unsigned k,
+                                   TieRule tie, double noise,
+                                   std::uint64_t seed, std::uint64_t round,
+                                   parallel::ThreadPool& pool) {
+  const std::size_t n = sampler.num_vertices();
+  if (current.size() != n || next.size() != n) {
+    throw std::invalid_argument("step_best_of_k_noisy: buffer size mismatch");
+  }
+  if (noise < 0.0 || noise > 1.0) {
+    throw std::invalid_argument("step_best_of_k_noisy: noise in [0, 1]");
+  }
+  const rng::BernoulliSampler coin(noise);
+  constexpr std::size_t kGrain = 4096;
+  return pool.parallel_reduce<std::uint64_t>(
+      0, n, kGrain, 0,
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t blues = 0;
+        for (std::size_t v = lo; v < hi; ++v) {
+          rng::CounterRng noise_gen(seed, round, static_cast<std::uint64_t>(v),
+                                    kDrawNoise);
+          OpinionValue out;
+          if (coin(noise_gen)) {
+            out = static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
+          } else {
+            out = next_opinion(sampler, current, static_cast<graph::VertexId>(v),
+                               k, tie, seed, round);
+          }
+          next[v] = out;
+          blues += out;
+        }
+        return blues;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+/// Asynchronous variant: `sweeps * n` single-vertex updates, each
+/// updating one uniformly random vertex in place from the *current*
+/// state. Returns the blue count after the final sweep. Used by the
+/// extension experiments; the paper itself analyses the synchronous
+/// schedule.
+template <graph::NeighborSampler S>
+std::uint64_t run_async_sweeps(const S& sampler, std::span<OpinionValue> state,
+                               unsigned k, TieRule tie, std::uint64_t seed,
+                               std::uint64_t sweeps) {
+  const std::size_t n = sampler.num_vertices();
+  if (state.size() != n) {
+    throw std::invalid_argument("run_async_sweeps: buffer size mismatch");
+  }
+  std::uint64_t micro = 0;
+  for (std::uint64_t s = 0; s < sweeps; ++s) {
+    for (std::size_t i = 0; i < n; ++i, ++micro) {
+      rng::CounterRng pick(seed, micro, 0, 2);
+      const auto v = static_cast<graph::VertexId>(
+          rng::bounded_u64(pick, n));
+      rng::CounterRng gen(seed, micro, v, kDrawNeighbors);
+      unsigned blues = 0;
+      for (unsigned j = 0; j < k; ++j) blues += state[sampler.sample(v, gen)];
+      OpinionValue out;
+      if (2 * blues > k) {
+        out = 1;
+      } else if (2 * blues < k) {
+        out = 0;
+      } else {
+        switch (tie) {
+          case TieRule::kKeepOwn: out = state[v]; break;
+          case TieRule::kRandom: {
+            rng::CounterRng coin(seed, micro, v, kDrawTie);
+            out = static_cast<OpinionValue>(coin.next_u64() & 1u);
+            break;
+          }
+          case TieRule::kPreferRed: out = 0; break;
+          case TieRule::kPreferBlue: out = 1; break;
+          default: out = state[v]; break;
+        }
+      }
+      state[v] = out;
+    }
+  }
+  return count_blue(state);
+}
+
+}  // namespace b3v::core

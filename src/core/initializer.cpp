@@ -1,0 +1,134 @@
+#include "core/initializer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace b3v::core {
+
+Opinions iid_bernoulli(std::size_t n, double p_blue, std::uint64_t seed) {
+  if (p_blue < 0.0 || p_blue > 1.0) {
+    throw std::invalid_argument("iid_bernoulli: p_blue out of [0,1]");
+  }
+  rng::Xoshiro256 gen(seed);
+  const rng::BernoulliSampler coin(p_blue);
+  Opinions opinions(n);
+  for (auto& o : opinions) o = coin(gen) ? 1 : 0;
+  return opinions;
+}
+
+Opinions exact_count(std::size_t n, std::size_t num_blue, std::uint64_t seed) {
+  if (num_blue > n) throw std::invalid_argument("exact_count: num_blue > n");
+  Opinions opinions(n, 0);
+  std::fill(opinions.begin(), opinions.begin() + static_cast<std::ptrdiff_t>(num_blue), 1);
+  rng::Xoshiro256 gen(seed);
+  for (std::size_t i = n; i > 1; --i) {  // Fisher-Yates
+    const auto j = rng::bounded_u64(gen, i);
+    std::swap(opinions[i - 1], opinions[j]);
+  }
+  return opinions;
+}
+
+Opinions constant(std::size_t n, Opinion opinion) {
+  return Opinions(n, to_value(opinion));
+}
+
+namespace {
+
+Opinions by_degree(const graph::Graph& g, std::size_t num_blue, bool lowest) {
+  const std::size_t n = g.num_vertices();
+  if (num_blue > n) throw std::invalid_argument("by_degree: num_blue > n");
+  std::vector<graph::VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](graph::VertexId a, graph::VertexId b) {
+                     return lowest ? g.degree(a) < g.degree(b)
+                                   : g.degree(a) > g.degree(b);
+                   });
+  Opinions opinions(n, 0);
+  for (std::size_t i = 0; i < num_blue; ++i) opinions[order[i]] = 1;
+  return opinions;
+}
+
+}  // namespace
+
+Opinions lowest_degree_blue(const graph::Graph& g, std::size_t num_blue) {
+  return by_degree(g, num_blue, /*lowest=*/true);
+}
+
+Opinions highest_degree_blue(const graph::Graph& g, std::size_t num_blue) {
+  return by_degree(g, num_blue, /*lowest=*/false);
+}
+
+Opinions bfs_ball_blue(const graph::Graph& g, graph::VertexId center,
+                       std::size_t num_blue) {
+  const std::size_t n = g.num_vertices();
+  if (num_blue > n) throw std::invalid_argument("bfs_ball_blue: num_blue > n");
+  Opinions opinions(n, 0);
+  std::size_t placed = 0;
+  std::vector<std::uint8_t> visited(n, 0);
+  std::deque<graph::VertexId> queue;
+  visited[center] = 1;
+  queue.push_back(center);
+  while (!queue.empty() && placed < num_blue) {
+    const graph::VertexId v = queue.front();
+    queue.pop_front();
+    opinions[v] = 1;
+    ++placed;
+    for (graph::VertexId u : g.neighbors(v)) {
+      if (!visited[u]) {
+        visited[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  // Disconnected leftovers: fill by id so the requested count is exact.
+  for (std::size_t v = 0; placed < num_blue && v < n; ++v) {
+    if (!opinions[v]) {
+      opinions[v] = 1;
+      ++placed;
+    }
+  }
+  return opinions;
+}
+
+Opinions block_blue(std::size_t n, std::size_t num_blue) {
+  if (num_blue > n) throw std::invalid_argument("block_blue: num_blue > n");
+  Opinions opinions(n, 0);
+  std::fill(opinions.begin(), opinions.begin() + static_cast<std::ptrdiff_t>(num_blue), 1);
+  return opinions;
+}
+
+Opinions iid_multi(std::size_t n, const std::vector<double>& probs,
+                   std::uint64_t seed) {
+  if (probs.empty() || probs.size() > 64) {
+    throw std::invalid_argument("iid_multi: 1..64 colours");
+  }
+  double total = 0.0;
+  for (double p : probs) {
+    if (p < 0.0) throw std::invalid_argument("iid_multi: negative probability");
+    total += p;
+  }
+  if (total <= 0.0) throw std::invalid_argument("iid_multi: zero mass");
+  std::vector<double> cumulative(probs.size());
+  double acc = 0.0;
+  for (std::size_t c = 0; c < probs.size(); ++c) {
+    acc += probs[c] / total;
+    cumulative[c] = acc;
+  }
+  cumulative.back() = 1.0;
+  rng::Xoshiro256 gen(seed);
+  Opinions opinions(n);
+  for (auto& o : opinions) {
+    const double u = gen.next_double();
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    o = static_cast<OpinionValue>(it - cumulative.begin());
+  }
+  return opinions;
+}
+
+}  // namespace b3v::core

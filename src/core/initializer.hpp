@@ -1,0 +1,49 @@
+// Initial opinion assignments.
+//
+// The paper's hypothesis is the i.i.d. Bernoulli(1/2 - delta) start
+// (iid_bernoulli). The adversarial placements implement the §1.1
+// discussion of why i.i.d. matters (the [5]-style adversary reorganises
+// a fixed count of blues into the worst positions); they are used by the
+// adversarial_placement example and the robustness experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/opinion.hpp"
+#include "graph/graph.hpp"
+
+namespace b3v::core {
+
+/// Every vertex independently Blue with probability p_blue.
+Opinions iid_bernoulli(std::size_t n, double p_blue, std::uint64_t seed);
+
+/// Exactly `num_blue` Blues at uniformly random positions.
+Opinions exact_count(std::size_t n, std::size_t num_blue, std::uint64_t seed);
+
+/// All vertices share `opinion`.
+Opinions constant(std::size_t n, Opinion opinion);
+
+/// num_blue Blues on the lowest-degree vertices (ties by id). An
+/// adversary wasting the minority on poorly-connected vertices.
+Opinions lowest_degree_blue(const graph::Graph& g, std::size_t num_blue);
+
+/// num_blue Blues on the highest-degree vertices — the strongest
+/// placement for Blue under degree-weighted duals.
+Opinions highest_degree_blue(const graph::Graph& g, std::size_t num_blue);
+
+/// num_blue Blues filling a BFS ball around `center` — a geometrically
+/// clustered minority.
+Opinions bfs_ball_blue(const graph::Graph& g, graph::VertexId center,
+                       std::size_t num_blue);
+
+/// num_blue Blues on the contiguous id range [0, num_blue) — block
+/// placement (pairs naturally with stochastic_block_model instances).
+Opinions block_blue(std::size_t n, std::size_t num_blue);
+
+/// Multi-opinion i.i.d. start: vertex takes colour c with probability
+/// probs[c] (must sum to ~1; the last colour absorbs rounding).
+Opinions iid_multi(std::size_t n, const std::vector<double>& probs,
+                   std::uint64_t seed);
+
+}  // namespace b3v::core

@@ -1,0 +1,58 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace b3v::core {
+
+SegmentStats segment_stats(std::span<const OpinionValue> opinions) {
+  SegmentStats stats;
+  const std::size_t n = opinions.size();
+  if (n == 0) return stats;
+  stats.blue_count = count_blue(opinions);
+  if (stats.blue_count == 0 || stats.blue_count == n) {
+    stats.num_segments = 1;
+    (stats.blue_count == 0 ? stats.longest_red : stats.longest_blue) =
+        static_cast<std::uint64_t>(n);
+    return stats;
+  }
+
+  // Start at a boundary so ring runs are counted whole: find i with
+  // opinions[i] != opinions[i-1].
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t prev = i == 0 ? n - 1 : i - 1;
+    if (opinions[i] != opinions[prev]) {
+      start = i;
+      break;
+    }
+  }
+  std::uint64_t boundaries = 0;
+  std::uint64_t run_length = 0;
+  OpinionValue run_colour = opinions[start];
+  for (std::size_t step = 0; step < n; ++step) {
+    const OpinionValue v = opinions[(start + step) % n];
+    if (v == run_colour) {
+      ++run_length;
+    } else {
+      ++stats.num_segments;
+      ++boundaries;
+      auto& longest = run_colour ? stats.longest_blue : stats.longest_red;
+      longest = std::max(longest, run_length);
+      run_colour = v;
+      run_length = 1;
+    }
+  }
+  ++stats.num_segments;
+  ++boundaries;
+  auto& longest = run_colour ? stats.longest_blue : stats.longest_red;
+  longest = std::max(longest, run_length);
+  stats.interface_density =
+      static_cast<double>(boundaries) / static_cast<double>(n);
+  return stats;
+}
+
+bool has_blue_stripe(std::span<const OpinionValue> opinions, std::uint64_t band) {
+  return segment_stats(opinions).longest_blue >= band;
+}
+
+}  // namespace b3v::core

@@ -1,0 +1,35 @@
+// Configuration metrics beyond raw counts.
+//
+// The stripe/segment statistics quantify the geometric metastability
+// observed on banded (circulant / Watts-Strogatz) instances: when the
+// vertex order carries the geometry (as it does for circulants, where
+// neighbourhoods are index bands), monochromatic runs wider than the
+// band are locally stable under Best-of-3, and the dynamics stalls.
+// EXPERIMENTS.md note N4 and bench/exp_stripes quantify this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/opinion.hpp"
+
+namespace b3v::core {
+
+struct SegmentStats {
+  std::uint64_t num_segments = 0;     // maximal monochromatic runs (ring)
+  std::uint64_t longest_blue = 0;     // longest blue run
+  std::uint64_t longest_red = 0;      // longest red run
+  std::uint64_t blue_count = 0;
+  double interface_density = 0.0;     // opposite-coloured ring-adjacent pairs / n
+};
+
+/// Ring run-length statistics of an opinion vector (index order taken
+/// as the ring geometry; meaningful for circulant-like instances).
+SegmentStats segment_stats(std::span<const OpinionValue> opinions);
+
+/// True iff a blue run of length >= `band` exists (ring sense): the
+/// sufficient condition for a frozen stripe on a circulant whose
+/// neighbourhoods span `band` consecutive indices each side.
+bool has_blue_stripe(std::span<const OpinionValue> opinions, std::uint64_t band);
+
+}  // namespace b3v::core

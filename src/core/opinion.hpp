@@ -1,0 +1,40 @@
+// Opinions and opinion-vector helpers.
+//
+// The paper's two-party setting: each vertex holds Red or Blue; Red is
+// the initial majority (blue probability 1/2 - delta). We follow the
+// paper's Section 3 convention Blue = 1, Red = 0, so "count of blues"
+// is a plain sum and majorisation statements read as inequalities.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace b3v::core {
+
+enum class Opinion : std::uint8_t { kRed = 0, kBlue = 1 };
+
+using OpinionValue = std::uint8_t;           // 0 = Red, 1 = Blue (binary)
+using Opinions = std::vector<OpinionValue>;  // one entry per vertex
+
+constexpr OpinionValue to_value(Opinion o) noexcept {
+  return static_cast<OpinionValue>(o);
+}
+constexpr Opinion to_opinion(OpinionValue v) noexcept {
+  return v == 0 ? Opinion::kRed : Opinion::kBlue;
+}
+
+/// Number of blue (value 1) entries.
+inline std::uint64_t count_blue(std::span<const OpinionValue> opinions) noexcept {
+  std::uint64_t acc = 0;
+  for (const OpinionValue v : opinions) acc += v;
+  return acc;
+}
+
+/// True iff all entries share one opinion (empty counts as consensus).
+inline bool is_consensus(std::span<const OpinionValue> opinions) noexcept {
+  const std::uint64_t blues = count_blue(opinions);
+  return blues == 0 || blues == opinions.size();
+}
+
+}  // namespace b3v::core

@@ -1,0 +1,119 @@
+// Bit-packed opinion storage — the memory-layout ablation of DESIGN.md.
+//
+// Binary opinions fit one bit each; packing 64 per word cuts the state
+// from n bytes to n/8 and can help when the working set misses cache.
+// The cost is shift/mask arithmetic on the *random-access* reads the
+// sampling loop performs (neighbour indices are not sequential), and a
+// word-locked write pattern for the parallel store. `bench_step`
+// measures both representations on identical instances; the byte form
+// wins on the dense instances this library targets (random reads
+// dominate, and bytes avoid read-modify-write), which is why it is the
+// default. The packed form is kept as a supported alternative for
+// memory-bound workloads (n >> cache).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "core/opinion.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/philox.hpp"
+
+namespace b3v::core {
+
+/// Fixed-size bitset with one bit per vertex (1 = Blue).
+class PackedOpinions {
+ public:
+  PackedOpinions() = default;
+  explicit PackedOpinions(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  /// Packs a byte-per-vertex opinion vector.
+  explicit PackedOpinions(std::span<const OpinionValue> opinions)
+      : PackedOpinions(opinions.size()) {
+    for (std::size_t v = 0; v < opinions.size(); ++v) {
+      if (opinions[v]) set(v, 1);
+    }
+  }
+
+  std::size_t size() const noexcept { return n_; }
+
+  OpinionValue get(std::size_t v) const noexcept {
+    return static_cast<OpinionValue>((words_[v >> 6] >> (v & 63)) & 1u);
+  }
+
+  void set(std::size_t v, OpinionValue value) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (v & 63);
+    if (value) {
+      words_[v >> 6] |= mask;
+    } else {
+      words_[v >> 6] &= ~mask;
+    }
+  }
+
+  std::uint64_t count_blue() const noexcept {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t w : words_) acc += std::popcount(w);
+    return acc;
+  }
+
+  /// Unpacks to the byte representation.
+  Opinions unpack() const {
+    Opinions out(n_);
+    for (std::size_t v = 0; v < n_; ++v) out[v] = get(v);
+    return out;
+  }
+
+  std::size_t num_words() const noexcept { return words_.size(); }
+  std::uint64_t word(std::size_t i) const { return words_.at(i); }
+  void set_word(std::size_t i, std::uint64_t w) { words_.at(i) = w; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// One synchronous Best-of-3 round on packed state. Parallelism is over
+/// 64-vertex word blocks so each output word has a single writer (no
+/// atomics). Draw-for-draw identical to the byte kernel: same
+/// (seed, round, vertex) streams, so outputs agree bit for bit.
+template <graph::NeighborSampler S>
+std::uint64_t step_best_of_three_packed(const S& sampler,
+                                        const PackedOpinions& current,
+                                        PackedOpinions& next,
+                                        std::uint64_t seed, std::uint64_t round,
+                                        parallel::ThreadPool& pool) {
+  const std::size_t n = sampler.num_vertices();
+  if (current.size() != n || next.size() != n) {
+    throw std::invalid_argument("step_best_of_three_packed: size mismatch");
+  }
+  const std::size_t num_words = current.num_words();
+  constexpr std::size_t kWordGrain = 64;  // 4096 vertices per chunk
+  return pool.parallel_reduce<std::uint64_t>(
+      0, num_words, kWordGrain, 0,
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t blues = 0;
+        for (std::size_t w = lo; w < hi; ++w) {
+          std::uint64_t out = 0;
+          const std::size_t base = w * 64;
+          const std::size_t limit = std::min<std::size_t>(64, n - base);
+          for (std::size_t bit = 0; bit < limit; ++bit) {
+            const auto v = static_cast<graph::VertexId>(base + bit);
+            rng::CounterRng gen(seed, round, v, kDrawNeighbors);
+            const unsigned b = current.get(sampler.sample(v, gen)) +
+                               current.get(sampler.sample(v, gen)) +
+                               current.get(sampler.sample(v, gen));
+            if (b >= 2) out |= std::uint64_t{1} << bit;
+          }
+          next.set_word(w, out);
+          blues += std::popcount(out);
+        }
+        return blues;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+}  // namespace b3v::core

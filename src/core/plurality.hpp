@@ -1,0 +1,150 @@
+// Multi-opinion (plurality) Best-of-k — the q-colour generalisation
+// studied for the complete graph by Becchetti et al. [2] and for
+// expanders by Cooper et al. [7]. Each vertex samples k neighbours and
+// adopts the most frequent colour in the sample; ties among the most
+// frequent colours are broken by PluralityTie.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "core/opinion.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/philox.hpp"
+
+namespace b3v::core {
+
+inline constexpr unsigned kMaxOpinions = 64;
+
+enum class PluralityTie : std::uint8_t {
+  kKeepOwn,  // keep own opinion if tied (own need not be among the tied)
+  kRandom,   // uniform among the tied most-frequent colours
+};
+
+/// One vertex update. `q` colours in [1, kMaxOpinions].
+template <graph::NeighborSampler S>
+OpinionValue next_plurality_opinion(const S& sampler,
+                                    std::span<const OpinionValue> current,
+                                    graph::VertexId v, unsigned k, unsigned q,
+                                    PluralityTie tie, std::uint64_t seed,
+                                    std::uint64_t round) {
+  std::array<std::uint8_t, kMaxOpinions> counts{};
+  rng::CounterRng gen(seed, round, v, kDrawNeighbors);
+  for (unsigned i = 0; i < k; ++i) {
+    ++counts[current[sampler.sample(v, gen)]];
+  }
+  unsigned best = 0;
+  for (unsigned c = 1; c < q; ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  // Collect ties with the maximum.
+  std::array<std::uint8_t, kMaxOpinions> tied{};
+  unsigned num_tied = 0;
+  for (unsigned c = 0; c < q; ++c) {
+    if (counts[c] == counts[best]) tied[num_tied++] = static_cast<std::uint8_t>(c);
+  }
+  if (num_tied == 1) return tied[0];
+  switch (tie) {
+    case PluralityTie::kKeepOwn:
+      return current[v];
+    case PluralityTie::kRandom: {
+      rng::CounterRng coin(seed, round, v, kDrawTie);
+      return tied[rng::bounded_u32(coin, num_tied)];
+    }
+  }
+  return current[v];
+}
+
+/// One synchronous plurality round; returns per-colour counts of `next`.
+template <graph::NeighborSampler S>
+std::vector<std::uint64_t> step_plurality(
+    const S& sampler, std::span<const OpinionValue> current,
+    std::span<OpinionValue> next, unsigned k, unsigned q, PluralityTie tie,
+    std::uint64_t seed, std::uint64_t round, parallel::ThreadPool& pool) {
+  const std::size_t n = sampler.num_vertices();
+  if (current.size() != n || next.size() != n) {
+    throw std::invalid_argument("step_plurality: buffer size mismatch");
+  }
+  if (q == 0 || q > kMaxOpinions) {
+    throw std::invalid_argument("step_plurality: q in [1, 64]");
+  }
+  using Counts = std::vector<std::uint64_t>;
+  constexpr std::size_t kGrain = 4096;
+  return pool.parallel_reduce<Counts>(
+      0, n, kGrain, Counts(q, 0),
+      [&](std::size_t lo, std::size_t hi) {
+        Counts local(q, 0);
+        for (std::size_t v = lo; v < hi; ++v) {
+          const OpinionValue out = next_plurality_opinion(
+              sampler, current, static_cast<graph::VertexId>(v), k, q, tie,
+              seed, round);
+          next[v] = out;
+          ++local[out];
+        }
+        return local;
+      },
+      [q](Counts a, const Counts& b) {
+        for (unsigned c = 0; c < q; ++c) a[c] += b[c];
+        return a;
+      });
+}
+
+struct PluralityResult {
+  bool consensus = false;
+  OpinionValue winner = 0;     // meaningful iff consensus
+  std::uint64_t rounds = 0;
+  /// count_trajectory[t][c] = #vertices with colour c after round t.
+  std::vector<std::vector<std::uint64_t>> count_trajectory;
+};
+
+/// Runs synchronous plurality dynamics to consensus or `max_rounds`.
+/// Deterministic in (sampler, initial, seed), like run_sync.
+template <graph::NeighborSampler S>
+PluralityResult run_plurality_sync(const S& sampler, Opinions initial,
+                                   unsigned k, unsigned q, PluralityTie tie,
+                                   std::uint64_t seed, std::uint64_t max_rounds,
+                                   parallel::ThreadPool& pool,
+                                   bool record_trajectory = true) {
+  const std::size_t n = sampler.num_vertices();
+  PluralityResult result;
+  Opinions current = std::move(initial);
+  Opinions next(n);
+  std::vector<std::uint64_t> counts(q, 0);
+  for (const OpinionValue v : current) ++counts.at(v);
+  if (record_trajectory) result.count_trajectory.push_back(counts);
+
+  auto winner_if_consensus = [&](const std::vector<std::uint64_t>& c) {
+    for (unsigned colour = 0; colour < q; ++colour) {
+      if (c[colour] == n) return static_cast<int>(colour);
+    }
+    return -1;
+  };
+
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    const int w = winner_if_consensus(counts);
+    if (w >= 0) {
+      result.consensus = true;
+      result.winner = static_cast<OpinionValue>(w);
+      break;
+    }
+    counts = step_plurality(sampler, current, next, k, q, tie, seed, round, pool);
+    current.swap(next);
+    ++result.rounds;
+    if (record_trajectory) result.count_trajectory.push_back(counts);
+  }
+  if (!result.consensus) {
+    const int w = winner_if_consensus(counts);
+    if (w >= 0) {
+      result.consensus = true;
+      result.winner = static_cast<OpinionValue>(w);
+    }
+  }
+  return result;
+}
+
+}  // namespace b3v::core

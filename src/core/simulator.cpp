@@ -1,0 +1,25 @@
+#include "core/simulator.hpp"
+
+#include "core/initializer.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace b3v::core {
+
+SimResult run_on_graph(const graph::Graph& g, Opinions initial,
+                       const SimConfig& cfg, parallel::ThreadPool& pool) {
+  return run_sync(graph::CsrSampler(g), std::move(initial), cfg, pool);
+}
+
+SimResult run_theorem1_setting(const graph::Graph& g, double delta,
+                               std::uint64_t seed, parallel::ThreadPool& pool,
+                               std::uint64_t max_rounds) {
+  SimConfig cfg;
+  cfg.k = 3;
+  cfg.seed = seed;
+  cfg.max_rounds = max_rounds;
+  Opinions initial =
+      iid_bernoulli(g.num_vertices(), 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+  return run_on_graph(g, std::move(initial), cfg, pool);
+}
+
+}  // namespace b3v::core

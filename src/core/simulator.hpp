@@ -1,0 +1,85 @@
+// Simulation driver: runs Best-of-k rounds to consensus (or a cap),
+// recording the blue-count trajectory.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "core/opinion.hpp"
+#include "graph/graph.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace b3v::core {
+
+struct SimConfig {
+  unsigned k = 3;                       // sample size (3 = the paper)
+  TieRule tie = TieRule::kRandom;       // even-k tie rule (unused for odd k)
+  std::uint64_t seed = 1;               // full determinism from this seed
+  std::uint64_t max_rounds = 10000;     // safety cap
+  bool record_trajectory = true;        // keep per-round blue counts
+};
+
+struct SimResult {
+  bool consensus = false;           // reached all-Red or all-Blue
+  Opinion winner = Opinion::kRed;   // meaningful iff consensus
+  std::uint64_t rounds = 0;         // rounds executed
+  std::uint64_t final_blue = 0;     // blue count at the end
+  std::size_t num_vertices = 0;
+  std::vector<std::uint64_t> blue_trajectory;  // [0] = initial count
+
+  /// Fraction of blue vertices after round t (t = 0 is the start).
+  double blue_fraction(std::size_t t) const {
+    return static_cast<double>(blue_trajectory.at(t)) /
+           static_cast<double>(num_vertices);
+  }
+};
+
+/// Runs the synchronous dynamics from `initial` until consensus or
+/// cfg.max_rounds. Deterministic in (sampler, initial, cfg.seed).
+template <graph::NeighborSampler S>
+SimResult run_sync(const S& sampler, Opinions initial, const SimConfig& cfg,
+                   parallel::ThreadPool& pool) {
+  const std::size_t n = sampler.num_vertices();
+  SimResult result;
+  result.num_vertices = n;
+  Opinions current = std::move(initial);
+  Opinions next(n);
+
+  std::uint64_t blue = count_blue(current);
+  if (cfg.record_trajectory) result.blue_trajectory.push_back(blue);
+
+  for (std::uint64_t round = 0; round < cfg.max_rounds; ++round) {
+    if (blue == 0 || blue == n) {
+      result.consensus = true;
+      result.winner = blue == 0 ? Opinion::kRed : Opinion::kBlue;
+      break;
+    }
+    blue = step_best_of_k(sampler, current, next, cfg.k, cfg.tie, cfg.seed,
+                          round, pool);
+    current.swap(next);
+    ++result.rounds;
+    if (cfg.record_trajectory) result.blue_trajectory.push_back(blue);
+  }
+  if (!result.consensus && (blue == 0 || blue == n)) {
+    result.consensus = true;
+    result.winner = blue == 0 ? Opinion::kRed : Opinion::kBlue;
+  }
+  result.final_blue = blue;
+  return result;
+}
+
+/// Convenience overload for materialised graphs.
+SimResult run_on_graph(const graph::Graph& g, Opinions initial,
+                       const SimConfig& cfg, parallel::ThreadPool& pool);
+
+/// The paper's headline setting in one call: i.i.d. Bernoulli(1/2-delta)
+/// start, Best-of-3, run to consensus. Returns the SimResult; the
+/// Theorem 1 claim is (consensus && winner == Red && rounds small).
+SimResult run_theorem1_setting(const graph::Graph& g, double delta,
+                               std::uint64_t seed, parallel::ThreadPool& pool,
+                               std::uint64_t max_rounds = 10000);
+
+}  // namespace b3v::core

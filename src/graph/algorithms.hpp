@@ -1,0 +1,45 @@
+// Classic graph algorithms used for instance validation and workload
+// characterisation (connectivity, bipartiteness, degree statistics,
+// diameter estimation, clustering).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace b3v::graph {
+
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// BFS distances from `source` (kUnreachable where not reachable).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, VertexId source);
+
+struct Components {
+  std::vector<VertexId> label;  // component id per vertex
+  VertexId count = 0;
+};
+
+/// Connected components via iterative BFS.
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// True iff the graph is bipartite (2-colourable). The voter model
+/// (Best-of-1) fails to converge on bipartite graphs under synchronous
+/// schedules, so experiment setup checks this.
+bool is_bipartite(const Graph& g);
+
+/// Histogram of degrees: result[d] = #vertices of degree d.
+std::vector<std::uint64_t> degree_histogram(const Graph& g);
+
+/// Lower bound on the diameter by a double BFS sweep (exact on trees,
+/// sharp in practice on the families we generate).
+std::uint32_t double_sweep_diameter(const Graph& g);
+
+/// Monte-Carlo estimate of the global clustering coefficient: sample
+/// `samples` wedges uniformly and report the closed fraction.
+double sampled_clustering(const Graph& g, std::size_t samples,
+                          std::uint64_t seed);
+
+}  // namespace b3v::graph

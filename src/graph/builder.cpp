@@ -1,0 +1,79 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace b3v::graph {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : num_vertices_(num_vertices) {}
+
+GraphBuilder& GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u == v) throw std::invalid_argument("GraphBuilder: self-loop rejected");
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::invalid_argument("GraphBuilder: vertex id out of range");
+  }
+  edges_.emplace_back(u, v);
+  return *this;
+}
+
+Graph GraphBuilder::build() { return pack(/*dedup=*/true); }
+
+Graph GraphBuilder::build_keeping_multi_edges() { return pack(/*dedup=*/false); }
+
+Graph GraphBuilder::pack(bool dedup) {
+  const VertexId n = num_vertices_;
+  // Degree counting pass (both directions).
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> adj(offsets[n]);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Sort rows; optionally deduplicate parallel edges.
+  for (VertexId v = 0; v < n; ++v) {
+    const auto first = adj.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+    const auto last = adj.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+    std::sort(first, last);
+  }
+  if (dedup) {
+    std::vector<EdgeId> new_offsets(static_cast<std::size_t>(n) + 1, 0);
+    EdgeId write = 0;
+    EdgeId row_start = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      const EdgeId row_end = offsets[v + 1];
+      VertexId prev = kInvalidVertex;
+      for (EdgeId e = row_start; e < row_end; ++e) {
+        if (adj[e] != prev) {
+          prev = adj[e];
+          adj[write++] = prev;
+        }
+      }
+      row_start = row_end;
+      new_offsets[v + 1] = write;
+    }
+    adj.resize(write);
+    offsets = std::move(new_offsets);
+  }
+  return Graph(n, std::move(offsets), std::move(adj));
+}
+
+Graph from_edges(VertexId num_vertices,
+                 const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder b(num_vertices);
+  b.reserve(edges.size());
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+}  // namespace b3v::graph

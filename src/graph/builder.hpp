@@ -1,0 +1,46 @@
+// Mutable edge accumulator that produces an immutable CSR Graph.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace b3v::graph {
+
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the id space up front.
+  explicit GraphBuilder(VertexId num_vertices);
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  std::size_t num_added_edges() const noexcept { return edges_.size(); }
+
+  /// Records the undirected edge {u, v}. Self-loops are rejected
+  /// (throws); duplicates are allowed here and collapsed by build().
+  GraphBuilder& add_edge(VertexId u, VertexId v);
+
+  /// Reserves space for `m` undirected edges.
+  void reserve(std::size_t m) { edges_.reserve(m); }
+
+  /// Sorts, deduplicates and packs into CSR. The builder is consumed
+  /// (left empty) to avoid holding two copies of the edge set.
+  Graph build();
+
+  /// As build(), but keeps parallel edges (used by the configuration
+  /// model before repair, and by tests exercising multigraph handling).
+  Graph build_keeping_multi_edges();
+
+ private:
+  Graph pack(bool dedup);
+
+  VertexId num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// Convenience: builds a graph straight from an explicit edge list.
+Graph from_edges(VertexId num_vertices,
+                 const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+}  // namespace b3v::graph

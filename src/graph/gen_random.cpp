@@ -1,0 +1,220 @@
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace b3v::graph {
+namespace {
+
+/// Number of pairs (i, j), i < j < n, in rows before row i.
+constexpr EdgeId row_start(EdgeId i, EdgeId n) {
+  return i * (2 * n - i - 1) / 2;
+}
+
+/// Inverse of row_start: the row containing linear pair index `idx`.
+VertexId row_of(EdgeId idx, EdgeId n) {
+  // Initial guess from the quadratic formula, then exact adjustment.
+  const double nd = static_cast<double>(n);
+  const double disc = (nd - 0.5) * (nd - 0.5) - 2.0 * static_cast<double>(idx);
+  auto i = static_cast<EdgeId>(
+      std::max(0.0, std::floor(nd - 0.5 - std::sqrt(std::max(0.0, disc)))));
+  while (i > 0 && row_start(i, n) > idx) --i;
+  while (row_start(i + 1, n) <= idx) ++i;
+  return static_cast<VertexId>(i);
+}
+
+/// Emits every pair index selected by a Bernoulli(p) skip walk over
+/// [0, total) to `emit(idx)`.
+template <typename Emit>
+void skip_sample(EdgeId total, double p, b3v::rng::Xoshiro256& gen, Emit&& emit) {
+  if (p <= 0.0 || total == 0) return;
+  if (p >= 1.0) {
+    for (EdgeId idx = 0; idx < total; ++idx) emit(idx);
+    return;
+  }
+  EdgeId idx = 0;
+  while (true) {
+    const std::uint64_t gap = b3v::rng::geometric(gen, p);
+    if (gap >= total - idx) break;
+    idx += gap;
+    emit(idx);
+    if (++idx >= total) break;
+  }
+}
+
+}  // namespace
+
+Graph erdos_renyi_gnp(VertexId n, double p, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("gnp: n must be >= 1");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("gnp: p out of [0,1]");
+  rng::Xoshiro256 gen(seed);
+  GraphBuilder builder(n);
+  const EdgeId total = row_start(n, n);  // n(n-1)/2
+  builder.reserve(static_cast<std::size_t>(p * static_cast<double>(total) * 1.01) + 16);
+  // Walk rows incrementally: emitted indices are strictly increasing.
+  VertexId i = 0;
+  EdgeId next_row = row_start(1, n);
+  skip_sample(total, p, gen, [&](EdgeId idx) {
+    while (idx >= next_row) {
+      ++i;
+      next_row = row_start(static_cast<EdgeId>(i) + 1, n);
+    }
+    const auto j = static_cast<VertexId>(
+        static_cast<EdgeId>(i) + 1 + (idx - row_start(i, n)));
+    builder.add_edge(i, j);
+  });
+  return builder.build();
+}
+
+Graph erdos_renyi_gnm(VertexId n, EdgeId m, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("gnm: n must be >= 2");
+  const EdgeId total = row_start(n, n);
+  if (m > total) throw std::invalid_argument("gnm: m exceeds pair count");
+  rng::Xoshiro256 gen(seed);
+  std::unordered_set<EdgeId> chosen;
+  chosen.reserve(static_cast<std::size_t>(m) * 2);
+  GraphBuilder builder(n);
+  builder.reserve(m);
+  while (chosen.size() < m) {
+    const EdgeId idx = rng::bounded_u64(gen, total);
+    if (!chosen.insert(idx).second) continue;
+    const VertexId i = row_of(idx, n);
+    const auto j = static_cast<VertexId>(
+        static_cast<EdgeId>(i) + 1 + (idx - row_start(i, n)));
+    builder.add_edge(i, j);
+  }
+  return builder.build();
+}
+
+Graph random_regular(VertexId n, std::uint32_t d, std::uint64_t seed) {
+  if (d == 0 || d >= n) throw std::invalid_argument("random_regular: 0 < d < n");
+  if ((static_cast<EdgeId>(n) * d) % 2 != 0) {
+    throw std::invalid_argument("random_regular: n*d must be even");
+  }
+  rng::Xoshiro256 gen(seed);
+  const std::size_t num_stubs = static_cast<std::size_t>(n) * d;
+  const auto shuffle = [&gen](std::vector<VertexId>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = rng::bounded_u64(gen, i);
+      std::swap(v[i - 1], v[j]);
+    }
+  };
+  const auto edge_key = [](VertexId u, VertexId v) {
+    return (static_cast<EdgeId>(std::min(u, v)) << 32) | std::max(u, v);
+  };
+
+  // Configuration model with partial re-pairing repair: a straight
+  // accept/reject needs ~exp(d^2/4) attempts, so instead the stubs of
+  // conflicting pairs (self-loops / duplicate edges) are re-shuffled and
+  // re-paired against the kept pairs until the matching is simple.
+  constexpr int kOuterAttempts = 40;
+  constexpr int kRepairRounds = 500;
+  for (int attempt = 0; attempt < kOuterAttempts; ++attempt) {
+    std::vector<VertexId> stubs;
+    stubs.reserve(num_stubs);
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::uint32_t k = 0; k < d; ++k) stubs.push_back(v);
+    }
+    shuffle(stubs);
+    std::vector<std::pair<VertexId, VertexId>> pairs;
+    pairs.reserve(num_stubs / 2);
+    for (std::size_t i = 0; i < num_stubs; i += 2) {
+      pairs.emplace_back(stubs[i], stubs[i + 1]);
+    }
+
+    bool simple = false;
+    for (int round = 0; round < kRepairRounds; ++round) {
+      // Validate: first occurrence of an edge is good; self-loops and
+      // repeats release their stubs back into the repair pool.
+      std::unordered_set<EdgeId> seen;
+      seen.reserve(pairs.size() * 2);
+      std::vector<std::pair<VertexId, VertexId>> good;
+      good.reserve(pairs.size());
+      std::vector<VertexId> loose;
+      for (const auto& [u, v] : pairs) {
+        if (u != v && seen.insert(edge_key(u, v)).second) {
+          good.emplace_back(u, v);
+        } else {
+          loose.push_back(u);
+          loose.push_back(v);
+        }
+      }
+      if (loose.empty()) {
+        pairs = std::move(good);
+        simple = true;
+        break;
+      }
+      // Free one random good pair per loose pair to give the repair
+      // room to move (otherwise two conflicting stubs of the same
+      // vertex can never separate).
+      const std::size_t to_free = std::min(good.size(), loose.size() / 2 + 1);
+      for (std::size_t f = 0; f < to_free; ++f) {
+        const auto j = rng::bounded_u64(gen, good.size());
+        loose.push_back(good[j].first);
+        loose.push_back(good[j].second);
+        good[j] = good.back();
+        good.pop_back();
+      }
+      shuffle(loose);
+      for (std::size_t i = 0; i < loose.size(); i += 2) {
+        good.emplace_back(loose[i], loose[i + 1]);
+      }
+      pairs = std::move(good);
+    }
+    if (!simple) continue;
+
+    GraphBuilder builder(n);
+    builder.reserve(pairs.size());
+    for (const auto& [u, v] : pairs) builder.add_edge(u, v);
+    return builder.build();
+  }
+  throw std::runtime_error(
+      "random_regular: configuration model failed to produce a simple "
+      "graph within the retry budget (d too large relative to n)");
+}
+
+Graph stochastic_block_model(const std::vector<VertexId>& sizes,
+                             const std::vector<std::vector<double>>& probs,
+                             std::uint64_t seed) {
+  const std::size_t blocks = sizes.size();
+  if (probs.size() != blocks) {
+    throw std::invalid_argument("sbm: probs must be sizes x sizes");
+  }
+  VertexId n = 0;
+  std::vector<VertexId> base(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (probs[b].size() != blocks) {
+      throw std::invalid_argument("sbm: probs must be square");
+    }
+    base[b] = n;
+    n += sizes[b];
+  }
+  rng::Xoshiro256 gen(seed);
+  GraphBuilder builder(n);
+  for (std::size_t a = 0; a < blocks; ++a) {
+    // Within-block: triangle of sizes[a] choose 2 pairs.
+    const EdgeId na = sizes[a];
+    skip_sample(row_start(na, na), probs[a][a], gen, [&](EdgeId idx) {
+      const VertexId i = row_of(idx, na);
+      const auto j = static_cast<VertexId>(
+          static_cast<EdgeId>(i) + 1 + (idx - row_start(i, na)));
+      builder.add_edge(base[a] + i, base[a] + j);
+    });
+    // Cross-block: full rectangle sizes[a] x sizes[b].
+    for (std::size_t b = a + 1; b < blocks; ++b) {
+      const EdgeId rect = static_cast<EdgeId>(sizes[a]) * sizes[b];
+      skip_sample(rect, probs[a][b], gen, [&](EdgeId idx) {
+        const auto i = static_cast<VertexId>(idx / sizes[b]);
+        const auto j = static_cast<VertexId>(idx % sizes[b]);
+        builder.add_edge(base[a] + i, base[b] + j);
+      });
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace b3v::graph

@@ -1,0 +1,105 @@
+// Watts-Strogatz and Barabási-Albert generators.
+//
+// Watts-Strogatz interpolates between the banded circulant (geometric:
+// metastable stripes under Best-of-3, see EXPERIMENTS.md note N4) and a
+// random expander — the rewiring probability beta is the knob the
+// stripe experiment (exp_stripes) sweeps.
+//
+// Barabási-Albert gives preferential-attachment power-law graphs with a
+// guaranteed minimum degree m — a natural "social network" instance for
+// the paper's min-degree hypothesis.
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "rng/bounded.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace b3v::graph {
+
+Graph watts_strogatz(VertexId n, std::uint32_t d, double beta,
+                     std::uint64_t seed) {
+  if (d % 2 != 0 || d == 0 || d >= n) {
+    throw std::invalid_argument("watts_strogatz: need even 0 < d < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("watts_strogatz: beta in [0, 1]");
+  }
+  rng::Xoshiro256 gen(seed);
+  // Start from the circulant ring with offsets 1..d/2; rewire the far
+  // endpoint of each edge with probability beta, rejecting self-loops
+  // and duplicates (the classic construction).
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (d / 2));
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId o = 1; o <= d / 2; ++o) {
+      edges.emplace_back(v, (v + o) % n);
+    }
+  }
+  // Edge-existence set for duplicate rejection during rewiring.
+  auto key = [](VertexId a, VertexId b) {
+    return (static_cast<EdgeId>(std::min(a, b)) << 32) | std::max(a, b);
+  };
+  std::unordered_set<EdgeId> present;
+  present.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) present.insert(key(u, v));
+
+  for (auto& [u, v] : edges) {
+    if (beta <= 0.0 || gen.next_double() >= beta) continue;
+    // Try a handful of candidates; keep the original edge if all fail
+    // (preserves the exact edge count).
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const VertexId w = rng::bounded_u32(gen, n);
+      if (w == u || w == v || present.contains(key(u, w))) continue;
+      present.erase(key(u, v));
+      present.insert(key(u, w));
+      v = w;
+      break;
+    }
+  }
+  GraphBuilder builder(n);
+  builder.reserve(edges.size());
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+Graph barabasi_albert(VertexId n, std::uint32_t m, std::uint64_t seed) {
+  if (m == 0 || m >= n) throw std::invalid_argument("barabasi_albert: 0 < m < n");
+  rng::Xoshiro256 gen(seed);
+  // Seed clique of m+1 vertices, then preferential attachment via the
+  // repeated-endpoints trick: sampling a uniform position in the edge
+  // list picks a vertex with probability proportional to its degree.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2ull * m * n);
+  GraphBuilder builder(n);
+  for (VertexId i = 0; i <= m; ++i) {
+    for (VertexId j = i + 1; j <= m; ++j) {
+      builder.add_edge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  std::vector<VertexId> targets;
+  for (VertexId v = m + 1; v < n; ++v) {
+    targets.clear();
+    // m distinct degree-proportional targets among existing vertices.
+    int guard = 0;
+    while (targets.size() < m && guard++ < 1000) {
+      const VertexId candidate =
+          endpoints[rng::bounded_u64(gen, endpoints.size())];
+      bool duplicate = false;
+      for (const VertexId t : targets) duplicate |= t == candidate;
+      if (!duplicate) targets.push_back(candidate);
+    }
+    for (const VertexId t : targets) {
+      builder.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace b3v::graph

@@ -1,0 +1,146 @@
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace b3v::graph {
+
+Graph complete(VertexId n) {
+  // Direct CSR construction: row v is all u != v, already sorted.
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1);
+  for (VertexId v = 0; v <= n; ++v) {
+    offsets[v] = static_cast<EdgeId>(v) * (n - 1);
+  }
+  std::vector<VertexId> adj(static_cast<std::size_t>(n) * (n - 1));
+  EdgeId e = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u = 0; u < n; ++u) {
+      if (u != v) adj[e++] = u;
+    }
+  }
+  return Graph(n, std::move(offsets), std::move(adj));
+}
+
+Graph complete_bipartite(VertexId a, VertexId b) {
+  GraphBuilder builder(a + b);
+  builder.reserve(static_cast<std::size_t>(a) * b);
+  for (VertexId i = 0; i < a; ++i) {
+    for (VertexId j = 0; j < b; ++j) builder.add_edge(i, a + j);
+  }
+  return builder.build();
+}
+
+Graph cycle(VertexId n) {
+  if (n < 3) throw std::invalid_argument("cycle: n must be >= 3");
+  GraphBuilder builder(n);
+  builder.reserve(n);
+  for (VertexId v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n);
+  return builder.build();
+}
+
+Graph path(VertexId n) {
+  if (n < 2) throw std::invalid_argument("path: n must be >= 2");
+  GraphBuilder builder(n);
+  builder.reserve(n - 1);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1);
+  return builder.build();
+}
+
+Graph grid(VertexId rows, VertexId cols, bool periodic) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid: empty");
+  const VertexId n = rows * cols;
+  GraphBuilder builder(n);
+  builder.reserve(static_cast<std::size_t>(n) * 2);
+  const auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        builder.add_edge(id(r, c), id(r, c + 1));
+      } else if (periodic && cols > 2) {
+        builder.add_edge(id(r, c), id(r, 0));
+      }
+      if (r + 1 < rows) {
+        builder.add_edge(id(r, c), id(r + 1, c));
+      } else if (periodic && rows > 2) {
+        builder.add_edge(id(r, c), id(0, c));
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph hypercube(unsigned dim) {
+  if (dim == 0 || dim >= 31) throw std::invalid_argument("hypercube: bad dim");
+  const VertexId n = VertexId{1} << dim;
+  GraphBuilder builder(n);
+  builder.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (VertexId v = 0; v < n; ++v) {
+    for (unsigned b = 0; b < dim; ++b) {
+      const VertexId u = v ^ (VertexId{1} << b);
+      if (u > v) builder.add_edge(v, u);
+    }
+  }
+  return builder.build();
+}
+
+Graph star(VertexId n) {
+  if (n < 2) throw std::invalid_argument("star: n must be >= 2");
+  GraphBuilder builder(n);
+  builder.reserve(n - 1);
+  for (VertexId v = 1; v < n; ++v) builder.add_edge(0, v);
+  return builder.build();
+}
+
+Graph barbell(VertexId k) {
+  if (k < 2) throw std::invalid_argument("barbell: k must be >= 2");
+  GraphBuilder builder(2 * k);
+  builder.reserve(static_cast<std::size_t>(k) * (k - 1) + 1);
+  for (VertexId i = 0; i < k; ++i) {
+    for (VertexId j = i + 1; j < k; ++j) {
+      builder.add_edge(i, j);
+      builder.add_edge(k + i, k + j);
+    }
+  }
+  builder.add_edge(k - 1, k);  // bridge
+  return builder.build();
+}
+
+Graph circulant(VertexId n, const std::vector<VertexId>& offsets) {
+  if (n < 2) throw std::invalid_argument("circulant: n must be >= 2");
+  GraphBuilder builder(n);
+  for (VertexId o : offsets) {
+    if (o == 0 || o > n / 2) {
+      throw std::invalid_argument("circulant: offsets must be in [1, n/2]");
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId o : offsets) {
+      const VertexId u = (v + o) % n;
+      if (u != v) builder.add_edge(v, u);
+    }
+  }
+  // Each undirected edge appears exactly once per orientation sweep
+  // except the half-turn offset, which appears twice; dedup handles it.
+  return builder.build();
+}
+
+std::vector<VertexId> dense_circulant_offsets(VertexId n, std::uint32_t d) {
+  if (d == 0 || d >= n) {
+    throw std::invalid_argument("dense_circulant: need 0 < d < n");
+  }
+  if ((d % 2 == 1) && (n % 2 == 1)) {
+    throw std::invalid_argument(
+        "dense_circulant: odd degree requires even n (handshake lemma)");
+  }
+  std::vector<VertexId> offsets;
+  offsets.reserve(d / 2 + 1);
+  for (VertexId o = 1; o <= d / 2; ++o) offsets.push_back(o);
+  if (d % 2 == 1) offsets.push_back(n / 2);  // contributes one neighbour
+  return offsets;
+}
+
+Graph dense_circulant(VertexId n, std::uint32_t d) {
+  return circulant(n, dense_circulant_offsets(n, d));
+}
+
+}  // namespace b3v::graph

@@ -1,0 +1,119 @@
+// Graph generators.
+//
+// The paper's Theorem 1 quantifies over all graphs with minimum degree
+// d = n^alpha. The experiments draw instances from several concrete
+// families so that observed behaviour is not an artefact of one family:
+//
+//  - circulant(n, d): deterministic dense d-regular graphs with exact
+//    degree control (the workhorse for the scaling experiments; also
+//    available as a memory-free implicit sampler, see samplers.hpp),
+//  - Erdos-Renyi G(n, p) / G(n, m): random dense graphs,
+//  - random d-regular (configuration model): random graphs with exact
+//    degree,
+//  - Chung-Lu: heavy-tailed degrees with a minimum-degree floor (the
+//    "social network" workloads of the introduction),
+//  - stochastic block model: clustered graphs for adversarial-placement
+//    experiments,
+//  - classic structured graphs (cycle, torus, hypercube, ...) used as
+//    below-threshold controls in the degree-threshold experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace b3v::graph {
+
+// ---------------------------------------------------------------------
+// Deterministic / structured families
+// ---------------------------------------------------------------------
+
+/// Complete graph K_n.
+Graph complete(VertexId n);
+
+/// Complete bipartite graph K_{a,b}.
+Graph complete_bipartite(VertexId a, VertexId b);
+
+/// Cycle C_n (n >= 3).
+Graph cycle(VertexId n);
+
+/// Path P_n.
+Graph path(VertexId n);
+
+/// rows x cols grid; `periodic` wraps both dimensions (torus).
+Graph grid(VertexId rows, VertexId cols, bool periodic);
+
+/// Hypercube Q_dim on 2^dim vertices (degree = dim = log2 n).
+Graph hypercube(unsigned dim);
+
+/// Star S_n: vertex 0 joined to 1..n-1.
+Graph star(VertexId n);
+
+/// Two cliques K_k joined by a single edge (worst-case bottleneck).
+Graph barbell(VertexId k);
+
+/// Circulant graph: v adjacent to v +- o (mod n) for each offset o.
+/// Offsets must lie in [1, n/2]; the offset n/2 (n even) contributes a
+/// single neighbour. Degree is the same for every vertex.
+Graph circulant(VertexId n, const std::vector<VertexId>& offsets);
+
+/// Dense regular circulant of degree ~d: offsets 1..ceil(d/2), using the
+/// half-turn offset to realise odd d when n is even. The resulting
+/// degree is exactly d when achievable (d < n), else throws.
+Graph dense_circulant(VertexId n, std::uint32_t d);
+
+/// The offset list used by dense_circulant (shared with the implicit
+/// sampler so the materialised and implicit graphs are identical).
+std::vector<VertexId> dense_circulant_offsets(VertexId n, std::uint32_t d);
+
+// ---------------------------------------------------------------------
+// Random families
+// ---------------------------------------------------------------------
+
+/// Erdos-Renyi G(n, p) via geometric skip sampling: O(n + m) expected.
+Graph erdos_renyi_gnp(VertexId n, double p, std::uint64_t seed);
+
+/// Erdos-Renyi G(n, m): m distinct uniform edges.
+Graph erdos_renyi_gnm(VertexId n, EdgeId m, std::uint64_t seed);
+
+/// Random d-regular simple graph via the configuration model with
+/// bounded retries (throws std::runtime_error if n*d is odd or if it
+/// fails to produce a simple matching, which for d = o(sqrt n) is
+/// vanishingly unlikely within the retry budget).
+Graph random_regular(VertexId n, std::uint32_t d, std::uint64_t seed);
+
+/// Stochastic block model: block b has sizes[b] vertices; an edge joins
+/// blocks a,b independently with probability probs[a][b] (symmetric).
+Graph stochastic_block_model(const std::vector<VertexId>& sizes,
+                             const std::vector<std::vector<double>>& probs,
+                             std::uint64_t seed);
+
+/// Watts-Strogatz small world: circulant ring of even degree d with
+/// each edge's far endpoint rewired to a uniform vertex with
+/// probability beta (duplicates rejected; edge count preserved).
+/// beta = 0 is the banded circulant, beta = 1 approaches a random
+/// graph — the knob of the stripe-metastability experiment.
+Graph watts_strogatz(VertexId n, std::uint32_t d, double beta,
+                     std::uint64_t seed);
+
+/// Barabási-Albert preferential attachment: every vertex beyond the
+/// seed clique attaches to m distinct degree-proportional targets.
+/// Guarantees minimum degree m with a power-law tail.
+Graph barabasi_albert(VertexId n, std::uint32_t m, std::uint64_t seed);
+
+// ---------------------------------------------------------------------
+// Chung-Lu / power-law
+// ---------------------------------------------------------------------
+
+/// Power-law weight sequence w_i ~ (i + i0)^{-1/(gamma-1)} rescaled to
+/// [w_min, w_max]; gamma > 2 gives finite mean degree.
+std::vector<double> power_law_weights(VertexId n, double gamma, double w_min,
+                                      double w_max);
+
+/// Chung-Lu graph: ~sum(w)/2 edges sampled with endpoint probabilities
+/// proportional to weights, duplicates and self-loops rejected. Expected
+/// degree of vertex i approaches w_i for admissible weights.
+Graph chung_lu(const std::vector<double>& weights, std::uint64_t seed);
+
+}  // namespace b3v::graph

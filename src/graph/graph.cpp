@@ -1,0 +1,41 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace b3v::graph {
+
+Graph::Graph(VertexId num_vertices, std::vector<EdgeId> offsets,
+             std::vector<VertexId> adjacency)
+    : num_vertices_(num_vertices),
+      offsets_(std::move(offsets)),
+      adjacency_(std::move(adjacency)) {
+  if (offsets_.size() != static_cast<std::size_t>(num_vertices_) + 1) {
+    throw std::invalid_argument("Graph: offsets size must be n + 1");
+  }
+  if (offsets_.front() != 0 || offsets_.back() != adjacency_.size()) {
+    throw std::invalid_argument("Graph: offsets must span the adjacency array");
+  }
+  min_degree_ = num_vertices_ == 0 ? 0 : ~std::uint32_t{0};
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      throw std::invalid_argument("Graph: offsets must be non-decreasing");
+    }
+    const auto deg = static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+    min_degree_ = std::min(min_degree_, deg);
+    max_degree_ = std::max(max_degree_, deg);
+    for (EdgeId e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+      if (adjacency_[e] >= num_vertices_) {
+        throw std::invalid_argument("Graph: adjacency entry out of range");
+      }
+    }
+  }
+  if (num_vertices_ == 0) min_degree_ = 0;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+}  // namespace b3v::graph

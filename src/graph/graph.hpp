@@ -1,0 +1,86 @@
+// Immutable undirected graph in CSR (compressed sparse row) form.
+//
+// Vertices are dense 32-bit ids [0, n). Each undirected edge {u, v} is
+// stored twice (u's row contains v and vice versa); rows are sorted so
+// `has_edge` is a binary search. The structure is immutable after
+// construction — all simulation kernels may read it concurrently without
+// synchronisation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/bounded.hpp"
+
+namespace b3v::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of a prebuilt CSR. `offsets` has n+1 entries,
+  /// `adjacency` has offsets[n] entries with each row sorted ascending.
+  /// Validates shape (throws std::invalid_argument on malformed input).
+  Graph(VertexId num_vertices, std::vector<EdgeId> offsets,
+        std::vector<VertexId> adjacency);
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+
+  /// Number of undirected edges.
+  EdgeId num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  /// Number of CSR entries (= 2 * num_edges for simple graphs).
+  EdgeId num_directed_edges() const noexcept { return adjacency_.size(); }
+
+  std::uint32_t degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {adjacency_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// True iff {u, v} is an edge. O(log deg(u)).
+  bool has_edge(VertexId u, VertexId v) const noexcept;
+
+  std::uint32_t min_degree() const noexcept { return min_degree_; }
+  std::uint32_t max_degree() const noexcept { return max_degree_; }
+  double average_degree() const noexcept {
+    return num_vertices_ == 0
+               ? 0.0
+               : static_cast<double>(adjacency_.size()) / num_vertices_;
+  }
+
+  /// Uniform random neighbour of v (with replacement across calls).
+  /// Precondition: degree(v) > 0.
+  template <typename G>
+  VertexId sample_neighbor(VertexId v, G& gen) const noexcept {
+    const auto row = neighbors(v);
+    return row[rng::bounded_u32(gen, static_cast<std::uint32_t>(row.size()))];
+  }
+
+  const std::vector<EdgeId>& offsets() const noexcept { return offsets_; }
+  const std::vector<VertexId>& adjacency() const noexcept { return adjacency_; }
+
+  /// Approximate heap footprint in bytes (CSR arrays only).
+  std::size_t memory_bytes() const noexcept {
+    return offsets_.size() * sizeof(EdgeId) +
+           adjacency_.size() * sizeof(VertexId);
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::uint32_t min_degree_ = 0;
+  std::uint32_t max_degree_ = 0;
+  std::vector<EdgeId> offsets_{0};
+  std::vector<VertexId> adjacency_;
+};
+
+}  // namespace b3v::graph

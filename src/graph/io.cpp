@@ -1,0 +1,54 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace b3v::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (v < u) out << v << ' ' << u << '\n';
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  VertexId n = 0;
+  EdgeId m = 0;
+  if (!(in >> n >> m)) {
+    throw std::runtime_error("read_edge_list: missing header");
+  }
+  GraphBuilder builder(n);
+  builder.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    VertexId u = 0, v = 0;
+    if (!(in >> u >> v)) {
+      throw std::runtime_error("read_edge_list: truncated edge list");
+    }
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream out;
+  out << "graph " << name << " {\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out << "  " << v << ";\n";
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (v < u) out << "  " << v << " -- " << u << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace b3v::graph

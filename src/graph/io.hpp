@@ -1,0 +1,21 @@
+// Plain-text graph I/O: whitespace edge lists and Graphviz DOT export.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace b3v::graph {
+
+/// Writes "n m" header then one "u v" line per undirected edge (u < v).
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Reads the format produced by write_edge_list.
+/// Throws std::runtime_error on malformed input.
+Graph read_edge_list(std::istream& in);
+
+/// Graphviz DOT (undirected). Intended for small illustration graphs.
+std::string to_dot(const Graph& g, const std::string& name = "G");
+
+}  // namespace b3v::graph

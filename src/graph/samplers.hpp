@@ -1,0 +1,166 @@
+// Neighbour samplers: the only graph operation the voting dynamics
+// needs is "draw a uniform random neighbour of v". Abstracting it as a
+// concept lets the simulation kernels run on
+//   (a) materialised CSR graphs (CsrSampler), and
+//   (b) implicit families — complete, circulant, hypercube, torus —
+//       whose neighbourhoods are arithmetic, so million-vertex *dense*
+//       instances cost no edge memory at all (a complete graph on 10^6
+//       vertices would need ~4 TB as CSR).
+//
+// Implicit samplers are bit-compatible with their materialised
+// counterparts only in distribution, not draw-for-draw; the test suite
+// checks distributional agreement.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "rng/bounded.hpp"
+#include "rng/philox.hpp"
+
+namespace b3v::graph {
+
+/// Anything the dynamics can run on: a vertex count, per-vertex degree,
+/// and uniform neighbour sampling.
+template <typename S>
+concept NeighborSampler = requires(const S s, VertexId v, rng::CounterRng g) {
+  { s.num_vertices() } -> std::convertible_to<VertexId>;
+  { s.degree(v) } -> std::convertible_to<std::uint32_t>;
+  { s.sample(v, g) } -> std::convertible_to<VertexId>;
+};
+
+/// Adapter over a materialised CSR graph (non-owning).
+class CsrSampler {
+ public:
+  explicit CsrSampler(const Graph& g) : graph_(&g) {}
+
+  VertexId num_vertices() const noexcept { return graph_->num_vertices(); }
+  std::uint32_t degree(VertexId v) const noexcept { return graph_->degree(v); }
+
+  template <typename G>
+  VertexId sample(VertexId v, G& gen) const noexcept {
+    return graph_->sample_neighbor(v, gen);
+  }
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  const Graph* graph_;
+};
+
+/// Complete graph K_n without edges in memory.
+class CompleteSampler {
+ public:
+  explicit CompleteSampler(VertexId n) : n_(n) {
+    if (n < 2) throw std::invalid_argument("CompleteSampler: n >= 2");
+  }
+
+  VertexId num_vertices() const noexcept { return n_; }
+  std::uint32_t degree(VertexId) const noexcept { return n_ - 1; }
+
+  template <typename G>
+  VertexId sample(VertexId v, G& gen) const noexcept {
+    const VertexId u = rng::bounded_u32(gen, n_ - 1);
+    return u >= v ? u + 1 : u;  // skip v, stays uniform over the rest
+  }
+
+ private:
+  VertexId n_;
+};
+
+/// Circulant graph via its signed offset deltas. Construct from the same
+/// offset list as graph::circulant for an identical edge set.
+class CirculantSampler {
+ public:
+  CirculantSampler(VertexId n, const std::vector<VertexId>& offsets) : n_(n) {
+    if (n < 2) throw std::invalid_argument("CirculantSampler: n >= 2");
+    deltas_.reserve(offsets.size() * 2);
+    for (VertexId o : offsets) {
+      if (o == 0 || o > n / 2) {
+        throw std::invalid_argument("CirculantSampler: offset in [1, n/2]");
+      }
+      deltas_.push_back(o);
+      if (o * 2 != n) deltas_.push_back(n - o);  // half-turn is one neighbour
+    }
+  }
+
+  /// Degree-d dense circulant (matches graph::dense_circulant).
+  static CirculantSampler dense(VertexId n, std::uint32_t d) {
+    return CirculantSampler(n, dense_circulant_offsets(n, d));
+  }
+
+  VertexId num_vertices() const noexcept { return n_; }
+  std::uint32_t degree(VertexId) const noexcept {
+    return static_cast<std::uint32_t>(deltas_.size());
+  }
+
+  template <typename G>
+  VertexId sample(VertexId v, G& gen) const noexcept {
+    const auto i = rng::bounded_u32(gen, static_cast<std::uint32_t>(deltas_.size()));
+    const VertexId u = v + deltas_[i];
+    return u >= n_ ? u - n_ : u;
+  }
+
+ private:
+  VertexId n_;
+  std::vector<VertexId> deltas_;
+};
+
+/// Hypercube Q_dim: neighbour = flip one of dim bits. Degree log2(n) —
+/// deliberately *below* the paper's n^Omega(1/log log n) threshold; used
+/// as a control in the degree-threshold experiment.
+class HypercubeSampler {
+ public:
+  explicit HypercubeSampler(unsigned dim) : dim_(dim) {
+    if (dim == 0 || dim >= 31) throw std::invalid_argument("HypercubeSampler: bad dim");
+  }
+
+  VertexId num_vertices() const noexcept { return VertexId{1} << dim_; }
+  std::uint32_t degree(VertexId) const noexcept { return dim_; }
+
+  template <typename G>
+  VertexId sample(VertexId v, G& gen) const noexcept {
+    return v ^ (VertexId{1} << rng::bounded_u32(gen, dim_));
+  }
+
+ private:
+  unsigned dim_;
+};
+
+/// 2-D torus (periodic grid), degree 4 — another below-threshold control.
+class TorusSampler {
+ public:
+  TorusSampler(VertexId rows, VertexId cols) : rows_(rows), cols_(cols) {
+    if (rows < 3 || cols < 3) throw std::invalid_argument("TorusSampler: >=3x3");
+  }
+
+  VertexId num_vertices() const noexcept { return rows_ * cols_; }
+  std::uint32_t degree(VertexId) const noexcept { return 4; }
+
+  template <typename G>
+  VertexId sample(VertexId v, G& gen) const noexcept {
+    const VertexId r = v / cols_;
+    const VertexId c = v % cols_;
+    switch (rng::bounded_u32(gen, 4)) {
+      case 0: return r * cols_ + (c + 1 == cols_ ? 0 : c + 1);
+      case 1: return r * cols_ + (c == 0 ? cols_ - 1 : c - 1);
+      case 2: return (r + 1 == rows_ ? 0 : r + 1) * cols_ + c;
+      default: return (r == 0 ? rows_ - 1 : r - 1) * cols_ + c;
+    }
+  }
+
+ private:
+  VertexId rows_, cols_;
+};
+
+static_assert(NeighborSampler<CsrSampler>);
+static_assert(NeighborSampler<CompleteSampler>);
+static_assert(NeighborSampler<CirculantSampler>);
+static_assert(NeighborSampler<HypercubeSampler>);
+static_assert(NeighborSampler<TorusSampler>);
+
+}  // namespace b3v::graph

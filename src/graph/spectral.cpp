@@ -1,0 +1,87 @@
+#include "graph/spectral.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "rng/xoshiro256.hpp"
+
+namespace b3v::graph {
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+SpectralResult second_eigenvalue(const Graph& g, parallel::ThreadPool& pool,
+                                 double tol, int max_iter, std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  SpectralResult result;
+  if (n < 2 || g.num_edges() == 0) return result;
+
+  // Top eigenvector of N = D^{-1/2} A D^{-1/2} is v1 ∝ sqrt(deg).
+  std::vector<double> v1(n);
+  for (VertexId v = 0; v < n; ++v) v1[v] = std::sqrt(static_cast<double>(g.degree(v)));
+  const double v1norm = norm(v1);
+  for (auto& x : v1) x /= v1norm;
+
+  std::vector<double> inv_sqrt_deg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto d = g.degree(v);
+    inv_sqrt_deg[v] = d == 0 ? 0.0 : 1.0 / std::sqrt(static_cast<double>(d));
+  }
+
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> x(n), y(n);
+  for (auto& xi : x) xi = gen.next_double() - 0.5;
+
+  auto deflate = [&](std::vector<double>& vec) {
+    const double proj = dot(vec, v1);
+    for (VertexId v = 0; v < n; ++v) vec[v] -= proj * v1[v];
+  };
+  auto matvec = [&](const std::vector<double>& in, std::vector<double>& out) {
+    pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t v = lo; v < hi; ++v) {
+        double acc = 0.0;
+        for (VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+          acc += in[u] * inv_sqrt_deg[u];
+        }
+        out[v] = acc * inv_sqrt_deg[v];
+      }
+    });
+  };
+
+  deflate(x);
+  double xnorm = norm(x);
+  if (xnorm == 0.0) return result;
+  for (auto& xi : x) xi /= xnorm;
+
+  double prev = 0.0;
+  for (int it = 1; it <= max_iter; ++it) {
+    matvec(x, y);
+    deflate(y);
+    const double lambda = norm(y);  // Rayleigh estimate of |lambda_2|
+    result.iterations = it;
+    if (lambda == 0.0) {
+      result.lambda2 = 0.0;
+      result.converged = true;
+      return result;
+    }
+    for (VertexId v = 0; v < n; ++v) x[v] = y[v] / lambda;
+    if (it > 4 && std::abs(lambda - prev) <= tol * std::max(1.0, lambda)) {
+      result.lambda2 = lambda;
+      result.converged = true;
+      return result;
+    }
+    prev = lambda;
+  }
+  result.lambda2 = prev;
+  return result;
+}
+
+}  // namespace b3v::graph

@@ -1,0 +1,32 @@
+// Spectral utilities: estimate of lambda_2, the second-largest absolute
+// eigenvalue of the random-walk transition matrix P = D^{-1} A.
+//
+// Cooper, Elsässer, Radzik, Rivera & Shiraga [5] give the Best-of-2
+// condition d(R0) - d(B0) >= 4*lambda_2^2*d(V); relating our instances
+// to that expansion condition requires lambda_2. We compute it by power
+// iteration on the symmetric normalisation N = D^{-1/2} A D^{-1/2}
+// (similar to P, so same spectrum), deflating the known top eigenvector
+// v1 ∝ sqrt(deg).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace b3v::graph {
+
+struct SpectralResult {
+  double lambda2 = 0.0;    // |second eigenvalue| estimate
+  int iterations = 0;      // power iterations used
+  bool converged = false;  // tolerance met before the iteration cap
+};
+
+/// Estimates |lambda_2(P)|. `tol` is the relative change stopping
+/// criterion on the Rayleigh quotient; `max_iter` caps the work.
+SpectralResult second_eigenvalue(const Graph& g,
+                                 parallel::ThreadPool& pool,
+                                 double tol = 1e-7, int max_iter = 1000,
+                                 std::uint64_t seed = 12345);
+
+}  // namespace b3v::graph

@@ -1,0 +1,103 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace b3v::parallel {
+
+thread_local bool ThreadPool::inside_worker_ = false;
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned n = num_threads != 0 ? num_threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  inside_worker_ = true;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    drain_job(job);
+    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(mutex_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::drain_job(const Job& job) {
+  for (;;) {
+    const std::size_t lo = cursor_.fetch_add(job.grain, std::memory_order_relaxed);
+    if (lo >= job.end) return;
+    const std::size_t hi = std::min(lo + job.grain, job.end);
+    (*job.body)(lo, hi);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  // Serial fast paths: tiny ranges, single worker, or nested call (from
+  // a worker thread, or re-entrantly from a body run on the caller).
+  if (inside_worker_ || workers_.size() <= 1 || end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  // One job in flight at a time; concurrent external callers serialise.
+  std::lock_guard dispatch_lock(dispatch_mutex_);
+
+  Job job{&body, begin, end, grain};
+  {
+    std::lock_guard lock(mutex_);
+    job_ = job;
+    cursor_.store(begin, std::memory_order_relaxed);
+    active_.store(static_cast<unsigned>(workers_.size()), std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The caller participates too; mark it so nested calls run serially
+  // instead of clobbering the in-flight job.
+  inside_worker_ = true;
+  drain_job(job);
+  inside_worker_ = false;
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return active_.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t span = end - begin;
+  const std::size_t target_chunks = static_cast<std::size_t>(size()) * 8;
+  const std::size_t grain = std::max<std::size_t>(1, span / std::max<std::size_t>(1, target_chunks));
+  parallel_for(begin, end, grain, body);
+}
+
+}  // namespace b3v::parallel

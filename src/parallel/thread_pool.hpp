@@ -1,0 +1,95 @@
+// Persistent thread pool with chunked work-sharing parallel_for.
+//
+// Design notes (following the CP.* Core Guidelines chapter and the
+// shared-memory half of the HPC guides): parallelism is explicit and
+// data-parallel; there is exactly one kind of job — an index range —
+// workers claim chunks from a shared atomic cursor (dynamic
+// load-balancing without per-task allocation). The pool is reusable
+// across calls; parallel_for blocks until the range is exhausted.
+// Correctness does not depend on the thread count anywhere in b3v:
+// all randomness in parallel kernels is counter-based (see rng/philox.hpp),
+// so a simulation gives bit-identical results with 1 or N workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace b3v::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs body(begin, end) over [begin, end) split into chunks of at most
+  /// `grain` indices. Blocks until complete. The calling thread
+  /// participates. Safe to call with begin >= end (no-op). Calls from
+  /// inside a worker (nesting) degrade gracefully to serial execution.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Convenience: picks a grain targeting ~8 chunks per worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Map-reduce over [begin, end): each chunk accumulates locally via
+  /// `map(begin, end) -> T`, partials are combined with `combine` on the
+  /// calling thread in chunk order (deterministic for commutative or not).
+  template <typename T, typename Map, typename Combine>
+  T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                    T init, Map&& map, Combine&& combine) {
+    if (begin >= end) return init;
+    const std::size_t n_chunks = (end - begin + grain - 1) / grain;
+    std::vector<T> partials(n_chunks, init);
+    parallel_for(begin, end, grain,
+                 [&](std::size_t lo, std::size_t hi) {
+                   const std::size_t idx = (lo - begin) / grain;
+                   partials[idx] = map(lo, hi);
+                 });
+    T acc = init;
+    for (const T& p : partials) acc = combine(acc, p);
+    return acc;
+  }
+
+  /// Process-wide default pool (lazily constructed, hardware threads).
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks of the current job; returns when exhausted.
+  void drain_job(const Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex dispatch_mutex_;  // serialises whole parallel_for calls
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<unsigned> active_{0};
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  static thread_local bool inside_worker_;
+};
+
+}  // namespace b3v::parallel

@@ -1,0 +1,39 @@
+// Vose alias method: O(1) sampling from a fixed discrete distribution.
+// Used by the Chung-Lu generator to pick edge endpoints proportionally
+// to vertex weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/bounded.hpp"
+
+namespace b3v::rng {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights (at least one positive).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  std::size_t size() const noexcept { return prob_.size(); }
+  bool empty() const noexcept { return prob_.empty(); }
+
+  /// Draws an index i with probability weights[i] / sum(weights).
+  template <typename G>
+  std::uint32_t sample(G& gen) const noexcept {
+    const auto i = bounded_u32(gen, static_cast<std::uint32_t>(prob_.size()));
+    return gen.next_double() < prob_[i] ? i : alias_[i];
+  }
+
+  /// Exact acceptance probability of column i (for tests).
+  double column_probability(std::size_t i) const noexcept { return prob_[i]; }
+  std::uint32_t column_alias(std::size_t i) const noexcept { return alias_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace b3v::rng

@@ -1,0 +1,60 @@
+// Bias-free bounded integers via Lemire's multiply-shift rejection
+// (Lemire, "Fast random integer generation in an interval", TOMACS 2019).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace b3v::rng {
+
+/// Concept satisfied by all b3v generators (and std engines with 2^64 range).
+template <typename G>
+concept UniformRng = requires(G g) {
+  { g.next_u32() } -> std::convertible_to<std::uint32_t>;
+  { g.next_u64() } -> std::convertible_to<std::uint64_t>;
+  { g.next_double() } -> std::convertible_to<double>;
+};
+
+/// Uniform integer in [0, n). Exactly uniform (rejection), n >= 1.
+template <typename G>
+constexpr std::uint32_t bounded_u32(G& gen, std::uint32_t n) noexcept {
+  std::uint64_t m = static_cast<std::uint64_t>(gen.next_u32()) * n;
+  auto lo = static_cast<std::uint32_t>(m);
+  if (lo < n) {
+    const std::uint32_t threshold = static_cast<std::uint32_t>(-n) % n;
+    while (lo < threshold) {
+      m = static_cast<std::uint64_t>(gen.next_u32()) * n;
+      lo = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+/// Uniform integer in [0, n) for 64-bit n. Exactly uniform.
+template <typename G>
+constexpr std::uint64_t bounded_u64(G& gen, std::uint64_t n) noexcept {
+  if (n <= 1) return 0;
+#if defined(__SIZEOF_INT128__)
+  __extension__ using u128 = unsigned __int128;
+  u128 m = static_cast<u128>(gen.next_u64()) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      m = static_cast<u128>(gen.next_u64()) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // Masked rejection fallback.
+  std::uint64_t mask = n - 1;
+  mask |= mask >> 1; mask |= mask >> 2; mask |= mask >> 4;
+  mask |= mask >> 8; mask |= mask >> 16; mask |= mask >> 32;
+  std::uint64_t v;
+  do { v = gen.next_u64() & mask; } while (v >= n);
+  return v;
+#endif
+}
+
+}  // namespace b3v::rng

@@ -1,0 +1,104 @@
+// Basic distribution samplers used by the generators and the simulator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "rng/bounded.hpp"
+
+namespace b3v::rng {
+
+/// Bernoulli(p) sampler with a precomputed 64-bit threshold.
+/// Exact to within 2^-64 of the requested probability.
+class BernoulliSampler {
+ public:
+  explicit constexpr BernoulliSampler(double p) noexcept
+      : threshold_(to_threshold(p)) {}
+
+  template <typename G>
+  constexpr bool operator()(G& gen) const noexcept {
+    return gen.next_u64() < threshold_;
+  }
+
+  constexpr double probability() const noexcept {
+    return static_cast<double>(threshold_) * 0x1.0p-64;
+  }
+
+ private:
+  static constexpr std::uint64_t to_threshold(double p) noexcept {
+    if (p <= 0.0) return 0;
+    if (p >= 1.0) return ~std::uint64_t{0};
+    return static_cast<std::uint64_t>(p * 0x1.0p64);
+  }
+
+  std::uint64_t threshold_;
+};
+
+template <typename G>
+constexpr bool bernoulli(G& gen, double p) noexcept {
+  return BernoulliSampler(p)(gen);
+}
+
+/// Uniform double in [lo, hi).
+template <typename G>
+constexpr double uniform_real(G& gen, double lo, double hi) noexcept {
+  return lo + (hi - lo) * gen.next_double();
+}
+
+/// Geometric: number of failures before the first success, success
+/// probability p in (0, 1]. Mean (1-p)/p.
+template <typename G>
+std::uint64_t geometric(G& gen, double p) noexcept {
+  if (p >= 1.0) return 0;
+  const double u = 1.0 - gen.next_double();  // in (0, 1]
+  const double g = std::floor(std::log(u) / std::log1p(-p));
+  if (g < 0) return 0;
+  if (g > 9.0e18) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(g);
+}
+
+/// Binomial(n, p) sampler.
+///
+/// Strategy: exact Bernoulli summation for small n; geometric skipping
+/// (exact, O(np) expected) when min(p, 1-p) is small; otherwise a
+/// normal approximation with continuity correction (documented: only
+/// used for large n with p away from the corners, where the error is
+/// negligible for the statistical summaries in bench/).
+template <typename G>
+std::uint64_t binomial(G& gen, std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const bool flipped = p > 0.5;
+  const double q = flipped ? 1.0 - p : p;
+  std::uint64_t successes = 0;
+  if (n <= 128) {
+    const BernoulliSampler coin(q);
+    for (std::uint64_t i = 0; i < n; ++i) successes += coin(gen) ? 1 : 0;
+  } else if (static_cast<double>(n) * q <= 64.0) {
+    // Skip between successes with Geometric(q) gaps.
+    std::uint64_t pos = 0;
+    while (true) {
+      const std::uint64_t gap = geometric(gen, q);
+      if (gap >= n - pos) break;
+      pos += gap + 1;
+      ++successes;
+      if (pos >= n) break;
+    }
+  } else {
+    const double mean = static_cast<double>(n) * q;
+    const double sd = std::sqrt(mean * (1.0 - q));
+    // Box-Muller from two uniforms.
+    const double u1 = 1.0 - gen.next_double();
+    const double u2 = gen.next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(6.283185307179586 * u2);
+    double draw = std::round(mean + sd * z);
+    if (draw < 0.0) draw = 0.0;
+    if (draw > static_cast<double>(n)) draw = static_cast<double>(n);
+    successes = static_cast<std::uint64_t>(draw);
+  }
+  return flipped ? n - successes : successes;
+}
+
+}  // namespace b3v::rng

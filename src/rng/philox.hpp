@@ -1,0 +1,109 @@
+// Philox4x32-10 — counter-based PRNG (Salmon, Moraes, Dror & Shaw,
+// "Parallel random numbers: as easy as 1, 2, 3", SC'11).
+//
+// A counter-based generator maps (key, counter) -> 128 random bits with
+// no sequential state. This is the foundation of b3v's deterministic
+// parallelism: the simulation kernel derives every random draw from
+// (seed, round, vertex, draw-index), so a run's outcome is a pure
+// function of the seed — identical for 1 thread or 64, and identical
+// across schedulers. This mirrors the paper's probabilistic model, where
+// each vertex's three samples at round t are an i.i.d. package indexed
+// by (v, t).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace b3v::rng {
+
+/// One 128-bit Philox4x32-10 block.
+struct Philox4x32 {
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  static constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  static constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+  /// Applies the full 10-round Philox bijection to `ctr` under `key`.
+  static constexpr Counter generate(Counter ctr, Key key) noexcept {
+    for (int round = 0; round < 10; ++round) {
+      ctr = single_round(ctr, key);
+      key[0] += kWeyl0;
+      key[1] += kWeyl1;
+    }
+    return ctr;
+  }
+
+ private:
+  static constexpr Counter single_round(const Counter& ctr, const Key& key) noexcept {
+    const std::uint64_t p0 = static_cast<std::uint64_t>(kMul0) * ctr[0];
+    const std::uint64_t p1 = static_cast<std::uint64_t>(kMul1) * ctr[2];
+    const auto lo0 = static_cast<std::uint32_t>(p0);
+    const auto hi0 = static_cast<std::uint32_t>(p0 >> 32);
+    const auto lo1 = static_cast<std::uint32_t>(p1);
+    const auto hi1 = static_cast<std::uint32_t>(p1 >> 32);
+    return Counter{hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+  }
+};
+
+/// Buffered stream view over Philox blocks for a fixed logical position.
+///
+/// `CounterRng(seed, a, b, c)` is an independent generator for the tuple
+/// (a, b, c) — in the simulator: (round, vertex, purpose). Draws beyond
+/// the first block advance an internal block index, so any number of
+/// values may be taken.
+class CounterRng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr CounterRng(std::uint64_t seed, std::uint64_t a,
+                       std::uint64_t b = 0, std::uint32_t c = 0) noexcept
+      : key_{static_cast<std::uint32_t>(seed),
+             static_cast<std::uint32_t>(seed >> 32)},
+        base_{static_cast<std::uint32_t>(a),
+              static_cast<std::uint32_t>((a >> 32) ^ (b << 8)),
+              static_cast<std::uint32_t>(b),
+              c} {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t operator()() noexcept { return next_u64(); }
+
+  constexpr std::uint32_t next_u32() noexcept {
+    if (avail_ == 0) refill();
+    --avail_;
+    return block_[avail_];
+  }
+
+  constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t hi = next_u32();
+    return (hi << 32) | next_u32();
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  constexpr void refill() noexcept {
+    Philox4x32::Counter ctr = base_;
+    // The 4th word doubles as the block index; `c` occupies the high
+    // bits so distinct purposes never collide with block advancement.
+    ctr[3] = (ctr[3] << 16) ^ block_index_;
+    block_ = Philox4x32::generate(ctr, key_);
+    ++block_index_;
+    avail_ = 4;
+  }
+
+  Philox4x32::Key key_;
+  Philox4x32::Counter base_;
+  Philox4x32::Counter block_{};
+  std::uint32_t block_index_ = 0;
+  std::uint32_t avail_ = 0;
+};
+
+}  // namespace b3v::rng

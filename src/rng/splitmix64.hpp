@@ -1,0 +1,43 @@
+// SplitMix64: tiny 64-bit generator and stateless mixing finalizer.
+//
+// Used throughout b3v for (a) seeding larger generators, (b) deriving
+// independent sub-stream seeds, and (c) as a cheap stateless hash in the
+// counter-based RNG fallbacks. Reference: Steele, Lea & Flood,
+// "Fast splittable pseudorandom number generators" (OOPSLA 2014).
+#pragma once
+
+#include <cstdint>
+
+namespace b3v::rng {
+
+/// Golden-ratio increment used by SplitMix64.
+inline constexpr std::uint64_t kGolden64 = 0x9E3779B97F4A7C15ULL;
+
+/// Advances `state` by the SplitMix64 step and returns the next output.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += kGolden64);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit finalizer (the SplitMix64 output function applied to
+/// `x + kGolden64`). Bijective; good avalanche. Suitable for hashing
+/// small tuples of integers into seeds.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t z = x + kGolden64;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives the seed of an independent logical stream from a master seed.
+/// Distinct `stream` values give (statistically) independent generators;
+/// used to give each experiment repetition / each simulator instance its
+/// own stream without coordination.
+constexpr std::uint64_t derive_stream(std::uint64_t master_seed,
+                                      std::uint64_t stream) noexcept {
+  return mix64(master_seed ^ mix64(stream * kGolden64 + 1));
+}
+
+}  // namespace b3v::rng

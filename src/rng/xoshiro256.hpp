@@ -1,0 +1,80 @@
+// xoshiro256** 1.0 — fast sequential PRNG (Blackman & Vigna).
+//
+// The workhorse sequential generator for everything that is not the
+// parallel simulation hot loop (graph generation, initial opinion
+// assignment, statistical utilities). For the hot loop we use the
+// counter-based Philox generator (see philox.hpp) so results are
+// independent of the thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+
+namespace b3v::rng {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from a 64-bit seed via SplitMix64, per the
+  /// authors' recommendation.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t operator()() noexcept { return next_u64(); }
+
+  constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint32_t next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Jump function: advances the state by 2^128 steps. Calling jump() k
+  /// times on copies of one generator yields 2^128-separated streams.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+        0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (std::uint64_t{1} << b)) {
+          for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        next_u64();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace b3v::rng

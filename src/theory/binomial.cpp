@@ -1,0 +1,61 @@
+#include "theory/binomial.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace b3v::theory {
+
+double log_factorial(std::uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double lp = log_choose(n, k) +
+                    static_cast<double>(k) * std::log(p) +
+                    static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(lp);
+}
+
+double binomial_tail_geq(std::uint64_t n, std::uint64_t k, double p) {
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum the smaller side for accuracy.
+  if (2 * k <= n) {
+    double acc = 0.0;
+    for (std::uint64_t j = 0; j < k; ++j) acc += binomial_pmf(n, j, p);
+    return std::max(0.0, 1.0 - acc);
+  }
+  double acc = 0.0;
+  for (std::uint64_t j = k; j <= n; ++j) acc += binomial_pmf(n, j, p);
+  return std::min(1.0, acc);
+}
+
+double best_of_k_map(double b, unsigned k, EvenTie tie) {
+  if (k == 0) throw std::invalid_argument("best_of_k_map: k >= 1");
+  if (b <= 0.0) return 0.0;
+  if (b >= 1.0) return 1.0;
+  if (k % 2 == 1) {
+    return binomial_tail_geq(k, k / 2 + 1, b);
+  }
+  const double strict = binomial_tail_geq(k, k / 2 + 1, b);
+  const double tied = binomial_pmf(k, k / 2, b);
+  switch (tie) {
+    case EvenTie::kRandom:
+      return strict + 0.5 * tied;
+    case EvenTie::kKeepOwn:
+      // Expected update for a vertex that is itself blue w.p. b.
+      return strict + b * tied;
+  }
+  return strict;
+}
+
+}  // namespace b3v::theory

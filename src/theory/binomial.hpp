@@ -1,0 +1,48 @@
+// Exact binomial probabilities in the log domain, and the majority
+// update maps they induce.
+//
+// The heart of the paper is the observation that on a (locally)
+// tree-like structure the blue probability evolves by
+//     b_{t+1} = P(Bin(3, b_t) >= 2) = 3 b_t^2 - 2 b_t^3        (eq. (1))
+// whose only attracting fixed points are 0 and 1 (1/2 repels). These
+// helpers compute that map, its Best-of-k generalisations (with the tie
+// rules of the introduction for even k), and binomial tails used by the
+// Lemma 7 bounds.
+#pragma once
+
+#include <cstdint>
+
+namespace b3v::theory {
+
+/// log(n!) via lgamma.
+double log_factorial(std::uint64_t n);
+
+/// log C(n, k); -inf if k > n.
+double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// P(Bin(n, p) = k), computed in the log domain (exact to double
+/// rounding for all n up to ~10^15).
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P(Bin(n, p) >= k).
+double binomial_tail_geq(std::uint64_t n, std::uint64_t k, double p);
+
+/// Tie handling for Best-of-k with even k (odd k never ties).
+enum class EvenTie {
+  kRandom,   // pick one of the two tied colours uniformly
+  kKeepOwn,  // the vertex keeps its current opinion
+};
+
+/// One-step mean-field update of the blue probability under Best-of-k:
+/// probability that the majority of k i.i.d. Bernoulli(b) samples is
+/// blue. For even k under kRandom ties the tied mass splits evenly;
+/// under kKeepOwn the tied mass keeps the opinion, so the update is
+/// b' = P(>k/2 blue) + b * P(exactly k/2 blue).
+double best_of_k_map(double b, unsigned k, EvenTie tie = EvenTie::kRandom);
+
+/// Closed form of eq. (1): b -> 3b^2 - 2b^3.
+constexpr double best_of_three_map(double b) {
+  return 3.0 * b * b - 2.0 * b * b * b;
+}
+
+}  // namespace b3v::theory

@@ -1,0 +1,28 @@
+#include "theory/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace b3v::theory {
+
+double level_collision_bound(double m, double d) {
+  if (d <= 0.0) return 1.0;
+  return std::min(1.0, m * m / d);
+}
+
+double collision_count_tail(int h, double d) {
+  if (h <= 0 || d <= 0.0) return 1.0;
+  const double base = 2.0 * std::exp(1.0) * std::pow(9.0, h) / d;
+  if (base >= 1.0) return 1.0;
+  return std::pow(base, static_cast<double>(h) / 2.0);
+}
+
+double root_blue_bound(int h, double d) {
+  // P(C > h/2) + P(B >= 2^{h/2}); both tails share the same closed form
+  // in the paper's final display.
+  return std::min(1.0, 2.0 * collision_count_tail(h, d));
+}
+
+double lemma5_required_blue(int h) { return std::pow(2.0, h); }
+
+}  // namespace b3v::theory

@@ -1,0 +1,32 @@
+// Lemma 7's tail bounds on the upper-level collision structure.
+//
+// For a random voting-DAG of h+1 levels on a graph of minimum degree d:
+//   - level i has at most 3^{h-i} vertices, so the chance that level i
+//     involves any collision is at most m_i^2/d <= 9^h/d;
+//   - the number C of levels with a collision is dominated by
+//     Bin(h, 9^h/d) and P(C > h/2) <= (2e 9^h / d)^{h/2}   (eq. (7));
+//   - the number of blue leaves B satisfies
+//     P(B >= 2^{h/2}) <= (2e 9^h / d)^{h/2} when leaves are blue with
+//     probability 3^h/d-ish (end of Lemma 7);
+//   - together with Lemmas 5/6: P(root blue) <= P(C > h/2) + P(B >= 2^{h/2}).
+#pragma once
+
+namespace b3v::theory {
+
+/// Upper bound m^2/d (capped at 1) on the probability that a level with
+/// m vertices involves at least one collision.
+double level_collision_bound(double m, double d);
+
+/// eq. (7): P(C > h/2) <= (2e 9^h / d)^{h/2}, capped at 1.
+double collision_count_tail(int h, double d);
+
+/// Final Lemma 7 bound on P(root of the h+1-level DAG is blue), given
+/// leaves are blue with probability at most `leaf_blue` (the lemma takes
+/// leaf_blue = o(1/d); the bound is the sum of the two tails).
+double root_blue_bound(int h, double d);
+
+/// Lemma 5 threshold: a ternary tree of h+1 levels needs >= 2^h blue
+/// leaves for a blue root.
+double lemma5_required_blue(int h);
+
+}  // namespace b3v::theory

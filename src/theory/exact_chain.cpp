@@ -1,0 +1,169 @@
+#include "theory/exact_chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "theory/binomial.hpp"
+
+namespace b3v::theory {
+namespace {
+
+/// Full pmf of Bin(m, p) by the stable multiplicative recurrence.
+std::vector<double> binomial_pmf_vector(std::uint64_t m, double p) {
+  std::vector<double> pmf(m + 1, 0.0);
+  if (p <= 0.0) {
+    pmf[0] = 1.0;
+    return pmf;
+  }
+  if (p >= 1.0) {
+    pmf[m] = 1.0;
+    return pmf;
+  }
+  // Start from the mode's log-pmf to avoid underflow of (1-p)^m for
+  // large m, then sweep outwards.
+  const auto mode = static_cast<std::uint64_t>(
+      std::min<double>(static_cast<double>(m), std::floor((m + 1) * p)));
+  pmf[mode] = std::exp(log_choose(m, mode) + mode * std::log(p) +
+                       (m - mode) * std::log1p(-p));
+  const double ratio = p / (1.0 - p);
+  for (std::uint64_t i = mode; i < m; ++i) {
+    pmf[i + 1] = pmf[i] * ratio * static_cast<double>(m - i) /
+                 static_cast<double>(i + 1);
+  }
+  for (std::uint64_t i = mode; i > 0; --i) {
+    pmf[i - 1] = pmf[i] / ratio * static_cast<double>(i) /
+                 static_cast<double>(m - i + 1);
+  }
+  return pmf;
+}
+
+/// Majority-blue probability for a vertex sampling k neighbours from a
+/// pool with blue fraction p, given the vertex's own colour.
+double majority_blue(unsigned k, double p, bool own_blue, core::TieRule tie) {
+  const double strict = binomial_tail_geq(k, k / 2 + 1, p);
+  if (k % 2 == 1) return strict;
+  const double tied = binomial_pmf(k, k / 2, p);
+  switch (tie) {
+    case core::TieRule::kRandom:
+      return strict + 0.5 * tied;
+    case core::TieRule::kKeepOwn:
+      return strict + (own_blue ? tied : 0.0);
+    case core::TieRule::kPreferRed:
+      return strict;
+    case core::TieRule::kPreferBlue:
+      return strict + tied;
+  }
+  return strict;
+}
+
+}  // namespace
+
+ExactCompleteChain::ExactCompleteChain(std::uint32_t n, unsigned k,
+                                       core::TieRule tie)
+    : n_(n), k_(k), tie_(tie) {
+  if (n < 2) throw std::invalid_argument("ExactCompleteChain: n >= 2");
+  if (k == 0) throw std::invalid_argument("ExactCompleteChain: k >= 1");
+  if (n > 4096) {
+    throw std::invalid_argument(
+        "ExactCompleteChain: n > 4096 (O(n^3) solve; use the simulator)");
+  }
+  f_blue_.resize(n + 1);
+  f_red_.resize(n + 1);
+  const double pool = static_cast<double>(n - 1);
+  for (std::uint32_t b = 0; b <= n; ++b) {
+    const double p_blue_vertex = b == 0 ? 0.0 : static_cast<double>(b - 1) / pool;
+    const double p_red_vertex = static_cast<double>(b) / pool;
+    f_blue_[b] = majority_blue(k_, p_blue_vertex, /*own_blue=*/true, tie_);
+    f_red_[b] = majority_blue(k_, p_red_vertex, /*own_blue=*/false, tie_);
+  }
+}
+
+std::vector<double> ExactCompleteChain::step_distribution(std::uint32_t b) const {
+  if (b > n_) throw std::invalid_argument("step_distribution: b <= n");
+  const auto blue_part = binomial_pmf_vector(b, f_blue_[b]);
+  const auto red_part = binomial_pmf_vector(n_ - b, f_red_[b]);
+  std::vector<double> out(n_ + 1, 0.0);
+  for (std::size_t i = 0; i < blue_part.size(); ++i) {
+    if (blue_part[i] == 0.0) continue;
+    for (std::size_t j = 0; j < red_part.size(); ++j) {
+      out[i + j] += blue_part[i] * red_part[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> ExactCompleteChain::evolve(
+    const std::vector<double>& dist) const {
+  if (dist.size() != static_cast<std::size_t>(n_) + 1) {
+    throw std::invalid_argument("evolve: distribution over 0..n required");
+  }
+  std::vector<double> out(n_ + 1, 0.0);
+  for (std::uint32_t b = 0; b <= n_; ++b) {
+    if (dist[b] == 0.0) continue;
+    if (b == 0 || b == n_) {  // absorbing
+      out[b] += dist[b];
+      continue;
+    }
+    const auto row = step_distribution(b);
+    for (std::uint32_t j = 0; j <= n_; ++j) out[j] += dist[b] * row[j];
+  }
+  return out;
+}
+
+void ExactCompleteChain::ensure_solved() const {
+  if (solved_) return;
+  // Value iteration on w = P w (absorption at n) and t = 1 + P t.
+  // Convergence is geometric in P(not yet absorbed), which on K_n decays
+  // extremely fast (doubly-exponential collapse), so a few hundred
+  // sweeps reach machine precision.
+  std::vector<std::vector<double>> rows(n_ + 1);
+  for (std::uint32_t b = 1; b < n_; ++b) rows[b] = step_distribution(b);
+
+  win_.assign(n_ + 1, 0.0);
+  win_[n_] = 1.0;
+  time_.assign(n_ + 1, 0.0);
+  std::vector<double> new_win(n_ + 1), new_time(n_ + 1);
+  constexpr int kMaxSweeps = 100000;
+  constexpr double kTol = 1e-13;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double err = 0.0;
+    new_win[0] = 0.0;
+    new_win[n_] = 1.0;
+    new_time[0] = 0.0;
+    new_time[n_] = 0.0;
+    for (std::uint32_t b = 1; b < n_; ++b) {
+      double w = 0.0, t = 1.0;
+      const auto& row = rows[b];
+      for (std::uint32_t j = 0; j <= n_; ++j) {
+        w += row[j] * win_[j];
+        t += row[j] * time_[j];
+      }
+      err = std::max({err, std::abs(w - win_[b]), std::abs(t - time_[b])});
+      new_win[b] = w;
+      new_time[b] = t;
+    }
+    win_.swap(new_win);
+    time_.swap(new_time);
+    if (err < kTol) break;
+  }
+  solved_ = true;
+}
+
+const std::vector<double>& ExactCompleteChain::blue_win_probability() const {
+  ensure_solved();
+  return win_;
+}
+
+const std::vector<double>& ExactCompleteChain::expected_absorption_time() const {
+  ensure_solved();
+  return time_;
+}
+
+double ExactCompleteChain::consensus_cdf(std::uint32_t b, std::uint32_t t) const {
+  std::vector<double> dist(n_ + 1, 0.0);
+  dist.at(b) = 1.0;
+  for (std::uint32_t round = 0; round < t; ++round) dist = evolve(dist);
+  return dist[0] + dist[n_];
+}
+
+}  // namespace b3v::theory

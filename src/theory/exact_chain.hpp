@@ -1,0 +1,67 @@
+// Exact finite-n analysis of Best-of-k voting on the complete graph.
+//
+// On K_n the blue COUNT B_t is itself a Markov chain: given B_t = b,
+// every blue vertex independently stays/becomes blue with probability
+// f_blue(b) and every red vertex with f_red(b), where f_* are binomial
+// majority probabilities over (n-1) neighbours (b or b-1 of them blue —
+// self-exclusion makes the two rates differ at finite n). So
+//     B_{t+1} | B_t = b  ~  Bin(b, f_blue(b)) + Bin(n-b, f_red(b)).
+//
+// This module builds the exact (n+1)x(n+1) transition matrix, solves
+// absorption probabilities and expected absorption times by backward
+// linear recursion, and iterates exact distributions — ground truth the
+// test suite and the validation bench (exp_exact_chain) compare the
+// Monte-Carlo simulator against. Practical up to n ~ 2000.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamics.hpp"
+
+namespace b3v::theory {
+
+class ExactCompleteChain {
+ public:
+  /// Builds the chain for Best-of-k on K_n with the given tie rule
+  /// (only meaningful for even k; ignored for odd k).
+  ExactCompleteChain(std::uint32_t n, unsigned k,
+                     core::TieRule tie = core::TieRule::kRandom);
+
+  std::uint32_t n() const noexcept { return n_; }
+  unsigned k() const noexcept { return k_; }
+
+  /// One-step flip rates at blue count b.
+  double blue_stays_blue(std::uint32_t b) const { return f_blue_.at(b); }
+  double red_turns_blue(std::uint32_t b) const { return f_red_.at(b); }
+
+  /// Exact one-round distribution of B_{t+1} given B_t = b.
+  std::vector<double> step_distribution(std::uint32_t b) const;
+
+  /// Evolves a distribution over blue counts by one round.
+  std::vector<double> evolve(const std::vector<double>& dist) const;
+
+  /// P(absorb at all-Blue | B_0 = b) for every b (solved by iterating
+  /// the chain to convergence on the absorption probabilities).
+  const std::vector<double>& blue_win_probability() const;
+
+  /// E[rounds to absorption | B_0 = b] for every b.
+  const std::vector<double>& expected_absorption_time() const;
+
+  /// Exact P(consensus by round t | B_0 = b).
+  double consensus_cdf(std::uint32_t b, std::uint32_t t) const;
+
+ private:
+  void ensure_solved() const;
+
+  std::uint32_t n_;
+  unsigned k_;
+  core::TieRule tie_;
+  std::vector<double> f_blue_;  // per blue count
+  std::vector<double> f_red_;
+  mutable bool solved_ = false;
+  mutable std::vector<double> win_;   // blue absorption probability
+  mutable std::vector<double> time_;  // expected absorption time
+};
+
+}  // namespace b3v::theory

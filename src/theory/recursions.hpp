@@ -1,0 +1,112 @@
+// The paper's recursions, implemented exactly as stated.
+//
+//  - eq. (1): the ternary-tree (mean-field) recursion b_t.
+//  - eq. (2): the Sprinkling recursion p_t with collision error
+//    eps_{t-1} = 3^{T-t+1}/d — both the exact first line and the
+//    simplified upper bound of the second line.
+//  - eq. (4)-(5): the gap recursion delta_t = 1/2 - p_t with growth
+//    factor >= 5/4 while delta_t < 1/(2*sqrt(3)).
+//  - Lemma 4's three-phase decomposition T = (a log log d + 1) + T2 + T3,
+//    evaluated numerically so experiments can compare measured phase
+//    lengths against the proof's bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace b3v::theory {
+
+// ---------------------------------------------------------------------
+// eq. (1): mean-field recursion
+// ---------------------------------------------------------------------
+
+/// Trajectory b_0, b_1, ..., b_steps under b -> 3b^2 - 2b^3.
+std::vector<double> meanfield_trajectory(double b0, int steps);
+
+/// Smallest t with b_t <= target (iterating eq. (1)); -1 if not reached
+/// within max_steps.
+int meanfield_steps_to(double b0, double target, int max_steps);
+
+/// Mean-field map of the noisy protocol: with probability `noise` a
+/// vertex adopts a fair coin instead of the sampled majority. Fixed
+/// points solve b = (1-q)(3b^2-2b^3) + q/2; for q < 1/3 there are two
+/// stable points near 0 and 1 (consensus up to a noise floor), merging
+/// at the pitchfork q* = 1/3 where only b = 1/2 survives.
+double noisy_best_of_three_map(double b, double noise);
+
+/// The stable low fixed point of the noisy map (the stationary blue
+/// mass when red wins), found by iteration from 0; returns 0.5 at and
+/// above the critical noise 1/3.
+double noisy_stationary_minority(double noise);
+
+// ---------------------------------------------------------------------
+// eq. (2): Sprinkling recursion
+// ---------------------------------------------------------------------
+
+/// eps_{t-1} for computing p_t on a DAG of T levels over minimum degree
+/// d: the number of vertices at level t-1 is at most 3^{T-t+1}, so each
+/// reveal collides with probability at most 3^{T-t+1}/d.
+double sprinkling_epsilon(int t, int T, double d);
+
+/// Exact first line of eq. (2):
+///   (3p^2-2p^3)(1-e)^3 + (2p-p^2)*3e(1-e)^2 + 3e^2(1-e) + e^3.
+double sprinkling_step_exact(double p_prev, double eps);
+
+/// Simplified upper bound (second line of eq. (2)):
+///   3p^2 - 2p^3 + 6pe + 3e^2 + e^3.
+double sprinkling_step_upper(double p_prev, double eps);
+
+struct SprinklingTrajectory {
+  std::vector<double> p;    // p_0 .. p_T'
+  std::vector<double> eps;  // eps_0 .. eps_{T'-1}
+};
+
+/// Runs eq. (2) from p_0 = p0 up to level T' on a DAG of T total levels.
+/// `exact` selects the exact step; otherwise the simplified upper bound.
+SprinklingTrajectory sprinkling_trajectory(double p0, int T, int T_prime,
+                                           double d, bool exact);
+
+// ---------------------------------------------------------------------
+// eq. (4)-(5): gap growth
+// ---------------------------------------------------------------------
+
+/// One step of the guaranteed-growth lower bound for delta_t:
+///   delta' = delta + (delta/2 - 2 delta^3 - 4 eps).
+double delta_growth_step(double delta, double eps);
+
+/// eq. (5)'s hypothesis: growth factor 5/4 applies when
+/// delta >= 12*eps and delta < 1/(2 sqrt 3).
+bool delta_growth_applicable(double delta, double eps);
+
+// ---------------------------------------------------------------------
+// Lemma 4: phase decomposition
+// ---------------------------------------------------------------------
+
+struct PhaseDecomposition {
+  int t3 = 0;      // steps to push delta from delta_0 up to 1/(2 sqrt 3)
+  int t2 = 0;      // doubling-collapse steps until p_t <= 12 eps_t
+  int h1 = 0;      // floor(a log log d) + 1 final squeeze levels
+  int total = 0;   // t3 + t2 + h1
+  double p_after_t3 = 0.0;  // p at the end of phase 3 (1/2 - 1/(2 sqrt 3))
+  double p_after_t2 = 0.0;  // p at the end of phase 2 (<= 12 eps = polylog/d)
+  double p_final = 0.0;     // o(1/d) bound after the last h1 levels
+};
+
+/// Numerically evaluates the Lemma 4 bookkeeping for a graph of minimum
+/// degree d and initial gap delta, with the proof's constant `a` (height
+/// multiplier of the final squeeze phase).
+PhaseDecomposition lemma4_phases(double d, double delta, double a = 1.0);
+
+/// End-to-end Theorem 1 prediction: consensus time upper bound
+/// O(log log n) + O(log 1/delta) with the Lemma 4 constants made
+/// explicit (plus the h = a log log n upper-levels budget of Lemma 7).
+struct Theorem1Prediction {
+  PhaseDecomposition phases;  // lower-level majorisation time
+  int upper_levels = 0;       // h for the Lemma 7 argument
+  int total = 0;
+};
+
+Theorem1Prediction theorem1_prediction(double n, double alpha, double delta,
+                                       double a = 1.0);
+
+}  // namespace b3v::theory

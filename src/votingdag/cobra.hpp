@@ -1,0 +1,78 @@
+// COBRA walk (COalescing-BRAnching random walk) — Remark 2.
+//
+// Each occupied vertex makes k-1 copies of its particle; all particles
+// move to independent uniform neighbours; particles meeting at a vertex
+// coalesce. The trajectory of a k=3 COBRA walk started at v0 is exactly
+// the level structure of the random voting-DAG H(v0): level T-tau of H
+// is the occupied set at COBRA time tau. With matching RNG keys the
+// identity is bit-exact, not just distributional (see
+// cobra_step_matching_dag and tests/test_cobra.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/samplers.hpp"
+#include "rng/philox.hpp"
+
+namespace b3v::votingdag {
+
+/// One COBRA step: every occupied vertex emits k particles to uniform
+/// random neighbours; the result is the coalesced (sorted, unique)
+/// occupied set. `round_key` selects the RNG stream; passing the DAG's
+/// level key makes the step identical to one DAG expansion.
+template <graph::NeighborSampler S>
+std::vector<graph::VertexId> cobra_step(const S& sampler,
+                                        const std::vector<graph::VertexId>& occupied,
+                                        unsigned k, std::uint64_t seed,
+                                        std::uint64_t round_key) {
+  std::vector<graph::VertexId> next;
+  next.reserve(occupied.size() * k);
+  for (const graph::VertexId v : occupied) {
+    rng::CounterRng gen(seed, round_key, v, /*purpose=*/0);
+    for (unsigned i = 0; i < k; ++i) next.push_back(sampler.sample(v, gen));
+  }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  return next;
+}
+
+struct CobraResult {
+  std::vector<std::size_t> occupancy;  // |occupied| after each step ([0]=1)
+  bool covered = false;                // all vertices visited at least once
+  std::uint64_t cover_time = 0;        // first step with full coverage
+};
+
+/// Runs a k-COBRA walk from `start` for up to `max_steps`, tracking
+/// occupancy growth and the cover time (first time every vertex has
+/// been visited).
+template <graph::NeighborSampler S>
+CobraResult run_cobra(const S& sampler, graph::VertexId start, unsigned k,
+                      std::uint64_t seed, std::uint64_t max_steps) {
+  const std::size_t n = sampler.num_vertices();
+  CobraResult result;
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<graph::VertexId> occupied{start};
+  visited[start] = 1;
+  std::size_t num_visited = 1;
+  result.occupancy.push_back(1);
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    occupied = cobra_step(sampler, occupied, k, seed, step);
+    for (const graph::VertexId v : occupied) {
+      if (!visited[v]) {
+        visited[v] = 1;
+        ++num_visited;
+      }
+    }
+    result.occupancy.push_back(occupied.size());
+    if (!result.covered && num_visited == n) {
+      result.covered = true;
+      result.cover_time = step + 1;
+    }
+    if (result.covered && occupied.size() == n) break;  // saturated
+  }
+  return result;
+}
+
+}  // namespace b3v::votingdag

@@ -1,0 +1,61 @@
+#include "votingdag/coloring.hpp"
+
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace b3v::votingdag {
+namespace {
+
+DagColoring propagate(const VotingDag& dag,
+                      std::vector<core::OpinionValue> leaves) {
+  DagColoring out;
+  out.colors.resize(dag.num_levels());
+  out.colors[0] = std::move(leaves);
+  for (int t = 1; t < dag.num_levels(); ++t) {
+    const auto& nodes = dag.level(t);
+    const auto& below = out.colors[t - 1];
+    auto& here = out.colors[t];
+    here.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      unsigned blues = 0;
+      for (const std::int32_t c : nodes[i].child) {
+        blues += below[static_cast<std::size_t>(c)];
+      }
+      here[i] = blues >= 2 ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DagColoring color_dag(const VotingDag& dag,
+                      std::span<const core::OpinionValue> leaf_colors) {
+  if (leaf_colors.size() != dag.level(0).size()) {
+    throw std::invalid_argument("color_dag: one colour per leaf node required");
+  }
+  return propagate(dag, {leaf_colors.begin(), leaf_colors.end()});
+}
+
+DagColoring color_dag_iid(const VotingDag& dag, double p_blue,
+                          std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  const rng::BernoulliSampler coin(p_blue);
+  std::vector<core::OpinionValue> leaves(dag.level(0).size());
+  for (auto& leaf : leaves) leaf = coin(gen) ? 1 : 0;
+  return propagate(dag, std::move(leaves));
+}
+
+DagColoring color_dag_from_opinions(
+    const VotingDag& dag, std::span<const core::OpinionValue> opinions) {
+  const auto& leaf_nodes = dag.level(0);
+  std::vector<core::OpinionValue> leaves(leaf_nodes.size());
+  for (std::size_t i = 0; i < leaf_nodes.size(); ++i) {
+    leaves[i] = opinions[leaf_nodes[i].vertex];
+  }
+  return propagate(dag, std::move(leaves));
+}
+
+}  // namespace b3v::votingdag

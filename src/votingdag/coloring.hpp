@@ -1,0 +1,44 @@
+// The colouring process X_H of Section 2: settle the leaves, then
+// propagate majorities level by level up to the root.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/opinion.hpp"
+#include "votingdag/dag.hpp"
+
+namespace b3v::votingdag {
+
+struct DagColoring {
+  /// colors[t][i] = opinion of node i at level t.
+  std::vector<std::vector<core::OpinionValue>> colors;
+
+  core::OpinionValue root() const { return colors.back().front(); }
+
+  /// Blue count at level t.
+  std::uint64_t blue_at(int t) const {
+    std::uint64_t acc = 0;
+    for (const auto v : colors.at(t)) acc += v;
+    return acc;
+  }
+};
+
+/// Colours the DAG given explicit leaf colours (one per level-0 node,
+/// in node order).
+DagColoring color_dag(const VotingDag& dag,
+                      std::span<const core::OpinionValue> leaf_colors);
+
+/// Colours the DAG with leaves i.i.d. Blue w.p. p_blue (the paper's
+/// level-0 distribution), seeded deterministically.
+DagColoring color_dag_iid(const VotingDag& dag, double p_blue,
+                          std::uint64_t seed);
+
+/// Colours the DAG reading leaf colours from a global per-vertex
+/// opinion vector (leaf node for graph vertex v gets opinions[v]).
+/// This is the mode that realises the forward/backward duality.
+DagColoring color_dag_from_opinions(
+    const VotingDag& dag, std::span<const core::OpinionValue> opinions);
+
+}  // namespace b3v::votingdag

@@ -1,0 +1,52 @@
+#include "votingdag/dag.hpp"
+
+#include <set>
+
+namespace b3v::votingdag {
+
+bool VotingDag::is_ternary_tree() const {
+  for (int t = 1; t < num_levels(); ++t) {
+    std::set<std::int32_t> used;
+    for (const auto& node : level(t)) {
+      for (const std::int32_t c : node.child) {
+        if (c < 0) return false;
+        if (!used.insert(c).second) return false;  // shared or repeated child
+      }
+    }
+    if (used.size() != level(t - 1).size()) return false;  // orphan below
+  }
+  return true;
+}
+
+VotingDag make_ternary_tree(int T) {
+  if (T < 0) throw std::invalid_argument("make_ternary_tree: T >= 0");
+  VotingDag dag;
+  // Level t (0-based from the leaves) has 3^(T-t) nodes; node i at level
+  // t >= 1 points at children 3i, 3i+1, 3i+2 of level t-1.
+  std::size_t width = 1;
+  std::vector<std::size_t> widths(static_cast<std::size_t>(T) + 1);
+  for (int t = T; t >= 0; --t) {
+    widths[t] = width;
+    if (t > 0 && width > (std::size_t{1} << 40) / 3) {
+      throw std::invalid_argument("make_ternary_tree: T too large");
+    }
+    width *= 3;
+  }
+  for (int t = 0; t <= T; ++t) {
+    std::vector<DagNode> nodes(widths[t]);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      // Distinct synthetic vertex ids per level so that vertex-keyed
+      // operations (sprinkling's reveal set) see no spurious collisions.
+      nodes[i].vertex = static_cast<graph::VertexId>(i);
+      if (t > 0) {
+        nodes[i].child = {static_cast<std::int32_t>(3 * i),
+                          static_cast<std::int32_t>(3 * i + 1),
+                          static_cast<std::int32_t>(3 * i + 2)};
+      }
+    }
+    dag.push_level(std::move(nodes));
+  }
+  return dag;
+}
+
+}  // namespace b3v::votingdag

@@ -1,0 +1,134 @@
+// The random voting-DAG H(v0) of Section 2 — the dual (time-reversed)
+// representation of xi_T(v0).
+//
+// Level T holds the single root (v0, T); level t holds the set Q_t of
+// vertices queried to determine opinions at level t+1. Each node at
+// level t+1 stores its three sampled targets (with multiplicity) as
+// indices into level t; nodes are COALESCED per level (a vertex appears
+// at most once per level, exactly the paper's Q_t ⊆ V), which is what
+// keeps deep DAGs polynomial instead of 3^T.
+//
+// RNG keying: expanding node (v, t) draws from CounterRng(seed, t-1, v),
+// the *same* stream the forward simulator uses for vertex v in round
+// t-1. Colouring the DAG with the forward run's initial opinions
+// therefore reproduces xi_T(v0) EXACTLY, not just in distribution — the
+// duality of Section 2 as an executable identity (tested in
+// tests/test_duality.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/samplers.hpp"
+
+namespace b3v::votingdag {
+
+/// Child slot count: the "3" of Best-of-3.
+inline constexpr int kFanout = 3;
+
+struct DagNode {
+  graph::VertexId vertex = 0;
+  /// Indices into the level below (t-1); multiplicity allowed (the same
+  /// neighbour can be sampled twice). Unused (leaf level) = -1.
+  std::array<std::int32_t, kFanout> child{-1, -1, -1};
+};
+
+class VotingDag {
+ public:
+  /// Number of levels (T + 1; level 0 = leaves, level T = root).
+  int num_levels() const noexcept { return static_cast<int>(levels_.size()); }
+  int root_level() const noexcept { return num_levels() - 1; }
+
+  const std::vector<DagNode>& level(int t) const { return levels_.at(t); }
+
+  const DagNode& root() const { return levels_.back().front(); }
+
+  std::size_t total_nodes() const noexcept {
+    std::size_t acc = 0;
+    for (const auto& l : levels_) acc += l.size();
+    return acc;
+  }
+
+  /// True iff some vertex at level t-1 is sampled more than once by the
+  /// nodes of level t (the paper's "level t involves a collision").
+  /// With coalesced levels this is just 3*|level t| > |level t-1|.
+  bool level_has_collision(int t) const {
+    return kFanout * levels_.at(t).size() > levels_.at(t - 1).size();
+  }
+
+  /// Number of levels in [1, T] that involve at least one collision —
+  /// the random variable C of Lemma 7.
+  int count_collision_levels() const {
+    int c = 0;
+    for (int t = 1; t < num_levels(); ++t) c += level_has_collision(t) ? 1 : 0;
+    return c;
+  }
+
+  /// Number of redundant reveals at level t (0 = collision-free).
+  std::size_t collisions_at_level(int t) const {
+    return kFanout * levels_.at(t).size() - levels_.at(t - 1).size();
+  }
+
+  /// True iff every node's children are distinct and no two nodes at a
+  /// level share a child — i.e. the DAG is a ternary tree.
+  bool is_ternary_tree() const;
+
+  // Construction API (used by builders and tests that need fixed DAGs).
+  void push_level(std::vector<DagNode> nodes) { levels_.push_back(std::move(nodes)); }
+
+ private:
+  std::vector<std::vector<DagNode>> levels_;  // [0] = leaves ... [T] = root
+};
+
+/// Builds the random voting-DAG of `num_levels_T` levels below the root
+/// (so num_levels() == T + 1) for root vertex v0, sampling neighbours
+/// with the forward simulator's per-(round, vertex) streams.
+template <graph::NeighborSampler S>
+VotingDag build_voting_dag(const S& sampler, graph::VertexId v0, int T,
+                           std::uint64_t seed);
+
+/// Deterministic full ternary tree of T+1 levels (no coalescing); all
+/// nodes carry vertex id 0. Used by the Lemma 5 tests.
+VotingDag make_ternary_tree(int T);
+
+// Template definition ------------------------------------------------
+
+template <graph::NeighborSampler S>
+VotingDag build_voting_dag(const S& sampler, graph::VertexId v0, int T,
+                           std::uint64_t seed) {
+  if (T < 0) throw std::invalid_argument("build_voting_dag: T >= 0");
+  // Build top-down, then re-index bottom-up into the VotingDag layout.
+  std::vector<std::vector<DagNode>> top_down;  // [0] = root level T
+  top_down.emplace_back(1, DagNode{v0, {-1, -1, -1}});
+
+  std::vector<graph::VertexId> frontier{v0};
+  for (int t = T; t >= 1; --t) {
+    // Expand every node at level t; coalesce targets at level t-1.
+    std::unordered_map<graph::VertexId, std::int32_t> index_of;
+    std::vector<DagNode> below;
+    auto& above = top_down.back();
+    for (auto& node : above) {
+      rng::CounterRng gen(seed, static_cast<std::uint64_t>(t) - 1, node.vertex,
+                          /*purpose=*/0);
+      for (int slot = 0; slot < kFanout; ++slot) {
+        const graph::VertexId w = sampler.sample(node.vertex, gen);
+        auto [it, inserted] =
+            index_of.try_emplace(w, static_cast<std::int32_t>(below.size()));
+        if (inserted) below.push_back(DagNode{w, {-1, -1, -1}});
+        node.child[slot] = it->second;
+      }
+    }
+    top_down.push_back(std::move(below));
+  }
+
+  VotingDag dag;
+  for (auto it = top_down.rbegin(); it != top_down.rend(); ++it) {
+    dag.push_level(std::move(*it));
+  }
+  return dag;
+}
+
+}  // namespace b3v::votingdag

@@ -1,0 +1,112 @@
+#include "votingdag/dot_export.hpp"
+
+#include <sstream>
+
+#include "votingdag/coloring.hpp"
+
+namespace b3v::votingdag {
+namespace {
+
+std::string node_id(int t, std::size_t i) {
+  std::ostringstream out;
+  out << "n" << t << "_" << i;
+  return out.str();
+}
+
+const char* fill(core::OpinionValue v) {
+  return v ? "lightblue" : "lightcoral";
+}
+
+}  // namespace
+
+std::string dag_to_dot(const VotingDag& dag,
+                       std::span<const core::OpinionValue> leaf_colors) {
+  const bool coloured = !leaf_colors.empty();
+  DagColoring colouring;
+  if (coloured) colouring = color_dag(dag, leaf_colors);
+
+  std::ostringstream out;
+  out << "digraph H {\n  rankdir=TB;\n";
+  for (int t = dag.root_level(); t >= 0; --t) {
+    out << "  { rank=same;";
+    for (std::size_t i = 0; i < dag.level(t).size(); ++i) {
+      out << ' ' << node_id(t, i) << ';';
+    }
+    out << " }\n";
+    for (std::size_t i = 0; i < dag.level(t).size(); ++i) {
+      out << "  " << node_id(t, i) << " [label=\"v" << dag.level(t)[i].vertex
+          << ",t" << t << '"';
+      if (coloured) {
+        out << ", style=filled, fillcolor=" << fill(colouring.colors[t][i]);
+      }
+      out << "];\n";
+    }
+  }
+  for (int t = dag.root_level(); t >= 1; --t) {
+    for (std::size_t i = 0; i < dag.level(t).size(); ++i) {
+      for (const std::int32_t c : dag.level(t)[i].child) {
+        out << "  " << node_id(t, i) << " -> "
+            << node_id(t - 1, static_cast<std::size_t>(c)) << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string sprinkled_to_dot(const SprinkledDag& sprinkled,
+                             std::span<const core::OpinionValue> leaf_colors) {
+  const VotingDag& dag = sprinkled.base();
+  const bool coloured = !leaf_colors.empty();
+  DagColoring colouring;
+  if (coloured) colouring = sprinkled.color(leaf_colors);
+
+  std::ostringstream out;
+  out << "digraph Hprime {\n  rankdir=TB;\n";
+  for (int t = dag.root_level(); t >= 0; --t) {
+    for (std::size_t i = 0; i < dag.level(t).size(); ++i) {
+      out << "  " << node_id(t, i) << " [label=\"v" << dag.level(t)[i].vertex
+          << ",t" << t << '"';
+      if (coloured) {
+        out << ", style=filled, fillcolor=" << fill(colouring.colors[t][i]);
+      }
+      out << "];\n";
+    }
+  }
+  std::size_t artificial = 0;
+  for (int t = dag.root_level(); t >= 1; --t) {
+    for (std::size_t i = 0; i < dag.level(t).size(); ++i) {
+      const auto& slots = sprinkled.children(t, i);
+      for (const std::int32_t c : slots) {
+        if (c == kArtificialBlue) {
+          const std::string q = "q" + std::to_string(artificial++);
+          out << "  " << q
+              << " [label=\"B\", shape=square, style=filled, fillcolor=blue];\n";
+          out << "  " << node_id(t, i) << " -> " << q << ";\n";
+        } else {
+          out << "  " << node_id(t, i) << " -> "
+              << node_id(t - 1, static_cast<std::size_t>(c)) << ";\n";
+        }
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string dag_summary(const VotingDag& dag) {
+  std::ostringstream out;
+  out << "voting-DAG: " << dag.num_levels() << " levels, "
+      << dag.total_nodes() << " nodes, " << dag.count_collision_levels()
+      << " collision level(s)\n";
+  for (int t = dag.root_level(); t >= 0; --t) {
+    out << "  level " << t << ": " << dag.level(t).size() << " node(s)";
+    if (t >= 1) {
+      out << ", " << dag.collisions_at_level(t) << " colliding reveal(s)";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace b3v::votingdag

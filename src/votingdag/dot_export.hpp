@@ -1,0 +1,28 @@
+// Graphviz / ASCII rendering of voting-DAGs and sprinkled DAGs — used
+// by the Figure 1 reconstruction (bench/fig1_sprinkling_demo) and the
+// dual_process_explorer example.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/opinion.hpp"
+#include "votingdag/dag.hpp"
+#include "votingdag/sprinkling.hpp"
+
+namespace b3v::votingdag {
+
+/// DOT digraph of H; if `colors` is non-empty (one per leaf), nodes are
+/// filled red/blue according to the propagated colouring.
+std::string dag_to_dot(const VotingDag& dag,
+                       std::span<const core::OpinionValue> leaf_colors = {});
+
+/// DOT digraph of H' after sprinkling: redirected edges end in square
+/// artificial always-Blue nodes, mirroring Figure 1 of the paper.
+std::string sprinkled_to_dot(const SprinkledDag& sprinkled,
+                             std::span<const core::OpinionValue> leaf_colors = {});
+
+/// Compact per-level ASCII summary: widths, collisions, blue counts.
+std::string dag_summary(const VotingDag& dag);
+
+}  // namespace b3v::votingdag

@@ -1,0 +1,107 @@
+#include "votingdag/sprinkling.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace b3v::votingdag {
+
+SprinkledDag::SprinkledDag(const VotingDag& base, int t_prime)
+    : base_(&base), t_prime_(t_prime) {
+  if (t_prime < 0 || t_prime > base.root_level()) {
+    throw std::invalid_argument("SprinkledDag: 0 <= T' <= T");
+  }
+  const int T = base.root_level();
+  children_.resize(static_cast<std::size_t>(T) + 1);
+  redirects_.assign(static_cast<std::size_t>(T) + 1, 0);
+
+  // Levels above the cut keep their original child slots.
+  for (int t = T; t > t_prime; --t) {
+    auto& slots = children_[t];
+    slots.reserve(base.level(t).size());
+    for (const auto& node : base.level(t)) slots.push_back(node.child);
+  }
+
+  // Sprinkling pass: levels T' down to 1, nodes left to right, slots in
+  // order. First reveal of a level-(t-1) vertex keeps the edge; every
+  // later reveal is redirected to an artificial Blue leaf.
+  for (int t = t_prime; t >= 1; --t) {
+    auto& slots = children_[t];
+    const auto& nodes = base.level(t);
+    slots.resize(nodes.size());
+    std::unordered_set<graph::VertexId> revealed;
+    revealed.reserve(nodes.size() * kFanout);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (int s = 0; s < kFanout; ++s) {
+        const std::int32_t c = nodes[i].child[s];
+        const graph::VertexId w =
+            base.level(t - 1)[static_cast<std::size_t>(c)].vertex;
+        if (revealed.insert(w).second) {
+          slots[i][s] = c;
+        } else {
+          slots[i][s] = kArtificialBlue;
+          ++redirects_[t];
+        }
+      }
+    }
+  }
+}
+
+bool SprinkledDag::collision_free_below_cut() const {
+  for (int t = 1; t <= t_prime_; ++t) {
+    std::unordered_set<std::int32_t> used;
+    for (const auto& slots : children_[t]) {
+      for (const std::int32_t c : slots) {
+        if (c == kArtificialBlue) continue;
+        if (!used.insert(c).second) return false;
+      }
+    }
+  }
+  return true;
+}
+
+DagColoring SprinkledDag::color(
+    std::span<const core::OpinionValue> leaf_colors) const {
+  const VotingDag& dag = *base_;
+  if (leaf_colors.size() != dag.level(0).size()) {
+    throw std::invalid_argument("SprinkledDag::color: one colour per leaf");
+  }
+  DagColoring out;
+  out.colors.resize(dag.num_levels());
+  out.colors[0].assign(leaf_colors.begin(), leaf_colors.end());
+  for (int t = 1; t < dag.num_levels(); ++t) {
+    const auto& slots = children_[t];
+    const auto& below = out.colors[t - 1];
+    auto& here = out.colors[t];
+    here.resize(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      unsigned blues = 0;
+      for (const std::int32_t c : slots[i]) {
+        blues += c == kArtificialBlue ? 1u
+                                      : static_cast<unsigned>(
+                                            below[static_cast<std::size_t>(c)]);
+      }
+      here[i] = blues >= 2 ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+SprinkledDag sprinkle(const VotingDag& dag, int t_prime) {
+  return SprinkledDag(dag, t_prime);
+}
+
+bool verify_coupling(const VotingDag& dag, const SprinkledDag& sprinkled,
+                     std::span<const core::OpinionValue> leaf_colors) {
+  const DagColoring original = color_dag(dag, leaf_colors);
+  const DagColoring majorised = sprinkled.color(leaf_colors);
+  for (int t = 0; t < dag.num_levels(); ++t) {
+    const auto& a = original.colors[t];
+    const auto& b = majorised.colors[t];
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] > b[i]) return false;  // X_H <= X_H' must hold pointwise
+    }
+  }
+  return true;
+}
+
+}  // namespace b3v::votingdag

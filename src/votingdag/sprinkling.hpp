@@ -1,0 +1,76 @@
+// The Sprinkling process of Section 3 (and Figure 1).
+//
+// Given a voting-DAG H and a cut level T', reveal the children of the
+// nodes at levels T', T'-1, ..., 1 one node at a time (left to right)
+// and one slot at a time. If a reveal hits a vertex that was already
+// revealed at that level (by an earlier node or an earlier slot of the
+// same node), the edge is REDIRECTED to a fresh artificial node whose
+// colour is deterministically Blue. The result H' is collision-free
+// below T', so the colours {X_H'(v, t)} within a level are independent
+// given the structure — the property Proposition 3 exploits — at the
+// price of extra Blue, which is exactly why X_H <= X_H' pointwise
+// (Blue = 1 majorises).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/opinion.hpp"
+#include "votingdag/coloring.hpp"
+#include "votingdag/dag.hpp"
+
+namespace b3v::votingdag {
+
+/// Child sentinel: edge redirected to an artificial always-Blue leaf.
+inline constexpr std::int32_t kArtificialBlue = -2;
+
+class SprinkledDag {
+ public:
+  SprinkledDag(const VotingDag& base, int t_prime);
+
+  const VotingDag& base() const noexcept { return *base_; }
+  int t_prime() const noexcept { return t_prime_; }
+
+  /// Children of node i at level t, possibly kArtificialBlue.
+  const std::array<std::int32_t, kFanout>& children(int t, std::size_t i) const {
+    return children_.at(t).at(i);
+  }
+
+  /// Number of redirected edges at level t (level index of the parent).
+  std::size_t redirects_at_level(int t) const { return redirects_.at(t); }
+
+  std::size_t total_redirects() const {
+    std::size_t acc = 0;
+    for (const auto r : redirects_) acc += r;
+    return acc;
+  }
+
+  /// True iff levels 1..T' are collision-free after sprinkling (always
+  /// true by construction; exposed for the property tests).
+  bool collision_free_below_cut() const;
+
+  /// Colour propagation in H' from explicit leaf colours (artificial
+  /// children count as Blue).
+  DagColoring color(std::span<const core::OpinionValue> leaf_colors) const;
+
+ private:
+  const VotingDag* base_;
+  int t_prime_;
+  /// children_[t][i] = possibly-redirected child slots, t in [1, T].
+  /// Levels above T' are copies of the base DAG's slots.
+  std::vector<std::vector<std::array<std::int32_t, kFanout>>> children_;
+  std::vector<std::size_t> redirects_;  // per level
+};
+
+/// Applies the Sprinkling process below level t_prime.
+SprinkledDag sprinkle(const VotingDag& dag, int t_prime);
+
+/// Pointwise coupling check of Section 3: with the same leaf colours,
+/// X_H(v,t) <= X_H'(v,t) for every node of H. Returns true if the
+/// majorisation holds everywhere (it must; a `false` is a bug).
+bool verify_coupling(const VotingDag& dag, const SprinkledDag& sprinkled,
+                     std::span<const core::OpinionValue> leaf_colors);
+
+}  // namespace b3v::votingdag

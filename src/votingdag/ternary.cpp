@@ -1,0 +1,146 @@
+#include "votingdag/ternary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace b3v::votingdag {
+namespace {
+
+class TransformEvaluator {
+ public:
+  TransformEvaluator(const VotingDag& dag,
+                     std::span<const core::OpinionValue> leaf_colors)
+      : dag_(dag), leaf_colors_(leaf_colors) {
+    memo_.resize(dag.num_levels());
+    done_.resize(dag.num_levels());
+    for (int t = 0; t < dag.num_levels(); ++t) {
+      memo_[t].resize(dag.level(t).size());
+      done_[t].assign(dag.level(t).size(), 0);
+    }
+  }
+
+  TernaryEval eval(int t, std::size_t i) {
+    if (done_[t][i]) return memo_[t][i];
+    TernaryEval out;
+    if (t == 0) {
+      out.color = leaf_colors_[i];
+      out.blue_leaves = out.color;
+      out.total_leaves = 1.0;
+    } else {
+      const auto& node = dag_.level(t)[i];
+      const auto [shared, other] = find_collision(node);
+      if (shared >= 0) {
+        // Case i) of Lemma 6: two edges share an endpoint. The root
+        // colour equals the shared child's colour; the transform puts
+        // TWO copies of the shared subtree plus an all-Red ternary tree.
+        const TernaryEval sub = eval(t - 1, static_cast<std::size_t>(shared));
+        out.color = sub.color;
+        out.blue_leaves = 2.0 * sub.blue_leaves;
+        out.total_leaves = 2.0 * sub.total_leaves + std::pow(3.0, t - 1);
+      } else {
+        // Case ii): collision-free node; transform the three children.
+        unsigned blues = 0;
+        for (const std::int32_t c : node.child) {
+          const TernaryEval sub = eval(t - 1, static_cast<std::size_t>(c));
+          blues += sub.color;
+          out.blue_leaves += sub.blue_leaves;
+          out.total_leaves += sub.total_leaves;
+        }
+        out.color = blues >= 2 ? 1 : 0;
+      }
+    }
+    memo_[t][i] = out;
+    done_[t][i] = 1;
+    return out;
+  }
+
+ private:
+  /// Returns {shared child index, unused} if >= 2 slots agree, else {-1,-1}.
+  static std::pair<std::int32_t, std::int32_t> find_collision(const DagNode& node) {
+    const auto& c = node.child;
+    if (c[0] == c[1] || c[0] == c[2]) return {c[0], -1};
+    if (c[1] == c[2]) return {c[1], -1};
+    return {-1, -1};
+  }
+
+  const VotingDag& dag_;
+  std::span<const core::OpinionValue> leaf_colors_;
+  std::vector<std::vector<TernaryEval>> memo_;
+  std::vector<std::vector<std::uint8_t>> done_;
+};
+
+}  // namespace
+
+TernaryEval ternary_transform(const VotingDag& dag,
+                              std::span<const core::OpinionValue> leaf_colors) {
+  if (leaf_colors.size() != dag.level(0).size()) {
+    throw std::invalid_argument("ternary_transform: one colour per leaf");
+  }
+  TransformEvaluator ev(dag, leaf_colors);
+  return ev.eval(dag.root_level(), 0);
+}
+
+double lemma6_blue_bound(const VotingDag& dag,
+                         std::span<const core::OpinionValue> leaf_colors) {
+  double b0 = 0.0;
+  for (const auto v : leaf_colors) b0 += v;
+  const int c = dag.count_collision_levels();
+  return b0 * std::pow(2.0, c);
+}
+
+namespace {
+
+/// Writes the transformed-tree leaf colours of the subtree rooted at
+/// (t, i) into out[0 .. 3^t).
+void fill_leaves(const VotingDag& dag,
+                 std::span<const core::OpinionValue> leaf_colors, int t,
+                 std::size_t i, std::span<core::OpinionValue> out) {
+  if (t == 0) {
+    out[0] = leaf_colors[i];
+    return;
+  }
+  const std::size_t third = out.size() / 3;
+  const auto& node = dag.level(t)[i];
+  const auto& c = node.child;
+  std::int32_t shared = -1;
+  if (c[0] == c[1] || c[0] == c[2]) {
+    shared = c[0];
+  } else if (c[1] == c[2]) {
+    shared = c[1];
+  }
+  if (shared >= 0) {
+    // Two copies of the shared subtree plus an all-Red padding tree.
+    fill_leaves(dag, leaf_colors, t - 1, static_cast<std::size_t>(shared),
+                out.subspan(0, third));
+    fill_leaves(dag, leaf_colors, t - 1, static_cast<std::size_t>(shared),
+                out.subspan(third, third));
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(2 * third), out.end(),
+              core::OpinionValue{0});
+  } else {
+    for (int s = 0; s < kFanout; ++s) {
+      fill_leaves(dag, leaf_colors, t - 1, static_cast<std::size_t>(c[s]),
+                  out.subspan(static_cast<std::size_t>(s) * third, third));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<core::OpinionValue> materialize_ternary_leaves(
+    const VotingDag& dag, std::span<const core::OpinionValue> leaf_colors) {
+  if (leaf_colors.size() != dag.level(0).size()) {
+    throw std::invalid_argument("materialize_ternary_leaves: one colour per leaf");
+  }
+  const int T = dag.root_level();
+  double width = 1.0;
+  for (int t = 0; t < T; ++t) width *= 3.0;
+  if (width > static_cast<double>(1 << 22)) {
+    throw std::invalid_argument(
+        "materialize_ternary_leaves: 3^T too large; use ternary_transform");
+  }
+  std::vector<core::OpinionValue> out(static_cast<std::size_t>(width));
+  fill_leaves(dag, leaf_colors, T, 0, out);
+  return out;
+}
+
+}  // namespace b3v::votingdag

@@ -1,0 +1,54 @@
+// Lemmas 5 and 6: the ternary-tree transform.
+//
+// Lemma 5: in a ternary tree of h+1 levels, a Blue root requires at
+// least 2^h Blue leaves (each Blue node needs >= 2 Blue children).
+//
+// Lemma 6 (constructive): any coloured voting-DAG H of h+1 levels can be
+// transformed into a coloured ternary tree H'' with the SAME root colour
+// and at most B0 * 2^C Blue leaves, where B0 = Blue leaves of H and
+// C = number of collision levels. The construction duplicates the shared
+// subtree at each collision and pads with an all-Red ternary tree.
+//
+// We evaluate the transform lazily with per-node memoisation (the
+// transform of a node depends only on its subtree, so each DAG node is
+// evaluated once) and return the transformed tree's root colour, Blue
+// leaf count and total leaf count (3^t at level t) without materialising
+// the exponential tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/opinion.hpp"
+#include "votingdag/dag.hpp"
+
+namespace b3v::votingdag {
+
+struct TernaryEval {
+  core::OpinionValue color = 0;  // root colour of the transformed tree
+  double blue_leaves = 0.0;      // Blue leaves in the transformed tree
+  double total_leaves = 0.0;     // always 3^level
+};
+
+/// Evaluates the Lemma 6 transform at the DAG root for a given leaf
+/// colouring (one colour per level-0 node).
+TernaryEval ternary_transform(const VotingDag& dag,
+                              std::span<const core::OpinionValue> leaf_colors);
+
+/// Lemma 6's guarantee for this DAG+colouring: B0 * 2^C with
+/// B0 = Blue leaves in the DAG and C = collision levels. The test suite
+/// asserts ternary_transform(...).blue_leaves <= this bound and that the
+/// transformed root colour equals color_dag(...).root().
+double lemma6_blue_bound(const VotingDag& dag,
+                         std::span<const core::OpinionValue> leaf_colors);
+
+/// MATERIALISES the Lemma 6 construction: returns the leaf colouring
+/// (length 3^T, left-to-right) of the full ternary tree H'' such that
+/// colouring make_ternary_tree(T) with it reproduces the transformed
+/// root colour. Only feasible for small T (throws above 3^T > 2^22
+/// leaves); the lazy ternary_transform covers the rest.
+std::vector<core::OpinionValue> materialize_ternary_leaves(
+    const VotingDag& dag, std::span<const core::OpinionValue> leaf_colors);
+
+}  // namespace b3v::votingdag

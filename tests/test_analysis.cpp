@@ -1,0 +1,246 @@
+// Analysis substrate tests: online statistics, interval estimates,
+// percentiles, bootstrap, regression and the table writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/histogram.hpp"
+#include "analysis/regression.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+
+namespace {
+
+using namespace b3v::analysis;
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleAndEmpty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  OnlineStats c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean);
+}
+
+TEST(Wilson, CoversTrueProportion) {
+  const auto iv = wilson_interval(80, 100);
+  EXPECT_LT(iv.lo, 0.8);
+  EXPECT_GT(iv.hi, 0.8);
+  EXPECT_GT(iv.lo, 0.7);
+  EXPECT_LT(iv.hi, 0.9);
+}
+
+TEST(Wilson, SaneAtBoundaries) {
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.15);
+  const auto all = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_GT(all.lo, 0.85);
+  const auto none = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_DOUBLE_EQ(none.hi, 1.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Bootstrap, TightForLowVarianceSample) {
+  std::vector<double> sample(200, 5.0);
+  const auto iv = bootstrap_mean_ci(sample, 200, 1);
+  EXPECT_DOUBLE_EQ(iv.lo, 5.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 5.0);
+}
+
+TEST(Bootstrap, CoversMeanOfNoisySample) {
+  std::vector<double> sample;
+  for (int i = 0; i < 400; ++i) sample.push_back((i % 7) * 1.0);
+  const double mean = 3.0;  // 0..6 uniform-ish
+  const auto iv = bootstrap_mean_ci(sample, 500, 7);
+  EXPECT_LT(iv.lo, mean + 0.2);
+  EXPECT_GT(iv.hi, mean - 0.2);
+  EXPECT_LT(iv.hi - iv.lo, 1.0);
+}
+
+TEST(ChiSquareTest, UniformCountsAccepted) {
+  // Perfectly uniform counts: statistic 0, z far below rejection.
+  const auto result = chi_square_uniform({1000, 1000, 1000, 1000});
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_EQ(result.degrees_of_freedom, 3u);
+  EXPECT_LT(result.z_score, 0.0);
+}
+
+TEST(ChiSquareTest, GrossBiasRejected) {
+  const auto result = chi_square_uniform({4000, 10, 10, 10});
+  EXPECT_GT(result.z_score, 5.0);
+}
+
+TEST(ChiSquareTest, MatchesHandComputedStatistic) {
+  // observed {30, 70}, expected 50/50 over 100: X = 400/50 + 400/50 = 16.
+  const auto result = chi_square_uniform({30, 70});
+  EXPECT_NEAR(result.statistic, 16.0, 1e-12);
+  EXPECT_EQ(result.degrees_of_freedom, 1u);
+}
+
+TEST(ChiSquareTest, NonUniformNull) {
+  // Counts drawn to match a skewed null exactly.
+  const auto result = chi_square_fit({100, 300, 600}, {0.1, 0.3, 0.6});
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+}
+
+TEST(ChiSquareTest, ZeroExpectedCellWithMassIsInfinite) {
+  const auto result = chi_square_fit({5, 5}, {0.0, 1.0});
+  EXPECT_TRUE(std::isinf(result.statistic));
+}
+
+TEST(ChiSquareTest, RejectsDegenerateInput) {
+  EXPECT_THROW(chi_square_uniform({5}), std::invalid_argument);
+  EXPECT_THROW(chi_square_uniform({0, 0}), std::invalid_argument);
+  EXPECT_THROW(chi_square_fit({1, 2}, {0.5}), std::invalid_argument);
+}
+
+TEST(Regression, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 2.0);
+  }
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_std, 0.0, 1e-9);
+}
+
+TEST(Regression, NoisyLineStillGoodFit) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i * 0.1);
+    ys.push_back(2.0 * i * 0.1 + 1.0 + 0.01 * std::sin(i * 999.0));
+  }
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(Regression, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_line({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({1.0, 2.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({3.0, 3.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+  EXPECT_NE(h.render().find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(TableTest, AsciiContainsHeaderAndData) {
+  Table t("demo", {"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), std::int64_t{7}});
+  std::ostringstream out;
+  t.print_ascii(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesCommas) {
+  Table t("csv", {"a", "b"});
+  t.add_row({std::string("x,y"), 2.0});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_NE(out.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(TableTest, MarkdownHasSeparatorRow) {
+  Table t("md", {"c1", "c2"});
+  t.add_row({1.0, 2.0});
+  std::ostringstream out;
+  t.print_markdown(out);
+  EXPECT_NE(out.str().find("|---|---|"), std::string::npos);
+}
+
+TEST(TableTest, ArityChecked) {
+  Table t("x", {"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(Table("empty", {}), std::invalid_argument);
+}
+
+TEST(TableTest, AccessorsAndPrecision) {
+  Table t("acc", {"v"});
+  t.set_precision(3);
+  t.add_row({3.14159265});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 1u);
+  std::ostringstream out;
+  t.print_ascii(out);
+  EXPECT_NE(out.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(out.str().find("3.14159"), std::string::npos);
+}
+
+}  // namespace

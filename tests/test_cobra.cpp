@@ -1,0 +1,112 @@
+// COBRA walk tests (Remark 2): step semantics, growth, cover behaviour,
+// and the exact structural duality with voting-DAG levels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "votingdag/cobra.hpp"
+#include "votingdag/dag.hpp"
+
+namespace {
+
+using namespace b3v;
+
+TEST(Cobra, StepOutputSortedUniqueAndAdjacent) {
+  const graph::Graph g = graph::dense_circulant(64, 8);
+  const graph::CsrSampler sampler(g);
+  const std::vector<graph::VertexId> occupied{3, 10, 20};
+  const auto next = votingdag::cobra_step(sampler, occupied, 3, 5, 0);
+  EXPECT_TRUE(std::is_sorted(next.begin(), next.end()));
+  EXPECT_EQ(std::adjacent_find(next.begin(), next.end()), next.end());
+  EXPECT_LE(next.size(), 9u);
+  EXPECT_GE(next.size(), 1u);
+  for (const auto v : next) {
+    bool adjacent_to_occupied = false;
+    for (const auto u : occupied) adjacent_to_occupied |= g.has_edge(u, v);
+    EXPECT_TRUE(adjacent_to_occupied) << v;
+  }
+}
+
+TEST(Cobra, DeterministicInSeedAndRoundKey) {
+  const graph::CompleteSampler sampler(100);
+  const std::vector<graph::VertexId> occupied{1, 2, 3};
+  EXPECT_EQ(votingdag::cobra_step(sampler, occupied, 3, 7, 4),
+            votingdag::cobra_step(sampler, occupied, 3, 7, 4));
+  EXPECT_NE(votingdag::cobra_step(sampler, occupied, 3, 7, 4),
+            votingdag::cobra_step(sampler, occupied, 3, 7, 5));
+}
+
+TEST(Cobra, OccupancyGrowthOnCompleteGraph) {
+  // On K_n with k = 3 the occupied set roughly triples per early step.
+  const graph::CompleteSampler sampler(1u << 14);
+  const auto result = votingdag::run_cobra(sampler, 0, 3, 11, 8);
+  ASSERT_GE(result.occupancy.size(), 5u);
+  EXPECT_EQ(result.occupancy[0], 1u);
+  EXPECT_GT(result.occupancy[2], 5u);
+  EXPECT_GT(result.occupancy[4], result.occupancy[2]);
+}
+
+TEST(Cobra, CoversSmallCompleteGraphQuickly) {
+  const graph::CompleteSampler sampler(32);
+  const auto result = votingdag::run_cobra(sampler, 0, 3, 3, 100);
+  EXPECT_TRUE(result.covered);
+  EXPECT_LT(result.cover_time, 40u);
+}
+
+TEST(Cobra, KOneIsCoalescingWalkSingleParticle) {
+  // k = 1: the walk never branches, so exactly one occupied vertex.
+  const graph::CompleteSampler sampler(64);
+  const auto result = votingdag::run_cobra(sampler, 0, 1, 9, 50);
+  for (const auto occ : result.occupancy) EXPECT_EQ(occ, 1u);
+  EXPECT_FALSE(result.covered);  // 50 steps cannot visit 64 vertices
+}
+
+TEST(Cobra, DualityWithVotingDagLevels) {
+  // Remark 2 made exact: with matching RNG keys, the occupied set of a
+  // k=3 COBRA walk at time tau equals the vertex set of DAG level
+  // T - tau. The DAG expands level t using round key t-1, so the walk
+  // must step with round_key = T - 1 - tau.
+  const graph::Graph g = graph::dense_circulant(256, 32);
+  const graph::CsrSampler sampler(g);
+  const int T = 6;
+  const std::uint64_t seed = 12345;
+  const graph::VertexId v0 = 17;
+  const auto dag = votingdag::build_voting_dag(sampler, v0, T, seed);
+
+  std::vector<graph::VertexId> occupied{v0};
+  for (int tau = 0; tau <= T; ++tau) {
+    const int level = T - tau;
+    std::set<graph::VertexId> level_vertices;
+    for (const auto& node : dag.level(level)) level_vertices.insert(node.vertex);
+    const std::set<graph::VertexId> walk_vertices(occupied.begin(), occupied.end());
+    ASSERT_EQ(walk_vertices, level_vertices) << "tau=" << tau;
+    if (tau < T) {
+      occupied = votingdag::cobra_step(
+          sampler, occupied, 3, seed,
+          static_cast<std::uint64_t>(T - 1 - tau));
+    }
+  }
+}
+
+TEST(Cobra, OccupancyMatchesDagLevelSizesInDistribution) {
+  // Independent seeds: level sizes of the DAG and occupancy of the walk
+  // have the same distribution; compare means loosely over reps.
+  const graph::CompleteSampler sampler(1u << 12);
+  const int T = 5;
+  double dag_mean = 0.0, walk_mean = 0.0;
+  const int reps = 30;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto dag = votingdag::build_voting_dag(sampler, 0, T, 1000 + rep);
+    dag_mean += static_cast<double>(dag.level(0).size());
+    const auto walk = votingdag::run_cobra(sampler, 0, 3, 5000 + rep, T);
+    walk_mean += static_cast<double>(walk.occupancy[T]);
+  }
+  dag_mean /= reps;
+  walk_mean /= reps;
+  EXPECT_NEAR(dag_mean / walk_mean, 1.0, 0.15);
+}
+
+}  // namespace

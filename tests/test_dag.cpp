@@ -1,0 +1,213 @@
+// Voting-DAG structure tests: level sizes, coalescing, collision
+// accounting, colouring propagation, and the exact forward/backward
+// duality of Section 2.
+#include <gtest/gtest.h>
+
+#include "core/dynamics.hpp"
+#include "core/initializer.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+#include "votingdag/coloring.hpp"
+#include "votingdag/dag.hpp"
+#include "votingdag/dot_export.hpp"
+
+namespace {
+
+using namespace b3v;
+using votingdag::VotingDag;
+
+TEST(VotingDag, SingleLevelIsJustTheRoot) {
+  const graph::CompleteSampler sampler(10);
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 3, 0, 1);
+  EXPECT_EQ(dag.num_levels(), 1);
+  EXPECT_EQ(dag.root().vertex, 3u);
+  EXPECT_EQ(dag.total_nodes(), 1u);
+}
+
+TEST(VotingDag, LevelSizesBoundedByTernaryGrowth) {
+  const graph::CompleteSampler sampler(1000);
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 0, 6, 7);
+  ASSERT_EQ(dag.num_levels(), 7);
+  std::size_t cap = 1;
+  for (int t = dag.root_level(); t >= 0; --t) {
+    EXPECT_LE(dag.level(t).size(), cap);
+    EXPECT_GE(dag.level(t).size(), 1u);
+    cap *= 3;
+  }
+}
+
+TEST(VotingDag, LevelsAreCoalesced) {
+  // Each graph vertex appears at most once per level (the paper's Q_t).
+  const graph::CompleteSampler sampler(50);  // small n forces repeats
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 0, 6, 3);
+  for (int t = 0; t < dag.num_levels(); ++t) {
+    std::set<graph::VertexId> seen;
+    for (const auto& node : dag.level(t)) {
+      EXPECT_TRUE(seen.insert(node.vertex).second)
+          << "vertex " << node.vertex << " duplicated at level " << t;
+    }
+  }
+}
+
+TEST(VotingDag, ChildIndicesInRange) {
+  const graph::CirculantSampler sampler = graph::CirculantSampler::dense(256, 32);
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 5, 5, 11);
+  for (int t = 1; t < dag.num_levels(); ++t) {
+    for (const auto& node : dag.level(t)) {
+      for (const auto c : node.child) {
+        ASSERT_GE(c, 0);
+        ASSERT_LT(static_cast<std::size_t>(c), dag.level(t - 1).size());
+      }
+    }
+  }
+}
+
+TEST(VotingDag, ChildrenAreGraphNeighbours) {
+  const graph::Graph g = graph::dense_circulant(128, 16);
+  const graph::CsrSampler sampler(g);
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 9, 4, 13);
+  for (int t = 1; t < dag.num_levels(); ++t) {
+    for (const auto& node : dag.level(t)) {
+      for (const auto c : node.child) {
+        const auto w = dag.level(t - 1)[static_cast<std::size_t>(c)].vertex;
+        EXPECT_TRUE(g.has_edge(node.vertex, w));
+      }
+    }
+  }
+}
+
+TEST(VotingDag, DeterministicInSeed) {
+  const graph::CompleteSampler sampler(100);
+  const VotingDag a = votingdag::build_voting_dag(sampler, 0, 5, 42);
+  const VotingDag b = votingdag::build_voting_dag(sampler, 0, 5, 42);
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (int t = 0; t < a.num_levels(); ++t) {
+    ASSERT_EQ(a.level(t).size(), b.level(t).size());
+    for (std::size_t i = 0; i < a.level(t).size(); ++i) {
+      EXPECT_EQ(a.level(t)[i].vertex, b.level(t)[i].vertex);
+      EXPECT_EQ(a.level(t)[i].child, b.level(t)[i].child);
+    }
+  }
+}
+
+TEST(VotingDag, CollisionAccountingOnTinyGraph) {
+  // On K_4, level widths cap at 3 (can't exceed the neighbourhood), so
+  // deep DAGs must have collision levels.
+  const graph::CompleteSampler sampler(4);
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 0, 6, 5);
+  EXPECT_GT(dag.count_collision_levels(), 0);
+  for (int t = 1; t < dag.num_levels(); ++t) {
+    EXPECT_EQ(dag.level_has_collision(t),
+              votingdag::kFanout * dag.level(t).size() > dag.level(t - 1).size());
+  }
+}
+
+TEST(VotingDag, TernaryTreeRecognition) {
+  const VotingDag tree = votingdag::make_ternary_tree(4);
+  EXPECT_TRUE(tree.is_ternary_tree());
+  EXPECT_EQ(tree.level(0).size(), 81u);
+  EXPECT_EQ(tree.count_collision_levels(), 0);
+  // A DAG on a tiny graph is (w.h.p.) not a ternary tree.
+  const graph::CompleteSampler sampler(4);
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 0, 5, 5);
+  EXPECT_FALSE(dag.is_ternary_tree());
+}
+
+TEST(Coloring, AllRedLeavesGiveRedRoot) {
+  const graph::CompleteSampler sampler(100);
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 0, 5, 3);
+  const core::Opinions leaves(dag.level(0).size(), 0);
+  const auto colouring = votingdag::color_dag(dag, leaves);
+  EXPECT_EQ(colouring.root(), 0);
+  for (int t = 0; t < dag.num_levels(); ++t) EXPECT_EQ(colouring.blue_at(t), 0u);
+}
+
+TEST(Coloring, AllBlueLeavesGiveBlueRoot) {
+  const graph::CompleteSampler sampler(100);
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 0, 5, 3);
+  const core::Opinions leaves(dag.level(0).size(), 1);
+  EXPECT_EQ(votingdag::color_dag(dag, leaves).root(), 1);
+}
+
+TEST(Coloring, MajorityPropagationOnFixedTree) {
+  // Two-level ternary tree: root colour = majority of the three leaves.
+  const VotingDag tree = votingdag::make_ternary_tree(1);
+  EXPECT_EQ(votingdag::color_dag(tree, core::Opinions{1, 1, 0}).root(), 1);
+  EXPECT_EQ(votingdag::color_dag(tree, core::Opinions{1, 0, 0}).root(), 0);
+  EXPECT_EQ(votingdag::color_dag(tree, core::Opinions{0, 0, 0}).root(), 0);
+  EXPECT_EQ(votingdag::color_dag(tree, core::Opinions{1, 1, 1}).root(), 1);
+}
+
+TEST(Coloring, RejectsWrongLeafCount) {
+  const VotingDag tree = votingdag::make_ternary_tree(2);
+  EXPECT_THROW(votingdag::color_dag(tree, core::Opinions(5, 0)),
+               std::invalid_argument);
+}
+
+TEST(Coloring, IidColouringDeterministicInSeed) {
+  const graph::CompleteSampler sampler(200);
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 0, 6, 9);
+  const auto a = votingdag::color_dag_iid(dag, 0.4, 123);
+  const auto b = votingdag::color_dag_iid(dag, 0.4, 123);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+// ---------------------------------------------------------------------
+// The Section 2 duality, exact: colouring the DAG with the forward run's
+// initial opinions reproduces xi_T(v0) for the same seed.
+// ---------------------------------------------------------------------
+
+class ExactDuality : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ExactDuality, DagRootEqualsForwardOpinion) {
+  const auto [T, seed] = GetParam();
+  const graph::Graph g = graph::dense_circulant(300, 40);
+  const graph::CsrSampler sampler(g);
+  const core::Opinions initial = core::iid_bernoulli(300, 0.45, seed ^ 0xF00D);
+
+  // Forward: T synchronous rounds.
+  parallel::ThreadPool pool(2);
+  core::Opinions cur = initial, next(300);
+  for (int r = 0; r < T; ++r) {
+    core::step_best_of_k(sampler, cur, next, 3, core::TieRule::kRandom, seed,
+                         static_cast<std::uint64_t>(r), pool);
+    cur.swap(next);
+  }
+
+  // Backward: voting-DAG per root vertex, coloured from the SAME initial
+  // opinions, built from the SAME seed.
+  for (const graph::VertexId v0 : {0u, 17u, 123u, 299u}) {
+    const auto dag = votingdag::build_voting_dag(sampler, v0, T, seed);
+    const auto colouring = votingdag::color_dag_from_opinions(dag, initial);
+    ASSERT_EQ(colouring.root(), cur[v0])
+        << "duality violated at v0=" << v0 << " T=" << T << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExactDuality,
+    ::testing::Combine(::testing::Values(1, 2, 4, 6),
+                       ::testing::Values(7ULL, 99ULL, 2024ULL)));
+
+TEST(DotExport, DagDotMentionsRootAndLeaves) {
+  const graph::CompleteSampler sampler(30);
+  const auto dag = votingdag::build_voting_dag(sampler, 5, 2, 3);
+  const std::string dot = votingdag::dag_to_dot(dag);
+  EXPECT_NE(dot.find("digraph H"), std::string::npos);
+  EXPECT_NE(dot.find("v5,t2"), std::string::npos);
+  // Colourised variant renders fill colours.
+  const core::Opinions leaves(dag.level(0).size(), 1);
+  const std::string coloured = votingdag::dag_to_dot(dag, leaves);
+  EXPECT_NE(coloured.find("lightblue"), std::string::npos);
+}
+
+TEST(DotExport, SummaryCountsLevels) {
+  const graph::CompleteSampler sampler(30);
+  const auto dag = votingdag::build_voting_dag(sampler, 5, 3, 3);
+  const std::string summary = votingdag::dag_summary(dag);
+  EXPECT_NE(summary.find("4 levels"), std::string::npos);
+}
+
+}  // namespace

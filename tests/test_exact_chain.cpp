@@ -1,0 +1,185 @@
+// Exact complete-graph chain tests: flip-rate closed forms, pmf
+// validity, martingale/monotonicity structure, absorption solving, and
+// agreement with the Monte-Carlo simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/initializer.hpp"
+#include "core/simulator.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/binomial.hpp"
+#include "theory/exact_chain.hpp"
+
+namespace {
+
+using namespace b3v;
+using theory::ExactCompleteChain;
+
+TEST(ExactChain, FlipRatesAtBoundaries) {
+  const ExactCompleteChain chain(50, 3);
+  EXPECT_DOUBLE_EQ(chain.red_turns_blue(0), 0.0);   // no blue to sample
+  EXPECT_DOUBLE_EQ(chain.blue_stays_blue(50), 1.0); // everything blue
+  // One blue vertex: it samples only reds (b-1 = 0 of 49 blue).
+  EXPECT_DOUBLE_EQ(chain.blue_stays_blue(1), 0.0);
+}
+
+TEST(ExactChain, FlipRatesMatchBinomialFormulas) {
+  const std::uint32_t n = 40;
+  const ExactCompleteChain chain(n, 3);
+  for (const std::uint32_t b : {5u, 17u, 31u}) {
+    const double p_blue = static_cast<double>(b - 1) / (n - 1);
+    const double p_red = static_cast<double>(b) / (n - 1);
+    EXPECT_NEAR(chain.blue_stays_blue(b),
+                theory::binomial_tail_geq(3, 2, p_blue), 1e-12);
+    EXPECT_NEAR(chain.red_turns_blue(b),
+                theory::binomial_tail_geq(3, 2, p_red), 1e-12);
+  }
+}
+
+TEST(ExactChain, StepDistributionIsAProbability) {
+  const ExactCompleteChain chain(64, 3);
+  for (const std::uint32_t b : {1u, 13u, 32u, 63u}) {
+    const auto dist = chain.step_distribution(b);
+    ASSERT_EQ(dist.size(), 65u);
+    double total = 0.0;
+    for (const double p : dist) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  }
+}
+
+TEST(ExactChain, StepMeanMatchesFlipRates) {
+  const std::uint32_t n = 64;
+  const ExactCompleteChain chain(n, 3);
+  const std::uint32_t b = 20;
+  const auto dist = chain.step_distribution(b);
+  double mean = 0.0;
+  for (std::size_t j = 0; j < dist.size(); ++j) mean += dist[j] * static_cast<double>(j);
+  const double expected = b * chain.blue_stays_blue(b) +
+                          (n - b) * chain.red_turns_blue(b);
+  EXPECT_NEAR(mean, expected, 1e-9);
+}
+
+TEST(ExactChain, EvolvePreservesMassAndAbsorbing) {
+  const ExactCompleteChain chain(32, 3);
+  std::vector<double> dist(33, 0.0);
+  dist[16] = 0.7;
+  dist[0] = 0.2;   // absorbed mass must stay put
+  dist[32] = 0.1;
+  const auto out = chain.evolve(dist);
+  EXPECT_NEAR(std::accumulate(out.begin(), out.end(), 0.0), 1.0, 1e-12);
+  EXPECT_GE(out[0], 0.2);
+  EXPECT_GE(out[32], 0.1);
+}
+
+TEST(ExactChain, WinProbabilityMonotoneAndSymmetric) {
+  const std::uint32_t n = 100;
+  const ExactCompleteChain chain(n, 3);
+  const auto& win = chain.blue_win_probability();
+  EXPECT_DOUBLE_EQ(win[0], 0.0);
+  EXPECT_DOUBLE_EQ(win[n], 1.0);
+  for (std::uint32_t b = 0; b < n; ++b) EXPECT_LE(win[b], win[b + 1] + 1e-12);
+  // Colour symmetry of Best-of-3 on K_n: P(blue wins | b) =
+  // 1 - P(blue wins | n - b).
+  for (const std::uint32_t b : {10u, 30u, 50u}) {
+    EXPECT_NEAR(win[b], 1.0 - win[n - b], 1e-9) << b;
+  }
+  // Strong amplification: a 60% majority on K_100 wins nearly surely.
+  EXPECT_GT(win[60], 0.95);
+  EXPECT_LT(win[40], 0.05);
+}
+
+TEST(ExactChain, AbsorptionTimesFiniteAndHumped) {
+  const std::uint32_t n = 100;
+  const ExactCompleteChain chain(n, 3);
+  const auto& time = chain.expected_absorption_time();
+  EXPECT_DOUBLE_EQ(time[0], 0.0);
+  EXPECT_DOUBLE_EQ(time[n], 0.0);
+  for (std::uint32_t b = 1; b < n; ++b) {
+    EXPECT_GT(time[b], 0.0);
+    EXPECT_LT(time[b], 100.0);  // doubly-log regime, not diffusive
+  }
+  // Hardest start is the balanced one.
+  EXPECT_GT(time[n / 2], time[n / 10]);
+  EXPECT_GT(time[n / 2], time[9 * n / 10]);
+}
+
+TEST(ExactChain, ConsensusCdfMonotone) {
+  const ExactCompleteChain chain(64, 3);
+  double prev = 0.0;
+  for (std::uint32_t t = 0; t <= 20; ++t) {
+    const double cdf = chain.consensus_cdf(20, t);
+    EXPECT_GE(cdf, prev - 1e-12);
+    EXPECT_LE(cdf, 1.0 + 1e-12);
+    prev = cdf;
+  }
+  EXPECT_GT(prev, 0.99);  // 20 rounds is plenty on K_64
+}
+
+TEST(ExactChain, SimulatorMatchesExactWinProbability) {
+  // End-to-end validation of the Philox-keyed kernel: Monte-Carlo win
+  // rate within 4 sigma of the exact chain.
+  const std::uint32_t n = 128;
+  const std::uint32_t b0 = 56;
+  const ExactCompleteChain chain(n, 3);
+  const double exact = chain.blue_win_probability()[b0];
+  parallel::ThreadPool pool(4);
+  const graph::CompleteSampler sampler(n);
+  const std::size_t reps = 600;
+  std::uint64_t blue_wins = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    core::SimConfig cfg;
+    cfg.seed = rng::derive_stream(424242, rep);
+    cfg.max_rounds = 10000;
+    const auto result = core::run_sync(
+        sampler, core::exact_count(n, b0, rng::derive_stream(cfg.seed, 3)),
+        cfg, pool);
+    ASSERT_TRUE(result.consensus);
+    blue_wins += result.winner == core::Opinion::kBlue;
+  }
+  const double sim = static_cast<double>(blue_wins) / static_cast<double>(reps);
+  const double sigma = std::sqrt(exact * (1 - exact) / static_cast<double>(reps));
+  EXPECT_NEAR(sim, exact, 4 * sigma + 1e-3);
+}
+
+TEST(ExactChain, KeepOwnTwoChoicesTracksBestOfThree) {
+  // The k=2 keep-own chain has the same mean drift as k=3 (b^2(3-2b));
+  // expected times should be close (not equal: variances differ).
+  const std::uint32_t n = 128;
+  const ExactCompleteChain c3(n, 3);
+  const ExactCompleteChain c2(n, 2, core::TieRule::kKeepOwn);
+  const auto& t3 = c3.expected_absorption_time();
+  const auto& t2 = c2.expected_absorption_time();
+  for (const std::uint32_t b : {32u, 64u, 96u}) {
+    EXPECT_NEAR(t2[b] / t3[b], 1.0, 0.35) << b;
+  }
+}
+
+TEST(ExactChain, VoterModelWinProbabilityNearlyProportional) {
+  // k=1 on K_n: the classic result — win probability equals the initial
+  // share (exactly b/n in the degree-weighted sense; self-exclusion
+  // perturbs it only at O(1/n)).
+  const std::uint32_t n = 64;
+  const ExactCompleteChain chain(n, 1);
+  const auto& win = chain.blue_win_probability();
+  for (const std::uint32_t b : {8u, 16u, 32u, 48u}) {
+    EXPECT_NEAR(win[b], static_cast<double>(b) / n, 0.02) << b;
+  }
+}
+
+TEST(ExactChain, RejectsBadArguments) {
+  EXPECT_THROW(ExactCompleteChain(1, 3), std::invalid_argument);
+  EXPECT_THROW(ExactCompleteChain(10, 0), std::invalid_argument);
+  EXPECT_THROW(ExactCompleteChain(8192, 3), std::invalid_argument);
+  const ExactCompleteChain chain(16, 3);
+  EXPECT_THROW(chain.step_distribution(17), std::invalid_argument);
+  EXPECT_THROW(chain.evolve(std::vector<double>(5, 0.2)), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Experiment-layer tests: environment parsing, aggregation bookkeeping,
+// and cross-module integration smoke checks mirroring the bench drivers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/initializer.hpp"
+#include "experiments/runner.hpp"
+#include "graph/generators.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace {
+
+using namespace b3v;
+
+TEST(RunContext, DefaultsSane) {
+  unsetenv("B3V_SCALE");
+  unsetenv("B3V_REPS");
+  unsetenv("B3V_THREADS");
+  unsetenv("B3V_FORMAT");
+  const auto ctx = experiments::context_from_env();
+  EXPECT_DOUBLE_EQ(ctx.scale, 1.0);
+  EXPECT_EQ(ctx.reps, 0u);
+  EXPECT_EQ(ctx.format, "ascii");
+  EXPECT_EQ(ctx.rep_count(20), 20u);
+  EXPECT_EQ(ctx.scaled(100), 100u);
+}
+
+TEST(RunContext, EnvironmentOverrides) {
+  setenv("B3V_SCALE", "2.5", 1);
+  setenv("B3V_REPS", "7", 1);
+  setenv("B3V_FORMAT", "csv", 1);
+  const auto ctx = experiments::context_from_env();
+  EXPECT_DOUBLE_EQ(ctx.scale, 2.5);
+  EXPECT_EQ(ctx.rep_count(20), 7u);  // explicit reps beats scaling
+  EXPECT_EQ(ctx.format, "csv");
+  unsetenv("B3V_REPS");
+  const auto ctx2 = experiments::context_from_env();
+  EXPECT_EQ(ctx2.rep_count(20), 50u);  // 20 * 2.5
+  EXPECT_EQ(ctx2.scaled(100), 250u);
+  unsetenv("B3V_SCALE");
+  unsetenv("B3V_FORMAT");
+}
+
+TEST(RunContext, BadScaleFallsBackToOne) {
+  setenv("B3V_SCALE", "-3", 1);
+  const auto ctx = experiments::context_from_env();
+  EXPECT_DOUBLE_EQ(ctx.scale, 1.0);
+  unsetenv("B3V_SCALE");
+}
+
+TEST(Aggregate, CountsWinnersAndCap) {
+  parallel::ThreadPool pool(2);
+  const graph::Graph g = graph::complete(256);
+  const auto agg = experiments::aggregate_runs(
+      12, 99, [&](std::uint64_t seed) {
+        return core::run_theorem1_setting(g, 0.15, seed, pool, 100);
+      });
+  EXPECT_EQ(agg.total_runs, 12u);
+  EXPECT_EQ(agg.red_wins + agg.blue_wins +
+                static_cast<std::uint64_t>(agg.no_consensus),
+            12u);
+  EXPECT_GT(agg.red_win_rate(), 0.8);  // delta=0.15 on n=256: red dominates
+  EXPECT_EQ(agg.rounds.count(), agg.red_wins + agg.blue_wins);
+}
+
+TEST(Aggregate, DistinctSeedsPerRepetition) {
+  // Two repetitions must not produce byte-identical trajectories (they
+  // receive derived, distinct seeds).
+  parallel::ThreadPool pool(2);
+  const graph::Graph g = graph::complete(128);
+  std::vector<std::vector<std::uint64_t>> trajectories;
+  experiments::aggregate_runs(2, 5, [&](std::uint64_t seed) {
+    auto result = core::run_theorem1_setting(g, 0.1, seed, pool, 100);
+    trajectories.push_back(result.blue_trajectory);
+    return result;
+  });
+  ASSERT_EQ(trajectories.size(), 2u);
+  EXPECT_NE(trajectories[0], trajectories[1]);
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Tests for the extension modules: Watts-Strogatz / Barabási-Albert
+// generators, segment (stripe) metrics, noisy dynamics, the plurality
+// driver, and the materialised Lemma 6 construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dynamics.hpp"
+#include "core/initializer.hpp"
+#include "core/metrics.hpp"
+#include "core/plurality.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/recursions.hpp"
+#include "votingdag/coloring.hpp"
+#include "votingdag/ternary.hpp"
+
+namespace {
+
+using namespace b3v;
+
+// ------------------------- Watts-Strogatz ---------------------------
+
+TEST(WattsStrogatz, BetaZeroIsTheCirculant) {
+  const graph::Graph ws = graph::watts_strogatz(64, 8, 0.0, 1);
+  const graph::Graph circ = graph::dense_circulant(64, 8);
+  EXPECT_EQ(ws.offsets(), circ.offsets());
+  EXPECT_EQ(ws.adjacency(), circ.adjacency());
+}
+
+TEST(WattsStrogatz, EdgeCountPreservedAcrossBeta) {
+  for (const double beta : {0.0, 0.1, 0.5, 1.0}) {
+    const graph::Graph g = graph::watts_strogatz(256, 12, beta, 7);
+    EXPECT_EQ(g.num_edges(), 256u * 6) << beta;
+    EXPECT_GE(g.min_degree(), 1u);
+  }
+}
+
+TEST(WattsStrogatz, RewiringShrinksDiameter) {
+  const auto d0 = graph::double_sweep_diameter(graph::watts_strogatz(1024, 6, 0.0, 3));
+  const auto d1 = graph::double_sweep_diameter(graph::watts_strogatz(1024, 6, 0.3, 3));
+  EXPECT_LT(d1, d0 / 3);  // small-world collapse
+}
+
+TEST(WattsStrogatz, RejectsBadArguments) {
+  EXPECT_THROW(graph::watts_strogatz(10, 3, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(graph::watts_strogatz(10, 4, 1.5, 1), std::invalid_argument);
+}
+
+// ------------------------- Barabási-Albert --------------------------
+
+TEST(BarabasiAlbert, MinimumDegreeGuarantee) {
+  const graph::Graph g = graph::barabasi_albert(2000, 5, 11);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  EXPECT_GE(g.min_degree(), 5u);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(BarabasiAlbert, HeavyTail) {
+  const graph::Graph g = graph::barabasi_albert(5000, 4, 3);
+  // The maximum degree of a BA graph is ~ sqrt(n) >> m.
+  EXPECT_GT(g.max_degree(), 40u);
+  // Early vertices are the hubs.
+  std::uint64_t early = 0, late = 0;
+  for (graph::VertexId v = 0; v < 50; ++v) early += g.degree(v);
+  for (graph::VertexId v = 4950; v < 5000; ++v) late += g.degree(v);
+  EXPECT_GT(early, late * 3);
+}
+
+TEST(BarabasiAlbert, RejectsBadArguments) {
+  EXPECT_THROW(graph::barabasi_albert(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(graph::barabasi_albert(10, 10, 1), std::invalid_argument);
+}
+
+// ------------------------- segment metrics --------------------------
+
+TEST(SegmentStats, UniformConfigurations) {
+  const auto red = core::segment_stats(core::Opinions(10, 0));
+  EXPECT_EQ(red.num_segments, 1u);
+  EXPECT_EQ(red.longest_red, 10u);
+  EXPECT_EQ(red.longest_blue, 0u);
+  EXPECT_DOUBLE_EQ(red.interface_density, 0.0);
+}
+
+TEST(SegmentStats, RingRunsCountedWhole) {
+  // Blue run wrapping the ring boundary: indices 8,9,0,1 blue.
+  core::Opinions o{1, 1, 0, 0, 0, 0, 0, 0, 1, 1};
+  const auto stats = core::segment_stats(o);
+  EXPECT_EQ(stats.num_segments, 2u);
+  EXPECT_EQ(stats.longest_blue, 4u);
+  EXPECT_EQ(stats.longest_red, 6u);
+  EXPECT_EQ(stats.blue_count, 4u);
+  EXPECT_DOUBLE_EQ(stats.interface_density, 0.2);
+}
+
+TEST(SegmentStats, AlternatingIsAllBoundaries) {
+  core::Opinions o;
+  for (int i = 0; i < 12; ++i) o.push_back(static_cast<core::OpinionValue>(i % 2));
+  const auto stats = core::segment_stats(o);
+  EXPECT_EQ(stats.num_segments, 12u);
+  EXPECT_DOUBLE_EQ(stats.interface_density, 1.0);
+  EXPECT_EQ(stats.longest_blue, 1u);
+}
+
+TEST(SegmentStats, StripeDetector) {
+  core::Opinions o(100, 0);
+  for (int i = 30; i < 55; ++i) o[i] = 1;
+  EXPECT_TRUE(core::has_blue_stripe(o, 25));
+  EXPECT_TRUE(core::has_blue_stripe(o, 10));
+  EXPECT_FALSE(core::has_blue_stripe(o, 26));
+}
+
+TEST(SegmentStats, StripesFreezeOnCirculant) {
+  // A hand-planted blue stripe wider than the band survives a round of
+  // Best-of-3 on the circulant: every vertex deep inside it samples
+  // blue w.p. ~1, boundaries move by O(1).
+  const graph::VertexId n = 4096;
+  const std::uint32_t d = 64;
+  const auto sampler = graph::CirculantSampler::dense(n, d);
+  parallel::ThreadPool pool(2);
+  core::Opinions cur(n, 0), next(n);
+  for (graph::VertexId v = 1000; v < 1000 + 4 * d; ++v) cur[v] = 1;
+  for (int round = 0; round < 10; ++round) {
+    core::step_best_of_k(sampler, cur, next, 3, core::TieRule::kRandom, 5,
+                         round, pool);
+    cur.swap(next);
+  }
+  EXPECT_TRUE(core::has_blue_stripe(cur, 2 * d));
+}
+
+// ------------------------- noisy dynamics ---------------------------
+
+TEST(NoisyDynamics, ZeroNoiseMatchesCleanStep) {
+  const graph::CompleteSampler sampler(500);
+  parallel::ThreadPool pool(2);
+  const core::Opinions init = core::iid_bernoulli(500, 0.4, 3);
+  core::Opinions a(500), b(500);
+  core::step_best_of_k(sampler, init, a, 3, core::TieRule::kRandom, 9, 0, pool);
+  core::step_best_of_k_noisy(sampler, init, b, 3, core::TieRule::kRandom, 0.0,
+                             9, 0, pool);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NoisyDynamics, FullNoiseIsAFairCoin) {
+  const graph::CompleteSampler sampler(20000);
+  parallel::ThreadPool pool(2);
+  const core::Opinions init(20000, 0);  // all red: only noise makes blue
+  core::Opinions next(20000);
+  const auto blues = core::step_best_of_k_noisy(
+      sampler, init, next, 3, core::TieRule::kRandom, 1.0, 9, 0, pool);
+  EXPECT_NEAR(static_cast<double>(blues) / 20000.0, 0.5, 0.02);
+}
+
+TEST(NoisyDynamics, StationaryMassMatchesMeanfield) {
+  const graph::CompleteSampler sampler(1 << 15);
+  parallel::ThreadPool pool(4);
+  const double noise = 0.15;
+  core::Opinions cur = core::iid_bernoulli(1 << 15, 0.3, 7), next(1 << 15);
+  double last = 0.0;
+  for (int round = 0; round < 40; ++round) {
+    const auto blues = core::step_best_of_k_noisy(
+        sampler, cur, next, 3, core::TieRule::kRandom, noise, 11, round, pool);
+    cur.swap(next);
+    last = static_cast<double>(blues) / static_cast<double>(1 << 15);
+  }
+  EXPECT_NEAR(last, theory::noisy_stationary_minority(noise), 0.02);
+}
+
+TEST(NoisyMap, PitchforkAtOneThird) {
+  EXPECT_LT(theory::noisy_stationary_minority(0.1), 0.1);
+  EXPECT_LT(theory::noisy_stationary_minority(0.3), 0.35);
+  EXPECT_NEAR(theory::noisy_stationary_minority(0.34), 0.5, 1e-6);
+  EXPECT_NEAR(theory::noisy_stationary_minority(0.5), 0.5, 1e-9);
+}
+
+TEST(NoisyDynamics, RejectsBadNoise) {
+  const graph::CompleteSampler sampler(10);
+  parallel::ThreadPool pool(1);
+  core::Opinions a(10, 0), b(10);
+  EXPECT_THROW(core::step_best_of_k_noisy(sampler, a, b, 3,
+                                          core::TieRule::kRandom, -0.1, 1, 0,
+                                          pool),
+               std::invalid_argument);
+}
+
+// ------------------------- plurality driver -------------------------
+
+TEST(PluralityDriver, ReachesConsensusOnClearPlurality) {
+  const graph::CompleteSampler sampler(2048);
+  parallel::ThreadPool pool(2);
+  const auto result = core::run_plurality_sync(
+      sampler, core::iid_multi(2048, {0.55, 0.25, 0.2}, 3), 3, 3,
+      core::PluralityTie::kRandom, 7, 100, pool);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 0);
+  EXPECT_EQ(result.count_trajectory.size(), result.rounds + 1);
+  // Counts at every round sum to n.
+  for (const auto& counts : result.count_trajectory) {
+    std::uint64_t total = 0;
+    for (const auto c : counts) total += c;
+    EXPECT_EQ(total, 2048u);
+  }
+}
+
+TEST(PluralityDriver, AlreadyConsensusTerminatesImmediately) {
+  const graph::CompleteSampler sampler(64);
+  parallel::ThreadPool pool(1);
+  const auto result = core::run_plurality_sync(
+      sampler, core::Opinions(64, 2), 3, 4, core::PluralityTie::kRandom, 7,
+      100, pool);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 2);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+// ---------------- materialised Lemma 6 construction -----------------
+
+TEST(MaterializedTernary, MatchesLazyTransformExactly) {
+  const graph::CompleteSampler sampler(32);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto dag = votingdag::build_voting_dag(sampler, 0, 5, seed);
+    const core::Opinions leaves = core::iid_bernoulli(
+        dag.level(0).size(), 0.5, seed ^ 0xAB);
+    const auto lazy = votingdag::ternary_transform(dag, leaves);
+    const auto tree_leaves = votingdag::materialize_ternary_leaves(dag, leaves);
+    ASSERT_EQ(tree_leaves.size(), 243u);  // 3^5
+    // Colour the explicit ternary tree with the materialised leaves.
+    const auto tree = votingdag::make_ternary_tree(5);
+    const auto colouring = votingdag::color_dag(tree, tree_leaves);
+    EXPECT_EQ(colouring.root(), lazy.color) << seed;
+    EXPECT_DOUBLE_EQ(static_cast<double>(core::count_blue(tree_leaves)),
+                     lazy.blue_leaves)
+        << seed;
+  }
+}
+
+TEST(MaterializedTernary, MatchesDirectDagColouring) {
+  const graph::CompleteSampler sampler(8);  // heavy collisions
+  const auto dag = votingdag::build_voting_dag(sampler, 0, 6, 99);
+  const core::Opinions leaves =
+      core::iid_bernoulli(dag.level(0).size(), 0.5, 123);
+  const auto direct = votingdag::color_dag(dag, leaves);
+  const auto tree_leaves = votingdag::materialize_ternary_leaves(dag, leaves);
+  const auto tree = votingdag::make_ternary_tree(6);
+  EXPECT_EQ(votingdag::color_dag(tree, tree_leaves).root(), direct.root());
+}
+
+TEST(MaterializedTernary, RejectsHugeTrees) {
+  const graph::CompleteSampler sampler(64);
+  const auto dag = votingdag::build_voting_dag(sampler, 0, 16, 1);
+  const core::Opinions leaves(dag.level(0).size(), 0);
+  EXPECT_THROW(votingdag::materialize_ternary_leaves(dag, leaves),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,401 @@
+// Graph substrate tests: CSR invariants, builder semantics, generator
+// degree/edge-count guarantees, algorithms, samplers, and I/O.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/samplers.hpp"
+#include "graph/spectral.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace b3v::graph;
+
+TEST(GraphBuilder, TriangleBasics) {
+  const Graph g = from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilder, KeepMultiEdgesMode) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1).add_edge(0, 1);
+  const Graph g = b.build_keeping_multi_edges();
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopAndOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(Graph, ValidatesCsrShape) {
+  EXPECT_THROW(Graph(2, {0, 1}, {0}), std::invalid_argument);       // offsets short
+  EXPECT_THROW(Graph(2, {0, 1, 1}, {5}), std::invalid_argument);    // bad span
+  EXPECT_THROW(Graph(2, {0, 1, 2}, {0, 9}), std::invalid_argument); // id range
+}
+
+TEST(Graph, AdjacencyRowsSorted) {
+  const Graph g = complete(6);
+  for (VertexId v = 0; v < 6; ++v) {
+    const auto row = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+  }
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = complete(10);
+  EXPECT_EQ(g.num_edges(), 45u);
+  EXPECT_EQ(g.min_degree(), 9u);
+  EXPECT_EQ(g.max_degree(), 9u);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(3), 3u);
+}
+
+TEST(Generators, CycleAndPath) {
+  const Graph c = cycle(8);
+  EXPECT_EQ(c.num_edges(), 8u);
+  EXPECT_EQ(c.min_degree(), 2u);
+  const Graph p = path(8);
+  EXPECT_EQ(p.num_edges(), 7u);
+  EXPECT_EQ(p.min_degree(), 1u);
+}
+
+TEST(Generators, GridAndTorus) {
+  const Graph g = grid(3, 4, false);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 17u);  // 3*3 horizontal + 2*4 vertical
+  const Graph t = grid(3, 4, true);
+  EXPECT_EQ(t.min_degree(), 4u);
+  EXPECT_EQ(t.max_degree(), 4u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, StarAndBarbell) {
+  const Graph s = star(5);
+  EXPECT_EQ(s.degree(0), 4u);
+  EXPECT_EQ(s.min_degree(), 1u);
+  const Graph b = barbell(4);
+  EXPECT_EQ(b.num_vertices(), 8u);
+  EXPECT_EQ(b.num_edges(), 13u);  // 2 * C(4,2) + bridge
+  EXPECT_TRUE(is_connected(b));
+}
+
+TEST(Generators, CirculantDegreeExact) {
+  const Graph g = circulant(10, {1, 3});
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(0, 7));
+}
+
+TEST(Generators, CirculantHalfTurnSingleNeighbor) {
+  const Graph g = circulant(6, {3});
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+class DenseCirculantDegrees
+    : public ::testing::TestWithParam<std::pair<VertexId, std::uint32_t>> {};
+
+TEST_P(DenseCirculantDegrees, ExactDegreeEverywhere) {
+  const auto [n, d] = GetParam();
+  const Graph g = dense_circulant(n, d);
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_EQ(g.min_degree(), d);
+  EXPECT_EQ(g.max_degree(), d);
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DenseCirculantDegrees,
+    ::testing::Values(std::pair{16u, 4u}, std::pair{16u, 5u},
+                      std::pair{100u, 10u}, std::pair{101u, 10u},
+                      std::pair{64u, 31u}, std::pair{128u, 65u}));
+
+TEST(Generators, DenseCirculantOddDegreeOddNThrows) {
+  EXPECT_THROW(dense_circulant(9, 3), std::invalid_argument);
+}
+
+TEST(Generators, GnpEdgeCountNearExpectation) {
+  const VertexId n = 400;
+  const double p = 0.1;
+  const Graph g = erdos_renyi_gnp(n, p, 42);
+  const double expected = p * n * (n - 1) / 2.0;
+  const double sd = std::sqrt(expected * (1 - p));
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 6 * sd);
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(erdos_renyi_gnp(50, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi_gnp(50, 1.0, 1).num_edges(), 50u * 49 / 2);
+}
+
+TEST(Generators, GnpDeterministicInSeed) {
+  const Graph a = erdos_renyi_gnp(100, 0.2, 7);
+  const Graph b = erdos_renyi_gnp(100, 0.2, 7);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  const Graph c = erdos_renyi_gnp(100, 0.2, 8);
+  EXPECT_NE(a.adjacency(), c.adjacency());
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  const Graph g = erdos_renyi_gnm(100, 1234, 5);
+  EXPECT_EQ(g.num_edges(), 1234u);
+}
+
+TEST(Generators, GnmFullGraph) {
+  const Graph g = erdos_renyi_gnm(20, 190, 5);
+  EXPECT_EQ(g.min_degree(), 19u);
+}
+
+class RandomRegularDegrees
+    : public ::testing::TestWithParam<std::pair<VertexId, std::uint32_t>> {};
+
+TEST_P(RandomRegularDegrees, ExactRegularity) {
+  const auto [n, d] = GetParam();
+  const Graph g = random_regular(n, d, 99);
+  EXPECT_EQ(g.min_degree(), d);
+  EXPECT_EQ(g.max_degree(), d);
+  EXPECT_EQ(g.num_edges(), static_cast<EdgeId>(n) * d / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomRegularDegrees,
+                         ::testing::Values(std::pair{50u, 3u},
+                                           std::pair{100u, 4u},
+                                           std::pair{64u, 8u},
+                                           std::pair{200u, 16u}));
+
+TEST(Generators, RandomRegularOddProductThrows) {
+  EXPECT_THROW(random_regular(7, 3, 1), std::invalid_argument);
+}
+
+TEST(Generators, ChungLuRespectsWeightOrdering) {
+  const auto w = power_law_weights(500, 2.5, 4.0, 50.0);
+  EXPECT_GE(w.front(), w.back());
+  const Graph g = chung_lu(w, 31);
+  // Heaviest vertex should have materially larger degree than lightest.
+  EXPECT_GT(g.degree(0), g.degree(499));
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(Generators, PowerLawWeightsClipped) {
+  const auto w = power_law_weights(100, 2.5, 2.0, 10.0);
+  for (const double x : w) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 10.0);
+  }
+}
+
+TEST(Generators, SbmBlockStructure) {
+  const Graph g = stochastic_block_model({50, 50}, {{0.5, 0.01}, {0.01, 0.5}}, 3);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  // Count intra vs inter edges.
+  EdgeId intra = 0, inter = 0;
+  for (VertexId v = 0; v < 100; ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (v < u) {
+        ((v < 50) == (u < 50) ? intra : inter) += 1;
+      }
+    }
+  }
+  EXPECT_GT(intra, inter * 5);
+}
+
+TEST(Algorithms, BfsDistancesOnPath) {
+  const Graph g = path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Algorithms, ComponentsOnDisjointUnion) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+  const Graph g = b.build();  // vertex 5 isolated
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp.count, 3u);
+  EXPECT_EQ(comp.label[0], comp.label[2]);
+  EXPECT_EQ(comp.label[3], comp.label[4]);
+  EXPECT_NE(comp.label[0], comp.label[3]);
+  EXPECT_NE(comp.label[5], comp.label[0]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Algorithms, BipartitenessDetection) {
+  EXPECT_TRUE(is_bipartite(cycle(8)));
+  EXPECT_FALSE(is_bipartite(cycle(9)));
+  EXPECT_FALSE(is_bipartite(complete(4)));
+  EXPECT_TRUE(is_bipartite(path(10)));
+}
+
+TEST(Algorithms, DegreeHistogram) {
+  const auto hist = degree_histogram(star(5));
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(Algorithms, DoubleSweepOnPathIsExact) {
+  EXPECT_EQ(double_sweep_diameter(path(10)), 9u);
+  EXPECT_EQ(double_sweep_diameter(complete(5)), 1u);
+}
+
+TEST(Algorithms, ClusteringCompleteIsOne) {
+  EXPECT_NEAR(sampled_clustering(complete(20), 2000, 1), 1.0, 1e-9);
+  // A star has no triangles.
+  EXPECT_NEAR(sampled_clustering(star(20), 2000, 1), 0.0, 1e-9);
+}
+
+TEST(Spectral, CompleteGraphLambda2) {
+  // K_n transition matrix has lambda_2 = 1/(n-1).
+  b3v::parallel::ThreadPool pool(2);
+  const auto r = second_eigenvalue(complete(20), pool);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.lambda2, 1.0 / 19.0, 1e-3);
+}
+
+TEST(Spectral, OddCycleLambda2) {
+  // C_n (odd n, non-bipartite) has second-largest |eigenvalue|
+  // cos(pi/n), attained at k = (n-1)/2 with negative sign.
+  b3v::parallel::ThreadPool pool(2);
+  const auto r = second_eigenvalue(cycle(15), pool, 1e-10, 20000);
+  EXPECT_NEAR(r.lambda2, std::cos(3.14159265358979 / 15.0), 1e-3);
+}
+
+TEST(Spectral, EvenCycleIsBipartiteLambda2One) {
+  // Bipartite graphs have eigenvalue -1, so |lambda_2| = 1.
+  b3v::parallel::ThreadPool pool(2);
+  const auto r = second_eigenvalue(cycle(16), pool, 1e-10, 20000);
+  EXPECT_NEAR(r.lambda2, 1.0, 1e-3);
+}
+
+TEST(Spectral, DenseExpanderHasSmallLambda2) {
+  b3v::parallel::ThreadPool pool(2);
+  const Graph g = erdos_renyi_gnp(300, 0.3, 11);
+  const auto r = second_eigenvalue(g, pool);
+  EXPECT_LT(r.lambda2, 0.25);
+}
+
+TEST(Samplers, CsrSamplerMatchesGraphNeighbourhood) {
+  const Graph g = cycle(10);
+  const CsrSampler s(g);
+  b3v::rng::Xoshiro256 gen(1);
+  for (int i = 0; i < 200; ++i) {
+    const VertexId u = s.sample(3, gen);
+    EXPECT_TRUE(u == 2 || u == 4);
+  }
+}
+
+TEST(Samplers, CompleteSamplerNeverReturnsSelfAndIsUniform) {
+  const CompleteSampler s(10);
+  b3v::rng::Xoshiro256 gen(5);
+  std::map<VertexId, int> counts;
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) {
+    const VertexId u = s.sample(4, gen);
+    ASSERT_NE(u, 4u);
+    ASSERT_LT(u, 10u);
+    ++counts[u];
+  }
+  for (const auto& [v, c] : counts) EXPECT_NEAR(c, n / 9, 700) << v;
+}
+
+TEST(Samplers, CirculantSamplerMatchesMaterialisedSupport) {
+  const VertexId n = 20;
+  const std::uint32_t d = 6;
+  const Graph g = dense_circulant(n, d);
+  const CirculantSampler s = CirculantSampler::dense(n, d);
+  EXPECT_EQ(s.degree(0), d);
+  b3v::rng::Xoshiro256 gen(9);
+  for (int i = 0; i < 500; ++i) {
+    const VertexId u = s.sample(7, gen);
+    EXPECT_TRUE(g.has_edge(7, u)) << u;
+  }
+}
+
+TEST(Samplers, CirculantSamplerOddDegreeHalfTurn) {
+  const CirculantSampler s = CirculantSampler::dense(10, 5);
+  EXPECT_EQ(s.degree(0), 5u);
+  b3v::rng::Xoshiro256 gen(2);
+  std::set<VertexId> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(s.sample(0, gen));
+  EXPECT_EQ(seen, (std::set<VertexId>{1, 2, 5, 8, 9}));
+}
+
+TEST(Samplers, HypercubeSamplerFlipsOneBit) {
+  const HypercubeSampler s(5);
+  b3v::rng::Xoshiro256 gen(4);
+  for (int i = 0; i < 200; ++i) {
+    const VertexId u = s.sample(13, gen);
+    EXPECT_EQ(std::popcount(u ^ 13u), 1);
+  }
+}
+
+TEST(Samplers, TorusSamplerStaysAdjacent) {
+  const TorusSampler s(4, 5);
+  const Graph g = grid(4, 5, true);
+  b3v::rng::Xoshiro256 gen(4);
+  for (int i = 0; i < 400; ++i) {
+    const VertexId u = s.sample(11, gen);
+    EXPECT_TRUE(g.has_edge(11, u)) << u;
+  }
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = erdos_renyi_gnp(60, 0.2, 17);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph h = read_edge_list(buffer);
+  EXPECT_EQ(g.num_vertices(), h.num_vertices());
+  EXPECT_EQ(g.offsets(), h.offsets());
+  EXPECT_EQ(g.adjacency(), h.adjacency());
+}
+
+TEST(Io, ReadRejectsGarbage) {
+  std::stringstream buffer("not a graph");
+  EXPECT_THROW(read_edge_list(buffer), std::runtime_error);
+}
+
+TEST(Io, DotContainsAllEdges) {
+  const std::string dot = to_dot(cycle(4), "C4");
+  EXPECT_NE(dot.find("graph C4"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 3"), std::string::npos);
+  EXPECT_NE(dot.find("2 -- 3"), std::string::npos);
+}
+
+}  // namespace

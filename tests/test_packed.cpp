@@ -1,0 +1,89 @@
+// Bit-packed opinion representation: storage semantics and bit-exact
+// agreement with the byte kernel.
+#include <gtest/gtest.h>
+
+#include "core/initializer.hpp"
+#include "core/packed.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace b3v;
+using core::PackedOpinions;
+
+TEST(PackedOpinions, SetGetRoundTrip) {
+  PackedOpinions packed(130);  // spans three words
+  EXPECT_EQ(packed.size(), 130u);
+  EXPECT_EQ(packed.num_words(), 3u);
+  for (std::size_t v = 0; v < 130; v += 7) packed.set(v, 1);
+  for (std::size_t v = 0; v < 130; ++v) {
+    EXPECT_EQ(packed.get(v), v % 7 == 0 ? 1 : 0) << v;
+  }
+  packed.set(0, 0);
+  EXPECT_EQ(packed.get(0), 0);
+}
+
+TEST(PackedOpinions, PackUnpackIdentity) {
+  const core::Opinions opinions = core::iid_bernoulli(1000, 0.37, 5);
+  const PackedOpinions packed{std::span<const core::OpinionValue>(opinions)};
+  EXPECT_EQ(packed.unpack(), opinions);
+  EXPECT_EQ(packed.count_blue(), core::count_blue(opinions));
+}
+
+TEST(PackedOpinions, CountBluePartialLastWord) {
+  PackedOpinions packed(70);
+  for (std::size_t v = 60; v < 70; ++v) packed.set(v, 1);
+  EXPECT_EQ(packed.count_blue(), 10u);
+}
+
+class PackedKernelAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackedKernelAgreement, MatchesByteKernelBitForBit) {
+  const std::uint64_t seed = GetParam();
+  const graph::Graph g = graph::dense_circulant(777, 64);  // non-multiple of 64
+  const graph::CsrSampler sampler(g);
+  parallel::ThreadPool pool(4);
+  core::Opinions cur = core::iid_bernoulli(777, 0.42, seed ^ 0xAA);
+  PackedOpinions packed_cur{std::span<const core::OpinionValue>(cur)};
+
+  core::Opinions next(777);
+  PackedOpinions packed_next(777);
+  for (std::uint64_t round = 0; round < 5; ++round) {
+    const auto blues_byte = core::step_best_of_k(
+        sampler, cur, next, 3, core::TieRule::kRandom, seed, round, pool);
+    const auto blues_packed = core::step_best_of_three_packed(
+        sampler, packed_cur, packed_next, seed, round, pool);
+    ASSERT_EQ(blues_byte, blues_packed) << round;
+    ASSERT_EQ(packed_next.unpack(), next) << round;
+    cur.swap(next);
+    std::swap(packed_cur, packed_next);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackedKernelAgreement,
+                         ::testing::Values(1ULL, 7ULL, 42ULL, 2024ULL));
+
+TEST(PackedKernel, ThreadCountInvariant) {
+  const graph::CompleteSampler sampler(5000);
+  const core::Opinions init = core::iid_bernoulli(5000, 0.4, 3);
+  auto run = [&](unsigned threads) {
+    parallel::ThreadPool pool(threads);
+    PackedOpinions cur{std::span<const core::OpinionValue>(init)};
+    PackedOpinions next(5000);
+    core::step_best_of_three_packed(sampler, cur, next, 11, 0, pool);
+    return next.unpack();
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(PackedKernel, RejectsSizeMismatch) {
+  const graph::CompleteSampler sampler(100);
+  parallel::ThreadPool pool(1);
+  PackedOpinions small(50), right(100);
+  EXPECT_THROW(core::step_best_of_three_packed(sampler, small, right, 1, 0, pool),
+               std::invalid_argument);
+}
+
+}  // namespace

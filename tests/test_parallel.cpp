@@ -1,0 +1,149 @@
+// Thread-pool correctness: full coverage of ranges, reduction results,
+// nesting, reuse, and determinism of counter-based parallel kernels
+// across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "rng/philox.hpp"
+
+namespace {
+
+using b3v::parallel::ThreadPool;
+
+TEST(ThreadPool, SizeAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.size(), 4u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { called = true; });
+  pool.parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NonzeroBeginRespected) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(10, 1000, 7, [&](std::size_t lo, std::size_t hi) {
+    std::uint64_t local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 10; i < 1000; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 1000, 10, [&](std::size_t lo, std::size_t hi) {
+      count.fetch_add(static_cast<int>(hi - lo));
+    });
+    ASSERT_EQ(count.load(), 1000);
+  }
+}
+
+TEST(ThreadPool, ParallelReduceSum) {
+  ThreadPool pool(4);
+  const std::size_t n = 123457;
+  const std::uint64_t total = pool.parallel_reduce<std::uint64_t>(
+      0, n, 1000, 0,
+      [](std::size_t lo, std::size_t hi) {
+        std::uint64_t acc = 0;
+        for (std::size_t i = lo; i < hi; ++i) acc += i;
+        return acc;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ParallelReduceEmptyRangeReturnsInit) {
+  ThreadPool pool(4);
+  const int result = pool.parallel_reduce<int>(
+      3, 3, 10, 42, [](std::size_t, std::size_t) { return 7; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ThreadPool, NestedCallsDegradeToSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    // Nested parallel_for from a worker must not deadlock.
+    pool.parallel_for(0, 100, 10, [&](std::size_t lo, std::size_t hi) {
+      inner_total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 800);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsSerially) {
+  ThreadPool pool(1);
+  std::uint64_t sum = 0;  // no atomics needed: serial execution
+  pool.parallel_for(0, 1000, 10,
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) sum += i;
+                    });
+  EXPECT_EQ(sum, 499500u);
+}
+
+/// The load-bearing property for the whole library: a counter-based
+/// kernel produces identical output for any thread count.
+class DeterminismAcrossThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DeterminismAcrossThreads, CounterKernelsThreadCountInvariant) {
+  const unsigned threads = GetParam();
+  const std::size_t n = 20000;
+  auto run = [n](unsigned nthreads) {
+    ThreadPool pool(nthreads);
+    std::vector<std::uint64_t> out(n);
+    pool.parallel_for(0, n, 128, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        b3v::rng::CounterRng gen(999, 5, i, 0);
+        out[i] = gen.next_u64();
+      }
+    });
+    return out;
+  };
+  EXPECT_EQ(run(threads), run(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, DeterminismAcrossThreads,
+                         ::testing::Values(2u, 3u, 4u, 8u));
+
+TEST(ThreadPool, GrainLargerThanRangeStillCorrect) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, 1000, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace

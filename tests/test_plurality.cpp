@@ -1,0 +1,135 @@
+// Multi-opinion (plurality) dynamics tests — the q-colour extension of
+// the introduction ([2], [7]).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/initializer.hpp"
+#include "core/plurality.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace {
+
+using namespace b3v;
+using core::Opinions;
+using core::PluralityTie;
+
+TEST(Plurality, ConsensusStateAbsorbing) {
+  parallel::ThreadPool pool(2);
+  const graph::CompleteSampler sampler(40);
+  Opinions current(40, 2), next(40);
+  const auto counts = core::step_plurality(sampler, current, next, 3, 4,
+                                           PluralityTie::kRandom, 7, 0, pool);
+  EXPECT_EQ(counts[2], 40u);
+  EXPECT_EQ(next, current);
+}
+
+TEST(Plurality, BinaryCaseMatchesBestOfK) {
+  // With q = 2 and odd k the plurality update must equal the Best-of-k
+  // update draw-for-draw (same RNG purpose tags).
+  parallel::ThreadPool pool(2);
+  const graph::Graph g = graph::dense_circulant(200, 20);
+  const graph::CsrSampler sampler(g);
+  const Opinions init = core::iid_bernoulli(200, 0.4, 3);
+  Opinions a(200), b(200);
+  core::step_best_of_k(sampler, init, a, 3, core::TieRule::kRandom, 9, 0, pool);
+  core::step_plurality(sampler, init, b, 3, 2, PluralityTie::kRandom, 9, 0, pool);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Plurality, CountsSumToN) {
+  parallel::ThreadPool pool(2);
+  const graph::CompleteSampler sampler(500);
+  const Opinions init = core::iid_multi(500, {0.4, 0.3, 0.2, 0.1}, 5);
+  Opinions next(500);
+  const auto counts = core::step_plurality(sampler, init, next, 3, 4,
+                                           PluralityTie::kRandom, 11, 0, pool);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(Plurality, StrongPluralityWinsOnComplete) {
+  // 60/20/20 start on K_n: colour 0 should win within a few rounds.
+  parallel::ThreadPool pool(4);
+  const graph::CompleteSampler sampler(4096);
+  Opinions current = core::iid_multi(4096, {0.6, 0.2, 0.2}, 9);
+  Opinions next(4096);
+  std::vector<std::uint64_t> counts;
+  for (int round = 0; round < 40; ++round) {
+    counts = core::step_plurality(sampler, current, next, 3, 3,
+                                  PluralityTie::kRandom, 13,
+                                  static_cast<std::uint64_t>(round), pool);
+    current.swap(next);
+    if (counts[0] == 4096) break;
+  }
+  EXPECT_EQ(counts[0], 4096u);
+}
+
+TEST(Plurality, KeepOwnTiePreservesOwnColour) {
+  // Vertex with two neighbours of two different colours, k = 2: a tie
+  // between colours {1, 2}; under kKeepOwn the vertex keeps colour 0.
+  parallel::ThreadPool pool(1);
+  graph::GraphBuilder builder(3);
+  builder.add_edge(0, 1).add_edge(0, 2);
+  const graph::Graph g = builder.build();
+  const graph::CsrSampler sampler(g);
+  const Opinions current{0, 1, 2};
+  Opinions next(3);
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    rng::CounterRng gen(seed, 0, 0, core::kDrawNeighbors);
+    const auto row = g.neighbors(0);
+    const auto s1 = row[rng::bounded_u32(gen, 2)];
+    const auto s2 = row[rng::bounded_u32(gen, 2)];
+    if (s1 == s2) continue;  // need the {1, 2} tie
+    core::step_plurality(sampler, current, next, 2, 3, PluralityTie::kKeepOwn,
+                         seed, 0, pool);
+    EXPECT_EQ(next[0], 0) << seed;
+    core::step_plurality(sampler, current, next, 2, 3, PluralityTie::kRandom,
+                         seed, 0, pool);
+    EXPECT_TRUE(next[0] == 1 || next[0] == 2) << seed;
+  }
+}
+
+TEST(Plurality, RandomTieUniformAmongTied) {
+  parallel::ThreadPool pool(1);
+  graph::GraphBuilder builder(3);
+  builder.add_edge(0, 1).add_edge(0, 2);
+  const graph::Graph g = builder.build();
+  const graph::CsrSampler sampler(g);
+  const Opinions current{0, 1, 2};
+  Opinions next(3);
+  std::array<int, 3> wins{};
+  int ties = 0;
+  for (std::uint64_t seed = 0; seed < 4000; ++seed) {
+    rng::CounterRng gen(seed, 0, 0, core::kDrawNeighbors);
+    const auto row = g.neighbors(0);
+    if (row[rng::bounded_u32(gen, 2)] == row[rng::bounded_u32(gen, 2)]) continue;
+    ++ties;
+    core::step_plurality(sampler, current, next, 2, 3, PluralityTie::kRandom,
+                         seed, 0, pool);
+    ++wins[next[0]];
+  }
+  ASSERT_GT(ties, 1000);
+  EXPECT_EQ(wins[0], 0);
+  EXPECT_NEAR(static_cast<double>(wins[1]) / ties, 0.5, 0.06);
+  EXPECT_NEAR(static_cast<double>(wins[2]) / ties, 0.5, 0.06);
+}
+
+TEST(Plurality, RejectsBadQ) {
+  parallel::ThreadPool pool(1);
+  const graph::CompleteSampler sampler(10);
+  Opinions a(10, 0), b(10);
+  EXPECT_THROW(core::step_plurality(sampler, a, b, 3, 0,
+                                    PluralityTie::kRandom, 1, 0, pool),
+               std::invalid_argument);
+  EXPECT_THROW(core::step_plurality(sampler, a, b, 3, 65,
+                                    PluralityTie::kRandom, 1, 0, pool),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,291 @@
+// Unit tests for the RNG substrate: determinism, stream independence,
+// distribution sanity, bounded-integer exactness, alias tables.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "rng/bounded.hpp"
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix64.hpp"
+#include "analysis/stats.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace b3v::rng;
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64_next(s1), splitmix64_next(s2));
+  }
+}
+
+TEST(SplitMix64, Mix64IsStatelessAndStable) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_NE(mix64(0), mix64(1));
+  // Avalanche sanity: flipping one input bit flips ~half the output bits.
+  int total = 0;
+  for (int b = 0; b < 64; ++b) {
+    total += std::popcount(mix64(123456789) ^ mix64(123456789 ^ (1ULL << b)));
+  }
+  const double avg = total / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(SplitMix64, DeriveStreamSeparatesStreams) {
+  const std::uint64_t master = 7;
+  EXPECT_NE(derive_stream(master, 0), derive_stream(master, 1));
+  EXPECT_EQ(derive_stream(master, 5), derive_stream(master, 5));
+  EXPECT_NE(derive_stream(master, 5), derive_stream(master + 1, 5));
+}
+
+TEST(Xoshiro256, ReproducibleFromSeed) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, JumpDecorrelates) {
+  Xoshiro256 a(7);
+  Xoshiro256 b = a;
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 gen(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = gen.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, MeanOfUniformsNearHalf) {
+  Xoshiro256 gen(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += gen.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Philox, CounterBijectionIsDeterministic) {
+  const Philox4x32::Counter ctr{1, 2, 3, 4};
+  const Philox4x32::Key key{5, 6};
+  EXPECT_EQ(Philox4x32::generate(ctr, key), Philox4x32::generate(ctr, key));
+}
+
+TEST(Philox, DistinctCountersGiveDistinctBlocks) {
+  const Philox4x32::Key key{5, 6};
+  const auto a = Philox4x32::generate({0, 0, 0, 0}, key);
+  const auto b = Philox4x32::generate({1, 0, 0, 0}, key);
+  EXPECT_NE(a, b);
+}
+
+TEST(CounterRng, SameTupleSameStream) {
+  CounterRng a(123, 7, 9, 1);
+  CounterRng b(123, 7, 9, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(CounterRng, TupleComponentsSeparateStreams) {
+  CounterRng base(123, 7, 9, 1);
+  const std::uint64_t first = base.next_u64();
+  EXPECT_NE(first, CounterRng(124, 7, 9, 1).next_u64());
+  EXPECT_NE(first, CounterRng(123, 8, 9, 1).next_u64());
+  EXPECT_NE(first, CounterRng(123, 7, 10, 1).next_u64());
+  EXPECT_NE(first, CounterRng(123, 7, 9, 2).next_u64());
+}
+
+TEST(CounterRng, LongDrawSequenceHasUniformMean) {
+  CounterRng gen(2024, 0, 0, 0);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += gen.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Bounded, AllValuesReachableAndInRange) {
+  Xoshiro256 gen(5);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = bounded_u32(gen, 7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Bounded, NOfOneAlwaysZero) {
+  Xoshiro256 gen(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(bounded_u32(gen, 1), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(bounded_u64(gen, 1), 0u);
+}
+
+TEST(Bounded, U64LargeRange) {
+  Xoshiro256 gen(5);
+  const std::uint64_t n = (1ULL << 40) + 12345;
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(bounded_u64(gen, n), n);
+}
+
+TEST(Distributions, BernoulliEdgeCases) {
+  Xoshiro256 gen(1);
+  const BernoulliSampler never(0.0);
+  const BernoulliSampler always(1.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(never(gen));
+    EXPECT_TRUE(always(gen));
+  }
+}
+
+TEST(Distributions, BernoulliFrequencyMatchesP) {
+  Xoshiro256 gen(17);
+  const double p = 0.3;
+  const BernoulliSampler coin(p);
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) hits += coin(gen);
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.005);
+}
+
+TEST(Distributions, GeometricMeanMatches) {
+  Xoshiro256 gen(23);
+  const double p = 0.2;
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(geometric(gen, p));
+  EXPECT_NEAR(acc / n, (1.0 - p) / p, 0.1);
+}
+
+TEST(Distributions, GeometricPOneIsZero) {
+  Xoshiro256 gen(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(geometric(gen, 1.0), 0u);
+}
+
+class BinomialMomentsTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BinomialMomentsTest, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Xoshiro256 gen(91);
+  const int reps = 20000;
+  double mean = 0.0, m2 = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const double x = static_cast<double>(binomial(gen, n, p));
+    const double delta = x - mean;
+    mean += delta / (i + 1);
+    m2 += delta * (x - mean);
+  }
+  const double nd = static_cast<double>(n);
+  const double var = m2 / (reps - 1);
+  EXPECT_NEAR(mean, nd * p, 4.0 * std::sqrt(nd * p * (1 - p) / reps) + 0.05);
+  EXPECT_NEAR(var / (nd * p * (1 - p)), 1.0, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallAndLarge, BinomialMomentsTest,
+    ::testing::Values(std::tuple{3, 0.5}, std::tuple{10, 0.3},
+                      std::tuple{100, 0.5}, std::tuple{500, 0.01},
+                      std::tuple{2000, 0.9}, std::tuple{100000, 0.4}));
+
+TEST(Distributions, BinomialEdgeCases) {
+  Xoshiro256 gen(2);
+  EXPECT_EQ(binomial(gen, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(gen, 10, 0.0), 0u);
+  EXPECT_EQ(binomial(gen, 10, 1.0), 10u);
+}
+
+TEST(AliasTable, UniformWeights) {
+  AliasTable table(std::vector<double>(4, 1.0));
+  Xoshiro256 gen(3);
+  std::array<int, 4> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(gen)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 4, 600);
+}
+
+TEST(AliasTable, SkewedWeightsMatchProportions) {
+  const std::vector<double> w{1.0, 2.0, 7.0};
+  AliasTable table(w);
+  Xoshiro256 gen(3);
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(gen)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  AliasTable table(std::vector<double>{0.0, 1.0});
+  Xoshiro256 gen(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(table.sample(gen), 1u);
+}
+
+/// Chi-square uniformity sweep over the generators and the bounded-int
+/// mapping — the statistical closure of the determinism story.
+class UniformityChiSquare : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniformityChiSquare, CellCountsPassGoodnessOfFit) {
+  constexpr std::size_t kCells = 64;
+  constexpr int kDraws = 64000;
+  std::vector<std::uint64_t> counts(kCells, 0);
+  switch (GetParam()) {
+    case 0: {  // xoshiro bounded
+      Xoshiro256 gen(7);
+      for (int i = 0; i < kDraws; ++i) ++counts[bounded_u32(gen, kCells)];
+      break;
+    }
+    case 1: {  // philox stream, bounded
+      CounterRng gen(7, 1, 2, 3);
+      for (int i = 0; i < kDraws; ++i) ++counts[bounded_u32(gen, kCells)];
+      break;
+    }
+    case 2: {  // philox across counters (the simulator access pattern)
+      for (int i = 0; i < kDraws; ++i) {
+        CounterRng gen(7, 0, static_cast<std::uint64_t>(i), 0);
+        ++counts[bounded_u32(gen, kCells)];
+      }
+      break;
+    }
+    default: {  // top bits of xoshiro next_u64
+      Xoshiro256 gen(9);
+      for (int i = 0; i < kDraws; ++i) ++counts[gen.next_u64() >> 58];
+      break;
+    }
+  }
+  const auto result = b3v::analysis::chi_square_uniform(counts);
+  // 4-sigma acceptance: false-failure probability ~3e-5 per case, and
+  // the draws are seed-deterministic so this never flakes.
+  EXPECT_LT(result.z_score, 4.0) << "statistic=" << result.statistic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sources, UniformityChiSquare, ::testing::Range(0, 4));
+
+TEST(AliasTable, RejectsInvalidInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,272 @@
+// Exhaustive and brute-force small-case verification.
+//
+// These tests remove the "statistics could be hiding a bug" escape
+// hatch: on instances small enough to enumerate, the implementations
+// must match first-principles enumeration exactly (up to Monte-Carlo
+// error where the quantity is itself an expectation over seeds).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "core/dynamics.hpp"
+#include "core/initializer.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/binomial.hpp"
+#include "theory/exact_chain.hpp"
+#include "votingdag/coloring.hpp"
+#include "votingdag/dag.hpp"
+#include "votingdag/sprinkling.hpp"
+#include "votingdag/ternary.hpp"
+
+namespace {
+
+using namespace b3v;
+
+// ---------------------------------------------------------------------
+// next_opinion's sampling distribution, verified against the exact
+// binomial law by seed enumeration.
+// ---------------------------------------------------------------------
+
+TEST(SmallCases, NextOpinionFrequencyMatchesBinomialLaw) {
+  // Star hub with 4 leaves, 1 blue: each draw hits the blue leaf w.p.
+  // 1/4, so P(hub blue next) = P(Bin(3, 1/4) >= 2) exactly.
+  const graph::Graph g = graph::star(5);
+  const graph::CsrSampler sampler(g);
+  core::Opinions current{0, 1, 0, 0, 0};
+  const double exact = theory::binomial_tail_geq(3, 2, 0.25);
+  int blue = 0;
+  const int seeds = 40000;
+  for (int seed = 0; seed < seeds; ++seed) {
+    blue += core::next_opinion(sampler, current, 0, 3, core::TieRule::kRandom,
+                               static_cast<std::uint64_t>(seed), 0);
+  }
+  const double freq = static_cast<double>(blue) / seeds;
+  const double sigma = std::sqrt(exact * (1 - exact) / seeds);
+  EXPECT_NEAR(freq, exact, 4 * sigma);
+}
+
+TEST(SmallCases, NextOpinionKFiveLaw) {
+  const graph::Graph g = graph::star(5);
+  const graph::CsrSampler sampler(g);
+  core::Opinions current{0, 1, 1, 0, 0};  // blue fraction 1/2 among leaves
+  const double exact = theory::binomial_tail_geq(5, 3, 0.5);
+  int blue = 0;
+  const int seeds = 40000;
+  for (int seed = 0; seed < seeds; ++seed) {
+    blue += core::next_opinion(sampler, current, 0, 5, core::TieRule::kRandom,
+                               static_cast<std::uint64_t>(seed), 0);
+  }
+  const double freq = static_cast<double>(blue) / seeds;
+  EXPECT_NEAR(freq, exact, 4 * std::sqrt(exact * (1 - exact) / seeds));
+}
+
+// ---------------------------------------------------------------------
+// Exact chain verified against direct enumeration on tiny K_n.
+// ---------------------------------------------------------------------
+
+TEST(SmallCases, ExactChainStepMatchesHandComputationK3) {
+  // K_3, Best-of-3, b = 1: the blue vertex samples its 2 red
+  // neighbours (p = 0), so it always turns red; each red vertex samples
+  // from {1 blue, 1 red} (p = 1/2): P(>=2 blue of 3) = 1/2.
+  const theory::ExactCompleteChain chain(3, 3);
+  EXPECT_DOUBLE_EQ(chain.blue_stays_blue(1), 0.0);
+  EXPECT_DOUBLE_EQ(chain.red_turns_blue(1), 0.5);
+  const auto dist = chain.step_distribution(1);
+  // B' ~ Bin(2, 1/2): {1/4, 1/2, 1/4} on {0, 1, 2}, 0 mass at 3.
+  EXPECT_NEAR(dist[0], 0.25, 1e-12);
+  EXPECT_NEAR(dist[1], 0.5, 1e-12);
+  EXPECT_NEAR(dist[2], 0.25, 1e-12);
+  EXPECT_NEAR(dist[3], 0.0, 1e-12);
+}
+
+TEST(SmallCases, ExactChainAbsorptionK4ByLinearAlgebraByHand) {
+  // K_4, b = 2: blue vertices sample p = 1/3 -> f_b = P(Bin(3,1/3)>=2)
+  // = 7/27; red vertices sample p = 2/3 -> f_r = 20/27. By symmetry
+  // win(2) = 1/2 exactly.
+  const theory::ExactCompleteChain chain(4, 3);
+  EXPECT_NEAR(chain.blue_stays_blue(2), 7.0 / 27.0, 1e-12);
+  EXPECT_NEAR(chain.red_turns_blue(2), 20.0 / 27.0, 1e-12);
+  EXPECT_NEAR(chain.blue_win_probability()[2], 0.5, 1e-9);
+}
+
+TEST(SmallCases, SimulatedK3MatchesExactChainTransition) {
+  // Monte-Carlo over seeds of one round from b=1 on K_3 vs the exact
+  // step distribution.
+  const graph::CompleteSampler sampler(3);
+  parallel::ThreadPool pool(1);
+  const theory::ExactCompleteChain chain(3, 3);
+  const auto exact = chain.step_distribution(1);
+  std::array<int, 4> counts{};
+  const int seeds = 30000;
+  core::Opinions current{1, 0, 0}, next(3);
+  for (int seed = 0; seed < seeds; ++seed) {
+    core::step_best_of_k(sampler, current, next, 3, core::TieRule::kRandom,
+                         static_cast<std::uint64_t>(seed), 0, pool);
+    ++counts[core::count_blue(next)];
+  }
+  for (int b = 0; b <= 3; ++b) {
+    const double freq = static_cast<double>(counts[b]) / seeds;
+    const double sigma =
+        std::sqrt(std::max(1e-9, exact[b] * (1 - exact[b]) / seeds));
+    EXPECT_NEAR(freq, exact[b], 4 * sigma + 1e-4) << b;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive duality: EVERY leaf colouring of a fixed DAG agrees with
+// the forward computation restricted to the queried vertices.
+// ---------------------------------------------------------------------
+
+TEST(SmallCases, DualityExhaustiveOverAllLeafColourings) {
+  const graph::Graph g = graph::complete(6);
+  const graph::CsrSampler sampler(g);
+  parallel::ThreadPool pool(1);
+  const std::uint64_t seed = 5;
+  const int T = 2;
+  const graph::VertexId v0 = 0;
+  const auto dag = votingdag::build_voting_dag(sampler, v0, T, seed);
+  const std::size_t leaves = dag.level(0).size();
+  ASSERT_LE(leaves, 9u);
+  for (unsigned mask = 0; mask < (1u << leaves); ++mask) {
+    // Global opinions: leaf nodes take mask bits, everything else red.
+    core::Opinions initial(6, 0);
+    for (std::size_t i = 0; i < leaves; ++i) {
+      initial[dag.level(0)[i].vertex] =
+          static_cast<core::OpinionValue>((mask >> i) & 1u);
+    }
+    core::Opinions cur = initial, next(6);
+    for (int r = 0; r < T; ++r) {
+      core::step_best_of_k(sampler, cur, next, 3, core::TieRule::kRandom, seed,
+                           static_cast<std::uint64_t>(r), pool);
+      cur.swap(next);
+    }
+    ASSERT_EQ(votingdag::color_dag_from_opinions(dag, initial).root(), cur[v0])
+        << "mask=" << mask;
+  }
+}
+
+TEST(SmallCases, SprinklingCouplingExhaustive) {
+  // Every leaf colouring of a collision-heavy DAG: X_H <= X_H'.
+  const graph::CompleteSampler sampler(4);
+  const auto dag = votingdag::build_voting_dag(sampler, 0, 3, 2);
+  const std::size_t leaves = dag.level(0).size();
+  ASSERT_LE(leaves, 4u);
+  for (int cut = 0; cut <= 3; ++cut) {
+    const auto sprinkled = votingdag::sprinkle(dag, cut);
+    for (unsigned mask = 0; mask < (1u << leaves); ++mask) {
+      core::Opinions colours(leaves);
+      for (std::size_t i = 0; i < leaves; ++i) {
+        colours[i] = static_cast<core::OpinionValue>((mask >> i) & 1u);
+      }
+      ASSERT_TRUE(votingdag::verify_coupling(dag, sprinkled, colours))
+          << "cut=" << cut << " mask=" << mask;
+    }
+  }
+}
+
+TEST(SmallCases, TernaryTransformExhaustiveRootAgreement) {
+  // Every leaf colouring: lazy transform root == direct DAG root, and
+  // blue_leaves equals the materialised tree's blue count.
+  const graph::CompleteSampler sampler(5);
+  const auto dag = votingdag::build_voting_dag(sampler, 0, 3, 9);
+  const std::size_t leaves = dag.level(0).size();
+  ASSERT_LE(leaves, 5u);
+  const auto tree = votingdag::make_ternary_tree(3);
+  for (unsigned mask = 0; mask < (1u << leaves); ++mask) {
+    core::Opinions colours(leaves);
+    for (std::size_t i = 0; i < leaves; ++i) {
+      colours[i] = static_cast<core::OpinionValue>((mask >> i) & 1u);
+    }
+    const auto direct = votingdag::color_dag(dag, colours);
+    const auto lazy = votingdag::ternary_transform(dag, colours);
+    ASSERT_EQ(lazy.color, direct.root()) << mask;
+    const auto materialised = votingdag::materialize_ternary_leaves(dag, colours);
+    ASSERT_EQ(votingdag::color_dag(tree, materialised).root(), lazy.color) << mask;
+    ASSERT_DOUBLE_EQ(static_cast<double>(core::count_blue(materialised)),
+                     lazy.blue_leaves)
+        << mask;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Voter model martingale on K_2 and tiny graphs.
+// ---------------------------------------------------------------------
+
+TEST(SmallCases, VoterOnK2IsOneStepCoinFlip) {
+  // K_2 with one blue: each vertex copies the other, so the state swaps
+  // forever under k=1... unless both sample (deterministically) their
+  // single neighbour: {1,0} -> {0,1} -> {1,0} — period 2, never
+  // consensus under the synchronous schedule. Verify that documented
+  // behaviour (the bipartite pathology of synchronous voter dynamics).
+  const graph::Graph g = graph::complete(2);
+  const graph::CsrSampler sampler(g);
+  parallel::ThreadPool pool(1);
+  core::Opinions cur{1, 0}, next(2);
+  for (int r = 0; r < 9; ++r) {
+    core::step_best_of_k(sampler, cur, next, 1, core::TieRule::kRandom, 3, r,
+                         pool);
+    cur.swap(next);
+  }
+  // After an odd number of rounds the colours have swapped.
+  EXPECT_EQ(cur[0], 0);
+  EXPECT_EQ(cur[1], 1);
+}
+
+TEST(SmallCases, VoterWinProbabilityOnK4) {
+  // Exact chain: k=1 win probability from b on K_n is b/n + O(1/n)
+  // (exactly b/n for the continuous-time/degree-weighted variant; the
+  // synchronous finite chain deviates by a small self-exclusion bias).
+  const theory::ExactCompleteChain chain(4, 1);
+  const auto& win = chain.blue_win_probability();
+  EXPECT_NEAR(win[1], 0.25, 0.03);
+  EXPECT_NEAR(win[2], 0.5, 1e-9);  // symmetry is exact
+  EXPECT_NEAR(win[3], 0.75, 0.03);
+}
+
+// ---------------------------------------------------------------------
+// Builder/graph invariants on every tiny graph (property sweep).
+// ---------------------------------------------------------------------
+
+class TinyGraphInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(TinyGraphInvariants, HandshakeAndSymmetry) {
+  graph::Graph g;
+  switch (GetParam()) {
+    case 0: g = graph::complete(7); break;
+    case 1: g = graph::cycle(9); break;
+    case 2: g = graph::star(6); break;
+    case 3: g = graph::hypercube(3); break;
+    case 4: g = graph::barbell(4); break;
+    case 5: g = graph::grid(3, 5, true); break;
+    case 6: g = graph::erdos_renyi_gnp(40, 0.3, 3); break;
+    case 7: g = graph::random_regular(20, 4, 3); break;
+    case 8: g = graph::watts_strogatz(24, 4, 0.5, 3); break;
+    default: g = graph::barabasi_albert(40, 3, 3); break;
+  }
+  // Handshake: sum of degrees = 2m.
+  std::uint64_t degree_sum = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    degree_sum += g.degree(v);
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+  // Symmetry: u in N(v) <=> v in N(u); no self-loops; rows sorted+unique.
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto row = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+    EXPECT_EQ(std::adjacent_find(row.begin(), row.end()), row.end());
+    for (const graph::VertexId u : row) {
+      EXPECT_NE(u, v);
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, TinyGraphInvariants, ::testing::Range(0, 10));
+
+}  // namespace

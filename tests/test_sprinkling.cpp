@@ -1,0 +1,165 @@
+// Sprinkling process tests (Section 3, Figure 1): collision-free
+// guarantee below the cut, artificial-Blue bookkeeping, the coupling
+// X_H <= X_H', and agreement of empirical level-wise blue rates with
+// the recursion (2) bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/initializer.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/recursions.hpp"
+#include "votingdag/dot_export.hpp"
+#include "votingdag/sprinkling.hpp"
+
+namespace {
+
+using namespace b3v;
+using votingdag::SprinkledDag;
+using votingdag::VotingDag;
+
+VotingDag tiny_dag_with_collisions() {
+  // K_4 forces frequent collisions at every level.
+  const graph::CompleteSampler sampler(4);
+  return votingdag::build_voting_dag(sampler, 0, 4, 17);
+}
+
+TEST(Sprinkling, CollisionFreeBelowCut) {
+  const VotingDag dag = tiny_dag_with_collisions();
+  for (int cut = 0; cut <= dag.root_level(); ++cut) {
+    const SprinkledDag sprinkled = votingdag::sprinkle(dag, cut);
+    EXPECT_TRUE(sprinkled.collision_free_below_cut()) << "cut=" << cut;
+  }
+}
+
+TEST(Sprinkling, RedirectCountMatchesCollisionCount) {
+  const VotingDag dag = tiny_dag_with_collisions();
+  const SprinkledDag sprinkled = votingdag::sprinkle(dag, dag.root_level());
+  for (int t = 1; t <= dag.root_level(); ++t) {
+    // Every reveal beyond the first per target vertex is redirected:
+    // 3*m_t reveals, |level t-1| distinct targets.
+    EXPECT_EQ(sprinkled.redirects_at_level(t), dag.collisions_at_level(t)) << t;
+  }
+}
+
+TEST(Sprinkling, NoRedirectsAboveCut) {
+  const VotingDag dag = tiny_dag_with_collisions();
+  const int cut = 2;
+  const SprinkledDag sprinkled = votingdag::sprinkle(dag, cut);
+  for (int t = cut + 1; t <= dag.root_level(); ++t) {
+    EXPECT_EQ(sprinkled.redirects_at_level(t), 0u) << t;
+    // Slots above the cut are identical to the base DAG.
+    for (std::size_t i = 0; i < dag.level(t).size(); ++i) {
+      EXPECT_EQ(sprinkled.children(t, i), dag.level(t)[i].child);
+    }
+  }
+}
+
+TEST(Sprinkling, CollisionFreeDagIsUnchanged) {
+  const VotingDag tree = votingdag::make_ternary_tree(3);
+  const SprinkledDag sprinkled = votingdag::sprinkle(tree, 3);
+  EXPECT_EQ(sprinkled.total_redirects(), 0u);
+  const core::Opinions leaves = core::iid_bernoulli(27, 0.5, 3);
+  const auto a = votingdag::color_dag(tree, leaves);
+  const auto b = sprinkled.color(leaves);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+TEST(Sprinkling, ArtificialNodesPushTowardsBlue) {
+  // With all-red leaves, H colours everything red; H' may colour some
+  // nodes blue (artificial blues), never the reverse.
+  const VotingDag dag = tiny_dag_with_collisions();
+  const SprinkledDag sprinkled = votingdag::sprinkle(dag, dag.root_level());
+  const core::Opinions leaves(dag.level(0).size(), 0);
+  const auto original = votingdag::color_dag(dag, leaves);
+  const auto majorised = sprinkled.color(leaves);
+  for (int t = 0; t < dag.num_levels(); ++t) {
+    EXPECT_GE(majorised.blue_at(t), original.blue_at(t));
+  }
+}
+
+/// The load-bearing coupling (Section 3): X_H <= X_H' pointwise, for
+/// every cut level and across many random DAGs and colourings.
+class CouplingSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, double>> {};
+
+TEST_P(CouplingSweep, XhLeqXhPrimeEverywhere) {
+  const auto [n_and_T, seed, p_blue] = GetParam();
+  const int n = n_and_T >> 4;
+  const int T = n_and_T & 15;
+  const graph::CompleteSampler sampler(static_cast<graph::VertexId>(n));
+  const VotingDag dag = votingdag::build_voting_dag(sampler, 0, T, seed);
+  const core::Opinions leaves =
+      core::iid_bernoulli(dag.level(0).size(), p_blue, seed ^ 0xC0FFEE);
+  for (int cut = 0; cut <= T; ++cut) {
+    const SprinkledDag sprinkled = votingdag::sprinkle(dag, cut);
+    EXPECT_TRUE(votingdag::verify_coupling(dag, sprinkled, leaves))
+        << "n=" << n << " T=" << T << " cut=" << cut << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CouplingSweep,
+    ::testing::Combine(
+        // n and T packed as (n << 4) | T: tiny graphs maximise collisions.
+        ::testing::Values((4 << 4) | 4, (8 << 4) | 5, (64 << 4) | 5,
+                          (512 << 4) | 6),
+        ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL),
+        ::testing::Values(0.2, 0.45)));
+
+TEST(Sprinkling, EmpiricalLevelRatesRespectRecursionBound) {
+  // Proposition 3: P(X_H'(v, t) = B) <= p_t with eps_{t-1} = 3^{T-t+1}/d.
+  // Estimate level-wise blue rates over many DAG+colouring realisations
+  // on a dense graph and compare with the recursion.
+  const graph::VertexId n = 4096;
+  const std::uint32_t d = 512;
+  const graph::CirculantSampler sampler = graph::CirculantSampler::dense(n, d);
+  const int T = 5;
+  const int cut = 3;
+  const double p0 = 0.4;
+
+  const auto bound = theory::sprinkling_trajectory(p0, T, cut, d, /*exact=*/false);
+
+  std::vector<double> blue_sum(cut + 1, 0.0);
+  std::vector<double> node_sum(cut + 1, 0.0);
+  for (std::uint64_t rep = 0; rep < 40; ++rep) {
+    const std::uint64_t seed = rng::derive_stream(777, rep);
+    const auto dag = votingdag::build_voting_dag(sampler, 0, T, seed);
+    const auto sprinkled = votingdag::sprinkle(dag, cut);
+    const core::Opinions leaves =
+        core::iid_bernoulli(dag.level(0).size(), p0, seed ^ 0xFACE);
+    const auto colouring = sprinkled.color(leaves);
+    for (int t = 0; t <= cut; ++t) {
+      blue_sum[t] += static_cast<double>(colouring.blue_at(t));
+      node_sum[t] += static_cast<double>(colouring.colors[t].size());
+    }
+  }
+  for (int t = 1; t <= cut; ++t) {
+    const double rate = blue_sum[t] / node_sum[t];
+    // Allow 3 sigma of Monte-Carlo slack on ~40*3^(T-t) samples.
+    const double sigma =
+        std::sqrt(bound.p[t] * (1 - bound.p[t]) / std::max(1.0, node_sum[t]));
+    EXPECT_LE(rate, bound.p[t] + 3 * sigma + 1e-6)
+        << "level " << t << " rate " << rate << " bound " << bound.p[t];
+  }
+}
+
+TEST(SprinkledDot, RendersArtificialNodes) {
+  const VotingDag dag = tiny_dag_with_collisions();
+  const SprinkledDag sprinkled = votingdag::sprinkle(dag, dag.root_level());
+  ASSERT_GT(sprinkled.total_redirects(), 0u);
+  const std::string dot = votingdag::sprinkled_to_dot(sprinkled);
+  EXPECT_NE(dot.find("shape=square"), std::string::npos);
+  EXPECT_NE(dot.find("digraph Hprime"), std::string::npos);
+}
+
+TEST(Sprinkling, RejectsBadCut) {
+  const VotingDag tree = votingdag::make_ternary_tree(2);
+  EXPECT_THROW(votingdag::sprinkle(tree, -1), std::invalid_argument);
+  EXPECT_THROW(votingdag::sprinkle(tree, 3), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,310 @@
+// Theory module tests: binomial exactness, the eq. (1) map and its
+// fixed-point structure, Best-of-k maps with tie rules, the sprinkling
+// recursion (2), the delta growth recursion (4)-(5), Lemma 4 phase
+// bookkeeping and Lemma 7 bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "theory/binomial.hpp"
+#include "theory/bounds.hpp"
+#include "theory/recursions.hpp"
+
+namespace {
+
+using namespace b3v::theory;
+
+constexpr double kHalfInvSqrt3 = 0.28867513459481287;
+
+TEST(Binomial, ChooseMatchesPascal) {
+  for (std::uint64_t n = 1; n <= 20; ++n) {
+    for (std::uint64_t k = 1; k < n; ++k) {
+      const double lhs = std::exp(log_choose(n, k));
+      const double rhs =
+          std::exp(log_choose(n - 1, k - 1)) + std::exp(log_choose(n - 1, k));
+      EXPECT_NEAR(lhs, rhs, 1e-6 * rhs);
+    }
+  }
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  for (const double p : {0.1, 0.5, 0.9}) {
+    double acc = 0.0;
+    for (std::uint64_t k = 0; k <= 30; ++k) acc += binomial_pmf(30, k, p);
+    EXPECT_NEAR(acc, 1.0, 1e-12);
+  }
+}
+
+TEST(Binomial, TailMatchesDirectSum) {
+  for (const double p : {0.2, 0.6}) {
+    for (std::uint64_t k = 0; k <= 12; ++k) {
+      double direct = 0.0;
+      for (std::uint64_t j = k; j <= 12; ++j) direct += binomial_pmf(12, j, p);
+      EXPECT_NEAR(binomial_tail_geq(12, k, p), direct, 1e-12);
+    }
+  }
+}
+
+TEST(Binomial, TailEdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(5, 0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(5, 6, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+}
+
+TEST(BestOfThreeMap, MatchesEquationOne) {
+  for (double b = 0.0; b <= 1.0; b += 0.05) {
+    const double expect = b * b * b + 3 * b * b * (1 - b);
+    EXPECT_NEAR(best_of_three_map(b), expect, 1e-12);
+    EXPECT_NEAR(best_of_k_map(b, 3), expect, 1e-12);
+  }
+}
+
+TEST(BestOfThreeMap, FixedPointsAndMonotoneCollapse) {
+  EXPECT_DOUBLE_EQ(best_of_three_map(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(best_of_three_map(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(best_of_three_map(0.5), 0.5);
+  // Below 1/2 the map contracts towards 0; above, towards 1.
+  for (double b = 0.05; b < 0.5; b += 0.05) {
+    EXPECT_LT(best_of_three_map(b), b);
+  }
+  for (double b = 0.55; b < 1.0; b += 0.05) {
+    EXPECT_GT(best_of_three_map(b), b);
+  }
+}
+
+TEST(BestOfKMap, OddKPreservesFixedPoints) {
+  for (const unsigned k : {1u, 3u, 5u, 7u, 9u}) {
+    EXPECT_NEAR(best_of_k_map(0.5, k), 0.5, 1e-12) << k;
+    EXPECT_DOUBLE_EQ(best_of_k_map(0.0, k), 0.0);
+    EXPECT_DOUBLE_EQ(best_of_k_map(1.0, k), 1.0);
+  }
+}
+
+TEST(BestOfKMap, LargerOddKContractsFaster) {
+  const double b = 0.4;
+  double prev = best_of_k_map(b, 1);  // identity for k=1
+  EXPECT_NEAR(prev, b, 1e-12);
+  for (const unsigned k : {3u, 5u, 7u, 9u, 11u}) {
+    const double cur = best_of_k_map(b, k);
+    EXPECT_LT(cur, prev) << k;
+    prev = cur;
+  }
+}
+
+TEST(BestOfKMap, EvenKTieRules) {
+  // k=2: strict majority needs both blue; tie with probability 2b(1-b).
+  const double b = 0.3;
+  EXPECT_NEAR(best_of_k_map(b, 2, EvenTie::kRandom),
+              b * b + 0.5 * 2 * b * (1 - b), 1e-12);
+  EXPECT_NEAR(best_of_k_map(b, 2, EvenTie::kKeepOwn),
+              b * b + b * 2 * b * (1 - b), 1e-12);
+  // Both rules preserve the 1/2 fixed point.
+  EXPECT_NEAR(best_of_k_map(0.5, 2, EvenTie::kRandom), 0.5, 1e-12);
+  EXPECT_NEAR(best_of_k_map(0.5, 2, EvenTie::kKeepOwn), 0.5, 1e-12);
+}
+
+TEST(Meanfield, TrajectoryLengthAndMonotonicity) {
+  const auto traj = meanfield_trajectory(0.4, 20);
+  ASSERT_EQ(traj.size(), 21u);
+  for (std::size_t t = 1; t < traj.size(); ++t) EXPECT_LE(traj[t], traj[t - 1]);
+  EXPECT_LT(traj.back(), 1e-9);
+}
+
+TEST(Meanfield, StepsToTargetDoublyLogarithmic) {
+  // T(delta, 1/n) ~ log2 log2 n + O(log 1/delta): doubling log n adds
+  // about one step once in the quadratic-collapse regime.
+  const int t1 = meanfield_steps_to(0.4, 1e-4, 1000);
+  const int t2 = meanfield_steps_to(0.4, 1e-8, 1000);
+  const int t3 = meanfield_steps_to(0.4, 1e-16, 1000);
+  ASSERT_GT(t1, 0);
+  EXPECT_LE(t2 - t1, 2);
+  EXPECT_LE(t3 - t2, 2);
+  EXPECT_GE(t3, t2);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(Meanfield, DeltaTermIsLogarithmic) {
+  // Steps to escape the neighbourhood of 1/2 grow ~ log(1/delta)
+  // (factor 5/4 growth per eq. (5) near 1/2 — i.e. slope ~ 1/log2(1.25)
+  // in log2(1/delta)).
+  std::vector<int> steps;
+  for (const double delta : {1e-1, 1e-2, 1e-3, 1e-4}) {
+    steps.push_back(meanfield_steps_to(0.5 - delta, 0.01, 100000));
+  }
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    const int diff = steps[i] - steps[i - 1];
+    EXPECT_GE(diff, 5);   // ~ log(10)/log(1.5)+ slack; growth rate near 1/2
+    EXPECT_LE(diff, 25);  // but logarithmic, not polynomial, in 1/delta
+  }
+}
+
+TEST(Sprinkling, EpsilonShape) {
+  const int T = 10;
+  const double d = 1e6;
+  // eps_{t-1} = 3^{T-t+1}/d decreases as t increases.
+  double prev = 2.0;
+  for (int t = 1; t <= T; ++t) {
+    const double e = sprinkling_epsilon(t, T, d);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+  EXPECT_NEAR(sprinkling_epsilon(T, T, d), 3.0 / d, 1e-18);
+  EXPECT_THROW(sprinkling_epsilon(0, T, d), std::invalid_argument);
+}
+
+TEST(Sprinkling, ExactStepBelowUpperBoundStep) {
+  for (const double p : {0.05, 0.2, 0.4}) {
+    for (const double e : {1e-6, 1e-3, 0.05}) {
+      EXPECT_LE(sprinkling_step_exact(p, e), sprinkling_step_upper(p, e) + 1e-15);
+    }
+  }
+}
+
+TEST(Sprinkling, ZeroEpsilonReducesToEquationOne) {
+  for (double p = 0.0; p <= 1.0; p += 0.1) {
+    EXPECT_NEAR(sprinkling_step_exact(p, 0.0), best_of_three_map(p), 1e-12);
+    EXPECT_NEAR(sprinkling_step_upper(p, 0.0), best_of_three_map(p), 1e-12);
+  }
+}
+
+TEST(Sprinkling, TrajectoryCollapsesForDenseD) {
+  // The recursion is only informative when 3^T << d (the bottom level
+  // has up to 3^T vertices, so eps_0 = 3^T/d must be small): with
+  // d = 10^8 and T = 10 it must push p to ~0.
+  const auto traj = sprinkling_trajectory(0.4, 10, 10, 1e8, /*exact=*/true);
+  ASSERT_EQ(traj.p.size(), 11u);
+  ASSERT_EQ(traj.eps.size(), 10u);
+  EXPECT_LT(traj.p.back(), 1e-6);
+  for (std::size_t i = 0; i < traj.p.size(); ++i) {
+    EXPECT_GE(traj.p[i], 0.0);
+    EXPECT_LE(traj.p[i], 1.0);
+  }
+}
+
+TEST(Sprinkling, RecursionUselessWhenTernaryWidthExceedsDegree) {
+  // Negative control: 3^T ~ d/2 makes eps_0 ~ 1/2 and the bound
+  // saturates — exactly why the paper needs d = n^Omega(1/log log n).
+  const auto traj = sprinkling_trajectory(0.4, 12, 3, 1e6, /*exact=*/true);
+  EXPECT_GT(traj.p.back(), 0.4);  // bound degrades instead of collapsing
+}
+
+TEST(Sprinkling, MonotoneInP0) {
+  // Majorisation sanity: a larger initial blue probability can only give
+  // a larger bound at every level.
+  const auto lo = sprinkling_trajectory(0.3, 10, 8, 1e6, true);
+  const auto hi = sprinkling_trajectory(0.45, 10, 8, 1e6, true);
+  for (std::size_t i = 0; i < lo.p.size(); ++i) {
+    EXPECT_LE(lo.p[i], hi.p[i] + 1e-15) << i;
+  }
+}
+
+TEST(DeltaGrowth, FiveQuartersRegime) {
+  // eq. (4)-(5): in the applicable regime one step grows delta by at
+  // least 5/4. (We use the corrected regime delta >= 48 eps; the
+  // paper's stated 12 eps drops eq. (4)'s factor 4 — note N2.)
+  for (const double delta : {0.01, 0.05, 0.1, 0.2, 0.28}) {
+    const double eps = delta / 48.0;
+    ASSERT_TRUE(delta_growth_applicable(delta, eps));
+    EXPECT_GE(delta_growth_step(delta, eps), 1.25 * delta - 1e-12) << delta;
+  }
+}
+
+TEST(DeltaGrowth, PapersStatedConstantIsTooWeak) {
+  // Documentation of note N2: with eps = delta/12 (the paper's stated
+  // regime) the literal eq. (4) gives LESS than 5/4 growth.
+  const double delta = 0.01;
+  EXPECT_LT(delta_growth_step(delta, delta / 12.0), 1.25 * delta);
+}
+
+TEST(DeltaGrowth, NotApplicableOutsideRegime) {
+  EXPECT_FALSE(delta_growth_applicable(0.3, 1e-9));   // above 1/(2 sqrt 3)
+  EXPECT_FALSE(delta_growth_applicable(0.01, 0.01));  // eps too large
+}
+
+TEST(Lemma4, PhaseCountsScale) {
+  const auto p1 = lemma4_phases(1e5, 0.1);
+  EXPECT_GT(p1.t3, 0);
+  EXPECT_GT(p1.h1, 0);
+  EXPECT_GT(p1.total, 0);
+  EXPECT_EQ(p1.total, p1.t3 + p1.t2 + p1.h1);
+  // Final squeeze must land at o(1/d): check p_final << 1/d * log d.
+  EXPECT_LT(p1.p_final, std::log(1e5) / 1e5);
+
+  // Smaller delta costs more T3 steps, roughly log(1/delta).
+  const auto p2 = lemma4_phases(1e5, 0.001);
+  EXPECT_GT(p2.t3, p1.t3);
+  EXPECT_LE(p2.t3 - p1.t3, 40);
+}
+
+TEST(Lemma4, RejectsBadArguments) {
+  EXPECT_THROW(lemma4_phases(1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(lemma4_phases(100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(lemma4_phases(100.0, 0.5), std::invalid_argument);
+}
+
+TEST(Theorem1Prediction, GrowsDoublyLogarithmically) {
+  const auto small = theorem1_prediction(1e4, 0.7, 0.1);
+  const auto large = theorem1_prediction(1e8, 0.7, 0.1);
+  EXPECT_GT(small.total, 0);
+  // Squaring n adds O(1) rounds in the loglog regime.
+  EXPECT_LE(large.total - small.total, 6);
+  EXPECT_GE(large.total, small.total);
+}
+
+TEST(Lemma7, CollisionTailShrinksWithDenseD) {
+  // h = log log-ish heights, d large: bound must be tiny.
+  EXPECT_LT(collision_count_tail(4, 1e9), 1e-6);
+  EXPECT_LT(collision_count_tail(6, 1e12), 1e-6);
+  // Sparse d: the bound degrades to the trivial 1.
+  EXPECT_DOUBLE_EQ(collision_count_tail(6, 10.0), 1.0);
+}
+
+TEST(Lemma7, TailMonotoneInD) {
+  double prev = 1.0;
+  for (const double d : {1e6, 1e8, 1e10, 1e12}) {
+    const double bound = collision_count_tail(5, d);
+    EXPECT_LE(bound, prev);
+    prev = bound;
+  }
+}
+
+TEST(Lemma7, RootBlueBoundCombinesTails) {
+  EXPECT_LE(root_blue_bound(5, 1e12), 2.0 * collision_count_tail(5, 1e12) + 1e-18);
+  EXPECT_DOUBLE_EQ(root_blue_bound(3, 1.0), 1.0);
+}
+
+TEST(Lemma5, RequiredBlueIsTwoToTheH) {
+  EXPECT_DOUBLE_EQ(lemma5_required_blue(0), 1.0);
+  EXPECT_DOUBLE_EQ(lemma5_required_blue(10), 1024.0);
+}
+
+TEST(LevelCollisionBound, CapsAtOne) {
+  EXPECT_DOUBLE_EQ(level_collision_bound(3.0, 1000.0), 9.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(level_collision_bound(100.0, 10.0), 1.0);
+}
+
+/// Property sweep: iterating the sprinkling upper bound from any p0 and
+/// reasonable (T, d) stays a valid probability and majorises eq. (1).
+class SprinklingDominance
+    : public ::testing::TestWithParam<std::tuple<double, int, double>> {};
+
+TEST_P(SprinklingDominance, UpperBoundDominatesMeanfield) {
+  const auto [p0, T, d] = GetParam();
+  const int t_prime = T - 2;
+  const auto sprinkled = sprinkling_trajectory(p0, T, t_prime, d, false);
+  const auto clean = meanfield_trajectory(p0, t_prime);
+  for (std::size_t i = 0; i < sprinkled.p.size(); ++i) {
+    EXPECT_GE(sprinkled.p[i] + 1e-15, clean[i]) << i;
+    EXPECT_GE(sprinkled.p[i], 0.0);
+    EXPECT_LE(sprinkled.p[i], 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SprinklingDominance,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.45),
+                       ::testing::Values(6, 10),
+                       ::testing::Values(1e4, 1e7, 1e10)));
+
+}  // namespace
