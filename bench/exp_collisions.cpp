@@ -31,6 +31,10 @@ int main() {
 
   const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 16));
   for (const std::uint32_t d : {128u, 512u, 2048u, 8192u, 16384u}) {
+    if (d >= n) {
+      std::cout << "(skipping d=" << d << ": requires d < n=" << n << ")\n";
+      continue;
+    }
     const auto sampler = graph::CirculantSampler::dense(n, d);
     analysis::OnlineStats c_stats;
     std::size_t exceed = 0;

@@ -29,6 +29,10 @@ int main() {
   const std::size_t reps = ctx.rep_count(50);
 
   for (const std::uint32_t d : {256u, 1024u, 4096u}) {
+    if (d >= n) {
+      std::cout << "(skipping d=" << d << ": requires d < n=" << n << ")\n";
+      continue;
+    }
     const auto sampler = graph::CirculantSampler::dense(n, d);
     const auto bound = theory::sprinkling_trajectory(p0, T, cut, d, false);
     const auto bound_exact = theory::sprinkling_trajectory(p0, T, cut, d, true);

@@ -1,0 +1,158 @@
+// Golden-value tests: pin the exact bits of the deterministic surfaces
+// — Philox/CounterRng streams, iid_bernoulli placement, run_sync
+// trajectories, and the theory/ recursions — for fixed seeds, so a
+// refactor can't silently change the probability space the paper's
+// claims are tested against. Values were captured from the first green
+// build of the seed; a deliberate change to any of these generators
+// must update the goldens in the same commit and say why.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/initializer.hpp"
+#include "core/opinion.hpp"
+#include "core/simulator.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/philox.hpp"
+#include "theory/recursions.hpp"
+
+namespace {
+
+using namespace b3v;
+
+TEST(GoldensPhilox, ZeroBlockAndTestVector) {
+  const auto zero = rng::Philox4x32::generate({0, 0, 0, 0}, {0, 0});
+  EXPECT_EQ(zero[0], 0x6627e8d5u);
+  EXPECT_EQ(zero[1], 0xe169c58du);
+  EXPECT_EQ(zero[2], 0xbc57ac4cu);
+  EXPECT_EQ(zero[3], 0x9b00dbd8u);
+
+  const auto tv = rng::Philox4x32::generate(
+      {0x12345678u, 0x9abcdef0u, 0xdeadbeefu, 0xcafebabeu},
+      {0x243f6a88u, 0x85a308d3u});
+  EXPECT_EQ(tv[0], 0x04b30332u);
+  EXPECT_EQ(tv[1], 0x74f7bcfcu);
+  EXPECT_EQ(tv[2], 0xba8a2cc2u);
+  EXPECT_EQ(tv[3], 0x0cbb5d56u);
+}
+
+TEST(GoldensPhilox, CounterRngStream) {
+  rng::CounterRng r(42, 1, 2, 3);
+  const std::uint64_t expected[] = {
+      0x35852cfd1f585bdeull, 0x86de1b9628c136cbull, 0xd7a3a8acaf9fa25eull,
+      0x463338d218345f70ull, 0xf599b827e1b43b5cull, 0x4463c1a68add71c5ull,
+  };
+  for (const std::uint64_t e : expected) EXPECT_EQ(r.next_u64(), e);
+}
+
+TEST(GoldensPhilox, CounterRngDoubles) {
+  rng::CounterRng r(7, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(r.next_double(), 0x1.5edac821d3ab8p-4);
+  EXPECT_DOUBLE_EQ(r.next_double(), 0x1.8013f3b9e8c0fp-1);
+  EXPECT_DOUBLE_EQ(r.next_double(), 0x1.57fe4d21d64bp-3);
+  EXPECT_DOUBLE_EQ(r.next_double(), 0x1.c7ab79cb5a988p-2);
+}
+
+TEST(GoldensInitializer, IidBernoulliPlacement) {
+  const core::Opinions ops = core::iid_bernoulli(64, 0.4, 7);
+  std::uint64_t mask = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (ops[i]) mask |= (std::uint64_t{1} << i);
+  }
+  EXPECT_EQ(mask, 0x11102a10d69d02c2ull);
+}
+
+// The full blue-count trajectory of a run_sync consensus run is a pure
+// function of (graph, initial, seed) — and, by the counter-based RNG
+// design, independent of the thread count.
+TEST(GoldensSimulator, RunSyncTrajectory) {
+  const graph::Graph g = graph::dense_circulant(256, 32);
+  core::SimConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 5;
+  cfg.max_rounds = 500;
+  const std::vector<std::uint64_t> golden = {92, 80, 64, 42, 27,
+                                             14, 8,  5,  3,  0};
+  for (const unsigned threads : {1u, 4u}) {
+    parallel::ThreadPool pool(threads);
+    const core::SimResult res =
+        core::run_on_graph(g, core::iid_bernoulli(256, 0.4, 3), cfg, pool);
+    EXPECT_TRUE(res.consensus) << "threads=" << threads;
+    EXPECT_EQ(res.winner, core::Opinion::kRed) << "threads=" << threads;
+    EXPECT_EQ(res.rounds, 9u) << "threads=" << threads;
+    EXPECT_EQ(res.blue_trajectory, golden) << "threads=" << threads;
+  }
+}
+
+TEST(GoldensTheory, MeanfieldRecursion) {
+  const std::vector<double> traj = theory::meanfield_trajectory(0.4, 6);
+  const double golden[] = {
+      0x1.999999999999ap-2, 0x1.6872b020c49bcp-2, 0x1.234faa261d8ffp-2,
+      0x1.92ef689dd68ccp-3, 0x1.9d4413e843a6ep-4, 0x1.d2b3ae6e85726p-6,
+      0x1.38ffe55142dc8p-9,
+  };
+  ASSERT_EQ(traj.size(), 7u);
+  for (std::size_t i = 0; i < traj.size(); ++i) {
+    EXPECT_DOUBLE_EQ(traj[i], golden[i]) << "t=" << i;
+  }
+  EXPECT_EQ(theory::meanfield_steps_to(0.4, 1e-9, 100), 8);
+}
+
+TEST(GoldensTheory, NoisyMap) {
+  EXPECT_DOUBLE_EQ(theory::noisy_best_of_three_map(0.3, 0.2),
+                   0x1.1758e219652bdp-2);
+  EXPECT_DOUBLE_EQ(theory::noisy_stationary_minority(0.1),
+                   0x1.e3aae41e04b7bp-5);
+}
+
+TEST(GoldensTheory, SprinklingRecursion) {
+  EXPECT_DOUBLE_EQ(theory::sprinkling_epsilon(2, 6, 1024.0), 0x1.e6p-3);
+
+  const auto exact = theory::sprinkling_trajectory(0.4, 6, 4, 1024.0, true);
+  const double golden_p[] = {
+      0x1.999999999999ap-2, 0x1.d765711p-1, 0x1.fa9b74844c2dbp-1,
+      0x1.ffdb3ead4d303p-1, 0x1.fffff87f638f3p-1,
+  };
+  const double golden_eps[] = {0x1.6c8p-1, 0x1.e6p-3, 0x1.44p-4, 0x1.bp-6};
+  ASSERT_EQ(exact.p.size(), 5u);
+  ASSERT_EQ(exact.eps.size(), 4u);
+  for (std::size_t i = 0; i < exact.p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(exact.p[i], golden_p[i]) << "t=" << i;
+  }
+  for (std::size_t i = 0; i < exact.eps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(exact.eps[i], golden_eps[i]) << "t=" << i;
+  }
+
+  // The simplified upper bound saturates at 1 under this (large) eps_0.
+  const auto upper = theory::sprinkling_trajectory(0.4, 6, 4, 1024.0, false);
+  ASSERT_EQ(upper.p.size(), 5u);
+  EXPECT_DOUBLE_EQ(upper.p[0], 0x1.999999999999ap-2);
+  for (std::size_t i = 1; i < upper.p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(upper.p[i], 1.0) << "t=" << i;
+  }
+}
+
+TEST(GoldensTheory, GapGrowth) {
+  EXPECT_DOUBLE_EQ(theory::delta_growth_step(0.1, 0.001),
+                   0x1.26e978d4fdf3cp-3);
+  EXPECT_TRUE(theory::delta_growth_applicable(0.1, 0.001));
+}
+
+TEST(GoldensTheory, Lemma4AndTheorem1) {
+  const auto ph = theory::lemma4_phases(4096.0, 0.05);
+  EXPECT_EQ(ph.t3, 5);
+  EXPECT_EQ(ph.t2, 0);
+  EXPECT_EQ(ph.h1, 3);
+  EXPECT_EQ(ph.total, 8);
+  EXPECT_DOUBLE_EQ(ph.p_after_t3, 0x1.b0cb174df99c8p-3);
+  EXPECT_DOUBLE_EQ(ph.p_after_t2, 0x1.b0cb174df99c8p-3);
+  EXPECT_DOUBLE_EQ(ph.p_final, 0x1.07b130228719cp-6);
+
+  const auto th = theory::theorem1_prediction(1e6, 0.7, 0.05);
+  EXPECT_EQ(th.upper_levels, 5);
+  EXPECT_EQ(th.total, 16);
+}
+
+}  // namespace

@@ -34,7 +34,9 @@ TEST(Lemma5, BlueRootNeedsTwoToTheHBlueLeaves) {
       EXPECT_GE(blues, 4) << "mask=" << mask;
     }
     // Contrapositive as stated in the paper: < 2^h blues => red root.
-    if (blues < 4) EXPECT_EQ(colouring.root(), 0) << "mask=" << mask;
+    if (blues < 4) {
+      EXPECT_EQ(colouring.root(), 0) << "mask=" << mask;
+    }
   }
 }
 
