@@ -85,4 +85,4 @@ BENCHMARK(BM_CobraStep)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() is provided by bench_main.cpp (adds B3V_BENCH_JSON_DIR support).

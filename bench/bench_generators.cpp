@@ -83,4 +83,4 @@ BENCHMARK(BM_Complete)->Arg(1 << 11)->Arg(1 << 12);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() is provided by bench_main.cpp (adds B3V_BENCH_JSON_DIR support).

@@ -1,0 +1,53 @@
+// Shared main() for every bench_* microbenchmark (replaces
+// BENCHMARK_MAIN) adding one thing: artifact emission. When
+// B3V_BENCH_JSON_DIR is set, the binary writes Google Benchmark JSON to
+//   $B3V_BENCH_JSON_DIR/BENCH_<name>.json
+// where <name> is the binary's stem without its "bench_" prefix
+// (bench_step -> BENCH_step.json), alongside the normal console
+// output. Explicit --benchmark_out= flags win over the environment.
+// See docs/BENCHMARKING.md for the produce/compare workflow.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string binary_stem(const char* argv0) {
+  std::string stem = argv0 != nullptr ? argv0 : "bench";
+  const auto slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  if (stem.rfind("bench_", 0) == 0) stem = stem.substr(6);
+  return stem;
+}
+
+bool has_out_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  const char* dir = std::getenv("B3V_BENCH_JSON_DIR");
+  if (dir != nullptr && *dir != '\0' && !has_out_flag(argc, argv)) {
+    out_flag = std::string("--benchmark_out=") + dir + "/BENCH_" +
+               binary_stem(argc > 0 ? argv[0] : nullptr) + ".json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

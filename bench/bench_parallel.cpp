@@ -51,4 +51,4 @@ BENCHMARK(BM_ParallelReduce_Sum)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() is provided by bench_main.cpp (adds B3V_BENCH_JSON_DIR support).

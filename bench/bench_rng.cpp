@@ -76,4 +76,4 @@ BENCHMARK(BM_Geometric);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() is provided by bench_main.cpp (adds B3V_BENCH_JSON_DIR support).

@@ -100,4 +100,4 @@ BENCHMARK(BM_Step_PackedBits)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() is provided by bench_main.cpp (adds B3V_BENCH_JSON_DIR support).

@@ -13,21 +13,27 @@
 #include "core/initializer.hpp"
 #include "core/simulator.hpp"
 #include "experiments/runner.hpp"
+#include "experiments/session.hpp"
+#include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 #include "theory/binomial.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace b3v;
-  const auto ctx = experiments::context_from_env();
-  auto& pool = experiments::pool_for(ctx);
+  experiments::Session session(argc, argv, "exp_bestofk_compare");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   std::cout << "E7: Best-of-k comparison on dense graphs\n\n";
 
   const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 13));
   const std::size_t reps = ctx.rep_count(15);
   // Random regular: an expander w.h.p., the setting of [4]; avoids the
-  // geometric stripe metastability of banded circulants (note N4).
-  const std::uint32_t d = 64;
+  // geometric stripe metastability of banded circulants (note N4). The
+  // reference degree 64 is snapped to the family's feasible range at
+  // the scaled n.
+  const std::uint32_t d =
+      experiments::snap_degree(experiments::GraphFamily::kRandomRegular, n, 64);
   const graph::Graph g =
       graph::random_regular(n, d, rng::derive_stream(ctx.base_seed, 0xE7));
   const graph::CsrSampler sampler(g);
@@ -75,7 +81,7 @@ int main() {
                      agg.red_win_rate(),
                      static_cast<std::int64_t>(agg.no_consensus), map04});
     }
-    experiments::emit(ctx, table);
+    session.emit(table);
   }
   std::cout
       << "Expected shape (read with the meanfield_map(0.4) column):\n"
@@ -88,5 +94,5 @@ int main() {
       << "    doubly-logarithmic consensus.\n"
       << "  k=3: the paper's protocol, same map, one fewer message than\n"
       << "    2-choices needs state; k=5/7 contract faster still ([1]).\n";
-  return 0;
+  return session.finish();
 }

@@ -14,6 +14,8 @@
 #include "core/initializer.hpp"
 #include "core/simulator.hpp"
 #include "experiments/runner.hpp"
+#include "experiments/session.hpp"
+#include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 
@@ -24,8 +26,8 @@ using namespace b3v;
 template <graph::NeighborSampler S>
 void run_family(const std::string& name, const S& sampler, double delta,
                 std::size_t reps, std::uint64_t cap,
-                const experiments::RunContext& ctx, parallel::ThreadPool& pool,
-                analysis::Table& table) {
+                const experiments::ExperimentConfig& ctx,
+                parallel::ThreadPool& pool, analysis::Table& table) {
   const std::size_t n = sampler.num_vertices();
   const auto agg = experiments::aggregate_runs(
       reps, rng::derive_stream(ctx.base_seed, std::hash<std::string>{}(name)),
@@ -46,13 +48,19 @@ void run_family(const std::string& name, const S& sampler, double delta,
 
 }  // namespace
 
-int main() {
-  const auto ctx = experiments::context_from_env();
-  auto& pool = experiments::pool_for(ctx);
+int main(int argc, char** argv) {
+  experiments::Session session(argc, argv, "exp_degree_threshold");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   std::cout << "E9: the degree threshold — same protocol, same n, varying d\n"
             << "paper: Theorem 1 needs min degree n^Omega(1/log log n)\n\n";
 
-  const unsigned dim = 14;  // n = 16384 everywhere (torus 128x128)
+  // n is the largest power of two within the scaled reference size (the
+  // hypercube control needs a power of two; every family uses the same
+  // n so the comparison isolates the degree).
+  const auto scaled_n = ctx.scaled(1 << 14, 1 << 8);
+  unsigned dim = 8;
+  while ((std::size_t{1} << (dim + 1)) <= scaled_n) ++dim;
   const auto n = graph::VertexId{1} << dim;
   const double delta = 0.1;
   const std::size_t reps = ctx.rep_count(10);
@@ -64,33 +72,46 @@ int main() {
       {"family", "n", "degree", "reps", "mean_rounds", "max_rounds",
        "red_win_rate", "capped_runs"});
 
+  using experiments::GraphFamily;
   run_family("circulant d=n^0.7",
              graph::CirculantSampler::dense(
-                 n, static_cast<std::uint32_t>(std::pow(n, 0.7))),
+                 n, experiments::snap_degree(
+                        GraphFamily::kCirculant, n,
+                        static_cast<std::uint32_t>(std::pow(n, 0.7)))),
              delta, reps, cap, ctx, pool, table);
   run_family("circulant d=n^0.4",
              graph::CirculantSampler::dense(
-                 n, static_cast<std::uint32_t>(std::pow(n, 0.4))),
+                 n, experiments::snap_degree(
+                        GraphFamily::kCirculant, n,
+                        static_cast<std::uint32_t>(std::pow(n, 0.4)))),
              delta, reps, cap, ctx, pool, table);
   run_family("circulant d=log^2 n",
-             graph::CirculantSampler::dense(n, dim * dim), delta, reps, cap,
-             ctx, pool, table);
+             graph::CirculantSampler::dense(
+                 n, experiments::snap_degree(GraphFamily::kCirculant, n,
+                                             dim * dim)),
+             delta, reps, cap, ctx, pool, table);
+  const std::uint32_t d48 =
+      experiments::snap_degree(GraphFamily::kRandomRegular, n, 48);
   const graph::Graph rr48 = graph::random_regular(
-      n, 48, rng::derive_stream(ctx.base_seed, 48));
+      n, d48, rng::derive_stream(ctx.base_seed, 48));
   run_family("random regular d=48", graph::CsrSampler(rr48), delta, reps, cap,
              ctx, pool, table);
+  const std::uint32_t d16 =
+      experiments::snap_degree(GraphFamily::kRandomRegular, n, 16);
   const graph::Graph rr16 = graph::random_regular(
-      n, 16, rng::derive_stream(ctx.base_seed, 16));
+      n, d16, rng::derive_stream(ctx.base_seed, 16));
   run_family("random regular d=16", graph::CsrSampler(rr16), delta, reps, cap,
              ctx, pool, table);
   run_family("hypercube d=log2 n", graph::HypercubeSampler(dim), delta, reps,
              cap, ctx, pool, table);
-  run_family("torus 128x128 d=4", graph::TorusSampler(128, 128), delta, reps,
-             cap, ctx, pool, table);
+  const auto side = graph::VertexId{1} << (dim / 2);
+  run_family("torus d=4",
+             graph::TorusSampler(side, n / side), delta, reps, cap, ctx, pool,
+             table);
   run_family("circulant d=2 (cycle)",
              graph::CirculantSampler(n, {1}), delta, reps, cap, ctx, pool,
              table);
-  experiments::emit(ctx, table);
+  session.emit(table);
 
   std::cout
       << "Expected shape: the dense circulant rows finish in <= ~10 rounds\n"
@@ -102,5 +123,5 @@ int main() {
       << "(constant degree) hit the cap or lose the majority guarantee.\n"
       << "The paper's min-degree hypothesis is what rules such geometric\n"
       << "families in/out without assuming expansion.\n";
-  return 0;
+  return session.finish();
 }

@@ -13,6 +13,8 @@
 #include "core/initializer.hpp"
 #include "core/simulator.hpp"
 #include "experiments/runner.hpp"
+#include "experiments/session.hpp"
+#include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 #include "theory/recursions.hpp"
@@ -23,8 +25,9 @@ using namespace b3v;
 
 template <graph::NeighborSampler S>
 void sweep(const std::string& family, const S& sampler,
-           const experiments::RunContext& ctx, parallel::ThreadPool& pool,
-           bool expect_breakdown = false) {
+           experiments::Session& session, bool expect_breakdown = false) {
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   const std::size_t n = sampler.num_vertices();
   analysis::Table table(
       "E2 [" + family + "] consensus time vs delta (n=" + std::to_string(n) + ")",
@@ -56,7 +59,7 @@ void sweep(const std::string& family, const S& sampler,
     xs.push_back(static_cast<double>(e));
     ys.push_back(agg.rounds.mean());
   }
-  experiments::emit(ctx, table);
+  session.emit(table);
   if (expect_breakdown) {
     std::cout << family
               << ": NO fit reported — this geometrically-local family is "
@@ -79,19 +82,25 @@ void sweep(const std::string& family, const S& sampler,
 
 }  // namespace
 
-int main() {
-  const auto ctx = experiments::context_from_env();
-  auto& pool = experiments::pool_for(ctx);
+int main(int argc, char** argv) {
+  experiments::Session session(argc, argv, "exp_delta_dependence");
+  const auto& ctx = session.config();
   std::cout << "E2: consensus time vs initial imbalance delta\n"
             << "paper claim: T = O(log log n) + O(log 1/delta)\n\n";
   const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 15));
-  sweep("complete (mean-field)", graph::CompleteSampler(n), ctx, pool);
+  sweep("complete (mean-field)", graph::CompleteSampler(n), session);
+  const graph::VertexId n_rr = n % 2 ? n + 1 : n;
+  const std::uint32_t d_rr = experiments::snap_degree(
+      experiments::GraphFamily::kRandomRegular, n_rr, 64);
   const graph::Graph rr = graph::random_regular(
-      n % 2 ? n + 1 : n, 64, rng::derive_stream(ctx.base_seed, 0xE2));
-  sweep("random regular d=64 (expander)", graph::CsrSampler(rr), ctx, pool);
+      n_rr, d_rr, rng::derive_stream(ctx.base_seed, 0xE2));
+  sweep("random regular d=" + std::to_string(d_rr) + " (expander)",
+        graph::CsrSampler(rr), session);
   sweep("circulant d=n^0.7 (geometric control)",
         graph::CirculantSampler::dense(
-            n, static_cast<std::uint32_t>(std::pow(n, 0.7))),
-        ctx, pool, /*expect_breakdown=*/true);
-  return 0;
+            n, experiments::snap_degree(
+                   experiments::GraphFamily::kCirculant, n,
+                   static_cast<std::uint32_t>(std::pow(n, 0.7)))),
+        session, /*expect_breakdown=*/true);
+  return session.finish();
 }

@@ -14,15 +14,16 @@
 #include "analysis/table.hpp"
 #include "core/dynamics.hpp"
 #include "core/initializer.hpp"
-#include "experiments/runner.hpp"
+#include "experiments/session.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 #include "theory/recursions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace b3v;
-  const auto ctx = experiments::context_from_env();
-  auto& pool = experiments::pool_for(ctx);
+  experiments::Session session(argc, argv, "exp_noise");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   std::cout << "E13: noisy Best-of-3 — stationary minority mass vs noise\n\n";
 
   const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 16));
@@ -54,12 +55,12 @@ int main() {
     table.add_row({noise, stationary.mean(), predicted,
                    std::abs(stationary.mean() - predicted)});
   }
-  experiments::emit(ctx, table);
+  session.emit(table);
   std::cout
       << "Expected shape: the measured stationary blue mass matches the\n"
       << "mean-field fixed point to O(1/sqrt(n)); it grows smoothly with\n"
       << "noise and jumps to ~1/2 at the pitchfork noise = 1/3 — Best-of-3\n"
       << "tolerates up to a third of fair-coin faults before consensus\n"
       << "degenerates.\n";
-  return 0;
+  return session.finish();
 }

@@ -16,7 +16,7 @@
 #include "analysis/table.hpp"
 #include "core/initializer.hpp"
 #include "core/simulator.hpp"
-#include "experiments/runner.hpp"
+#include "experiments/session.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 #include "theory/recursions.hpp"
@@ -53,10 +53,11 @@ MeasuredPhases segment(const std::vector<std::uint64_t>& traj, std::size_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace b3v;
-  const auto ctx = experiments::context_from_env();
-  auto& pool = experiments::pool_for(ctx);
+  experiments::Session session(argc, argv, "exp_phase_decomposition");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   std::cout << "E10: Lemma 4 phase decomposition — measured vs bookkeeping\n\n";
 
   const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 18));
@@ -96,11 +97,11 @@ int main() {
                    static_cast<std::int64_t>(predicted.h1),
                    static_cast<std::int64_t>(predicted.total)});
   }
-  experiments::emit(ctx, table);
+  session.emit(table);
   std::cout
       << "Expected shape: measured T3 grows with log(1/delta) and tracks the\n"
       << "bookkeeping's T3 within small constants (the proof's 5/4 growth\n"
       << "factor is pessimistic versus the true ~3/2 drift); T2 and the tail\n"
       << "are O(log log) and essentially flat across delta.\n";
-  return 0;
+  return session.finish();
 }

@@ -4,22 +4,29 @@
 // The theorem requires delta >= (log d)^-C; below some curve in (delta,
 // d) the guarantee should degrade (win rate < 1 or slow consensus).
 // Each cell reports the red win rate with a Wilson 95% interval.
+//
+// The degree axis is DERIVED from the scaled n (sweep.hpp), never a
+// fixed list: the old hard-coded {8, 32, 128, 512} asked
+// random_regular(819, 512) at B3V_SCALE=0.05 — a 0.63-dense
+// configuration model that ground through minutes of repair rounds and
+// then threw, aborting the binary.
 #include <cmath>
 #include <iostream>
-#include <sstream>
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 #include "core/initializer.hpp"
 #include "core/simulator.hpp"
-#include "experiments/runner.hpp"
+#include "experiments/session.hpp"
+#include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace b3v;
-  const auto ctx = experiments::context_from_env();
-  auto& pool = experiments::pool_for(ctx);
+  experiments::Session session(argc, argv, "exp_phase_diagram");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   std::cout << "E6: phase diagram — red (majority) win rate over (delta, d)\n"
             << "paper hypothesis: w.h.p. red wins when delta >= (log d)^-C\n\n";
 
@@ -29,15 +36,21 @@ int main() {
   // Random regular graphs are expanders w.h.p., so the diagram isolates
   // the delta-vs-degree hypothesis from geometric metastability (which
   // circulant instances add on top — see E9 and EXPERIMENTS.md note N4).
+  const auto degrees = experiments::degree_grid(
+      {.family = experiments::GraphFamily::kRandomRegular,
+       .lo = 8,
+       .alpha = 0.65,
+       .points = 4},
+      n);
   analysis::Table table(
       "E6 red win rate on random d-regular, n=" + std::to_string(n) + ", " +
           std::to_string(reps) + " runs/cell",
       {"d", "delta", "red_win_rate", "wilson_lo", "wilson_hi", "mean_rounds",
        "1/log(d)", "capped"});
-  for (const std::uint32_t d : {8u, 32u, 128u, 512u}) {
+  for (const std::uint32_t d : degrees) {
     const graph::Graph g = graph::random_regular(
         n, d, rng::derive_stream(ctx.base_seed, d));
-    for (const double delta : {0.2, 0.05, 0.0125, 0.0031, 0.0008}) {
+    for (const double delta : experiments::geometric_grid(0.2, 0.0008, 5)) {
       std::uint64_t red = 0, capped = 0;
       analysis::OnlineStats rounds;
       for (std::size_t rep = 0; rep < reps; ++rep) {
@@ -61,7 +74,7 @@ int main() {
                      static_cast<std::int64_t>(capped)});
     }
   }
-  experiments::emit(ctx, table);
+  session.emit(table);
   std::cout
       << "Expected shape: win rate ~ 1 whenever delta is comfortably above\n"
       << "1/log(d) (second-to-last column); for the smallest deltas the rate\n"
@@ -69,5 +82,5 @@ int main() {
       << "sqrt(1/n) ~ " << 1.0 / std::sqrt(static_cast<double>(n))
       << " competes with delta). Dense columns keep the guarantee further\n"
       << "down the delta axis, matching delta >= (log d)^-C.\n";
-  return 0;
+  return session.finish();
 }

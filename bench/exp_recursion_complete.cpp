@@ -11,15 +11,16 @@
 #include "analysis/table.hpp"
 #include "core/initializer.hpp"
 #include "core/simulator.hpp"
-#include "experiments/runner.hpp"
+#include "experiments/session.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 #include "theory/recursions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace b3v;
-  const auto ctx = experiments::context_from_env();
-  auto& pool = experiments::pool_for(ctx);
+  experiments::Session session(argc, argv, "exp_recursion_complete");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   std::cout << "E3: mean-field recursion (eq. 1) vs simulation on K_n\n\n";
 
   const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 18));
@@ -61,10 +62,10 @@ int main() {
                      per_round[t].mean(), err,
                      err * std::sqrt(static_cast<double>(n))});
     }
-    experiments::emit(ctx, table);
+    session.emit(table);
     std::cout << "max |sim - recursion| = " << max_err << "  (sqrt(n) x err = "
               << max_err * std::sqrt(static_cast<double>(n))
               << "; paper: fluctuations are O(1/sqrt(n)) per round)\n\n";
   }
-  return 0;
+  return session.finish();
 }

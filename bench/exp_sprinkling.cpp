@@ -10,15 +10,17 @@
 
 #include "analysis/table.hpp"
 #include "core/initializer.hpp"
-#include "experiments/runner.hpp"
+#include "experiments/session.hpp"
+#include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 #include "theory/recursions.hpp"
 #include "votingdag/sprinkling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace b3v;
-  const auto ctx = experiments::context_from_env();
+  experiments::Session session(argc, argv, "exp_sprinkling");
+  const auto& ctx = session.config();
   std::cout << "E4: Sprinkling process (Prop. 3, eq. 2) — coupling and "
                "level-wise majorisation\n\n";
 
@@ -28,11 +30,15 @@ int main() {
   const double p0 = 0.4;
   const std::size_t reps = ctx.rep_count(50);
 
-  for (const std::uint32_t d : {256u, 1024u, 4096u}) {
-    if (d >= n) {
-      std::cout << "(skipping d=" << d << ": requires d < n=" << n << ")\n";
-      continue;
-    }
+  // Derived degrees replace the old fixed {256, 1024, 4096} (and its
+  // d >= n skip guard): every grid point is feasible at the scaled n.
+  const auto degrees = experiments::degree_grid(
+      {.family = experiments::GraphFamily::kCirculant,
+       .lo = 256,
+       .alpha = 0.86,
+       .points = 3},
+      n);
+  for (const std::uint32_t d : degrees) {
     const auto sampler = graph::CirculantSampler::dense(n, d);
     const auto bound = theory::sprinkling_trajectory(p0, T, cut, d, false);
     const auto bound_exact = theory::sprinkling_trajectory(p0, T, cut, d, true);
@@ -76,7 +82,7 @@ int main() {
            rate, bound_exact.p[t], bound.p[t],
            std::string(ok ? "yes" : "NO")});
     }
-    experiments::emit(ctx, table);
+    session.emit(table);
     std::cout << "d=" << d << ": coupling X_H <= X_H' held in " << coupling_ok
               << "/" << reps << " realisations; mean redirected edges/DAG = "
               << redirect_total / static_cast<double>(reps)
@@ -86,5 +92,5 @@ int main() {
   std::cout << "paper: the sprinkled opinions are independent per level and "
                "majorised by Bernoulli(p_t); denser d shrinks eps and the "
                "redirect count.\n";
-  return 0;
+  return session.finish();
 }

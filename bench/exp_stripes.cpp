@@ -19,21 +19,27 @@
 #include "core/initializer.hpp"
 #include "core/metrics.hpp"
 #include "core/simulator.hpp"
-#include "experiments/runner.hpp"
+#include "experiments/session.hpp"
+#include "experiments/sweep.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace b3v;
-  const auto ctx = experiments::context_from_env();
-  auto& pool = experiments::pool_for(ctx);
+  experiments::Session session(argc, argv, "exp_stripes");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   std::cout << "E11: geometric stripe metastability and its destruction by "
                "rewiring (note N4)\n\n";
 
   const auto n = static_cast<graph::VertexId>(ctx.scaled(1 << 14));
-  const std::uint32_t d = 128;  // band halves: +-64 positions
-  const double delta = 0.04;    // delta^2 d = 0.2: stripes nucleate often
+  // Reference band 128, snapped to the Watts-Strogatz feasible range at
+  // the scaled n (even ring degree, sparse enough to rewire quickly).
+  const std::uint32_t d = experiments::snap_degree(
+      experiments::GraphFamily::kWattsStrogatz, n, 128);
+  // Keep delta^2 d fixed (~0.2) so stripes nucleate at every scale.
+  const double delta = std::sqrt(0.2 / static_cast<double>(d));
   const std::size_t reps = ctx.rep_count(10);
   const std::uint64_t cap = 800;
 
@@ -86,7 +92,7 @@ int main() {
                    longest.mean(), static_cast<std::int64_t>(d),
                    static_cast<std::int64_t>(frozen)});
   }
-  experiments::emit(ctx, table);
+  session.emit(table);
   std::cout
       << "Expected shape: at beta=0 (pure circulant) a large fraction of\n"
       << "runs freeze with a blue run >= the band width d and hit the cap;\n"
@@ -96,5 +102,5 @@ int main() {
       << "this *asymptotically* (the nucleation probability\n"
       << "(n/d) exp(-c delta^2 d) vanishes for d = n^alpha), which is the\n"
       << "sense in which the finite-n freeze and the theorem coexist.\n";
-  return 0;
+  return session.finish();
 }

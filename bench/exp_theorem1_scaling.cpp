@@ -18,6 +18,8 @@
 #include "core/initializer.hpp"
 #include "core/simulator.hpp"
 #include "experiments/runner.hpp"
+#include "experiments/session.hpp"
+#include "experiments/sweep.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
@@ -35,8 +37,9 @@ struct Row {
 
 Row run_circulant(std::size_t n, double alpha, double delta, std::size_t reps,
                   std::uint64_t base_seed, parallel::ThreadPool& pool) {
-  auto d = static_cast<std::uint32_t>(std::pow(static_cast<double>(n), alpha));
-  if ((d % 2 == 1) && (n % 2 == 1)) ++d;  // realisable regular degree
+  const std::uint32_t d = experiments::snap_degree(
+      experiments::GraphFamily::kCirculant, n,
+      static_cast<std::uint32_t>(std::pow(static_cast<double>(n), alpha)));
   const graph::CirculantSampler sampler =
       graph::CirculantSampler::dense(static_cast<graph::VertexId>(n), d);
   auto agg = experiments::aggregate_runs(
@@ -64,6 +67,11 @@ Row run_gnp(std::size_t n, double alpha, double delta, std::size_t reps,
 }
 
 void fit_and_report(const std::vector<Row>& rows, const std::string& family) {
+  if (rows.size() < 3) {
+    std::cout << family
+              << ": sweep too short for a fit at this scale (need >= 3 sizes)\n";
+    return;
+  }
   std::vector<double> loglog, logn, time;
   for (const auto& row : rows) {
     const double l2 = std::log2(static_cast<double>(row.n));
@@ -85,8 +93,9 @@ void fit_and_report(const std::vector<Row>& rows, const std::string& family) {
 }
 
 void sweep(const std::string& family, double alpha, double delta,
-           const experiments::RunContext& ctx, parallel::ThreadPool& pool,
-           bool circulant) {
+           experiments::Session& session, bool circulant) {
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   analysis::Table table(
       "E1 [" + family + "] consensus time vs n  (alpha=" + std::to_string(alpha) +
           ", delta=" + std::to_string(delta) + ")",
@@ -94,10 +103,7 @@ void sweep(const std::string& family, double alpha, double delta,
        "red_win_rate", "no_consensus", "pred_loglog"});
   const std::size_t reps = ctx.rep_count(20);
   std::vector<Row> rows;
-  for (const std::size_t n :
-       {std::size_t{1} << 10, std::size_t{1} << 11, std::size_t{1} << 12,
-        std::size_t{1} << 13, std::size_t{1} << 14, std::size_t{1} << 15,
-        std::size_t{1} << 16, std::size_t{1} << 17}) {
+  for (const std::size_t n : experiments::size_grid(ctx, 1 << 10, 1 << 17)) {
     const std::uint64_t base_seed = rng::derive_stream(ctx.base_seed, n * 31 + circulant);
     Row row = circulant ? run_circulant(n, alpha, delta, reps, base_seed, pool)
                         : run_gnp(n, alpha, delta, reps, base_seed, pool);
@@ -113,19 +119,20 @@ void sweep(const std::string& family, double alpha, double delta,
                    static_cast<std::int64_t>(pred.total)});
     rows.push_back(std::move(row));
   }
-  experiments::emit(ctx, table);
+  session.emit(table);
   fit_and_report(rows, family);
   std::cout << '\n';
 }
 
 }  // namespace
 
-int main() {
-  const auto ctx = experiments::context_from_env();
-  auto& pool = experiments::pool_for(ctx);
+int main(int argc, char** argv) {
+  experiments::Session session(argc, argv, "exp_theorem1_scaling");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
   std::cout << "E1: Theorem 1 scaling — consensus time vs n on dense graphs\n"
             << "paper claim: T = O(log log n) + O(log 1/delta), Red wins w.h.p.\n\n";
-  sweep("circulant d=n^0.7", 0.7, 0.1, ctx, pool, /*circulant=*/true);
+  sweep("circulant d=n^0.7", 0.7, 0.1, session, /*circulant=*/true);
   // G(n,p) capped at 2^15 to keep the default run laptop-sized; the
   // implicit circulant carries the large-n end of the sweep.
   analysis::Table table("E1 [gnp p=n^-0.3] consensus time vs n (delta=0.1)",
@@ -133,9 +140,7 @@ int main() {
                          "red_win_rate", "no_consensus"});
   const std::size_t reps = ctx.rep_count(10);
   std::vector<Row> rows;
-  for (const std::size_t n : {std::size_t{1} << 10, std::size_t{1} << 11,
-                              std::size_t{1} << 12, std::size_t{1} << 13,
-                              std::size_t{1} << 14, std::size_t{1} << 15}) {
+  for (const std::size_t n : experiments::size_grid(ctx, 1 << 10, 1 << 15)) {
     const std::uint64_t base_seed = b3v::rng::derive_stream(ctx.base_seed, n);
     Row row = run_gnp(n, 0.7, 0.1, reps, base_seed, pool);
     table.add_row({static_cast<std::int64_t>(row.n),
@@ -147,7 +152,7 @@ int main() {
                    static_cast<std::int64_t>(row.agg.no_consensus)});
     rows.push_back(std::move(row));
   }
-  b3v::experiments::emit(ctx, table);
+  session.emit(table);
   fit_and_report(rows, "gnp");
-  return 0;
+  return session.finish();
 }

@@ -18,6 +18,7 @@ class Table {
   Table(std::string title, std::vector<std::string> columns);
 
   const std::string& title() const noexcept { return title_; }
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
   std::size_t num_rows() const noexcept { return rows_.size(); }
   std::size_t num_columns() const noexcept { return columns_.size(); }
 

@@ -1,0 +1,155 @@
+#include "experiments/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+namespace b3v::experiments {
+namespace {
+
+const char* env_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? v : fallback;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  return end != text.c_str() && *end == '\0';
+}
+
+// Seeds additionally accept 0x-prefixed hex (base 0).
+bool parse_seed(const std::string& text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 0);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+ExperimentConfig::OutputKind ExperimentConfig::kind_for_path(
+    const std::string& path) {
+  if (path.empty()) return OutputKind::kNone;
+  const auto dot = path.rfind('.');
+  if (dot != std::string::npos && path.substr(dot) == ".json") {
+    return OutputKind::kJson;
+  }
+  return OutputKind::kCsv;
+}
+
+std::size_t ExperimentConfig::rep_count(std::size_t default_reps) const {
+  if (reps != 0) return reps;
+  const auto scaled_reps =
+      static_cast<std::size_t>(static_cast<double>(default_reps) * scale);
+  return std::max<std::size_t>(1, scaled_reps);
+}
+
+std::size_t ExperimentConfig::scaled(std::size_t base, std::size_t minimum) const {
+  const auto s = static_cast<std::size_t>(static_cast<double>(base) * scale);
+  return std::max(minimum, s);
+}
+
+ExperimentConfig config_from_env() {
+  ExperimentConfig cfg;
+  cfg.scale = std::strtod(env_or("B3V_SCALE", "1"), nullptr);
+  if (cfg.scale <= 0.0) cfg.scale = 1.0;
+  cfg.reps = static_cast<std::size_t>(
+      std::strtoull(env_or("B3V_REPS", "0"), nullptr, 10));
+  cfg.threads = static_cast<unsigned>(
+      std::strtoul(env_or("B3V_THREADS", "0"), nullptr, 10));
+  cfg.format = env_or("B3V_FORMAT", "ascii");
+  if (const char* seed_env = std::getenv("B3V_SEED"); seed_env != nullptr) {
+    std::uint64_t seed = 0;
+    if (parse_seed(seed_env, seed) && seed != 0) {
+      cfg.base_seed = seed;
+    } else {
+      // Same contract as --seed, but env parsing has no error channel:
+      // warn loudly instead of silently recording the wrong seed.
+      std::cerr << "b3v: ignoring B3V_SEED='" << seed_env
+                << "' (needs a nonzero integer); using default seed "
+                << cfg.base_seed << '\n';
+    }
+  }
+  cfg.output_path = env_or("B3V_OUT", "");
+  return cfg;
+}
+
+bool apply_flag(ExperimentConfig& cfg, const std::string& arg,
+                std::string* error) {
+  const auto eq = arg.find('=');
+  if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+    return set_error(error, "expected --key=value, got '" + arg + "'");
+  }
+  const std::string key = arg.substr(2, eq - 2);
+  const std::string value = arg.substr(eq + 1);
+  std::uint64_t u = 0;
+  if (key == "scale") {
+    double s = 0.0;
+    if (!parse_double(value, s) || s <= 0.0) {
+      return set_error(error, "--scale needs a positive number");
+    }
+    cfg.scale = s;
+  } else if (key == "reps") {
+    if (!parse_u64(value, u)) return set_error(error, "--reps needs an integer");
+    cfg.reps = static_cast<std::size_t>(u);
+  } else if (key == "threads") {
+    if (!parse_u64(value, u)) return set_error(error, "--threads needs an integer");
+    cfg.threads = static_cast<unsigned>(u);
+  } else if (key == "format") {
+    if (value != "ascii" && value != "csv" && value != "markdown") {
+      return set_error(error, "--format is ascii, csv or markdown");
+    }
+    cfg.format = value;
+  } else if (key == "seed") {
+    if (!parse_seed(value, u) || u == 0) {
+      return set_error(error, "--seed needs a nonzero integer");
+    }
+    cfg.base_seed = u;
+  } else if (key == "out") {
+    cfg.output_path = value;
+  } else {
+    return set_error(error, "unknown flag --" + key);
+  }
+  return true;
+}
+
+std::string usage(const std::string& driver) {
+  return "usage: " + driver +
+         " [--scale=X] [--reps=N] [--threads=N]"
+         " [--format=ascii|csv|markdown] [--seed=N] [--out=PATH]\n"
+         "Flags override the matching B3V_SCALE / B3V_REPS / B3V_THREADS /\n"
+         "B3V_FORMAT / B3V_SEED / B3V_OUT environment variables.\n"
+         "--out writes structured results (metadata + every table);\n"
+         "a .json extension selects JSON, anything else CSV.\n";
+}
+
+ExperimentConfig parse_config(int argc, const char* const* argv,
+                              const std::string& driver) {
+  ExperimentConfig cfg = config_from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage(driver);
+      std::exit(0);
+    }
+    std::string error;
+    if (!apply_flag(cfg, arg, &error)) {
+      std::cerr << driver << ": " << error << '\n' << usage(driver);
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace b3v::experiments

@@ -1,0 +1,74 @@
+// Experiment configuration shared by every exp_*/fig1 driver.
+//
+// Configuration is layered: built-in defaults, then the B3V_*
+// environment, then command-line flags (flags win). The same knobs are
+// readable both ways so `B3V_SCALE=0.1 ctest -L smoke` and
+// `exp_phase_diagram --scale=0.1` mean the same thing:
+//
+//   B3V_SCALE   / --scale=X     multiplies instance sizes & rep counts
+//   B3V_REPS    / --reps=N      overrides every repetition count
+//   B3V_THREADS / --threads=N   worker threads (0 = hardware)
+//   B3V_FORMAT  / --format=F    stdout tables: ascii | csv | markdown
+//   B3V_SEED    / --seed=N      base seed for all derived streams
+//   B3V_OUT     / --out=PATH    structured results file; extension picks
+//                               the encoding (.json => JSON, else CSV)
+//
+// Sweeps must be derived from the *scaled* sizes (see sweep.hpp), never
+// from fixed lists: a fixed degree list that was feasible at scale 1
+// can violate d < n (or land in a generator's pathological regime) once
+// B3V_SCALE shrinks n.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace b3v::experiments {
+
+struct ExperimentConfig {
+  double scale = 1.0;
+  std::size_t reps = 0;          // 0 = use the experiment's default
+  unsigned threads = 0;          // 0 = hardware
+  std::string format = "ascii";  // ascii | csv | markdown
+  std::uint64_t base_seed = 0xB3B3B3B3ULL;
+  std::string output_path;       // "" = no structured results file
+
+  enum class OutputKind { kNone, kCsv, kJson };
+
+  /// Encoding for a results path ("" => kNone, *.json => kJson, else
+  /// kCsv) — the single extension-sniffing rule, shared with
+  /// write_results_file.
+  static OutputKind kind_for_path(const std::string& path);
+
+  /// Encoding of `output_path`.
+  OutputKind output_kind() const { return kind_for_path(output_path); }
+
+  /// Repetition count: the experiment default scaled by `scale`,
+  /// overridden entirely by `reps` if set. Always >= 1.
+  std::size_t rep_count(std::size_t default_reps) const;
+
+  /// Instance size scaled by `scale` (at least `minimum`). The default
+  /// floor of 64 keeps every family's sweep derivation feasible at
+  /// arbitrarily small B3V_SCALE (snap_degree never returns 0 for
+  /// n >= 64); pass an explicit `minimum` only to raise it.
+  std::size_t scaled(std::size_t base, std::size_t minimum = 64) const;
+};
+
+/// Defaults overlaid with the B3V_* environment.
+ExperimentConfig config_from_env();
+
+/// Applies one `--key=value` flag to `cfg`. Returns false and fills
+/// `*error` (if non-null) on an unknown flag or unparsable value.
+bool apply_flag(ExperimentConfig& cfg, const std::string& arg,
+                std::string* error);
+
+/// One-line flag reference for --help output.
+std::string usage(const std::string& driver);
+
+/// Environment, then argv flags on top. On `--help` prints usage and
+/// exits 0; on a bad flag prints the error and exits 2. Drivers that
+/// need non-exiting parsing use apply_flag directly.
+ExperimentConfig parse_config(int argc, const char* const* argv,
+                              const std::string& driver);
+
+}  // namespace b3v::experiments

@@ -1,0 +1,481 @@
+#include "experiments/results.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "experiments/version.hpp"
+
+namespace b3v::experiments {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cell rendering
+// ---------------------------------------------------------------------
+
+std::string render_double(double value) {
+  char buf[40];
+  // %.17g is the shortest precision guaranteed to round-trip a double.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string render_cell(const analysis::Table::Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* d = std::get_if<double>(&cell)) return render_double(*d);
+  return std::to_string(std::get<std::int64_t>(cell));
+}
+
+/// Strict JSON number grammar: these cells are emitted unquoted, so the
+/// writer is its own inverse through the reader (numbers keep their
+/// exact byte representation).
+bool is_json_number(const std::string& s) {
+  std::size_t i = 0;
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+    return false;
+  }
+  if (s[i] == '0' && i + 1 < s.size() &&
+      std::isdigit(static_cast<unsigned char>(s[i + 1]))) {
+    return false;  // no leading zeros
+  }
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+      return false;
+    }
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  return i == s.size();
+}
+
+// ---------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------
+
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void json_value(std::ostream& out, const std::string& s) {
+  if (is_json_number(s)) {
+    out << s;
+  } else {
+    json_string(out, s);
+  }
+}
+
+// ---------------------------------------------------------------------
+// JSON reading (exactly the shape write_json produces)
+// ---------------------------------------------------------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::istream& in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text_ = buf.str();
+  }
+
+  ResultDoc parse() {
+    ResultDoc doc;
+    expect('{');
+    bool first = true;
+    while (!try_consume('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "metadata") {
+        parse_metadata(doc);
+      } else if (key == "tables") {
+        parse_tables(doc);
+      } else {
+        parse_value();  // e.g. the "b3v_results" version marker
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return doc;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("b3v results JSON: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("bad escape");
+      switch (text_[pos_++]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          const unsigned code = static_cast<unsigned>(
+              std::stoul(text_.substr(pos_, 4), nullptr, 16));
+          if (code > 0xFF) fail("\\u escape beyond what the writer emits");
+          out += static_cast<char>(code);
+          pos_ += 4;
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  /// String or number; numbers keep their exact source bytes so that
+  /// re-serialising reproduces the input.
+  std::string parse_value() {
+    const char c = peek();
+    if (c == '"') return parse_string();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!is_json_number(token)) fail("expected a string or number");
+    return token;
+  }
+
+  void parse_metadata(ResultDoc& doc) {
+    expect('{');
+    bool first = true;
+    while (!try_consume('}')) {
+      if (!first) expect(',');
+      first = false;
+      std::string key = parse_string();
+      expect(':');
+      doc.metadata.emplace_back(std::move(key), parse_value());
+    }
+  }
+
+  void parse_tables(ResultDoc& doc) {
+    expect('[');
+    bool first = true;
+    while (!try_consume(']')) {
+      if (!first) expect(',');
+      first = false;
+      doc.tables.push_back(parse_table());
+    }
+  }
+
+  StringTable parse_table() {
+    StringTable table;
+    expect('{');
+    bool first = true;
+    while (!try_consume('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "title") {
+        table.title = parse_string();
+      } else if (key == "columns") {
+        expect('[');
+        bool f = true;
+        while (!try_consume(']')) {
+          if (!f) expect(',');
+          f = false;
+          table.columns.push_back(parse_string());
+        }
+      } else if (key == "rows") {
+        expect('[');
+        bool f = true;
+        while (!try_consume(']')) {
+          if (!f) expect(',');
+          f = false;
+          expect('[');
+          std::vector<std::string> row;
+          bool g = true;
+          while (!try_consume(']')) {
+            if (!g) expect(',');
+            g = false;
+            row.push_back(parse_value());
+          }
+          table.rows.push_back(std::move(row));
+        }
+      } else {
+        fail("unknown table key '" + key + "'");
+      }
+    }
+    return table;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// CSV helpers (RFC-4180-style quoting)
+// ---------------------------------------------------------------------
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (const char c : s) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::vector<std::string> csv_split(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && cell.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+RunMetadata make_metadata(const ExperimentConfig& cfg, std::string driver) {
+  RunMetadata meta;
+  meta.driver = std::move(driver);
+  meta.git_describe = B3V_GIT_DESCRIBE;
+  meta.scale = cfg.scale;
+  meta.base_seed = cfg.base_seed;
+  meta.threads = cfg.threads;
+  meta.reps_override = cfg.reps;
+  return meta;
+}
+
+ResultDoc make_doc(const RunMetadata& meta,
+                   const std::vector<analysis::Table>& tables) {
+  ResultDoc doc;
+  doc.metadata = {
+      {"driver", meta.driver},
+      {"git", meta.git_describe},
+      {"scale", render_double(meta.scale)},
+      {"seed", std::to_string(meta.base_seed)},
+      {"threads", std::to_string(meta.threads)},
+      {"reps_override", std::to_string(meta.reps_override)},
+  };
+  for (const auto& table : tables) {
+    StringTable st;
+    st.title = table.title();
+    st.columns = table.columns();
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      std::vector<std::string> row;
+      row.reserve(table.num_columns());
+      for (std::size_t c = 0; c < table.num_columns(); ++c) {
+        row.push_back(render_cell(table.at(r, c)));
+      }
+      st.rows.push_back(std::move(row));
+    }
+    doc.tables.push_back(std::move(st));
+  }
+  return doc;
+}
+
+void write_json(std::ostream& out, const ResultDoc& doc) {
+  out << "{\n  \"b3v_results\": 1,\n  \"metadata\": {";
+  for (std::size_t i = 0; i < doc.metadata.size(); ++i) {
+    out << (i ? ", " : "");
+    json_string(out, doc.metadata[i].first);
+    out << ": ";
+    json_value(out, doc.metadata[i].second);
+  }
+  out << "},\n  \"tables\": [";
+  for (std::size_t t = 0; t < doc.tables.size(); ++t) {
+    const auto& table = doc.tables[t];
+    out << (t ? ",\n" : "\n") << "    {\"title\": ";
+    json_string(out, table.title);
+    out << ",\n     \"columns\": [";
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      out << (c ? ", " : "");
+      json_string(out, table.columns[c]);
+    }
+    out << "],\n     \"rows\": [";
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      out << (r ? ",\n              " : "") << '[';
+      for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+        out << (c ? ", " : "");
+        json_value(out, table.rows[r][c]);
+      }
+      out << ']';
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+void write_csv(std::ostream& out, const ResultDoc& doc) {
+  out << "# b3v-results v1\n";
+  for (const auto& [key, value] : doc.metadata) {
+    out << "# " << key << '=' << value << '\n';
+  }
+  for (const auto& table : doc.tables) {
+    out << "# table=" << table.title << '\n';
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      out << (c ? "," : "") << csv_escape(table.columns[c]);
+    }
+    out << '\n';
+    for (const auto& row : table.rows) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        out << (c ? "," : "") << csv_escape(row[c]);
+      }
+      out << '\n';
+    }
+    out << '\n';
+  }
+}
+
+ResultDoc read_json(std::istream& in) { return JsonReader(in).parse(); }
+
+ResultDoc read_csv(std::istream& in) {
+  ResultDoc doc;
+  std::string line;
+  if (!std::getline(in, line) || line != "# b3v-results v1") {
+    throw std::runtime_error("b3v results CSV: missing '# b3v-results v1'");
+  }
+  StringTable* table = nullptr;
+  bool expect_header = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("# table=", 0) == 0) {
+      doc.tables.emplace_back();
+      table = &doc.tables.back();
+      table->title = line.substr(8);
+      expect_header = true;
+    } else if (line.rfind("# ", 0) == 0) {
+      const auto eq = line.find('=', 2);
+      if (eq == std::string::npos || table != nullptr) {
+        throw std::runtime_error("b3v results CSV: stray comment '" + line +
+                                 "'");
+      }
+      doc.metadata.emplace_back(line.substr(2, eq - 2), line.substr(eq + 1));
+    } else if (line.empty()) {
+      table = nullptr;
+    } else {
+      if (table == nullptr) {
+        throw std::runtime_error("b3v results CSV: data outside a table");
+      }
+      if (expect_header) {
+        table->columns = csv_split(line);
+        expect_header = false;
+      } else {
+        table->rows.push_back(csv_split(line));
+      }
+    }
+  }
+  return doc;
+}
+
+bool write_results_file(const std::string& path, const ResultDoc& doc,
+                        std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  if (ExperimentConfig::kind_for_path(path) ==
+      ExperimentConfig::OutputKind::kJson) {
+    write_json(out, doc);
+  } else {
+    write_csv(out, doc);
+  }
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace b3v::experiments

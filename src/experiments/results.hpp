@@ -1,0 +1,73 @@
+// Structured result emission for experiment drivers.
+//
+// A run's output is a ResultDoc: ordered run metadata (driver, seed,
+// scale, thread count, git-describe, ...) plus every table the driver
+// emitted, serialisable to CSV or JSON. Writers and readers are exact
+// inverses on the emitted subset — serialise(parse(serialise(doc)))
+// is byte-identical to serialise(doc) — so benchmark/tooling scripts
+// and the round-trip tests can treat the files as a stable format.
+//
+// The readers parse exactly what the writers emit (metadata comments +
+// RFC-4180-style quoting for CSV; one fixed object shape for JSON);
+// they are not general-purpose CSV/JSON parsers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "experiments/config.hpp"
+
+namespace b3v::experiments {
+
+/// Provenance recorded with every structured result file.
+struct RunMetadata {
+  std::string driver;        // binary name, e.g. "exp_phase_diagram"
+  std::string git_describe;  // `git describe --always --dirty` at configure
+  double scale = 1.0;
+  std::uint64_t base_seed = 0;
+  unsigned threads = 0;      // 0 = hardware default
+  std::size_t reps_override = 0;  // 0 = per-experiment defaults in force
+};
+
+/// Metadata for this run: config knobs + the compiled-in git describe.
+RunMetadata make_metadata(const ExperimentConfig& cfg, std::string driver);
+
+/// A table with every cell rendered to text (doubles at full round-trip
+/// precision), the common currency of the writers and readers.
+struct StringTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  bool operator==(const StringTable&) const = default;
+};
+
+struct ResultDoc {
+  std::vector<std::pair<std::string, std::string>> metadata;  // ordered
+  std::vector<StringTable> tables;
+
+  bool operator==(const ResultDoc&) const = default;
+};
+
+/// Renders metadata + tables into the serialisable document form.
+ResultDoc make_doc(const RunMetadata& meta,
+                   const std::vector<analysis::Table>& tables);
+
+void write_json(std::ostream& out, const ResultDoc& doc);
+void write_csv(std::ostream& out, const ResultDoc& doc);
+
+/// Inverse of write_json / write_csv on their own output. Throws
+/// std::runtime_error on input that the writers cannot have produced.
+ResultDoc read_json(std::istream& in);
+ResultDoc read_csv(std::istream& in);
+
+/// Writes `doc` to `path` in the encoding output_kind() derives from
+/// the extension. Returns false and fills `*error` on failure.
+bool write_results_file(const std::string& path, const ResultDoc& doc,
+                        std::string* error);
+
+}  // namespace b3v::experiments

@@ -1,60 +1,8 @@
 #include "experiments/runner.hpp"
 
-#include <algorithm>
-#include <cstdlib>
-#include <iostream>
-
 #include "rng/splitmix64.hpp"
 
 namespace b3v::experiments {
-namespace {
-
-const char* env_or(const char* name, const char* fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? v : fallback;
-}
-
-}  // namespace
-
-std::size_t RunContext::rep_count(std::size_t default_reps) const {
-  if (reps != 0) return reps;
-  const auto scaled_reps =
-      static_cast<std::size_t>(static_cast<double>(default_reps) * scale);
-  return std::max<std::size_t>(1, scaled_reps);
-}
-
-std::size_t RunContext::scaled(std::size_t base, std::size_t minimum) const {
-  const auto s = static_cast<std::size_t>(static_cast<double>(base) * scale);
-  return std::max(minimum, s);
-}
-
-RunContext context_from_env() {
-  RunContext ctx;
-  ctx.scale = std::strtod(env_or("B3V_SCALE", "1"), nullptr);
-  if (ctx.scale <= 0.0) ctx.scale = 1.0;
-  ctx.reps = static_cast<std::size_t>(
-      std::strtoull(env_or("B3V_REPS", "0"), nullptr, 10));
-  ctx.threads = static_cast<unsigned>(
-      std::strtoul(env_or("B3V_THREADS", "0"), nullptr, 10));
-  ctx.format = env_or("B3V_FORMAT", "ascii");
-  return ctx;
-}
-
-parallel::ThreadPool& pool_for(const RunContext& ctx) {
-  static parallel::ThreadPool pool(ctx.threads);
-  return pool;
-}
-
-void emit(const RunContext& ctx, const analysis::Table& table) {
-  if (ctx.format == "csv") {
-    table.print_csv(std::cout);
-  } else if (ctx.format == "markdown") {
-    table.print_markdown(std::cout);
-  } else {
-    table.print_ascii(std::cout);
-  }
-  std::cout << '\n';
-}
 
 ConsensusAggregate aggregate_runs(
     std::size_t reps, std::uint64_t base_seed,

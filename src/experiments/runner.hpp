@@ -1,48 +1,20 @@
-// Shared experiment plumbing for the bench/ binaries.
+// Shared repetition/aggregation bookkeeping for experiment drivers.
 //
-// Every experiment binary reads a common environment:
-//   B3V_SCALE   — multiplies instance sizes / repetition counts (default 1)
-//   B3V_REPS    — overrides the repetition count
-//   B3V_THREADS — worker threads (default: hardware)
-//   B3V_FORMAT  — "ascii" (default), "csv" or "markdown" table output
-// so `for b in build/bench/*; do $b; done` stays laptop-fast while a
-// larger machine can crank B3V_SCALE for tighter intervals.
+// Configuration, sweeps and structured output live in their own
+// headers (the pieces a driver composes through Session):
+//   experiments/config.hpp   ExperimentConfig (env + CLI flags)
+//   experiments/sweep.hpp    feasible degree/size grids from scaled n
+//   experiments/results.hpp  CSV/JSON result documents with metadata
+//   experiments/session.hpp  the per-binary harness gluing them
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <string>
 
 #include "analysis/stats.hpp"
-#include "analysis/table.hpp"
 #include "core/simulator.hpp"
-#include "parallel/thread_pool.hpp"
 
 namespace b3v::experiments {
-
-struct RunContext {
-  double scale = 1.0;
-  std::size_t reps = 0;          // 0 = use the experiment's default
-  unsigned threads = 0;          // 0 = hardware
-  std::string format = "ascii";  // ascii | csv | markdown
-  std::uint64_t base_seed = 0xB3B3B3B3ULL;
-
-  /// Repetition count: the experiment default scaled by B3V_SCALE,
-  /// overridden entirely by B3V_REPS if set.
-  std::size_t rep_count(std::size_t default_reps) const;
-
-  /// Instance size scaled by B3V_SCALE (at least `minimum`).
-  std::size_t scaled(std::size_t base, std::size_t minimum = 1) const;
-};
-
-/// Parses the B3V_* environment.
-RunContext context_from_env();
-
-/// Pool sized per the context (constructed once per binary).
-parallel::ThreadPool& pool_for(const RunContext& ctx);
-
-/// Prints a table in the context's format.
-void emit(const RunContext& ctx, const analysis::Table& table);
 
 /// Aggregate of repeated Theorem-1-style runs.
 struct ConsensusAggregate {

@@ -1,0 +1,44 @@
+#include "experiments/session.hpp"
+
+#include <iostream>
+
+#include "experiments/results.hpp"
+
+namespace b3v::experiments {
+
+Session::Session(int argc, char** argv, std::string driver)
+    : cfg_(parse_config(argc, argv, driver)), driver_(std::move(driver)) {}
+
+parallel::ThreadPool& Session::pool() {
+  if (!pool_.has_value()) pool_.emplace(cfg_.threads);
+  return *pool_;
+}
+
+void Session::emit(const analysis::Table& table) {
+  if (cfg_.format == "csv") {
+    table.print_csv(std::cout);
+  } else if (cfg_.format == "markdown") {
+    table.print_markdown(std::cout);
+  } else {
+    table.print_ascii(std::cout);
+  }
+  std::cout << '\n';
+  // Retained only when finish() will actually write them.
+  if (cfg_.output_kind() != ExperimentConfig::OutputKind::kNone) {
+    tables_.push_back(table);
+  }
+}
+
+int Session::finish() {
+  if (cfg_.output_kind() == ExperimentConfig::OutputKind::kNone) return 0;
+  const ResultDoc doc = make_doc(make_metadata(cfg_, driver_), tables_);
+  std::string error;
+  if (!write_results_file(cfg_.output_path, doc, &error)) {
+    std::cerr << driver_ << ": " << error << '\n';
+    return 1;
+  }
+  std::cerr << "[results written to " << cfg_.output_path << "]\n";
+  return 0;
+}
+
+}  // namespace b3v::experiments

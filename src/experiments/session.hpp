@@ -1,0 +1,61 @@
+// One-object harness for an experiment driver binary.
+//
+// A driver's main() becomes:
+//
+//   int main(int argc, char** argv) {
+//     experiments::Session session(argc, argv, "exp_foo");
+//     const auto& cfg = session.config();
+//     auto& pool = session.pool();
+//     ...build tables from sweeps derived via sweep.hpp...
+//     session.emit(table);          // prints + retains for --out
+//     return session.finish();      // writes structured results if asked
+//   }
+//
+// The Session owns configuration (environment + CLI flags), the thread
+// pool, and result collection: every emitted table is printed to stdout
+// in the configured format and retained so finish() can write the whole
+// run (with seed / scale / threads / git-describe metadata) to the
+// --out / B3V_OUT path as CSV or JSON.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "experiments/config.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace b3v::experiments {
+
+class Session {
+ public:
+  /// Parses config (exits on --help or a bad flag; see parse_config).
+  Session(int argc, char** argv, std::string driver);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const ExperimentConfig& config() const noexcept { return cfg_; }
+  const std::string& driver() const noexcept { return driver_; }
+
+  /// Lazily constructed pool sized per the config.
+  parallel::ThreadPool& pool();
+
+  /// Prints the table to stdout in the configured format and retains a
+  /// copy for structured output.
+  void emit(const analysis::Table& table);
+
+  /// Writes retained tables + run metadata to the configured output
+  /// path (if any). Returns the driver's exit code: 0 on success, 1 if
+  /// the structured write failed.
+  int finish();
+
+ private:
+  ExperimentConfig cfg_;
+  std::string driver_;
+  std::optional<parallel::ThreadPool> pool_;
+  std::vector<analysis::Table> tables_;
+};
+
+}  // namespace b3v::experiments

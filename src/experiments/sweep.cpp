@@ -1,0 +1,125 @@
+#include "experiments/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace b3v::experiments {
+namespace {
+
+// Parity required of a feasible degree, if any: circulants on odd n
+// need even degree (each offset contributes two neighbours), random
+// regular needs n*d even, Watts-Strogatz rings are built from even
+// degrees outright.
+bool needs_even_degree(GraphFamily family, std::size_t n) {
+  switch (family) {
+    case GraphFamily::kCirculant:
+    case GraphFamily::kRandomRegular:
+      return n % 2 == 1;
+    case GraphFamily::kWattsStrogatz:
+      return true;
+    case GraphFamily::kComplete:
+    case GraphFamily::kGnp:
+      return false;
+  }
+  return false;
+}
+
+std::uint32_t min_degree(GraphFamily family, std::size_t n) {
+  return needs_even_degree(family, n) ? 2 : 1;
+}
+
+}  // namespace
+
+std::uint32_t max_feasible_degree(GraphFamily family, std::size_t n) {
+  if (n < 2) return 0;
+  std::size_t cap = 0;
+  switch (family) {
+    case GraphFamily::kComplete:
+    case GraphFamily::kCirculant:
+    case GraphFamily::kGnp:
+      cap = n - 1;
+      break;
+    case GraphFamily::kRandomRegular:
+      // The configuration model with partial re-pairing converges fast
+      // for sparse-side degrees; past ~n/8 the repair loop degrades to
+      // minutes and can exhaust its retry budget (the scale-0.05
+      // exp_phase_diagram abort). Stay well inside the fast regime.
+      cap = n / 8;
+      break;
+    case GraphFamily::kWattsStrogatz:
+      // Rewiring rejects duplicate edges; keep the ring sparse enough
+      // that rejection stays cheap at beta = 1.
+      cap = n / 4;
+      break;
+  }
+  if (needs_even_degree(family, n)) cap &= ~std::size_t{1};
+  if (cap < min_degree(family, n)) return 0;
+  return static_cast<std::uint32_t>(cap);
+}
+
+std::uint32_t snap_degree(GraphFamily family, std::size_t n, std::uint32_t d) {
+  const std::uint32_t hi = max_feasible_degree(family, n);
+  if (hi == 0) return 0;
+  d = std::clamp(d, min_degree(family, n), hi);
+  if (needs_even_degree(family, n) && d % 2 == 1) --d;  // still >= 2
+  return d;
+}
+
+bool feasible_degree(GraphFamily family, std::size_t n, std::uint32_t d) {
+  return d != 0 && snap_degree(family, n, d) == d;
+}
+
+std::vector<std::uint32_t> degree_grid(const DegreeSweep& spec, std::size_t n) {
+  std::vector<std::uint32_t> grid;
+  const std::uint32_t hi_cap = max_feasible_degree(spec.family, n);
+  if (hi_cap == 0 || spec.points == 0) return grid;
+  const auto alpha_cap = static_cast<std::uint32_t>(std::min<double>(
+      static_cast<double>(hi_cap),
+      std::pow(static_cast<double>(n), spec.alpha)));
+  const std::uint32_t hi = snap_degree(spec.family, n, alpha_cap);
+  const std::uint32_t lo = snap_degree(spec.family, n, std::min(spec.lo, hi));
+  for (const double d : geometric_grid(lo, hi, spec.points)) {
+    const std::uint32_t snapped = snap_degree(
+        spec.family, n, static_cast<std::uint32_t>(std::lround(d)));
+    if (snapped != 0 &&
+        (grid.empty() || snapped > grid.back())) {  // dedup, keep ascending
+      grid.push_back(snapped);
+    }
+  }
+  return grid;
+}
+
+std::vector<std::size_t> size_grid(const ExperimentConfig& cfg,
+                                   std::size_t base_lo, std::size_t base_hi,
+                                   std::size_t min_n) {
+  const std::size_t lo = std::max(min_n, cfg.scaled(base_lo));
+  const std::size_t hi = std::max(lo, cfg.scaled(base_hi));
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = lo; n <= hi; n *= 2) {
+    sizes.push_back(n);
+    if (n > hi / 2) break;  // avoid overflow on huge hi
+  }
+  return sizes;
+}
+
+std::vector<double> geometric_grid(double first, double last,
+                                   std::size_t points) {
+  std::vector<double> grid;
+  if (points == 0 || first <= 0.0 || last <= 0.0) return grid;
+  grid.reserve(points);
+  if (points == 1) {
+    grid.push_back(last);
+    return grid;
+  }
+  const double ratio = std::pow(last / first,
+                                1.0 / static_cast<double>(points - 1));
+  double value = first;
+  for (std::size_t i = 0; i + 1 < points; ++i) {
+    grid.push_back(value);
+    value *= ratio;
+  }
+  grid.push_back(last);  // exact endpoint, no accumulated drift
+  return grid;
+}
+
+}  // namespace b3v::experiments

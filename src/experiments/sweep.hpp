@@ -1,0 +1,75 @@
+// Feasible, scale-aware sweep derivation.
+//
+// Every exp_* driver used to hard-code its degree / size lists, which
+// broke under B3V_SCALE: a list tuned for n = 16384 asks for d = 512
+// once scale 0.05 shrinks n to 819 — inside random_regular's
+// pathological dense regime (minutes of configuration-model repair,
+// then a throw that aborts the binary). The rule here is that sweeps
+// are *derived from the scaled n*, under per-family feasibility caps,
+// so any B3V_SCALE yields a grid every generator can realise quickly.
+//
+// Per-family constraints encoded below:
+//   kComplete       d = n - 1 (implied; grid degenerate)
+//   kCirculant      d < n; n odd => d even (offsets contribute 2 each)
+//   kRandomRegular  n * d even; d <= n / 8 so the configuration model's
+//                   repair loop stays in its fast, reliable regime
+//   kGnp            expected degree < n
+//   kWattsStrogatz  even ring degree; d <= n / 4 so rewiring's
+//                   duplicate-rejection loop terminates quickly
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "experiments/config.hpp"
+
+namespace b3v::experiments {
+
+enum class GraphFamily {
+  kComplete,
+  kCirculant,
+  kRandomRegular,
+  kGnp,
+  kWattsStrogatz,
+};
+
+/// Largest degree the family's generator handles robustly at this n
+/// (0 if no degree is feasible, e.g. random-regular at tiny n).
+std::uint32_t max_feasible_degree(GraphFamily family, std::size_t n);
+
+/// Nearest feasible degree to `d` at this n: clamped to
+/// [minimum, max_feasible_degree] and snapped to the family's parity
+/// constraint. Returns 0 if the family has no feasible degree at n.
+std::uint32_t snap_degree(GraphFamily family, std::size_t n, std::uint32_t d);
+
+/// True iff `d` is exactly realisable: snap_degree would return it.
+bool feasible_degree(GraphFamily family, std::size_t n, std::uint32_t d);
+
+/// A derived degree sweep: geometric spacing from `lo` up to
+/// min(n^alpha, max_feasible_degree(family, n)).
+struct DegreeSweep {
+  GraphFamily family = GraphFamily::kCirculant;
+  std::uint32_t lo = 8;    // smallest degree of interest (snapped/clamped)
+  double alpha = 0.7;      // ceiling exponent: aim for degrees up to n^alpha
+  std::size_t points = 4;  // grid size before dedup
+};
+
+/// Ascending, deduplicated, all-feasible degree grid for the scaled n.
+/// Never returns an infeasible degree; may return fewer than
+/// spec.points values (after snapping/dedup) and is empty only when the
+/// family has no feasible degree at n at all.
+std::vector<std::uint32_t> degree_grid(const DegreeSweep& spec, std::size_t n);
+
+/// Doubling size grid: scaled(base_lo), x2, x4, ... up to
+/// scaled(base_hi), floored at min_n. Always returns at least one size.
+std::vector<std::size_t> size_grid(const ExperimentConfig& cfg,
+                                   std::size_t base_lo, std::size_t base_hi,
+                                   std::size_t min_n = 64);
+
+/// Exactly `points` log-spaced values from `first` to `last` inclusive
+/// (ascending or descending; both endpoints must be positive).
+std::vector<double> geometric_grid(double first, double last,
+                                   std::size_t points);
+
+}  // namespace b3v::experiments

@@ -79,10 +79,10 @@ std::string sprinkled_to_dot(const SprinkledDag& sprinkled,
       const auto& slots = sprinkled.children(t, i);
       for (const std::int32_t c : slots) {
         if (c == kArtificialBlue) {
-          const std::string q = "q" + std::to_string(artificial++);
-          out << "  " << q
+          const std::size_t q = artificial++;
+          out << "  q" << q
               << " [label=\"B\", shape=square, style=filled, fillcolor=blue];\n";
-          out << "  " << node_id(t, i) << " -> " << q << ";\n";
+          out << "  " << node_id(t, i) << " -> q" << q << ";\n";
         } else {
           out << "  " << node_id(t, i) << " -> "
               << node_id(t - 1, static_cast<std::size_t>(c)) << ";\n";

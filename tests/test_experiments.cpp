@@ -1,10 +1,12 @@
-// Experiment-layer tests: environment parsing, aggregation bookkeeping,
-// and cross-module integration smoke checks mirroring the bench drivers.
+// Experiment-layer tests: environment + flag parsing, aggregation
+// bookkeeping, and cross-module integration smoke checks mirroring the
+// bench drivers.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 
 #include "core/initializer.hpp"
+#include "experiments/config.hpp"
 #include "experiments/runner.hpp"
 #include "graph/generators.hpp"
 #include "rng/splitmix64.hpp"
@@ -13,40 +15,101 @@ namespace {
 
 using namespace b3v;
 
-TEST(RunContext, DefaultsSane) {
+void clear_b3v_env() {
   unsetenv("B3V_SCALE");
   unsetenv("B3V_REPS");
   unsetenv("B3V_THREADS");
   unsetenv("B3V_FORMAT");
-  const auto ctx = experiments::context_from_env();
-  EXPECT_DOUBLE_EQ(ctx.scale, 1.0);
-  EXPECT_EQ(ctx.reps, 0u);
-  EXPECT_EQ(ctx.format, "ascii");
-  EXPECT_EQ(ctx.rep_count(20), 20u);
-  EXPECT_EQ(ctx.scaled(100), 100u);
+  unsetenv("B3V_SEED");
+  unsetenv("B3V_OUT");
 }
 
-TEST(RunContext, EnvironmentOverrides) {
+TEST(ExperimentConfig, DefaultsSane) {
+  clear_b3v_env();
+  const auto cfg = experiments::config_from_env();
+  EXPECT_DOUBLE_EQ(cfg.scale, 1.0);
+  EXPECT_EQ(cfg.reps, 0u);
+  EXPECT_EQ(cfg.format, "ascii");
+  EXPECT_EQ(cfg.base_seed, 0xB3B3B3B3ULL);
+  EXPECT_EQ(cfg.output_path, "");
+  EXPECT_EQ(cfg.output_kind(), experiments::ExperimentConfig::OutputKind::kNone);
+  EXPECT_EQ(cfg.rep_count(20), 20u);
+  EXPECT_EQ(cfg.scaled(100), 100u);
+}
+
+TEST(ExperimentConfig, EnvironmentOverrides) {
+  clear_b3v_env();
   setenv("B3V_SCALE", "2.5", 1);
   setenv("B3V_REPS", "7", 1);
   setenv("B3V_FORMAT", "csv", 1);
-  const auto ctx = experiments::context_from_env();
-  EXPECT_DOUBLE_EQ(ctx.scale, 2.5);
-  EXPECT_EQ(ctx.rep_count(20), 7u);  // explicit reps beats scaling
-  EXPECT_EQ(ctx.format, "csv");
+  setenv("B3V_SEED", "42", 1);
+  setenv("B3V_OUT", "results.json", 1);
+  const auto cfg = experiments::config_from_env();
+  EXPECT_DOUBLE_EQ(cfg.scale, 2.5);
+  EXPECT_EQ(cfg.rep_count(20), 7u);  // explicit reps beats scaling
+  EXPECT_EQ(cfg.format, "csv");
+  EXPECT_EQ(cfg.base_seed, 42u);
+  EXPECT_EQ(cfg.output_kind(), experiments::ExperimentConfig::OutputKind::kJson);
   unsetenv("B3V_REPS");
-  const auto ctx2 = experiments::context_from_env();
-  EXPECT_EQ(ctx2.rep_count(20), 50u);  // 20 * 2.5
-  EXPECT_EQ(ctx2.scaled(100), 250u);
-  unsetenv("B3V_SCALE");
-  unsetenv("B3V_FORMAT");
+  const auto cfg2 = experiments::config_from_env();
+  EXPECT_EQ(cfg2.rep_count(20), 50u);  // 20 * 2.5
+  EXPECT_EQ(cfg2.scaled(100), 250u);
+  clear_b3v_env();
 }
 
-TEST(RunContext, BadScaleFallsBackToOne) {
+TEST(ExperimentConfig, SeedAcceptsHexAndRejectsGarbage) {
+  clear_b3v_env();
+  setenv("B3V_SEED", "0x1234", 1);
+  EXPECT_EQ(experiments::config_from_env().base_seed, 0x1234u);
+  setenv("B3V_SEED", "not-a-seed", 1);  // warns and keeps the default
+  EXPECT_EQ(experiments::config_from_env().base_seed, 0xB3B3B3B3ULL);
+  clear_b3v_env();
+  auto cfg = experiments::config_from_env();
+  std::string error;
+  EXPECT_TRUE(experiments::apply_flag(cfg, "--seed=0xBEEF", &error)) << error;
+  EXPECT_EQ(cfg.base_seed, 0xBEEFu);
+  EXPECT_FALSE(experiments::apply_flag(cfg, "--seed=0", &error));
+  EXPECT_FALSE(experiments::apply_flag(cfg, "--seed=12abc", &error));
+}
+
+TEST(ExperimentConfig, BadScaleFallsBackToOne) {
+  clear_b3v_env();
   setenv("B3V_SCALE", "-3", 1);
-  const auto ctx = experiments::context_from_env();
-  EXPECT_DOUBLE_EQ(ctx.scale, 1.0);
-  unsetenv("B3V_SCALE");
+  const auto cfg = experiments::config_from_env();
+  EXPECT_DOUBLE_EQ(cfg.scale, 1.0);
+  clear_b3v_env();
+}
+
+TEST(ExperimentConfig, FlagsOverrideEnvironment) {
+  clear_b3v_env();
+  setenv("B3V_SCALE", "2", 1);
+  setenv("B3V_FORMAT", "csv", 1);
+  auto cfg = experiments::config_from_env();
+  std::string error;
+  EXPECT_TRUE(experiments::apply_flag(cfg, "--scale=0.5", &error)) << error;
+  EXPECT_TRUE(experiments::apply_flag(cfg, "--format=markdown", &error)) << error;
+  EXPECT_TRUE(experiments::apply_flag(cfg, "--reps=3", &error)) << error;
+  EXPECT_TRUE(experiments::apply_flag(cfg, "--threads=2", &error)) << error;
+  EXPECT_TRUE(experiments::apply_flag(cfg, "--seed=99", &error)) << error;
+  EXPECT_TRUE(experiments::apply_flag(cfg, "--out=run.csv", &error)) << error;
+  EXPECT_DOUBLE_EQ(cfg.scale, 0.5);
+  EXPECT_EQ(cfg.format, "markdown");
+  EXPECT_EQ(cfg.reps, 3u);
+  EXPECT_EQ(cfg.threads, 2u);
+  EXPECT_EQ(cfg.base_seed, 99u);
+  EXPECT_EQ(cfg.output_kind(), experiments::ExperimentConfig::OutputKind::kCsv);
+  clear_b3v_env();
+}
+
+TEST(ExperimentConfig, RejectsMalformedFlags) {
+  auto cfg = experiments::config_from_env();
+  std::string error;
+  EXPECT_FALSE(experiments::apply_flag(cfg, "--scale=zero", &error));
+  EXPECT_FALSE(experiments::apply_flag(cfg, "--scale=-1", &error));
+  EXPECT_FALSE(experiments::apply_flag(cfg, "--format=yaml", &error));
+  EXPECT_FALSE(experiments::apply_flag(cfg, "--no-such-flag=1", &error));
+  EXPECT_NE(error.find("no-such-flag"), std::string::npos);
+  EXPECT_FALSE(experiments::apply_flag(cfg, "positional", &error));
 }
 
 TEST(Aggregate, CountsWinnersAndCap) {

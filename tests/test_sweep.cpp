@@ -1,0 +1,246 @@
+// Sweep-derivation and structured-results tests: every derived grid
+// must be feasible at any B3V_SCALE (the scale-0.05 regression that
+// aborted exp_phase_diagram), and the CSV/JSON result files must
+// round-trip exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/table.hpp"
+#include "experiments/config.hpp"
+#include "experiments/results.hpp"
+#include "experiments/sweep.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+
+namespace {
+
+using namespace b3v;
+using experiments::GraphFamily;
+
+constexpr GraphFamily kDegreeFamilies[] = {
+    GraphFamily::kCirculant, GraphFamily::kRandomRegular, GraphFamily::kGnp,
+    GraphFamily::kWattsStrogatz};
+
+constexpr double kScales[] = {0.05, 0.1, 1.0};
+
+experiments::ExperimentConfig config_at(double scale) {
+  experiments::ExperimentConfig cfg;
+  cfg.scale = scale;
+  return cfg;
+}
+
+TEST(Sweep, DegreeGridsFeasibleAcrossScales) {
+  for (const double scale : kScales) {
+    const auto cfg = config_at(scale);
+    // The reference sizes the exp_* drivers actually use.
+    for (const std::size_t base : {std::size_t{1} << 13, std::size_t{1} << 14,
+                                   std::size_t{1} << 16}) {
+      const std::size_t n = cfg.scaled(base);
+      for (const GraphFamily family : kDegreeFamilies) {
+        const auto grid = experiments::degree_grid(
+            {.family = family, .lo = 8, .alpha = 0.9, .points = 5}, n);
+        ASSERT_FALSE(grid.empty())
+            << "scale " << scale << " base " << base;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+          const std::uint32_t d = grid[i];
+          EXPECT_LT(d, n) << "scale " << scale;
+          EXPECT_TRUE(experiments::feasible_degree(family, n, d))
+              << "scale " << scale << " d " << d;
+          if (i > 0) {
+            EXPECT_GT(d, grid[i - 1]);  // ascending, deduped
+          }
+          if (family == GraphFamily::kRandomRegular) {
+            EXPECT_LE(d, n / 8);               // fast configuration model
+            EXPECT_EQ((n * std::size_t{d}) % 2, 0u);
+          }
+          if (family == GraphFamily::kWattsStrogatz) {
+            EXPECT_EQ(d % 2, 0u);              // even ring degree
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Sweep, ExtremeScalesStayFeasibleViaTheSizeFloor) {
+  // scaled() floors instance sizes at 64, below which snap_degree could
+  // return 0 (no feasible degree) — so at ANY scale every driver's
+  // n has a nonzero feasible degree in every family.
+  const auto cfg = config_at(0.0001);
+  for (const std::size_t base : {std::size_t{1} << 13, std::size_t{1} << 14,
+                                 std::size_t{1} << 16}) {
+    const std::size_t n = cfg.scaled(base);
+    EXPECT_GE(n, 64u);
+    for (const GraphFamily family : kDegreeFamilies) {
+      EXPECT_GT(experiments::max_feasible_degree(family, n), 0u);
+      EXPECT_GT(experiments::snap_degree(family, n, 512), 0u);
+      EXPECT_FALSE(experiments::degree_grid(
+                       {.family = family, .lo = 8, .alpha = 0.9, .points = 4},
+                       n)
+                       .empty());
+    }
+  }
+}
+
+TEST(Sweep, SnapDegreeRespectsParityAndCaps) {
+  // Odd n: circulant and random-regular degrees must be even.
+  EXPECT_EQ(experiments::snap_degree(GraphFamily::kCirculant, 819, 513) % 2, 0u);
+  EXPECT_EQ(experiments::snap_degree(GraphFamily::kRandomRegular, 819, 513),
+            102u - 102u % 2);  // clamped to n/8, then even
+  // The scale-0.05 exp_phase_diagram regression: the old fixed list
+  // asked random_regular(819, 512); the snapped degree must be far
+  // below that pathological regime.
+  EXPECT_LE(experiments::snap_degree(GraphFamily::kRandomRegular, 819, 512),
+            819u / 8);
+  // Even n passes odd circulant degrees through.
+  EXPECT_EQ(experiments::snap_degree(GraphFamily::kCirculant, 1024, 513), 513u);
+  // Degenerate n: no feasible degree rather than a bogus one.
+  EXPECT_EQ(experiments::snap_degree(GraphFamily::kRandomRegular, 7, 3), 0u);
+  EXPECT_EQ(experiments::max_feasible_degree(GraphFamily::kRandomRegular, 7), 0u);
+}
+
+TEST(Sweep, DerivedRandomRegularDegreesConstructQuickly) {
+  // The top of the derived grid must be inside the configuration
+  // model's fast regime — construct the worst case end-to-end.
+  const std::size_t n = config_at(0.05).scaled(std::size_t{1} << 14);  // 819
+  const auto grid = experiments::degree_grid(
+      {.family = GraphFamily::kRandomRegular, .lo = 8, .alpha = 0.65,
+       .points = 4},
+      n);
+  ASSERT_FALSE(grid.empty());
+  const graph::Graph g = graph::random_regular(
+      static_cast<graph::VertexId>(n), grid.back(), 7);
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_EQ(g.degree(0), grid.back());
+}
+
+TEST(Sweep, DerivedCirculantDegreesConstruct) {
+  for (const double scale : kScales) {
+    const std::size_t n = config_at(scale).scaled(std::size_t{1} << 14);
+    const auto grid = experiments::degree_grid(
+        {.family = GraphFamily::kCirculant, .lo = 128, .alpha = 0.88,
+         .points = 5},
+        n);
+    ASSERT_FALSE(grid.empty());
+    // Implicit sampler construction validates the offset list.
+    const auto sampler = graph::CirculantSampler::dense(
+        static_cast<graph::VertexId>(n), grid.back());
+    EXPECT_EQ(sampler.degree(0), grid.back());
+  }
+}
+
+TEST(Sweep, SizeGridCoversScaledRange) {
+  const auto grid1 = experiments::size_grid(config_at(1.0), 1 << 10, 1 << 17);
+  ASSERT_EQ(grid1.size(), 8u);  // 2^10 .. 2^17 doubling
+  EXPECT_EQ(grid1.front(), std::size_t{1} << 10);
+  EXPECT_EQ(grid1.back(), std::size_t{1} << 17);
+
+  const auto grid005 = experiments::size_grid(config_at(0.05), 1 << 10, 1 << 17);
+  ASSERT_FALSE(grid005.empty());
+  EXPECT_GE(grid005.front(), 64u);  // min_n floor
+  EXPECT_LE(grid005.back(), config_at(0.05).scaled(1 << 17));
+  for (std::size_t i = 1; i < grid005.size(); ++i) {
+    EXPECT_EQ(grid005[i], grid005[i - 1] * 2);
+  }
+}
+
+TEST(Sweep, GeometricGridHitsEndpoints) {
+  const auto grid = experiments::geometric_grid(0.2, 0.0008, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.2);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.0008);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_LT(grid[i], grid[i - 1]);
+  const auto up = experiments::geometric_grid(1.0, 16.0, 5);
+  ASSERT_EQ(up.size(), 5u);
+  EXPECT_NEAR(up[2], 4.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Structured results round-trip
+// ---------------------------------------------------------------------
+
+experiments::ResultDoc sample_doc() {
+  experiments::ExperimentConfig cfg;
+  cfg.scale = 0.05;
+  cfg.threads = 2;
+  analysis::Table t1("E6 red win rate, n=819, delta sweep",
+                     {"d", "delta", "red_win_rate", "verdict"});
+  t1.add_row({std::int64_t{8}, 0.2, 1.0, std::string("yes")});
+  t1.add_row({std::int64_t{78}, 3.14159e-05, 0.5,
+              std::string("needs, quoting \"here\"")});
+  analysis::Table t2("empty table, title with = and , characters", {"only"});
+  return experiments::make_doc(
+      experiments::make_metadata(cfg, "test_driver"), {t1, t2});
+}
+
+TEST(Results, JsonRoundTripsExactly) {
+  const auto doc = sample_doc();
+  std::ostringstream first;
+  experiments::write_json(first, doc);
+  std::istringstream in(first.str());
+  const auto parsed = experiments::read_json(in);
+  EXPECT_EQ(parsed, doc);
+  std::ostringstream second;
+  experiments::write_json(second, parsed);
+  EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(Results, CsvRoundTripsExactly) {
+  const auto doc = sample_doc();
+  std::ostringstream first;
+  experiments::write_csv(first, doc);
+  std::istringstream in(first.str());
+  const auto parsed = experiments::read_csv(in);
+  EXPECT_EQ(parsed, doc);
+  std::ostringstream second;
+  experiments::write_csv(second, parsed);
+  EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(Results, DoublesSurviveAtFullPrecision) {
+  analysis::Table t("precision", {"x"});
+  const double awkward = 0.1 + 0.2;  // 0.30000000000000004
+  t.add_row({awkward});
+  experiments::ExperimentConfig cfg;
+  const auto doc = experiments::make_doc(
+      experiments::make_metadata(cfg, "precision_driver"), {t});
+  std::ostringstream out;
+  experiments::write_json(out, doc);
+  std::istringstream in(out.str());
+  const auto parsed = experiments::read_json(in);
+  ASSERT_EQ(parsed.tables.size(), 1u);
+  ASSERT_EQ(parsed.tables[0].rows.size(), 1u);
+  EXPECT_EQ(std::stod(parsed.tables[0].rows[0][0]), awkward);
+}
+
+TEST(Results, MetadataRecordsRunProvenance) {
+  experiments::ExperimentConfig cfg;
+  cfg.scale = 0.1;
+  cfg.base_seed = 1234;
+  cfg.threads = 4;
+  const auto meta = experiments::make_metadata(cfg, "exp_x");
+  const auto doc = experiments::make_doc(meta, {});
+  auto find = [&](const std::string& key) -> std::string {
+    for (const auto& [k, v] : doc.metadata) {
+      if (k == key) return v;
+    }
+    return "<missing>";
+  };
+  EXPECT_EQ(find("driver"), "exp_x");
+  EXPECT_EQ(find("seed"), "1234");
+  EXPECT_EQ(find("threads"), "4");
+  EXPECT_EQ(std::stod(find("scale")), 0.1);
+  EXPECT_NE(find("git"), "<missing>");
+  EXPECT_FALSE(find("git").empty());
+}
+
+TEST(Results, ReadersRejectGarbage) {
+  std::istringstream bad_json("{\"tables\": [nope]}");
+  EXPECT_THROW(experiments::read_json(bad_json), std::runtime_error);
+  std::istringstream bad_csv("not a results file\n");
+  EXPECT_THROW(experiments::read_csv(bad_csv), std::runtime_error);
+}
+
+}  // namespace
