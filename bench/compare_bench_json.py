@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json Google Benchmark outputs.
+
+The before/after currency of docs/BENCHMARKING.md: point this at a
+baseline directory (e.g. the bench-json-<sha> CI artifact of the base
+commit, or a local `cmake --build build --target bench-json` snapshot)
+and a candidate directory, and it exits nonzero if any benchmark got
+slower than the threshold ratio. Pure stdlib; no Google Benchmark
+checkout (compare.py) needed.
+
+  python3 bench/compare_bench_json.py /tmp/before build/bench-json
+  python3 bench/compare_bench_json.py --threshold 1.10 --metric cpu_time a b
+
+Exit codes: 0 = no regressions, 1 = regression past threshold (or, with
+--strict, benchmarks missing from the candidate), 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+METRICS = ("real_time", "cpu_time", "items_per_second")
+
+
+def load_dir(path: Path) -> dict[str, dict[str, float]]:
+    """name -> {metric: value} for every BENCH_*.json in `path`.
+
+    Aggregate rows (mean/median/stddev of --benchmark_repetitions runs)
+    are skipped: plain per-run rows are what the bench-json target
+    emits. Duplicate names keep the first occurrence.
+    """
+    results: dict[str, dict[str, float]] = {}
+    files = sorted(path.glob("BENCH_*.json"))
+    if not files:
+        raise FileNotFoundError(f"no BENCH_*.json under {path}")
+    for f in files:
+        with open(f, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for row in doc.get("benchmarks", []):
+            if row.get("run_type") == "aggregate":
+                continue
+            name = row.get("name")
+            if not name or name in results:
+                continue
+            results[name] = {m: row[m] for m in METRICS if m in row}
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json directories; fail on regressions")
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument("--metric", choices=("real_time", "cpu_time"),
+                        default="real_time",
+                        help="time metric to compare (default: real_time)")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when candidate/baseline exceeds this "
+                             "ratio (default: 1.25; CI machines are noisy, "
+                             "keep it loose there)")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail when a baseline benchmark is "
+                             "missing from the candidate")
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    try:
+        baseline = load_dir(args.baseline)
+        candidate = load_dir(args.candidate)
+    except (FileNotFoundError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    regressions: list[tuple[str, float, float, float]] = []
+    missing = [n for n in baseline if n not in candidate]
+    new = [n for n in candidate if n not in baseline]
+    width = max((len(n) for n in baseline), default=4)
+    print(f"{'benchmark':<{width}}  {'base ' + args.metric:>14}  "
+          f"{'cand ' + args.metric:>14}  {'ratio':>7}")
+    for name, base_row in baseline.items():
+        if name in missing or args.metric not in base_row:
+            continue
+        base = base_row[args.metric]
+        cand = candidate[name].get(args.metric)
+        if cand is None or base <= 0:
+            continue
+        ratio = cand / base
+        flag = "  <-- REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:<{width}}  {base:14.1f}  {cand:14.1f}  "
+              f"{ratio:7.3f}{flag}")
+        if ratio > args.threshold:
+            regressions.append((name, base, cand, ratio))
+
+    for name in missing:
+        print(f"warning: missing from candidate: {name}", file=sys.stderr)
+    for name in new:
+        print(f"note: new in candidate: {name}", file=sys.stderr)
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past "
+              f"{args.threshold:.2f}x on {args.metric}", file=sys.stderr)
+        return 1
+    if args.strict and missing:
+        print(f"\n--strict: {len(missing)} benchmark(s) missing",
+              file=sys.stderr)
+        return 1
+    print("\nno regressions past "
+          f"{args.threshold:.2f}x on {args.metric}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+// E14 — SBM phase transition: Best-of-3 vs two-choices on the
+// symmetric two-block stochastic block model (Shimizu & Shiraga,
+// arXiv:1907.12212, made empirical).
+//
+// The lambda axis (lambda = (p_in - p_out)/(p_in + p_out)) sweeps
+// community strength at FIXED expected degree (sbm_lambda_grid), the
+// bias axis sweeps the initial red majority. Starts are
+// community-aligned: block 0 is blue's home (blue w.p. 1 - 2*bias),
+// block 1 starts all red, so the global blue share is 1/2 - bias.
+// Mean-field (theory::sbm_* and docs/THEORY.md) predicts a lock
+// threshold lambda*: below it the global (red) majority wins; above
+// it the run freezes into the community-locked state (intra-block
+// consensus, opposite colours, no global consensus). The operative
+// threshold is where the locked point survives global drift —
+// lambda* = 3/4 for Best-of-3 but (sqrt 5 - 1)/2 ~ 0.618 for
+// two-choices — so in the window (0.618, 0.75) Best-of-3 still breaks
+// communities that lock two-choices.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <utility>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/dynamics.hpp"
+#include "core/initializer.hpp"
+#include "core/metrics.hpp"
+#include "experiments/session.hpp"
+#include "experiments/sweep.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/recursions.hpp"
+
+namespace {
+
+using namespace b3v;
+
+struct CommunityOutcome {
+  bool consensus = false;
+  bool red_winner = false;
+  std::uint64_t rounds = 0;
+  std::int64_t t_intra = -1;  // first round with intra-block consensus
+  bool locked = false;        // capped with opposite block majorities
+  double xdis_final = 0.0;    // final cross-block disagreement
+};
+
+/// One community-structured run, tracking the per-block metrics the
+/// phase classification needs (run_sync only records blue counts).
+CommunityOutcome run_community(const graph::CsrSampler& sampler,
+                               core::Opinions initial,
+                               std::span<const core::BlockId> block_of,
+                               bool two_choices, std::uint64_t seed,
+                               std::uint64_t max_rounds,
+                               parallel::ThreadPool& pool) {
+  const std::size_t n = sampler.num_vertices();
+  CommunityOutcome out;
+  core::Opinions current = std::move(initial);
+  core::Opinions next(n);
+  std::uint64_t blue = core::count_blue(current);
+  if (core::block_stats(current, block_of, 2).intra_block_consensus()) {
+    out.t_intra = 0;
+  }
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    if (blue == 0 || blue == n) {
+      out.consensus = true;
+      break;
+    }
+    blue = two_choices
+               ? core::step_two_choices(sampler, current, next, seed, round,
+                                        pool)
+               : core::step_best_of_k(sampler, current, next, 3,
+                                      core::TieRule::kRandom, seed, round,
+                                      pool);
+    current.swap(next);
+    ++out.rounds;
+    if (out.t_intra < 0 &&
+        core::block_stats(current, block_of, 2).intra_block_consensus()) {
+      out.t_intra = static_cast<std::int64_t>(out.rounds);
+    }
+  }
+  if (!out.consensus && (blue == 0 || blue == n)) out.consensus = true;
+  out.red_winner = out.consensus && blue == 0;
+  const auto stats = core::block_stats(current, block_of, 2);
+  out.xdis_final = stats.cross_block_disagreement();
+  out.locked = !out.consensus &&
+               stats.magnetization(0) * stats.magnetization(1) < 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiments::Session session(argc, argv, "exp_sbm_phase");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
+  std::cout << "E14: SBM phase diagram — Best-of-3 vs two-choices over "
+               "(lambda, bias)\n"
+            << "prediction: majority wins below lambda*, community lock "
+               "above\n"
+            << "(lambda* = 3/4 for Best-of-3, (sqrt 5 - 1)/2 ~ 0.618 for "
+               "two-choices)\n\n";
+
+  const std::size_t n = ctx.scaled(std::size_t{1} << 13);
+  const std::uint32_t d = experiments::snap_sbm_degree(
+      n, static_cast<std::uint32_t>(
+             std::lround(std::pow(static_cast<double>(n), 0.7))));
+  const auto lambdas = experiments::sbm_lambda_grid(n, d, 0.2, 0.9, 8);
+  const std::size_t reps = ctx.rep_count(8);
+  constexpr std::uint64_t kMaxRounds = 150;
+
+  const std::vector<graph::VertexId> sizes{
+      static_cast<graph::VertexId>(n / 2),
+      static_cast<graph::VertexId>(n - n / 2)};
+  const auto block_of = graph::sbm_block_assignment(sizes);
+
+  analysis::Table table(
+      "E14 two-block SBM, n=" + std::to_string(n) + ", expected degree d=" +
+          std::to_string(d) + ", " + std::to_string(reps) + " runs/cell, cap " +
+          std::to_string(kMaxRounds),
+      {"rule", "lambda", "p_in", "p_out", "bias", "red_win_rate",
+       "locked_rate", "capped", "rounds_mean", "t_intra_mean", "xdis_final",
+       "m_lock_mf"});
+  for (std::size_t li = 0; li < lambdas.size(); ++li) {
+    const auto& pt = lambdas[li];
+    const graph::Graph g = graph::two_block_sbm(
+        static_cast<graph::VertexId>(n), pt.p_in, pt.p_out,
+        rng::derive_stream(ctx.base_seed, 0xE14000 + li));
+    const graph::CsrSampler sampler(g);
+    for (const double bias : {0.02, 0.05, 0.1}) {
+      for (const bool two_choices : {false, true}) {
+        std::uint64_t red = 0, locked = 0, capped = 0;
+        analysis::OnlineStats rounds, t_intra, xdis;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          const std::uint64_t seed = rng::derive_stream(
+              ctx.base_seed, (li << 24) ^ (static_cast<std::uint64_t>(
+                                               bias * 1e4) << 12) ^
+                                 (rep << 1) ^ (two_choices ? 1 : 0));
+          // Blue home block vs all-red block: global blue 1/2 - bias.
+          const std::vector<double> p_blue{1.0 - 2.0 * bias, 0.0};
+          auto init = core::block_bernoulli(block_of, p_blue,
+                                            rng::derive_stream(seed, 0xB10C));
+          const auto out =
+              run_community(sampler, std::move(init), block_of, two_choices,
+                            seed, kMaxRounds, pool);
+          if (out.consensus) {
+            rounds.add(static_cast<double>(out.rounds));
+            if (out.red_winner) ++red;
+          } else {
+            ++capped;
+            if (out.locked) ++locked;
+          }
+          if (out.t_intra >= 0) t_intra.add(static_cast<double>(out.t_intra));
+          xdis.add(out.xdis_final);
+        }
+        const auto rate = [&](std::uint64_t c) {
+          return static_cast<double>(c) / static_cast<double>(reps);
+        };
+        // -1 marks "no run got there" (0 is a valid round index).
+        table.add_row(
+            {std::string(two_choices ? "two_choices" : "best_of_3"),
+             pt.lambda, pt.p_in, pt.p_out, bias, rate(red), rate(locked),
+             static_cast<std::int64_t>(capped),
+             rounds.count() == 0 ? -1.0 : rounds.mean(),
+             t_intra.count() == 0 ? -1.0 : t_intra.mean(), xdis.mean(),
+             theory::sbm_locked_magnetization(pt.lambda, two_choices)});
+      }
+    }
+  }
+  session.emit(table);
+  std::cout
+      << "Expected shape: for lambda well below the rule's lambda* "
+         "(m_lock_mf = 0)\n"
+      << "the blocks mix and red_win_rate ~ 1 (the global majority, faster "
+         "at\n"
+      << "larger bias); above lambda* locked_rate ~ 1 with xdis_final ~ 1/2 "
+         "+\n"
+      << "2*m_lock_mf^2. Between 0.618 and 3/4 the rules split: two_choices\n"
+      << "locks while best_of_3 still delivers the majority. t_intra_mean "
+         "is\n"
+      << "-1 where no run reached strictly monochromatic blocks — the "
+         "locked\n"
+      << "equilibrium keeps a 1 - (1/2 + m_lock_mf) straggler fraction per "
+         "block.\n"
+      << "Finite-n caveat: lock is metastable — escape is exponentially "
+         "slow,\n"
+      << "so within the round cap it reads as locked (cf. note N4's "
+         "stripes).\n";
+  return session.finish();
+}

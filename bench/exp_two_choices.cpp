@@ -1,0 +1,127 @@
+// E15 — two-choices vs Best-of-3 consensus times across the dense
+// families (Cooper, Elsässer & Radzik, arXiv:1404.7479, against the
+// paper's protocol).
+//
+// Both rules share the drift map b -> b^2(3 - 2b) (two-choices IS
+// Best-of-2 with keep-own ties — step_two_choices documents the
+// bit-for-bit equality), so mean-field predicts the SAME
+// doubly-logarithmic consensus profile; two-choices pays one fewer
+// sample per vertex per round. The table measures how far that
+// equivalence survives off the mean-field tree: same families the
+// other experiments use (note N1), same seeds for both rules.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "analysis/table.hpp"
+#include "core/initializer.hpp"
+#include "core/simulator.hpp"
+#include "experiments/runner.hpp"
+#include "experiments/session.hpp"
+#include "experiments/sweep.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace {
+
+using namespace b3v;
+
+constexpr std::uint64_t kMaxRounds = 300;
+
+/// Adds one (family, delta) pair of rows: Best-of-3 then two-choices,
+/// with per-repetition seeds shared between the rules so the
+/// comparison is paired.
+template <graph::NeighborSampler S>
+void add_rows(analysis::Table& table, const S& sampler,
+              const std::string& family, std::uint32_t d, double delta,
+              std::size_t reps, std::uint64_t family_seed,
+              parallel::ThreadPool& pool) {
+  const std::size_t n = sampler.num_vertices();
+  double bo3_mean = 0.0;
+  for (const bool two_choices : {false, true}) {
+    const auto agg = experiments::aggregate_runs(
+        reps, family_seed, [&](std::uint64_t seed) {
+          core::Opinions init = core::iid_bernoulli(
+              n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+          if (two_choices) {
+            return core::run_sync_two_choices(sampler, std::move(init), seed,
+                                              kMaxRounds, pool);
+          }
+          core::SimConfig cfg;
+          cfg.k = 3;
+          cfg.seed = seed;
+          cfg.max_rounds = kMaxRounds;
+          return core::run_sync(sampler, std::move(init), cfg, pool);
+        });
+    if (!two_choices) bo3_mean = agg.rounds.mean();
+    const double ratio =
+        bo3_mean > 0.0 && two_choices ? agg.rounds.mean() / bo3_mean : 1.0;
+    table.add_row({family, static_cast<std::int64_t>(d),
+                   std::string(two_choices ? "two_choices" : "best_of_3"),
+                   delta, static_cast<std::int64_t>(reps), agg.rounds.mean(),
+                   agg.rounds.ci95_half_width(), agg.red_win_rate(),
+                   static_cast<std::int64_t>(agg.no_consensus), ratio});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiments::Session session(argc, argv, "exp_two_choices");
+  const auto& ctx = session.config();
+  auto& pool = session.pool();
+  std::cout << "E15: two-choices vs Best-of-3 across dense families\n\n";
+
+  const auto n = static_cast<graph::VertexId>(ctx.scaled(std::size_t{1} << 13));
+  const std::size_t reps = ctx.rep_count(12);
+  const auto ref_degree = static_cast<std::uint32_t>(
+      std::lround(std::pow(static_cast<double>(n), 0.7)));
+
+  const std::uint32_t d_circ = experiments::snap_degree(
+      experiments::GraphFamily::kCirculant, n, ref_degree);
+  const std::uint32_t d_rr = experiments::snap_degree(
+      experiments::GraphFamily::kRandomRegular, n, 64);
+  const std::uint32_t d_gnp = experiments::snap_degree(
+      experiments::GraphFamily::kGnp, n, ref_degree);
+
+  const graph::CompleteSampler complete(n);
+  const auto circulant = graph::CirculantSampler::dense(n, d_circ);
+  const graph::Graph g_rr = graph::random_regular(
+      n, d_rr, rng::derive_stream(ctx.base_seed, 0xE15001));
+  const graph::CsrSampler rr(g_rr);
+  const graph::Graph g_gnp = graph::erdos_renyi_gnp(
+      n, static_cast<double>(d_gnp) / static_cast<double>(n),
+      rng::derive_stream(ctx.base_seed, 0xE15002));
+  const graph::CsrSampler gnp(g_gnp);
+
+  analysis::Table table(
+      "E15 consensus time, two-choices vs Best-of-3, n=" + std::to_string(n) +
+          ", cap " + std::to_string(kMaxRounds),
+      {"family", "d", "rule", "delta", "reps", "mean_rounds", "ci95",
+       "red_win_rate", "no_consensus(cap)", "rounds_ratio"});
+  for (const double delta : {0.1, 0.02}) {
+    const auto seed_for = [&](std::uint64_t tag) {
+      return rng::derive_stream(ctx.base_seed,
+                                tag ^ static_cast<std::uint64_t>(delta * 1e6));
+    };
+    add_rows(table, complete, "complete", n - 1, delta, reps, seed_for(1),
+             pool);
+    add_rows(table, circulant, "circulant", d_circ, delta, reps, seed_for(2),
+             pool);
+    add_rows(table, rr, "random_regular", d_rr, delta, reps, seed_for(3),
+             pool);
+    add_rows(table, gnp, "gnp", d_gnp, delta, reps, seed_for(4), pool);
+  }
+  session.emit(table);
+  std::cout
+      << "Expected shape: identical drift maps, so rounds_ratio ~ 1 on "
+         "every\n"
+      << "dense family at both deltas (two-choices trails slightly on the\n"
+      << "banded circulant, where its weaker per-round update widens the\n"
+      << "note-N4 metastability window); red_win_rate ~ 1 throughout. Two-\n"
+      << "choices buys the same consensus profile with 2 samples per vertex\n"
+      << "per round instead of 3.\n";
+  return session.finish();
+}

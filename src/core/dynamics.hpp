@@ -111,6 +111,51 @@ std::uint64_t step_best_of_k(const S& sampler, std::span<const OpinionValue> cur
       [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
+/// One synchronous round of the two-choices rule of Cooper, Elsässer &
+/// Radzik (arXiv:1404.7479): every vertex samples TWO random neighbours
+/// (uniformly, with replacement) and adopts their opinion iff the two
+/// samples agree; on a mixed sample it keeps its own opinion. In the
+/// two-party setting this is exactly Best-of-2 with the kKeepOwn tie
+/// rule — same drift map b^2(3-2b) as Best-of-3 — provided here as a
+/// dedicated kernel (no majority/tie branching) because the
+/// community-structured workloads compare the two protocols by name.
+///
+/// RNG placement: identical to step_best_of_k's neighbour stream —
+/// CounterRng(seed, round, v, kDrawNeighbors), two draws, and the tie
+/// stream is never touched (keep-own consumes no randomness) — so a
+/// two-choices round is bit-for-bit the k=2/kKeepOwn Best-of-k round
+/// and the existing goldens pin this kernel transitively
+/// (tests/test_community.cpp asserts the equality).
+template <graph::NeighborSampler S>
+std::uint64_t step_two_choices(const S& sampler,
+                               std::span<const OpinionValue> current,
+                               std::span<OpinionValue> next,
+                               std::uint64_t seed, std::uint64_t round,
+                               parallel::ThreadPool& pool) {
+  const std::size_t n = sampler.num_vertices();
+  if (current.size() != n || next.size() != n) {
+    throw std::invalid_argument("step_two_choices: buffer size mismatch");
+  }
+  constexpr std::size_t kGrain = 4096;
+  return pool.parallel_reduce<std::uint64_t>(
+      0, n, kGrain, 0,
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t blues = 0;
+        for (std::size_t v = lo; v < hi; ++v) {
+          rng::CounterRng gen(seed, round, static_cast<std::uint64_t>(v),
+                              kDrawNeighbors);
+          const auto vid = static_cast<graph::VertexId>(v);
+          const OpinionValue s1 = current[sampler.sample(vid, gen)];
+          const OpinionValue s2 = current[sampler.sample(vid, gen)];
+          const OpinionValue out = s1 == s2 ? s1 : current[v];
+          next[v] = out;
+          blues += out;
+        }
+        return blues;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
 /// RNG purpose tag for the noise coin of the noisy dynamics.
 inline constexpr std::uint32_t kDrawNoise = 3;
 

@@ -103,6 +103,28 @@ Opinions block_blue(std::size_t n, std::size_t num_blue) {
   return opinions;
 }
 
+Opinions block_bernoulli(std::span<const std::uint32_t> block_of,
+                         std::span<const double> p_blue, std::uint64_t seed) {
+  std::vector<rng::BernoulliSampler> coins;
+  coins.reserve(p_blue.size());
+  for (const double p : p_blue) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("block_bernoulli: p_blue out of [0,1]");
+    }
+    coins.emplace_back(p);
+  }
+  rng::Xoshiro256 gen(seed);
+  Opinions opinions(block_of.size());
+  for (std::size_t v = 0; v < block_of.size(); ++v) {
+    const std::uint32_t b = block_of[v];
+    if (b >= coins.size()) {
+      throw std::invalid_argument("block_bernoulli: block id out of range");
+    }
+    opinions[v] = coins[b](gen) ? 1 : 0;
+  }
+  return opinions;
+}
+
 Opinions iid_multi(std::size_t n, const std::vector<double>& probs,
                    std::uint64_t seed) {
   if (probs.empty() || probs.size() > 64) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/opinion.hpp"
@@ -40,6 +41,13 @@ Opinions bfs_ball_blue(const graph::Graph& g, graph::VertexId center,
 /// num_blue Blues on the contiguous id range [0, num_blue) — block
 /// placement (pairs naturally with stochastic_block_model instances).
 Opinions block_blue(std::size_t n, std::size_t num_blue);
+
+/// Community-structured i.i.d. start: vertex v is Blue with probability
+/// p_blue[block_of[v]]. The per-block analogue of iid_bernoulli (same
+/// sequential xoshiro placement: one draw per vertex in id order), used
+/// by the SBM phase experiments with graph::sbm_block_assignment.
+Opinions block_bernoulli(std::span<const std::uint32_t> block_of,
+                         std::span<const double> p_blue, std::uint64_t seed);
 
 /// Multi-opinion i.i.d. start: vertex takes colour c with probability
 /// probs[c] (must sum to ~1; the last colour absorbs rounding).

@@ -1,6 +1,7 @@
 #include "core/metrics.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace b3v::core {
 
@@ -53,6 +54,56 @@ SegmentStats segment_stats(std::span<const OpinionValue> opinions) {
 
 bool has_blue_stripe(std::span<const OpinionValue> opinions, std::uint64_t band) {
   return segment_stats(opinions).longest_blue >= band;
+}
+
+double BlockStats::magnetization(std::size_t b) const {
+  const std::uint64_t size = sizes.at(b);
+  if (size == 0) return 0.0;
+  const auto blues = static_cast<double>(blue[b]);
+  return (2.0 * blues - static_cast<double>(size)) / static_cast<double>(size);
+}
+
+bool BlockStats::intra_block_consensus() const {
+  for (std::size_t b = 0; b < sizes.size(); ++b) {
+    if (blue[b] != 0 && blue[b] != sizes[b]) return false;
+  }
+  return true;
+}
+
+double BlockStats::cross_block_disagreement() const {
+  double disagree = 0.0;
+  double pairs = 0.0;
+  for (std::size_t a = 0; a < sizes.size(); ++a) {
+    for (std::size_t b = a + 1; b < sizes.size(); ++b) {
+      const auto blue_a = static_cast<double>(blue[a]);
+      const auto blue_b = static_cast<double>(blue[b]);
+      const auto red_a = static_cast<double>(sizes[a] - blue[a]);
+      const auto red_b = static_cast<double>(sizes[b] - blue[b]);
+      disagree += blue_a * red_b + red_a * blue_b;
+      pairs += static_cast<double>(sizes[a]) * static_cast<double>(sizes[b]);
+    }
+  }
+  return pairs == 0.0 ? 0.0 : disagree / pairs;
+}
+
+BlockStats block_stats(std::span<const OpinionValue> opinions,
+                       std::span<const BlockId> block_of,
+                       std::size_t num_blocks) {
+  if (opinions.size() != block_of.size()) {
+    throw std::invalid_argument("block_stats: opinions/block_of size mismatch");
+  }
+  BlockStats stats;
+  stats.sizes.assign(num_blocks, 0);
+  stats.blue.assign(num_blocks, 0);
+  for (std::size_t v = 0; v < opinions.size(); ++v) {
+    const BlockId b = block_of[v];
+    if (b >= num_blocks) {
+      throw std::invalid_argument("block_stats: block id out of range");
+    }
+    ++stats.sizes[b];
+    stats.blue[b] += opinions[v];
+  }
+  return stats;
 }
 
 }  // namespace b3v::core

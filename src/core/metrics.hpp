@@ -6,10 +6,17 @@
 // neighbourhoods are index bands), monochromatic runs wider than the
 // band are locally stable under Best-of-3, and the dynamics stalls.
 // EXPERIMENTS.md note N4 and bench/exp_stripes quantify this.
+// The block statistics do the same for community-structured (SBM)
+// instances, keyed by a block-assignment span: per-block magnetisation,
+// cross-block disagreement, and the intra-block-consensus predicate the
+// drivers use to measure time-to-intra-block-consensus (first round the
+// predicate holds). EXPERIMENTS.md note N5 and bench/exp_sbm_phase use
+// them to classify community-locked versus majority-win outcomes.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/opinion.hpp"
 
@@ -31,5 +38,42 @@ SegmentStats segment_stats(std::span<const OpinionValue> opinions);
 /// sufficient condition for a frozen stripe on a circulant whose
 /// neighbourhoods span `band` consecutive indices each side.
 bool has_blue_stripe(std::span<const OpinionValue> opinions, std::uint64_t band);
+
+/// Block index of a vertex in a community-structured instance (pairs
+/// with graph::sbm_block_assignment).
+using BlockId = std::uint32_t;
+
+/// Per-block opinion statistics of a configuration, keyed by a
+/// block-assignment span (block_of[v] in [0, num_blocks)).
+struct BlockStats {
+  std::vector<std::uint64_t> sizes;  // vertices per block
+  std::vector<std::uint64_t> blue;   // blue vertices per block
+
+  std::size_t num_blocks() const noexcept { return sizes.size(); }
+
+  /// Block magnetisation m_b = (blue_b - red_b) / size_b in [-1, 1]
+  /// (+1 all blue, -1 all red; 0 for an empty block).
+  double magnetization(std::size_t b) const;
+
+  /// True iff every block is monochromatic (empty blocks count). The
+  /// community-locked state is intra-block consensus WITHOUT global
+  /// consensus; drivers record the first round this holds as the
+  /// time-to-intra-block-consensus.
+  bool intra_block_consensus() const;
+
+  /// Probability that a uniformly random pair of vertices from two
+  /// DIFFERENT blocks disagrees: sum over block pairs a < b of
+  /// blue_a*red_b + red_a*blue_b, over sum of size_a*size_b. Zero when
+  /// there are fewer than two non-empty blocks. 1/2 for independent
+  /// fair coins; -> 1 in the fully locked two-block state.
+  double cross_block_disagreement() const;
+};
+
+/// Tallies per-block counts in one pass. `opinions` and `block_of`
+/// must have equal length; throws std::invalid_argument on mismatch or
+/// an out-of-range block id.
+BlockStats block_stats(std::span<const OpinionValue> opinions,
+                       std::span<const BlockId> block_of,
+                       std::size_t num_blocks);
 
 }  // namespace b3v::core

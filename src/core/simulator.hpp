@@ -37,31 +37,32 @@ struct SimResult {
   }
 };
 
-/// Runs the synchronous dynamics from `initial` until consensus or
-/// cfg.max_rounds. Deterministic in (sampler, initial, cfg.seed).
-template <graph::NeighborSampler S>
-SimResult run_sync(const S& sampler, Opinions initial, const SimConfig& cfg,
-                   parallel::ThreadPool& pool) {
-  const std::size_t n = sampler.num_vertices();
+namespace detail {
+
+/// The consensus loop every synchronous protocol shares: run
+/// `step(current, next, round)` (returning the new blue count) until
+/// consensus or the cap. Protocol entry points below supply the kernel.
+template <typename StepFn>
+SimResult run_sync_loop(std::size_t n, Opinions current,
+                        std::uint64_t max_rounds, bool record_trajectory,
+                        StepFn&& step) {
   SimResult result;
   result.num_vertices = n;
-  Opinions current = std::move(initial);
   Opinions next(n);
 
   std::uint64_t blue = count_blue(current);
-  if (cfg.record_trajectory) result.blue_trajectory.push_back(blue);
+  if (record_trajectory) result.blue_trajectory.push_back(blue);
 
-  for (std::uint64_t round = 0; round < cfg.max_rounds; ++round) {
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
     if (blue == 0 || blue == n) {
       result.consensus = true;
       result.winner = blue == 0 ? Opinion::kRed : Opinion::kBlue;
       break;
     }
-    blue = step_best_of_k(sampler, current, next, cfg.k, cfg.tie, cfg.seed,
-                          round, pool);
+    blue = step(static_cast<const Opinions&>(current), next, round);
     current.swap(next);
     ++result.rounds;
-    if (cfg.record_trajectory) result.blue_trajectory.push_back(blue);
+    if (record_trajectory) result.blue_trajectory.push_back(blue);
   }
   if (!result.consensus && (blue == 0 || blue == n)) {
     result.consensus = true;
@@ -69,6 +70,40 @@ SimResult run_sync(const S& sampler, Opinions initial, const SimConfig& cfg,
   }
   result.final_blue = blue;
   return result;
+}
+
+}  // namespace detail
+
+/// Runs the synchronous dynamics from `initial` until consensus or
+/// cfg.max_rounds. Deterministic in (sampler, initial, cfg.seed).
+template <graph::NeighborSampler S>
+SimResult run_sync(const S& sampler, Opinions initial, const SimConfig& cfg,
+                   parallel::ThreadPool& pool) {
+  return detail::run_sync_loop(
+      sampler.num_vertices(), std::move(initial), cfg.max_rounds,
+      cfg.record_trajectory,
+      [&](const Opinions& current, Opinions& next, std::uint64_t round) {
+        return step_best_of_k(sampler, current, next, cfg.k, cfg.tie,
+                              cfg.seed, round, pool);
+      });
+}
+
+/// Runs the synchronous two-choices dynamics (step_two_choices) from
+/// `initial` until consensus or `max_rounds`. Identical loop and
+/// SimResult semantics as run_sync; a separate entry point (rather than
+/// a SimConfig knob) because two-choices is exactly Best-of-2/kKeepOwn
+/// — the comparison drivers want the protocol under its own name.
+template <graph::NeighborSampler S>
+SimResult run_sync_two_choices(const S& sampler, Opinions initial,
+                               std::uint64_t seed, std::uint64_t max_rounds,
+                               parallel::ThreadPool& pool,
+                               bool record_trajectory = true) {
+  return detail::run_sync_loop(
+      sampler.num_vertices(), std::move(initial), max_rounds,
+      record_trajectory,
+      [&](const Opinions& current, Opinions& next, std::uint64_t round) {
+        return step_two_choices(sampler, current, next, seed, round, pool);
+      });
 }
 
 /// Convenience overload for materialised graphs.

@@ -1,9 +1,14 @@
-// Shared repetition/aggregation bookkeeping for experiment drivers.
+// Repetition/aggregation bookkeeping shared by experiment drivers:
+// aggregate_runs derives one seed per repetition (rng::derive_stream)
+// and folds the SimResults of any run_sync-shaped runner — run_sync,
+// run_sync_two_choices, or a driver-local loop — into win counts,
+// round statistics and the censoring tally of note N3.
 //
-// Configuration, sweeps and structured output live in their own
-// headers (the pieces a driver composes through Session):
-//   experiments/config.hpp   ExperimentConfig (env + CLI flags)
-//   experiments/sweep.hpp    feasible degree/size grids from scaled n
+// The other pieces a driver composes through its Session live in
+// their own headers:
+//   experiments/config.hpp   ExperimentConfig (B3V_* env + CLI flags)
+//   experiments/sweep.hpp    feasible sweeps from the scaled n
+//                            (degree/size grids, SBM lambda grids)
 //   experiments/results.hpp  CSV/JSON result documents with metadata
 //   experiments/session.hpp  the per-binary harness gluing them
 #pragma once

@@ -122,4 +122,39 @@ std::vector<double> geometric_grid(double first, double last,
   return grid;
 }
 
+std::uint32_t max_feasible_sbm_degree(std::size_t n) {
+  // p_in = (1 + lambda) d/n <= 1 for every lambda <= 1 needs d <= n/2;
+  // cap at n/4 for the same 2x safety margin the other families keep.
+  if (n < 8) return 0;
+  return static_cast<std::uint32_t>(n / 4);
+}
+
+std::uint32_t snap_sbm_degree(std::size_t n, std::uint32_t d) {
+  const std::uint32_t hi = max_feasible_sbm_degree(n);
+  if (hi == 0) return 0;
+  return std::clamp<std::uint32_t>(d, 1, hi);
+}
+
+std::vector<SbmPoint> sbm_lambda_grid(std::size_t n, std::uint32_t d,
+                                      double lambda_lo, double lambda_hi,
+                                      std::size_t points) {
+  std::vector<SbmPoint> grid;
+  const std::uint32_t degree = snap_sbm_degree(n, d);
+  if (degree == 0 || points == 0) return grid;
+  lambda_lo = std::clamp(lambda_lo, 0.0, 1.0);
+  lambda_hi = std::clamp(lambda_hi, 0.0, 1.0);
+  const double pair_sum =
+      2.0 * static_cast<double>(degree) / static_cast<double>(n);
+  grid.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac =
+        points == 1 ? 1.0
+                    : static_cast<double>(i) / static_cast<double>(points - 1);
+    const double lambda = lambda_lo + (lambda_hi - lambda_lo) * frac;
+    grid.push_back({lambda, 0.5 * pair_sum * (1.0 + lambda),
+                    0.5 * pair_sum * (1.0 - lambda)});
+  }
+  return grid;
+}
+
 }  // namespace b3v::experiments

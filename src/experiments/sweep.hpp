@@ -72,4 +72,40 @@ std::vector<std::size_t> size_grid(const ExperimentConfig& cfg,
 std::vector<double> geometric_grid(double first, double last,
                                    std::size_t points);
 
+// ---------------------------------------------------------------------
+// Symmetric two-block SBM family (graph::two_block_sbm)
+// ---------------------------------------------------------------------
+//
+// Parameterised by the scaled n, a target expected degree d, and the
+// mixing parameter lambda = (p_in - p_out)/(p_in + p_out) of Shimizu &
+// Shiraga (arXiv:1907.12212). Fixing the expected degree across the
+// lambda axis — p_in + p_out = 2d/n, so p_in = (1+lambda) d/n and
+// p_out = (1-lambda) d/n — keeps density and mixing orthogonal: a
+// lambda sweep moves ONLY the community structure. Feasibility is
+// p_in <= 1 at the largest lambda, i.e. d <= n/2; the cap below keeps
+// a 2x margin the same way kRandomRegular/kWattsStrogatz do.
+
+/// One realisable point of the lambda-parameterised family.
+struct SbmPoint {
+  double lambda = 0.0;
+  double p_in = 0.0;
+  double p_out = 0.0;
+};
+
+/// Largest expected degree the two-block family realises at this n for
+/// every lambda in [0, 1] (p_in <= 1 with margin); 0 if n < 8.
+std::uint32_t max_feasible_sbm_degree(std::size_t n);
+
+/// Target expected degree clamped to [1, max_feasible_sbm_degree(n)];
+/// 0 if the family has no feasible degree at n.
+std::uint32_t snap_sbm_degree(std::size_t n, std::uint32_t d);
+
+/// `points` evenly spaced lambda values in [lambda_lo, lambda_hi] with
+/// (p_in, p_out) realising expected degree snap_sbm_degree(n, d) at
+/// each. Empty iff no degree is feasible or points == 0; lambda bounds
+/// are clamped to [0, 1].
+std::vector<SbmPoint> sbm_lambda_grid(std::size_t n, std::uint32_t d,
+                                      double lambda_lo, double lambda_hi,
+                                      std::size_t points);
+
 }  // namespace b3v::experiments

@@ -217,4 +217,26 @@ Graph stochastic_block_model(const std::vector<VertexId>& sizes,
   return builder.build();
 }
 
+std::vector<std::uint32_t> sbm_block_assignment(
+    const std::vector<VertexId>& sizes) {
+  std::size_t n = 0;
+  for (const VertexId s : sizes) n += s;
+  std::vector<std::uint32_t> block_of;
+  block_of.reserve(n);
+  for (std::size_t b = 0; b < sizes.size(); ++b) {
+    block_of.insert(block_of.end(), sizes[b], static_cast<std::uint32_t>(b));
+  }
+  return block_of;
+}
+
+Graph two_block_sbm(VertexId n, double p_in, double p_out,
+                    std::uint64_t seed) {
+  if (n < 4) throw std::invalid_argument("two_block_sbm: n must be >= 4");
+  if (p_in < 0.0 || p_in > 1.0 || p_out < 0.0 || p_out > 1.0) {
+    throw std::invalid_argument("two_block_sbm: probabilities out of [0,1]");
+  }
+  const std::vector<VertexId> sizes{n / 2, n - n / 2};
+  return stochastic_block_model(sizes, {{p_in, p_out}, {p_out, p_in}}, seed);
+}
+
 }  // namespace b3v::graph

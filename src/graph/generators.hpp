@@ -89,6 +89,21 @@ Graph stochastic_block_model(const std::vector<VertexId>& sizes,
                              const std::vector<std::vector<double>>& probs,
                              std::uint64_t seed);
 
+/// The block id of every vertex for an SBM drawn from `sizes`: the
+/// generator lays blocks out contiguously, so block b owns the id range
+/// starting at sizes[0] + ... + sizes[b-1]. Keyed input for the
+/// per-block metrics (core::block_stats) and initialisers.
+std::vector<std::uint32_t> sbm_block_assignment(
+    const std::vector<VertexId>& sizes);
+
+/// Symmetric two-block SBM on n vertices (blocks of n/2 and n - n/2):
+/// within-block edge probability p_in, cross-block p_out. In the
+/// mixing parameterisation lambda = (p_in - p_out)/(p_in + p_out) of
+/// Shimizu & Shiraga (arXiv:1907.12212); see experiments::sbm_lambda_grid
+/// for deriving feasible (p_in, p_out) from a target expected degree.
+Graph two_block_sbm(VertexId n, double p_in, double p_out,
+                    std::uint64_t seed);
+
 /// Watts-Strogatz small world: circulant ring of even degree d with
 /// each edge's far endpoint rewired to a uniform vertex with
 /// probability beta (duplicates rejected; edge count preserved).

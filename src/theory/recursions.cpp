@@ -178,4 +178,84 @@ Theorem1Prediction theorem1_prediction(double n, double alpha, double delta,
   return out;
 }
 
+namespace {
+
+void check_sbm_args(BlockPair s, double lambda) {
+  if (s.a < 0.0 || s.a > 1.0 || s.b < 0.0 || s.b > 1.0) {
+    throw std::invalid_argument("sbm step: block fractions out of [0,1]");
+  }
+  if (lambda < 0.0 || lambda > 1.0) {
+    throw std::invalid_argument("sbm step: lambda out of [0,1]");
+  }
+}
+
+/// Blue probability of a sampled neighbour of the block holding
+/// fraction `own` when the other block holds `other`.
+double neighbour_blue(double own, double other, double lambda) {
+  return 0.5 * (1.0 + lambda) * own + 0.5 * (1.0 - lambda) * other;
+}
+
+}  // namespace
+
+BlockPair sbm_best_of_three_step(BlockPair s, double lambda) {
+  check_sbm_args(s, lambda);
+  const double q1 = neighbour_blue(s.a, s.b, lambda);
+  const double q2 = neighbour_blue(s.b, s.a, lambda);
+  return {best_of_three_map(q1), best_of_three_map(q2)};
+}
+
+BlockPair sbm_two_choices_step(BlockPair s, double lambda) {
+  check_sbm_args(s, lambda);
+  const double q1 = neighbour_blue(s.a, s.b, lambda);
+  const double q2 = neighbour_blue(s.b, s.a, lambda);
+  return {q1 * q1 + 2.0 * q1 * (1.0 - q1) * s.a,
+          q2 * q2 + 2.0 * q2 * (1.0 - q2) * s.b};
+}
+
+std::vector<BlockPair> sbm_meanfield_trajectory(BlockPair s0, double lambda,
+                                                bool two_choices, int steps) {
+  std::vector<BlockPair> out;
+  out.reserve(static_cast<std::size_t>(steps) + 1);
+  out.push_back(s0);
+  for (int t = 0; t < steps; ++t) {
+    out.push_back(two_choices ? sbm_two_choices_step(out.back(), lambda)
+                              : sbm_best_of_three_step(out.back(), lambda));
+  }
+  return out;
+}
+
+double sbm_lock_threshold_best_of_three() {
+  // Symmetric-mode eigenvalue 3/lambda - 3 = 1.
+  return 3.0 / 4.0;
+}
+
+double sbm_lock_threshold_two_choices() {
+  // Symmetric-mode eigenvalue 1/lambda - lambda = 1.
+  return (std::sqrt(5.0) - 1.0) / 2.0;
+}
+
+double sbm_locked_magnetization(double lambda, bool two_choices) {
+  // Whether the lock survives drift is decided by the closed-form
+  // threshold (iterating the full map from a perturbed start instead
+  // would need an iteration budget that diverges as the symmetric
+  // eigenvalue approaches 1); at or below it the blocks mix, so m* = 0.
+  const double threshold = two_choices ? sbm_lock_threshold_two_choices()
+                                       : sbm_lock_threshold_best_of_three();
+  if (lambda <= threshold) return 0.0;
+  // Above threshold the locked point attracts the polarised start
+  // along the balanced slice (which the maps preserve exactly) and
+  // contracts the drift mode, so plain iteration pins m*.
+  BlockPair s{1.0, 0.0};
+  for (int t = 0; t < 4096; ++t) {
+    const BlockPair next = two_choices ? sbm_two_choices_step(s, lambda)
+                                       : sbm_best_of_three_step(s, lambda);
+    if (std::abs(next.a - s.a) + std::abs(next.b - s.b) < 1e-15) {
+      s = next;
+      break;
+    }
+    s = next;
+  }
+  return 0.5 * (s.a - s.b);
+}
+
 }  // namespace b3v::theory

@@ -109,4 +109,75 @@ struct Theorem1Prediction {
 Theorem1Prediction theorem1_prediction(double n, double alpha, double delta,
                                        double a = 1.0);
 
+// ---------------------------------------------------------------------
+// Two-block SBM mean-field (the Shimizu-Shiraga workload)
+// ---------------------------------------------------------------------
+//
+// Symmetric two-block SBM with mixing parameter
+//   lambda = (p_in - p_out) / (p_in + p_out)  in [0, 1]:
+// a uniformly sampled neighbour of a block-1 vertex lies in block 1
+// with probability (1 + lambda)/2 and in block 2 with (1 - lambda)/2.
+// With block blue fractions (a, b), a sampled neighbour of block 1 is
+// blue with probability
+//   q1 = (1+lambda)/2 * a + (1-lambda)/2 * b     (symmetrically q2),
+// so Best-of-3 evolves a' = 3 q1^2 - 2 q1^3 (eq. (1) applied to q1)
+// and two-choices a' = q1^2 + 2 q1 (1 - q1) a (the keep-own map).
+//
+// On the antisymmetric slice a = 1/2 + m, b = 1/2 - m (equal blocks)
+// the maps reduce to one magnetisation recursion:
+//   Best-of-3:    m' = (3/2) lambda m - 2 (lambda m)^3
+//   two-choices:  m' = (1/2 + lambda) m - 2 lambda^2 m^3
+// so a locked fixed point (m* != 0) EXISTS iff the linear factor
+// exceeds 1: lambda > 2/3 for Best-of-3, lambda > 1/2 for two-choices.
+//
+// Existence is not the operative threshold, though: the slice is only
+// invariant at exact global balance. The Jacobian at the locked point
+// diagonalises into the antisymmetric direction (contracting whenever
+// the point exists) and the SYMMETRIC direction — global blue mass —
+// with eigenvalue 3/lambda - 3 (Best-of-3) resp. 1/lambda - lambda
+// (two-choices). Any global bias, or finite-n fluctuation, rides that
+// mode, so the lock survives drift iff it is < 1:
+//   Best-of-3:    lambda* = 3/4
+//   two-choices:  lambda* = (sqrt 5 - 1)/2 ~ 0.618
+// (for two-choices that is exactly p_out/p_in < sqrt 5 - 2, the
+// algebraic constant of the Shimizu-Shiraga analysis). Between the
+// two thresholds Best-of-3 still delivers the global majority on
+// instances that lock two-choices. docs/THEORY.md derives all of
+// this in full; exp_sbm_phase measures it.
+
+/// Block blue fractions (a, b) of the coupled two-block recursion.
+struct BlockPair {
+  double a = 0.0;
+  double b = 0.0;
+};
+
+/// One Best-of-3 step of the coupled two-block map at mixing lambda.
+BlockPair sbm_best_of_three_step(BlockPair s, double lambda);
+
+/// One two-choices (Best-of-2 keep-own) step of the coupled map.
+BlockPair sbm_two_choices_step(BlockPair s, double lambda);
+
+/// Trajectory s_0, s_1, ..., s_steps under the chosen coupled map.
+std::vector<BlockPair> sbm_meanfield_trajectory(BlockPair s0, double lambda,
+                                                bool two_choices, int steps);
+
+/// Mixing above which the antisymmetric locked fixed point exists
+/// (is attracting within the balanced slice a + b = 1).
+constexpr double sbm_lock_existence_threshold_best_of_three() {
+  return 2.0 / 3.0;
+}
+constexpr double sbm_lock_existence_threshold_two_choices() { return 0.5; }
+
+/// Mixing above which the locked point is stable against global-drift
+/// perturbations too — the threshold a biased (or finite-n) run sees.
+double sbm_lock_threshold_best_of_three();  // 3/4
+double sbm_lock_threshold_two_choices();    // (sqrt 5 - 1)/2
+
+/// Stable locked block magnetisation m* = (a* - b*)/2: 0 at or below
+/// the drift-stability lock threshold (a biased run escapes to
+/// consensus there, even where the locked point exists), else the
+/// fixed point reached from the fully polarised start (a, b) = (1, 0)
+/// by iterating the coupled map.
+double sbm_locked_magnetization(double lambda, bool two_choices);
+
 }  // namespace b3v::theory

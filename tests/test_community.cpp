@@ -1,0 +1,330 @@
+// Community-structured voting tests: the two-choices kernel (exact
+// small-case distributions and the bit-for-bit Best-of-2/keep-own
+// equality that lets the existing goldens pin it), SBM statistical
+// properties (within/between-block edge densities), block metrics,
+// the per-block initialiser, and the two-block mean-field theory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dynamics.hpp"
+#include "core/initializer.hpp"
+#include "core/metrics.hpp"
+#include "core/simulator.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "theory/binomial.hpp"
+#include "theory/recursions.hpp"
+
+namespace {
+
+using namespace b3v;
+using core::OpinionValue;
+using core::Opinions;
+using core::TieRule;
+
+// ---------------------------------------------------------------------
+// step_two_choices
+// ---------------------------------------------------------------------
+
+TEST(TwoChoices, BitForBitEqualToBestOfTwoKeepOwn) {
+  // The documented RNG-placement contract: a two-choices round IS the
+  // k=2/kKeepOwn Best-of-k round on every vertex, not just in
+  // distribution. This is what makes the existing goldens pin the new
+  // kernel transitively.
+  parallel::ThreadPool pool(4);
+  const graph::Graph g = graph::erdos_renyi_gnp(400, 0.1, 17);
+  const graph::CsrSampler sampler(g);
+  const Opinions init = core::iid_bernoulli(400, 0.45, 23);
+  Opinions via_two_choices(400), via_best_of_k(400);
+  for (std::uint64_t round : {0ull, 1ull, 7ull}) {
+    const auto blues_tc = core::step_two_choices(sampler, init,
+                                                 via_two_choices, 11, round,
+                                                 pool);
+    const auto blues_bok = core::step_best_of_k(
+        sampler, init, via_best_of_k, 2, TieRule::kKeepOwn, 11, round, pool);
+    EXPECT_EQ(via_two_choices, via_best_of_k) << "round " << round;
+    EXPECT_EQ(blues_tc, blues_bok);
+  }
+}
+
+TEST(TwoChoices, ConsensusStatesAreAbsorbing) {
+  parallel::ThreadPool pool(2);
+  const graph::Graph g = graph::complete(20);
+  const graph::CsrSampler sampler(g);
+  for (const OpinionValue colour : {OpinionValue{0}, OpinionValue{1}}) {
+    Opinions current(20, colour), next(20);
+    const auto blues = core::step_two_choices(sampler, current, next, 7, 0,
+                                              pool);
+    EXPECT_EQ(blues, colour ? 20u : 0u);
+    EXPECT_EQ(next, current);
+  }
+}
+
+TEST(TwoChoices, UnanimousNeighboursForceAdoption) {
+  // Star with blue hub and red leaves: every leaf samples the hub
+  // twice — an agreeing sample — so all leaves adopt blue
+  // deterministically; the blue hub samples two red leaves, an
+  // agreeing sample too, so it adopts red.
+  parallel::ThreadPool pool(2);
+  const graph::Graph g = graph::star(10);
+  const graph::CsrSampler sampler(g);
+  Opinions current(10, 0), next(10);
+  current[0] = 1;  // blue hub, red leaves
+  core::step_two_choices(sampler, current, next, 3, 0, pool);
+  EXPECT_EQ(next[0], 0);  // hub saw two red leaves
+  for (std::size_t v = 1; v < 10; ++v) EXPECT_EQ(next[v], 1) << v;
+}
+
+TEST(TwoChoices, MixedSampleKeepsOwnExactDistribution) {
+  // Hub joined to one blue and one red leaf: the hub's two draws agree
+  // on blue w.p. 1/4 (adopt), agree on red w.p. 1/4 (stay), disagree
+  // w.p. 1/2 (keep own = red). P(hub blue) = 1/4 exactly; check the
+  // empirical frequency across seeds.
+  parallel::ThreadPool pool(1);
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(0, 2);
+  const graph::Graph g = b.build();
+  const graph::CsrSampler sampler(g);
+  const Opinions current{0, 1, 0};
+  Opinions next(3);
+  int blue = 0;
+  constexpr int kSeeds = 4000;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    core::step_two_choices(sampler, current, next, seed, 0, pool);
+    blue += next[0];
+  }
+  // 4 sigma of Bin(4000, 1/4) is ~0.027.
+  EXPECT_NEAR(static_cast<double>(blue) / kSeeds, 0.25, 0.03);
+}
+
+TEST(TwoChoices, ThreadCountInvariant) {
+  const graph::Graph g = graph::erdos_renyi_gnp(500, 0.1, 13);
+  const graph::CsrSampler sampler(g);
+  const Opinions init = core::iid_bernoulli(500, 0.45, 21);
+  auto run = [&](unsigned threads) {
+    parallel::ThreadPool pool(threads);
+    Opinions next(500);
+    core::step_two_choices(sampler, init, next, 5, 0, pool);
+    return next;
+  };
+  EXPECT_EQ(run(4), run(1));
+}
+
+TEST(TwoChoices, RunSyncReachesMajorityConsensusOnComplete) {
+  parallel::ThreadPool pool(2);
+  const graph::CompleteSampler sampler(600);
+  Opinions init = core::iid_bernoulli(600, 0.3, 5);
+  const auto result =
+      core::run_sync_two_choices(sampler, std::move(init), 9, 200, pool);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, core::Opinion::kRed);
+  EXPECT_LT(result.rounds, 50u);
+  EXPECT_EQ(result.blue_trajectory.size(), result.rounds + 1);
+}
+
+TEST(TwoChoices, RejectsBadBuffers) {
+  parallel::ThreadPool pool(1);
+  const graph::Graph g = graph::complete(4);
+  const graph::CsrSampler sampler(g);
+  Opinions small(3), right(4);
+  EXPECT_THROW(core::step_two_choices(sampler, small, right, 1, 0, pool),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// SBM statistical properties
+// ---------------------------------------------------------------------
+
+TEST(Sbm, BlockAssignmentIsContiguous) {
+  const auto block_of = graph::sbm_block_assignment({3, 2, 4});
+  const std::vector<std::uint32_t> expect{0, 0, 0, 1, 1, 2, 2, 2, 2};
+  EXPECT_EQ(block_of, expect);
+}
+
+TEST(Sbm, EmpiricalEdgeDensitiesMatchPinPout) {
+  const graph::VertexId n = 2000;
+  const double p_in = 0.05, p_out = 0.01;
+  const graph::Graph g = graph::two_block_sbm(n, p_in, p_out, 99);
+  const auto block_of = graph::sbm_block_assignment({n / 2, n - n / 2});
+  std::uint64_t within = 0, cross = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (const graph::VertexId u : g.neighbors(v)) {
+      if (u <= v) continue;  // count each undirected edge once
+      (block_of[v] == block_of[u] ? within : cross) += 1;
+    }
+  }
+  const double half = static_cast<double>(n) / 2.0;
+  const double within_pairs = 2.0 * (half * (half - 1.0) / 2.0);
+  const double cross_pairs = half * half;
+  const double p_in_hat = static_cast<double>(within) / within_pairs;
+  const double p_out_hat = static_cast<double>(cross) / cross_pairs;
+  // 5 sigma tolerances: sigma = sqrt(p(1-p)/pairs).
+  EXPECT_NEAR(p_in_hat, p_in, 5.0 * std::sqrt(p_in * (1 - p_in) / within_pairs));
+  EXPECT_NEAR(p_out_hat, p_out,
+              5.0 * std::sqrt(p_out * (1 - p_out) / cross_pairs));
+}
+
+TEST(Sbm, TwoBlockRejectsBadArguments) {
+  EXPECT_THROW(graph::two_block_sbm(2, 0.5, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(graph::two_block_sbm(100, 1.5, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(graph::two_block_sbm(100, 0.5, -0.1, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Block metrics
+// ---------------------------------------------------------------------
+
+TEST(BlockMetrics, MagnetizationDisagreementAndIntraConsensus) {
+  const std::vector<core::BlockId> block_of{0, 0, 1, 1};
+  const Opinions locked{1, 1, 0, 0};
+  const auto stats = core::block_stats(locked, block_of, 2);
+  EXPECT_EQ(stats.num_blocks(), 2u);
+  EXPECT_DOUBLE_EQ(stats.magnetization(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.magnetization(1), -1.0);
+  EXPECT_TRUE(stats.intra_block_consensus());
+  EXPECT_DOUBLE_EQ(stats.cross_block_disagreement(), 1.0);
+
+  const Opinions mixed{1, 0, 1, 0};
+  const auto mixed_stats = core::block_stats(mixed, block_of, 2);
+  EXPECT_DOUBLE_EQ(mixed_stats.magnetization(0), 0.0);
+  EXPECT_FALSE(mixed_stats.intra_block_consensus());
+  EXPECT_DOUBLE_EQ(mixed_stats.cross_block_disagreement(), 0.5);
+}
+
+TEST(BlockMetrics, CrossBlockDisagreementMatchesBruteForce) {
+  const std::vector<core::BlockId> block_of{0, 0, 0, 1, 1, 2, 2, 2};
+  const Opinions opinions{1, 0, 1, 1, 0, 0, 0, 1};
+  const auto stats = core::block_stats(opinions, block_of, 3);
+  double disagree = 0.0, pairs = 0.0;
+  for (std::size_t v = 0; v < opinions.size(); ++v) {
+    for (std::size_t u = v + 1; u < opinions.size(); ++u) {
+      if (block_of[v] == block_of[u]) continue;
+      pairs += 1.0;
+      if (opinions[v] != opinions[u]) disagree += 1.0;
+    }
+  }
+  EXPECT_DOUBLE_EQ(stats.cross_block_disagreement(), disagree / pairs);
+}
+
+TEST(BlockMetrics, RejectsMalformedInput) {
+  const Opinions opinions{1, 0};
+  const std::vector<core::BlockId> short_blocks{0};
+  EXPECT_THROW(core::block_stats(opinions, short_blocks, 1),
+               std::invalid_argument);
+  const std::vector<core::BlockId> out_of_range{0, 5};
+  EXPECT_THROW(core::block_stats(opinions, out_of_range, 2),
+               std::invalid_argument);
+}
+
+TEST(Initializer, BlockBernoulliRespectsPerBlockProbabilities) {
+  const auto block_of = graph::sbm_block_assignment({5000, 5000});
+  const std::vector<double> p_blue{0.8, 0.1};
+  const auto opinions = core::block_bernoulli(block_of, p_blue, 42);
+  const auto stats = core::block_stats(opinions, block_of, 2);
+  EXPECT_NEAR(static_cast<double>(stats.blue[0]) / 5000.0, 0.8, 0.03);
+  EXPECT_NEAR(static_cast<double>(stats.blue[1]) / 5000.0, 0.1, 0.03);
+  EXPECT_THROW(core::block_bernoulli(block_of, {{0.5}}, 1),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Two-block mean-field theory
+// ---------------------------------------------------------------------
+
+TEST(SbmTheory, StepsReduceToEqOneAtFullMixingAndFullSeparation) {
+  // lambda = 0: both blocks see the same neighbour distribution.
+  const auto mixed = theory::sbm_best_of_three_step({0.9, 0.1}, 0.0);
+  EXPECT_DOUBLE_EQ(mixed.a, mixed.b);
+  EXPECT_DOUBLE_EQ(mixed.a, theory::best_of_three_map(0.5));
+  // lambda = 1: two decoupled copies of eq. (1).
+  const auto split = theory::sbm_best_of_three_step({0.9, 0.1}, 1.0);
+  EXPECT_DOUBLE_EQ(split.a, theory::best_of_three_map(0.9));
+  EXPECT_DOUBLE_EQ(split.b, theory::best_of_three_map(0.1));
+}
+
+TEST(SbmTheory, MapsPreserveTheBalancedSlice) {
+  theory::BlockPair s{0.85, 0.15};
+  for (int t = 0; t < 20; ++t) {
+    s = theory::sbm_two_choices_step(s, 0.7);
+    EXPECT_NEAR(s.a + s.b, 1.0, 1e-12);
+  }
+}
+
+TEST(SbmTheory, LockedMagnetizationMatchesClosedFormAboveThreshold) {
+  // Antisymmetric fixed points: m* = sqrt((3 lambda/2 - 1)/(2 lambda^3))
+  // for Best-of-3, m* = sqrt((lambda - 1/2)/(2 lambda^2)) for
+  // two-choices (docs/THEORY.md).
+  for (const double lambda : {0.8, 0.9}) {
+    const double bo3 = std::sqrt((1.5 * lambda - 1.0) /
+                                 (2.0 * lambda * lambda * lambda));
+    EXPECT_NEAR(theory::sbm_locked_magnetization(lambda, false), bo3, 1e-6)
+        << lambda;
+  }
+  for (const double lambda : {0.65, 0.8}) {
+    const double tc =
+        std::sqrt((lambda - 0.5) / (2.0 * lambda * lambda));
+    EXPECT_NEAR(theory::sbm_locked_magnetization(lambda, true), tc, 1e-6)
+        << lambda;
+  }
+}
+
+TEST(SbmTheory, DriftStabilityThresholdsSplitTheRules) {
+  // Between existence and drift-stability the lock does NOT survive:
+  // Best-of-3's locked point exists at lambda = 0.7 (> 2/3) but
+  // escapes (0.7 < 3/4); two-choices is already locked there.
+  EXPECT_DOUBLE_EQ(theory::sbm_lock_threshold_best_of_three(), 0.75);
+  EXPECT_NEAR(theory::sbm_lock_threshold_two_choices(), 0.6180339887, 1e-9);
+  EXPECT_EQ(theory::sbm_locked_magnetization(0.7, false), 0.0);
+  EXPECT_GT(theory::sbm_locked_magnetization(0.7, true), 0.4);
+  // Below both existence thresholds everything mixes.
+  EXPECT_EQ(theory::sbm_locked_magnetization(0.4, false), 0.0);
+  EXPECT_EQ(theory::sbm_locked_magnetization(0.4, true), 0.0);
+}
+
+TEST(SbmTheory, TrajectoryRecordsEveryStep) {
+  const auto traj = theory::sbm_meanfield_trajectory({1.0, 0.0}, 0.9, false, 10);
+  ASSERT_EQ(traj.size(), 11u);
+  EXPECT_DOUBLE_EQ(traj[0].a, 1.0);
+  // Strong communities: block 1 stays overwhelmingly blue.
+  EXPECT_GT(traj[10].a, 0.9);
+  EXPECT_LT(traj[10].b, 0.1);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the phase split on real SBM instances
+// ---------------------------------------------------------------------
+
+TEST(SbmIntegration, LambdaExtremesLockAndMix) {
+  // Small but real: n = 600, d = 40. lambda = 0.9 must lock Best-of-3
+  // (no consensus, opposite block majorities); lambda = 0.2 with a red
+  // global majority must reach red consensus.
+  parallel::ThreadPool pool(4);
+  const graph::VertexId n = 600;
+  const auto block_of = graph::sbm_block_assignment({n / 2, n / 2});
+  const std::vector<double> start{0.9, 0.0};  // blue home block, red bias
+  const double d = 40.0;
+
+  const auto run = [&](double lambda, std::uint64_t seed) {
+    const double p_in = (1.0 + lambda) * d / n;
+    const double p_out = (1.0 - lambda) * d / n;
+    const graph::Graph g = graph::two_block_sbm(n, p_in, p_out, seed);
+    const graph::CsrSampler sampler(g);
+    core::SimConfig cfg;
+    cfg.seed = seed;
+    cfg.max_rounds = 120;
+    cfg.record_trajectory = false;
+    return core::run_sync(sampler, core::block_bernoulli(block_of, start, seed),
+                          cfg, pool);
+  };
+
+  const auto locked = run(0.9, 7);
+  EXPECT_FALSE(locked.consensus);
+  const auto mixed = run(0.2, 7);
+  EXPECT_TRUE(mixed.consensus);
+  EXPECT_EQ(mixed.winner, core::Opinion::kRed);
+}
+
+}  // namespace

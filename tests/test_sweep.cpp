@@ -158,6 +158,65 @@ TEST(Sweep, GeometricGridHitsEndpoints) {
 }
 
 // ---------------------------------------------------------------------
+// Symmetric two-block SBM family
+// ---------------------------------------------------------------------
+
+TEST(Sweep, SbmLambdaGridFeasibleAcrossScales) {
+  for (const double scale : kScales) {
+    const auto cfg = config_at(scale);
+    for (const std::size_t base : {std::size_t{1} << 13, std::size_t{1} << 14,
+                                   std::size_t{1} << 16}) {
+      const std::size_t n = cfg.scaled(base);
+      const auto d = static_cast<std::uint32_t>(
+          std::pow(static_cast<double>(n), 0.7));
+      const auto grid = experiments::sbm_lambda_grid(n, d, 0.2, 0.9, 8);
+      ASSERT_EQ(grid.size(), 8u) << "scale " << scale << " base " << base;
+      const double pair_sum =
+          2.0 * experiments::snap_sbm_degree(n, d) / static_cast<double>(n);
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto& pt = grid[i];
+        // Probabilities realisable, lambda recovered, degree preserved.
+        EXPECT_GE(pt.p_out, 0.0);
+        EXPECT_GE(pt.p_in, pt.p_out);
+        EXPECT_LE(pt.p_in, 1.0) << "scale " << scale;
+        EXPECT_NEAR((pt.p_in - pt.p_out) / (pt.p_in + pt.p_out), pt.lambda,
+                    1e-12);
+        EXPECT_NEAR(pt.p_in + pt.p_out, pair_sum, 1e-12);
+        if (i > 0) {
+          EXPECT_GT(pt.lambda, grid[i - 1].lambda);
+        }
+      }
+      EXPECT_DOUBLE_EQ(grid.front().lambda, 0.2);
+      EXPECT_DOUBLE_EQ(grid.back().lambda, 0.9);
+    }
+  }
+}
+
+TEST(Sweep, SbmDegreeSnapRespectsCaps) {
+  // The cap keeps p_in <= 1 with a 2x margin even at lambda = 1.
+  EXPECT_EQ(experiments::max_feasible_sbm_degree(1024), 256u);
+  EXPECT_EQ(experiments::snap_sbm_degree(1024, 10000), 256u);
+  EXPECT_EQ(experiments::snap_sbm_degree(1024, 0), 1u);
+  // Degenerate n: no feasible degree, empty grid rather than a bogus one.
+  EXPECT_EQ(experiments::max_feasible_sbm_degree(4), 0u);
+  EXPECT_TRUE(experiments::sbm_lambda_grid(4, 8, 0.0, 1.0, 4).empty());
+  // The size floor guarantees feasibility for every scaled driver n.
+  EXPECT_GT(experiments::max_feasible_sbm_degree(64), 0u);
+}
+
+TEST(Sweep, SbmGridEdgeCases) {
+  const auto single = experiments::sbm_lambda_grid(1024, 64, 0.3, 0.8, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0].lambda, 0.8);  // single point takes the top
+  const auto clamped = experiments::sbm_lambda_grid(1024, 64, -0.5, 2.0, 3);
+  ASSERT_EQ(clamped.size(), 3u);
+  EXPECT_DOUBLE_EQ(clamped.front().lambda, 0.0);
+  EXPECT_DOUBLE_EQ(clamped.back().lambda, 1.0);
+  EXPECT_DOUBLE_EQ(clamped.back().p_out, 0.0);
+  EXPECT_TRUE(experiments::sbm_lambda_grid(1024, 64, 0.2, 0.9, 0).empty());
+}
+
+// ---------------------------------------------------------------------
 // Structured results round-trip
 // ---------------------------------------------------------------------
 
