@@ -10,8 +10,9 @@
 #include <iostream>
 
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
+#include "core/protocol.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/session.hpp"
 #include "experiments/sweep.hpp"
@@ -38,47 +39,50 @@ int main(int argc, char** argv) {
       graph::random_regular(n, d, rng::derive_stream(ctx.base_seed, 0xE7));
   const graph::CsrSampler sampler(g);
 
+  // The intro's whole related-work table is one list of Protocol
+  // values; --rule= narrows it to a single member.
+  const auto protocols = ctx.protocols_or(
+      {core::voter(), core::best_of(2, core::TieRule::kRandom),
+       core::best_of(2, core::TieRule::kKeepOwn), core::best_of(3),
+       core::best_of(5), core::best_of(7)});
+
   for (const double delta : {0.1, 0.02}) {
     analysis::Table table(
         "E7 consensus time by k, random regular n=" + std::to_string(n) +
             " d=" + std::to_string(d) + " delta=" + std::to_string(delta),
-        {"k", "tie_rule", "reps", "mean_rounds", "ci95", "red_win_rate",
+        {"rule", "k", "reps", "mean_rounds", "ci95", "red_win_rate",
          "no_consensus(cap)", "meanfield_map(0.4)"});
-    struct Config {
-      unsigned k;
-      core::TieRule tie;
-      const char* name;
-    };
-    for (const Config cfg_k : {Config{1, core::TieRule::kRandom, "-"},
-                               Config{2, core::TieRule::kRandom, "random"},
-                               Config{2, core::TieRule::kKeepOwn, "keep-own"},
-                               Config{3, core::TieRule::kRandom, "-"},
-                               Config{5, core::TieRule::kRandom, "-"},
-                               Config{7, core::TieRule::kRandom, "-"}}) {
+    for (const core::Protocol& protocol : protocols) {
       const auto agg = experiments::aggregate_runs(
           reps,
-          rng::derive_stream(ctx.base_seed, cfg_k.k * 7919 +
-                                                (cfg_k.tie == core::TieRule::kKeepOwn)),
+          rng::derive_stream(ctx.base_seed,
+                             protocol.k * 7919 +
+                                 (protocol.tie == core::TieRule::kKeepOwn)),
           [&](std::uint64_t seed) {
-            core::SimConfig cfg;
-            cfg.k = cfg_k.k;
-            cfg.tie = cfg_k.tie;
-            cfg.seed = seed;
+            core::RunSpec spec;
+            spec.protocol = protocol;
+            spec.seed = seed;
             // Voter model needs Theta(n) rounds; cap to keep the run
             // laptop-sized and report the censoring.
-            cfg.max_rounds = cfg_k.k == 1 ? 2000 : 300;
+            spec.max_rounds = protocol.k == 1 ? 2000 : 300;
             core::Opinions init = core::iid_bernoulli(
                 n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
-            return core::run_sync(sampler, std::move(init), cfg, pool);
+            return core::run(sampler, std::move(init), spec, pool);
           });
-      const double map04 = theory::best_of_k_map(
-          0.4, cfg_k.k,
-          cfg_k.tie == core::TieRule::kKeepOwn ? theory::EvenTie::kKeepOwn
-                                               : theory::EvenTie::kRandom);
-      table.add_row({static_cast<std::int64_t>(cfg_k.k),
-                     std::string(cfg_k.name), static_cast<std::int64_t>(reps),
-                     agg.rounds.mean(), agg.rounds.ci95_half_width(),
-                     agg.red_win_rate(),
+      // best_of_k_map is the NOISELESS drift map; a +noise= rule gets
+      // NaN rather than a wrong reference (the noisy fixed point lives
+      // in theory::noisy_best_of_three_map, E13's column).
+      const double map04 =
+          protocol.noise > 0.0
+              ? std::nan("")
+              : theory::best_of_k_map(0.4, protocol.k,
+                                      protocol.tie == core::TieRule::kKeepOwn
+                                          ? theory::EvenTie::kKeepOwn
+                                          : theory::EvenTie::kRandom);
+      table.add_row({core::name(protocol),
+                     static_cast<std::int64_t>(protocol.k),
+                     static_cast<std::int64_t>(reps), agg.rounds.mean(),
+                     agg.rounds.ci95_half_width(), agg.red_win_rate(),
                      static_cast<std::int64_t>(agg.no_consensus), map04});
     }
     session.emit(table);

@@ -23,9 +23,10 @@
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
-#include "core/dynamics.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
 #include "core/metrics.hpp"
+#include "core/protocol.hpp"
 #include "experiments/session.hpp"
 #include "experiments/sweep.hpp"
 #include "graph/generators.hpp"
@@ -46,47 +47,55 @@ struct CommunityOutcome {
   double xdis_final = 0.0;    // final cross-block disagreement
 };
 
-/// One community-structured run, tracking the per-block metrics the
-/// phase classification needs (run_sync only records blue counts).
+/// One community-structured run through core::run, streaming
+/// core::block_stats via the observer hook (no re-run): the observer
+/// scans each round only until the first intra-block consensus (the
+/// pre-engine short-circuit); the final phase classification reads
+/// result.final_state, which the engine moves out for free.
 CommunityOutcome run_community(const graph::CsrSampler& sampler,
                                core::Opinions initial,
                                std::span<const core::BlockId> block_of,
-                               bool two_choices, std::uint64_t seed,
-                               std::uint64_t max_rounds,
+                               const core::Protocol& protocol,
+                               std::uint64_t seed, std::uint64_t max_rounds,
                                parallel::ThreadPool& pool) {
-  const std::size_t n = sampler.num_vertices();
   CommunityOutcome out;
-  core::Opinions current = std::move(initial);
-  core::Opinions next(n);
-  std::uint64_t blue = core::count_blue(current);
-  if (core::block_stats(current, block_of, 2).intra_block_consensus()) {
-    out.t_intra = 0;
-  }
-  for (std::uint64_t round = 0; round < max_rounds; ++round) {
-    if (blue == 0 || blue == n) {
-      out.consensus = true;
-      break;
-    }
-    blue = two_choices
-               ? core::step_two_choices(sampler, current, next, seed, round,
-                                        pool)
-               : core::step_best_of_k(sampler, current, next, 3,
-                                      core::TieRule::kRandom, seed, round,
-                                      pool);
-    current.swap(next);
-    ++out.rounds;
+  core::RunSpec spec;
+  spec.protocol = protocol;
+  spec.seed = seed;
+  spec.max_rounds = max_rounds;
+  spec.observer = [&](std::uint64_t t,
+                      std::span<const core::OpinionValue> state,
+                      std::uint64_t) {
     if (out.t_intra < 0 &&
-        core::block_stats(current, block_of, 2).intra_block_consensus()) {
-      out.t_intra = static_cast<std::int64_t>(out.rounds);
+        core::block_stats(state, block_of, 2).intra_block_consensus()) {
+      out.t_intra = static_cast<std::int64_t>(t);
     }
-  }
-  if (!out.consensus && (blue == 0 || blue == n)) out.consensus = true;
-  out.red_winner = out.consensus && blue == 0;
-  const auto stats = core::block_stats(current, block_of, 2);
+    return true;
+  };
+  const auto result = core::run(sampler, std::move(initial), spec, pool);
+  out.consensus = result.consensus;
+  out.rounds = result.rounds;
+  out.red_winner = result.consensus && result.final_blue == 0;
+  const auto stats = core::block_stats(result.final_state, block_of, 2);
   out.xdis_final = stats.cross_block_disagreement();
   out.locked = !out.consensus &&
                stats.magnetization(0) * stats.magnetization(1) < 0.0;
   return out;
+}
+
+/// The m_lock_mf theory column knows the two NOISELESS rules E14
+/// analyses; any other --rule= protocol (different k, or a +noise=
+/// variant, whose locked point the closed forms don't model) gets NaN
+/// rather than a wrong prediction.
+double locked_magnetization_for(const core::Protocol& p, double lambda) {
+  if (p.noise > 0.0) return std::nan("");
+  if (core::is_two_choices_equivalent(p)) {
+    return theory::sbm_locked_magnetization(lambda, /*two_choices=*/true);
+  }
+  if (p == core::best_of(3)) {
+    return theory::sbm_locked_magnetization(lambda, /*two_choices=*/false);
+  }
+  return std::nan("");
 }
 
 }  // namespace
@@ -109,6 +118,8 @@ int main(int argc, char** argv) {
   const auto lambdas = experiments::sbm_lambda_grid(n, d, 0.2, 0.9, 8);
   const std::size_t reps = ctx.rep_count(8);
   constexpr std::uint64_t kMaxRounds = 150;
+  const auto protocols =
+      ctx.protocols_or({core::best_of(3), core::two_choices()});
 
   const std::vector<graph::VertexId> sizes{
       static_cast<graph::VertexId>(n / 2),
@@ -129,20 +140,23 @@ int main(int argc, char** argv) {
         rng::derive_stream(ctx.base_seed, 0xE14000 + li));
     const graph::CsrSampler sampler(g);
     for (const double bias : {0.02, 0.05, 0.1}) {
-      for (const bool two_choices : {false, true}) {
+      for (const core::Protocol& protocol : protocols) {
+        // Seed parity preserved from the pre-Protocol driver: the
+        // low bit separates the two default rules' streams.
+        const std::uint64_t rule_bit = core::is_two_choices_equivalent(protocol);
         std::uint64_t red = 0, locked = 0, capped = 0;
         analysis::OnlineStats rounds, t_intra, xdis;
         for (std::size_t rep = 0; rep < reps; ++rep) {
           const std::uint64_t seed = rng::derive_stream(
               ctx.base_seed, (li << 24) ^ (static_cast<std::uint64_t>(
                                                bias * 1e4) << 12) ^
-                                 (rep << 1) ^ (two_choices ? 1 : 0));
+                                 (rep << 1) ^ rule_bit);
           // Blue home block vs all-red block: global blue 1/2 - bias.
           const std::vector<double> p_blue{1.0 - 2.0 * bias, 0.0};
           auto init = core::block_bernoulli(block_of, p_blue,
                                             rng::derive_stream(seed, 0xB10C));
           const auto out =
-              run_community(sampler, std::move(init), block_of, two_choices,
+              run_community(sampler, std::move(init), block_of, protocol,
                             seed, kMaxRounds, pool);
           if (out.consensus) {
             rounds.add(static_cast<double>(out.rounds));
@@ -159,12 +173,11 @@ int main(int argc, char** argv) {
         };
         // -1 marks "no run got there" (0 is a valid round index).
         table.add_row(
-            {std::string(two_choices ? "two_choices" : "best_of_3"),
-             pt.lambda, pt.p_in, pt.p_out, bias, rate(red), rate(locked),
-             static_cast<std::int64_t>(capped),
+            {core::name(protocol), pt.lambda, pt.p_in, pt.p_out, bias,
+             rate(red), rate(locked), static_cast<std::int64_t>(capped),
              rounds.count() == 0 ? -1.0 : rounds.mean(),
              t_intra.count() == 0 ? -1.0 : t_intra.mean(), xdis.mean(),
-             theory::sbm_locked_magnetization(pt.lambda, two_choices)});
+             locked_magnetization_for(protocol, pt.lambda)});
       }
     }
   }

@@ -16,9 +16,10 @@
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
 #include "core/metrics.hpp"
-#include "core/simulator.hpp"
+#include "core/protocol.hpp"
 #include "experiments/session.hpp"
 #include "experiments/sweep.hpp"
 #include "graph/generators.hpp"
@@ -43,10 +44,12 @@ int main(int argc, char** argv) {
   const std::size_t reps = ctx.rep_count(10);
   const std::uint64_t cap = 800;
 
+  const core::Protocol protocol = ctx.protocols_or({core::best_of(3)}).front();
+
   analysis::Table table(
       "E11 Watts-Strogatz sweep, n=" + std::to_string(n) + " d=" +
           std::to_string(d) + " delta=" + std::to_string(delta) +
-          " cap=" + std::to_string(cap),
+          " cap=" + std::to_string(cap) + ", rule " + core::name(protocol),
       {"beta", "mean_rounds", "capped", "red_win_rate",
        "final_longest_blue_run", "band", "stripe_frozen"});
 
@@ -57,34 +60,27 @@ int main(int argc, char** argv) {
       const graph::Graph g = graph::watts_strogatz(
           n, d, beta, rng::derive_stream(ctx.base_seed, rep * 31 +
                                              static_cast<std::uint64_t>(beta * 100)));
-      core::SimConfig cfg;
-      cfg.seed = rng::derive_stream(ctx.base_seed, 7000 + rep);
-      cfg.max_rounds = cap;
-      cfg.record_trajectory = false;
-      core::Opinions init = core::iid_bernoulli(
-          n, 0.5 - delta, rng::derive_stream(cfg.seed, 0xB10E));
-      // Run manually so the final configuration is inspectable.
-      core::Opinions cur = std::move(init), next(n);
       const graph::CsrSampler sampler(g);
-      std::uint64_t blue = core::count_blue(cur);
-      std::uint64_t round = 0;
-      for (; round < cap && blue != 0 && blue != n; ++round) {
-        blue = core::step_best_of_k(sampler, cur, next, 3,
-                                    core::TieRule::kRandom, cfg.seed, round,
-                                    pool);
-        cur.swap(next);
-      }
-      const auto stats = core::segment_stats(cur);
+      core::RunSpec spec;
+      spec.protocol = protocol;
+      spec.seed = rng::derive_stream(ctx.base_seed, 7000 + rep);
+      spec.max_rounds = cap;
+      const auto result = core::run(
+          sampler,
+          core::iid_bernoulli(n, 0.5 - delta,
+                              rng::derive_stream(spec.seed, 0xB10E)),
+          spec, pool);
+      // The stripe metrics read the end configuration straight from
+      // the result (moved out of the engine, no per-round copies).
+      const auto stats = core::segment_stats(result.final_state);
       longest.add(static_cast<double>(stats.longest_blue));
-      if (blue == 0) {
-        ++red;
-        rounds.add(static_cast<double>(round));
-      } else if (blue == n) {
-        rounds.add(static_cast<double>(round));
+      if (result.consensus) {
+        rounds.add(static_cast<double>(result.rounds));
+        red += result.final_blue == 0;
       } else {
         ++capped;
         // Frozen stripe: a blue run wider than the full band survives.
-        frozen += core::has_blue_stripe(cur, d) ? 1 : 0;
+        frozen += core::has_blue_stripe(result.final_state, d) ? 1 : 0;
       }
     }
     table.add_row({beta, rounds.mean(), static_cast<std::int64_t>(capped),

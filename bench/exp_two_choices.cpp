@@ -8,15 +8,20 @@
 // doubly-logarithmic consensus profile; two-choices pays one fewer
 // sample per vertex per round. The table measures how far that
 // equivalence survives off the mean-field tree: same families the
-// other experiments use (note N1), same seeds for both rules.
+// other experiments use (note N1), same seeds for both rules. The
+// rules are core::Protocol values run through core::run — add another
+// with --rule= or by extending the default list.
 #include <cmath>
 #include <cstdint>
 #include <iostream>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
+#include "core/protocol.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/session.hpp"
 #include "experiments/sweep.hpp"
@@ -30,37 +35,36 @@ using namespace b3v;
 
 constexpr std::uint64_t kMaxRounds = 300;
 
-/// Adds one (family, delta) pair of rows: Best-of-3 then two-choices,
-/// with per-repetition seeds shared between the rules so the
-/// comparison is paired.
+/// Adds one row per protocol for a (family, delta) pair, with
+/// per-repetition seeds shared between the rules so the comparison is
+/// paired. The rounds_ratio column is relative to the FIRST protocol
+/// in the list (Best-of-3 in the default run).
 template <graph::NeighborSampler S>
 void add_rows(analysis::Table& table, const S& sampler,
               const std::string& family, std::uint32_t d, double delta,
-              std::size_t reps, std::uint64_t family_seed,
-              parallel::ThreadPool& pool) {
+              std::span<const core::Protocol> protocols, std::size_t reps,
+              std::uint64_t family_seed, parallel::ThreadPool& pool) {
   const std::size_t n = sampler.num_vertices();
-  double bo3_mean = 0.0;
-  for (const bool two_choices : {false, true}) {
+  double baseline_mean = 0.0;
+  for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+    const core::Protocol& protocol = protocols[pi];
     const auto agg = experiments::aggregate_runs(
         reps, family_seed, [&](std::uint64_t seed) {
-          core::Opinions init = core::iid_bernoulli(
-              n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
-          if (two_choices) {
-            return core::run_sync_two_choices(sampler, std::move(init), seed,
-                                              kMaxRounds, pool);
-          }
-          core::SimConfig cfg;
-          cfg.k = 3;
-          cfg.seed = seed;
-          cfg.max_rounds = kMaxRounds;
-          return core::run_sync(sampler, std::move(init), cfg, pool);
+          core::RunSpec spec;
+          spec.protocol = protocol;
+          spec.seed = seed;
+          spec.max_rounds = kMaxRounds;
+          return core::run(sampler,
+                           core::iid_bernoulli(n, 0.5 - delta,
+                                               rng::derive_stream(seed, 0xB10E)),
+                           spec, pool);
         });
-    if (!two_choices) bo3_mean = agg.rounds.mean();
+    if (pi == 0) baseline_mean = agg.rounds.mean();
     const double ratio =
-        bo3_mean > 0.0 && two_choices ? agg.rounds.mean() / bo3_mean : 1.0;
+        pi > 0 && baseline_mean > 0.0 ? agg.rounds.mean() / baseline_mean : 1.0;
     table.add_row({family, static_cast<std::int64_t>(d),
-                   std::string(two_choices ? "two_choices" : "best_of_3"),
-                   delta, static_cast<std::int64_t>(reps), agg.rounds.mean(),
+                   core::name(protocol), delta,
+                   static_cast<std::int64_t>(reps), agg.rounds.mean(),
                    agg.rounds.ci95_half_width(), agg.red_win_rate(),
                    static_cast<std::int64_t>(agg.no_consensus), ratio});
   }
@@ -73,6 +77,9 @@ int main(int argc, char** argv) {
   const auto& ctx = session.config();
   auto& pool = session.pool();
   std::cout << "E15: two-choices vs Best-of-3 across dense families\n\n";
+
+  const std::vector<core::Protocol> protocols =
+      ctx.protocols_or({core::best_of(3), core::two_choices()});
 
   const auto n = static_cast<graph::VertexId>(ctx.scaled(std::size_t{1} << 13));
   const std::size_t reps = ctx.rep_count(12);
@@ -106,13 +113,14 @@ int main(int argc, char** argv) {
       return rng::derive_stream(ctx.base_seed,
                                 tag ^ static_cast<std::uint64_t>(delta * 1e6));
     };
-    add_rows(table, complete, "complete", n - 1, delta, reps, seed_for(1),
+    add_rows(table, complete, "complete", n - 1, delta, protocols, reps,
+             seed_for(1), pool);
+    add_rows(table, circulant, "circulant", d_circ, delta, protocols, reps,
+             seed_for(2), pool);
+    add_rows(table, rr, "random_regular", d_rr, delta, protocols, reps,
+             seed_for(3), pool);
+    add_rows(table, gnp, "gnp", d_gnp, delta, protocols, reps, seed_for(4),
              pool);
-    add_rows(table, circulant, "circulant", d_circ, delta, reps, seed_for(2),
-             pool);
-    add_rows(table, rr, "random_regular", d_rr, delta, reps, seed_for(3),
-             pool);
-    add_rows(table, gnp, "gnp", d_gnp, delta, reps, seed_for(4), pool);
   }
   session.emit(table);
   std::cout

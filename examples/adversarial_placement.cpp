@@ -5,14 +5,16 @@
 // blue head-count at (1/2 - delta) n and compares placements on a
 // two-community (SBM) network.
 //
-//   $ ./adversarial_placement [n] [delta]
+//   $ ./adversarial_placement [n] [delta] [--rule=NAME]
 #include <cstdlib>
 #include <iostream>
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
+#include "core/protocol.hpp"
+#include "example_args.hpp"
 #include "graph/generators.hpp"
 #include "graph/spectral.hpp"
 #include "parallel/thread_pool.hpp"
@@ -20,9 +22,12 @@
 
 int main(int argc, char** argv) {
   using namespace b3v;
+  const auto args = examples::parse_example_args(argc, argv, "best-of-3");
+  const auto& pos = args.positional;
   const auto half = static_cast<graph::VertexId>(
-      (argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8192) / 2);
-  const double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.05;
+      (pos.size() > 0 ? std::strtoull(pos[0].c_str(), nullptr, 10) : 8192) / 2);
+  const double delta =
+      pos.size() > 1 ? std::strtod(pos[1].c_str(), nullptr) : 0.05;
   const auto n = static_cast<std::size_t>(2 * half);
 
   // Two communities with dense intra- and sparse inter-links.
@@ -33,7 +38,8 @@ int main(int argc, char** argv) {
   std::cout << "two-community SBM: n=" << n << " m=" << g.num_edges()
             << " min_deg=" << g.min_degree()
             << " lambda_2=" << spectral.lambda2
-            << "  (weak expander: communities)\n\n";
+            << "  (weak expander: communities)\n"
+            << "protocol: " << core::name(args.protocol) << "\n\n";
 
   const auto num_blue =
       static_cast<std::size_t>((0.5 - delta) * static_cast<double>(n));
@@ -65,10 +71,12 @@ int main(int argc, char** argv) {
         case 2: init = core::lowest_degree_blue(g, num_blue); break;
         default: init = core::bfs_ball_blue(g, 0, num_blue); break;
       }
-      core::SimConfig cfg;
-      cfg.seed = rng::derive_stream(999, trial * 7 + c.mode);
-      cfg.max_rounds = 2000;
-      const auto result = core::run_on_graph(g, std::move(init), cfg, pool);
+      core::RunSpec spec;
+      spec.protocol = args.protocol;
+      spec.seed = rng::derive_stream(999, trial * 7 + c.mode);
+      spec.max_rounds = 2000;
+      const auto result =
+          core::run(graph::CsrSampler(g), std::move(init), spec, pool);
       if (!result.consensus) {
         ++failed;
         continue;

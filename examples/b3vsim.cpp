@@ -2,23 +2,30 @@
 // protocol, and an initial condition; get a trajectory or a summary
 // table. The "ship it as a tool" face of the reproduction.
 //
-//   b3vsim --graph=circulant --n=16384 --d=1024 --k=3 --delta=0.1
-//          --reps=10 [--seed=1] [--rounds=1000] [--trajectory] [--csv]
+//   b3vsim --graph=circulant --n=16384 --d=1024 --rule=best-of-3
+//          --delta=0.1 --reps=10 [--seed=1] [--rounds=1000]
+//          [--trajectory] [--csv]
 //
 // Families: complete, circulant, gnp (--p), gnm (--m), regular (--d),
 //           ws (--d --beta), ba (--d), hypercube (--dim), torus (--rows
 //           --cols), chunglu (--gamma --wmin --wmax).
+// Rules: any registry name (core/protocol.hpp) — best-of-3,
+//        two-choices, voter, best-of-2/keep-own, best-of-3+noise=0.1;
+//        --k/--tie remain as legacy spellings of best-of-k.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
 #include "core/metrics.hpp"
-#include "core/simulator.hpp"
+#include "core/protocol.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "parallel/thread_pool.hpp"
@@ -47,16 +54,31 @@ struct Args {
 };
 
 Args parse(int argc, char** argv) {
+  // Every flag b3vsim understands — an unknown key is an error, never
+  // silently ignored (a typoed --trajctory or a stray --noise= would
+  // otherwise run the wrong experiment without a word).
+  static const std::set<std::string> kKnownKeys{
+      "graph", "n", "d", "p", "m", "beta", "gamma", "wmin", "wmax", "dim",
+      "rows", "cols", "graph-seed", "rule", "k", "tie", "delta", "reps",
+      "seed", "rounds", "trajectory", "csv", "threads", "help"};
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
-    if (token.rfind("--", 0) != 0) continue;
+    if (token.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --key[=value], got '" + token +
+                                  "' (see --help)");
+    }
     token = token.substr(2);
     const auto eq = token.find('=');
+    const std::string key =
+        eq == std::string::npos ? token : token.substr(0, eq);
+    if (!kKnownKeys.contains(key)) {
+      throw std::invalid_argument("unknown flag --" + key + " (see --help)");
+    }
     if (eq == std::string::npos) {
-      args.kv[token] = "";
+      args.kv[key] = "";
     } else {
-      args.kv[token.substr(0, eq)] = token.substr(eq + 1);
+      args.kv[key] = token.substr(eq + 1);
     }
   }
   return args;
@@ -105,43 +127,83 @@ graph::Graph make_graph(const Args& args) {
   throw std::invalid_argument("unknown --graph family: " + family);
 }
 
+/// --rule= by registry name, or the legacy --k/--tie spelling of
+/// best-of-k. Mixing the two is refused rather than silently picking
+/// one (the pre-Protocol driver's silently-ignored --k is exactly the
+/// bug class this rules out).
+core::Protocol make_protocol(const Args& args) {
+  if (args.kv.contains("rule")) {
+    if (args.kv.contains("k") || args.kv.contains("tie")) {
+      throw std::invalid_argument(
+          "--rule conflicts with --k/--tie; spell the protocol one way "
+          "(e.g. --rule=best-of-5 or --k=5)");
+    }
+    return core::protocol_from_name(args.str("rule", ""));
+  }
+  // The registry's tie vocabulary, plus the legacy "keepown" alias.
+  std::string tie = args.str("tie", "random");
+  if (tie == "keepown") tie = "keep-own";
+  return core::best_of(static_cast<unsigned>(args.u64("k", 3)),
+                       core::tie_rule_from_name(tie));
+}
+
+/// One run of `protocol` from the paper's i.i.d. start, trajectory
+/// recorded on demand.
+core::SimResult run_once(const graph::Graph& g, const core::Protocol& protocol,
+                         double delta, std::uint64_t seed,
+                         std::uint64_t max_rounds, bool trajectory,
+                         parallel::ThreadPool& pool) {
+  core::RunSpec spec;
+  spec.protocol = protocol;
+  spec.seed = seed;
+  spec.max_rounds = max_rounds;
+  std::vector<std::uint64_t> traj;
+  if (trajectory) spec.observer = core::observers::record_trajectory(traj);
+  core::SimResult result = core::run(
+      graph::CsrSampler(g),
+      core::iid_bernoulli(g.num_vertices(), 0.5 - delta,
+                          rng::derive_stream(seed, 0xB10E)),
+      spec, pool);
+  result.blue_trajectory = std::move(traj);
+  return result;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const Args args = parse(argc, argv);
   if (args.flag("help")) {
     std::cout
-        << "b3vsim --graph=FAMILY --n=N [family params] --k=3 --delta=0.1\n"
-           "       [--reps=1] [--seed=1] [--rounds=1000] [--trajectory]\n"
-           "       [--csv] [--threads=0] [--tie=random|keepown]\n"
+        << "b3vsim --graph=FAMILY --n=N [family params] --rule=best-of-3\n"
+           "       --delta=0.1 [--reps=1] [--seed=1] [--rounds=1000]\n"
+           "       [--trajectory] [--csv] [--threads=0]\n"
+           "       [--k=3 --tie=random|keepown   (legacy best-of-k spelling)]\n"
            "families: complete circulant(--d) gnp(--p) gnm(--m)\n"
            "          regular(--d) ws(--d --beta) ba(--d)\n"
            "          hypercube(--dim) torus(--rows --cols)\n"
-           "          chunglu(--gamma --wmin --wmax)\n";
+           "          chunglu(--gamma --wmin --wmax)\n"
+           "rules: voter two-choices best-of-K[/TIE][+noise=Q]\n";
     return 0;
   }
   try {
     const graph::Graph g = make_graph(args);
+    const core::Protocol protocol = make_protocol(args);
     parallel::ThreadPool pool(static_cast<unsigned>(args.u64("threads", 0)));
     std::cerr << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
               << " min_deg=" << g.min_degree()
               << " max_deg=" << g.max_degree()
               << " connected=" << (graph::is_connected(g) ? "yes" : "no")
+              << " protocol=" << core::name(protocol)
               << "\n";
 
-    core::SimConfig cfg;
-    cfg.k = static_cast<unsigned>(args.u64("k", 3));
-    cfg.tie = args.str("tie", "random") == "keepown" ? core::TieRule::kKeepOwn
-                                                     : core::TieRule::kRandom;
-    cfg.max_rounds = args.u64("rounds", 1000);
+    const std::uint64_t max_rounds = args.u64("rounds", 1000);
     const double delta = args.num("delta", 0.1);
     const auto reps = args.u64("reps", 1);
     const auto base_seed = args.u64("seed", 1);
 
     if (args.flag("trajectory")) {
-      cfg.seed = base_seed;
-      const auto result = core::run_theorem1_setting(
-          g, delta, cfg.seed, pool, cfg.max_rounds);
+      const auto result = run_once(g, protocol, delta, base_seed, max_rounds,
+                                   /*trajectory=*/true, pool);
       analysis::Table table("trajectory", {"round", "blue_count",
                                            "blue_fraction", "segments"});
       for (std::size_t t = 0; t < result.blue_trajectory.size(); ++t) {
@@ -162,9 +224,9 @@ int main(int argc, char** argv) {
     analysis::OnlineStats rounds;
     std::uint64_t red = 0, capped = 0;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
-      const auto result = core::run_theorem1_setting(
-          g, delta, b3v::rng::derive_stream(base_seed, rep), pool,
-          cfg.max_rounds);
+      const auto result =
+          run_once(g, protocol, delta, rng::derive_stream(base_seed, rep),
+                   max_rounds, /*trajectory=*/false, pool);
       if (!result.consensus) {
         ++capped;
         continue;
@@ -185,4 +247,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+} catch (const std::exception& e) {
+  // Flag-parse errors (unknown --key, malformed argument).
+  std::cerr << "b3vsim: " << e.what() << "\n";
+  return 2;
 }

@@ -1,0 +1,23 @@
+// Minimal out-of-tree consumer: resolve a rule by name, run it to
+// consensus through the one public entry point, print the outcome.
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "core/initializer.hpp"
+#include "core/protocol.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+
+int main() {
+  using namespace b3v;
+  parallel::ThreadPool pool;
+  core::RunSpec spec;
+  spec.protocol = core::protocol_from_name("best-of-3");
+  spec.seed = 1;
+  const auto result = core::run(graph::CompleteSampler(4096),
+                                core::iid_bernoulli(4096, 0.4, 1), spec, pool);
+  std::cout << core::name(spec.protocol) << ": consensus="
+            << (result.consensus ? "yes" : "no") << " rounds=" << result.rounds
+            << " winner=" << (result.final_blue == 0 ? "red" : "blue") << "\n";
+  return result.consensus ? 0 : 1;
+}

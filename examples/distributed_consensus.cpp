@@ -9,63 +9,70 @@
 // rounds to agreement, total messages, and probability the initial
 // majority is preserved.
 //
-//   $ ./distributed_consensus [nodes] [delta]
+//   $ ./distributed_consensus [nodes] [delta] [--rule=NAME]
+//
+// --rule=NAME restricts the comparison to one registry protocol.
 #include <cstdlib>
 #include <iostream>
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
+#include "core/protocol.hpp"
+#include "example_args.hpp"
 #include "graph/generators.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/splitmix64.hpp"
 
 int main(int argc, char** argv) {
   using namespace b3v;
+  const auto args = examples::parse_example_args(argc, argv, "best-of-3");
+  const auto& pos = args.positional;
   const auto n = static_cast<graph::VertexId>(
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4096);
-  const double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 0.05;
+      pos.size() > 0 ? std::strtoull(pos[0].c_str(), nullptr, 10) : 4096);
+  const double delta =
+      pos.size() > 1 ? std::strtod(pos[1].c_str(), nullptr) : 0.05;
+
+  // The candidate agreement rules, as first-class registry values;
+  // --rule= narrows the table to that single protocol.
+  std::vector<core::Protocol> protocols = {
+      core::voter(), core::two_choices(), core::best_of(3), core::best_of(5)};
+  if (args.rule_given) protocols = {args.protocol};
 
   // Overlay: random 16-regular gossip topology (an expander w.h.p.).
   const graph::Graph overlay = graph::random_regular(n, 16, 42);
   std::cout << "gossip overlay: " << n << " nodes, 16-regular, "
             << overlay.num_edges() << " links\n"
             << "initial split: " << 0.5 + delta << " prefer A (Red), "
-            << 0.5 - delta << " prefer B (Blue)\n\n";
+            << 0.5 - delta << " prefer B (Blue)\n"
+            << "protocols:";
+  for (const auto& p : protocols) std::cout << ' ' << core::name(p);
+  std::cout << "\n\n";
 
   parallel::ThreadPool pool;
+  const graph::CsrSampler sampler(overlay);
   analysis::Table table(
       "protocol comparison (" + std::to_string(n) + " nodes, delta=" +
           std::to_string(delta) + ", 20 trials)",
       {"protocol", "peers/round", "mean_rounds", "p95_rounds",
        "mean_msgs_per_node", "majority_preserved", "failed(cap)"});
 
-  struct Protocol {
-    const char* name;
-    unsigned k;
-    core::TieRule tie;
-  };
-  for (const Protocol proto :
-       {Protocol{"voter (best-of-1)", 1, core::TieRule::kRandom},
-        Protocol{"2-choices (keep own)", 2, core::TieRule::kKeepOwn},
-        Protocol{"best-of-3 (the paper)", 3, core::TieRule::kRandom},
-        Protocol{"best-of-5", 5, core::TieRule::kRandom}}) {
+  for (const core::Protocol& proto : protocols) {
     analysis::OnlineStats rounds;
     std::vector<double> all_rounds;
     int preserved = 0, failed = 0;
     const int trials = 20;
     for (int trial = 0; trial < trials; ++trial) {
-      core::SimConfig cfg;
-      cfg.k = proto.k;
-      cfg.tie = proto.tie;
-      cfg.seed = rng::derive_stream(1234, trial * 10 + proto.k);
-      cfg.max_rounds = 1000;
-      const auto result = core::run_on_graph(
-          overlay,
+      core::RunSpec spec;
+      spec.protocol = proto;
+      spec.seed = rng::derive_stream(1234, trial * 10 + proto.k);
+      spec.max_rounds = 1000;
+      const auto result = core::run(
+          sampler,
           core::iid_bernoulli(n, 0.5 - delta,
-                              rng::derive_stream(cfg.seed, 0xB10E)),
-          cfg, pool);
+                              rng::derive_stream(spec.seed, 0xB10E)),
+          spec, pool);
       if (!result.consensus) {
         ++failed;
         continue;
@@ -75,7 +82,7 @@ int main(int argc, char** argv) {
       preserved += result.winner == core::Opinion::kRed;
     }
     table.add_row(
-        {std::string(proto.name), static_cast<std::int64_t>(proto.k),
+        {core::name(proto), static_cast<std::int64_t>(proto.k),
          rounds.mean(),
          all_rounds.empty() ? 0.0 : analysis::percentile(all_rounds, 95),
          rounds.mean() * proto.k,

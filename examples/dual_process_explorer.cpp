@@ -3,12 +3,18 @@
 // its COBRA-walk reading, the Sprinkling transform, the ternary-tree
 // transform, and the exact forward/backward duality.
 //
-//   $ ./dual_process_explorer [n] [d] [T] [seed]
+//   $ ./dual_process_explorer [n] [d] [T] [seed] [--rule=best-of-3]
+//
+// The voting-DAG machinery realises Best-of-3 specifically (ternary
+// branching, Lemma 5/6 transforms), so --rule= accepts registry names
+// but refuses anything except best-of-3.
 #include <cstdlib>
 #include <iostream>
 
 #include "core/dynamics.hpp"
 #include "core/initializer.hpp"
+#include "core/protocol.hpp"
+#include "example_args.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
@@ -21,20 +27,29 @@
 
 int main(int argc, char** argv) {
   using namespace b3v;
+  const auto args = examples::parse_example_args(argc, argv, "best-of-3");
+  if (args.protocol != core::best_of(3)) {
+    std::cerr << argv[0] << ": the dual-process walkthrough is specific to "
+              << "best-of-3 (the voting-DAG branches ternarily); got --rule="
+              << core::name(args.protocol) << "\n";
+    return 2;
+  }
+  const auto& pos = args.positional;
   // Defaults chosen inside the recursion's informative regime: the
   // sprinkling bound needs 3^T << d (else eps saturates, see E4/E5).
   const auto n = static_cast<graph::VertexId>(
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16384);
+      pos.size() > 0 ? std::strtoull(pos[0].c_str(), nullptr, 10) : 16384);
   const auto d = static_cast<std::uint32_t>(
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4096);
-  const int T = argc > 3 ? std::atoi(argv[3]) : 4;
+      pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 4096);
+  const int T = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 4;
   const std::uint64_t seed =
-      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 11;
+      pos.size() > 3 ? std::strtoull(pos[3].c_str(), nullptr, 10) : 11;
 
   const graph::CirculantSampler sampler = graph::CirculantSampler::dense(n, d);
   const graph::VertexId v0 = 0;
   std::cout << "instance: dense circulant (implicit) n=" << n << " d=" << d
-            << ", root vertex v0=" << v0 << ", T=" << T << " levels\n\n";
+            << ", root vertex v0=" << v0 << ", T=" << T << " levels"
+            << ", protocol " << core::name(args.protocol) << "\n\n";
 
   // 1. The random voting-DAG H(v0).
   const auto dag = votingdag::build_voting_dag(sampler, v0, T, seed);

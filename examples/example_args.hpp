@@ -1,0 +1,54 @@
+// Shared argv plumbing for the positional-argument examples: every
+// example accepts `--rule=NAME` (resolved through the core::Protocol
+// registry) anywhere on the command line and treats the remaining
+// arguments positionally. Exits with the registry's known-names
+// message on an unknown rule, so `--rule=help-me` is self-documenting.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace b3v::examples {
+
+struct ExampleArgs {
+  core::Protocol protocol;                // --rule=, or the default
+  bool rule_given = false;                // an explicit --rule= was seen
+  std::vector<std::string> positional;    // argv minus --rule=
+};
+
+/// Extracts --rule= (default `default_rule`) and the positional args.
+/// Any other "--"-prefixed argument is rejected loudly — these
+/// examples take positionals only, and letting a typo like --rules=
+/// fall through would silently parse as a positional 0.
+inline ExampleArgs parse_example_args(int argc, char** argv,
+                                      std::string_view default_rule) {
+  ExampleArgs out;
+  std::string rule(default_rule);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--rule=", 0) == 0) {
+      rule = arg.substr(7);
+      out.rule_given = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << argv[0] << ": unknown flag '" << arg
+                << "' (only --rule=NAME; everything else is positional)\n";
+      std::exit(2);
+    } else {
+      out.positional.emplace_back(arg);
+    }
+  }
+  try {
+    out.protocol = core::protocol_from_name(rule);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace b3v::examples

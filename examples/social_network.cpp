@@ -6,14 +6,16 @@
 // floor, workload characterisation (degree stats, clustering, spectral
 // gap), and how the minority's placement interacts with hubs.
 //
-//   $ ./social_network [n] [gamma] [delta]
+//   $ ./social_network [n] [gamma] [delta] [--rule=NAME]
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 
 #include "analysis/stats.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
+#include "core/protocol.hpp"
+#include "example_args.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/spectral.hpp"
@@ -22,9 +24,14 @@
 
 int main(int argc, char** argv) {
   using namespace b3v;
-  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
-  const double gamma = argc > 2 ? std::strtod(argv[2], nullptr) : 2.5;
-  const double delta = argc > 3 ? std::strtod(argv[3], nullptr) : 0.08;
+  const auto args = examples::parse_example_args(argc, argv, "best-of-3");
+  const auto& pos = args.positional;
+  const std::size_t n =
+      pos.size() > 0 ? std::strtoull(pos[0].c_str(), nullptr, 10) : 20000;
+  const double gamma =
+      pos.size() > 1 ? std::strtod(pos[1].c_str(), nullptr) : 2.5;
+  const double delta =
+      pos.size() > 2 ? std::strtod(pos[2].c_str(), nullptr) : 0.08;
 
   // Power-law weights with a floor: min expected degree ~ 12, hubs up
   // to ~ sqrt(n) — a classic social-graph profile.
@@ -36,7 +43,8 @@ int main(int argc, char** argv) {
   std::cout << "social network: n=" << g.num_vertices()
             << " m=" << g.num_edges() << " min_deg=" << g.min_degree()
             << " max_deg=" << g.max_degree()
-            << " avg_deg=" << g.average_degree() << "\n";
+            << " avg_deg=" << g.average_degree()
+            << "  protocol: " << core::name(args.protocol) << "\n";
   std::cout << "connected: " << (graph::is_connected(g) ? "yes" : "no")
             << ", clustering (sampled): "
             << graph::sampled_clustering(g, 20000, 1) << "\n";
@@ -50,9 +58,17 @@ int main(int argc, char** argv) {
   analysis::OnlineStats rounds;
   int red_wins = 0;
   const int reps = 10;
+  const graph::CsrSampler sampler(g);
+  core::RunSpec spec;
+  spec.protocol = args.protocol;
+  spec.max_rounds = 500;
   for (int rep = 0; rep < reps; ++rep) {
-    const auto result = core::run_theorem1_setting(
-        g, delta, rng::derive_stream(7, rep), pool, 500);
+    spec.seed = rng::derive_stream(7, rep);
+    const auto result = core::run(
+        sampler,
+        core::iid_bernoulli(n, 0.5 - delta,
+                            rng::derive_stream(spec.seed, 0xB10E)),
+        spec, pool);
     if (result.consensus) {
       rounds.add(static_cast<double>(result.rounds));
       red_wins += result.winner == core::Opinion::kRed;
@@ -69,11 +85,9 @@ int main(int argc, char** argv) {
   int red_wins_adv = 0;
   analysis::OnlineStats rounds_adv;
   for (int rep = 0; rep < reps; ++rep) {
-    core::SimConfig cfg;
-    cfg.seed = rng::derive_stream(99, rep);
-    cfg.max_rounds = 500;
-    const auto result = core::run_on_graph(
-        g, core::highest_degree_blue(g, num_blue), cfg, pool);
+    spec.seed = rng::derive_stream(99, rep);
+    const auto result =
+        core::run(sampler, core::highest_degree_blue(g, num_blue), spec, pool);
     if (result.consensus) {
       rounds_adv.add(static_cast<double>(result.rounds));
       red_wins_adv += result.winner == core::Opinion::kRed;

@@ -205,11 +205,68 @@ std::uint64_t step_best_of_k_noisy(const S& sampler,
       [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
+/// RNG purpose tag for the asynchronous schedule's "which vertex
+/// updates next" draw (CounterRng(seed, micro, 0, kDrawAsyncPick)).
+inline constexpr std::uint32_t kDrawAsyncPick = 2;
+
+/// One asynchronous sweep: `n` single-vertex updates, each updating one
+/// uniformly random vertex in place from the *current* state. The
+/// micro-update counter starts at `micro_start` (sweep s of a longer
+/// run passes s * n, keeping one global micro stream across sweeps —
+/// exactly the legacy run_async_sweeps placement). With noise > 0 a
+/// vertex adopts a fair coin with that probability instead of its
+/// sampled outcome, mirroring step_best_of_k_noisy's kDrawNoise stream
+/// keyed by (seed, micro, v); noise = 0 draws nothing extra, so the
+/// noiseless stream is untouched. Takes and returns the blue count so
+/// callers never rescan the state.
+template <graph::NeighborSampler S>
+std::uint64_t step_async_sweep(const S& sampler, std::span<OpinionValue> state,
+                               unsigned k, TieRule tie, double noise,
+                               std::uint64_t seed, std::uint64_t micro_start,
+                               std::uint64_t blue_in) {
+  const std::size_t n = sampler.num_vertices();
+  if (state.size() != n) {
+    throw std::invalid_argument("step_async_sweep: buffer size mismatch");
+  }
+  if (k == 0) throw std::invalid_argument("step_async_sweep: k >= 1");
+  if (noise < 0.0 || noise > 1.0) {
+    throw std::invalid_argument("step_async_sweep: noise in [0, 1]");
+  }
+  const rng::BernoulliSampler coin(noise);
+  std::uint64_t blue = blue_in;
+  std::uint64_t micro = micro_start;
+  for (std::size_t i = 0; i < n; ++i, ++micro) {
+    rng::CounterRng pick(seed, micro, 0, kDrawAsyncPick);
+    const auto v = static_cast<graph::VertexId>(rng::bounded_u64(pick, n));
+    OpinionValue out;
+    bool faulted = false;
+    if (noise > 0.0) {
+      rng::CounterRng noise_gen(seed, micro, v, kDrawNoise);
+      if (coin(noise_gen)) {
+        out = static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
+        faulted = true;
+      }
+    }
+    if (!faulted) {
+      // The sync per-vertex kernel with the micro counter in the round
+      // slot — the exact legacy stream placement, and one shared
+      // implementation of the sampling/majority/tie logic.
+      out = next_opinion(sampler, std::span<const OpinionValue>(state), v, k,
+                         tie, seed, micro);
+    }
+    blue += out;
+    blue -= state[v];
+    state[v] = out;
+  }
+  return blue;
+}
+
 /// Asynchronous variant: `sweeps * n` single-vertex updates, each
 /// updating one uniformly random vertex in place from the *current*
 /// state. Returns the blue count after the final sweep. Used by the
 /// extension experiments; the paper itself analyses the synchronous
-/// schedule.
+/// schedule. (Thin wrapper over step_async_sweep; Schedule-aware runs
+/// with observers go through core::run in engine.hpp.)
 template <graph::NeighborSampler S>
 std::uint64_t run_async_sweeps(const S& sampler, std::span<OpinionValue> state,
                                unsigned k, TieRule tie, std::uint64_t seed,
@@ -218,37 +275,12 @@ std::uint64_t run_async_sweeps(const S& sampler, std::span<OpinionValue> state,
   if (state.size() != n) {
     throw std::invalid_argument("run_async_sweeps: buffer size mismatch");
   }
-  std::uint64_t micro = 0;
+  std::uint64_t blue = count_blue(state);
   for (std::uint64_t s = 0; s < sweeps; ++s) {
-    for (std::size_t i = 0; i < n; ++i, ++micro) {
-      rng::CounterRng pick(seed, micro, 0, 2);
-      const auto v = static_cast<graph::VertexId>(
-          rng::bounded_u64(pick, n));
-      rng::CounterRng gen(seed, micro, v, kDrawNeighbors);
-      unsigned blues = 0;
-      for (unsigned j = 0; j < k; ++j) blues += state[sampler.sample(v, gen)];
-      OpinionValue out;
-      if (2 * blues > k) {
-        out = 1;
-      } else if (2 * blues < k) {
-        out = 0;
-      } else {
-        switch (tie) {
-          case TieRule::kKeepOwn: out = state[v]; break;
-          case TieRule::kRandom: {
-            rng::CounterRng coin(seed, micro, v, kDrawTie);
-            out = static_cast<OpinionValue>(coin.next_u64() & 1u);
-            break;
-          }
-          case TieRule::kPreferRed: out = 0; break;
-          case TieRule::kPreferBlue: out = 1; break;
-          default: out = state[v]; break;
-        }
-      }
-      state[v] = out;
-    }
+    blue = step_async_sweep(sampler, state, k, tie, /*noise=*/0.0, seed,
+                            s * n, blue);
   }
-  return count_blue(state);
+  return blue;
 }
 
 }  // namespace b3v::core

@@ -1,0 +1,231 @@
+// The one run entry point: core::run(sampler, initial, RunSpec, pool).
+//
+// A RunSpec is WHAT to run (a core::Protocol), HOW LONG (seed,
+// max_rounds, the synchronous or asynchronous-sweep schedule) and WHAT
+// TO WATCH: an observer hook invoked once per round with the round
+// index and the freshly written state span. Trajectory recording,
+// block_stats streaming and early-stop predicates are observers — not
+// baked-in result fields, not post-hoc re-runs:
+//
+//   RunSpec spec;
+//   spec.protocol = protocol_from_name("two-choices");
+//   spec.seed = 7;
+//   std::vector<std::uint64_t> traj;
+//   spec.observer = observers::record_trajectory(traj);
+//   SimResult res = run(sampler, std::move(initial), spec, pool);
+//
+// Observer contract: called with t = 0 on the initial configuration,
+// then with t = 1, 2, ... after each executed round (so t matches
+// SimResult::blue_fraction's "state after round t"), along with the
+// state's blue count (already known to the engine — observers never
+// need to rescan for it). The span is only valid for the duration of
+// the call — copy what must outlive it. Returning false stops the run
+// after the current round (the result still reports rounds executed,
+// final blue count and consensus).
+//
+// Determinism: the engine adds no randomness. Each round calls the
+// exact kernels of dynamics.hpp through step_protocol /
+// step_async_sweep, so a run is a pure function of (sampler, initial,
+// spec.protocol, spec.seed) at any thread count, bit-for-bit equal to
+// the legacy per-rule entry points (tests/test_protocol.cpp asserts
+// it; tests/test_goldens.cpp pins the streams).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "core/opinion.hpp"
+#include "core/protocol.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace b3v::core {
+
+/// Update schedule. The paper analyses kSynchronous (all vertices at
+/// once, double-buffered); kAsyncSweeps is the extension schedule: one
+/// "round" is n single-vertex updates of uniformly random vertices,
+/// in place.
+enum class Schedule : std::uint8_t { kSynchronous, kAsyncSweeps };
+
+/// Per-round hook: (t, state after round t, its blue count) -> keep
+/// running?
+using RoundObserver = std::function<bool(
+    std::uint64_t t, std::span<const OpinionValue> state, std::uint64_t blue)>;
+
+/// Everything a run needs besides the sampler and the start state.
+struct RunSpec {
+  Protocol protocol{};
+  std::uint64_t seed = 1;
+  std::uint64_t max_rounds = 10000;     // sweeps under kAsyncSweeps
+  Schedule schedule = Schedule::kSynchronous;
+  bool stop_at_consensus = true;        // false: run the full budget
+                                        // (stationary measurements)
+  RoundObserver observer{};             // null = observe nothing
+};
+
+/// Outcome of a run. blue_trajectory is filled only by entry points
+/// (or observers) that ask for it — the engine itself records nothing.
+struct SimResult {
+  bool consensus = false;           // reached all-Red or all-Blue
+  Opinion winner = Opinion::kRed;   // meaningful iff consensus
+  std::uint64_t rounds = 0;         // rounds (or sweeps) executed
+  std::uint64_t final_blue = 0;     // blue count at the end
+  std::size_t num_vertices = 0;
+  Opinions final_state;             // the end configuration (moved out
+                                    // of the engine's buffer, no copy)
+  std::vector<std::uint64_t> blue_trajectory;  // [0] = initial count
+
+  /// Fraction of blue vertices after round t (t = 0 is the start).
+  double blue_fraction(std::size_t t) const {
+    if (t >= blue_trajectory.size()) {
+      throw std::out_of_range(
+          "SimResult::blue_fraction: round " + std::to_string(t) +
+          " is out of range — the trajectory holds " +
+          std::to_string(blue_trajectory.size()) +
+          " entries (recorded only when record_trajectory / "
+          "observers::record_trajectory is enabled)");
+    }
+    return static_cast<double>(blue_trajectory[t]) /
+           static_cast<double>(num_vertices);
+  }
+};
+
+namespace observers {
+
+/// Appends the blue count of every observed state (t = 0 included) —
+/// the trajectory the legacy record_trajectory flag recorded. Uses the
+/// engine's count: no per-round rescan.
+inline RoundObserver record_trajectory(std::vector<std::uint64_t>& out) {
+  return [&out](std::uint64_t, std::span<const OpinionValue>,
+                std::uint64_t blue) {
+    out.push_back(blue);
+    return true;
+  };
+}
+
+/// Keeps `out` equal to the latest observed configuration. Note an
+/// O(n) copy per round: for just the END configuration, read
+/// SimResult::final_state (a move, no copies) instead — this observer
+/// is for consumers that need mid-run snapshots surviving the call.
+inline RoundObserver capture_final(Opinions& out) {
+  return [&out](std::uint64_t, std::span<const OpinionValue> state,
+                std::uint64_t) {
+    out.assign(state.begin(), state.end());
+    return true;
+  };
+}
+
+/// Early stop: ends the run once `predicate(t, state, blue)` holds.
+inline RoundObserver stop_when(
+    std::function<bool(std::uint64_t, std::span<const OpinionValue>,
+                       std::uint64_t)>
+        predicate) {
+  return [predicate = std::move(predicate)](
+             std::uint64_t t, std::span<const OpinionValue> state,
+             std::uint64_t blue) { return !predicate(t, state, blue); };
+}
+
+/// Runs every observer each round (all of them, every round — side
+/// effects never depend on a sibling's vote); the run continues only
+/// while all agree.
+template <typename... Obs>
+RoundObserver chain(Obs... obs) {
+  return [... obs = std::move(obs)](std::uint64_t t,
+                                    std::span<const OpinionValue> state,
+                                    std::uint64_t blue) mutable {
+    bool keep = true;
+    ((keep = obs(t, state, blue) && keep), ...);
+    return keep;
+  };
+}
+
+}  // namespace observers
+
+namespace detail {
+
+/// Shared bookkeeping: consensus-check before each round, observer
+/// after each write, final flags. `step(round)` advances one round and
+/// returns the new blue count; `state()` views the current buffer.
+template <typename StepFn, typename StateFn>
+SimResult run_loop(std::size_t n, std::uint64_t initial_blue,
+                   const RunSpec& spec, StepFn&& step, StateFn&& state) {
+  SimResult result;
+  result.num_vertices = n;
+  std::uint64_t blue = initial_blue;
+  bool keep_going = !spec.observer || spec.observer(0, state(), blue);
+  for (std::uint64_t round = 0; keep_going && round < spec.max_rounds;
+       ++round) {
+    if (spec.stop_at_consensus && (blue == 0 || blue == n)) {
+      result.consensus = true;
+      result.winner = blue == 0 ? Opinion::kRed : Opinion::kBlue;
+      break;
+    }
+    blue = step(round);
+    ++result.rounds;
+    if (spec.observer) {
+      keep_going = spec.observer(result.rounds, state(), blue);
+    }
+  }
+  if (!result.consensus && (blue == 0 || blue == n)) {
+    result.consensus = true;
+    result.winner = blue == 0 ? Opinion::kRed : Opinion::kBlue;
+  }
+  result.final_blue = blue;
+  return result;
+}
+
+}  // namespace detail
+
+/// Runs spec.protocol from `initial` under spec.schedule until
+/// consensus (unless disabled), the observer stops it, or
+/// spec.max_rounds. Deterministic in (sampler, initial, spec) at any
+/// thread count.
+template <graph::NeighborSampler S>
+SimResult run(const S& sampler, Opinions initial, const RunSpec& spec,
+              parallel::ThreadPool& pool) {
+  validate(spec.protocol);
+  const std::size_t n = sampler.num_vertices();
+  if (initial.size() != n) {
+    throw std::invalid_argument("core::run: initial state size mismatch");
+  }
+  if (spec.schedule == Schedule::kAsyncSweeps) {
+    // In-place single-vertex updates; inherently sequential, the pool
+    // is unused. One "round" = one sweep of n micro-updates with a
+    // global micro counter (the legacy run_async_sweeps placement).
+    Opinions state = std::move(initial);
+    std::uint64_t blue = count_blue(state);
+    SimResult result = detail::run_loop(
+        n, blue, spec,
+        [&](std::uint64_t round) {
+          blue = step_async_sweep(sampler, state, spec.protocol.effective_k(),
+                                  spec.protocol.effective_tie(),
+                                  spec.protocol.noise, spec.seed, round * n,
+                                  blue);
+          return blue;
+        },
+        [&] { return std::span<const OpinionValue>(state); });
+    result.final_state = std::move(state);
+    return result;
+  }
+  Opinions current = std::move(initial);
+  Opinions next(n);
+  SimResult result = detail::run_loop(
+      n, count_blue(current), spec,
+      [&](std::uint64_t round) {
+        const std::uint64_t blue = step_protocol(
+            sampler, spec.protocol, current, next, spec.seed, round, pool);
+        current.swap(next);
+        return blue;
+      },
+      [&] { return std::span<const OpinionValue>(current); });
+  result.final_state = std::move(current);
+  return result;
+}
+
+}  // namespace b3v::core

@@ -1,0 +1,164 @@
+#include "core/protocol.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <system_error>
+
+namespace b3v::core {
+namespace {
+
+constexpr std::string_view kBestOfPrefix = "best-of-";
+constexpr std::string_view kNoiseSuffix = "+noise=";
+
+bool parse_tie_token(std::string_view token, TieRule& out) {
+  if (token == "keep-own") { out = TieRule::kKeepOwn; return true; }
+  if (token == "random") { out = TieRule::kRandom; return true; }
+  if (token == "prefer-red") { out = TieRule::kPreferRed; return true; }
+  if (token == "prefer-blue") { out = TieRule::kPreferBlue; return true; }
+  return false;
+}
+
+/// Shortest decimal that parses back to exactly `value`.
+std::string format_noise(double value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+[[noreturn]] void bad_name(std::string_view spelling, const std::string& why) {
+  std::string message = "unknown protocol '";
+  message.append(spelling);
+  message += "': " + why + " (known forms: ";
+  const auto names = known_protocol_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) message += ", ";
+    message += names[i];
+  }
+  message += "; any of them with +noise=Q, Q in (0, 1])";
+  throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+std::string_view name(TieRule tie) {
+  switch (tie) {
+    case TieRule::kKeepOwn: return "keep-own";
+    case TieRule::kRandom: return "random";
+    case TieRule::kPreferRed: return "prefer-red";
+    case TieRule::kPreferBlue: return "prefer-blue";
+  }
+  return "random";
+}
+
+TieRule tie_rule_from_name(std::string_view token) {
+  TieRule out;
+  if (!parse_tie_token(token, out)) {
+    throw std::invalid_argument(
+        std::string("unknown tie rule '").append(token) +
+        "': random, keep-own, prefer-red or prefer-blue");
+  }
+  return out;
+}
+
+void validate(const Protocol& p) {
+  if (p.k == 0) {
+    throw std::invalid_argument("Protocol: k >= 1 (k = 0 samples nothing)");
+  }
+  if (!(p.noise >= 0.0 && p.noise <= 1.0)) {
+    throw std::invalid_argument("Protocol: noise must lie in [0, 1]");
+  }
+  if (p.kind == RuleKind::kTwoChoices &&
+      (p.k != 2 || p.tie != TieRule::kKeepOwn)) {
+    throw std::invalid_argument(
+        "Protocol: two-choices is fixed at k = 2 / keep-own (construct it "
+        "via core::two_choices())");
+  }
+}
+
+std::string name(const Protocol& p) {
+  validate(p);
+  std::string base;
+  if (p.kind == RuleKind::kTwoChoices) {
+    base = "two-choices";
+  } else if (p.k == 1) {
+    base = "voter";
+  } else {
+    base.append(kBestOfPrefix).append(std::to_string(p.k));
+    if (p.k % 2 == 0) base.append(1, '/').append(name(p.tie));
+  }
+  if (p.noise > 0.0) base.append(kNoiseSuffix).append(format_noise(p.noise));
+  return base;
+}
+
+Protocol protocol_from_name(std::string_view spelling) {
+  std::string_view rest = spelling;
+  Protocol p;
+
+  if (const auto pos = rest.find(kNoiseSuffix); pos != std::string_view::npos) {
+    const std::string_view q_text = rest.substr(pos + kNoiseSuffix.size());
+    // from_chars, not strtod: this is installed public API, and parsing
+    // must not depend on the host process's LC_NUMERIC (name() formats
+    // via the equally locale-independent to_chars).
+    double q = 0.0;
+    const auto res =
+        std::from_chars(q_text.data(), q_text.data() + q_text.size(), q);
+    if (res.ec != std::errc{} || res.ptr != q_text.data() + q_text.size() ||
+        q_text.empty()) {
+      bad_name(spelling, "could not parse the noise level '" +
+                             std::string(q_text) + "'");
+    }
+    if (!(q > 0.0 && q <= 1.0)) {
+      bad_name(spelling, "noise must lie in (0, 1]");
+    }
+    p.noise = q;
+    rest = rest.substr(0, pos);
+  }
+
+  if (rest == "voter") {
+    p.kind = RuleKind::kBestOfK;
+    p.k = 1;
+    p.tie = TieRule::kRandom;
+    return p;
+  }
+  if (rest == "two-choices") {
+    p.kind = RuleKind::kTwoChoices;
+    p.k = 2;
+    p.tie = TieRule::kKeepOwn;
+    return p;
+  }
+  if (rest.substr(0, kBestOfPrefix.size()) != kBestOfPrefix) {
+    bad_name(spelling, "unrecognised rule");
+  }
+  std::string_view body = rest.substr(kBestOfPrefix.size());
+
+  std::string_view k_text = body;
+  if (const auto slash = body.find('/'); slash != std::string_view::npos) {
+    k_text = body.substr(0, slash);
+    if (!parse_tie_token(body.substr(slash + 1), p.tie)) {
+      bad_name(spelling, "tie rule must be random, keep-own, prefer-red or "
+                         "prefer-blue");
+    }
+  } else {
+    p.tie = TieRule::kRandom;
+  }
+
+  unsigned k = 0;
+  const auto res = std::from_chars(k_text.data(), k_text.data() + k_text.size(), k);
+  if (res.ec != std::errc{} || res.ptr != k_text.data() + k_text.size()) {
+    bad_name(spelling, "could not parse k");
+  }
+  if (k == 0) bad_name(spelling, "k >= 1 (best-of-0 samples nothing)");
+  p.kind = RuleKind::kBestOfK;
+  p.k = k;
+  // Odd k never ties: normalise so name(protocol_from_name(s)) is
+  // canonical even when the caller spelt an (unreachable) tie rule.
+  if (k % 2 == 1) p.tie = TieRule::kRandom;
+  return p;
+}
+
+std::vector<std::string> known_protocol_names() {
+  return {"voter", "two-choices", "best-of-3", "best-of-5",
+          "best-of-2/keep-own", "best-of-2/random", "best-of-K[/TIE]"};
+}
+
+}  // namespace b3v::core

@@ -1,0 +1,151 @@
+// First-class protocol values: WHICH rule the dynamics runs is data,
+// not a choice of entry point.
+//
+// A Protocol is (rule kind × sample size k × TieRule × noise). Every
+// rule the repo simulates is one value of this type:
+//
+//   best_of(3)                      the paper's Best-of-3
+//   best_of(2, TieRule::kKeepOwn)   Best-of-2 / keep-own
+//   two_choices()                   Cooper-Elsässer-Radzik (dedicated
+//                                   kernel, bit-for-bit Best-of-2/keep-own)
+//   voter()                         Best-of-1 (no drift)
+//   best_of(3, kRandom, 0.1)        noisy Best-of-3, fault rate 0.1
+//
+// The string registry (protocol_from_name / name) gives every value a
+// canonical spelling — "best-of-3", "two-choices", "voter",
+// "best-of-2/keep-own", "best-of-3+noise=0.1" — so drivers take
+// `--rule=` and tables label rows without per-rule branching. The
+// single run entry point over Protocols lives in core/engine.hpp.
+//
+// RNG discipline: dispatching through a Protocol NEVER moves a random
+// draw. step_protocol routes to the exact kernels of dynamics.hpp
+// (step_best_of_k / step_two_choices / step_best_of_k_noisy), so the
+// streams `CounterRng(seed, round, v, tag)` are bit-for-bit those of
+// the pre-Protocol free functions and tests/test_goldens.cpp pins them
+// unchanged (tests/test_protocol.cpp asserts the old ≡ new equality).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "core/opinion.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace b3v::core {
+
+/// The rule families. kTwoChoices is behaviourally Best-of-2/keep-own
+/// (identical RNG placement, see dynamics.hpp) but kept as its own kind
+/// because the literature — and the comparison drivers — name it.
+enum class RuleKind : std::uint8_t {
+  kBestOfK,     // majority of k uniform samples, TieRule on even k
+  kTwoChoices,  // adopt iff two samples agree, else keep own
+};
+
+/// A voting rule as a value: rule kind × k × tie rule × noise.
+/// `noise` is the per-vertex fault probability (adopt a fair coin
+/// instead of the sampled outcome); 0 = the noiseless dynamics.
+struct Protocol {
+  RuleKind kind = RuleKind::kBestOfK;
+  unsigned k = 3;
+  TieRule tie = TieRule::kRandom;
+  double noise = 0.0;
+
+  /// The sample count / tie rule the kernels actually run: kTwoChoices
+  /// draws Best-of-2/keep-own samples (the documented bit-for-bit
+  /// identity). Every dispatch site uses these, so a future RuleKind
+  /// only needs its mapping added here.
+  constexpr unsigned effective_k() const {
+    return kind == RuleKind::kTwoChoices ? 2 : k;
+  }
+  constexpr TieRule effective_tie() const {
+    return kind == RuleKind::kTwoChoices ? TieRule::kKeepOwn : tie;
+  }
+
+  bool operator==(const Protocol&) const = default;
+};
+
+/// Best-of-k (k >= 1); `tie` only matters for even k.
+constexpr Protocol best_of(unsigned k, TieRule tie = TieRule::kRandom,
+                           double noise = 0.0) {
+  return Protocol{RuleKind::kBestOfK, k, tie, noise};
+}
+
+/// The two-choices rule of Cooper, Elsässer & Radzik (arXiv:1404.7479).
+constexpr Protocol two_choices(double noise = 0.0) {
+  return Protocol{RuleKind::kTwoChoices, 2, TieRule::kKeepOwn, noise};
+}
+
+/// The voter model: adopt one uniform sample (Best-of-1).
+constexpr Protocol voter(double noise = 0.0) {
+  return Protocol{RuleKind::kBestOfK, 1, TieRule::kRandom, noise};
+}
+
+/// Throws std::invalid_argument unless p is runnable (k >= 1, noise in
+/// [0, 1], two-choices with its fixed k = 2 / keep-own shape).
+void validate(const Protocol& p);
+
+/// True iff `p` runs the two-choices update — either kind kTwoChoices
+/// or its bit-for-bit alias Best-of-2/keep-own. The SBM theory maps
+/// key on this (theory::sbm_two_choices_step).
+constexpr bool is_two_choices_equivalent(const Protocol& p) {
+  return p.kind == RuleKind::kTwoChoices ||
+         (p.kind == RuleKind::kBestOfK && p.k == 2 &&
+          p.tie == TieRule::kKeepOwn);
+}
+
+/// Canonical registry token of a tie rule: "random", "keep-own",
+/// "prefer-red" or "prefer-blue".
+std::string_view name(TieRule tie);
+
+/// Parses a tie-rule token (the same vocabulary name(TieRule) emits);
+/// throws std::invalid_argument on anything else.
+TieRule tie_rule_from_name(std::string_view token);
+
+/// Canonical name of a protocol:
+///   "voter"                         Best-of-1
+///   "best-of-<k>"                   odd k (tie rule unreachable)
+///   "best-of-<k>/<tie>"             even k; tie in {random, keep-own,
+///                                   prefer-red, prefer-blue}
+///   "two-choices"                   the dedicated kind
+/// with "+noise=<q>" appended when noise > 0 (shortest round-trip
+/// formatting, so protocol_from_name(name(p)) == p exactly).
+std::string name(const Protocol& p);
+
+/// Parses a protocol name. Accepts every canonical spelling above plus
+/// the aliases "best-of-1" (= voter) and an explicit tie on odd k
+/// (ignored by the dynamics, normalised away by name()). Throws
+/// std::invalid_argument, listing the known forms, on anything else.
+Protocol protocol_from_name(std::string_view spelling);
+
+/// The registry's canonical example names (for --help text and error
+/// messages): voter, two-choices, best-of-3, best-of-2/keep-own, ...
+std::vector<std::string> known_protocol_names();
+
+/// One round of `p` on any sampler: routes to the exact kernels of
+/// dynamics.hpp, preserving their RNG placement bit-for-bit. Returns
+/// the blue count of the written `next` buffer.
+template <graph::NeighborSampler S>
+std::uint64_t step_protocol(const S& sampler, const Protocol& p,
+                            std::span<const OpinionValue> current,
+                            std::span<OpinionValue> next, std::uint64_t seed,
+                            std::uint64_t round, parallel::ThreadPool& pool) {
+  // effective_k/effective_tie fold kTwoChoices to Best-of-2/keep-own
+  // draws (the documented bit-for-bit identity), so the noisy path
+  // needs no dedicated two-choices kernel.
+  if (p.noise > 0.0) {
+    return step_best_of_k_noisy(sampler, current, next, p.effective_k(),
+                                p.effective_tie(), p.noise, seed, round, pool);
+  }
+  if (p.kind == RuleKind::kTwoChoices) {
+    return step_two_choices(sampler, current, next, seed, round, pool);
+  }
+  return step_best_of_k(sampler, current, next, p.effective_k(),
+                        p.effective_tie(), seed, round, pool);
+}
+
+}  // namespace b3v::core

@@ -1,5 +1,13 @@
-// Simulation driver: runs Best-of-k rounds to consensus (or a cap),
-// recording the blue-count trajectory.
+// Legacy simulation entry points, kept for one PR as thin wrappers
+// over the Protocol engine (core/engine.hpp, which also defines
+// SimResult). Each wrapper builds the equivalent RunSpec and — where
+// the old API recorded a trajectory — attaches
+// observers::record_trajectory, so results are bit-for-bit what the
+// pre-Protocol implementations produced (tests/test_protocol.cpp
+// asserts the equality; tests/test_goldens.cpp pins the streams).
+//
+// New code should construct a core::Protocol (core/protocol.hpp) and
+// call core::run directly.
 #pragma once
 
 #include <cstdint>
@@ -7,103 +15,73 @@
 #include <vector>
 
 #include "core/dynamics.hpp"
+#include "core/engine.hpp"
 #include "core/opinion.hpp"
+#include "core/protocol.hpp"
 #include "graph/graph.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace b3v::core {
 
+/// [deprecated in favour of Protocol + RunSpec] Best-of-k knobs of the
+/// legacy run_sync entry point.
 struct SimConfig {
   unsigned k = 3;                       // sample size (3 = the paper)
   TieRule tie = TieRule::kRandom;       // even-k tie rule (unused for odd k)
   std::uint64_t seed = 1;               // full determinism from this seed
   std::uint64_t max_rounds = 10000;     // safety cap
   bool record_trajectory = true;        // keep per-round blue counts
-};
 
-struct SimResult {
-  bool consensus = false;           // reached all-Red or all-Blue
-  Opinion winner = Opinion::kRed;   // meaningful iff consensus
-  std::uint64_t rounds = 0;         // rounds executed
-  std::uint64_t final_blue = 0;     // blue count at the end
-  std::size_t num_vertices = 0;
-  std::vector<std::uint64_t> blue_trajectory;  // [0] = initial count
-
-  /// Fraction of blue vertices after round t (t = 0 is the start).
-  double blue_fraction(std::size_t t) const {
-    return static_cast<double>(blue_trajectory.at(t)) /
-           static_cast<double>(num_vertices);
-  }
+  /// The equivalent first-class protocol value.
+  Protocol protocol() const { return best_of(k, tie); }
 };
 
 namespace detail {
 
-/// The consensus loop every synchronous protocol shares: run
-/// `step(current, next, round)` (returning the new blue count) until
-/// consensus or the cap. Protocol entry points below supply the kernel.
-template <typename StepFn>
-SimResult run_sync_loop(std::size_t n, Opinions current,
-                        std::uint64_t max_rounds, bool record_trajectory,
-                        StepFn&& step) {
-  SimResult result;
-  result.num_vertices = n;
-  Opinions next(n);
-
-  std::uint64_t blue = count_blue(current);
-  if (record_trajectory) result.blue_trajectory.push_back(blue);
-
-  for (std::uint64_t round = 0; round < max_rounds; ++round) {
-    if (blue == 0 || blue == n) {
-      result.consensus = true;
-      result.winner = blue == 0 ? Opinion::kRed : Opinion::kBlue;
-      break;
-    }
-    blue = step(static_cast<const Opinions&>(current), next, round);
-    current.swap(next);
-    ++result.rounds;
-    if (record_trajectory) result.blue_trajectory.push_back(blue);
+/// Wrapper plumbing: run `protocol` synchronously, recording the blue
+/// trajectory into the result iff asked — the legacy result shape.
+template <graph::NeighborSampler S>
+SimResult run_with_trajectory(const S& sampler, Opinions initial,
+                              const Protocol& protocol, std::uint64_t seed,
+                              std::uint64_t max_rounds, bool record_trajectory,
+                              parallel::ThreadPool& pool) {
+  RunSpec spec;
+  spec.protocol = protocol;
+  spec.seed = seed;
+  spec.max_rounds = max_rounds;
+  std::vector<std::uint64_t> trajectory;
+  if (record_trajectory) {
+    spec.observer = observers::record_trajectory(trajectory);
   }
-  if (!result.consensus && (blue == 0 || blue == n)) {
-    result.consensus = true;
-    result.winner = blue == 0 ? Opinion::kRed : Opinion::kBlue;
-  }
-  result.final_blue = blue;
+  SimResult result = run(sampler, std::move(initial), spec, pool);
+  result.blue_trajectory = std::move(trajectory);
   return result;
 }
 
 }  // namespace detail
 
-/// Runs the synchronous dynamics from `initial` until consensus or
+/// [deprecated: use core::run with best_of(cfg.k, cfg.tie)] Runs the
+/// synchronous dynamics from `initial` until consensus or
 /// cfg.max_rounds. Deterministic in (sampler, initial, cfg.seed).
 template <graph::NeighborSampler S>
 SimResult run_sync(const S& sampler, Opinions initial, const SimConfig& cfg,
                    parallel::ThreadPool& pool) {
-  return detail::run_sync_loop(
-      sampler.num_vertices(), std::move(initial), cfg.max_rounds,
-      cfg.record_trajectory,
-      [&](const Opinions& current, Opinions& next, std::uint64_t round) {
-        return step_best_of_k(sampler, current, next, cfg.k, cfg.tie,
-                              cfg.seed, round, pool);
-      });
+  return detail::run_with_trajectory(sampler, std::move(initial),
+                                     cfg.protocol(), cfg.seed, cfg.max_rounds,
+                                     cfg.record_trajectory, pool);
 }
 
-/// Runs the synchronous two-choices dynamics (step_two_choices) from
-/// `initial` until consensus or `max_rounds`. Identical loop and
-/// SimResult semantics as run_sync; a separate entry point (rather than
-/// a SimConfig knob) because two-choices is exactly Best-of-2/kKeepOwn
-/// — the comparison drivers want the protocol under its own name.
+/// [deprecated: use core::run with two_choices()] Runs the synchronous
+/// two-choices dynamics from `initial` until consensus or `max_rounds`.
 template <graph::NeighborSampler S>
 SimResult run_sync_two_choices(const S& sampler, Opinions initial,
                                std::uint64_t seed, std::uint64_t max_rounds,
                                parallel::ThreadPool& pool,
                                bool record_trajectory = true) {
-  return detail::run_sync_loop(
-      sampler.num_vertices(), std::move(initial), max_rounds,
-      record_trajectory,
-      [&](const Opinions& current, Opinions& next, std::uint64_t round) {
-        return step_two_choices(sampler, current, next, seed, round, pool);
-      });
+  return detail::run_with_trajectory(sampler, std::move(initial),
+                                     two_choices(), seed, max_rounds,
+                                     record_trajectory, pool);
 }
 
 /// Convenience overload for materialised graphs.

@@ -82,7 +82,25 @@ ExperimentConfig config_from_env() {
     }
   }
   cfg.output_path = env_or("B3V_OUT", "");
+  if (const char* rule_env = std::getenv("B3V_RULE"); rule_env != nullptr) {
+    try {
+      core::protocol_from_name(rule_env);
+      cfg.rule = rule_env;
+    } catch (const std::invalid_argument& e) {
+      // Same contract as --rule, but env parsing has no error channel:
+      // warn loudly instead of silently running the wrong protocol.
+      std::cerr << "b3v: ignoring B3V_RULE (" << e.what()
+                << "); using the driver's default rule(s)\n";
+    }
+  }
   return cfg;
+}
+
+std::vector<core::Protocol> ExperimentConfig::protocols_or(
+    std::vector<core::Protocol> defaults) const {
+  rule_consulted_ = true;
+  if (rule.empty()) return defaults;
+  return {core::protocol_from_name(rule)};
 }
 
 bool apply_flag(ExperimentConfig& cfg, const std::string& arg,
@@ -118,6 +136,13 @@ bool apply_flag(ExperimentConfig& cfg, const std::string& arg,
     cfg.base_seed = u;
   } else if (key == "out") {
     cfg.output_path = value;
+  } else if (key == "rule") {
+    try {
+      core::protocol_from_name(value);  // validated here, parsed by drivers
+    } catch (const std::invalid_argument& e) {
+      return set_error(error, std::string("--rule: ") + e.what());
+    }
+    cfg.rule = value;
   } else {
     return set_error(error, "unknown flag --" + key);
   }
@@ -127,11 +152,15 @@ bool apply_flag(ExperimentConfig& cfg, const std::string& arg,
 std::string usage(const std::string& driver) {
   return "usage: " + driver +
          " [--scale=X] [--reps=N] [--threads=N]"
-         " [--format=ascii|csv|markdown] [--seed=N] [--out=PATH]\n"
+         " [--format=ascii|csv|markdown] [--seed=N] [--out=PATH]"
+         " [--rule=NAME]\n"
          "Flags override the matching B3V_SCALE / B3V_REPS / B3V_THREADS /\n"
-         "B3V_FORMAT / B3V_SEED / B3V_OUT environment variables.\n"
+         "B3V_FORMAT / B3V_SEED / B3V_OUT / B3V_RULE environment variables.\n"
          "--out writes structured results (metadata + every table);\n"
-         "a .json extension selects JSON, anything else CSV.\n";
+         "a .json extension selects JSON, anything else CSV.\n"
+         "--rule restricts a rule-comparing driver to one protocol by\n"
+         "registry name: voter, two-choices, best-of-3, best-of-2/keep-own,\n"
+         "... with an optional +noise=Q suffix (core/protocol.hpp).\n";
 }
 
 ExperimentConfig parse_config(int argc, const char* const* argv,

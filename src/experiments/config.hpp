@@ -12,6 +12,10 @@
 //   B3V_SEED    / --seed=N      base seed for all derived streams
 //   B3V_OUT     / --out=PATH    structured results file; extension picks
 //                               the encoding (.json => JSON, else CSV)
+//   B3V_RULE    / --rule=NAME   restrict the run to one voting rule by
+//                               registry name (core/protocol.hpp), e.g.
+//                               best-of-3, two-choices, best-of-5,
+//                               best-of-2/keep-own, best-of-3+noise=0.1
 //
 // Sweeps must be derived from the *scaled* sizes (see sweep.hpp), never
 // from fixed lists: a fixed degree list that was feasible at scale 1
@@ -22,6 +26,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
 
 namespace b3v::experiments {
 
@@ -32,6 +39,7 @@ struct ExperimentConfig {
   std::string format = "ascii";  // ascii | csv | markdown
   std::uint64_t base_seed = 0xB3B3B3B3ULL;
   std::string output_path;       // "" = no structured results file
+  std::string rule;              // "" = the driver's default rule(s)
 
   enum class OutputKind { kNone, kCsv, kJson };
 
@@ -52,6 +60,21 @@ struct ExperimentConfig {
   /// arbitrarily small B3V_SCALE (snap_degree never returns 0 for
   /// n >= 64); pass an explicit `minimum` only to raise it.
   std::size_t scaled(std::size_t base, std::size_t minimum = 64) const;
+
+  /// The rules this run iterates: the driver's `defaults` unless a
+  /// `--rule=` / B3V_RULE override restricts the run to that single
+  /// protocol. Rule-comparing drivers loop over the returned values
+  /// instead of calling per-rule functions.
+  std::vector<core::Protocol> protocols_or(
+      std::vector<core::Protocol> defaults) const;
+
+  /// True once protocols_or has been called. Session::finish uses this
+  /// to warn loudly when --rule was given to a driver whose protocol
+  /// is fixed (it would otherwise be silently ignored).
+  bool rule_consulted() const noexcept { return rule_consulted_; }
+
+ private:
+  mutable bool rule_consulted_ = false;
 };
 
 /// Defaults overlaid with the B3V_* environment.

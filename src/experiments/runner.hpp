@@ -1,8 +1,8 @@
 // Repetition/aggregation bookkeeping shared by experiment drivers:
 // aggregate_runs derives one seed per repetition (rng::derive_stream)
-// and folds the SimResults of any run_sync-shaped runner — run_sync,
-// run_sync_two_choices, or a driver-local loop — into win counts,
-// round statistics and the censoring tally of note N3.
+// and folds SimResults — typically from core::run over a Protocol,
+// or a driver-local loop — into win counts, round statistics and the
+// censoring tally of note N3.
 //
 // The other pieces a driver composes through its Session live in
 // their own headers:

@@ -30,6 +30,13 @@ void Session::emit(const analysis::Table& table) {
 }
 
 int Session::finish() {
+  // A --rule that no protocols_or call consulted would otherwise be
+  // silently ignored — the driver's protocol is fixed (e.g. the
+  // Theorem-1-specific sweeps, whose theory columns assume Best-of-3).
+  if (!cfg_.rule.empty() && !cfg_.rule_consulted()) {
+    std::cerr << driver_ << ": warning: --rule=" << cfg_.rule
+              << " ignored — this driver's protocol is fixed\n";
+  }
   if (cfg_.output_kind() == ExperimentConfig::OutputKind::kNone) return 0;
   const ResultDoc doc = make_doc(make_metadata(cfg_, driver_), tables_);
   std::string error;

@@ -1,0 +1,388 @@
+// The Protocol API: registry round-trips and errors, the legacy
+// entry-point ≡ core::run equivalence goldens (old wrappers must be
+// bit-for-bit the new engine, so the trajectory golden of
+// test_goldens.cpp transitively pins core::run), and the observer
+// hook's contract (per-round invocation, early stop, chaining, the
+// async schedule).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dynamics.hpp"
+#include "core/engine.hpp"
+#include "core/initializer.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "core/simulator.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/bounded.hpp"
+#include "rng/philox.hpp"
+
+namespace {
+
+using namespace b3v;
+
+// ---------------------------------------------------------------- registry
+
+TEST(ProtocolRegistry, CanonicalNamesRoundTrip) {
+  for (const char* spelling :
+       {"voter", "two-choices", "best-of-3", "best-of-5", "best-of-7",
+        "best-of-2/random", "best-of-2/keep-own", "best-of-4/prefer-red",
+        "best-of-6/prefer-blue", "best-of-3+noise=0.1", "voter+noise=0.25",
+        "two-choices+noise=0.05", "best-of-2/keep-own+noise=0.2"}) {
+    EXPECT_EQ(core::name(core::protocol_from_name(spelling)), spelling)
+        << spelling;
+  }
+}
+
+TEST(ProtocolRegistry, ValueToNameToValueIsIdentity) {
+  const core::Protocol cases[] = {
+      core::voter(),
+      core::two_choices(),
+      core::best_of(3),
+      core::best_of(2, core::TieRule::kKeepOwn),
+      core::best_of(2, core::TieRule::kRandom),
+      core::best_of(4, core::TieRule::kPreferBlue),
+      core::best_of(9),
+      core::best_of(3, core::TieRule::kRandom, 0.125),
+      core::two_choices(1.0 / 3.0),  // shortest-round-trip formatting
+  };
+  for (const core::Protocol& p : cases) {
+    EXPECT_EQ(core::protocol_from_name(core::name(p)), p) << core::name(p);
+  }
+}
+
+TEST(ProtocolRegistry, Aliases) {
+  // best-of-1 is the voter model under its canonical name.
+  EXPECT_EQ(core::protocol_from_name("best-of-1"), core::voter());
+  EXPECT_EQ(core::name(core::protocol_from_name("best-of-1")), "voter");
+  // An explicit tie rule on odd k is unreachable and normalised away.
+  EXPECT_EQ(core::protocol_from_name("best-of-3/keep-own"), core::best_of(3));
+}
+
+TEST(ProtocolRegistry, UnknownNamesThrowWithContext) {
+  for (const char* bad :
+       {"", "bogus", "best-of-", "best-of-0", "best-of-x", "best-of-3x",
+        "best-of-2/sideways", "two-choice", "best-of-3+noise=",
+        "best-of-3+noise=1.5", "best-of-3+noise=-0.1", "best-of-3+noise=0",
+        "best-of-3+noise=abc"}) {
+    EXPECT_THROW(core::protocol_from_name(bad), std::invalid_argument) << bad;
+  }
+  try {
+    core::protocol_from_name("definitely-not-a-rule");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("definitely-not-a-rule"), std::string::npos);
+    EXPECT_NE(what.find("two-choices"), std::string::npos);  // known forms
+  }
+}
+
+TEST(ProtocolRegistry, ValidateRejectsMalformedValues) {
+  EXPECT_THROW(core::validate(core::best_of(0)), std::invalid_argument);
+  EXPECT_THROW(core::validate(core::best_of(3, core::TieRule::kRandom, 1.5)),
+               std::invalid_argument);
+  core::Protocol mangled = core::two_choices();
+  mangled.k = 5;
+  EXPECT_THROW(core::validate(mangled), std::invalid_argument);
+  EXPECT_NO_THROW(core::validate(core::best_of(7)));
+}
+
+TEST(ProtocolRegistry, TwoChoicesEquivalence) {
+  EXPECT_TRUE(core::is_two_choices_equivalent(core::two_choices()));
+  EXPECT_TRUE(core::is_two_choices_equivalent(
+      core::best_of(2, core::TieRule::kKeepOwn)));
+  EXPECT_FALSE(core::is_two_choices_equivalent(
+      core::best_of(2, core::TieRule::kRandom)));
+  EXPECT_FALSE(core::is_two_choices_equivalent(core::best_of(3)));
+}
+
+// ----------------------------------------- legacy wrapper ≡ engine goldens
+
+/// The fixed instance the equivalence goldens run on (the same shape
+/// as the test_goldens.cpp trajectory pin: consensus in ~10 rounds).
+struct Fixture {
+  graph::Graph g = graph::dense_circulant(256, 32);
+  graph::CsrSampler sampler{g};
+  core::Opinions init = core::iid_bernoulli(256, 0.4, 3);
+  parallel::ThreadPool pool{2};
+};
+
+TEST(ProtocolEquivalence, RunSyncEqualsEngineBestOf3) {
+  Fixture f;
+  core::SimConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 5;
+  cfg.max_rounds = 500;
+  const auto legacy = core::run_sync(f.sampler, f.init, cfg, f.pool);
+
+  core::RunSpec spec;
+  spec.protocol = core::protocol_from_name("best-of-3");
+  spec.seed = 5;
+  spec.max_rounds = 500;
+  std::vector<std::uint64_t> trajectory;
+  spec.observer = core::observers::record_trajectory(trajectory);
+  const auto modern = core::run(f.sampler, f.init, spec, f.pool);
+
+  EXPECT_EQ(legacy.consensus, modern.consensus);
+  EXPECT_EQ(legacy.winner, modern.winner);
+  EXPECT_EQ(legacy.rounds, modern.rounds);
+  EXPECT_EQ(legacy.final_blue, modern.final_blue);
+  EXPECT_EQ(legacy.blue_trajectory, trajectory);
+}
+
+TEST(ProtocolEquivalence, RunSyncTwoChoicesEqualsEngine) {
+  Fixture f;
+  const auto legacy =
+      core::run_sync_two_choices(f.sampler, f.init, 9, 500, f.pool);
+
+  core::RunSpec spec;
+  spec.protocol = core::protocol_from_name("two-choices");
+  spec.seed = 9;
+  spec.max_rounds = 500;
+  std::vector<std::uint64_t> trajectory;
+  spec.observer = core::observers::record_trajectory(trajectory);
+  const auto modern = core::run(f.sampler, f.init, spec, f.pool);
+
+  EXPECT_EQ(legacy.consensus, modern.consensus);
+  EXPECT_EQ(legacy.winner, modern.winner);
+  EXPECT_EQ(legacy.rounds, modern.rounds);
+  EXPECT_EQ(legacy.final_blue, modern.final_blue);
+  EXPECT_EQ(legacy.blue_trajectory, trajectory);
+}
+
+TEST(ProtocolEquivalence, EngineTwoChoicesEqualsBestOf2KeepOwn) {
+  // The documented kernel identity, end-to-end through the engine.
+  Fixture f;
+  core::RunSpec spec;
+  spec.seed = 21;
+  spec.max_rounds = 500;
+  spec.protocol = core::two_choices();
+  const auto tc = core::run(f.sampler, f.init, spec, f.pool);
+  spec.protocol = core::best_of(2, core::TieRule::kKeepOwn);
+  const auto bo2 = core::run(f.sampler, f.init, spec, f.pool);
+  EXPECT_EQ(tc.rounds, bo2.rounds);
+  EXPECT_EQ(tc.final_blue, bo2.final_blue);
+  EXPECT_EQ(tc.consensus, bo2.consensus);
+}
+
+TEST(ProtocolEquivalence, NoisyLoopEqualsEngine) {
+  // The pre-engine noisy driver loop (exp_noise's shape), verbatim.
+  Fixture f;
+  const double noise = 0.2;
+  const std::uint64_t seed = 77;
+  const std::uint64_t total = 12;
+  core::Opinions cur = f.init, next(cur.size());
+  std::vector<std::uint64_t> legacy_blues;
+  for (std::uint64_t round = 0; round < total; ++round) {
+    const auto blue = core::step_best_of_k_noisy(
+        f.sampler, cur, next, 3, core::TieRule::kRandom, noise, seed, round,
+        f.pool);
+    cur.swap(next);
+    legacy_blues.push_back(blue);
+  }
+
+  core::RunSpec spec;
+  spec.protocol = core::protocol_from_name("best-of-3+noise=0.2");
+  spec.seed = seed;
+  spec.max_rounds = total;
+  spec.stop_at_consensus = false;  // noise is non-absorbing
+  std::vector<std::uint64_t> trajectory;
+  spec.observer = core::observers::record_trajectory(trajectory);
+  const auto modern = core::run(f.sampler, f.init, spec, f.pool);
+
+  EXPECT_EQ(modern.rounds, total);
+  ASSERT_EQ(trajectory.size(), total + 1);  // t = 0 plus every round
+  for (std::uint64_t t = 0; t < total; ++t) {
+    EXPECT_EQ(trajectory[t + 1], legacy_blues[t]) << "round " << t;
+  }
+}
+
+TEST(ProtocolEquivalence, AsyncScheduleMatchesLegacyLoop) {
+  // The pre-refactor run_async_sweeps loop, replicated literally
+  // (including the then-magic purpose tag 2 = kDrawAsyncPick), against
+  // the engine's kAsyncSweeps schedule.
+  Fixture f;
+  const unsigned k = 3;
+  const std::uint64_t seed = 11, sweeps = 5;
+  const std::size_t n = f.init.size();
+  core::Opinions reference = f.init;
+  std::uint64_t micro = 0;
+  for (std::uint64_t s = 0; s < sweeps; ++s) {
+    for (std::size_t i = 0; i < n; ++i, ++micro) {
+      rng::CounterRng pick(seed, micro, 0, 2);
+      const auto v = static_cast<graph::VertexId>(rng::bounded_u64(pick, n));
+      rng::CounterRng gen(seed, micro, v, core::kDrawNeighbors);
+      unsigned blues = 0;
+      for (unsigned j = 0; j < k; ++j) {
+        blues += reference[f.sampler.sample(v, gen)];
+      }
+      reference[v] = blues >= 2 ? 1 : 0;  // odd k: no tie branch
+    }
+  }
+
+  core::Opinions wrapper_state = f.init;
+  const auto wrapper_blue = core::run_async_sweeps(
+      f.sampler, wrapper_state, k, core::TieRule::kRandom, seed, sweeps);
+  EXPECT_EQ(wrapper_state, reference);
+  EXPECT_EQ(wrapper_blue, core::count_blue(reference));
+
+  core::RunSpec spec;
+  spec.protocol = core::best_of(k);
+  spec.seed = seed;
+  spec.max_rounds = sweeps;
+  spec.schedule = core::Schedule::kAsyncSweeps;
+  spec.stop_at_consensus = false;  // the legacy loop ran every sweep
+  core::Opinions final_state;
+  spec.observer = core::observers::capture_final(final_state);
+  const auto modern = core::run(f.sampler, f.init, spec, f.pool);
+  EXPECT_EQ(final_state, reference);
+  EXPECT_EQ(modern.final_blue, core::count_blue(reference));
+  EXPECT_EQ(modern.rounds, sweeps);
+}
+
+// ------------------------------------------------------------- observers
+
+TEST(Observers, CalledOncePerRoundStartingAtZero) {
+  Fixture f;
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 5;
+  spec.max_rounds = 500;
+  std::vector<std::uint64_t> seen;
+  spec.observer = [&](std::uint64_t t, std::span<const core::OpinionValue> s,
+                      std::uint64_t blue) {
+    seen.push_back(t);
+    EXPECT_EQ(s.size(), 256u);
+    EXPECT_EQ(blue, core::count_blue(s));  // engine-supplied count
+    return true;
+  };
+  const auto result = core::run(f.sampler, f.init, spec, f.pool);
+  ASSERT_EQ(seen.size(), result.rounds + 1);
+  for (std::uint64_t t = 0; t < seen.size(); ++t) EXPECT_EQ(seen[t], t);
+}
+
+TEST(Observers, EarlyStopEndsTheRun) {
+  Fixture f;
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 5;
+  spec.max_rounds = 500;
+  spec.observer = core::observers::stop_when(
+      [](std::uint64_t t, std::span<const core::OpinionValue>, std::uint64_t) {
+        return t >= 3;
+      });
+  const auto result = core::run(f.sampler, f.init, spec, f.pool);
+  EXPECT_EQ(result.rounds, 3u);
+  EXPECT_FALSE(result.consensus);  // this run needs ~9 rounds
+}
+
+TEST(Observers, ChainRunsAllAndStopsWhenAnyStops) {
+  Fixture f;
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 5;
+  spec.max_rounds = 500;
+  std::vector<std::uint64_t> trajectory;
+  std::uint64_t calls = 0;
+  spec.observer = core::observers::chain(
+      core::observers::record_trajectory(trajectory),
+      core::observers::stop_when(
+          [](std::uint64_t t, std::span<const core::OpinionValue>,
+             std::uint64_t) { return t >= 2; }),
+      [&calls](std::uint64_t, std::span<const core::OpinionValue>,
+               std::uint64_t) {
+        ++calls;  // must still run after the stop vote
+        return true;
+      });
+  const auto result = core::run(f.sampler, f.init, spec, f.pool);
+  EXPECT_EQ(result.rounds, 2u);
+  EXPECT_EQ(trajectory.size(), 3u);  // t = 0, 1, 2
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(Observers, BlockStatsStreaming) {
+  // The exp_sbm_phase pattern: per-round community metrics without a
+  // re-run — last observed stats equal stats of the final state.
+  Fixture f;
+  const std::vector<core::BlockId> block_of = [] {
+    std::vector<core::BlockId> b(256, 0);
+    for (std::size_t v = 128; v < 256; ++v) b[v] = 1;
+    return b;
+  }();
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 5;
+  spec.max_rounds = 500;
+  core::BlockStats last;
+  core::Opinions captured;
+  spec.observer = core::observers::chain(
+      [&](std::uint64_t, std::span<const core::OpinionValue> s,
+          std::uint64_t) {
+        last = core::block_stats(s, block_of, 2);
+        return true;
+      },
+      core::observers::capture_final(captured));
+  const auto result = core::run(f.sampler, f.init, spec, f.pool);
+  // The last streamed stats, the captured snapshot and the moved-out
+  // final state all describe the same end configuration.
+  EXPECT_EQ(captured, result.final_state);
+  const auto direct = core::block_stats(result.final_state, block_of, 2);
+  EXPECT_EQ(last.sizes, direct.sizes);
+  EXPECT_EQ(last.blue, direct.blue);
+}
+
+// ------------------------------------------------------------ engine edges
+
+TEST(Engine, RejectsSizeMismatchAndBadProtocol) {
+  Fixture f;
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  core::Opinions wrong(100, 0);
+  EXPECT_THROW(core::run(f.sampler, wrong, spec, f.pool),
+               std::invalid_argument);
+  spec.protocol.k = 0;
+  EXPECT_THROW(core::run(f.sampler, f.init, spec, f.pool),
+               std::invalid_argument);
+}
+
+TEST(Engine, ConsensusStartExecutesNoRounds) {
+  Fixture f;
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  std::uint64_t observed = 0;
+  spec.observer = [&](std::uint64_t, std::span<const core::OpinionValue>,
+                      std::uint64_t) {
+    ++observed;
+    return true;
+  };
+  const auto result = core::run(
+      f.sampler, core::constant(256, core::Opinion::kBlue), spec, f.pool);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, core::Opinion::kBlue);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(observed, 1u);  // the t = 0 look at the initial state
+}
+
+TEST(Engine, AsyncNoisyKeepsMixing) {
+  // Async + noise is new surface (the legacy loop had no noise): from
+  // consensus, a noisy sweep must flip some vertices.
+  Fixture f;
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3, core::TieRule::kRandom, 0.5);
+  spec.seed = 4;
+  spec.max_rounds = 3;
+  spec.schedule = core::Schedule::kAsyncSweeps;
+  spec.stop_at_consensus = false;
+  const auto result = core::run(
+      f.sampler, core::constant(256, core::Opinion::kRed), spec, f.pool);
+  EXPECT_GT(result.final_blue, 0u);
+  EXPECT_LT(result.final_blue, 256u);
+}
+
+}  // namespace

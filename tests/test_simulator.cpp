@@ -124,6 +124,24 @@ TEST(Simulator, TrajectoryCanBeDisabled) {
   EXPECT_TRUE(result.blue_trajectory.empty());
 }
 
+TEST(Simulator, BlueFractionOutOfRangeExplainsItself) {
+  parallel::ThreadPool pool(2);
+  const graph::Graph g = graph::complete(100);
+  core::SimConfig cfg;
+  cfg.record_trajectory = false;
+  const auto result =
+      core::run_on_graph(g, core::iid_bernoulli(100, 0.3, 8), cfg, pool);
+  try {
+    (void)result.blue_fraction(0);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("blue_fraction"), std::string::npos) << what;
+    EXPECT_NE(what.find("0 entries"), std::string::npos) << what;
+    EXPECT_NE(what.find("record_trajectory"), std::string::npos) << what;
+  }
+}
+
 TEST(Simulator, MaxRoundsCapRespected) {
   parallel::ThreadPool pool(2);
   // Cycle with k=1 voter model: consensus takes Theta(n^2); cap at 3.
