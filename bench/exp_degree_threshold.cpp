@@ -11,8 +11,8 @@
 #include <iostream>
 
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/session.hpp"
 #include "experiments/sweep.hpp"
@@ -32,12 +32,13 @@ void run_family(const std::string& name, const S& sampler, double delta,
   const auto agg = experiments::aggregate_runs(
       reps, rng::derive_stream(ctx.base_seed, std::hash<std::string>{}(name)),
       [&](std::uint64_t seed) {
-        core::SimConfig cfg;
-        cfg.seed = seed;
-        cfg.max_rounds = cap;
+        core::RunSpec spec;
+        spec.protocol = core::best_of(3);
+        spec.seed = seed;
+        spec.max_rounds = cap;
         core::Opinions init = core::iid_bernoulli(
             n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
-        return core::run_sync(sampler, std::move(init), cfg, pool);
+        return core::run(sampler, std::move(init), spec, pool);
       });
   table.add_row({std::string(name), static_cast<std::int64_t>(n),
                  static_cast<std::int64_t>(sampler.degree(0)),

@@ -10,8 +10,8 @@
 
 #include "analysis/regression.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/session.hpp"
 #include "experiments/sweep.hpp"
@@ -40,12 +40,13 @@ void sweep(const std::string& family, const S& sampler,
     const auto agg = experiments::aggregate_runs(
         reps, rng::derive_stream(ctx.base_seed, 1000 + e),
         [&](std::uint64_t seed) {
-          core::SimConfig cfg;
-          cfg.seed = seed;
-          cfg.max_rounds = 2000;
+          core::RunSpec spec;
+          spec.protocol = core::best_of(3);
+          spec.seed = seed;
+          spec.max_rounds = 2000;
           core::Opinions init = core::iid_bernoulli(
               n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
-          return core::run_sync(sampler, std::move(init), cfg, pool);
+          return core::run(sampler, std::move(init), spec, pool);
         });
     const int mf = theory::meanfield_steps_to(0.5 - delta,
                                               0.5 / static_cast<double>(n), 10000);

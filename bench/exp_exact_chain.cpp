@@ -10,8 +10,8 @@
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
 #include "experiments/session.hpp"
 #include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
@@ -45,13 +45,14 @@ int main(int argc, char** argv) {
     std::uint64_t blue_wins = 0;
     analysis::OnlineStats rounds;
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      core::SimConfig cfg;
-      cfg.seed = rng::derive_stream(ctx.base_seed, b0 * 100000 + rep);
-      cfg.max_rounds = 10000;
-      const auto result = core::run_sync(
+      core::RunSpec spec;
+      spec.protocol = core::best_of(3);
+      spec.seed = rng::derive_stream(ctx.base_seed, b0 * 100000 + rep);
+      spec.max_rounds = 10000;
+      const auto result = core::run(
           sampler,
-          core::exact_count(n, b0, rng::derive_stream(cfg.seed, 0xC0)),
-          cfg, pool);
+          core::exact_count(n, b0, rng::derive_stream(spec.seed, 0xC0)),
+          spec, pool);
       if (!result.consensus) continue;
       rounds.add(static_cast<double>(result.rounds));
       blue_wins += result.winner == core::Opinion::kBlue;

@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
   // mean-field fixed-point column is Best-of-3's prediction, so it is
   // blanked (NaN) for any other base rule.
   const core::Protocol given = ctx.protocols_or({core::best_of(3)}).front();
-  const core::Protocol base{given.kind, given.k, given.tie, 0.0};
+  core::Protocol base = given;  // copy, not re-aggregation: keep every field
+  base.noise = 0.0;
   const bool base_is_bo3 = base == core::best_of(3);
   std::vector<double> noise_levels{0.0, 0.05, 0.1, 0.2, 0.3, 1.0 / 3.0, 0.4};
   if (given.noise > 0.0) noise_levels = {given.noise};

@@ -14,8 +14,9 @@
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
+#include "experiments/runner.hpp"
 #include "experiments/session.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
@@ -74,15 +75,17 @@ int main(int argc, char** argv) {
   for (const double delta : {0.2, 0.1, 0.05, 0.01, 0.002}) {
     analysis::OnlineStats t3s, t2s, t1s, totals;
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      core::SimConfig cfg;
-      cfg.seed = rng::derive_stream(ctx.base_seed,
-                                    rep * 1000 + static_cast<std::uint64_t>(delta * 1e5));
-      cfg.max_rounds = 500;
-      const auto result = core::run_sync(
+      core::RunSpec spec;
+      spec.protocol = core::best_of(3);
+      spec.seed = rng::derive_stream(
+          ctx.base_seed,
+          rep * 1000 + static_cast<std::uint64_t>(delta * 1e5));
+      spec.max_rounds = 500;
+      const auto result = experiments::run_recorded(
           sampler,
           core::iid_bernoulli(n, 0.5 - delta,
-                              rng::derive_stream(cfg.seed, 0xB10E)),
-          cfg, pool);
+                              rng::derive_stream(spec.seed, 0xB10E)),
+          spec, pool);
       if (!result.consensus) continue;
       const auto phases = segment(result.blue_trajectory, n, d);
       t3s.add(phases.t3);

@@ -15,8 +15,9 @@
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
+#include "experiments/runner.hpp"
 #include "experiments/session.hpp"
 #include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
             rng::derive_stream(ctx.base_seed,
                                (static_cast<std::uint64_t>(d) << 20) ^ rep ^
                                    static_cast<std::uint64_t>(delta * 1e6));
-        const auto result = core::run_theorem1_setting(g, delta, seed, pool, 300);
+        const auto result = experiments::theorem1_run(g, delta, seed, pool, 300);
         if (result.consensus && result.winner == core::Opinion::kRed) ++red;
         if (result.consensus) {
           rounds.add(static_cast<double>(result.rounds));

@@ -9,8 +9,9 @@
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
+#include "experiments/runner.hpp"
 #include "experiments/session.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
@@ -36,14 +37,15 @@ int main(int argc, char** argv) {
     // Average trajectories over repetitions (aligned by round).
     std::vector<analysis::OnlineStats> per_round;
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      core::SimConfig cfg;
-      cfg.seed = rng::derive_stream(ctx.base_seed, 555 + rep);
-      cfg.max_rounds = 60;
-      const auto result = core::run_sync(
+      core::RunSpec spec;
+      spec.protocol = core::best_of(3);
+      spec.seed = rng::derive_stream(ctx.base_seed, 555 + rep);
+      spec.max_rounds = 60;
+      const auto result = experiments::run_recorded(
           sampler,
           core::iid_bernoulli(n, 0.5 - delta,
-                              rng::derive_stream(cfg.seed, 0xB10E)),
-          cfg, pool);
+                              rng::derive_stream(spec.seed, 0xB10E)),
+          spec, pool);
       if (per_round.size() < result.blue_trajectory.size()) {
         per_round.resize(result.blue_trajectory.size());
       }

@@ -15,8 +15,8 @@
 
 #include "analysis/regression.hpp"
 #include "analysis/table.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
 #include "experiments/runner.hpp"
 #include "experiments/session.hpp"
 #include "experiments/sweep.hpp"
@@ -44,12 +44,13 @@ Row run_circulant(std::size_t n, double alpha, double delta, std::size_t reps,
       graph::CirculantSampler::dense(static_cast<graph::VertexId>(n), d);
   auto agg = experiments::aggregate_runs(
       reps, base_seed, [&](std::uint64_t seed) {
-        core::SimConfig cfg;
-        cfg.seed = seed;
-        cfg.max_rounds = 500;
+        core::RunSpec spec;
+        spec.protocol = core::best_of(3);
+        spec.seed = seed;
+        spec.max_rounds = 500;
         core::Opinions init = core::iid_bernoulli(
             n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
-        return core::run_sync(sampler, std::move(init), cfg, pool);
+        return core::run(sampler, std::move(init), spec, pool);
       });
   return {n, d, std::move(agg)};
 }
@@ -61,7 +62,7 @@ Row run_gnp(std::size_t n, double alpha, double delta, std::size_t reps,
       static_cast<graph::VertexId>(n), p, rng::derive_stream(base_seed, n));
   auto agg = experiments::aggregate_runs(
       reps, base_seed, [&](std::uint64_t seed) {
-        return core::run_theorem1_setting(g, delta, seed, pool, 500);
+        return experiments::theorem1_run(g, delta, seed, pool, 500);
       });
   return {n, g.min_degree(), std::move(agg)};
 }

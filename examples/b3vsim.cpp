@@ -10,14 +10,19 @@
 //           ws (--d --beta), ba (--d), hypercube (--dim), torus (--rows
 //           --cols), chunglu (--gamma --wmin --wmax).
 // Rules: any registry name (core/protocol.hpp) — best-of-3,
-//        two-choices, voter, best-of-2/keep-own, best-of-3+noise=0.1;
-//        --k/--tie remain as legacy spellings of best-of-k.
+//        two-choices, voter, best-of-2/keep-own, best-of-3+noise=0.1,
+//        plurality-of-3/q3[/keep-own]; --k/--tie remain as legacy
+//        spellings of best-of-k. q-colour rules run through the
+//        multi-opinion core::run overload: --delta plants the same
+//        advantage for colour 0 over the uniform 1/q start.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "analysis/stats.hpp"
@@ -168,6 +173,98 @@ core::SimResult run_once(const graph::Graph& g, const core::Protocol& protocol,
   return result;
 }
 
+/// One q-colour run through the multi-opinion overload: i.i.d. start
+/// with colour 0 planted delta above the uniform 1/q (the multi
+/// analogue of the binary 1/2 - delta red majority, with colour 0 in
+/// the majority role).
+core::MultiSimResult run_once_multi(
+    const graph::Graph& g, const core::Protocol& protocol, double delta,
+    std::uint64_t seed, std::uint64_t max_rounds,
+    std::vector<std::vector<std::uint64_t>>* trajectory,
+    parallel::ThreadPool& pool) {
+  const unsigned q = protocol.num_colours();
+  std::vector<double> probs(q, (1.0 - (1.0 / q + delta)) / (q - 1.0));
+  probs[0] = 1.0 / q + delta;
+  core::MultiRunSpec spec;
+  spec.protocol = protocol;
+  spec.seed = seed;
+  spec.max_rounds = max_rounds;
+  if (trajectory) {
+    spec.observer = core::multi_observers::record_trajectory(*trajectory);
+  }
+  return core::run(
+      graph::CsrSampler(g),
+      core::iid_multi(g.num_vertices(), probs, rng::derive_stream(seed, 0xB10E)),
+      spec, pool);
+}
+
+/// The q-colour reporting paths (trajectory table of per-colour
+/// counts, or a win-rate summary for colour 0).
+int run_multi(const graph::Graph& g, const core::Protocol& protocol,
+              const Args& args, parallel::ThreadPool& pool) {
+  const std::uint64_t max_rounds = args.u64("rounds", 1000);
+  const double delta = args.num("delta", 0.1);
+  const auto reps = args.u64("reps", 1);
+  const auto base_seed = args.u64("seed", 1);
+  const unsigned q = protocol.num_colours();
+
+  if (args.flag("trajectory")) {
+    std::vector<std::vector<std::uint64_t>> counts;
+    const auto result = run_once_multi(g, protocol, delta, base_seed,
+                                       max_rounds, &counts, pool);
+    std::vector<std::string> columns{"round"};
+    for (unsigned c = 0; c < q; ++c) {
+      columns.push_back("colour" + std::to_string(c));
+    }
+    analysis::Table table("trajectory", columns);
+    for (std::size_t t = 0; t < counts.size(); ++t) {
+      // In-place alternative construction sidesteps a GCC-12
+      // -Wmaybe-uninitialized false positive on copying a temporary
+      // variant (cf. the dot_export.cpp -Wrestrict rewrite).
+      std::vector<analysis::Table::Cell> row;
+      row.reserve(q + 1);
+      row.emplace_back(std::in_place_type<std::int64_t>,
+                       static_cast<std::int64_t>(t));
+      for (unsigned c = 0; c < q; ++c) {
+        row.emplace_back(std::in_place_type<std::int64_t>,
+                         static_cast<std::int64_t>(counts[t][c]));
+      }
+      table.add_row(std::move(row));
+    }
+    if (args.flag("csv")) table.print_csv(std::cout);
+    else table.print_ascii(std::cout);
+    std::cout << (result.consensus
+                      ? "winner: colour " + std::to_string(result.winner) +
+                            (result.winner == 0 ? " (planted majority)\n"
+                                                : " (minority colour)\n")
+                      : "no consensus within --rounds\n");
+    return 0;
+  }
+
+  analysis::OnlineStats rounds;
+  std::uint64_t c0 = 0, capped = 0;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    const auto result =
+        run_once_multi(g, protocol, delta, rng::derive_stream(base_seed, rep),
+                       max_rounds, nullptr, pool);
+    if (!result.consensus) {
+      ++capped;
+      continue;
+    }
+    rounds.add(static_cast<double>(result.rounds));
+    c0 += result.winner == 0;
+  }
+  analysis::Table table("summary", {"reps", "mean_rounds", "ci95",
+                                    "max_rounds", "c0_win_rate", "capped"});
+  table.add_row({static_cast<std::int64_t>(reps), rounds.mean(),
+                 rounds.ci95_half_width(), rounds.max(),
+                 static_cast<double>(c0) / static_cast<double>(reps),
+                 static_cast<std::int64_t>(capped)});
+  if (args.flag("csv")) table.print_csv(std::cout);
+  else table.print_ascii(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -182,7 +279,9 @@ int main(int argc, char** argv) try {
            "          regular(--d) ws(--d --beta) ba(--d)\n"
            "          hypercube(--dim) torus(--rows --cols)\n"
            "          chunglu(--gamma --wmin --wmax)\n"
-           "rules: voter two-choices best-of-K[/TIE][+noise=Q]\n";
+           "rules: voter two-choices best-of-K[/TIE][+noise=Q]\n"
+           "       plurality-of-K/qQ[/TIE]   (q colours; --delta = colour-0\n"
+           "                                  advantage over the uniform 1/q)\n";
     return 0;
   }
   try {
@@ -195,6 +294,10 @@ int main(int argc, char** argv) try {
               << " connected=" << (graph::is_connected(g) ? "yes" : "no")
               << " protocol=" << core::name(protocol)
               << "\n";
+
+    if (protocol.num_colours() > 2) {
+      return run_multi(g, protocol, args, pool);
+    }
 
     const std::uint64_t max_rounds = args.u64("rounds", 1000);
     const double delta = args.num("delta", 0.1);

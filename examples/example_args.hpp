@@ -48,6 +48,14 @@ inline ExampleArgs parse_example_args(int argc, char** argv,
     std::cerr << argv[0] << ": " << e.what() << "\n";
     std::exit(2);
   }
+  if (out.protocol.num_colours() > 2) {
+    // These examples narrate the paper's two-party setting; refuse up
+    // front rather than aborting on the binary engine's own check.
+    std::cerr << argv[0]
+              << ": this example is two-party; run q-colour rules through "
+                 "b3vsim or exp_plurality\n";
+    std::exit(2);
+  }
   return out;
 }
 

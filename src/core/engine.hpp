@@ -27,8 +27,17 @@
 // exact kernels of dynamics.hpp through step_protocol /
 // step_async_sweep, so a run is a pure function of (sampler, initial,
 // spec.protocol, spec.seed) at any thread count, bit-for-bit equal to
-// the legacy per-rule entry points (tests/test_protocol.cpp asserts
-// it; tests/test_goldens.cpp pins the streams).
+// the pre-Protocol per-rule entry points (tests/test_protocol.cpp
+// replays their literal loops; tests/test_goldens.cpp pins the
+// streams).
+//
+// Multi-opinion runs: q-colour rules (RuleKind::kPlurality) carry
+// per-colour counts instead of one blue count, so they run through the
+// MultiRunSpec overload of core::run, whose observer sees the
+// per-colour count vector each round (multi_observers:: mirrors
+// observers::). Binary rules are welcome on that overload too — they
+// route through the exact binary kernels and report {red, blue} — so
+// rule-comparing drivers can hold ONE run path across q.
 #pragma once
 
 #include <cstdint>
@@ -190,6 +199,11 @@ template <graph::NeighborSampler S>
 SimResult run(const S& sampler, Opinions initial, const RunSpec& spec,
               parallel::ThreadPool& pool) {
   validate(spec.protocol);
+  if (spec.protocol.kind == RuleKind::kPlurality) {
+    throw std::invalid_argument(
+        "core::run: q-colour plurality carries per-colour counts, not a "
+        "blue count — run it through the MultiRunSpec overload");
+  }
   const std::size_t n = sampler.num_vertices();
   if (initial.size() != n) {
     throw std::invalid_argument("core::run: initial state size mismatch");
@@ -224,6 +238,164 @@ SimResult run(const S& sampler, Opinions initial, const RunSpec& spec,
         return blue;
       },
       [&] { return std::span<const OpinionValue>(current); });
+  result.final_state = std::move(current);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Multi-opinion (q-colour) run path
+// ---------------------------------------------------------------------
+
+/// Per-round hook of the multi-opinion path: (t, state after round t,
+/// its per-colour counts) -> keep running? Same contract as
+/// RoundObserver: called at t = 0 on the initial configuration, the
+/// span (and the counts span) is only valid for the duration of the
+/// call, returning false stops the run after the current round.
+using MultiRoundObserver = std::function<bool(
+    std::uint64_t t, std::span<const OpinionValue> state,
+    std::span<const std::uint64_t> counts)>;
+
+/// RunSpec of the multi-opinion overload. The colour count comes from
+/// the protocol (protocol.num_colours()); the initial state must only
+/// hold colours below it. Synchronous rounds only — the asynchronous
+/// sweep kernel is binary, so a q-colour kAsyncSweeps schedule would
+/// silently be a different dynamics; it stays a compile-time
+/// impossibility here until a q-colour async kernel exists.
+struct MultiRunSpec {
+  Protocol protocol{};
+  std::uint64_t seed = 1;
+  std::uint64_t max_rounds = 10000;
+  bool stop_at_consensus = true;
+  MultiRoundObserver observer{};
+};
+
+/// Outcome of a multi-opinion run.
+struct MultiSimResult {
+  bool consensus = false;     // some colour holds every vertex
+  OpinionValue winner = 0;    // meaningful iff consensus
+  std::uint64_t rounds = 0;
+  std::size_t num_vertices = 0;
+  std::vector<std::uint64_t> final_counts;  // per-colour, at the end
+  Opinions final_state;       // moved out of the engine's buffer
+
+  /// Final fraction of colour c.
+  double final_fraction(unsigned c) const {
+    return static_cast<double>(final_counts.at(c)) /
+           static_cast<double>(num_vertices);
+  }
+};
+
+namespace multi_observers {
+
+/// Appends the per-colour counts of every observed state (t = 0
+/// included): out[t][c] = #vertices with colour c after round t.
+inline MultiRoundObserver record_trajectory(
+    std::vector<std::vector<std::uint64_t>>& out) {
+  return [&out](std::uint64_t, std::span<const OpinionValue>,
+                std::span<const std::uint64_t> counts) {
+    out.emplace_back(counts.begin(), counts.end());
+    return true;
+  };
+}
+
+/// Keeps `out` equal to the latest observed configuration (O(n) copy
+/// per round — for just the end state read MultiSimResult::final_state,
+/// which is moved out for free).
+inline MultiRoundObserver capture_final(Opinions& out) {
+  return [&out](std::uint64_t, std::span<const OpinionValue> state,
+                std::span<const std::uint64_t>) {
+    out.assign(state.begin(), state.end());
+    return true;
+  };
+}
+
+/// Early stop: ends the run once `predicate(t, state, counts)` holds.
+inline MultiRoundObserver stop_when(
+    std::function<bool(std::uint64_t, std::span<const OpinionValue>,
+                       std::span<const std::uint64_t>)>
+        predicate) {
+  return [predicate = std::move(predicate)](
+             std::uint64_t t, std::span<const OpinionValue> state,
+             std::span<const std::uint64_t> counts) {
+    return !predicate(t, state, counts);
+  };
+}
+
+/// Runs every observer each round; the run continues only while all
+/// agree (same side-effect guarantee as observers::chain).
+template <typename... Obs>
+MultiRoundObserver chain(Obs... obs) {
+  return [... obs = std::move(obs)](std::uint64_t t,
+                                    std::span<const OpinionValue> state,
+                                    std::span<const std::uint64_t> counts) mutable {
+    bool keep = true;
+    ((keep = obs(t, state, counts) && keep), ...);
+    return keep;
+  };
+}
+
+}  // namespace multi_observers
+
+/// Multi-opinion overload of the run entry point: runs spec.protocol
+/// over its protocol.num_colours()-colour state space until one colour
+/// holds every vertex (unless disabled), the observer stops it, or
+/// spec.max_rounds. Binary rules dispatch to the exact binary kernels
+/// (same streams — the {red, blue} counts here match the blue counts
+/// of the binary overload bit-for-bit); kPlurality runs
+/// step_plurality. Deterministic in (sampler, initial, spec) at any
+/// thread count.
+template <graph::NeighborSampler S>
+MultiSimResult run(const S& sampler, Opinions initial,
+                   const MultiRunSpec& spec, parallel::ThreadPool& pool) {
+  validate(spec.protocol);
+  const unsigned q = spec.protocol.num_colours();
+  const std::size_t n = sampler.num_vertices();
+  if (initial.size() != n) {
+    throw std::invalid_argument("core::run: initial state size mismatch");
+  }
+  Opinions current = std::move(initial);
+  Opinions next(n);
+  // Rejects any initial colour >= q up front.
+  std::vector<std::uint64_t> counts = count_colours(current, q);
+
+  MultiSimResult result;
+  result.num_vertices = n;
+  const auto winner_if_consensus = [&](std::span<const std::uint64_t> c) {
+    for (unsigned colour = 0; colour < q; ++colour) {
+      if (c[colour] == n) return static_cast<int>(colour);
+    }
+    return -1;
+  };
+  bool keep_going =
+      !spec.observer || spec.observer(0, std::span<const OpinionValue>(current),
+                                      counts);
+  for (std::uint64_t round = 0; keep_going && round < spec.max_rounds;
+       ++round) {
+    if (spec.stop_at_consensus) {
+      const int w = winner_if_consensus(counts);
+      if (w >= 0) {
+        result.consensus = true;
+        result.winner = static_cast<OpinionValue>(w);
+        break;
+      }
+    }
+    counts = step_protocol_multi(sampler, spec.protocol, current, next,
+                                 spec.seed, round, pool);
+    current.swap(next);
+    ++result.rounds;
+    if (spec.observer) {
+      keep_going = spec.observer(
+          result.rounds, std::span<const OpinionValue>(current), counts);
+    }
+  }
+  if (!result.consensus) {
+    const int w = winner_if_consensus(counts);
+    if (w >= 0) {
+      result.consensus = true;
+      result.winner = static_cast<OpinionValue>(w);
+    }
+  }
+  result.final_counts = std::move(counts);
   result.final_state = std::move(current);
   return result;
 }

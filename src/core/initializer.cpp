@@ -153,4 +153,47 @@ Opinions iid_multi(std::size_t n, const std::vector<double>& probs,
   return opinions;
 }
 
+Opinions block_multi(std::span<const std::uint32_t> block_of,
+                     const std::vector<std::vector<double>>& probs,
+                     std::uint64_t seed) {
+  // One normalised cumulative table per block (iid_multi's rule:
+  // probabilities rescaled to sum 1, the last colour absorbs rounding).
+  std::vector<std::vector<double>> cumulative;
+  cumulative.reserve(probs.size());
+  for (const auto& block_probs : probs) {
+    if (block_probs.empty() || block_probs.size() > 64) {
+      throw std::invalid_argument("block_multi: 1..64 colours per block");
+    }
+    double total = 0.0;
+    for (const double p : block_probs) {
+      if (p < 0.0) {
+        throw std::invalid_argument("block_multi: negative probability");
+      }
+      total += p;
+    }
+    if (total <= 0.0) throw std::invalid_argument("block_multi: zero mass");
+    std::vector<double> cum(block_probs.size());
+    double acc = 0.0;
+    for (std::size_t c = 0; c < block_probs.size(); ++c) {
+      acc += block_probs[c] / total;
+      cum[c] = acc;
+    }
+    cum.back() = 1.0;
+    cumulative.push_back(std::move(cum));
+  }
+  rng::Xoshiro256 gen(seed);
+  Opinions opinions(block_of.size());
+  for (std::size_t v = 0; v < block_of.size(); ++v) {
+    const std::uint32_t b = block_of[v];
+    if (b >= cumulative.size()) {
+      throw std::invalid_argument("block_multi: block id out of range");
+    }
+    const double u = gen.next_double();
+    const auto& cum = cumulative[b];
+    const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    opinions[v] = static_cast<OpinionValue>(it - cum.begin());
+  }
+  return opinions;
+}
+
 }  // namespace b3v::core

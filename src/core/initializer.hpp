@@ -54,4 +54,13 @@ Opinions block_bernoulli(std::span<const std::uint32_t> block_of,
 Opinions iid_multi(std::size_t n, const std::vector<double>& probs,
                    std::uint64_t seed);
 
+/// Community-structured multi-opinion start: vertex v takes colour c
+/// with probability probs[block_of[v]][c] — the q-colour analogue of
+/// block_bernoulli (same sequential xoshiro placement: one draw per
+/// vertex in id order), used by the plurality SBM experiments where
+/// block b's distribution is peaked on its home colour.
+Opinions block_multi(std::span<const std::uint32_t> block_of,
+                     const std::vector<std::vector<double>>& probs,
+                     std::uint64_t seed);
+
 }  // namespace b3v::core

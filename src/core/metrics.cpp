@@ -106,4 +106,66 @@ BlockStats block_stats(std::span<const OpinionValue> opinions,
   return stats;
 }
 
+double BlockColourStats::fraction(std::size_t b, std::size_t c) const {
+  const std::uint64_t size = sizes.at(b);
+  if (size == 0) return 0.0;
+  return static_cast<double>(counts.at(b).at(c)) / static_cast<double>(size);
+}
+
+OpinionValue BlockColourStats::dominant_colour(std::size_t b) const {
+  const auto& row = counts.at(b);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < row.size(); ++c) {
+    if (row[c] > row[best]) best = c;
+  }
+  return static_cast<OpinionValue>(best);
+}
+
+bool BlockColourStats::intra_block_consensus() const {
+  for (std::size_t b = 0; b < sizes.size(); ++b) {
+    if (sizes[b] == 0) continue;
+    const auto& row = counts[b];
+    bool monochrome = false;
+    for (const std::uint64_t c : row) monochrome |= c == sizes[b];
+    if (!monochrome) return false;
+  }
+  return true;
+}
+
+bool BlockColourStats::distinct_block_majorities() const {
+  std::vector<bool> seen(num_colours(), false);
+  for (std::size_t b = 0; b < sizes.size(); ++b) {
+    if (sizes[b] == 0) continue;
+    const OpinionValue dom = dominant_colour(b);
+    if (seen[dom]) return false;
+    seen[dom] = true;
+  }
+  return true;
+}
+
+BlockColourStats block_colour_stats(std::span<const OpinionValue> opinions,
+                                    std::span<const BlockId> block_of,
+                                    std::size_t num_blocks, unsigned q) {
+  if (opinions.size() != block_of.size()) {
+    throw std::invalid_argument(
+        "block_colour_stats: opinions/block_of size mismatch");
+  }
+  BlockColourStats stats;
+  stats.sizes.assign(num_blocks, 0);
+  stats.counts.assign(num_blocks, std::vector<std::uint64_t>(q, 0));
+  for (std::size_t v = 0; v < opinions.size(); ++v) {
+    const BlockId b = block_of[v];
+    if (b >= num_blocks) {
+      throw std::invalid_argument("block_colour_stats: block id out of range");
+    }
+    if (opinions[v] >= q) {
+      throw std::invalid_argument(
+          "block_colour_stats: opinion value out of range for q colours");
+    }
+    ++stats.sizes[b];
+    ++stats.counts[b][opinions[v]];
+  }
+  return stats;
+}
+
 }  // namespace b3v::core

@@ -76,4 +76,42 @@ BlockStats block_stats(std::span<const OpinionValue> opinions,
                        std::span<const BlockId> block_of,
                        std::size_t num_blocks);
 
+/// Per-block PER-COLOUR statistics — the q-colour generalisation of
+/// BlockStats for the plurality workloads (k-block SBM, one home
+/// colour per block). counts[b][c] = #vertices of block b holding
+/// colour c.
+struct BlockColourStats {
+  std::vector<std::uint64_t> sizes;                 // vertices per block
+  std::vector<std::vector<std::uint64_t>> counts;   // [block][colour]
+
+  std::size_t num_blocks() const noexcept { return sizes.size(); }
+  std::size_t num_colours() const noexcept {
+    return counts.empty() ? 0 : counts.front().size();
+  }
+
+  /// Fraction of block b holding colour c (0 for an empty block).
+  double fraction(std::size_t b, std::size_t c) const;
+
+  /// The most frequent colour of block b (lowest colour id on a tie;
+  /// 0 for an empty block).
+  OpinionValue dominant_colour(std::size_t b) const;
+
+  /// True iff every block is monochromatic (empty blocks count) — the
+  /// q-colour intra-block-consensus predicate.
+  bool intra_block_consensus() const;
+
+  /// True iff all blocks' dominant colours are pairwise distinct — the
+  /// community-locked configuration of the plurality SBM workload
+  /// (each block stuck on its own colour; with intra_block_consensus
+  /// false it is a soft lock, majorities only).
+  bool distinct_block_majorities() const;
+};
+
+/// Tallies per-block per-colour counts in one pass. Throws
+/// std::invalid_argument on length mismatch, an out-of-range block id,
+/// or an opinion value >= q.
+BlockColourStats block_colour_stats(std::span<const OpinionValue> opinions,
+                                    std::span<const BlockId> block_of,
+                                    std::size_t num_blocks, unsigned q);
+
 }  // namespace b3v::core

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace b3v::core {
@@ -35,6 +36,22 @@ inline std::uint64_t count_blue(std::span<const OpinionValue> opinions) noexcept
 inline bool is_consensus(std::span<const OpinionValue> opinions) noexcept {
   const std::uint64_t blues = count_blue(opinions);
   return blues == 0 || blues == opinions.size();
+}
+
+/// Per-colour tally over q colours: counts[c] = #entries with value c.
+/// Throws std::invalid_argument on an entry >= q (a q-colour state must
+/// only hold colours in [0, q)).
+inline std::vector<std::uint64_t> count_colours(
+    std::span<const OpinionValue> opinions, unsigned q) {
+  std::vector<std::uint64_t> counts(q, 0);
+  for (const OpinionValue v : opinions) {
+    if (v >= q) {
+      throw std::invalid_argument(
+          "count_colours: opinion value out of range for q colours");
+    }
+    ++counts[v];
+  }
+  return counts;
 }
 
 }  // namespace b3v::core

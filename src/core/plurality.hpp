@@ -3,6 +3,21 @@
 // expanders by Cooper et al. [7]. Each vertex samples k neighbours and
 // adopts the most frequent colour in the sample; ties among the most
 // frequent colours are broken by PluralityTie.
+//
+// These are the raw per-round kernels. The first-class rule value is
+// core::plurality(k, q, tie) (protocol.hpp, RuleKind::kPlurality, the
+// "plurality-of-K/qQ[/TIE]" registry family) and runs go through the
+// multi-opinion overload of core::run (engine.hpp). With q = 2 the
+// plurality rule IS the binary rule: the constructor and the registry
+// collapse it onto Best-of-k, so the binary kernels — and the goldens
+// that pin their streams — run those values bit-for-bit.
+//
+// RNG discipline: neighbour draws use the same CounterRng(seed, round,
+// v, kDrawNeighbors) placement as the binary kernels, so for q = 2 the
+// sample stream is bit-for-bit step_best_of_k's. Tie-breaks draw from
+// the kDrawTie stream; kKeepOwn consumes no randomness at all (for
+// q = 2 / even k / keep-own the whole round is bit-for-bit
+// step_two_choices — tests/test_plurality.cpp pins both identities).
 #pragma once
 
 #include <array>
@@ -92,59 +107,6 @@ std::vector<std::uint64_t> step_plurality(
         for (unsigned c = 0; c < q; ++c) a[c] += b[c];
         return a;
       });
-}
-
-struct PluralityResult {
-  bool consensus = false;
-  OpinionValue winner = 0;     // meaningful iff consensus
-  std::uint64_t rounds = 0;
-  /// count_trajectory[t][c] = #vertices with colour c after round t.
-  std::vector<std::vector<std::uint64_t>> count_trajectory;
-};
-
-/// Runs synchronous plurality dynamics to consensus or `max_rounds`.
-/// Deterministic in (sampler, initial, seed), like run_sync.
-template <graph::NeighborSampler S>
-PluralityResult run_plurality_sync(const S& sampler, Opinions initial,
-                                   unsigned k, unsigned q, PluralityTie tie,
-                                   std::uint64_t seed, std::uint64_t max_rounds,
-                                   parallel::ThreadPool& pool,
-                                   bool record_trajectory = true) {
-  const std::size_t n = sampler.num_vertices();
-  PluralityResult result;
-  Opinions current = std::move(initial);
-  Opinions next(n);
-  std::vector<std::uint64_t> counts(q, 0);
-  for (const OpinionValue v : current) ++counts.at(v);
-  if (record_trajectory) result.count_trajectory.push_back(counts);
-
-  auto winner_if_consensus = [&](const std::vector<std::uint64_t>& c) {
-    for (unsigned colour = 0; colour < q; ++colour) {
-      if (c[colour] == n) return static_cast<int>(colour);
-    }
-    return -1;
-  };
-
-  for (std::uint64_t round = 0; round < max_rounds; ++round) {
-    const int w = winner_if_consensus(counts);
-    if (w >= 0) {
-      result.consensus = true;
-      result.winner = static_cast<OpinionValue>(w);
-      break;
-    }
-    counts = step_plurality(sampler, current, next, k, q, tie, seed, round, pool);
-    current.swap(next);
-    ++result.rounds;
-    if (record_trajectory) result.count_trajectory.push_back(counts);
-  }
-  if (!result.consensus) {
-    const int w = winner_if_consensus(counts);
-    if (w >= 0) {
-      result.consensus = true;
-      result.winner = static_cast<OpinionValue>(w);
-    }
-  }
-  return result;
 }
 
 }  // namespace b3v::core

@@ -8,6 +8,7 @@ namespace b3v::core {
 namespace {
 
 constexpr std::string_view kBestOfPrefix = "best-of-";
+constexpr std::string_view kPluralityPrefix = "plurality-of-";
 constexpr std::string_view kNoiseSuffix = "+noise=";
 
 bool parse_tie_token(std::string_view token, TieRule& out) {
@@ -16,6 +17,18 @@ bool parse_tie_token(std::string_view token, TieRule& out) {
   if (token == "prefer-red") { out = TieRule::kPreferRed; return true; }
   if (token == "prefer-blue") { out = TieRule::kPreferBlue; return true; }
   return false;
+}
+
+bool parse_plurality_tie_token(std::string_view token, PluralityTie& out) {
+  if (token == "keep-own") { out = PluralityTie::kKeepOwn; return true; }
+  if (token == "random") { out = PluralityTie::kRandom; return true; }
+  return false;
+}
+
+bool parse_uint(std::string_view text, unsigned& out) {
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), out);
+  return res.ec == std::errc{} && res.ptr == text.data() + text.size() &&
+         !text.empty();
 }
 
 /// Shortest decimal that parses back to exactly `value`.
@@ -34,7 +47,7 @@ std::string format_noise(double value) {
     if (i != 0) message += ", ";
     message += names[i];
   }
-  message += "; any of them with +noise=Q, Q in (0, 1])";
+  message += "; binary forms also take +noise=Q, Q in (0, 1])";
   throw std::invalid_argument(message);
 }
 
@@ -46,6 +59,14 @@ std::string_view name(TieRule tie) {
     case TieRule::kRandom: return "random";
     case TieRule::kPreferRed: return "prefer-red";
     case TieRule::kPreferBlue: return "prefer-blue";
+  }
+  return "random";
+}
+
+std::string_view name(PluralityTie tie) {
+  switch (tie) {
+    case PluralityTie::kKeepOwn: return "keep-own";
+    case PluralityTie::kRandom: return "random";
   }
   return "random";
 }
@@ -73,11 +94,43 @@ void validate(const Protocol& p) {
         "Protocol: two-choices is fixed at k = 2 / keep-own (construct it "
         "via core::two_choices())");
   }
+  if (p.kind == RuleKind::kPlurality) {
+    if (p.q < 3 || p.q > kMaxOpinions) {
+      throw std::invalid_argument(
+          "Protocol: plurality needs q in [3, 64] (q = 2 is the binary "
+          "rule — core::plurality collapses it onto best_of)");
+    }
+    if (p.k > 255) {
+      throw std::invalid_argument(
+          "Protocol: plurality k <= 255 (the kernel tallies samples in "
+          "8-bit counters)");
+    }
+    if (p.noise != 0.0) {
+      throw std::invalid_argument(
+          "Protocol: q-colour plurality has no noisy kernel (noise must "
+          "be 0 for kPlurality; binary rules take +noise=Q)");
+    }
+  } else if (p.q != 2) {
+    throw std::invalid_argument(
+        "Protocol: q != 2 is only meaningful for kPlurality");
+  }
 }
 
 std::string name(const Protocol& p) {
   validate(p);
   std::string base;
+  if (p.kind == RuleKind::kPlurality) {
+    base.append(kPluralityPrefix)
+        .append(std::to_string(p.k))
+        .append("/q")
+        .append(std::to_string(p.q));
+    // "random" is the default spelling; only keep-own is printed, so
+    // name(protocol_from_name(s)) is canonical and minimal.
+    if (p.ptie == PluralityTie::kKeepOwn) {
+      base.append(1, '/').append(name(p.ptie));
+    }
+    return base;
+  }
   if (p.kind == RuleKind::kTwoChoices) {
     base = "two-choices";
   } else if (p.k == 1) {
@@ -126,6 +179,49 @@ Protocol protocol_from_name(std::string_view spelling) {
     p.tie = TieRule::kKeepOwn;
     return p;
   }
+  if (rest.substr(0, kPluralityPrefix.size()) == kPluralityPrefix) {
+    // plurality-of-<k>/q<q>[/<tie>] — q = 2 collapses onto the binary
+    // best_of value (bit-for-bit the binary kernels), q >= 3 builds a
+    // kPlurality value.
+    std::string_view body = rest.substr(kPluralityPrefix.size());
+    const auto slash = body.find('/');
+    if (slash == std::string_view::npos) {
+      bad_name(spelling, "plurality needs a colour count: plurality-of-K/qQ");
+    }
+    unsigned k = 0;
+    if (!parse_uint(body.substr(0, slash), k) || k == 0) {
+      bad_name(spelling, "could not parse k (k >= 1)");
+    }
+    body = body.substr(slash + 1);
+    std::string_view q_text = body;
+    PluralityTie ptie = PluralityTie::kRandom;
+    if (const auto tie_slash = body.find('/');
+        tie_slash != std::string_view::npos) {
+      q_text = body.substr(0, tie_slash);
+      if (!parse_plurality_tie_token(body.substr(tie_slash + 1), ptie)) {
+        bad_name(spelling, "plurality tie rule must be random or keep-own");
+      }
+    }
+    unsigned q = 0;
+    if (q_text.substr(0, 1) != "q" || !parse_uint(q_text.substr(1), q)) {
+      bad_name(spelling, "could not parse the colour count 'qQ'");
+    }
+    if (q < 2 || q > kMaxOpinions) {
+      bad_name(spelling, "q must lie in [2, 64]");
+    }
+    if (p.noise > 0.0 && q > 2) {
+      bad_name(spelling, "q-colour plurality has no noisy kernel "
+                         "(+noise=Q needs q = 2)");
+    }
+    const double noise = p.noise;
+    p = plurality(k, q, ptie);
+    p.noise = noise;  // only reachable for the collapsed binary value
+    // Odd k never ties in the collapsed binary rule: normalise like
+    // the best-of parse so name(protocol_from_name(s)) is canonical.
+    if (p.kind == RuleKind::kBestOfK && k % 2 == 1) p.tie = TieRule::kRandom;
+    validate(p);  // e.g. the kernel's k <= 255 tally bound
+    return p;
+  }
   if (rest.substr(0, kBestOfPrefix.size()) != kBestOfPrefix) {
     bad_name(spelling, "unrecognised rule");
   }
@@ -157,8 +253,15 @@ Protocol protocol_from_name(std::string_view spelling) {
 }
 
 std::vector<std::string> known_protocol_names() {
-  return {"voter", "two-choices", "best-of-3", "best-of-5",
-          "best-of-2/keep-own", "best-of-2/random", "best-of-K[/TIE]"};
+  return {"voter",
+          "two-choices",
+          "best-of-3",
+          "best-of-5",
+          "best-of-2/keep-own",
+          "best-of-2/random",
+          "best-of-K[/TIE]",
+          "plurality-of-3/q3",
+          "plurality-of-K/qQ[/TIE]"};
 }
 
 }  // namespace b3v::core

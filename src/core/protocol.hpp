@@ -10,12 +10,22 @@
 //                                   kernel, bit-for-bit Best-of-2/keep-own)
 //   voter()                         Best-of-1 (no drift)
 //   best_of(3, kRandom, 0.1)        noisy Best-of-3, fault rate 0.1
+//   plurality(3, 4)                 q = 4 colour plurality-of-3
 //
 // The string registry (protocol_from_name / name) gives every value a
 // canonical spelling — "best-of-3", "two-choices", "voter",
-// "best-of-2/keep-own", "best-of-3+noise=0.1" — so drivers take
-// `--rule=` and tables label rows without per-rule branching. The
-// single run entry point over Protocols lives in core/engine.hpp.
+// "best-of-2/keep-own", "best-of-3+noise=0.1",
+// "plurality-of-3/q4/keep-own" — so drivers take `--rule=` and tables
+// label rows without per-rule branching. The single run entry point
+// over Protocols lives in core/engine.hpp (q-colour rules run through
+// its multi-opinion overload).
+//
+// Canonicalisation: q = 2 plurality IS the binary rule, so both the
+// plurality() constructor and the registry collapse
+// "plurality-of-K/q2[/TIE]" onto best_of(K, TIE) — one Protocol value
+// per behaviour, and the q2 spelling runs the binary kernels (and
+// therefore the pinned golden streams) bit-for-bit. kPlurality values
+// always carry q >= 3.
 //
 // RNG discipline: dispatching through a Protocol NEVER moves a random
 // draw. step_protocol routes to the exact kernels of dynamics.hpp
@@ -33,6 +43,7 @@
 
 #include "core/dynamics.hpp"
 #include "core/opinion.hpp"
+#include "core/plurality.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -44,26 +55,40 @@ namespace b3v::core {
 enum class RuleKind : std::uint8_t {
   kBestOfK,     // majority of k uniform samples, TieRule on even k
   kTwoChoices,  // adopt iff two samples agree, else keep own
+  kPlurality,   // most frequent of k samples over q >= 3 colours
 };
 
-/// A voting rule as a value: rule kind × k × tie rule × noise.
+/// A voting rule as a value: rule kind × k × tie rule × noise, plus
+/// the colour count q and plurality tie rule for kPlurality.
 /// `noise` is the per-vertex fault probability (adopt a fair coin
 /// instead of the sampled outcome); 0 = the noiseless dynamics.
+/// Invariants (enforced by validate): q == 2 unless kind ==
+/// kPlurality, which requires 3 <= q <= kMaxOpinions; `tie` is the
+/// binary tie rule (ignored by kPlurality), `ptie` the plurality one
+/// (ignored by the binary kinds) — both stay at their defaults where
+/// unused so operator== never distinguishes behaviourally equal values.
 struct Protocol {
   RuleKind kind = RuleKind::kBestOfK;
   unsigned k = 3;
   TieRule tie = TieRule::kRandom;
   double noise = 0.0;
+  unsigned q = 2;                             // colours (2 = binary)
+  PluralityTie ptie = PluralityTie::kRandom;  // kPlurality ties only
 
-  /// The sample count / tie rule the kernels actually run: kTwoChoices
+  /// The sample count / tie rule the BINARY kernels run: kTwoChoices
   /// draws Best-of-2/keep-own samples (the documented bit-for-bit
-  /// identity). Every dispatch site uses these, so a future RuleKind
-  /// only needs its mapping added here.
+  /// identity). Every binary dispatch site uses these; kPlurality is
+  /// dispatched by step_protocol_multi instead.
   constexpr unsigned effective_k() const {
     return kind == RuleKind::kTwoChoices ? 2 : k;
   }
   constexpr TieRule effective_tie() const {
     return kind == RuleKind::kTwoChoices ? TieRule::kKeepOwn : tie;
+  }
+
+  /// Number of colours the rule's state space carries.
+  constexpr unsigned num_colours() const {
+    return kind == RuleKind::kPlurality ? q : 2;
   }
 
   bool operator==(const Protocol&) const = default;
@@ -85,8 +110,28 @@ constexpr Protocol voter(double noise = 0.0) {
   return Protocol{RuleKind::kBestOfK, 1, TieRule::kRandom, noise};
 }
 
+/// q-colour plurality-of-k. q = 2 collapses onto the binary rule
+/// (best_of with the mapped tie rule) so the two-colour slice is ONE
+/// Protocol value and runs the binary kernels bit-for-bit; q >= 3
+/// builds a kPlurality value.
+constexpr Protocol plurality(unsigned k, unsigned q,
+                             PluralityTie tie = PluralityTie::kRandom) {
+  if (q == 2) {
+    return best_of(k, tie == PluralityTie::kKeepOwn ? TieRule::kKeepOwn
+                                                    : TieRule::kRandom);
+  }
+  Protocol p;
+  p.kind = RuleKind::kPlurality;
+  p.k = k;
+  p.q = q;
+  p.ptie = tie;
+  return p;
+}
+
 /// Throws std::invalid_argument unless p is runnable (k >= 1, noise in
-/// [0, 1], two-choices with its fixed k = 2 / keep-own shape).
+/// [0, 1], two-choices with its fixed k = 2 / keep-own shape, q = 2
+/// unless kPlurality which needs 3 <= q <= kMaxOpinions and noise 0 —
+/// there is no q-colour noisy kernel yet).
 void validate(const Protocol& p);
 
 /// True iff `p` runs the two-choices update — either kind kTwoChoices
@@ -106,34 +151,51 @@ std::string_view name(TieRule tie);
 /// throws std::invalid_argument on anything else.
 TieRule tie_rule_from_name(std::string_view token);
 
+/// Canonical registry token of a plurality tie rule: "random" or
+/// "keep-own".
+std::string_view name(PluralityTie tie);
+
 /// Canonical name of a protocol:
 ///   "voter"                         Best-of-1
 ///   "best-of-<k>"                   odd k (tie rule unreachable)
 ///   "best-of-<k>/<tie>"             even k; tie in {random, keep-own,
 ///                                   prefer-red, prefer-blue}
 ///   "two-choices"                   the dedicated kind
+///   "plurality-of-<k>/q<q>"         q >= 3 colours, random tie
+///   "plurality-of-<k>/q<q>/keep-own"  keep-own tie
 /// with "+noise=<q>" appended when noise > 0 (shortest round-trip
 /// formatting, so protocol_from_name(name(p)) == p exactly).
 std::string name(const Protocol& p);
 
 /// Parses a protocol name. Accepts every canonical spelling above plus
-/// the aliases "best-of-1" (= voter) and an explicit tie on odd k
-/// (ignored by the dynamics, normalised away by name()). Throws
-/// std::invalid_argument, listing the known forms, on anything else.
+/// the aliases "best-of-1" (= voter), an explicit tie on odd k
+/// (ignored by the dynamics, normalised away by name()), an explicit
+/// "/random" plurality tie, and "plurality-of-K/q2[/TIE]" — which
+/// collapses onto the binary best_of(K, TIE) value, so the q = 2
+/// spelling runs the binary kernels (and the pinned goldens)
+/// bit-for-bit. Throws std::invalid_argument, listing the known forms,
+/// on anything else.
 Protocol protocol_from_name(std::string_view spelling);
 
 /// The registry's canonical example names (for --help text and error
 /// messages): voter, two-choices, best-of-3, best-of-2/keep-own, ...
 std::vector<std::string> known_protocol_names();
 
-/// One round of `p` on any sampler: routes to the exact kernels of
-/// dynamics.hpp, preserving their RNG placement bit-for-bit. Returns
-/// the blue count of the written `next` buffer.
+/// One round of a BINARY `p` on any sampler: routes to the exact
+/// kernels of dynamics.hpp, preserving their RNG placement bit-for-bit.
+/// Returns the blue count of the written `next` buffer. kPlurality
+/// values (q >= 3 by construction) are refused: their state space is
+/// not blue/red, use step_protocol_multi.
 template <graph::NeighborSampler S>
 std::uint64_t step_protocol(const S& sampler, const Protocol& p,
                             std::span<const OpinionValue> current,
                             std::span<OpinionValue> next, std::uint64_t seed,
                             std::uint64_t round, parallel::ThreadPool& pool) {
+  if (p.kind == RuleKind::kPlurality) {
+    throw std::invalid_argument(
+        "step_protocol: q-colour plurality has no binary round — use "
+        "step_protocol_multi (or the multi-opinion core::run overload)");
+  }
   // effective_k/effective_tie fold kTwoChoices to Best-of-2/keep-own
   // draws (the documented bit-for-bit identity), so the noisy path
   // needs no dedicated two-choices kernel.
@@ -146,6 +208,24 @@ std::uint64_t step_protocol(const S& sampler, const Protocol& p,
   }
   return step_best_of_k(sampler, current, next, p.effective_k(),
                         p.effective_tie(), seed, round, pool);
+}
+
+/// One round of ANY `p` over its num_colours()-colour state space;
+/// returns per-colour counts of the written `next` buffer. Binary
+/// rules route through step_protocol — the exact binary kernels, same
+/// streams — and report {red, blue}; kPlurality runs step_plurality.
+template <graph::NeighborSampler S>
+std::vector<std::uint64_t> step_protocol_multi(
+    const S& sampler, const Protocol& p,
+    std::span<const OpinionValue> current, std::span<OpinionValue> next,
+    std::uint64_t seed, std::uint64_t round, parallel::ThreadPool& pool) {
+  if (p.kind == RuleKind::kPlurality) {
+    return step_plurality(sampler, current, next, p.k, p.q, p.ptie, seed,
+                          round, pool);
+  }
+  const std::uint64_t blue =
+      step_protocol(sampler, p, current, next, seed, round, pool);
+  return {static_cast<std::uint64_t>(current.size()) - blue, blue};
 }
 
 }  // namespace b3v::core

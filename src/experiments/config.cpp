@@ -97,10 +97,23 @@ ExperimentConfig config_from_env() {
 }
 
 std::vector<core::Protocol> ExperimentConfig::protocols_or(
-    std::vector<core::Protocol> defaults) const {
+    std::vector<core::Protocol> defaults, unsigned max_colours) const {
   rule_consulted_ = true;
   if (rule.empty()) return defaults;
-  return {core::protocol_from_name(rule)};
+  const core::Protocol p = core::protocol_from_name(rule);
+  if (p.num_colours() > max_colours) {
+    // Parse-time validation (apply_flag) only checks the registry;
+    // whether a driver can run a q-colour state space is known here.
+    // Exit like a bad flag would — the alternative is an uncaught
+    // invalid_argument from the engine, long after the graphs built.
+    std::cerr << "b3v: --rule=" << rule << " runs " << p.num_colours()
+              << " colours, but this driver is "
+              << (max_colours == 2 ? "two-party" : "narrower") << " (max "
+              << max_colours << "); q-colour rules run in exp_plurality or "
+              << "b3vsim\n";
+    std::exit(2);
+  }
+  return {p};
 }
 
 bool apply_flag(ExperimentConfig& cfg, const std::string& arg,

@@ -15,7 +15,8 @@
 //   B3V_RULE    / --rule=NAME   restrict the run to one voting rule by
 //                               registry name (core/protocol.hpp), e.g.
 //                               best-of-3, two-choices, best-of-5,
-//                               best-of-2/keep-own, best-of-3+noise=0.1
+//                               best-of-2/keep-own, best-of-3+noise=0.1,
+//                               plurality-of-3/q3/keep-own
 //
 // Sweeps must be derived from the *scaled* sizes (see sweep.hpp), never
 // from fixed lists: a fixed degree list that was feasible at scale 1
@@ -64,9 +65,14 @@ struct ExperimentConfig {
   /// The rules this run iterates: the driver's `defaults` unless a
   /// `--rule=` / B3V_RULE override restricts the run to that single
   /// protocol. Rule-comparing drivers loop over the returned values
-  /// instead of calling per-rule functions.
+  /// instead of calling per-rule functions. `max_colours` is the
+  /// widest state space the driver can run: the default 2 marks a
+  /// two-party driver, and an override whose num_colours() exceeds it
+  /// exits 2 with a clear message (the same clean error channel as a
+  /// bad flag — NOT an uncaught throw from deep inside the run).
+  /// Drivers on the multi-opinion engine path pass core::kMaxOpinions.
   std::vector<core::Protocol> protocols_or(
-      std::vector<core::Protocol> defaults) const;
+      std::vector<core::Protocol> defaults, unsigned max_colours = 2) const;
 
   /// True once protocols_or has been called. Session::finish uses this
   /// to warn loudly when --rule was given to a driver whose protocol

@@ -1,8 +1,22 @@
 #include "experiments/runner.hpp"
 
+#include "core/initializer.hpp"
+#include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
 
 namespace b3v::experiments {
+
+core::SimResult theorem1_run(const graph::Graph& g, double delta,
+                             std::uint64_t seed, parallel::ThreadPool& pool,
+                             std::uint64_t max_rounds) {
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = seed;
+  spec.max_rounds = max_rounds;
+  core::Opinions initial = core::iid_bernoulli(
+      g.num_vertices(), 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+  return run_recorded(graph::CsrSampler(g), std::move(initial), spec, pool);
+}
 
 ConsensusAggregate aggregate_runs(
     std::size_t reps, std::uint64_t base_seed,

@@ -15,11 +15,44 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "analysis/stats.hpp"
-#include "core/simulator.hpp"
+#include "core/engine.hpp"
+#include "graph/graph.hpp"
 
 namespace b3v::experiments {
+
+/// core::run with the blue trajectory recorded into the result — the
+/// result shape the trajectory-consuming drivers and tests read
+/// (SimResult::blue_trajectory / blue_fraction). Purely plumbing over
+/// the one engine entry point: any observer already on `spec` is
+/// chained after the recorder.
+template <graph::NeighborSampler S>
+core::SimResult run_recorded(const S& sampler, core::Opinions initial,
+                             core::RunSpec spec, parallel::ThreadPool& pool) {
+  std::vector<std::uint64_t> trajectory;
+  if (spec.observer) {
+    spec.observer = core::observers::chain(
+        core::observers::record_trajectory(trajectory),
+        std::move(spec.observer));
+  } else {
+    spec.observer = core::observers::record_trajectory(trajectory);
+  }
+  core::SimResult result = core::run(sampler, std::move(initial), spec, pool);
+  result.blue_trajectory = std::move(trajectory);
+  return result;
+}
+
+/// The paper's headline setting in one call: i.i.d.
+/// Bernoulli(1/2 - delta) start (stream derive_stream(seed, 0xB10E) —
+/// the placement every Theorem-1 driver shares), Best-of-3 through
+/// core::run, trajectory recorded. The Theorem 1 claim is
+/// (consensus && winner == Red && rounds small).
+core::SimResult theorem1_run(const graph::Graph& g, double delta,
+                             std::uint64_t seed, parallel::ThreadPool& pool,
+                             std::uint64_t max_rounds = 10000);
 
 /// Aggregate of repeated Theorem-1-style runs.
 struct ConsensusAggregate {

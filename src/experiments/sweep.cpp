@@ -122,37 +122,43 @@ std::vector<double> geometric_grid(double first, double last,
   return grid;
 }
 
-std::uint32_t max_feasible_sbm_degree(std::size_t n) {
-  // p_in = (1 + lambda) d/n <= 1 for every lambda <= 1 needs d <= n/2;
-  // cap at n/4 for the same 2x safety margin the other families keep.
-  if (n < 8) return 0;
-  return static_cast<std::uint32_t>(n / 4);
+std::uint32_t max_feasible_sbm_degree(std::size_t n, std::uint32_t blocks) {
+  // p_in = (1 + (blocks-1) lambda) d/n <= 1 for every lambda <= 1
+  // needs d <= n/blocks; cap at n/(2*blocks) for the same 2x safety
+  // margin the other families keep. (blocks = 2: the historical n/4.)
+  if (blocks < 2 || n < 4 * static_cast<std::size_t>(blocks)) return 0;
+  return static_cast<std::uint32_t>(n / (2 * blocks));
 }
 
-std::uint32_t snap_sbm_degree(std::size_t n, std::uint32_t d) {
-  const std::uint32_t hi = max_feasible_sbm_degree(n);
+std::uint32_t snap_sbm_degree(std::size_t n, std::uint32_t d,
+                              std::uint32_t blocks) {
+  const std::uint32_t hi = max_feasible_sbm_degree(n, blocks);
   if (hi == 0) return 0;
   return std::clamp<std::uint32_t>(d, 1, hi);
 }
 
 std::vector<SbmPoint> sbm_lambda_grid(std::size_t n, std::uint32_t d,
                                       double lambda_lo, double lambda_hi,
-                                      std::size_t points) {
+                                      std::size_t points,
+                                      std::uint32_t blocks) {
   std::vector<SbmPoint> grid;
-  const std::uint32_t degree = snap_sbm_degree(n, d);
+  const std::uint32_t degree = snap_sbm_degree(n, d, blocks);
   if (degree == 0 || points == 0) return grid;
   lambda_lo = std::clamp(lambda_lo, 0.0, 1.0);
   lambda_hi = std::clamp(lambda_hi, 0.0, 1.0);
-  const double pair_sum =
-      2.0 * static_cast<double>(degree) / static_cast<double>(n);
+  // base = d/n; p_in = base (1 + (blocks-1) lambda) realises expected
+  // degree d at every lambda. (For blocks = 2 these are bit-for-bit
+  // the historical 0.5 * (2d/n) * (1 ± lambda) expressions.)
+  const double base = static_cast<double>(degree) / static_cast<double>(n);
+  const double cross = static_cast<double>(blocks - 1);
   grid.reserve(points);
   for (std::size_t i = 0; i < points; ++i) {
     const double frac =
         points == 1 ? 1.0
                     : static_cast<double>(i) / static_cast<double>(points - 1);
     const double lambda = lambda_lo + (lambda_hi - lambda_lo) * frac;
-    grid.push_back({lambda, 0.5 * pair_sum * (1.0 + lambda),
-                    0.5 * pair_sum * (1.0 - lambda)});
+    grid.push_back(
+        {lambda, base * (1.0 + cross * lambda), base * (1.0 - lambda)});
   }
   return grid;
 }

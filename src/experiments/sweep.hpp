@@ -73,17 +73,23 @@ std::vector<double> geometric_grid(double first, double last,
                                    std::size_t points);
 
 // ---------------------------------------------------------------------
-// Symmetric two-block SBM family (graph::two_block_sbm)
+// Symmetric k-block SBM family (graph::k_block_sbm; blocks = 2 is
+// graph::two_block_sbm)
 // ---------------------------------------------------------------------
 //
-// Parameterised by the scaled n, a target expected degree d, and the
-// mixing parameter lambda = (p_in - p_out)/(p_in + p_out) of Shimizu &
-// Shiraga (arXiv:1907.12212). Fixing the expected degree across the
-// lambda axis — p_in + p_out = 2d/n, so p_in = (1+lambda) d/n and
-// p_out = (1-lambda) d/n — keeps density and mixing orthogonal: a
-// lambda sweep moves ONLY the community structure. Feasibility is
-// p_in <= 1 at the largest lambda, i.e. d <= n/2; the cap below keeps
-// a 2x margin the same way kRandomRegular/kWattsStrogatz do.
+// Parameterised by the scaled n, a target expected degree d, the block
+// count, and the mixing parameter
+//   lambda = (p_in - p_out) / (p_in + (blocks-1) p_out)
+// generalising Shimizu & Shiraga (arXiv:1907.12212; their two-block
+// lambda is the blocks = 2 slice). Fixing the expected degree across
+// the lambda axis — p_in + (blocks-1) p_out = blocks*d/n, so
+// p_in = (1 + (blocks-1) lambda) d/n and p_out = (1 - lambda) d/n —
+// keeps density and mixing orthogonal: a lambda sweep moves ONLY the
+// community structure, and a uniformly sampled neighbour lies in the
+// own block with probability (1 + (blocks-1) lambda)/blocks.
+// Feasibility is p_in <= 1 at the largest lambda, i.e. d <= n/blocks;
+// the cap below keeps a 2x margin the same way
+// kRandomRegular/kWattsStrogatz do.
 
 /// One realisable point of the lambda-parameterised family.
 struct SbmPoint {
@@ -92,20 +98,25 @@ struct SbmPoint {
   double p_out = 0.0;
 };
 
-/// Largest expected degree the two-block family realises at this n for
-/// every lambda in [0, 1] (p_in <= 1 with margin); 0 if n < 8.
-std::uint32_t max_feasible_sbm_degree(std::size_t n);
+/// Largest expected degree the k-block family realises at this n for
+/// every lambda in [0, 1] (p_in <= 1 with margin); 0 if n < 4*blocks.
+std::uint32_t max_feasible_sbm_degree(std::size_t n,
+                                      std::uint32_t blocks = 2);
 
-/// Target expected degree clamped to [1, max_feasible_sbm_degree(n)];
-/// 0 if the family has no feasible degree at n.
-std::uint32_t snap_sbm_degree(std::size_t n, std::uint32_t d);
+/// Target expected degree clamped to
+/// [1, max_feasible_sbm_degree(n, blocks)]; 0 if the family has no
+/// feasible degree at n.
+std::uint32_t snap_sbm_degree(std::size_t n, std::uint32_t d,
+                              std::uint32_t blocks = 2);
 
 /// `points` evenly spaced lambda values in [lambda_lo, lambda_hi] with
-/// (p_in, p_out) realising expected degree snap_sbm_degree(n, d) at
-/// each. Empty iff no degree is feasible or points == 0; lambda bounds
-/// are clamped to [0, 1].
+/// (p_in, p_out) realising expected degree snap_sbm_degree(n, d,
+/// blocks) at each. Empty iff no degree is feasible or points == 0;
+/// lambda bounds are clamped to [0, 1]. The blocks = 2 default is
+/// bit-for-bit the historical two-block grid.
 std::vector<SbmPoint> sbm_lambda_grid(std::size_t n, std::uint32_t d,
                                       double lambda_lo, double lambda_hi,
-                                      std::size_t points);
+                                      std::size_t points,
+                                      std::uint32_t blocks = 2);
 
 }  // namespace b3v::experiments

@@ -229,14 +229,39 @@ std::vector<std::uint32_t> sbm_block_assignment(
   return block_of;
 }
 
+std::vector<VertexId> k_block_sizes(VertexId n, std::uint32_t k) {
+  if (k == 0) throw std::invalid_argument("k_block_sizes: k >= 1");
+  if (n < 2 * k) {
+    throw std::invalid_argument("k_block_sizes: n must be >= 2k");
+  }
+  // floor(n/k) everywhere, the n % k remainder distributed over the
+  // LAST blocks: for k = 2 this is {n/2, n - n/2}, the exact split
+  // two_block_sbm has always used.
+  std::vector<VertexId> sizes(k, n / k);
+  const std::uint32_t remainder = n % k;
+  for (std::uint32_t b = k - remainder; b < k; ++b) ++sizes[b];
+  return sizes;
+}
+
+Graph k_block_sbm(VertexId n, std::uint32_t k, double p_in, double p_out,
+                  std::uint64_t seed) {
+  if (p_in < 0.0 || p_in > 1.0 || p_out < 0.0 || p_out > 1.0) {
+    throw std::invalid_argument("k_block_sbm: probabilities out of [0,1]");
+  }
+  const std::vector<VertexId> sizes = k_block_sizes(n, k);
+  std::vector<std::vector<double>> probs(k, std::vector<double>(k, p_out));
+  for (std::uint32_t b = 0; b < k; ++b) probs[b][b] = p_in;
+  return stochastic_block_model(sizes, probs, seed);
+}
+
+std::vector<std::uint32_t> sbm_block_assignment(VertexId n, std::uint32_t k) {
+  return sbm_block_assignment(k_block_sizes(n, k));
+}
+
 Graph two_block_sbm(VertexId n, double p_in, double p_out,
                     std::uint64_t seed) {
   if (n < 4) throw std::invalid_argument("two_block_sbm: n must be >= 4");
-  if (p_in < 0.0 || p_in > 1.0 || p_out < 0.0 || p_out > 1.0) {
-    throw std::invalid_argument("two_block_sbm: probabilities out of [0,1]");
-  }
-  const std::vector<VertexId> sizes{n / 2, n - n / 2};
-  return stochastic_block_model(sizes, {{p_in, p_out}, {p_out, p_in}}, seed);
+  return k_block_sbm(n, 2, p_in, p_out, seed);
 }
 
 }  // namespace b3v::graph

@@ -96,11 +96,32 @@ Graph stochastic_block_model(const std::vector<VertexId>& sizes,
 std::vector<std::uint32_t> sbm_block_assignment(
     const std::vector<VertexId>& sizes);
 
+/// The near-equal block split the symmetric k-block family uses:
+/// k blocks of floor(n/k) or ceil(n/k) vertices, the larger blocks
+/// LAST — so k_block_sizes(n, 2) is exactly two_block_sbm's historical
+/// {n/2, n - n/2} split and the k = 2 slice stays bit-for-bit.
+std::vector<VertexId> k_block_sizes(VertexId n, std::uint32_t k);
+
+/// Symmetric k-block SBM on n vertices (blocks per k_block_sizes):
+/// within-block edge probability p_in, every cross-block pair p_out.
+/// Generalises the mixing parameterisation of Shimizu & Shiraga
+/// (arXiv:1907.12212) — lambda = (p_in - p_out)/(p_in + (k-1) p_out);
+/// see experiments::sbm_lambda_grid for deriving feasible
+/// (p_in, p_out) from a target expected degree. k = 2 with the same
+/// seed is bit-for-bit two_block_sbm.
+Graph k_block_sbm(VertexId n, std::uint32_t k, double p_in, double p_out,
+                  std::uint64_t seed);
+
+/// Block assignment of k_block_sbm(n, k, ...): block_of[v] for the
+/// contiguous k_block_sizes(n, k) layout.
+std::vector<std::uint32_t> sbm_block_assignment(VertexId n, std::uint32_t k);
+
 /// Symmetric two-block SBM on n vertices (blocks of n/2 and n - n/2):
 /// within-block edge probability p_in, cross-block p_out. In the
 /// mixing parameterisation lambda = (p_in - p_out)/(p_in + p_out) of
 /// Shimizu & Shiraga (arXiv:1907.12212); see experiments::sbm_lambda_grid
 /// for deriving feasible (p_in, p_out) from a target expected degree.
+/// The k = 2 slice of k_block_sbm (delegates; same RNG stream).
 Graph two_block_sbm(VertexId n, double p_in, double p_out,
                     std::uint64_t seed);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "theory/binomial.hpp"
 
@@ -256,6 +257,227 @@ double sbm_locked_magnetization(double lambda, bool two_choices) {
     s = next;
   }
   return 0.5 * (s.a - s.b);
+}
+
+// ---------------------------------------------------------------------
+// q-colour plurality mean-field
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Recursively enumerates every count vector (c_0, ..., c_{q-1}) with
+/// sum k, calling visit(counts, multinomial coefficient * prod
+/// sample_c^{c_c}).
+template <typename Visit>
+void enumerate_samples(std::span<const double> sample, unsigned k,
+                       std::vector<unsigned>& counts, unsigned colour,
+                       unsigned remaining, double weight, double coeff,
+                       const Visit& visit) {
+  const auto q = static_cast<unsigned>(sample.size());
+  if (colour + 1 == q) {
+    // The last colour takes every remaining slot: C(remaining,
+    // remaining) = 1, only the probability factor is left.
+    counts[colour] = remaining;
+    double w = weight * coeff;
+    for (unsigned i = 0; i < remaining; ++i) w *= sample[colour];
+    visit(counts, w);
+    return;
+  }
+  for (unsigned c = 0; c <= remaining; ++c) {
+    counts[colour] = c;
+    double w = weight;
+    double binom = coeff;  // running k!/(prod c_i!) via C(remaining, c)
+    for (unsigned i = 0; i < c; ++i) {
+      w *= sample[colour];
+      binom *= static_cast<double>(remaining - i) / static_cast<double>(i + 1);
+    }
+    enumerate_samples(sample, k, counts, colour + 1, remaining - c, w, binom,
+                      visit);
+  }
+}
+
+void check_simplex(std::span<const double> x, const char* what) {
+  double total = 0.0;
+  for (const double p : x) {
+    if (!(p >= -1e-12)) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": negative colour fraction");
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument(std::string(what) +
+                                ": colour fractions must sum to 1");
+  }
+}
+
+}  // namespace
+
+std::vector<double> plurality_drift(std::span<const double> sample,
+                                    std::span<const double> own, unsigned k,
+                                    bool keep_own_tie) {
+  const auto q = static_cast<unsigned>(sample.size());
+  if (q < 2 || own.size() != sample.size()) {
+    throw std::invalid_argument(
+        "plurality_drift: q >= 2 and matching sample/own sizes");
+  }
+  if (k == 0 || k > 16 || q > 16) {
+    throw std::invalid_argument(
+        "plurality_drift: exact enumeration needs k, q in [1, 16]");
+  }
+  check_simplex(sample, "plurality_drift(sample)");
+  check_simplex(own, "plurality_drift(own)");
+
+  std::vector<double> out(q, 0.0);
+  double tie_mass = 0.0;  // total probability of a tied plurality
+  std::vector<unsigned> counts(q, 0);
+  enumerate_samples(
+      sample, k, counts, 0, k, 1.0, 1.0,
+      [&](const std::vector<unsigned>& c, double weight) {
+        if (weight == 0.0) return;
+        unsigned best = 0;
+        for (unsigned colour = 1; colour < q; ++colour) {
+          if (c[colour] > c[best]) best = colour;
+        }
+        unsigned num_tied = 0;
+        for (unsigned colour = 0; colour < q; ++colour) {
+          num_tied += c[colour] == c[best];
+        }
+        if (num_tied == 1) {
+          out[best] += weight;
+        } else if (keep_own_tie) {
+          tie_mass += weight;
+        } else {
+          const double share = weight / static_cast<double>(num_tied);
+          for (unsigned colour = 0; colour < q; ++colour) {
+            if (c[colour] == c[best]) out[colour] += share;
+          }
+        }
+      });
+  if (keep_own_tie && tie_mass > 0.0) {
+    // On a tie the vertex keeps its own colour, whatever it is — the
+    // tie event is independent of the updater's colour, so the mass
+    // distributes as `own`.
+    for (unsigned colour = 0; colour < q; ++colour) {
+      out[colour] += tie_mass * own[colour];
+    }
+  }
+  // The exact map preserves total mass; the floating-point sum picks
+  // up O(eps) drift that the map then AMPLIFIES (~3x per iteration),
+  // so long trajectories would walk off the simplex. Renormalise.
+  double total = 0.0;
+  for (const double p : out) total += p;
+  for (double& p : out) p /= total;
+  return out;
+}
+
+std::vector<std::vector<double>> plurality_meanfield_trajectory(
+    std::vector<double> x0, unsigned k, bool keep_own_tie, int steps) {
+  std::vector<std::vector<double>> traj;
+  traj.reserve(static_cast<std::size_t>(steps) + 1);
+  traj.push_back(std::move(x0));
+  for (int t = 0; t < steps; ++t) {
+    traj.push_back(plurality_drift(traj.back(), traj.back(), k, keep_own_tie));
+  }
+  return traj;
+}
+
+std::vector<std::vector<double>> sbm_plurality_step(
+    const std::vector<std::vector<double>>& blocks, double lambda, unsigned k,
+    bool keep_own_tie) {
+  const std::size_t num_blocks = blocks.size();
+  if (num_blocks < 2) {
+    throw std::invalid_argument("sbm_plurality_step: >= 2 blocks");
+  }
+  if (lambda < 0.0 || lambda > 1.0) {
+    throw std::invalid_argument("sbm_plurality_step: lambda out of [0,1]");
+  }
+  const std::size_t q = blocks.front().size();
+  const double inv_b = 1.0 / static_cast<double>(num_blocks);
+  const double w_in =
+      (1.0 + (static_cast<double>(num_blocks) - 1.0) * lambda) * inv_b;
+  const double w_out = (1.0 - lambda) * inv_b;
+  std::vector<std::vector<double>> next(num_blocks);
+  for (std::size_t i = 0; i < num_blocks; ++i) {
+    if (blocks[i].size() != q) {
+      throw std::invalid_argument("sbm_plurality_step: ragged block state");
+    }
+    std::vector<double> sample(q, 0.0);
+    for (std::size_t j = 0; j < num_blocks; ++j) {
+      const double w = j == i ? w_in : w_out;
+      for (std::size_t c = 0; c < q; ++c) sample[c] += w * blocks[j][c];
+    }
+    next[i] = plurality_drift(sample, blocks[i], k, keep_own_tie);
+  }
+  return next;
+}
+
+double sbm_plurality_locked_overlap(double lambda, unsigned q, unsigned k,
+                                    bool keep_own_tie) {
+  if (q < 2) {
+    throw std::invalid_argument("sbm_plurality_locked_overlap: q >= 2");
+  }
+  // Diagonal start (block i on its home colour i) with a small global
+  // bias toward colour 0 — the drift-stability probe: below the lock
+  // threshold the bias rides the unstable global mode and colour 0
+  // sweeps every block; above it the locked point contracts the bias
+  // away. eps small enough to start inside the locked basin, iteration
+  // budget large enough for the ~(growth rate)^-1 escape time near
+  // threshold.
+  constexpr double kEps = 1e-3;
+  std::vector<std::vector<double>> blocks(q, std::vector<double>(q, 0.0));
+  for (unsigned i = 0; i < q; ++i) {
+    blocks[i][i] = 1.0 - (i == 0 ? 0.0 : kEps);
+    blocks[i][0] += i == 0 ? 0.0 : kEps;
+  }
+  for (int t = 0; t < 4096; ++t) {
+    auto next = sbm_plurality_step(blocks, lambda, k, keep_own_tie);
+    double delta = 0.0;
+    for (unsigned i = 0; i < q; ++i) {
+      for (unsigned c = 0; c < q; ++c) {
+        delta += std::abs(next[i][c] - blocks[i][c]);
+      }
+    }
+    blocks = std::move(next);
+    if (delta < 1e-14) break;
+  }
+  // Locked iff every block still holds its own colour as the strict
+  // majority; otherwise the global bias swept the diagonal away.
+  double home = 0.0;
+  for (unsigned i = 0; i < q; ++i) {
+    double best = 0.0;
+    unsigned best_colour = 0;
+    for (unsigned c = 0; c < q; ++c) {
+      if (blocks[i][c] > best) {
+        best = blocks[i][c];
+        best_colour = c;
+      }
+    }
+    if (best_colour != i) return 0.0;
+    home += blocks[i][i];
+  }
+  home /= static_cast<double>(q);
+  const double uniform = 1.0 / static_cast<double>(q);
+  return std::max(0.0, (home - uniform) / (1.0 - uniform));
+}
+
+double sbm_plurality_lock_threshold(unsigned q, unsigned k,
+                                    bool keep_own_tie) {
+  // The overlap is 0 below the threshold and jumps above it; 40
+  // bisection steps pin the jump to ~1e-12 of probe resolution.
+  double lo = 0.0, hi = 1.0;
+  if (sbm_plurality_locked_overlap(hi, q, k, keep_own_tie) <= 0.0) {
+    return 1.0;  // never locks (e.g. voter-like k = 1)
+  }
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (sbm_plurality_locked_overlap(mid, q, k, keep_own_tie) > 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
 }
 
 }  // namespace b3v::theory

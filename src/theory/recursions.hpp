@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace b3v::theory {
@@ -179,5 +180,77 @@ double sbm_lock_threshold_two_choices();    // (sqrt 5 - 1)/2
 /// fixed point reached from the fully polarised start (a, b) = (1, 0)
 /// by iterating the coupled map.
 double sbm_locked_magnetization(double lambda, bool two_choices);
+
+// ---------------------------------------------------------------------
+// q-colour plurality mean-field (the quasi-majority generalisation,
+// Shimizu & Shiraga arXiv:2002.07411; Becchetti et al. [2])
+// ---------------------------------------------------------------------
+//
+// State: a point x on the simplex Delta_{q-1} (colour fractions). One
+// plurality-of-k round on the mean-field (complete-graph) limit maps
+// x to x' where x'_c is the probability that c is the strict plurality
+// of k i.i.d. samples from `sample`, plus the tie mass: under the
+// random tie rule a tied sample splits its probability uniformly over
+// the tied colours; under keep-own the updating vertex keeps its own
+// colour, so the tie mass flows to `own` (the updater's colour
+// distribution — equal to `sample` on the complete graph, but
+// different per block on the SBM, which is why the two distributions
+// are separate arguments). For q = 2, k = 3 this reduces exactly to
+// eq. (1)'s b -> 3b^2 - 2b^3.
+//
+// The k-block SBM couples q-colour copies of this map exactly like the
+// two-block binary case: with B equal blocks at mixing lambda
+// (experiments::sbm_lambda_grid's generalised parameterisation), a
+// uniformly sampled neighbour of a block-i vertex lies in block i with
+// probability w_in = (1 + (B-1) lambda)/B and in each other block with
+// w_out = (1 - lambda)/B, so block i updates through the drift map at
+// sample distribution y_i = w_in x_i + w_out * sum_{j != i} x_j.
+//
+// Lock criterion: the diagonal locked state (block i on colour i) is
+// operative only if it survives GLOBAL drift — the q-colour analogue
+// of PR 3's drift-stability thresholds. sbm_plurality_locked_overlap
+// probes exactly that numerically: it iterates the coupled map from
+// the diagonal state perturbed by a small global bias toward colour 0
+// and reports the locked overlap if the blocks hold their home
+// colours, 0 if the bias sweeps every block (binary slice q = 2,
+// k = 3 reproduces the closed-form lambda* = 3/4, which
+// tests/test_theory.cpp pins).
+
+/// One exact plurality-of-k drift step: distribution of the updated
+/// colour for a vertex whose k samples are i.i.d. `sample` and whose
+/// own colour is distributed as `own` (used only by keep_own_tie).
+/// Exact multinomial enumeration — needs C(k+q-1, q-1) compositions,
+/// so k and q must be small (throws std::invalid_argument past the
+/// guard; every simulated workload is k <= 7, q <= 8).
+std::vector<double> plurality_drift(std::span<const double> sample,
+                                    std::span<const double> own, unsigned k,
+                                    bool keep_own_tie);
+
+/// Mean-field trajectory x_0, ..., x_steps on the complete graph
+/// (sample == own == the running state).
+std::vector<std::vector<double>> plurality_meanfield_trajectory(
+    std::vector<double> x0, unsigned k, bool keep_own_tie, int steps);
+
+/// One coupled step of B = blocks.size() q-colour copies at mixing
+/// `lambda`: blocks[i] is block i's colour distribution.
+std::vector<std::vector<double>> sbm_plurality_step(
+    const std::vector<std::vector<double>>& blocks, double lambda, unsigned k,
+    bool keep_own_tie);
+
+/// The locked overlap s* in [0, 1] of the q-block / q-colour diagonal
+/// state at mixing lambda: s = (home fraction - 1/q)/(1 - 1/q), so 1
+/// is a full lock and 0 the uniform mix. Returns 0 when a small global
+/// bias toward one colour escapes the lock (the drift-stability
+/// criterion) — below the lock threshold every block converges to the
+/// global majority.
+double sbm_plurality_locked_overlap(double lambda, unsigned q, unsigned k,
+                                    bool keep_own_tie);
+
+/// The mixing threshold above which sbm_plurality_locked_overlap
+/// reports a surviving lock, located by bisection. q = 2, k = 3
+/// matches sbm_lock_threshold_best_of_three() (= 3/4) to the probe's
+/// resolution.
+double sbm_plurality_lock_threshold(unsigned q, unsigned k,
+                                    bool keep_own_tie);
 
 }  // namespace b3v::theory

@@ -10,7 +10,8 @@
 #include "core/dynamics.hpp"
 #include "core/initializer.hpp"
 #include "core/metrics.hpp"
-#include "core/simulator.hpp"
+#include "core/engine.hpp"
+#include "experiments/runner.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
@@ -113,12 +114,16 @@ TEST(TwoChoices, ThreadCountInvariant) {
   EXPECT_EQ(run(4), run(1));
 }
 
-TEST(TwoChoices, RunSyncReachesMajorityConsensusOnComplete) {
+TEST(TwoChoices, EngineRunReachesMajorityConsensusOnComplete) {
   parallel::ThreadPool pool(2);
   const graph::CompleteSampler sampler(600);
   Opinions init = core::iid_bernoulli(600, 0.3, 5);
+  core::RunSpec spec;
+  spec.protocol = core::two_choices();
+  spec.seed = 9;
+  spec.max_rounds = 200;
   const auto result =
-      core::run_sync_two_choices(sampler, std::move(init), 9, 200, pool);
+      experiments::run_recorded(sampler, std::move(init), spec, pool);
   EXPECT_TRUE(result.consensus);
   EXPECT_EQ(result.winner, core::Opinion::kRed);
   EXPECT_LT(result.rounds, 50u);
@@ -297,6 +302,127 @@ TEST(SbmTheory, TrajectoryRecordsEveryStep) {
 // End-to-end: the phase split on real SBM instances
 // ---------------------------------------------------------------------
 
+TEST(KBlockSbm, TwoBlockSliceIsBitForBitTwoBlockSbm) {
+  // k_block_sbm(n, 2, ...) must delegate to the exact historical
+  // two-block construction: same sizes, same RNG stream, same edges.
+  for (const graph::VertexId n : {100u, 101u}) {
+    const auto a = graph::two_block_sbm(n, 0.3, 0.05, 77);
+    const auto b = graph::k_block_sbm(n, 2, 0.3, 0.05, 77);
+    EXPECT_EQ(a.offsets(), b.offsets()) << n;
+    EXPECT_EQ(a.adjacency(), b.adjacency()) << n;
+  }
+  EXPECT_EQ(graph::k_block_sizes(101, 2),
+            (std::vector<graph::VertexId>{50, 51}));
+}
+
+TEST(KBlockSbm, SizesPartitionAndAssignmentAgrees) {
+  const graph::VertexId n = 103;
+  for (const std::uint32_t k : {2u, 3u, 5u}) {
+    const auto sizes = graph::k_block_sizes(n, k);
+    ASSERT_EQ(sizes.size(), k);
+    graph::VertexId total = 0;
+    for (const auto s : sizes) {
+      total += s;
+      EXPECT_GE(s, n / k);
+      EXPECT_LE(s, n / k + 1);
+    }
+    EXPECT_EQ(total, n);
+    const auto block_of = graph::sbm_block_assignment(n, k);
+    ASSERT_EQ(block_of.size(), n);
+    EXPECT_EQ(block_of, graph::sbm_block_assignment(sizes));
+  }
+  EXPECT_THROW(graph::k_block_sizes(5, 3), std::invalid_argument);
+}
+
+TEST(KBlockSbm, EdgeDensitiesSplitInVsOut) {
+  // 3 blocks, strong communities: within-block density ~ p_in,
+  // cross-block ~ p_out (5-sigma tolerances like the two-block test).
+  const graph::VertexId n = 600;
+  const double p_in = 0.3, p_out = 0.02;
+  const auto g = graph::k_block_sbm(n, 3, p_in, p_out, 5);
+  const auto block_of = graph::sbm_block_assignment(n, 3);
+  std::uint64_t in_edges = 0, out_edges = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (const auto u : g.neighbors(v)) {
+      if (u <= v) continue;
+      (block_of[v] == block_of[u] ? in_edges : out_edges) += 1;
+    }
+  }
+  const double in_pairs = 3.0 * (200.0 * 199.0 / 2.0);
+  const double out_pairs = 3.0 * 200.0 * 200.0;
+  const auto sigma = [](double pairs, double p) {
+    return std::sqrt(pairs * p * (1 - p));
+  };
+  EXPECT_NEAR(static_cast<double>(in_edges), in_pairs * p_in,
+              5 * sigma(in_pairs, p_in));
+  EXPECT_NEAR(static_cast<double>(out_edges), out_pairs * p_out,
+              5 * sigma(out_pairs, p_out));
+}
+
+TEST(BlockColourStats, CountsMatchBruteForce) {
+  const core::Opinions opinions{0, 1, 2, 2, 1, 0, 2, 1};
+  const std::vector<core::BlockId> block_of{0, 0, 0, 1, 1, 1, 2, 2};
+  const auto stats = core::block_colour_stats(opinions, block_of, 3, 3);
+  EXPECT_EQ(stats.sizes, (std::vector<std::uint64_t>{3, 3, 2}));
+  EXPECT_EQ(stats.counts[0], (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(stats.counts[1], (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(stats.counts[2], (std::vector<std::uint64_t>{0, 1, 1}));
+  EXPECT_DOUBLE_EQ(stats.fraction(2, 1), 0.5);
+  EXPECT_FALSE(stats.intra_block_consensus());
+  // Ties resolve to the lowest colour id.
+  EXPECT_EQ(stats.dominant_colour(0), 0);
+}
+
+TEST(BlockColourStats, LockPredicates) {
+  // Diagonal majorities: block b dominated by colour b -> distinct.
+  const core::Opinions locked{0, 0, 1, 1, 1, 2, 2, 2, 0};
+  const std::vector<core::BlockId> block_of{0, 0, 1, 1, 1, 2, 2, 2, 2};
+  const auto stats = core::block_colour_stats(locked, block_of, 3, 3);
+  EXPECT_EQ(stats.dominant_colour(0), 0);
+  EXPECT_EQ(stats.dominant_colour(1), 1);
+  EXPECT_EQ(stats.dominant_colour(2), 2);
+  EXPECT_TRUE(stats.distinct_block_majorities());
+  EXPECT_FALSE(stats.intra_block_consensus());  // block 2 has a straggler
+
+  // Two blocks on the same colour: not distinct.
+  const core::Opinions swept{0, 0, 0, 0, 0, 2, 2, 2, 2};
+  const auto swept_stats = core::block_colour_stats(swept, block_of, 3, 3);
+  EXPECT_FALSE(swept_stats.distinct_block_majorities());
+  EXPECT_TRUE(swept_stats.intra_block_consensus());
+}
+
+TEST(BlockColourStats, RejectsMalformedInput) {
+  const core::Opinions opinions{0, 1};
+  const std::vector<core::BlockId> block_of{0};
+  EXPECT_THROW(core::block_colour_stats(opinions, block_of, 1, 2),
+               std::invalid_argument);
+  const std::vector<core::BlockId> bad_block{0, 7};
+  EXPECT_THROW(core::block_colour_stats(opinions, bad_block, 1, 2),
+               std::invalid_argument);
+  const core::Opinions bad_colour{0, 5};
+  const std::vector<core::BlockId> two{0, 0};
+  EXPECT_THROW(core::block_colour_stats(bad_colour, two, 1, 2),
+               std::invalid_argument);
+}
+
+TEST(Initializer, BlockMultiRespectsPerBlockDistributions) {
+  const std::vector<std::uint32_t> block_of = [] {
+    std::vector<std::uint32_t> b(40000, 0);
+    for (std::size_t v = 20000; v < 40000; ++v) b[v] = 1;
+    return b;
+  }();
+  const std::vector<std::vector<double>> probs{{0.8, 0.1, 0.1},
+                                               {0.1, 0.1, 0.8}};
+  const auto o = core::block_multi(block_of, probs, 9);
+  const auto stats = core::block_colour_stats(o, block_of, 2, 3);
+  EXPECT_NEAR(stats.fraction(0, 0), 0.8, 0.02);
+  EXPECT_NEAR(stats.fraction(1, 2), 0.8, 0.02);
+  // Determinism.
+  EXPECT_EQ(o, core::block_multi(block_of, probs, 9));
+  EXPECT_THROW(core::block_multi(block_of, {{0.5, 0.5}}, 1),
+               std::invalid_argument);
+}
+
 TEST(SbmIntegration, LambdaExtremesLockAndMix) {
   // Small but real: n = 600, d = 40. lambda = 0.9 must lock Best-of-3
   // (no consensus, opposite block majorities); lambda = 0.2 with a red
@@ -312,12 +438,12 @@ TEST(SbmIntegration, LambdaExtremesLockAndMix) {
     const double p_out = (1.0 - lambda) * d / n;
     const graph::Graph g = graph::two_block_sbm(n, p_in, p_out, seed);
     const graph::CsrSampler sampler(g);
-    core::SimConfig cfg;
-    cfg.seed = seed;
-    cfg.max_rounds = 120;
-    cfg.record_trajectory = false;
-    return core::run_sync(sampler, core::block_bernoulli(block_of, start, seed),
-                          cfg, pool);
+    core::RunSpec spec;
+    spec.protocol = core::best_of(3);
+    spec.seed = seed;
+    spec.max_rounds = 120;
+    return core::run(sampler, core::block_bernoulli(block_of, start, seed),
+                     spec, pool);
   };
 
   const auto locked = run(0.9, 7);

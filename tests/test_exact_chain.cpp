@@ -6,8 +6,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/splitmix64.hpp"
@@ -134,12 +134,13 @@ TEST(ExactChain, SimulatorMatchesExactWinProbability) {
   const std::size_t reps = 600;
   std::uint64_t blue_wins = 0;
   for (std::size_t rep = 0; rep < reps; ++rep) {
-    core::SimConfig cfg;
-    cfg.seed = rng::derive_stream(424242, rep);
-    cfg.max_rounds = 10000;
-    const auto result = core::run_sync(
-        sampler, core::exact_count(n, b0, rng::derive_stream(cfg.seed, 3)),
-        cfg, pool);
+    core::RunSpec spec;
+    spec.protocol = core::best_of(3);
+    spec.seed = rng::derive_stream(424242, rep);
+    spec.max_rounds = 10000;
+    const auto result = core::run(
+        sampler, core::exact_count(n, b0, rng::derive_stream(spec.seed, 3)),
+        spec, pool);
     ASSERT_TRUE(result.consensus);
     blue_wins += result.winner == core::Opinion::kBlue;
   }

@@ -117,7 +117,7 @@ TEST(Aggregate, CountsWinnersAndCap) {
   const graph::Graph g = graph::complete(256);
   const auto agg = experiments::aggregate_runs(
       12, 99, [&](std::uint64_t seed) {
-        return core::run_theorem1_setting(g, 0.15, seed, pool, 100);
+        return experiments::theorem1_run(g, 0.15, seed, pool, 100);
       });
   EXPECT_EQ(agg.total_runs, 12u);
   EXPECT_EQ(agg.red_wins + agg.blue_wins +
@@ -134,7 +134,7 @@ TEST(Aggregate, DistinctSeedsPerRepetition) {
   const graph::Graph g = graph::complete(128);
   std::vector<std::vector<std::uint64_t>> trajectories;
   experiments::aggregate_runs(2, 5, [&](std::uint64_t seed) {
-    auto result = core::run_theorem1_setting(g, 0.1, seed, pool, 100);
+    auto result = experiments::theorem1_run(g, 0.1, seed, pool, 100);
     trajectories.push_back(result.blue_trajectory);
     return result;
   });

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "core/dynamics.hpp"
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
 #include "core/metrics.hpp"
 #include "core/plurality.hpp"
@@ -191,14 +192,19 @@ TEST(NoisyDynamics, RejectsBadNoise) {
 TEST(PluralityDriver, ReachesConsensusOnClearPlurality) {
   const graph::CompleteSampler sampler(2048);
   parallel::ThreadPool pool(2);
-  const auto result = core::run_plurality_sync(
-      sampler, core::iid_multi(2048, {0.55, 0.25, 0.2}, 3), 3, 3,
-      core::PluralityTie::kRandom, 7, 100, pool);
+  core::MultiRunSpec spec;
+  spec.protocol = core::plurality(3, 3);
+  spec.seed = 7;
+  spec.max_rounds = 100;
+  std::vector<std::vector<std::uint64_t>> count_trajectory;
+  spec.observer = core::multi_observers::record_trajectory(count_trajectory);
+  const auto result = core::run(
+      sampler, core::iid_multi(2048, {0.55, 0.25, 0.2}, 3), spec, pool);
   EXPECT_TRUE(result.consensus);
   EXPECT_EQ(result.winner, 0);
-  EXPECT_EQ(result.count_trajectory.size(), result.rounds + 1);
+  EXPECT_EQ(count_trajectory.size(), result.rounds + 1);
   // Counts at every round sum to n.
-  for (const auto& counts : result.count_trajectory) {
+  for (const auto& counts : count_trajectory) {
     std::uint64_t total = 0;
     for (const auto c : counts) total += c;
     EXPECT_EQ(total, 2048u);
@@ -208,9 +214,11 @@ TEST(PluralityDriver, ReachesConsensusOnClearPlurality) {
 TEST(PluralityDriver, AlreadyConsensusTerminatesImmediately) {
   const graph::CompleteSampler sampler(64);
   parallel::ThreadPool pool(1);
-  const auto result = core::run_plurality_sync(
-      sampler, core::Opinions(64, 2), 3, 4, core::PluralityTie::kRandom, 7,
-      100, pool);
+  core::MultiRunSpec spec;
+  spec.protocol = core::plurality(3, 4);
+  spec.seed = 7;
+  spec.max_rounds = 100;
+  const auto result = core::run(sampler, core::Opinions(64, 2), spec, pool);
   EXPECT_TRUE(result.consensus);
   EXPECT_EQ(result.winner, 2);
   EXPECT_EQ(result.rounds, 0u);

@@ -1,6 +1,6 @@
 // Golden-value tests: pin the exact bits of the deterministic surfaces
-// — Philox/CounterRng streams, iid_bernoulli placement, run_sync
-// trajectories, and the theory/ recursions — for fixed seeds, so a
+// — Philox/CounterRng streams, iid_bernoulli placement, a core::run
+// trajectory, and the theory/ recursions — for fixed seeds, so a
 // refactor can't silently change the probability space the paper's
 // claims are tested against. Values were captured from the first green
 // build of the seed; a deliberate change to any of these generators
@@ -10,10 +10,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
 #include "core/opinion.hpp"
-#include "core/simulator.hpp"
 #include "graph/generators.hpp"
+#include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/philox.hpp"
 #include "theory/recursions.hpp"
@@ -64,25 +65,29 @@ TEST(GoldensInitializer, IidBernoulliPlacement) {
   EXPECT_EQ(mask, 0x11102a10d69d02c2ull);
 }
 
-// The full blue-count trajectory of a run_sync consensus run is a pure
-// function of (graph, initial, seed) — and, by the counter-based RNG
-// design, independent of the thread count.
+// The full blue-count trajectory of a core::run consensus run is a
+// pure function of (graph, initial, seed) — and, by the counter-based
+// RNG design, independent of the thread count. The golden values
+// predate the Protocol engine (captured from the seed's run_sync) and
+// are UNCHANGED: the engine replays the legacy streams bit-for-bit.
 TEST(GoldensSimulator, RunSyncTrajectory) {
   const graph::Graph g = graph::dense_circulant(256, 32);
-  core::SimConfig cfg;
-  cfg.k = 3;
-  cfg.seed = 5;
-  cfg.max_rounds = 500;
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 5;
+  spec.max_rounds = 500;
   const std::vector<std::uint64_t> golden = {92, 80, 64, 42, 27,
                                              14, 8,  5,  3,  0};
   for (const unsigned threads : {1u, 4u}) {
     parallel::ThreadPool pool(threads);
-    const core::SimResult res =
-        core::run_on_graph(g, core::iid_bernoulli(256, 0.4, 3), cfg, pool);
+    std::vector<std::uint64_t> trajectory;
+    spec.observer = core::observers::record_trajectory(trajectory);
+    const core::SimResult res = core::run(
+        graph::CsrSampler(g), core::iid_bernoulli(256, 0.4, 3), spec, pool);
     EXPECT_TRUE(res.consensus) << "threads=" << threads;
     EXPECT_EQ(res.winner, core::Opinion::kRed) << "threads=" << threads;
     EXPECT_EQ(res.rounds, 9u) << "threads=" << threads;
-    EXPECT_EQ(res.blue_trajectory, golden) << "threads=" << threads;
+    EXPECT_EQ(trajectory, golden) << "threads=" << threads;
   }
 }
 

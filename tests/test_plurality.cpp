@@ -1,11 +1,21 @@
 // Multi-opinion (plurality) dynamics tests — the q-colour extension of
-// the introduction ([2], [7]).
+// the introduction ([2], [7]): the raw kernels, the
+// RuleKind::kPlurality registry family, the q = 2 collapse onto the
+// binary kernels (the goldens-discipline guarantee: a q2 spelling must
+// reproduce the step / step_two_choices streams bit-for-bit), and the
+// multi-opinion core::run overload with its observers.
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
 
+#include "core/engine.hpp"
 #include "core/initializer.hpp"
 #include "core/plurality.hpp"
+#include "core/protocol.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
@@ -130,6 +140,221 @@ TEST(Plurality, RejectsBadQ) {
   EXPECT_THROW(core::step_plurality(sampler, a, b, 3, 65,
                                     PluralityTie::kRandom, 1, 0, pool),
                std::invalid_argument);
+}
+
+// --------------------------- registry ------------------------------
+
+TEST(PluralityProtocol, RegistryRoundTrips) {
+  for (const char* spelling :
+       {"plurality-of-3/q3", "plurality-of-3/q4/keep-own",
+        "plurality-of-5/q8", "plurality-of-2/q3/keep-own",
+        "plurality-of-1/q64"}) {
+    EXPECT_EQ(core::name(core::protocol_from_name(spelling)), spelling)
+        << spelling;
+  }
+  // "/random" is accepted and normalised away (the default spelling).
+  EXPECT_EQ(core::name(core::protocol_from_name("plurality-of-3/q3/random")),
+            "plurality-of-3/q3");
+  // Constructor and registry agree.
+  EXPECT_EQ(core::protocol_from_name("plurality-of-3/q4/keep-own"),
+            core::plurality(3, 4, PluralityTie::kKeepOwn));
+}
+
+TEST(PluralityProtocol, Q2CollapsesOntoTheBinaryRule) {
+  // The q = 2 spelling IS the binary rule — one Protocol value, so the
+  // q2 path is the binary kernel path (and its goldens) by identity.
+  EXPECT_EQ(core::protocol_from_name("plurality-of-3/q2"), core::best_of(3));
+  EXPECT_EQ(core::name(core::protocol_from_name("plurality-of-3/q2")),
+            "best-of-3");
+  EXPECT_EQ(core::protocol_from_name("plurality-of-2/q2/keep-own"),
+            core::best_of(2, core::TieRule::kKeepOwn));
+  EXPECT_EQ(core::protocol_from_name("plurality-of-2/q2"),
+            core::best_of(2, core::TieRule::kRandom));
+  // An unreachable tie on odd k is normalised like the best-of parse.
+  EXPECT_EQ(core::protocol_from_name("plurality-of-3/q2/keep-own"),
+            core::best_of(3));
+  // Noise threads through the collapsed binary value.
+  EXPECT_EQ(core::name(core::protocol_from_name("plurality-of-3/q2+noise=0.1")),
+            "best-of-3+noise=0.1");
+  EXPECT_EQ(core::plurality(3, 2), core::best_of(3));
+  EXPECT_EQ(core::plurality(2, 2, PluralityTie::kKeepOwn),
+            core::best_of(2, core::TieRule::kKeepOwn));
+}
+
+TEST(PluralityProtocol, BadSpellingsAndValuesThrow) {
+  for (const char* bad :
+       {"plurality-of-3", "plurality-of-3/3", "plurality-of-3/qx",
+        "plurality-of-3/q1", "plurality-of-3/q65", "plurality-of-0/q3",
+        "plurality-of-x/q3", "plurality-of-3/q3/sideways",
+        "plurality-of-3/q3+noise=0.1", "plurality-of-256/q3"}) {
+    EXPECT_THROW(core::protocol_from_name(bad), std::invalid_argument) << bad;
+  }
+  core::Protocol mangled = core::plurality(3, 3);
+  mangled.q = 2;  // a hand-mangled kPlurality with q = 2 is invalid:
+                  // the canonical value is the collapsed binary one
+  EXPECT_THROW(core::validate(mangled), std::invalid_argument);
+  mangled = core::plurality(3, 3);
+  mangled.noise = 0.1;
+  EXPECT_THROW(core::validate(mangled), std::invalid_argument);
+  mangled = core::best_of(3);
+  mangled.q = 5;
+  EXPECT_THROW(core::validate(mangled), std::invalid_argument);
+  EXPECT_NO_THROW(core::validate(core::plurality(3, 64)));
+}
+
+// ----------------- q = 2 bit-for-bit stream identities ----------------
+
+TEST(PluralityEquivalence, KeepOwnEvenKMatchesTwoChoicesStream) {
+  // q = 2, k = 2, keep-own: the plurality kernel must reproduce the
+  // step_two_choices stream bit-for-bit (same neighbour draws, no tie
+  // randomness consumed by either side).
+  parallel::ThreadPool pool(2);
+  const graph::Graph g = graph::dense_circulant(200, 20);
+  const graph::CsrSampler sampler(g);
+  const Opinions init = core::iid_bernoulli(200, 0.4, 3);
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    Opinions a(200), b(200);
+    const auto blue =
+        core::step_two_choices(sampler, init, a, 9, round, pool);
+    const auto counts = core::step_plurality(
+        sampler, init, b, 2, 2, PluralityTie::kKeepOwn, 9, round, pool);
+    EXPECT_EQ(a, b) << round;
+    EXPECT_EQ(counts[1], blue) << round;
+    EXPECT_EQ(counts[0] + counts[1], 200u) << round;
+  }
+}
+
+TEST(PluralityEquivalence, MultiEngineMatchesBinaryEngineBitForBit) {
+  // The multi-opinion core::run overload on a BINARY protocol must be
+  // the binary engine bit-for-bit: same rounds, same per-round blue
+  // counts (the {red, blue} slice of the count observer), same final
+  // state.
+  parallel::ThreadPool pool(2);
+  const graph::Graph g = graph::dense_circulant(256, 32);
+  const graph::CsrSampler sampler(g);
+  const Opinions init = core::iid_bernoulli(256, 0.4, 3);
+  for (const char* rule : {"best-of-3", "two-choices", "plurality-of-3/q2"}) {
+    const core::Protocol protocol = core::protocol_from_name(rule);
+
+    core::RunSpec binary;
+    binary.protocol = protocol;
+    binary.seed = 5;
+    binary.max_rounds = 500;
+    std::vector<std::uint64_t> blues;
+    binary.observer = core::observers::record_trajectory(blues);
+    const auto b = core::run(sampler, init, binary, pool);
+
+    core::MultiRunSpec multi;
+    multi.protocol = protocol;
+    multi.seed = 5;
+    multi.max_rounds = 500;
+    std::vector<std::vector<std::uint64_t>> counts;
+    multi.observer = core::multi_observers::record_trajectory(counts);
+    const auto m = core::run(sampler, init, multi, pool);
+
+    EXPECT_EQ(b.consensus, m.consensus) << rule;
+    EXPECT_EQ(b.rounds, m.rounds) << rule;
+    EXPECT_EQ(b.final_state, m.final_state) << rule;
+    ASSERT_EQ(counts.size(), blues.size()) << rule;
+    for (std::size_t t = 0; t < counts.size(); ++t) {
+      ASSERT_EQ(counts[t].size(), 2u);
+      EXPECT_EQ(counts[t][1], blues[t]) << rule << " t=" << t;
+      EXPECT_EQ(counts[t][0] + counts[t][1], 256u) << rule << " t=" << t;
+    }
+    EXPECT_EQ(m.final_counts[1], b.final_blue) << rule;
+  }
+}
+
+// -------------------- multi-opinion engine contract -------------------
+
+TEST(MultiEngine, ObserverSeesEveryRoundStartingAtZero) {
+  parallel::ThreadPool pool(2);
+  const graph::CompleteSampler sampler(512);
+  core::MultiRunSpec spec;
+  spec.protocol = core::plurality(3, 3);
+  spec.seed = 11;
+  spec.max_rounds = 100;
+  std::vector<std::uint64_t> seen;
+  spec.observer = [&](std::uint64_t t, std::span<const core::OpinionValue> s,
+                      std::span<const std::uint64_t> counts) {
+    seen.push_back(t);
+    EXPECT_EQ(s.size(), 512u);
+    EXPECT_EQ(counts.size(), 3u);
+    std::uint64_t total = 0;
+    for (const auto c : counts) total += c;
+    EXPECT_EQ(total, 512u);
+    return true;
+  };
+  const auto result = core::run(
+      sampler, core::iid_multi(512, {0.5, 0.3, 0.2}, 4), spec, pool);
+  ASSERT_EQ(seen.size(), result.rounds + 1);
+  for (std::uint64_t t = 0; t < seen.size(); ++t) EXPECT_EQ(seen[t], t);
+}
+
+TEST(MultiEngine, EarlyStopAndChain) {
+  parallel::ThreadPool pool(2);
+  const graph::CompleteSampler sampler(512);
+  core::MultiRunSpec spec;
+  spec.protocol = core::plurality(3, 3);
+  spec.seed = 11;
+  spec.max_rounds = 100;
+  std::vector<std::vector<std::uint64_t>> counts;
+  std::uint64_t calls = 0;
+  spec.observer = core::multi_observers::chain(
+      core::multi_observers::record_trajectory(counts),
+      core::multi_observers::stop_when(
+          [](std::uint64_t t, std::span<const core::OpinionValue>,
+             std::span<const std::uint64_t>) { return t >= 2; }),
+      [&calls](std::uint64_t, std::span<const core::OpinionValue>,
+               std::span<const std::uint64_t>) {
+        ++calls;  // must still run after the stop vote
+        return true;
+      });
+  const auto result = core::run(
+      sampler, core::iid_multi(512, {0.4, 0.3, 0.3}, 4), spec, pool);
+  EXPECT_EQ(result.rounds, 2u);
+  EXPECT_EQ(counts.size(), 3u);  // t = 0, 1, 2
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(MultiEngine, RejectsBadInputs) {
+  parallel::ThreadPool pool(1);
+  const graph::CompleteSampler sampler(16);
+  core::MultiRunSpec spec;
+  spec.protocol = core::plurality(3, 3);
+  // Initial colour out of range for q = 3.
+  EXPECT_THROW(core::run(sampler, Opinions(16, 3), spec, pool),
+               std::invalid_argument);
+  // Size mismatch.
+  EXPECT_THROW(core::run(sampler, Opinions(4, 0), spec, pool),
+               std::invalid_argument);
+  // The binary overload refuses q-colour protocols...
+  core::RunSpec binary;
+  binary.protocol = core::plurality(3, 3);
+  EXPECT_THROW(core::run(sampler, Opinions(16, 0), binary, pool),
+               std::invalid_argument);
+  // ...and so does the binary step dispatch.
+  Opinions a(16, 0), b(16);
+  EXPECT_THROW(core::step_protocol(sampler, core::plurality(3, 3), a, b, 1, 0,
+                                   pool),
+               std::invalid_argument);
+}
+
+TEST(MultiEngine, PluralityThroughRegistryReachesConsensus) {
+  // End-to-end: the ISSUE's example spelling, resolved by name, run
+  // through the engine, winning on a clear plurality.
+  parallel::ThreadPool pool(2);
+  const graph::CompleteSampler sampler(2048);
+  core::MultiRunSpec spec;
+  spec.protocol = core::protocol_from_name("plurality-of-3/q3");
+  spec.seed = 21;
+  spec.max_rounds = 100;
+  const auto result = core::run(
+      sampler, core::iid_multi(2048, {0.5, 0.25, 0.25}, 9), spec, pool);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 0);
+  EXPECT_EQ(result.final_counts[0], 2048u);
+  EXPECT_DOUBLE_EQ(result.final_fraction(0), 1.0);
 }
 
 }  // namespace

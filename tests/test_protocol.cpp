@@ -1,6 +1,6 @@
-// The Protocol API: registry round-trips and errors, the legacy
-// entry-point ≡ core::run equivalence goldens (old wrappers must be
-// bit-for-bit the new engine, so the trajectory golden of
+// The Protocol API: registry round-trips and errors, the literal
+// kernel-loop ≡ core::run equivalence goldens (the engine must be
+// bit-for-bit the raw dynamics.hpp loops, so the trajectory golden of
 // test_goldens.cpp transitively pins core::run), and the observer
 // hook's contract (per-round invocation, early stop, chaining, the
 // async schedule).
@@ -16,7 +16,6 @@
 #include "core/initializer.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
-#include "core/simulator.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
@@ -102,7 +101,7 @@ TEST(ProtocolRegistry, TwoChoicesEquivalence) {
   EXPECT_FALSE(core::is_two_choices_equivalent(core::best_of(3)));
 }
 
-// ----------------------------------------- legacy wrapper ≡ engine goldens
+// ------------------------------------- literal loop ≡ engine goldens
 
 /// The fixed instance the equivalence goldens run on (the same shape
 /// as the test_goldens.cpp trajectory pin: consensus in ~10 rounds).
@@ -113,13 +112,30 @@ struct Fixture {
   parallel::ThreadPool pool{2};
 };
 
-TEST(ProtocolEquivalence, RunSyncEqualsEngineBestOf3) {
+/// The pre-engine driver loop, verbatim: step `kernel` until consensus
+/// or the cap, recording the blue trajectory (t = 0 included).
+template <typename StepFn>
+std::vector<std::uint64_t> literal_loop(const core::Opinions& init,
+                                        std::uint64_t max_rounds,
+                                        const StepFn& kernel) {
+  core::Opinions cur = init, next(init.size());
+  std::vector<std::uint64_t> blues{core::count_blue(cur)};
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    if (blues.back() == 0 || blues.back() == cur.size()) break;
+    blues.push_back(kernel(cur, next, round));
+    cur.swap(next);
+  }
+  return blues;
+}
+
+TEST(ProtocolEquivalence, EngineBestOf3EqualsLiteralKernelLoop) {
   Fixture f;
-  core::SimConfig cfg;
-  cfg.k = 3;
-  cfg.seed = 5;
-  cfg.max_rounds = 500;
-  const auto legacy = core::run_sync(f.sampler, f.init, cfg, f.pool);
+  const auto reference = literal_loop(
+      f.init, 500, [&](const core::Opinions& cur, core::Opinions& next,
+                       std::uint64_t round) {
+        return core::step_best_of_k(f.sampler, cur, next, 3,
+                                    core::TieRule::kRandom, 5, round, f.pool);
+      });
 
   core::RunSpec spec;
   spec.protocol = core::protocol_from_name("best-of-3");
@@ -129,17 +145,19 @@ TEST(ProtocolEquivalence, RunSyncEqualsEngineBestOf3) {
   spec.observer = core::observers::record_trajectory(trajectory);
   const auto modern = core::run(f.sampler, f.init, spec, f.pool);
 
-  EXPECT_EQ(legacy.consensus, modern.consensus);
-  EXPECT_EQ(legacy.winner, modern.winner);
-  EXPECT_EQ(legacy.rounds, modern.rounds);
-  EXPECT_EQ(legacy.final_blue, modern.final_blue);
-  EXPECT_EQ(legacy.blue_trajectory, trajectory);
+  EXPECT_TRUE(modern.consensus);
+  EXPECT_EQ(modern.rounds + 1, reference.size());
+  EXPECT_EQ(modern.final_blue, reference.back());
+  EXPECT_EQ(trajectory, reference);
 }
 
-TEST(ProtocolEquivalence, RunSyncTwoChoicesEqualsEngine) {
+TEST(ProtocolEquivalence, EngineTwoChoicesEqualsLiteralKernelLoop) {
   Fixture f;
-  const auto legacy =
-      core::run_sync_two_choices(f.sampler, f.init, 9, 500, f.pool);
+  const auto reference = literal_loop(
+      f.init, 500, [&](const core::Opinions& cur, core::Opinions& next,
+                       std::uint64_t round) {
+        return core::step_two_choices(f.sampler, cur, next, 9, round, f.pool);
+      });
 
   core::RunSpec spec;
   spec.protocol = core::protocol_from_name("two-choices");
@@ -149,11 +167,9 @@ TEST(ProtocolEquivalence, RunSyncTwoChoicesEqualsEngine) {
   spec.observer = core::observers::record_trajectory(trajectory);
   const auto modern = core::run(f.sampler, f.init, spec, f.pool);
 
-  EXPECT_EQ(legacy.consensus, modern.consensus);
-  EXPECT_EQ(legacy.winner, modern.winner);
-  EXPECT_EQ(legacy.rounds, modern.rounds);
-  EXPECT_EQ(legacy.final_blue, modern.final_blue);
-  EXPECT_EQ(legacy.blue_trajectory, trajectory);
+  EXPECT_EQ(modern.rounds + 1, reference.size());
+  EXPECT_EQ(modern.final_blue, reference.back());
+  EXPECT_EQ(trajectory, reference);
 }
 
 TEST(ProtocolEquivalence, EngineTwoChoicesEqualsBestOf2KeepOwn) {

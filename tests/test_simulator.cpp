@@ -1,12 +1,13 @@
-// Simulator and initialiser tests: consensus detection, trajectory
-// bookkeeping, the Theorem 1 headline behaviour at small scale, and all
-// initial-placement modes.
+// Engine and initialiser tests: consensus detection, trajectory
+// bookkeeping through the observer hook, the Theorem 1 headline
+// behaviour at small scale, and all initial-placement modes.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
 #include "core/initializer.hpp"
-#include "core/simulator.hpp"
+#include "core/engine.hpp"
+#include "experiments/runner.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
@@ -92,10 +93,10 @@ TEST(Initializer, MultiOpinionDistribution) {
 
 TEST(Simulator, AllRedStaysRedInZeroRounds) {
   parallel::ThreadPool pool(2);
-  const graph::Graph g = graph::complete(30);
-  core::SimConfig cfg;
-  const auto result = core::run_on_graph(g, core::constant(30, Opinion::kRed),
-                                         cfg, pool);
+  const graph::CompleteSampler sampler(30);
+  const core::RunSpec spec;  // defaults: best-of-3, stop at consensus
+  const auto result =
+      core::run(sampler, core::constant(30, Opinion::kRed), spec, pool);
   EXPECT_TRUE(result.consensus);
   EXPECT_EQ(result.winner, Opinion::kRed);
   EXPECT_EQ(result.rounds, 0u);
@@ -103,34 +104,32 @@ TEST(Simulator, AllRedStaysRedInZeroRounds) {
 
 TEST(Simulator, TrajectoryBookkeeping) {
   parallel::ThreadPool pool(2);
-  const graph::Graph g = graph::complete(200);
-  core::SimConfig cfg;
-  cfg.seed = 5;
-  const auto result =
-      core::run_on_graph(g, core::iid_bernoulli(200, 0.3, 8), cfg, pool);
+  const graph::CompleteSampler sampler(200);
+  core::RunSpec spec;
+  spec.seed = 5;
+  const auto result = experiments::run_recorded(
+      sampler, core::iid_bernoulli(200, 0.3, 8), spec, pool);
   ASSERT_TRUE(result.consensus);
   EXPECT_EQ(result.blue_trajectory.size(), result.rounds + 1);
   EXPECT_EQ(result.blue_trajectory.back(), result.final_blue);
   EXPECT_EQ(result.num_vertices, 200u);
 }
 
-TEST(Simulator, TrajectoryCanBeDisabled) {
+TEST(Simulator, TrajectoryEmptyWithoutRecorder) {
   parallel::ThreadPool pool(2);
-  const graph::Graph g = graph::complete(100);
-  core::SimConfig cfg;
-  cfg.record_trajectory = false;
+  const graph::CompleteSampler sampler(100);
+  const core::RunSpec spec;  // no observer: the engine records nothing
   const auto result =
-      core::run_on_graph(g, core::iid_bernoulli(100, 0.3, 8), cfg, pool);
+      core::run(sampler, core::iid_bernoulli(100, 0.3, 8), spec, pool);
   EXPECT_TRUE(result.blue_trajectory.empty());
 }
 
 TEST(Simulator, BlueFractionOutOfRangeExplainsItself) {
   parallel::ThreadPool pool(2);
-  const graph::Graph g = graph::complete(100);
-  core::SimConfig cfg;
-  cfg.record_trajectory = false;
+  const graph::CompleteSampler sampler(100);
+  const core::RunSpec spec;
   const auto result =
-      core::run_on_graph(g, core::iid_bernoulli(100, 0.3, 8), cfg, pool);
+      core::run(sampler, core::iid_bernoulli(100, 0.3, 8), spec, pool);
   try {
     (void)result.blue_fraction(0);
     FAIL() << "expected std::out_of_range";
@@ -146,11 +145,11 @@ TEST(Simulator, MaxRoundsCapRespected) {
   parallel::ThreadPool pool(2);
   // Cycle with k=1 voter model: consensus takes Theta(n^2); cap at 3.
   const graph::Graph g = graph::cycle(100);
-  core::SimConfig cfg;
-  cfg.k = 1;
-  cfg.max_rounds = 3;
-  const auto result =
-      core::run_on_graph(g, core::exact_count(100, 50, 2), cfg, pool);
+  core::RunSpec spec;
+  spec.protocol = core::voter();
+  spec.max_rounds = 3;
+  const auto result = core::run(graph::CsrSampler(g),
+                                core::exact_count(100, 50, 2), spec, pool);
   EXPECT_LE(result.rounds, 3u);
 }
 
@@ -158,9 +157,10 @@ TEST(Simulator, FullRunDeterministicAcrossThreadCounts) {
   const graph::Graph g = graph::dense_circulant(512, 64);
   auto run = [&](unsigned threads) {
     parallel::ThreadPool pool(threads);
-    core::SimConfig cfg;
-    cfg.seed = 33;
-    return core::run_on_graph(g, core::iid_bernoulli(512, 0.4, 12), cfg, pool);
+    core::RunSpec spec;
+    spec.seed = 33;
+    return experiments::run_recorded(
+        graph::CsrSampler(g), core::iid_bernoulli(512, 0.4, 12), spec, pool);
   };
   const auto a = run(1);
   const auto b = run(4);
@@ -187,7 +187,7 @@ TEST_P(Theorem1SmallScale, RedWinsFastOnDenseFamilies) {
   double total_rounds = 0.0;
   const int reps = 10;
   for (int r = 0; r < reps; ++r) {
-    const auto result = core::run_theorem1_setting(
+    const auto result = experiments::theorem1_run(
         g, 0.1, rng::derive_stream(999, r), pool, 200);
     ASSERT_TRUE(result.consensus);
     total_rounds += static_cast<double>(result.rounds);
@@ -208,7 +208,7 @@ TEST(Simulator, MinorityCanWinWhenDeltaTiny) {
   const graph::Graph g = graph::complete(64);
   int blue_wins = 0, red_wins = 0;
   for (int r = 0; r < 40; ++r) {
-    const auto result = core::run_theorem1_setting(
+    const auto result = experiments::theorem1_run(
         g, 0.0, rng::derive_stream(5, r), pool, 200);
     if (!result.consensus) continue;
     (result.winner == Opinion::kBlue ? blue_wins : red_wins) += 1;
@@ -221,11 +221,11 @@ TEST(Simulator, ImplicitCompleteSamplerAtScale) {
   // A 10^6-vertex complete graph runs without materialising any edges.
   parallel::ThreadPool pool(4);
   const graph::CompleteSampler sampler(1u << 20);
-  core::SimConfig cfg;
-  cfg.seed = 3;
-  cfg.max_rounds = 50;
-  const auto result = core::run_sync(
-      sampler, core::iid_bernoulli(1u << 20, 0.4, 4), cfg, pool);
+  core::RunSpec spec;
+  spec.seed = 3;
+  spec.max_rounds = 50;
+  const auto result = core::run(
+      sampler, core::iid_bernoulli(1u << 20, 0.4, 4), spec, pool);
   EXPECT_TRUE(result.consensus);
   EXPECT_EQ(result.winner, Opinion::kRed);
   EXPECT_LT(result.rounds, 12u);

@@ -216,6 +216,44 @@ TEST(Sweep, SbmGridEdgeCases) {
   EXPECT_TRUE(experiments::sbm_lambda_grid(1024, 64, 0.2, 0.9, 0).empty());
 }
 
+TEST(Sweep, KBlockGridGeneralisesTheTwoBlockFamily) {
+  // The blocks = 2 default must be the historical grid bit-for-bit.
+  const auto legacy = experiments::sbm_lambda_grid(4096, 128, 0.2, 0.9, 6);
+  const auto explicit2 =
+      experiments::sbm_lambda_grid(4096, 128, 0.2, 0.9, 6, 2);
+  ASSERT_EQ(legacy.size(), explicit2.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy[i].lambda, explicit2[i].lambda);
+    EXPECT_DOUBLE_EQ(legacy[i].p_in, explicit2[i].p_in);
+    EXPECT_DOUBLE_EQ(legacy[i].p_out, explicit2[i].p_out);
+  }
+  // k blocks: degree preserved, generalised lambda recovered, and the
+  // cap keeps p_in <= 1 at lambda = 1.
+  for (const std::uint32_t blocks : {3u, 4u, 8u}) {
+    const std::size_t n = 4096;
+    const auto d = experiments::snap_sbm_degree(n, 10000, blocks);
+    EXPECT_EQ(d, n / (2 * blocks));
+    const auto grid =
+        experiments::sbm_lambda_grid(n, d, 0.0, 1.0, 5, blocks);
+    ASSERT_EQ(grid.size(), 5u) << blocks;
+    const double cross = static_cast<double>(blocks - 1);
+    for (const auto& pt : grid) {
+      EXPECT_LE(pt.p_in, 1.0);
+      EXPECT_GE(pt.p_out, 0.0);
+      // Expected degree d at every lambda (equal blocks of n/blocks).
+      const double per_vertex =
+          (pt.p_in + cross * pt.p_out) * (static_cast<double>(n) / blocks);
+      EXPECT_NEAR(per_vertex, static_cast<double>(d), 1e-9) << blocks;
+      EXPECT_NEAR((pt.p_in - pt.p_out) / (pt.p_in + cross * pt.p_out),
+                  pt.lambda, 1e-12)
+          << blocks;
+    }
+  }
+  // Too few vertices per block: no feasible degree.
+  EXPECT_EQ(experiments::max_feasible_sbm_degree(16, 8), 0u);
+  EXPECT_TRUE(experiments::sbm_lambda_grid(16, 4, 0.0, 1.0, 3, 8).empty());
+}
+
 // ---------------------------------------------------------------------
 // Structured results round-trip
 // ---------------------------------------------------------------------

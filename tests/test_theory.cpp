@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "theory/binomial.hpp"
 #include "theory/bounds.hpp"
@@ -306,5 +308,109 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.1, 0.3, 0.45),
                        ::testing::Values(6, 10),
                        ::testing::Values(1e4, 1e7, 1e10)));
+
+// ------------------- q-colour plurality mean-field -------------------
+
+TEST(PluralityTheory, BinarySliceReducesToEqOne) {
+  // q = 2, k = 3: the simplex drift map must be exactly eq. (1).
+  for (const double b : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const std::vector<double> x{1.0 - b, b};
+    const auto next = plurality_drift(x, x, 3, /*keep_own_tie=*/false);
+    ASSERT_EQ(next.size(), 2u);
+    EXPECT_NEAR(next[1], 3 * b * b - 2 * b * b * b, 1e-12) << b;
+    EXPECT_NEAR(next[0] + next[1], 1.0, 1e-12) << b;
+  }
+}
+
+TEST(PluralityTheory, BinaryKeepOwnEvenKIsTheTwoChoicesMap) {
+  // q = 2, k = 2, keep-own: b' = b^2 + 2 b (1 - b) * own_b — the
+  // two-choices drift, per-block own distribution included.
+  const std::vector<double> sample{0.6, 0.4};
+  const std::vector<double> own{0.9, 0.1};
+  const auto next = plurality_drift(sample, own, 2, /*keep_own_tie=*/true);
+  const double b = sample[1];
+  EXPECT_NEAR(next[1], b * b + 2.0 * b * (1.0 - b) * own[1], 1e-12);
+}
+
+TEST(PluralityTheory, DriftIsADistributionAndAmplifiesThePlurality) {
+  const std::vector<double> x{0.4, 0.35, 0.25};
+  for (const bool keep_own : {false, true}) {
+    const auto next = plurality_drift(x, x, 3, keep_own);
+    double total = 0.0;
+    for (const double p : next) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_GT(next[0], x[0]);  // the leader grows
+    EXPECT_LT(next[2], x[2]);  // the trailer shrinks
+  }
+}
+
+TEST(PluralityTheory, TrajectoryConvergesToTheLeader) {
+  const auto traj = plurality_meanfield_trajectory({0.4, 0.3, 0.3}, 3,
+                                                   /*keep_own_tie=*/false, 40);
+  ASSERT_EQ(traj.size(), 41u);
+  EXPECT_NEAR(traj.back()[0], 1.0, 1e-6);
+}
+
+TEST(PluralityTheory, RejectsBadArguments) {
+  const std::vector<double> x{0.5, 0.5};
+  EXPECT_THROW(plurality_drift(x, x, 0, false), std::invalid_argument);
+  EXPECT_THROW(plurality_drift(x, x, 17, false), std::invalid_argument);
+  const std::vector<double> not_simplex{0.9, 0.9};
+  EXPECT_THROW(plurality_drift(not_simplex, not_simplex, 3, false),
+               std::invalid_argument);
+  EXPECT_THROW(plurality_drift(x, std::vector<double>{1.0}, 3, true),
+               std::invalid_argument);
+}
+
+TEST(PluralitySbmTheory, TwoBlockSliceMatchesTheBinaryCoupledMap) {
+  // 2 blocks, 2 colours, k = 3: sbm_plurality_step must reproduce
+  // sbm_best_of_three_step (colour 1 fraction = the binary blue a/b).
+  for (const double lambda : {0.2, 0.6, 0.85}) {
+    const BlockPair s{0.8, 0.3};
+    const auto binary = sbm_best_of_three_step(s, lambda);
+    const std::vector<std::vector<double>> blocks{{1.0 - s.a, s.a},
+                                                  {1.0 - s.b, s.b}};
+    const auto multi = sbm_plurality_step(blocks, lambda, 3, false);
+    EXPECT_NEAR(multi[0][1], binary.a, 1e-12) << lambda;
+    EXPECT_NEAR(multi[1][1], binary.b, 1e-12) << lambda;
+  }
+  // Same for the two-choices slice (k = 2 keep-own).
+  for (const double lambda : {0.2, 0.6, 0.85}) {
+    const BlockPair s{0.8, 0.3};
+    const auto binary = sbm_two_choices_step(s, lambda);
+    const std::vector<std::vector<double>> blocks{{1.0 - s.a, s.a},
+                                                  {1.0 - s.b, s.b}};
+    const auto multi = sbm_plurality_step(blocks, lambda, 2, true);
+    EXPECT_NEAR(multi[0][1], binary.a, 1e-12) << lambda;
+    EXPECT_NEAR(multi[1][1], binary.b, 1e-12) << lambda;
+  }
+}
+
+TEST(PluralitySbmTheory, NumericLockThresholdMatchesClosedFormsAtQ2) {
+  // The numeric drift-stability probe must land on PR 3's closed-form
+  // thresholds in the binary slice: 3/4 for Best-of-3 and
+  // (sqrt 5 - 1)/2 for two-choices (k = 2 keep-own).
+  EXPECT_NEAR(sbm_plurality_lock_threshold(2, 3, false),
+              sbm_lock_threshold_best_of_three(), 0.02);
+  EXPECT_NEAR(sbm_plurality_lock_threshold(2, 2, true),
+              sbm_lock_threshold_two_choices(), 0.02);
+}
+
+TEST(PluralitySbmTheory, LockedOverlapIsZeroBelowAndPositiveAbove) {
+  for (const unsigned q : {3u, 4u}) {
+    const double star = sbm_plurality_lock_threshold(q, 3, false);
+    EXPECT_GT(star, 0.2);
+    EXPECT_LT(star, 0.98);
+    EXPECT_DOUBLE_EQ(
+        sbm_plurality_locked_overlap(star - 0.05, q, 3, false), 0.0);
+    const double above = sbm_plurality_locked_overlap(star + 0.05, q, 3,
+                                                      false);
+    EXPECT_GT(above, 0.1);
+    EXPECT_LE(above, 1.0);
+  }
+}
 
 }  // namespace
