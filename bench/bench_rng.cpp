@@ -41,6 +41,45 @@ void BM_CounterRng_simulator_pattern(benchmark::State& state) {
 }
 BENCHMARK(BM_CounterRng_simulator_pattern);
 
+void BM_CounterRngTile_simulator_pattern(benchmark::State& state) {
+  // The batched form of the pattern above: one SoA tile computes the
+  // first block of kWidth consecutive vertex streams, then each lane
+  // serves its three bounded draws from the precomputed block. The
+  // ratio to BM_CounterRng_simulator_pattern (x16 iterations) is the
+  // per-draw win of batching the Philox work.
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    const CounterRngTile tile(123, 7, base, 0);
+    base += CounterRngTile::kWidth;
+    for (std::size_t lane = 0; lane < CounterRngTile::kWidth; ++lane) {
+      auto gen = tile.stream(lane);
+      benchmark::DoNotOptimize(bounded_u32(gen, 1000));
+      benchmark::DoNotOptimize(bounded_u32(gen, 1000));
+      benchmark::DoNotOptimize(bounded_u32(gen, 1000));
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(CounterRngTile::kWidth));
+}
+BENCHMARK(BM_CounterRngTile_simulator_pattern);
+
+void BM_CounterRngTile_blocks(benchmark::State& state) {
+  // Raw batched block throughput: 16 Philox blocks per tile vs 16
+  // sequential BM_Philox_block generations.
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    CounterRngTile tile(123, 7, base, 0);
+    base += CounterRngTile::kWidth;
+    auto gen = tile.stream(0);
+    benchmark::DoNotOptimize(gen.next_u32());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(CounterRngTile::kWidth));
+}
+BENCHMARK(BM_CounterRngTile_blocks);
+
 void BM_Xoshiro_simulator_pattern(benchmark::State& state) {
   // The sequential alternative: same three draws from one stream. This
   // is what the counter-based design trades ~2x against for exact

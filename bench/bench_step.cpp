@@ -1,13 +1,19 @@
 // M1 — simulation step throughput: vertices/second of one synchronous
 // Best-of-k round across samplers (implicit vs materialised — the
-// DESIGN.md ablation), k values, and thread counts.
+// DESIGN.md ablation), k values, thread counts, and state widths
+// (byte vs 1-bit vs 2/4-bit packed — the Representation ablation;
+// items_per_second here is the rounds/sec-at-n table of
+// docs/BENCHMARKING.md).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/dynamics.hpp"
 #include "core/initializer.hpp"
 #include "core/packed.hpp"
+#include "core/plurality.hpp"
+#include "core/protocol.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
@@ -77,7 +83,7 @@ void BM_Step_ByK(benchmark::State& state) {
 BENCHMARK(BM_Step_ByK)->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(9);
 
 void BM_Step_PackedBits(benchmark::State& state) {
-  // The DESIGN.md layout ablation: bit-packed state vs the byte kernel
+  // The representation ablation: 1-bit state vs the byte kernel
   // (BM_Step_CompleteImplicit with the same n/threads is the baseline).
   const auto n = static_cast<graph::VertexId>(state.range(0));
   const graph::CompleteSampler sampler(n);
@@ -85,10 +91,11 @@ void BM_Step_PackedBits(benchmark::State& state) {
   const core::Opinions init = core::iid_bernoulli(n, 0.4, 1);
   core::PackedOpinions cur{std::span<const core::OpinionValue>(init)};
   core::PackedOpinions next(n);
+  const core::Protocol p = core::best_of(3);
   std::uint64_t round = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::step_best_of_three_packed(
-        sampler, cur, next, 99, round++, pool));
+    benchmark::DoNotOptimize(core::step_protocol_packed(
+        sampler, p, cur, next, 99, round++, pool));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
@@ -97,6 +104,106 @@ BENCHMARK(BM_Step_PackedBits)
     ->Args({1 << 16, 1})
     ->Args({1 << 16, 4})
     ->Args({1 << 20, 4});
+
+void BM_Step_LargeN(benchmark::State& state) {
+  // The rounds/sec-at-large-n headline on the implicit complete graph.
+  // Mode (range 1): 0 = byte batched kernel, 1 = 1-bit packed kernel,
+  // 2 = the scalar per-vertex baseline (a fresh CounterRng per vertex
+  // through next_opinion — the pre-batching hot path, kept as the
+  // denominator of the batching speedup). n = 10^7 rows land in the
+  // checked-in BENCHMARKING.md table.
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  const auto mode = static_cast<unsigned>(state.range(1));
+  const auto threads = static_cast<unsigned>(state.range(2));
+  const graph::CompleteSampler sampler(n);
+  parallel::ThreadPool pool(threads);
+  const core::Opinions init = core::iid_bernoulli(n, 0.4, 1);
+  const core::Protocol p = core::best_of(3);
+  std::uint64_t round = 0;
+  if (mode == 1) {
+    core::PackedOpinions cur{std::span<const core::OpinionValue>(init)};
+    core::PackedOpinions next(n);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(core::step_protocol_packed(
+          sampler, p, cur, next, 99, round++, pool));
+      std::swap(cur, next);
+    }
+  } else if (mode == 2) {
+    core::Opinions cur = init;
+    core::Opinions next(n);
+    for (auto _ : state) {
+      const std::span<const core::OpinionValue> read(cur);
+      std::uint64_t blue = 0;
+      for (std::size_t v = 0; v < n; ++v) {
+        next[v] = core::next_opinion(sampler, read,
+                                     static_cast<graph::VertexId>(v), 3,
+                                     core::TieRule::kRandom, 99, round);
+        blue += next[v];
+      }
+      benchmark::DoNotOptimize(blue);
+      ++round;
+      cur.swap(next);
+    }
+  } else {
+    core::Opinions cur = init;
+    core::Opinions next(n);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(core::step_protocol(sampler, p, cur, next, 99,
+                                                   round++, pool));
+      cur.swap(next);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Step_LargeN)
+    ->Args({10'000'000, 0, 1})
+    ->Args({10'000'000, 1, 1})
+    ->Args({10'000'000, 2, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Step_PluralityWidths(benchmark::State& state) {
+  // q-colour plurality across state widths: 0 = byte, 2 = 2-bit
+  // (q <= 4), 4 = 4-bit (q <= 16).
+  const auto n = static_cast<graph::VertexId>(state.range(0));
+  const auto q = static_cast<unsigned>(state.range(1));
+  const auto width = static_cast<unsigned>(state.range(2));
+  const graph::CompleteSampler sampler(n);
+  parallel::ThreadPool pool(4);
+  const core::Opinions init =
+      core::iid_multi(n, std::vector<double>(q, 1.0 / q), 1);
+  const core::Protocol p = core::plurality(3, q);
+  std::uint64_t round = 0;
+  const auto loop = [&](auto cur, auto next) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(core::step_plurality_packed(
+          sampler, p, cur, next, 99, round++, pool));
+      std::swap(cur, next);
+    }
+  };
+  if (width == 2) {
+    loop(core::PackedColours<2>{std::span<const core::OpinionValue>(init)},
+         core::PackedColours<2>(n));
+  } else if (width == 4) {
+    loop(core::PackedColours<4>{std::span<const core::OpinionValue>(init)},
+         core::PackedColours<4>(n));
+  } else {
+    core::Opinions cur = init;
+    core::Opinions next(n);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(core::step_protocol_multi(
+          sampler, p, cur, next, 99, round++, pool));
+      cur.swap(next);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Step_PluralityWidths)
+    ->Args({1 << 16, 4, 0})
+    ->Args({1 << 16, 4, 2})
+    ->Args({1 << 16, 16, 0})
+    ->Args({1 << 16, 16, 4});
 
 }  // namespace
 

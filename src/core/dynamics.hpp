@@ -11,8 +11,19 @@
 // thread count never changes the outcome. This matches the paper's
 // probability space, where the round-r samples of distinct vertices are
 // independent by construction.
+//
+// Batching: the synchronous kernels generate the per-vertex Philox
+// blocks for whole 16-vertex tiles up front (rng::CounterRngTile — one
+// vectorisable structure-of-arrays pass instead of 16 serial 10-round
+// chains) and the per-vertex decision logic is shared between the
+// scalar entry points, the batched byte kernels and the bit-packed
+// kernels (packed.hpp) through detail::best_of_k_update — ONE
+// implementation of the sampling/majority/tie decision, one RNG
+// placement. The draw sequence is bit-for-bit the scalar CounterRng's,
+// so tests/test_goldens.cpp pins the batched kernels unchanged.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -38,22 +49,30 @@ enum class TieRule : std::uint8_t {
 inline constexpr std::uint32_t kDrawNeighbors = 0;
 inline constexpr std::uint32_t kDrawTie = 1;
 
-/// Computes one vertex's next opinion under Best-of-k. Exposed for the
-/// voting-DAG cross-validation tests.
-template <graph::NeighborSampler S>
-OpinionValue next_opinion(const S& sampler, std::span<const OpinionValue> current,
-                          graph::VertexId v, unsigned k, TieRule tie,
-                          std::uint64_t seed, std::uint64_t round) {
-  rng::CounterRng gen(seed, round, v, kDrawNeighbors);
+namespace detail {
+
+/// One Best-of-k vertex decision, drawing neighbour samples from `gen`
+/// (positioned at the start of the (seed, round, v, kDrawNeighbors)
+/// stream) and reading the current state through `read(u) -> 0/1`.
+/// Shared by every state width — byte spans, 1-bit words — and by the
+/// scalar and batched paths, so the draw placement can never fork:
+/// neighbour samples from `gen`, the kRandom tie coin from a fresh
+/// (seed, round, v, kDrawTie) stream, kKeepOwn reads, the prefer rules
+/// draw nothing.
+template <graph::NeighborSampler S, typename Read, typename Gen>
+OpinionValue best_of_k_update(const S& sampler, Read&& read,
+                              graph::VertexId v, unsigned k, TieRule tie,
+                              std::uint64_t seed, std::uint64_t round,
+                              Gen& gen) {
   unsigned blues = 0;
   for (unsigned i = 0; i < k; ++i) {
-    blues += current[sampler.sample(v, gen)];
+    blues += read(sampler.sample(v, gen));
   }
   if (2 * blues > k) return 1;
   if (2 * blues < k) return 0;
   switch (tie) {  // only reachable for even k
     case TieRule::kKeepOwn:
-      return current[v];
+      return read(v);
     case TieRule::kRandom: {
       rng::CounterRng coin(seed, round, v, kDrawTie);
       return static_cast<OpinionValue>(coin.next_u64() & 1u);
@@ -63,7 +82,34 @@ OpinionValue next_opinion(const S& sampler, std::span<const OpinionValue> curren
     case TieRule::kPreferBlue:
       return 1;
   }
-  return current[v];
+  return read(v);
+}
+
+/// The two-choices decision: adopt iff both samples agree, else keep
+/// own. Bit-for-bit Best-of-2/kKeepOwn (same stream, same outcome);
+/// kept as its own function only so the dedicated kernel below stays a
+/// branch-free two-sample loop.
+template <graph::NeighborSampler S, typename Read, typename Gen>
+OpinionValue two_choices_update(const S& sampler, Read&& read,
+                                graph::VertexId v, Gen& gen) {
+  const OpinionValue s1 = static_cast<OpinionValue>(read(sampler.sample(v, gen)));
+  const OpinionValue s2 = static_cast<OpinionValue>(read(sampler.sample(v, gen)));
+  return s1 == s2 ? s1 : static_cast<OpinionValue>(read(v));
+}
+
+}  // namespace detail
+
+/// Computes one vertex's next opinion under Best-of-k. Exposed for the
+/// voting-DAG cross-validation tests; the round kernels run the same
+/// decision through the batched tile streams.
+template <graph::NeighborSampler S>
+OpinionValue next_opinion(const S& sampler, std::span<const OpinionValue> current,
+                          graph::VertexId v, unsigned k, TieRule tie,
+                          std::uint64_t seed, std::uint64_t round) {
+  rng::CounterRng gen(seed, round, v, kDrawNeighbors);
+  return detail::best_of_k_update(
+      sampler, [&](graph::VertexId u) -> unsigned { return current[u]; }, v, k,
+      tie, seed, round, gen);
 }
 
 /// One synchronous round over all vertices; returns the blue count of
@@ -79,31 +125,45 @@ std::uint64_t step_best_of_k(const S& sampler, std::span<const OpinionValue> cur
     throw std::invalid_argument("step_best_of_k: buffer size mismatch");
   }
   if (k == 0) throw std::invalid_argument("step_best_of_k: k >= 1");
-  constexpr std::size_t kGrain = 4096;
+  constexpr std::size_t kGrain = 4096;  // multiple of the tile width
+  constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const auto read = [&](graph::VertexId u) -> unsigned { return current[u]; };
   return pool.parallel_reduce<std::uint64_t>(
       0, n, kGrain, 0,
       [&](std::size_t lo, std::size_t hi) {
         std::uint64_t blues = 0;
         if (k == 3) {
-          // Fast path for the paper's protocol: unrolled three draws.
-          for (std::size_t v = lo; v < hi; ++v) {
-            rng::CounterRng gen(seed, round, static_cast<std::uint64_t>(v),
-                                kDrawNeighbors);
-            const auto vid = static_cast<graph::VertexId>(v);
-            const unsigned b = current[sampler.sample(vid, gen)] +
-                               current[sampler.sample(vid, gen)] +
-                               current[sampler.sample(vid, gen)];
-            const OpinionValue out = b >= 2 ? 1 : 0;
-            next[v] = out;
-            blues += out;
+          // Fast path for the paper's protocol: three unrolled draws
+          // per vertex, one precomputed block each — the tile IS the
+          // round's randomness.
+          for (std::size_t base = lo; base < hi; base += kW) {
+            const std::size_t lanes = std::min(kW, hi - base);
+            const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                           lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              auto gen = tile.stream(i);
+              const unsigned b = current[sampler.sample(vid, gen)] +
+                                 current[sampler.sample(vid, gen)] +
+                                 current[sampler.sample(vid, gen)];
+              const OpinionValue out = b >= 2 ? 1 : 0;
+              next[base + i] = out;
+              blues += out;
+            }
           }
         } else {
-          for (std::size_t v = lo; v < hi; ++v) {
-            const OpinionValue out =
-                next_opinion(sampler, current, static_cast<graph::VertexId>(v), k,
-                             tie, seed, round);
-            next[v] = out;
-            blues += out;
+          for (std::size_t base = lo; base < hi; base += kW) {
+            const std::size_t lanes = std::min(kW, hi - base);
+            const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                           lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              auto gen = tile.stream(i);
+              const OpinionValue out = detail::best_of_k_update(
+                  sampler, read, vid, k, tie, seed, round, gen);
+              next[base + i] = out;
+              blues += out;
+            }
           }
         }
         return blues;
@@ -137,19 +197,24 @@ std::uint64_t step_two_choices(const S& sampler,
     throw std::invalid_argument("step_two_choices: buffer size mismatch");
   }
   constexpr std::size_t kGrain = 4096;
+  constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const auto read = [&](graph::VertexId u) -> unsigned { return current[u]; };
   return pool.parallel_reduce<std::uint64_t>(
       0, n, kGrain, 0,
       [&](std::size_t lo, std::size_t hi) {
         std::uint64_t blues = 0;
-        for (std::size_t v = lo; v < hi; ++v) {
-          rng::CounterRng gen(seed, round, static_cast<std::uint64_t>(v),
-                              kDrawNeighbors);
-          const auto vid = static_cast<graph::VertexId>(v);
-          const OpinionValue s1 = current[sampler.sample(vid, gen)];
-          const OpinionValue s2 = current[sampler.sample(vid, gen)];
-          const OpinionValue out = s1 == s2 ? s1 : current[v];
-          next[v] = out;
-          blues += out;
+        for (std::size_t base = lo; base < hi; base += kW) {
+          const std::size_t lanes = std::min(kW, hi - base);
+          const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                         lanes);
+          for (std::size_t i = 0; i < lanes; ++i) {
+            const auto vid = static_cast<graph::VertexId>(base + i);
+            auto gen = tile.stream(i);
+            const OpinionValue out =
+                detail::two_choices_update(sampler, read, vid, gen);
+            next[base + i] = out;
+            blues += out;
+          }
         }
         return blues;
       },
@@ -166,7 +231,11 @@ inline constexpr std::uint32_t kDrawNoise = 3;
 /// mass, which mean-field predicts as the stable fixed point of
 ///   b' = (1 - noise) * map_k(b) + noise/2
 /// (see theory::noisy_best_of_three_map and exp_noise). Returns the
-/// blue count of `next`.
+/// blue count of `next`. Two batched streams per tile: the kDrawNoise
+/// coin for every vertex, the kDrawNeighbors block consumed only by
+/// non-faulted vertices — the same per-vertex draws as the scalar
+/// path (a faulted vertex's neighbour block is generated and
+/// discarded; generation is free of sequencing, so nothing shifts).
 template <graph::NeighborSampler S>
 std::uint64_t step_best_of_k_noisy(const S& sampler,
                                    std::span<const OpinionValue> current,
@@ -183,22 +252,32 @@ std::uint64_t step_best_of_k_noisy(const S& sampler,
   }
   const rng::BernoulliSampler coin(noise);
   constexpr std::size_t kGrain = 4096;
+  constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const auto read = [&](graph::VertexId u) -> unsigned { return current[u]; };
   return pool.parallel_reduce<std::uint64_t>(
       0, n, kGrain, 0,
       [&](std::size_t lo, std::size_t hi) {
         std::uint64_t blues = 0;
-        for (std::size_t v = lo; v < hi; ++v) {
-          rng::CounterRng noise_gen(seed, round, static_cast<std::uint64_t>(v),
-                                    kDrawNoise);
-          OpinionValue out;
-          if (coin(noise_gen)) {
-            out = static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
-          } else {
-            out = next_opinion(sampler, current, static_cast<graph::VertexId>(v),
-                               k, tie, seed, round);
+        for (std::size_t base = lo; base < hi; base += kW) {
+          const std::size_t lanes = std::min(kW, hi - base);
+          const rng::CounterRngTile noise_tile(seed, round, base, kDrawNoise,
+                                               lanes);
+          const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                         lanes);
+          for (std::size_t i = 0; i < lanes; ++i) {
+            const auto vid = static_cast<graph::VertexId>(base + i);
+            auto noise_gen = noise_tile.stream(i);
+            OpinionValue out;
+            if (coin(noise_gen)) {
+              out = static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
+            } else {
+              auto gen = tile.stream(i);
+              out = detail::best_of_k_update(sampler, read, vid, k, tie, seed,
+                                             round, gen);
+            }
+            next[base + i] = out;
+            blues += out;
           }
-          next[v] = out;
-          blues += out;
         }
         return blues;
       },
@@ -218,7 +297,9 @@ inline constexpr std::uint32_t kDrawAsyncPick = 2;
 /// sampled outcome, mirroring step_best_of_k_noisy's kDrawNoise stream
 /// keyed by (seed, micro, v); noise = 0 draws nothing extra, so the
 /// noiseless stream is untouched. Takes and returns the blue count so
-/// callers never rescan the state.
+/// callers never rescan the state. Inherently sequential (each update
+/// reads the previous one's write), so this path stays scalar — the
+/// batched tiles only serve the synchronous kernels.
 template <graph::NeighborSampler S>
 std::uint64_t step_async_sweep(const S& sampler, std::span<OpinionValue> state,
                                unsigned k, TieRule tie, double noise,

@@ -45,11 +45,13 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/dynamics.hpp"
 #include "core/opinion.hpp"
+#include "core/packed.hpp"
 #include "core/protocol.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
@@ -61,6 +63,114 @@ namespace b3v::core {
 /// "round" is n single-vertex updates of uniformly random vertices,
 /// in place.
 enum class Schedule : std::uint8_t { kSynchronous, kAsyncSweeps };
+
+/// State representation the engine runs a protocol on. kByte is one
+/// byte per vertex (the Opinions vector every kernel family supports);
+/// the packed widths trade shift/mask reads for an 8-32x smaller
+/// working set and memory footprint:
+///   kBit1  binary rules (any k/tie/noise), 64 vertices per word
+///   kBit2  plurality with q <= 4, 32 vertices per word
+///   kBit4  plurality with q <= 16, 16 vertices per word
+/// kAuto picks byte below kPackedAutoThreshold vertices and the
+/// narrowest fitting width above it (synchronous runs only — the async
+/// sweep kernel updates bytes in place). Every width runs the SAME
+/// shared per-vertex decisions over the SAME streams, so the choice
+/// never changes a trajectory, only the rounds/sec.
+enum class Representation : std::uint8_t {
+  kAuto,
+  kByte,
+  kBit1,
+  kBit2,
+  kBit4,
+};
+
+/// Canonical spelling of a representation (for logs and bench labels).
+constexpr std::string_view name(Representation r) {
+  switch (r) {
+    case Representation::kAuto: return "auto";
+    case Representation::kByte: return "byte";
+    case Representation::kBit1: return "1-bit";
+    case Representation::kBit2: return "2-bit";
+    case Representation::kBit4: return "4-bit";
+  }
+  return "?";
+}
+
+/// Vertex count above which kAuto switches from byte to packed state.
+/// Below it the byte state is cache-resident on any plausible host and
+/// the shift/mask overhead of packed reads is pure loss. The switch
+/// point is where the byte double buffer (2n bytes, ~0.5 GB at 2^28)
+/// has outgrown even the largest L3s: there the two representations
+/// measure at speed parity on the bench host (its 266 MB L3 keeps
+/// byte state resident far longer than typical machines — see
+/// docs/BENCHMARKING.md), and auto takes the 8-32x smaller footprint,
+/// which is what lets paper-scale n run at all. Speed-sensitive
+/// callers on small-cache hosts can override via RunSpec.
+inline constexpr std::size_t kPackedAutoThreshold = std::size_t{1} << 28;
+
+/// Resolves the representation a run will actually use, validating
+/// explicit requests: unsupported (protocol, schedule, width)
+/// combinations throw std::invalid_argument here — at dispatch, before
+/// any round runs — rather than running silently-wrong dynamics.
+/// kAuto never throws; it falls back to kByte wherever packed state is
+/// unsupported.
+constexpr Representation resolve_representation(const Protocol& p,
+                                                Schedule schedule,
+                                                std::size_t n,
+                                                Representation requested) {
+  if (requested == Representation::kAuto) {
+    if (schedule != Schedule::kSynchronous || n < kPackedAutoThreshold) {
+      return Representation::kByte;
+    }
+    if (p.kind == RuleKind::kPlurality) {
+      if (p.q <= PackedColours<2>::kCapacity) return Representation::kBit2;
+      if (p.q <= PackedColours<4>::kCapacity) return Representation::kBit4;
+      return Representation::kByte;  // q > 16 needs the byte state
+    }
+    return Representation::kBit1;
+  }
+  if (requested == Representation::kByte) return requested;
+  if (schedule != Schedule::kSynchronous) {
+    throw std::invalid_argument(
+        "resolve_representation: packed state is synchronous-only — the "
+        "asynchronous sweep kernel updates bytes in place");
+  }
+  switch (requested) {
+    case Representation::kBit1:
+      if (p.kind == RuleKind::kPlurality) {
+        throw std::invalid_argument(
+            "resolve_representation: q-colour plurality does not fit 1-bit "
+            "state — request kBit2 (q <= 4), kBit4 (q <= 16) or kByte");
+      }
+      return requested;
+    case Representation::kBit2:
+      if (p.kind != RuleKind::kPlurality) {
+        throw std::invalid_argument(
+            "resolve_representation: binary rules run on kBit1 or kByte, "
+            "not the 2-bit colour state");
+      }
+      if (p.q > PackedColours<2>::kCapacity) {
+        throw std::invalid_argument(
+            "resolve_representation: q > 4 does not fit 2-bit lanes — "
+            "request kBit4 or kByte");
+      }
+      return requested;
+    case Representation::kBit4:
+      if (p.kind != RuleKind::kPlurality) {
+        throw std::invalid_argument(
+            "resolve_representation: binary rules run on kBit1 or kByte, "
+            "not the 4-bit colour state");
+      }
+      if (p.q > PackedColours<4>::kCapacity) {
+        throw std::invalid_argument(
+            "resolve_representation: q > 16 does not fit 4-bit lanes — "
+            "only kByte holds it");
+      }
+      return requested;
+    default:
+      throw std::invalid_argument("resolve_representation: unknown value");
+  }
+}
 
 /// Per-round hook: (t, state after round t, its blue count) -> keep
 /// running?
@@ -75,6 +185,10 @@ struct RunSpec {
   Schedule schedule = Schedule::kSynchronous;
   bool stop_at_consensus = true;        // false: run the full budget
                                         // (stationary measurements)
+  Representation representation = Representation::kAuto;  // state width;
+                                        // kAuto picks by (n, protocol,
+                                        // schedule), override for
+                                        // benchmarking
   RoundObserver observer{};             // null = observe nothing
 };
 
@@ -208,6 +322,8 @@ SimResult run(const S& sampler, Opinions initial, const RunSpec& spec,
   if (initial.size() != n) {
     throw std::invalid_argument("core::run: initial state size mismatch");
   }
+  const Representation rep = resolve_representation(
+      spec.protocol, spec.schedule, n, spec.representation);
   if (spec.schedule == Schedule::kAsyncSweeps) {
     // In-place single-vertex updates; inherently sequential, the pool
     // is unused. One "round" = one sweep of n micro-updates with a
@@ -225,6 +341,29 @@ SimResult run(const S& sampler, Opinions initial, const RunSpec& spec,
         },
         [&] { return std::span<const OpinionValue>(state); });
     result.final_state = std::move(state);
+    return result;
+  }
+  if (rep == Representation::kBit1) {
+    // 1-bit state: same kernels' decisions over the same streams, so
+    // the trajectory equals the byte path's bit for bit; observers see
+    // a lazily unpacked byte view (only materialised when one is set).
+    count_colours(initial, 2);  // packing coerces — reject loudly instead
+    PackedOpinions current{std::span<const OpinionValue>(initial)};
+    PackedOpinions next(n);
+    Opinions scratch;
+    SimResult result = detail::run_loop(
+        n, current.count_blue(), spec,
+        [&](std::uint64_t round) {
+          const std::uint64_t blue = step_protocol_packed(
+              sampler, spec.protocol, current, next, spec.seed, round, pool);
+          std::swap(current, next);
+          return blue;
+        },
+        [&] {
+          scratch = current.unpack();
+          return std::span<const OpinionValue>(scratch);
+        });
+    result.final_state = current.unpack();
     return result;
   }
   Opinions current = std::move(initial);
@@ -266,6 +405,7 @@ struct MultiRunSpec {
   std::uint64_t seed = 1;
   std::uint64_t max_rounds = 10000;
   bool stop_at_consensus = true;
+  Representation representation = Representation::kAuto;  // state width
   MultiRoundObserver observer{};
 };
 
@@ -344,20 +484,19 @@ MultiRoundObserver chain(Obs... obs) {
 /// of the binary overload bit-for-bit); kPlurality runs
 /// step_plurality. Deterministic in (sampler, initial, spec) at any
 /// thread count.
-template <graph::NeighborSampler S>
-MultiSimResult run(const S& sampler, Opinions initial,
-                   const MultiRunSpec& spec, parallel::ThreadPool& pool) {
-  validate(spec.protocol);
-  const unsigned q = spec.protocol.num_colours();
-  const std::size_t n = sampler.num_vertices();
-  if (initial.size() != n) {
-    throw std::invalid_argument("core::run: initial state size mismatch");
-  }
-  Opinions current = std::move(initial);
-  Opinions next(n);
-  // Rejects any initial colour >= q up front.
-  std::vector<std::uint64_t> counts = count_colours(current, q);
+namespace detail {
 
+/// Shared bookkeeping of the multi-opinion path, mirroring run_loop:
+/// consensus check before each round, observer after each write, final
+/// flags. `step(round)` advances one round and returns the new
+/// per-colour counts; `state()` views (or lazily materialises) the
+/// current configuration as bytes — evaluated only when an observer is
+/// set, so packed runs without observers never unpack mid-run.
+template <typename StepFn, typename StateFn>
+MultiSimResult multi_run_loop(std::size_t n, unsigned q,
+                              std::vector<std::uint64_t> counts,
+                              const MultiRunSpec& spec, StepFn&& step,
+                              StateFn&& state) {
   MultiSimResult result;
   result.num_vertices = n;
   const auto winner_if_consensus = [&](std::span<const std::uint64_t> c) {
@@ -366,9 +505,7 @@ MultiSimResult run(const S& sampler, Opinions initial,
     }
     return -1;
   };
-  bool keep_going =
-      !spec.observer || spec.observer(0, std::span<const OpinionValue>(current),
-                                      counts);
+  bool keep_going = !spec.observer || spec.observer(0, state(), counts);
   for (std::uint64_t round = 0; keep_going && round < spec.max_rounds;
        ++round) {
     if (spec.stop_at_consensus) {
@@ -379,13 +516,10 @@ MultiSimResult run(const S& sampler, Opinions initial,
         break;
       }
     }
-    counts = step_protocol_multi(sampler, spec.protocol, current, next,
-                                 spec.seed, round, pool);
-    current.swap(next);
+    counts = step(round);
     ++result.rounds;
     if (spec.observer) {
-      keep_going = spec.observer(
-          result.rounds, std::span<const OpinionValue>(current), counts);
+      keep_going = spec.observer(result.rounds, state(), counts);
     }
   }
   if (!result.consensus) {
@@ -396,6 +530,80 @@ MultiSimResult run(const S& sampler, Opinions initial,
     }
   }
   result.final_counts = std::move(counts);
+  return result;
+}
+
+}  // namespace detail
+
+template <graph::NeighborSampler S>
+MultiSimResult run(const S& sampler, Opinions initial,
+                   const MultiRunSpec& spec, parallel::ThreadPool& pool) {
+  validate(spec.protocol);
+  const unsigned q = spec.protocol.num_colours();
+  const std::size_t n = sampler.num_vertices();
+  if (initial.size() != n) {
+    throw std::invalid_argument("core::run: initial state size mismatch");
+  }
+  const Representation rep = resolve_representation(
+      spec.protocol, Schedule::kSynchronous, n, spec.representation);
+  // Rejects any initial colour >= q up front (every representation).
+  std::vector<std::uint64_t> counts = count_colours(initial, q);
+
+  if (rep == Representation::kBit1) {
+    // Binary rule on 1-bit state, reporting {red, blue}.
+    PackedOpinions current{std::span<const OpinionValue>(initial)};
+    PackedOpinions next(n);
+    Opinions scratch;
+    MultiSimResult result = detail::multi_run_loop(
+        n, q, std::move(counts), spec,
+        [&](std::uint64_t round) {
+          const std::uint64_t blue = step_protocol_packed(
+              sampler, spec.protocol, current, next, spec.seed, round, pool);
+          std::swap(current, next);
+          return std::vector<std::uint64_t>{n - blue, blue};
+        },
+        [&] {
+          scratch = current.unpack();
+          return std::span<const OpinionValue>(scratch);
+        });
+    result.final_state = current.unpack();
+    return result;
+  }
+  if (rep == Representation::kBit2 || rep == Representation::kBit4) {
+    const auto run_packed = [&]<unsigned Bits>() {
+      PackedColours<Bits> current{std::span<const OpinionValue>(initial)};
+      PackedColours<Bits> next(n);
+      Opinions scratch;
+      MultiSimResult result = detail::multi_run_loop(
+          n, q, std::move(counts), spec,
+          [&](std::uint64_t round) {
+            auto c = step_plurality_packed(sampler, spec.protocol, current,
+                                           next, spec.seed, round, pool);
+            std::swap(current, next);
+            return c;
+          },
+          [&] {
+            scratch = current.unpack();
+            return std::span<const OpinionValue>(scratch);
+          });
+      result.final_state = current.unpack();
+      return result;
+    };
+    return rep == Representation::kBit2
+               ? run_packed.template operator()<2>()
+               : run_packed.template operator()<4>();
+  }
+  Opinions current = std::move(initial);
+  Opinions next(n);
+  MultiSimResult result = detail::multi_run_loop(
+      n, q, std::move(counts), spec,
+      [&](std::uint64_t round) {
+        auto c = step_protocol_multi(sampler, spec.protocol, current, next,
+                                     spec.seed, round, pool);
+        current.swap(next);
+        return c;
+      },
+      [&] { return std::span<const OpinionValue>(current); });
   result.final_state = std::move(current);
   return result;
 }

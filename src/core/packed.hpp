@@ -1,17 +1,31 @@
-// Bit-packed opinion storage — the memory-layout ablation of DESIGN.md.
+// Bit-packed opinion storage — the narrow state widths of the
+// representation ablation (DESIGN.md) and the engine's large-n path.
 //
-// Binary opinions fit one bit each; packing 64 per word cuts the state
-// from n bytes to n/8 and can help when the working set misses cache.
-// The cost is shift/mask arithmetic on the *random-access* reads the
-// sampling loop performs (neighbour indices are not sequential), and a
-// word-locked write pattern for the parallel store. `bench_step`
-// measures both representations on identical instances; the byte form
-// wins on the dense instances this library targets (random reads
-// dominate, and bytes avoid read-modify-write), which is why it is the
-// default. The packed form is kept as a supported alternative for
-// memory-bound workloads (n >> cache).
+// Binary opinions fit one bit each (PackedOpinions: 64 vertices per
+// word, n bytes -> n/8); q-colour plurality state fits 2 bits for
+// q <= 4 and 4 bits for q <= 16 (PackedColours<2>/<4>). Packing costs
+// shift/mask arithmetic on the *random-access* reads the sampling loop
+// performs and forces a word-locked write pattern (one writer per
+// word, no atomics) — but it divides the working set by 8-32x, which
+// wins once the state outgrows cache (n in the tens of millions, the
+// regime the paper's n = 10^7..10^9 sweeps live in). bench_step
+// measures both representations on identical instances; core::run
+// auto-selects by n (engine.hpp, Representation) with an explicit
+// override for benchmarking.
+//
+// The round kernels here are protocol-aware peers of the byte kernels:
+// step_protocol_packed runs EVERY binary rule (any k, every TieRule,
+// noise) and step_plurality_packed every q-colour plurality rule that
+// fits the width, through the same shared per-vertex decisions
+// (detail::best_of_k_update / detail::plurality_update) and the same
+// batched tile streams — so byte and packed rounds agree bit for bit
+// (tests/test_packed.cpp pins the equivalence per registry protocol).
+// Unsupported (protocol, width) combinations throw invalid_argument
+// rather than run silently-wrong dynamics.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -19,6 +33,8 @@
 
 #include "core/dynamics.hpp"
 #include "core/opinion.hpp"
+#include "core/plurality.hpp"
+#include "core/protocol.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/philox.hpp"
@@ -76,37 +92,156 @@ class PackedOpinions {
   std::vector<std::uint64_t> words_;
 };
 
-/// One synchronous Best-of-3 round on packed state. Parallelism is over
-/// 64-vertex word blocks so each output word has a single writer (no
-/// atomics). Draw-for-draw identical to the byte kernel: same
-/// (seed, round, vertex) streams, so outputs agree bit for bit.
+/// Fixed-size q-colour state with `Bits` bits per vertex: 2 bits hold
+/// q <= 4 colours (32 vertices/word), 4 bits q <= 16 (16 vertices/word).
+/// The lane order is little-endian within a word, mirroring
+/// PackedOpinions' bit order.
+template <unsigned Bits>
+class PackedColours {
+  static_assert(Bits == 2 || Bits == 4, "supported widths: 2 and 4 bits");
+
+ public:
+  static constexpr unsigned kBits = Bits;
+  static constexpr unsigned kLanes = 64 / Bits;     // vertices per word
+  static constexpr unsigned kCapacity = 1u << Bits; // colours that fit
+  static constexpr std::uint64_t kLaneMask = kCapacity - 1;
+
+  PackedColours() = default;
+  explicit PackedColours(std::size_t n)
+      : n_(n), words_((n + kLanes - 1) / kLanes, 0) {}
+
+  /// Packs a byte-per-vertex colour vector; every value must fit the
+  /// width (throws std::invalid_argument otherwise).
+  explicit PackedColours(std::span<const OpinionValue> colours)
+      : PackedColours(colours.size()) {
+    for (std::size_t v = 0; v < colours.size(); ++v) {
+      if (colours[v] >= kCapacity) {
+        throw std::invalid_argument(
+            "PackedColours: colour value does not fit the lane width");
+      }
+      set(v, colours[v]);
+    }
+  }
+
+  std::size_t size() const noexcept { return n_; }
+
+  OpinionValue get(std::size_t v) const noexcept {
+    return static_cast<OpinionValue>(
+        (words_[v / kLanes] >> ((v % kLanes) * Bits)) & kLaneMask);
+  }
+
+  void set(std::size_t v, OpinionValue value) noexcept {
+    const unsigned shift = (v % kLanes) * Bits;
+    std::uint64_t& w = words_[v / kLanes];
+    w = (w & ~(kLaneMask << shift)) |
+        (static_cast<std::uint64_t>(value & kLaneMask) << shift);
+  }
+
+  /// Unpacks to the byte representation.
+  Opinions unpack() const {
+    Opinions out(n_);
+    for (std::size_t v = 0; v < n_; ++v) out[v] = get(v);
+    return out;
+  }
+
+  /// Per-colour counts over q colours; throws if any stored value is
+  /// >= q (same contract as core::count_colours on bytes).
+  std::vector<std::uint64_t> count_colours(unsigned q) const {
+    std::vector<std::uint64_t> counts(q, 0);
+    for (std::size_t v = 0; v < n_; ++v) {
+      const OpinionValue c = get(v);
+      if (c >= q) {
+        throw std::invalid_argument("PackedColours: colour value >= q");
+      }
+      ++counts[c];
+    }
+    return counts;
+  }
+
+  std::size_t num_words() const noexcept { return words_.size(); }
+  std::uint64_t word(std::size_t i) const { return words_.at(i); }
+  void set_word(std::size_t i, std::uint64_t w) { words_.at(i) = w; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// One synchronous round of any BINARY protocol on 1-bit state — the
+/// packed peer of step_protocol: every k, every TieRule, the noisy
+/// path; identical (seed, round, vertex, purpose) streams through the
+/// same shared per-vertex decision, so the written state equals the
+/// byte kernels' bit for bit. Parallelism is over 64-vertex words (one
+/// writer per word); each word's randomness comes from four 16-lane
+/// tiles. Returns the blue count of `next`.
+///
+/// kPlurality values are refused with std::invalid_argument: their
+/// state space does not fit one bit — use step_plurality_packed over
+/// PackedColours (the engine's Representation dispatch does this).
 template <graph::NeighborSampler S>
-std::uint64_t step_best_of_three_packed(const S& sampler,
-                                        const PackedOpinions& current,
-                                        PackedOpinions& next,
-                                        std::uint64_t seed, std::uint64_t round,
-                                        parallel::ThreadPool& pool) {
+std::uint64_t step_protocol_packed(const S& sampler, const Protocol& p,
+                                   const PackedOpinions& current,
+                                   PackedOpinions& next, std::uint64_t seed,
+                                   std::uint64_t round,
+                                   parallel::ThreadPool& pool) {
+  if (p.kind == RuleKind::kPlurality) {
+    throw std::invalid_argument(
+        "step_protocol_packed: q-colour plurality does not fit 1-bit "
+        "state — use step_plurality_packed over PackedColours");
+  }
+  validate(p);
   const std::size_t n = sampler.num_vertices();
   if (current.size() != n || next.size() != n) {
-    throw std::invalid_argument("step_best_of_three_packed: size mismatch");
+    throw std::invalid_argument("step_protocol_packed: size mismatch");
   }
+  const unsigned k = p.effective_k();
+  const TieRule tie = p.effective_tie();
+  const bool noisy = p.noise > 0.0;
+  const rng::BernoulliSampler coin(p.noise);
   const std::size_t num_words = current.num_words();
   constexpr std::size_t kWordGrain = 64;  // 4096 vertices per chunk
+  constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const auto read = [&](graph::VertexId u) -> unsigned {
+    return current.get(u);
+  };
   return pool.parallel_reduce<std::uint64_t>(
       0, num_words, kWordGrain, 0,
       [&](std::size_t lo, std::size_t hi) {
         std::uint64_t blues = 0;
         for (std::size_t w = lo; w < hi; ++w) {
           std::uint64_t out = 0;
-          const std::size_t base = w * 64;
-          const std::size_t limit = std::min<std::size_t>(64, n - base);
-          for (std::size_t bit = 0; bit < limit; ++bit) {
-            const auto v = static_cast<graph::VertexId>(base + bit);
-            rng::CounterRng gen(seed, round, v, kDrawNeighbors);
-            const unsigned b = current.get(sampler.sample(v, gen)) +
-                               current.get(sampler.sample(v, gen)) +
-                               current.get(sampler.sample(v, gen));
-            if (b >= 2) out |= std::uint64_t{1} << bit;
+          const std::size_t word_base = w * 64;
+          const std::size_t limit = std::min<std::size_t>(64, n - word_base);
+          for (std::size_t sub = 0; sub < limit; sub += kW) {
+            const std::size_t base = word_base + sub;
+            const std::size_t lanes = std::min(kW, limit - sub);
+            const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                           lanes);
+            if (!noisy) {
+              for (std::size_t i = 0; i < lanes; ++i) {
+                const auto vid = static_cast<graph::VertexId>(base + i);
+                auto gen = tile.stream(i);
+                const OpinionValue o = detail::best_of_k_update(
+                    sampler, read, vid, k, tie, seed, round, gen);
+                out |= static_cast<std::uint64_t>(o) << (sub + i);
+              }
+            } else {
+              const rng::CounterRngTile noise_tile(seed, round, base,
+                                                   kDrawNoise, lanes);
+              for (std::size_t i = 0; i < lanes; ++i) {
+                const auto vid = static_cast<graph::VertexId>(base + i);
+                auto noise_gen = noise_tile.stream(i);
+                OpinionValue o;
+                if (coin(noise_gen)) {
+                  o = static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
+                } else {
+                  auto gen = tile.stream(i);
+                  o = detail::best_of_k_update(sampler, read, vid, k, tie,
+                                               seed, round, gen);
+                }
+                out |= static_cast<std::uint64_t>(o) << (sub + i);
+              }
+            }
           }
           next.set_word(w, out);
           blues += std::popcount(out);
@@ -114,6 +249,72 @@ std::uint64_t step_best_of_three_packed(const S& sampler,
         return blues;
       },
       [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+/// One synchronous q-colour plurality round on Bits-wide state — the
+/// packed peer of step_plurality, same streams, same shared decision;
+/// returns per-colour counts of `next`. Refuses (invalid_argument)
+/// non-plurality protocols (binary rules belong on PackedOpinions or
+/// bytes) and q beyond the lane capacity.
+template <unsigned Bits, graph::NeighborSampler S>
+std::vector<std::uint64_t> step_plurality_packed(
+    const S& sampler, const Protocol& p, const PackedColours<Bits>& current,
+    PackedColours<Bits>& next, std::uint64_t seed, std::uint64_t round,
+    parallel::ThreadPool& pool) {
+  if (p.kind != RuleKind::kPlurality) {
+    throw std::invalid_argument(
+        "step_plurality_packed: binary protocol on q-colour state — use "
+        "step_protocol_packed (1-bit) or the byte kernels");
+  }
+  validate(p);
+  if (p.q > PackedColours<Bits>::kCapacity) {
+    throw std::invalid_argument(
+        "step_plurality_packed: q exceeds the lane capacity of this width");
+  }
+  const std::size_t n = sampler.num_vertices();
+  if (current.size() != n || next.size() != n) {
+    throw std::invalid_argument("step_plurality_packed: size mismatch");
+  }
+  constexpr unsigned kLanes = PackedColours<Bits>::kLanes;
+  constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  // 4096 vertices per chunk, matching the byte kernels' grain.
+  constexpr std::size_t kWordGrain = 4096 / kLanes;
+  using Counts = std::vector<std::uint64_t>;
+  const std::size_t num_words = current.num_words();
+  const auto read = [&](graph::VertexId u) -> OpinionValue {
+    return current.get(u);
+  };
+  return pool.parallel_reduce<Counts>(
+      0, num_words, kWordGrain, Counts(p.q, 0),
+      [&](std::size_t lo, std::size_t hi) {
+        Counts local(p.q, 0);
+        for (std::size_t w = lo; w < hi; ++w) {
+          std::uint64_t out = 0;
+          const std::size_t word_base = w * kLanes;
+          const std::size_t limit =
+              std::min<std::size_t>(kLanes, n - word_base);
+          for (std::size_t sub = 0; sub < limit; sub += kW) {
+            const std::size_t base = word_base + sub;
+            const std::size_t lanes = std::min(kW, limit - sub);
+            const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                           lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              auto gen = tile.stream(i);
+              const OpinionValue o = detail::plurality_update(
+                  sampler, read, vid, p.k, p.q, p.ptie, seed, round, gen);
+              out |= static_cast<std::uint64_t>(o) << ((sub + i) * Bits);
+              ++local[o];
+            }
+          }
+          next.set_word(w, out);
+        }
+        return local;
+      },
+      [&p](Counts a, const Counts& b) {
+        for (unsigned c = 0; c < p.q; ++c) a[c] += b[c];
+        return a;
+      });
 }
 
 }  // namespace b3v::core

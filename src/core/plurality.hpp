@@ -20,6 +20,7 @@
 // step_two_choices — tests/test_plurality.cpp pins both identities).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
@@ -41,17 +42,23 @@ enum class PluralityTie : std::uint8_t {
   kRandom,   // uniform among the tied most-frequent colours
 };
 
-/// One vertex update. `q` colours in [1, kMaxOpinions].
-template <graph::NeighborSampler S>
-OpinionValue next_plurality_opinion(const S& sampler,
-                                    std::span<const OpinionValue> current,
-                                    graph::VertexId v, unsigned k, unsigned q,
-                                    PluralityTie tie, std::uint64_t seed,
-                                    std::uint64_t round) {
+namespace detail {
+
+/// One plurality vertex decision over a generic state reader and a
+/// generic neighbour-draw generator — the single implementation shared
+/// by the scalar entry point, the batched byte kernel and the 2/4-bit
+/// packed kernel (packed.hpp), exactly like best_of_k_update for the
+/// binary rules. `gen` must be positioned at the start of the
+/// (seed, round, v, kDrawNeighbors) stream; the kRandom tie coin comes
+/// from a fresh kDrawTie stream, kKeepOwn draws nothing.
+template <graph::NeighborSampler S, typename Read, typename Gen>
+OpinionValue plurality_update(const S& sampler, Read&& read,
+                              graph::VertexId v, unsigned k, unsigned q,
+                              PluralityTie tie, std::uint64_t seed,
+                              std::uint64_t round, Gen& gen) {
   std::array<std::uint8_t, kMaxOpinions> counts{};
-  rng::CounterRng gen(seed, round, v, kDrawNeighbors);
   for (unsigned i = 0; i < k; ++i) {
-    ++counts[current[sampler.sample(v, gen)]];
+    ++counts[read(sampler.sample(v, gen))];
   }
   unsigned best = 0;
   for (unsigned c = 1; c < q; ++c) {
@@ -66,13 +73,28 @@ OpinionValue next_plurality_opinion(const S& sampler,
   if (num_tied == 1) return tied[0];
   switch (tie) {
     case PluralityTie::kKeepOwn:
-      return current[v];
+      return static_cast<OpinionValue>(read(v));
     case PluralityTie::kRandom: {
       rng::CounterRng coin(seed, round, v, kDrawTie);
       return tied[rng::bounded_u32(coin, num_tied)];
     }
   }
-  return current[v];
+  return static_cast<OpinionValue>(read(v));
+}
+
+}  // namespace detail
+
+/// One vertex update. `q` colours in [1, kMaxOpinions].
+template <graph::NeighborSampler S>
+OpinionValue next_plurality_opinion(const S& sampler,
+                                    std::span<const OpinionValue> current,
+                                    graph::VertexId v, unsigned k, unsigned q,
+                                    PluralityTie tie, std::uint64_t seed,
+                                    std::uint64_t round) {
+  rng::CounterRng gen(seed, round, v, kDrawNeighbors);
+  return detail::plurality_update(
+      sampler, [&](graph::VertexId u) { return current[u]; }, v, k, q, tie,
+      seed, round, gen);
 }
 
 /// One synchronous plurality round; returns per-colour counts of `next`.
@@ -90,16 +112,24 @@ std::vector<std::uint64_t> step_plurality(
   }
   using Counts = std::vector<std::uint64_t>;
   constexpr std::size_t kGrain = 4096;
+  constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const auto read = [&](graph::VertexId u) { return current[u]; };
   return pool.parallel_reduce<Counts>(
       0, n, kGrain, Counts(q, 0),
       [&](std::size_t lo, std::size_t hi) {
         Counts local(q, 0);
-        for (std::size_t v = lo; v < hi; ++v) {
-          const OpinionValue out = next_plurality_opinion(
-              sampler, current, static_cast<graph::VertexId>(v), k, q, tie,
-              seed, round);
-          next[v] = out;
-          ++local[out];
+        for (std::size_t base = lo; base < hi; base += kW) {
+          const std::size_t lanes = std::min(kW, hi - base);
+          const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                         lanes);
+          for (std::size_t i = 0; i < lanes; ++i) {
+            const auto vid = static_cast<graph::VertexId>(base + i);
+            auto gen = tile.stream(i);
+            const OpinionValue out = detail::plurality_update(
+                sampler, read, vid, k, q, tie, seed, round, gen);
+            next[base + i] = out;
+            ++local[out];
+          }
         }
         return local;
       },

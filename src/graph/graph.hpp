@@ -61,7 +61,7 @@ class Graph {
   /// Uniform random neighbour of v (with replacement across calls).
   /// Precondition: degree(v) > 0.
   template <typename G>
-  VertexId sample_neighbor(VertexId v, G& gen) const noexcept {
+  VertexId sample_neighbor(VertexId v, G& gen) const {
     const auto row = neighbors(v);
     return row[rng::bounded_u32(gen, static_cast<std::uint32_t>(row.size()))];
   }

@@ -42,7 +42,7 @@ class CsrSampler {
   std::uint32_t degree(VertexId v) const noexcept { return graph_->degree(v); }
 
   template <typename G>
-  VertexId sample(VertexId v, G& gen) const noexcept {
+  VertexId sample(VertexId v, G& gen) const {
     return graph_->sample_neighbor(v, gen);
   }
 
@@ -63,7 +63,7 @@ class CompleteSampler {
   std::uint32_t degree(VertexId) const noexcept { return n_ - 1; }
 
   template <typename G>
-  VertexId sample(VertexId v, G& gen) const noexcept {
+  VertexId sample(VertexId v, G& gen) const {
     const VertexId u = rng::bounded_u32(gen, n_ - 1);
     return u >= v ? u + 1 : u;  // skip v, stays uniform over the rest
   }
@@ -99,7 +99,7 @@ class CirculantSampler {
   }
 
   template <typename G>
-  VertexId sample(VertexId v, G& gen) const noexcept {
+  VertexId sample(VertexId v, G& gen) const {
     const auto i = rng::bounded_u32(gen, static_cast<std::uint32_t>(deltas_.size()));
     const VertexId u = v + deltas_[i];
     return u >= n_ ? u - n_ : u;
@@ -123,7 +123,7 @@ class HypercubeSampler {
   std::uint32_t degree(VertexId) const noexcept { return dim_; }
 
   template <typename G>
-  VertexId sample(VertexId v, G& gen) const noexcept {
+  VertexId sample(VertexId v, G& gen) const {
     return v ^ (VertexId{1} << rng::bounded_u32(gen, dim_));
   }
 
@@ -142,7 +142,7 @@ class TorusSampler {
   std::uint32_t degree(VertexId) const noexcept { return 4; }
 
   template <typename G>
-  VertexId sample(VertexId v, G& gen) const noexcept {
+  VertexId sample(VertexId v, G& gen) const {
     const VertexId r = v / cols_;
     const VertexId c = v % cols_;
     switch (rng::bounded_u32(gen, 4)) {

@@ -16,8 +16,9 @@ concept UniformRng = requires(G g) {
 };
 
 /// Uniform integer in [0, n). Exactly uniform (rejection), n >= 1.
+/// Not noexcept: a bounded CounterRng stream throws on exhaustion.
 template <typename G>
-constexpr std::uint32_t bounded_u32(G& gen, std::uint32_t n) noexcept {
+constexpr std::uint32_t bounded_u32(G& gen, std::uint32_t n) {
   std::uint64_t m = static_cast<std::uint64_t>(gen.next_u32()) * n;
   auto lo = static_cast<std::uint32_t>(m);
   if (lo < n) {
@@ -32,7 +33,7 @@ constexpr std::uint32_t bounded_u32(G& gen, std::uint32_t n) noexcept {
 
 /// Uniform integer in [0, n) for 64-bit n. Exactly uniform.
 template <typename G>
-constexpr std::uint64_t bounded_u64(G& gen, std::uint64_t n) noexcept {
+constexpr std::uint64_t bounded_u64(G& gen, std::uint64_t n) {
   if (n <= 1) return 0;
 #if defined(__SIZEOF_INT128__)
   __extension__ using u128 = unsigned __int128;

@@ -17,7 +17,7 @@ class BernoulliSampler {
       : threshold_(to_threshold(p)) {}
 
   template <typename G>
-  constexpr bool operator()(G& gen) const noexcept {
+  constexpr bool operator()(G& gen) const {
     return gen.next_u64() < threshold_;
   }
 
@@ -36,20 +36,20 @@ class BernoulliSampler {
 };
 
 template <typename G>
-constexpr bool bernoulli(G& gen, double p) noexcept {
+constexpr bool bernoulli(G& gen, double p) {
   return BernoulliSampler(p)(gen);
 }
 
 /// Uniform double in [lo, hi).
 template <typename G>
-constexpr double uniform_real(G& gen, double lo, double hi) noexcept {
+constexpr double uniform_real(G& gen, double lo, double hi) {
   return lo + (hi - lo) * gen.next_double();
 }
 
 /// Geometric: number of failures before the first success, success
 /// probability p in (0, 1]. Mean (1-p)/p.
 template <typename G>
-std::uint64_t geometric(G& gen, double p) noexcept {
+std::uint64_t geometric(G& gen, double p) {
   if (p >= 1.0) return 0;
   const double u = 1.0 - gen.next_double();  // in (0, 1]
   const double g = std::floor(std::log(u) / std::log1p(-p));

@@ -9,10 +9,21 @@
 // across schedulers. This mirrors the paper's probabilistic model, where
 // each vertex's three samples at round t are an i.i.d. package indexed
 // by (v, t).
+//
+// Because there is no sequential state, blocks for MANY logical
+// positions can be generated together — "as easy as 1, 2, 3" is also a
+// licence to batch. CounterRngTile computes the first block of a whole
+// tile of consecutive-vertex streams in one structure-of-arrays pass
+// (independent lanes, so the 10-round loop vectorises), and BlockStream
+// serves those words in the exact order CounterRng would have: the
+// batched kernels in core/ are draw-for-draw identical to the scalar
+// path, and tests/test_rng.cpp pins the identity.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 
 namespace b3v::rng {
 
@@ -52,11 +63,28 @@ struct Philox4x32 {
 ///
 /// `CounterRng(seed, a, b, c)` is an independent generator for the tuple
 /// (a, b, c) — in the simulator: (round, vertex, purpose). Draws beyond
-/// the first block advance an internal block index, so any number of
-/// values may be taken.
+/// the first block advance an internal block index, so up to
+/// kBlocksPerStream blocks (4 u32s each) may be taken.
+///
+/// Counter layout (shared verbatim by the batched tile below — the two
+/// must never diverge):
+///   ctr[0] = lo32(a)
+///   ctr[1] = hi32(a) ^ lo32(b << 8)
+///   ctr[2] = lo32(b)
+///   ctr[3] = (c << 16) ^ block_index
+///   key    = (lo32(seed), hi32(seed))
+/// The purpose tag c occupies the high 16 bits of ctr[3]; the block
+/// index the low 16. The purpose values must therefore stay below 2^16
+/// (the simulator uses single digits) and a stream is HARD-BOUNDED at
+/// kBlocksPerStream blocks: one more refill would collide with block 0
+/// of purpose c + 1, so it throws instead of silently aliasing streams.
 class CounterRng {
  public:
   using result_type = std::uint64_t;
+
+  /// Blocks a single (seed, a, b, c) stream may emit before it would
+  /// alias the next purpose's stream: 2^16 blocks = 2^18 u32 draws.
+  static constexpr std::uint32_t kBlocksPerStream = 1u << 16;
 
   constexpr CounterRng(std::uint64_t seed, std::uint64_t a,
                        std::uint64_t b = 0, std::uint32_t c = 0) noexcept
@@ -67,29 +95,51 @@ class CounterRng {
               static_cast<std::uint32_t>(b),
               c} {}
 
+  /// The same stream, already advanced past `block_index` blocks with
+  /// none buffered — lets a consumer that generated the first blocks
+  /// elsewhere (e.g. from a tile) resume the scalar stream mid-way and
+  /// stay bit-for-bit identical to a fresh CounterRng drawn that deep.
+  static constexpr CounterRng at_block(std::uint64_t seed, std::uint64_t a,
+                                       std::uint64_t b, std::uint32_t c,
+                                       std::uint32_t block_index) noexcept {
+    CounterRng r(seed, a, b, c);
+    r.block_index_ = block_index;
+    return r;
+  }
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
 
-  constexpr std::uint64_t operator()() noexcept { return next_u64(); }
+  constexpr std::uint64_t operator()() { return next_u64(); }
 
-  constexpr std::uint32_t next_u32() noexcept {
+  constexpr std::uint32_t next_u32() {
     if (avail_ == 0) refill();
     --avail_;
     return block_[avail_];
   }
 
-  constexpr std::uint64_t next_u64() noexcept {
+  constexpr std::uint64_t next_u64() {
     const std::uint64_t hi = next_u32();
     return (hi << 32) | next_u32();
   }
 
   /// Uniform double in [0, 1) with 53 random bits.
-  constexpr double next_double() noexcept {
+  constexpr double next_double() {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
   }
 
  private:
-  constexpr void refill() noexcept {
+  constexpr void refill() {
+    if (block_index_ >= kBlocksPerStream) {
+      // The block index would spill into the purpose tag's bits of
+      // ctr[3] and replay purpose c + 1's stream (the fail-open bug
+      // this guard closes). No simulation stream legitimately draws
+      // this deep — per-vertex streams take a handful of values.
+      throw std::length_error(
+          "CounterRng: stream exhausted — a (seed, a, b, c) position "
+          "holds 2^16 blocks (2^18 u32 draws); use another purpose tag "
+          "or position");
+    }
     Philox4x32::Counter ctr = base_;
     // The 4th word doubles as the block index; `c` occupies the high
     // bits so distinct purposes never collide with block advancement.
@@ -105,5 +155,173 @@ class CounterRng {
   std::uint32_t block_index_ = 0;
   std::uint32_t avail_ = 0;
 };
+
+class CounterRngTile;
+
+/// Generator view over ONE LANE of a CounterRngTile: serves the lane's
+/// precomputed first block in CounterRng's word order (word 3 down to
+/// word 0), then continues the stream from block 1 — so the full draw
+/// sequence is bit-for-bit CounterRng(seed, a, b0 + lane, c)'s.
+/// Satisfies UniformRng; this is what the batched kernels hand to
+/// `sampler.sample` / tie coins in place of a fresh CounterRng.
+///
+/// Deliberately tiny (a tile pointer, a lane, a draw index): it is
+/// constructed once per VERTEX on the hot path, and a buffered design
+/// would spend more per-vertex time copying state than the batching
+/// saves. Draws past the first block are stateless recomputation —
+/// draw i reads word 3 - i%4 of block i/4, each deep block generated
+/// on demand (the cold path: k <= 4 rules stay inside block 0 except
+/// on bounded-int rejection). The tile must outlive the stream.
+class BlockStream {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr BlockStream(const CounterRngTile* tile, std::uint32_t lane) noexcept
+      : tile_(tile), lane_(lane) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()() { return next_u64(); }
+
+  std::uint32_t next_u32();  // defined after CounterRngTile
+
+  std::uint64_t next_u64() {
+    const std::uint64_t hi = next_u32();
+    return (hi << 32) | next_u32();
+  }
+
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  // Cold so the 10-round Philox regeneration is laid out away from
+  // (and not inlined into) every draw site on the hot path.
+  [[gnu::cold]] std::uint32_t deep_u32(std::uint32_t i);
+
+  const CounterRngTile* tile_;
+  std::uint32_t lane_;
+  std::uint32_t idx_ = 0;  // u32 draws consumed so far
+};
+
+/// Batched CounterRng construction for a tile of consecutive logical
+/// positions (seed, a, b0 + lane, c), lane < width <= kWidth — in the
+/// simulator: one round's streams for a run of kWidth vertices.
+///
+/// The tile computes every lane's first Philox block in one
+/// structure-of-arrays pass: the counters of distinct lanes are
+/// independent, so the 10-round loop runs over flat lane arrays and
+/// auto-vectorises (the scalar path's 10-round dependency chain
+/// becomes kWidth parallel chains). A Best-of-k round consumes k <= 4
+/// u32s per vertex in the common case — exactly one block — so the
+/// whole tile's randomness is generated up front; deeper draws
+/// (bounded-int rejection, k > 4, q-colour tie coins) continue through
+/// CounterRng block 1+ via BlockStream, keeping the sequence
+/// draw-for-draw identical to the scalar kernels' (the goldens pass
+/// with zero edits; tests/test_rng.cpp pins lane streams against
+/// CounterRng directly).
+class CounterRngTile {
+ public:
+  static constexpr std::size_t kWidth = 16;
+
+  CounterRngTile(std::uint64_t seed, std::uint64_t a, std::uint64_t b0,
+                 std::uint32_t c, std::size_t width = kWidth) noexcept
+      : seed_(seed), a_(a), b0_(b0), c_(c),
+        width_(width < kWidth ? width : kWidth) {
+    const auto a_lo = static_cast<std::uint32_t>(a);
+    const auto a_hi = static_cast<std::uint32_t>(a >> 32);
+    // Full-width init and rounds even when width < kWidth: constant
+    // trip counts keep the loops vectorised; surplus lanes are simply
+    // never handed out.
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      const std::uint64_t b = b0 + i;
+      x_[0][i] = a_lo;
+      x_[1][i] = a_hi ^ static_cast<std::uint32_t>(b << 8);
+      x_[2][i] = static_cast<std::uint32_t>(b);
+      x_[3][i] = c << 16;  // block index 0
+    }
+    std::uint32_t k0 = static_cast<std::uint32_t>(seed);
+    std::uint32_t k1 = static_cast<std::uint32_t>(seed >> 32);
+    for (int round = 0; round < 10; ++round) {
+      for (std::size_t i = 0; i < kWidth; ++i) {
+        const std::uint64_t p0 =
+            static_cast<std::uint64_t>(Philox4x32::kMul0) * x_[0][i];
+        const std::uint64_t p1 =
+            static_cast<std::uint64_t>(Philox4x32::kMul1) * x_[2][i];
+        const std::uint32_t y0 =
+            static_cast<std::uint32_t>(p1 >> 32) ^ x_[1][i] ^ k0;
+        const std::uint32_t y1 = static_cast<std::uint32_t>(p1);
+        const std::uint32_t y2 =
+            static_cast<std::uint32_t>(p0 >> 32) ^ x_[3][i] ^ k1;
+        const std::uint32_t y3 = static_cast<std::uint32_t>(p0);
+        x_[0][i] = y0;
+        x_[1][i] = y1;
+        x_[2][i] = y2;
+        x_[3][i] = y3;
+      }
+      k0 += Philox4x32::kWeyl0;
+      k1 += Philox4x32::kWeyl1;
+    }
+  }
+
+  std::size_t width() const noexcept { return width_; }
+
+  /// The lane's full stream: block 0 from the tile, blocks 1+ by
+  /// stateless recomputation — bit-for-bit CounterRng(seed, a,
+  /// b0 + lane, c). The view borrows the tile; it must not outlive it.
+  BlockStream stream(std::size_t lane) const noexcept {
+    return BlockStream(this, static_cast<std::uint32_t>(lane));
+  }
+
+  /// Word `w` (0..3) of lane `lane`'s first block.
+  std::uint32_t word(std::uint32_t w, std::uint32_t lane) const noexcept {
+    return x_[w][lane];
+  }
+
+ private:
+  friend class BlockStream;  // deep draws re-derive the lane's position
+
+  alignas(64) std::uint32_t x_[4][kWidth];
+  std::uint64_t seed_, a_, b0_;
+  std::uint32_t c_;
+  std::size_t width_;
+};
+
+inline std::uint32_t BlockStream::next_u32() {
+  const std::uint32_t i = idx_++;
+  if (i < 4) [[likely]] {
+    // CounterRng serves each block's words from word 3 down to word 0.
+    return tile_->word(3 - i, lane_);
+  }
+  return deep_u32(i);
+}
+
+inline std::uint32_t BlockStream::deep_u32(std::uint32_t i) {
+  const std::uint32_t block_index = i / 4;
+  if (block_index >= CounterRng::kBlocksPerStream) {
+    // Same hard bound as CounterRng::refill: one more block would
+    // collide with block 0 of purpose c + 1.
+    throw std::length_error(
+        "BlockStream: stream exhausted — a (seed, a, b, c) position "
+        "holds 2^16 blocks (2^18 u32 draws); use another purpose tag "
+        "or position");
+  }
+  // Stateless: regenerate the block this draw lands in. Cold path —
+  // only bounded-int rejection and k > 4 rules reach past block 0 —
+  // so the redundant regeneration for consecutive deep draws is
+  // cheaper than carrying buffered state through every hot-path
+  // construction.
+  const std::uint64_t b = tile_->b0_ + lane_;
+  Philox4x32::Counter ctr{
+      static_cast<std::uint32_t>(tile_->a_),
+      static_cast<std::uint32_t>((tile_->a_ >> 32) ^ (b << 8)),
+      static_cast<std::uint32_t>(b),
+      (tile_->c_ << 16) ^ block_index};
+  const Philox4x32::Key key{static_cast<std::uint32_t>(tile_->seed_),
+                            static_cast<std::uint32_t>(tile_->seed_ >> 32)};
+  const Philox4x32::Counter blk = Philox4x32::generate(ctr, key);
+  return blk[3 - i % 4];
+}
 
 }  // namespace b3v::rng

@@ -183,6 +183,59 @@ TEST(Dynamics, FastPathMatchesGenericKThree) {
   }
 }
 
+TEST(Dynamics, BatchedKernelsMatchScalarPerVertexUpdates) {
+  // The tile-batched kernels must reproduce the scalar per-vertex
+  // decision draw-for-draw for every k/tie shape — including an n that
+  // is not a multiple of the tile width (301 % 16 != 0, partial tile).
+  const graph::Graph g = graph::erdos_renyi_gnp(301, 0.15, 9);
+  const graph::CsrSampler sampler(g);
+  const Opinions init = core::iid_bernoulli(301, 0.45, 5);
+  parallel::ThreadPool pool(2);
+  Opinions batched(301);
+  struct Case {
+    unsigned k;
+    TieRule tie;
+  };
+  for (const Case c :
+       {Case{1, TieRule::kRandom}, Case{2, TieRule::kKeepOwn},
+        Case{2, TieRule::kRandom}, Case{4, TieRule::kPreferRed},
+        Case{4, TieRule::kPreferBlue}, Case{5, TieRule::kRandom},
+        Case{7, TieRule::kRandom}}) {
+    core::step_best_of_k(sampler, init, batched, c.k, c.tie, 8, 3, pool);
+    for (std::size_t v = 0; v < 301; ++v) {
+      const auto expect = core::next_opinion(
+          sampler, init, static_cast<graph::VertexId>(v), c.k, c.tie, 8, 3);
+      ASSERT_EQ(batched[v], expect) << "k=" << c.k << " v=" << v;
+    }
+  }
+}
+
+TEST(Dynamics, NoisyBatchedKernelMatchesScalarStreams) {
+  // The noisy kernel's two per-vertex streams (kDrawNoise coin, then
+  // either the coin's opinion draw or the neighbour samples) must stay
+  // on the scalar placement when batched.
+  const graph::CompleteSampler sampler(301);
+  const Opinions init = core::iid_bernoulli(301, 0.45, 6);
+  parallel::ThreadPool pool(2);
+  Opinions batched(301);
+  const double noise = 0.3;
+  core::step_best_of_k_noisy(sampler, init, batched, 3, TieRule::kRandom,
+                             noise, 13, 2, pool);
+  const rng::BernoulliSampler coin(noise);
+  for (std::size_t v = 0; v < 301; ++v) {
+    rng::CounterRng noise_gen(13, 2, v, core::kDrawNoise);
+    OpinionValue expect;
+    if (coin(noise_gen)) {
+      expect = static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
+    } else {
+      expect = core::next_opinion(sampler, init,
+                                  static_cast<graph::VertexId>(v), 3,
+                                  TieRule::kRandom, 13, 2);
+    }
+    ASSERT_EQ(batched[v], expect) << v;
+  }
+}
+
 TEST(Dynamics, RejectsBadBuffers) {
   parallel::ThreadPool pool(1);
   const graph::Graph g = graph::complete(4);

@@ -1,9 +1,16 @@
-// Bit-packed opinion representation: storage semantics and bit-exact
-// agreement with the byte kernel.
+// Packed state representations: storage semantics, bit-exact agreement
+// of the packed round kernels with the byte kernels for every registry
+// protocol, and the hard rejection of unsupported (protocol, width)
+// combinations.
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/initializer.hpp"
 #include "core/packed.hpp"
+#include "core/protocol.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
@@ -11,7 +18,9 @@
 namespace {
 
 using namespace b3v;
+using core::PackedColours;
 using core::PackedOpinions;
+using core::Protocol;
 
 TEST(PackedOpinions, SetGetRoundTrip) {
   PackedOpinions packed(130);  // spans three words
@@ -38,32 +47,150 @@ TEST(PackedOpinions, CountBluePartialLastWord) {
   EXPECT_EQ(packed.count_blue(), 10u);
 }
 
-class PackedKernelAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+TEST(PackedColours, SetGetRoundTrip2Bit) {
+  PackedColours<2> packed(70);  // 32 lanes/word, spans three words
+  EXPECT_EQ(packed.size(), 70u);
+  EXPECT_EQ(packed.num_words(), 3u);
+  EXPECT_EQ(PackedColours<2>::kLanes, 32u);
+  EXPECT_EQ(PackedColours<2>::kCapacity, 4u);
+  for (std::size_t v = 0; v < 70; ++v) {
+    packed.set(v, static_cast<core::OpinionValue>(v % 4));
+  }
+  for (std::size_t v = 0; v < 70; ++v) {
+    EXPECT_EQ(packed.get(v), v % 4) << v;
+  }
+  packed.set(5, 0);  // overwrite clears the old lanes
+  EXPECT_EQ(packed.get(5), 0);
+  EXPECT_EQ(packed.get(4), 0);
+  EXPECT_EQ(packed.get(6), 2);
+}
 
-TEST_P(PackedKernelAgreement, MatchesByteKernelBitForBit) {
-  const std::uint64_t seed = GetParam();
-  const graph::Graph g = graph::dense_circulant(777, 64);  // non-multiple of 64
+TEST(PackedColours, SetGetRoundTrip4Bit) {
+  PackedColours<4> packed(35);  // 16 lanes/word
+  EXPECT_EQ(packed.num_words(), 3u);
+  EXPECT_EQ(PackedColours<4>::kLanes, 16u);
+  EXPECT_EQ(PackedColours<4>::kCapacity, 16u);
+  for (std::size_t v = 0; v < 35; ++v) {
+    packed.set(v, static_cast<core::OpinionValue>((v * 7) % 16));
+  }
+  for (std::size_t v = 0; v < 35; ++v) {
+    EXPECT_EQ(packed.get(v), (v * 7) % 16) << v;
+  }
+}
+
+TEST(PackedColours, PackUnpackAndCounts) {
+  const core::Opinions colours =
+      core::iid_multi(501, {0.25, 0.25, 0.25, 0.25}, 9);
+  const PackedColours<2> packed{std::span<const core::OpinionValue>(colours)};
+  EXPECT_EQ(packed.unpack(), colours);
+  EXPECT_EQ(packed.count_colours(4), core::count_colours(colours, 4));
+  // A stored colour beyond q is rejected, like core::count_colours.
+  EXPECT_THROW(packed.count_colours(2), std::invalid_argument);
+}
+
+TEST(PackedColours, RejectsOverwideValues) {
+  const core::Opinions bad = {0, 1, 5, 2};
+  EXPECT_THROW(PackedColours<2>{std::span<const core::OpinionValue>(bad)},
+               std::invalid_argument);
+  const core::Opinions bad16 = {0, 1, 16, 2};
+  EXPECT_THROW(PackedColours<4>{std::span<const core::OpinionValue>(bad16)},
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Byte ≡ 1-bit for every binary protocol in the registry, on an n that
+// is not a multiple of 64 (partial last word) and across thread counts.
+// ---------------------------------------------------------------------
+
+class PackedBinaryAgreement
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>> {};
+
+TEST_P(PackedBinaryAgreement, MatchesByteKernelBitForBit) {
+  const auto& [spelling, threads] = GetParam();
+  const Protocol p = core::protocol_from_name(spelling);
+  const std::uint64_t seed = 1234;
+  const graph::Graph g = graph::dense_circulant(777, 64);  // 777 % 64 != 0
   const graph::CsrSampler sampler(g);
-  parallel::ThreadPool pool(4);
-  core::Opinions cur = core::iid_bernoulli(777, 0.42, seed ^ 0xAA);
+  parallel::ThreadPool pool(threads);
+  core::Opinions cur = core::iid_bernoulli(777, 0.42, 99);
   PackedOpinions packed_cur{std::span<const core::OpinionValue>(cur)};
 
   core::Opinions next(777);
   PackedOpinions packed_next(777);
-  for (std::uint64_t round = 0; round < 5; ++round) {
-    const auto blues_byte = core::step_best_of_k(
-        sampler, cur, next, 3, core::TieRule::kRandom, seed, round, pool);
-    const auto blues_packed = core::step_best_of_three_packed(
-        sampler, packed_cur, packed_next, seed, round, pool);
-    ASSERT_EQ(blues_byte, blues_packed) << round;
-    ASSERT_EQ(packed_next.unpack(), next) << round;
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    const auto blues_byte =
+        core::step_protocol(sampler, p, cur, next, seed, round, pool);
+    const auto blues_packed = core::step_protocol_packed(
+        sampler, p, packed_cur, packed_next, seed, round, pool);
+    ASSERT_EQ(blues_byte, blues_packed) << spelling << " round " << round;
+    ASSERT_EQ(packed_next.unpack(), next) << spelling << " round " << round;
     cur.swap(next);
     std::swap(packed_cur, packed_next);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PackedKernelAgreement,
-                         ::testing::Values(1ULL, 7ULL, 42ULL, 2024ULL));
+INSTANTIATE_TEST_SUITE_P(
+    RegistryProtocols, PackedBinaryAgreement,
+    ::testing::Combine(
+        ::testing::Values("best-of-3", "best-of-5", "voter", "two-choices",
+                          "best-of-2/keep-own", "best-of-2/random",
+                          "best-of-4/prefer-red", "best-of-4/prefer-blue",
+                          "best-of-3+noise=0.1", "two-choices+noise=0.25"),
+        ::testing::Values(1u, 4u)));
+
+// ---------------------------------------------------------------------
+// Byte ≡ 2-bit ≡ 4-bit for plurality protocols, n % lanes != 0.
+// ---------------------------------------------------------------------
+
+template <unsigned Bits>
+void expect_plurality_packed_matches_byte(const std::string& spelling,
+                                          unsigned threads) {
+  const Protocol p = core::protocol_from_name(spelling);
+  const std::uint64_t seed = 4321;
+  const std::size_t n = 333;  // not a multiple of 16 or 32
+  const graph::Graph g = graph::dense_circulant(n, 32);
+  const graph::CsrSampler sampler(g);
+  parallel::ThreadPool pool(threads);
+  core::Opinions cur =
+      core::iid_multi(n, std::vector<double>(p.q, 1.0 / p.q), 77);
+  PackedColours<Bits> packed_cur{std::span<const core::OpinionValue>(cur)};
+
+  core::Opinions next(n);
+  PackedColours<Bits> packed_next(n);
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    const auto counts_byte =
+        core::step_protocol_multi(sampler, p, cur, next, seed, round, pool);
+    const auto counts_packed = core::step_plurality_packed(
+        sampler, p, packed_cur, packed_next, seed, round, pool);
+    ASSERT_EQ(counts_byte, counts_packed) << spelling << " round " << round;
+    ASSERT_EQ(packed_next.unpack(), next) << spelling << " round " << round;
+    cur.swap(next);
+    std::swap(packed_cur, packed_next);
+  }
+}
+
+class PackedPluralityAgreement
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>> {};
+
+TEST_P(PackedPluralityAgreement, TwoBitMatchesByte) {
+  const auto& [spelling, threads] = GetParam();
+  const Protocol p = core::protocol_from_name(spelling);
+  if (p.q <= PackedColours<2>::kCapacity) {
+    expect_plurality_packed_matches_byte<2>(spelling, threads);
+  }
+  // Every q <= 4 value also fits (and must agree on) the 4-bit width.
+  expect_plurality_packed_matches_byte<4>(spelling, threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegistryProtocols, PackedPluralityAgreement,
+    ::testing::Combine(::testing::Values("plurality-of-3/q3",
+                                         "plurality-of-3/q4",
+                                         "plurality-of-4/q4/keep-own",
+                                         "plurality-of-3/q5",
+                                         "plurality-of-5/q16",
+                                         "plurality-of-2/q3/keep-own"),
+        ::testing::Values(1u, 4u)));
 
 TEST(PackedKernel, ThreadCountInvariant) {
   const graph::CompleteSampler sampler(5000);
@@ -72,17 +199,59 @@ TEST(PackedKernel, ThreadCountInvariant) {
     parallel::ThreadPool pool(threads);
     PackedOpinions cur{std::span<const core::OpinionValue>(init)};
     PackedOpinions next(5000);
-    core::step_best_of_three_packed(sampler, cur, next, 11, 0, pool);
+    core::step_protocol_packed(sampler, core::best_of(3), cur, next, 11, 0,
+                               pool);
     return next.unpack();
   };
   EXPECT_EQ(run(1), run(8));
+}
+
+// ---------------------------------------------------------------------
+// Unsupported (protocol, width) combinations are hard errors at
+// dispatch, never silently-wrong dynamics.
+// ---------------------------------------------------------------------
+
+TEST(PackedKernel, RejectsPluralityOnOneBitState) {
+  const graph::CompleteSampler sampler(100);
+  parallel::ThreadPool pool(1);
+  PackedOpinions cur(100), next(100);
+  EXPECT_THROW(core::step_protocol_packed(sampler, core::plurality(3, 4), cur,
+                                          next, 1, 0, pool),
+               std::invalid_argument);
+}
+
+TEST(PackedKernel, RejectsBinaryRuleOnColourState) {
+  const graph::CompleteSampler sampler(100);
+  parallel::ThreadPool pool(1);
+  PackedColours<2> cur2(100), next2(100);
+  EXPECT_THROW(core::step_plurality_packed(sampler, core::best_of(3), cur2,
+                                           next2, 1, 0, pool),
+               std::invalid_argument);
+  PackedColours<4> cur4(100), next4(100);
+  EXPECT_THROW(core::step_plurality_packed(sampler, core::two_choices(), cur4,
+                                           next4, 1, 0, pool),
+               std::invalid_argument);
+}
+
+TEST(PackedKernel, RejectsOverCapacityQ) {
+  const graph::CompleteSampler sampler(100);
+  parallel::ThreadPool pool(1);
+  PackedColours<2> cur2(100), next2(100);
+  EXPECT_THROW(core::step_plurality_packed(sampler, core::plurality(3, 5),
+                                           cur2, next2, 1, 0, pool),
+               std::invalid_argument);
+  PackedColours<4> cur4(100), next4(100);
+  EXPECT_THROW(core::step_plurality_packed(sampler, core::plurality(3, 17),
+                                           cur4, next4, 1, 0, pool),
+               std::invalid_argument);
 }
 
 TEST(PackedKernel, RejectsSizeMismatch) {
   const graph::CompleteSampler sampler(100);
   parallel::ThreadPool pool(1);
   PackedOpinions small(50), right(100);
-  EXPECT_THROW(core::step_best_of_three_packed(sampler, small, right, 1, 0, pool),
+  EXPECT_THROW(core::step_protocol_packed(sampler, core::best_of(3), small,
+                                          right, 1, 0, pool),
                std::invalid_argument);
 }
 

@@ -1,0 +1,259 @@
+// Engine representation dispatch: kAuto resolution, explicit override
+// equivalence (a run's trajectory and result never depend on the state
+// width), and the hard rejection of unsupported combinations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/initializer.hpp"
+#include "core/opinion.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace b3v;
+using core::Representation;
+using core::Schedule;
+
+TEST(ResolveRepresentation, AutoPicksByteBelowThresholdAndPackedAbove) {
+  const auto p3 = core::best_of(3);
+  EXPECT_EQ(core::resolve_representation(p3, Schedule::kSynchronous, 1000,
+                                         Representation::kAuto),
+            Representation::kByte);
+  EXPECT_EQ(core::resolve_representation(p3, Schedule::kSynchronous,
+                                         core::kPackedAutoThreshold,
+                                         Representation::kAuto),
+            Representation::kBit1);
+  // Plurality picks the narrowest width that holds q.
+  EXPECT_EQ(core::resolve_representation(core::plurality(3, 4),
+                                         Schedule::kSynchronous,
+                                         core::kPackedAutoThreshold,
+                                         Representation::kAuto),
+            Representation::kBit2);
+  EXPECT_EQ(core::resolve_representation(core::plurality(3, 7),
+                                         Schedule::kSynchronous,
+                                         core::kPackedAutoThreshold,
+                                         Representation::kAuto),
+            Representation::kBit4);
+  EXPECT_EQ(core::resolve_representation(core::plurality(3, 17),
+                                         Schedule::kSynchronous,
+                                         core::kPackedAutoThreshold,
+                                         Representation::kAuto),
+            Representation::kByte);
+  // Async sweeps always resolve to bytes under kAuto.
+  EXPECT_EQ(core::resolve_representation(p3, Schedule::kAsyncSweeps,
+                                         core::kPackedAutoThreshold,
+                                         Representation::kAuto),
+            Representation::kByte);
+  // Noisy binary rules are packable (the packed kernel runs the noise
+  // stream too).
+  EXPECT_EQ(core::resolve_representation(core::best_of(3, core::TieRule::kRandom, 0.1),
+                                         Schedule::kSynchronous,
+                                         core::kPackedAutoThreshold,
+                                         Representation::kAuto),
+            Representation::kBit1);
+}
+
+TEST(ResolveRepresentation, RejectsUnsupportedCombinations) {
+  const auto p3 = core::best_of(3);
+  const auto q4 = core::plurality(3, 4);
+  // Packed state on the async schedule.
+  EXPECT_THROW(core::resolve_representation(p3, Schedule::kAsyncSweeps, 100,
+                                            Representation::kBit1),
+               std::invalid_argument);
+  // Plurality on 1-bit state.
+  EXPECT_THROW(core::resolve_representation(q4, Schedule::kSynchronous, 100,
+                                            Representation::kBit1),
+               std::invalid_argument);
+  // Binary rules on the colour widths.
+  EXPECT_THROW(core::resolve_representation(p3, Schedule::kSynchronous, 100,
+                                            Representation::kBit2),
+               std::invalid_argument);
+  EXPECT_THROW(core::resolve_representation(p3, Schedule::kSynchronous, 100,
+                                            Representation::kBit4),
+               std::invalid_argument);
+  // q over the lane capacity.
+  EXPECT_THROW(core::resolve_representation(core::plurality(3, 5),
+                                            Schedule::kSynchronous, 100,
+                                            Representation::kBit2),
+               std::invalid_argument);
+  EXPECT_THROW(core::resolve_representation(core::plurality(3, 17),
+                                            Schedule::kSynchronous, 100,
+                                            Representation::kBit4),
+               std::invalid_argument);
+  // Byte is always allowed.
+  EXPECT_EQ(core::resolve_representation(q4, Schedule::kSynchronous, 100,
+                                         Representation::kByte),
+            Representation::kByte);
+}
+
+TEST(ResolveRepresentation, Names) {
+  EXPECT_EQ(core::name(Representation::kAuto), "auto");
+  EXPECT_EQ(core::name(Representation::kByte), "byte");
+  EXPECT_EQ(core::name(Representation::kBit1), "1-bit");
+  EXPECT_EQ(core::name(Representation::kBit2), "2-bit");
+  EXPECT_EQ(core::name(Representation::kBit4), "4-bit");
+}
+
+// ---------------------------------------------------------------------
+// Override equivalence: same run, different width, identical outcome.
+// ---------------------------------------------------------------------
+
+TEST(RunRepresentation, BitOneMatchesByteRunExactly) {
+  const graph::Graph g = graph::dense_circulant(777, 48);
+  const graph::CsrSampler sampler(g);
+  for (const char* spelling : {"best-of-3", "two-choices", "voter",
+                               "best-of-2/keep-own", "best-of-3+noise=0.05"}) {
+    for (const unsigned threads : {1u, 4u}) {
+      parallel::ThreadPool pool(threads);
+      core::RunSpec spec;
+      spec.protocol = core::protocol_from_name(spelling);
+      spec.seed = 11;
+      spec.max_rounds = 30;
+      spec.stop_at_consensus = false;  // exercise full-budget packed loops
+
+      std::vector<std::uint64_t> traj_byte, traj_packed;
+      spec.representation = Representation::kByte;
+      spec.observer = core::observers::record_trajectory(traj_byte);
+      const core::SimResult byte_res =
+          core::run(sampler, core::iid_bernoulli(777, 0.45, 3), spec, pool);
+
+      spec.representation = Representation::kBit1;
+      spec.observer = core::observers::record_trajectory(traj_packed);
+      const core::SimResult packed_res =
+          core::run(sampler, core::iid_bernoulli(777, 0.45, 3), spec, pool);
+
+      EXPECT_EQ(traj_byte, traj_packed) << spelling << " t=" << threads;
+      EXPECT_EQ(byte_res.final_blue, packed_res.final_blue) << spelling;
+      EXPECT_EQ(byte_res.rounds, packed_res.rounds) << spelling;
+      EXPECT_EQ(byte_res.final_state, packed_res.final_state) << spelling;
+      EXPECT_EQ(byte_res.consensus, packed_res.consensus) << spelling;
+    }
+  }
+}
+
+TEST(RunRepresentation, BitOneConsensusRunMatchesGoldenShape) {
+  // The golden trajectory instance, forced onto 1-bit state: same
+  // winner, same rounds, same trajectory as the byte path the goldens
+  // pin.
+  const graph::Graph g = graph::dense_circulant(256, 32);
+  parallel::ThreadPool pool(2);
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 5;
+  spec.max_rounds = 500;
+  spec.representation = Representation::kBit1;
+  std::vector<std::uint64_t> trajectory;
+  spec.observer = core::observers::record_trajectory(trajectory);
+  const core::SimResult res = core::run(
+      graph::CsrSampler(g), core::iid_bernoulli(256, 0.4, 3), spec, pool);
+  EXPECT_TRUE(res.consensus);
+  EXPECT_EQ(res.winner, core::Opinion::kRed);
+  EXPECT_EQ(res.rounds, 9u);
+  const std::vector<std::uint64_t> golden = {92, 80, 64, 42, 27,
+                                             14, 8,  5,  3,  0};
+  EXPECT_EQ(trajectory, golden);
+}
+
+TEST(RunRepresentation, PackedColourWidthsMatchByteMultiRun) {
+  const graph::Graph g = graph::dense_circulant(333, 32);
+  const graph::CsrSampler sampler(g);
+  struct Case {
+    const char* spelling;
+    Representation rep;
+  };
+  for (const Case c : {Case{"plurality-of-3/q4", Representation::kBit2},
+                       Case{"plurality-of-3/q4", Representation::kBit4},
+                       Case{"plurality-of-5/q16/keep-own",
+                            Representation::kBit4}}) {
+    parallel::ThreadPool pool(4);
+    core::MultiRunSpec spec;
+    spec.protocol = core::protocol_from_name(c.spelling);
+    spec.seed = 21;
+    spec.max_rounds = 25;
+    spec.stop_at_consensus = false;
+    const core::Opinions init = core::iid_multi(
+        333, std::vector<double>(spec.protocol.q, 1.0 / spec.protocol.q), 8);
+
+    std::vector<std::vector<std::uint64_t>> traj_byte, traj_packed;
+    spec.representation = Representation::kByte;
+    spec.observer = core::multi_observers::record_trajectory(traj_byte);
+    const core::MultiSimResult byte_res = core::run(sampler, init, spec, pool);
+
+    spec.representation = c.rep;
+    spec.observer = core::multi_observers::record_trajectory(traj_packed);
+    const core::MultiSimResult packed_res =
+        core::run(sampler, init, spec, pool);
+
+    EXPECT_EQ(traj_byte, traj_packed) << c.spelling;
+    EXPECT_EQ(byte_res.final_counts, packed_res.final_counts) << c.spelling;
+    EXPECT_EQ(byte_res.final_state, packed_res.final_state) << c.spelling;
+    EXPECT_EQ(byte_res.rounds, packed_res.rounds) << c.spelling;
+  }
+}
+
+TEST(RunRepresentation, BinaryRuleOnMultiOverloadViaBitOne) {
+  // The multi overload accepts binary rules on 1-bit state and reports
+  // {red, blue} equal to the byte path's.
+  const graph::CompleteSampler sampler(500);
+  parallel::ThreadPool pool(2);
+  core::MultiRunSpec spec;
+  spec.protocol = core::two_choices();
+  spec.seed = 4;
+  spec.max_rounds = 40;
+  const core::Opinions init = core::iid_bernoulli(500, 0.4, 2);
+
+  spec.representation = Representation::kByte;
+  const auto byte_res = core::run(sampler, init, spec, pool);
+  spec.representation = Representation::kBit1;
+  const auto packed_res = core::run(sampler, init, spec, pool);
+  EXPECT_EQ(byte_res.final_counts, packed_res.final_counts);
+  EXPECT_EQ(byte_res.final_state, packed_res.final_state);
+  EXPECT_EQ(byte_res.winner, packed_res.winner);
+}
+
+TEST(RunRepresentation, RunRejectsBadOverrides) {
+  const graph::CompleteSampler sampler(100);
+  parallel::ThreadPool pool(1);
+  {
+    core::RunSpec spec;
+    spec.protocol = core::best_of(3);
+    spec.schedule = Schedule::kAsyncSweeps;
+    spec.representation = Representation::kBit1;
+    EXPECT_THROW(
+        core::run(sampler, core::iid_bernoulli(100, 0.4, 1), spec, pool),
+        std::invalid_argument);
+  }
+  {
+    core::RunSpec spec;
+    spec.protocol = core::best_of(3);
+    spec.representation = Representation::kBit2;
+    EXPECT_THROW(
+        core::run(sampler, core::iid_bernoulli(100, 0.4, 1), spec, pool),
+        std::invalid_argument);
+  }
+  {
+    core::MultiRunSpec spec;
+    spec.protocol = core::plurality(3, 5);
+    spec.representation = Representation::kBit2;
+    EXPECT_THROW(core::run(sampler,
+                           core::iid_multi(100, {0.2, 0.2, 0.2, 0.2, 0.2}, 1),
+                           spec, pool),
+                 std::invalid_argument);
+  }
+  {
+    core::MultiRunSpec spec;
+    spec.protocol = core::plurality(3, 4);
+    spec.representation = Representation::kBit1;
+    EXPECT_THROW(
+        core::run(sampler, core::iid_multi(100, {0.25, 0.25, 0.25, 0.25}, 1),
+                  spec, pool),
+        std::invalid_argument);
+  }
+}
+
+}  // namespace

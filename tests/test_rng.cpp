@@ -122,6 +122,82 @@ TEST(CounterRng, LongDrawSequenceHasUniformMean) {
   EXPECT_NEAR(acc / n, 0.5, 0.01);
 }
 
+TEST(CounterRng, StreamIsHardBoundedBeforeAliasingNextPurpose) {
+  // Regression for the stream-aliasing bug: the block index lives in
+  // the low 16 bits of ctr[3] and the purpose tag in the high bits, so
+  // block 2^16 of purpose c would replay block 0 of purpose c + 1.
+  // The stream must refuse to go that deep instead of aliasing.
+  CounterRng gen(9, 1, 2, 3);
+  for (std::uint64_t i = 0; i < std::uint64_t{4} * CounterRng::kBlocksPerStream;
+       ++i) {
+    gen.next_u32();  // the full 2^18 u32s of the stream are fine
+  }
+  EXPECT_THROW(gen.next_u32(), std::length_error);
+
+  // At the boundary, the would-be aliased counter IS another purpose's
+  // block 0 (the XOR flips bit 16, so purpose 3 block 2^16 = purpose 2
+  // block 0) — the collision the guard prevents.
+  Philox4x32::Counter aliased{1, 2 << 8, 2,
+                              (3u << 16) ^ CounterRng::kBlocksPerStream};
+  const auto block = Philox4x32::generate(aliased, {9, 0});
+  CounterRng other_purpose(9, 1, 2, 2);
+  EXPECT_EQ(other_purpose.next_u32(), block[3]);
+
+  // at_block at the bound throws on the first draw, not silently wraps.
+  CounterRng at_end =
+      CounterRng::at_block(9, 1, 2, 3, CounterRng::kBlocksPerStream);
+  EXPECT_THROW(at_end.next_u32(), std::length_error);
+}
+
+TEST(CounterRng, AtBlockContinuesTheStream) {
+  CounterRng full(77, 5, 6, 2);
+  for (int i = 0; i < 4; ++i) full.next_u32();  // consume block 0
+  CounterRng cont = CounterRng::at_block(77, 5, 6, 2, 1);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(full.next_u32(), cont.next_u32());
+}
+
+TEST(CounterRngTile, LaneStreamsMatchScalarDrawForDraw) {
+  // The batched-vs-scalar identity the goldens rest on: every lane of
+  // a tile serves the EXACT sequence of CounterRng(seed, a, b0+lane, c),
+  // including draws past the precomputed first block.
+  const std::uint64_t seed = 42, a = 7, b0 = 1000;
+  const std::uint32_t c = 0;
+  const CounterRngTile tile(seed, a, b0, c);
+  EXPECT_EQ(tile.width(), CounterRngTile::kWidth);
+  for (std::size_t lane = 0; lane < CounterRngTile::kWidth; ++lane) {
+    auto stream = tile.stream(lane);
+    CounterRng scalar(seed, a, b0 + lane, c);
+    for (int i = 0; i < 40; ++i) {  // 40 u32s = 10 blocks deep
+      ASSERT_EQ(stream.next_u32(), scalar.next_u32()) << "lane " << lane
+                                                      << " draw " << i;
+    }
+  }
+}
+
+TEST(CounterRngTile, U64AndDoubleComposeLikeScalar) {
+  const CounterRngTile tile(3, 9, 64, 1);
+  for (std::size_t lane : {std::size_t{0}, std::size_t{15}}) {
+    auto stream = tile.stream(lane);
+    CounterRng scalar(3, 9, 64 + lane, 1);
+    EXPECT_EQ(stream.next_u64(), scalar.next_u64());
+    EXPECT_DOUBLE_EQ(stream.next_double(), scalar.next_double());
+    EXPECT_EQ(stream(), scalar());
+  }
+}
+
+TEST(CounterRngTile, PartialWidthMatchesFullWidthLanes) {
+  // width < kWidth only limits which lanes are handed out; the lanes
+  // that exist are bit-identical to the full tile's.
+  const CounterRngTile full(5, 2, 48, 0);
+  const CounterRngTile partial(5, 2, 48, 0, 5);
+  EXPECT_EQ(partial.width(), 5u);
+  for (std::size_t lane = 0; lane < 5; ++lane) {
+    auto a = full.stream(lane);
+    auto b = partial.stream(lane);
+    for (int i = 0; i < 8; ++i) ASSERT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
 TEST(Bounded, AllValuesReachableAndInRange) {
   Xoshiro256 gen(5);
   std::array<int, 7> counts{};
