@@ -9,6 +9,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/count_engine.hpp"
 #include "core/dynamics.hpp"
 #include "core/initializer.hpp"
 #include "core/packed.hpp"
@@ -204,6 +205,54 @@ BENCHMARK(BM_Step_PluralityWidths)
     ->Args({1 << 16, 4, 2})
     ->Args({1 << 16, 16, 0})
     ->Args({1 << 16, 16, 4});
+
+void BM_Step_CountSpace(benchmark::State& state) {
+  // The count-space backend: one round is O(q * blocks) exact
+  // binomial/multinomial draws, independent of n — these rows put the
+  // n = 10^8 and 10^9 headline next to the per-vertex tables above
+  // (items_per_second is simulated vertices/sec, same scale). Mode
+  // (range 1): 0 = voter on K_n (2 binomial cells), 1 = 8-colour
+  // plurality-of-1 on a 4-block model (32 multinomial cells). Both
+  // rules are martingales, so the counts started at an interior point
+  // stay interior across iterations and every draw does real BTRS work
+  // instead of measuring an absorbed state.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto mode = static_cast<unsigned>(state.range(1));
+  const graph::CountModel model = mode == 0
+                                      ? graph::CountModel::complete(n)
+                                      : graph::CountModel::sbm(n, 4, 0.5);
+  const core::Protocol protocol =
+      mode == 0 ? core::best_of(1) : core::plurality(1, 8);
+  const unsigned q = protocol.num_colours();
+  std::vector<std::uint64_t> counts;
+  for (const std::uint64_t s : model.sizes) {
+    std::uint64_t left = s;
+    for (unsigned c = 0; c + 1 < q; ++c) {
+      const std::uint64_t share = s / q;
+      counts.push_back(share);
+      left -= share;
+    }
+    counts.push_back(left);
+  }
+  core::CountRunSpec spec;
+  spec.protocol = protocol;
+  spec.max_rounds = 1;
+  spec.stop_at_consensus = false;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    spec.seed = seed++;  // fresh streams per iteration, counts carry over
+    auto result = core::run_counts(model, std::move(counts), spec);
+    counts = std::move(result.block_counts);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Step_CountSpace)
+    ->Args({100'000'000, 0})
+    ->Args({1'000'000'000, 0})
+    ->Args({100'000'000, 1})
+    ->Args({1'000'000'000, 1});
 
 }  // namespace
 

@@ -37,13 +37,15 @@ int main(int argc, char** argv) {
 
   analysis::Table table(
       "E12 exact vs simulated, K_" + std::to_string(n) + ", Best-of-3, " +
-          std::to_string(reps) + " sims/row",
-      {"B_0", "exact_P(blue wins)", "sim_P(blue wins)", "exact_E[rounds]",
-       "sim_mean_rounds", "P_diff_sigmas"});
+          std::to_string(reps) + " sims/row (sim = per-vertex engine, "
+          "cs = count-space engine)",
+      {"B_0", "exact_P(blue wins)", "sim_P(blue wins)", "cs_P(blue wins)",
+       "exact_E[rounds]", "sim_mean_rounds", "cs_mean_rounds",
+       "P_diff_sigmas", "cs_diff_sigmas"});
   for (const double frac : {0.125, 0.375, 0.4375, 0.5, 0.5625, 0.625, 0.875}) {
     const auto b0 = static_cast<std::uint32_t>(frac * n);
-    std::uint64_t blue_wins = 0;
-    analysis::OnlineStats rounds;
+    std::uint64_t blue_wins = 0, cs_blue_wins = 0;
+    analysis::OnlineStats rounds, cs_rounds;
     for (std::size_t rep = 0; rep < reps; ++rep) {
       core::RunSpec spec;
       spec.protocol = core::best_of(3);
@@ -53,16 +55,35 @@ int main(int argc, char** argv) {
           sampler,
           core::exact_count(n, b0, rng::derive_stream(spec.seed, 0xC0)),
           spec, pool);
-      if (!result.consensus) continue;
-      rounds.add(static_cast<double>(result.rounds));
-      blue_wins += result.winner == core::Opinion::kBlue;
+      if (result.consensus) {
+        rounds.add(static_cast<double>(result.rounds));
+        blue_wins += result.winner == core::Opinion::kBlue;
+      }
+      // The count-space backend rides the same chain: same initial blue
+      // count, disjoint seed stream (its draws are per-cell, not
+      // per-vertex, so the trajectories are independent replicates).
+      core::RunSpec cs_spec = spec;
+      cs_spec.seed = rng::derive_stream(spec.seed, 0xC5);
+      cs_spec.state_space = core::StateSpace::kCounts;
+      const auto cs_result = core::run(
+          sampler,
+          core::exact_count(n, b0, rng::derive_stream(spec.seed, 0xC0)),
+          cs_spec, pool);
+      if (cs_result.consensus) {
+        cs_rounds.add(static_cast<double>(cs_result.rounds));
+        cs_blue_wins += cs_result.winner == core::Opinion::kBlue;
+      }
     }
     const double sim_p = static_cast<double>(blue_wins) / static_cast<double>(reps);
+    const double cs_p =
+        static_cast<double>(cs_blue_wins) / static_cast<double>(reps);
     const double sigma =
         std::sqrt(std::max(1e-12, win[b0] * (1 - win[b0]) /
                                       static_cast<double>(reps)));
-    table.add_row({static_cast<std::int64_t>(b0), win[b0], sim_p, time[b0],
-                   rounds.mean(), std::abs(sim_p - win[b0]) / sigma});
+    table.add_row({static_cast<std::int64_t>(b0), win[b0], sim_p, cs_p,
+                   time[b0], rounds.mean(), cs_rounds.mean(),
+                   std::abs(sim_p - win[b0]) / sigma,
+                   std::abs(cs_p - win[b0]) / sigma});
   }
   session.emit(table);
 

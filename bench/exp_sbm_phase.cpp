@@ -23,6 +23,7 @@
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/count_engine.hpp"
 #include "core/engine.hpp"
 #include "core/initializer.hpp"
 #include "core/metrics.hpp"
@@ -182,6 +183,73 @@ int main(int argc, char** argv) {
     }
   }
   session.emit(table);
+
+  // Count-space coda: the same two-block lock story on the ANNEALED
+  // model at n = 10^9, where the count-space engine advances a round in
+  // four binomial draws. At this n the locked magnetization should sit
+  // on top of the mean-field fixed point m_lock_mf — the quenched table
+  // above can only approach it through graph noise.
+  const auto n_huge = static_cast<std::uint64_t>(
+      ctx.scaled(std::size_t{1'000'000'000}));
+  constexpr double kBiasHuge = 0.05;
+  analysis::Table cs_table(
+      "E14c count-space two-block SBM (annealed), n=" +
+          std::to_string(n_huge) + ", bias=" + std::to_string(kBiasHuge) +
+          ", " + std::to_string(reps) + " runs/cell",
+      {"rule", "lambda", "red_win_rate", "locked_rate", "capped",
+       "rounds_mean", "m_final", "m_lock_mf"});
+  for (const double lambda : {0.2, 0.4, 0.55, 0.65, 0.7, 0.8, 0.9}) {
+    const graph::CountModel model = graph::CountModel::sbm(n_huge, 2, lambda);
+    for (const core::Protocol& protocol : protocols) {
+      std::uint64_t red = 0, locked = 0, capped = 0;
+      analysis::OnlineStats rounds, m_final;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        // The quenched start, in expectation-exact counts: block 0 is
+        // blue's home (blue share 1 - 2 bias), block 1 all red.
+        const std::uint64_t s0 = model.sizes[0], s1 = model.sizes[1];
+        const auto b0_blue = static_cast<std::uint64_t>(
+            (1.0 - 2.0 * kBiasHuge) * static_cast<double>(s0));
+        core::CountRunSpec spec;
+        spec.protocol = protocol;
+        spec.seed = rng::derive_stream(
+            ctx.base_seed,
+            0xE14C00 ^ (static_cast<std::uint64_t>(lambda * 100) << 24) ^
+                (static_cast<std::uint64_t>(
+                     core::is_two_choices_equivalent(protocol))
+                 << 16) ^
+                rep);
+        spec.max_rounds = kMaxRounds;
+        const auto out = core::run_counts(
+            model, {s0 - b0_blue, b0_blue, s1, 0}, spec);
+        if (out.consensus) {
+          rounds.add(static_cast<double>(out.rounds));
+          red += out.winner == 0;
+        } else {
+          ++capped;
+          // Per-block blue share minus 1/2: averaging the two absolute
+          // deviations gives (a - b)/2, sbm_locked_magnetization's m*.
+          const double m0 = static_cast<double>(out.block_counts[1]) /
+                                static_cast<double>(s0) -
+                            0.5;
+          const double m1 = static_cast<double>(out.block_counts[3]) /
+                                static_cast<double>(s1) -
+                            0.5;
+          locked += m0 * m1 < 0.0;
+          m_final.add(0.5 * (std::abs(m0) + std::abs(m1)));
+        }
+      }
+      const auto rate = [&](std::uint64_t c) {
+        return static_cast<double>(c) / static_cast<double>(reps);
+      };
+      cs_table.add_row(
+          {core::name(protocol), lambda, rate(red), rate(locked),
+           static_cast<std::int64_t>(capped),
+           rounds.count() == 0 ? -1.0 : rounds.mean(),
+           m_final.count() == 0 ? -1.0 : m_final.mean(),
+           locked_magnetization_for(protocol, lambda)});
+    }
+  }
+  session.emit(cs_table);
   std::cout
       << "Expected shape: for lambda well below the rule's lambda* "
          "(m_lock_mf = 0)\n"

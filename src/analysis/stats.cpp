@@ -136,4 +136,38 @@ Interval bootstrap_mean_ci(const std::vector<double>& sample,
   return {percentile_sorted(means, 2.5), percentile_sorted(means, 97.5)};
 }
 
+double ks_two_sample(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_two_sample: both samples non-empty");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double stat = 0.0;
+  std::size_t i = 0, j = 0;
+  // Sweep the merged order; at each step the CDF gap only changes at a
+  // sample point. Ties advance both sides together so the gap is only
+  // read BETWEEN distinct values (the discrete-data convention).
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == x) ++i;
+    while (j < b.size() && b[j] == x) ++j;
+    stat = std::max(stat, std::abs(static_cast<double>(i) / na -
+                                   static_cast<double>(j) / nb));
+  }
+  return stat;
+}
+
+double ks_two_sample_critical(std::size_t n, std::size_t m, double alpha) {
+  if (n == 0 || m == 0 || !(alpha > 0.0 && alpha < 1.0)) {
+    throw std::invalid_argument(
+        "ks_two_sample_critical: n, m >= 1 and alpha in (0, 1)");
+  }
+  const double c = std::sqrt(-std::log(alpha / 2.0) / 2.0);
+  const double nd = static_cast<double>(n);
+  const double md = static_cast<double>(m);
+  return c * std::sqrt((nd + md) / (nd * md));
+}
+
 }  // namespace b3v::analysis

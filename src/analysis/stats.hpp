@@ -73,4 +73,17 @@ ChiSquare chi_square_fit(const std::vector<std::uint64_t>& observed,
 /// Convenience: uniform null over observed.size() cells.
 ChiSquare chi_square_uniform(const std::vector<std::uint64_t>& observed);
 
+/// Two-sample Kolmogorov-Smirnov statistic sup_x |F_a(x) - F_b(x)|
+/// (the inputs are copied and sorted). Used by the count-space
+/// equivalence suite; on discrete data (absorption times) the KS test
+/// is conservative — ties can only shrink the statistic's null
+/// distribution — so a critical value keeps its level.
+double ks_two_sample(std::vector<double> a, std::vector<double> b);
+
+/// Large-sample critical value of the two-sample KS statistic at
+/// significance alpha: c(alpha) * sqrt((n + m) / (n m)) with
+/// c(alpha) = sqrt(-ln(alpha / 2) / 2). Reject equality iff the
+/// statistic exceeds it.
+double ks_two_sample_critical(std::size_t n, std::size_t m, double alpha);
+
 }  // namespace b3v::analysis

@@ -1,0 +1,102 @@
+#include "core/count_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/dynamics.hpp"
+#include "rng/count_sampler.hpp"
+#include "rng/philox.hpp"
+#include "theory/count_chain.hpp"
+
+namespace b3v::core {
+namespace {
+
+/// Index of the colour holding every vertex, or -1.
+int winner_if_consensus(std::span<const std::uint64_t> counts, unsigned q,
+                        std::uint64_t n) {
+  std::vector<std::uint64_t> totals(q, 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) totals[i % q] += counts[i];
+  for (unsigned c = 0; c < q; ++c) {
+    if (totals[c] == n) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+}  // namespace
+
+CountSimResult run_counts(const graph::CountModel& model,
+                          std::vector<std::uint64_t> initial_block_counts,
+                          const CountRunSpec& spec) {
+  // CountChain validates the model and the protocol (including the
+  // plurality k, q <= 16 enumeration guard).
+  const theory::CountChain chain(model, spec.protocol);
+  const unsigned q = chain.q();
+  const std::size_t blocks = model.num_blocks();
+  std::vector<std::uint64_t> counts = std::move(initial_block_counts);
+  if (counts.size() != blocks * q) {
+    throw std::invalid_argument(
+        "run_counts: initial counts must be num_blocks() x num_colours(), "
+        "flattened row-major");
+  }
+  for (std::size_t i = 0; i < blocks; ++i) {
+    std::uint64_t row = 0;
+    for (unsigned c = 0; c < q; ++c) row += counts[i * q + c];
+    if (row != model.sizes[i]) {
+      throw std::invalid_argument(
+          "run_counts: a block's colour counts must sum to its size");
+    }
+  }
+  const std::uint64_t n = chain.n();
+
+  CountSimResult result;
+  result.num_vertices = n;
+  std::vector<std::uint64_t> next(blocks * q);
+  std::vector<std::uint64_t> draw(q);
+  // Same bookkeeping order as detail::run_loop: observer at t = 0,
+  // consensus check before each round, observer after each write.
+  bool keep_going = !spec.observer || spec.observer(0, counts);
+  for (std::uint64_t round = 0; keep_going && round < spec.max_rounds;
+       ++round) {
+    if (spec.stop_at_consensus) {
+      const int w = winner_if_consensus(counts, q, n);
+      if (w >= 0) {
+        result.consensus = true;
+        result.winner = static_cast<OpinionValue>(w);
+        break;
+      }
+    }
+    std::fill(next.begin(), next.end(), 0);
+    for (std::size_t i = 0; i < blocks; ++i) {
+      for (unsigned c = 0; c < q; ++c) {
+        const std::uint64_t cell = counts[i * q + c];
+        if (cell == 0) continue;
+        const std::vector<double> dist =
+            chain.update_distribution(counts, i, c);
+        // One stream per (round, cell): positions i * q + c are unique
+        // across cells, the purpose tag keeps the space disjoint from
+        // every per-vertex stream, and a round never reuses another
+        // round's counters — checkpoint = (seed, round, counts).
+        rng::CounterRng gen(spec.seed, round, i * q + c, kDrawCountSpace);
+        rng::multinomial_exact(gen, cell, dist, draw);
+        for (unsigned c2 = 0; c2 < q; ++c2) next[i * q + c2] += draw[c2];
+      }
+    }
+    counts.swap(next);
+    ++result.rounds;
+    if (spec.observer) {
+      keep_going = spec.observer(result.rounds, counts);
+    }
+  }
+  if (!result.consensus) {
+    const int w = winner_if_consensus(counts, q, n);
+    if (w >= 0) {
+      result.consensus = true;
+      result.winner = static_cast<OpinionValue>(w);
+    }
+  }
+  result.block_counts = std::move(counts);
+  return result;
+}
+
+}  // namespace b3v::core

@@ -1,0 +1,116 @@
+// The count-space engine backend: one synchronous round is O(q * blocks)
+// exact binomial / multinomial draws instead of n vertex updates, so
+// n = 10^8..10^9 runs cost the same as n = 100 — the ROADMAP's
+// "millions of users" fast path on exchangeable dense families.
+//
+// State: (block x colour) counts over a graph::CountModel. Each round,
+// every cell (i, c) re-colours its count[i][c] vertices by one shared
+// multinomial whose parameters are theory::CountChain's exact
+// per-vertex update law (self-exclusion included), drawn through
+// rng::multinomial_exact from the stream
+// CounterRng(seed, round, i * q + c, kDrawCountSpace) — so a run stays
+// a pure function of (model, initial counts, spec) and checkpoint =
+// (seed, round, counts), exactly like the per-vertex engine.
+//
+// Two ways in:
+//   - run_counts (here): counts in, counts out. The direct entry point
+//     for paper-scale n, where a per-vertex configuration would not
+//     even fit in memory.
+//   - core::run with RunSpec/MultiRunSpec::state_space =
+//     StateSpace::kCounts (engine.hpp): per-vertex initial state in,
+//     per-vertex result out, for drop-in cross-validation against the
+//     kPerVertex backend at overlapping n. Dispatch-time rules live
+//     there (observer / representation / schedule rejections).
+//
+// Observer contract: CountRoundObserver sees (t, flattened blocks x q
+// counts), t = 0 on the initial counts and t = 1, 2, ... after each
+// round, mirroring RoundObserver; the span is only valid during the
+// call; returning false stops the run after the current round.
+//
+// Equivalence guarantees (the backend's correctness claim is purely
+// distributional — trajectories CANNOT match the per-vertex engine
+// draw-for-draw): tests/test_count_engine.cpp pins one-round count
+// distributions against ExactCompleteChain::step_distribution
+// (chi-square) and full-run absorption statistics against the
+// per-vertex engine (two-sample KS) for every registry protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/opinion.hpp"
+#include "core/protocol.hpp"
+#include "graph/samplers.hpp"
+
+namespace b3v::core {
+
+/// Which state space the engine simulates on. kPerVertex is the
+/// default n-vertex configuration space; kCounts collapses it to
+/// (block x colour) counts on samplers that expose a count model
+/// (graph::CountSpaceSampler) — distributionally identical, O(q *
+/// blocks) per round.
+enum class StateSpace : std::uint8_t { kPerVertex, kCounts };
+
+/// Canonical spelling of a state space (for logs and bench labels).
+constexpr std::string_view name(StateSpace s) {
+  switch (s) {
+    case StateSpace::kPerVertex: return "per-vertex";
+    case StateSpace::kCounts: return "counts";
+  }
+  return "?";
+}
+
+/// Per-round hook of the count-space backend: (t, flattened blocks x q
+/// counts after round t) -> keep running?
+using CountRoundObserver =
+    std::function<bool(std::uint64_t t, std::span<const std::uint64_t> counts)>;
+
+/// Everything a count-space run needs besides the model and the start
+/// counts. No Schedule / Representation: the count chain is defined by
+/// the synchronous round, and the state is always the count vector.
+struct CountRunSpec {
+  Protocol protocol{};
+  std::uint64_t seed = 1;
+  std::uint64_t max_rounds = 10000;
+  bool stop_at_consensus = true;
+  CountRoundObserver observer{};
+};
+
+/// Outcome of a count-space run.
+struct CountSimResult {
+  bool consensus = false;    // some colour holds every vertex
+  OpinionValue winner = 0;   // meaningful iff consensus
+  std::uint64_t rounds = 0;  // rounds executed
+  std::uint64_t num_vertices = 0;
+  std::vector<std::uint64_t> block_counts;  // blocks x q flattened, end
+
+  /// Per-colour totals of the end state (summed over blocks).
+  std::vector<std::uint64_t> colour_counts(unsigned q) const {
+    std::vector<std::uint64_t> totals(q, 0);
+    for (std::size_t i = 0; i < block_counts.size(); ++i) {
+      totals[i % q] += block_counts[i];
+    }
+    return totals;
+  }
+
+  /// Final global fraction of colour c.
+  double final_fraction(unsigned c, unsigned q) const {
+    return static_cast<double>(colour_counts(q).at(c)) /
+           static_cast<double>(num_vertices);
+  }
+};
+
+/// Runs spec.protocol on the (block x colour) count chain of `model`
+/// from `initial_block_counts` (flattened blocks x q, row-major; row
+/// sums must equal the model's block sizes) until one colour holds
+/// every vertex (unless disabled), the observer stops it, or
+/// spec.max_rounds. Deterministic in (model, initial, spec); no thread
+/// pool — a round is O(q^2 * blocks) work.
+CountSimResult run_counts(const graph::CountModel& model,
+                          std::vector<std::uint64_t> initial_block_counts,
+                          const CountRunSpec& spec);
+
+}  // namespace b3v::core

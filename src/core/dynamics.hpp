@@ -49,6 +49,15 @@ enum class TieRule : std::uint8_t {
 inline constexpr std::uint32_t kDrawNeighbors = 0;
 inline constexpr std::uint32_t kDrawTie = 1;
 
+/// RNG purpose tag of the count-space backend's transition draws: one
+/// CounterRng(seed, round, block * q + colour, kDrawCountSpace) stream
+/// per (block, colour) cell per round feeds the exact binomial /
+/// multinomial sampler (rng/count_sampler.hpp via core/count_engine).
+/// Disjoint from every per-vertex purpose, so the two state spaces
+/// never share a draw. (kDrawAsyncPick = 2 and kDrawNoise = 3 are
+/// declared below, next to their kernels.)
+inline constexpr std::uint32_t kDrawCountSpace = 4;
+
 namespace detail {
 
 /// One Best-of-k vertex decision, drawing neighbour samples from `gen`

@@ -49,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/count_engine.hpp"
 #include "core/dynamics.hpp"
 #include "core/opinion.hpp"
 #include "core/packed.hpp"
@@ -189,7 +190,16 @@ struct RunSpec {
                                         // kAuto picks by (n, protocol,
                                         // schedule), override for
                                         // benchmarking
-  RoundObserver observer{};             // null = observe nothing
+  StateSpace state_space = StateSpace::kPerVertex;  // kCounts collapses
+                                        // the run onto the (block x
+                                        // colour) count chain — needs a
+                                        // CountSpaceSampler
+  RoundObserver observer{};             // null = observe nothing;
+                                        // kPerVertex only (kCounts has
+                                        // no per-vertex state to show —
+                                        // set count_observer instead)
+  CountRoundObserver count_observer{};  // kCounts only: sees the
+                                        // flattened blocks x q counts
 };
 
 /// Outcome of a run. blue_trajectory is filled only by entry points
@@ -303,6 +313,58 @@ SimResult run_loop(std::size_t n, std::uint64_t initial_blue,
   return result;
 }
 
+/// Collapses a per-vertex configuration onto the model's contiguous
+/// blocks x q counts, rejecting colours >= q (count_colours' policy).
+inline std::vector<std::uint64_t> counts_from_state(
+    const graph::CountModel& model, std::span<const OpinionValue> state,
+    unsigned q) {
+  std::vector<std::uint64_t> counts(model.num_blocks() * q, 0);
+  std::size_t v = 0;
+  for (std::size_t i = 0; i < model.num_blocks(); ++i) {
+    for (std::uint64_t r = 0; r < model.sizes[i]; ++r, ++v) {
+      const OpinionValue c = state[v];
+      if (c >= q) {
+        throw std::invalid_argument(
+            "core::run: initial state holds a colour >= the protocol's "
+            "colour count");
+      }
+      ++counts[i * q + c];
+    }
+  }
+  return counts;
+}
+
+/// A canonical per-vertex representative of a count state: block by
+/// block, colours ascending. Exchangeability makes every assignment
+/// equally valid; observers never see it (count-space observers get
+/// counts), only the result's final_state does.
+inline Opinions state_from_counts(const graph::CountModel& model,
+                                  std::span<const std::uint64_t> counts,
+                                  unsigned q) {
+  Opinions state;
+  state.reserve(model.num_vertices());
+  for (std::size_t i = 0; i < model.num_blocks(); ++i) {
+    for (unsigned c = 0; c < q; ++c) {
+      state.insert(state.end(),
+                   static_cast<std::size_t>(counts[i * q + c]),
+                   static_cast<OpinionValue>(c));
+    }
+  }
+  return state;
+}
+
+/// The CountRunSpec a kCounts dispatch hands run_counts.
+template <typename Spec>
+CountRunSpec count_spec_of(const Spec& spec) {
+  CountRunSpec cspec;
+  cspec.protocol = spec.protocol;
+  cspec.seed = spec.seed;
+  cspec.max_rounds = spec.max_rounds;
+  cspec.stop_at_consensus = spec.stop_at_consensus;
+  cspec.observer = spec.count_observer;
+  return cspec;
+}
+
 }  // namespace detail
 
 /// Runs spec.protocol from `initial` under spec.schedule until
@@ -321,6 +383,51 @@ SimResult run(const S& sampler, Opinions initial, const RunSpec& spec,
   const std::size_t n = sampler.num_vertices();
   if (initial.size() != n) {
     throw std::invalid_argument("core::run: initial state size mismatch");
+  }
+  if (spec.state_space == StateSpace::kCounts) {
+    // Count-space backend: dispatch-time rejection of unsupported
+    // combinations, same policy as resolve_representation — throw here,
+    // before any round runs, never silently run different dynamics.
+    if constexpr (graph::CountSpaceSampler<S>) {
+      if (spec.schedule != Schedule::kSynchronous) {
+        throw std::invalid_argument(
+            "core::run: the count-space backend is synchronous-only — the "
+            "count chain is defined by the synchronous round");
+      }
+      if (spec.representation != Representation::kAuto) {
+        throw std::invalid_argument(
+            "core::run: StateSpace::kCounts carries counts, not a "
+            "per-vertex state — an explicit Representation cannot apply");
+      }
+      if (spec.observer) {
+        throw std::invalid_argument(
+            "core::run: per-vertex observers cannot watch a count-space "
+            "run (there is no per-vertex state) — set "
+            "RunSpec::count_observer");
+      }
+      const graph::CountModel model = sampler.count_model();
+      const CountSimResult cres = run_counts(
+          model, detail::counts_from_state(model, initial, 2),
+          detail::count_spec_of(spec));
+      SimResult result;
+      result.consensus = cres.consensus;
+      result.winner = cres.winner == 1 ? Opinion::kBlue : Opinion::kRed;
+      result.rounds = cres.rounds;
+      result.num_vertices = n;
+      result.final_blue = cres.colour_counts(2)[1];
+      result.final_state = detail::state_from_counts(model, cres.block_counts, 2);
+      return result;
+    } else {
+      throw std::invalid_argument(
+          "core::run: StateSpace::kCounts needs a sampler with a count "
+          "model (graph::CountSpaceSampler — CompleteSampler or "
+          "BlockModelSampler)");
+    }
+  }
+  if (spec.count_observer) {
+    throw std::invalid_argument(
+        "core::run: count_observer is a count-space hook — per-vertex "
+        "runs observe through RunSpec::observer");
   }
   const Representation rep = resolve_representation(
       spec.protocol, spec.schedule, n, spec.representation);
@@ -406,7 +513,11 @@ struct MultiRunSpec {
   std::uint64_t max_rounds = 10000;
   bool stop_at_consensus = true;
   Representation representation = Representation::kAuto;  // state width
-  MultiRoundObserver observer{};
+  StateSpace state_space = StateSpace::kPerVertex;  // kCounts = the
+                                        // (block x colour) count chain
+  MultiRoundObserver observer{};        // kPerVertex only
+  CountRoundObserver count_observer{};  // kCounts only: flattened
+                                        // blocks x q counts each round
 };
 
 /// Outcome of a multi-opinion run.
@@ -543,6 +654,46 @@ MultiSimResult run(const S& sampler, Opinions initial,
   const std::size_t n = sampler.num_vertices();
   if (initial.size() != n) {
     throw std::invalid_argument("core::run: initial state size mismatch");
+  }
+  if (spec.state_space == StateSpace::kCounts) {
+    // Same dispatch-time rejection policy as the binary overload (and
+    // as resolve_representation): invalid combinations throw before
+    // any round runs.
+    if constexpr (graph::CountSpaceSampler<S>) {
+      if (spec.representation != Representation::kAuto) {
+        throw std::invalid_argument(
+            "core::run: StateSpace::kCounts carries counts, not a "
+            "per-vertex state — an explicit Representation cannot apply");
+      }
+      if (spec.observer) {
+        throw std::invalid_argument(
+            "core::run: per-vertex observers cannot watch a count-space "
+            "run (there is no per-vertex state) — set "
+            "MultiRunSpec::count_observer");
+      }
+      const graph::CountModel model = sampler.count_model();
+      const CountSimResult cres = run_counts(
+          model, detail::counts_from_state(model, initial, q),
+          detail::count_spec_of(spec));
+      MultiSimResult result;
+      result.consensus = cres.consensus;
+      result.winner = cres.winner;
+      result.rounds = cres.rounds;
+      result.num_vertices = n;
+      result.final_counts = cres.colour_counts(q);
+      result.final_state = detail::state_from_counts(model, cres.block_counts, q);
+      return result;
+    } else {
+      throw std::invalid_argument(
+          "core::run: StateSpace::kCounts needs a sampler with a count "
+          "model (graph::CountSpaceSampler — CompleteSampler or "
+          "BlockModelSampler)");
+    }
+  }
+  if (spec.count_observer) {
+    throw std::invalid_argument(
+        "core::run: count_observer is a count-space hook — per-vertex "
+        "runs observe through MultiRunSpec::observer");
   }
   const Representation rep = resolve_representation(
       spec.protocol, Schedule::kSynchronous, n, spec.representation);

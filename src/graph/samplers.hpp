@@ -14,6 +14,7 @@
 
 #include <concepts>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -23,6 +24,96 @@
 #include "rng/philox.hpp"
 
 namespace b3v::graph {
+
+/// Block-level description of an exchangeable dense family — the state
+/// the count-space engine backend (core/count_engine) runs on. Within a
+/// block every vertex is statistically identical, so (block x colour)
+/// counts are a complete state: sizes[i] vertices in block i, and a
+/// sampled neighbour of a block-i vertex lands on each SPECIFIC vertex
+/// of block j (itself excluded) with probability
+///   weights[i][j] / (sum_l weights[i][l] * (sizes[l] - [l == i])).
+/// The weights are relative (any positive scale); K_n is the one-block
+/// slice, and the B-block model at mixing lambda uses the annealed SBM
+/// weights w_in = (1 + (B-1) lambda) / B, w_out = (1 - lambda) / B —
+/// the same parameterisation as theory::sbm_plurality_step, so the
+/// count chain and the mean-field maps speak one lambda.
+struct CountModel {
+  std::vector<std::uint64_t> sizes;          // vertices per block
+  std::vector<std::vector<double>> weights;  // B x B symmetric, relative
+
+  std::size_t num_blocks() const noexcept { return sizes.size(); }
+
+  std::uint64_t num_vertices() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t s : sizes) n += s;
+    return n;
+  }
+
+  /// Throws std::invalid_argument unless the model is runnable: at
+  /// least one block, every block non-empty, n >= 2, a square symmetric
+  /// non-negative weight matrix, and every block able to sample SOME
+  /// neighbour (its weighted pool is non-empty).
+  void validate() const {
+    if (sizes.empty()) {
+      throw std::invalid_argument("CountModel: at least one block");
+    }
+    if (weights.size() != sizes.size()) {
+      throw std::invalid_argument(
+          "CountModel: weights must be num_blocks() x num_blocks()");
+    }
+    if (num_vertices() < 2) {
+      throw std::invalid_argument("CountModel: n >= 2");
+    }
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      if (sizes[i] == 0) {
+        throw std::invalid_argument("CountModel: empty block");
+      }
+      if (weights[i].size() != sizes.size()) {
+        throw std::invalid_argument(
+            "CountModel: weights must be num_blocks() x num_blocks()");
+      }
+      double pool = 0.0;
+      for (std::size_t j = 0; j < sizes.size(); ++j) {
+        const double w = weights[i][j];
+        if (!(w >= 0.0)) {
+          throw std::invalid_argument("CountModel: weights must be >= 0");
+        }
+        if (w != weights[j][i]) {
+          throw std::invalid_argument("CountModel: weights must be symmetric");
+        }
+        pool += w * static_cast<double>(sizes[j] - (j == i ? 1 : 0));
+      }
+      if (pool <= 0.0) {
+        throw std::invalid_argument(
+            "CountModel: a block has no sampleable neighbours");
+      }
+    }
+  }
+
+  /// K_n as a count model: one block, unit weight.
+  static CountModel complete(std::uint64_t n) {
+    return CountModel{{n}, {{1.0}}};
+  }
+
+  /// B equal blocks (remainder spread over the first blocks) at the
+  /// generalised mixing lambda in [0, 1]: lambda = 0 is K_n re-labelled
+  /// (every pair weight equal), lambda = 1 disconnects the blocks.
+  static CountModel sbm(std::uint64_t n, unsigned blocks, double lambda) {
+    if (blocks == 0) throw std::invalid_argument("CountModel::sbm: blocks >= 1");
+    if (!(lambda >= 0.0 && lambda <= 1.0)) {
+      throw std::invalid_argument("CountModel::sbm: lambda in [0, 1]");
+    }
+    const double bd = static_cast<double>(blocks);
+    const double w_in = (1.0 + (bd - 1.0) * lambda) / bd;
+    const double w_out = (1.0 - lambda) / bd;
+    CountModel model;
+    model.sizes.assign(blocks, n / blocks);
+    for (std::uint64_t r = 0; r < n % blocks; ++r) ++model.sizes[r];
+    model.weights.assign(blocks, std::vector<double>(blocks, w_out));
+    for (unsigned i = 0; i < blocks; ++i) model.weights[i][i] = w_in;
+    return model;
+  }
+};
 
 /// Anything the dynamics can run on: a vertex count, per-vertex degree,
 /// and uniform neighbour sampling.
@@ -68,8 +159,95 @@ class CompleteSampler {
     return u >= v ? u + 1 : u;  // skip v, stays uniform over the rest
   }
 
+  /// The one-block count model: the count-space backend on K_n.
+  CountModel count_model() const { return CountModel::complete(n_); }
+
  private:
   VertexId n_;
+};
+
+/// Per-vertex sampler of an ANNEALED block model: vertices live in the
+/// contiguous blocks of a CountModel, and every sample(v) call picks a
+/// fresh weighted-random vertex (block j with probability proportional
+/// to weights[i][j] * (sizes[j] - [j == i]), then uniform within the
+/// block, v itself excluded). No edge set is ever materialised or
+/// frozen, so the per-vertex dynamics here is EXACTLY the Markov chain
+/// the count-space backend simulates on the same model — the
+/// distributional identity tests/test_count_engine.cpp leans on. (A
+/// quenched graph::k_block_sbm run agrees only up to the concentration
+/// of its sampled degrees.)
+class BlockModelSampler {
+ public:
+  explicit BlockModelSampler(CountModel model) : model_(std::move(model)) {
+    model_.validate();
+    const std::uint64_t n = model_.num_vertices();
+    if (n - 1 > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument(
+          "BlockModelSampler: per-vertex state needs n - 1 < 2^32 — run "
+          "larger models through the count-space backend");
+    }
+    const std::size_t blocks = model_.num_blocks();
+    offsets_.reserve(blocks + 1);
+    offsets_.push_back(0);
+    for (const std::uint64_t s : model_.sizes) {
+      offsets_.push_back(offsets_.back() + static_cast<VertexId>(s));
+    }
+    // Per source block: the weighted pool sizes of every target block
+    // (self excluded), cumulated for one-double block selection.
+    cum_.assign(blocks, std::vector<double>(blocks, 0.0));
+    for (std::size_t i = 0; i < blocks; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < blocks; ++j) {
+        acc += model_.weights[i][j] *
+               static_cast<double>(model_.sizes[j] - (j == i ? 1 : 0));
+        cum_[i][j] = acc;
+      }
+    }
+  }
+
+  VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(model_.num_vertices());
+  }
+  /// Annealed model: every other vertex is reachable in one sample.
+  std::uint32_t degree(VertexId) const noexcept { return num_vertices() - 1; }
+
+  template <typename G>
+  VertexId sample(VertexId v, G& gen) const {
+    const std::size_t i = block_of(v);
+    const auto& cum = cum_[i];
+    const std::size_t blocks = cum.size();
+    const double r = gen.next_double() * cum.back();
+    std::size_t j = 0;
+    while (j + 1 < blocks && r >= cum[j]) ++j;
+    // Guard fp edge cases (r == cum.back(), or a zero-weight landing
+    // cell): walk to a block with a non-empty pool.
+    while (model_.sizes[j] == (j == i ? 1u : 0u)) j = (j + 1) % blocks;
+    const auto m = static_cast<std::uint32_t>(model_.sizes[j] - (j == i));
+    std::uint32_t u = rng::bounded_u32(gen, m);
+    if (j == i && u >= v - offsets_[i]) ++u;  // skip v, stays uniform
+    return offsets_[j] + u;
+  }
+
+  const CountModel& count_model() const noexcept { return model_; }
+
+  /// Block of vertex v (blocks are contiguous id ranges).
+  std::size_t block_of(VertexId v) const {
+    std::size_t i = 0;
+    while (v >= offsets_[i + 1]) ++i;
+    return i;
+  }
+
+ private:
+  CountModel model_;
+  std::vector<VertexId> offsets_;         // block start ids, + final n
+  std::vector<std::vector<double>> cum_;  // cumulative weighted pools
+};
+
+/// A sampler the count-space engine backend can run: it exposes the
+/// block-level CountModel its per-vertex distribution realises.
+template <typename S>
+concept CountSpaceSampler = NeighborSampler<S> && requires(const S s) {
+  { s.count_model() } -> std::convertible_to<CountModel>;
 };
 
 /// Circulant graph via its signed offset deltas. Construct from the same
@@ -159,6 +337,10 @@ class TorusSampler {
 
 static_assert(NeighborSampler<CsrSampler>);
 static_assert(NeighborSampler<CompleteSampler>);
+static_assert(NeighborSampler<BlockModelSampler>);
+static_assert(CountSpaceSampler<CompleteSampler>);
+static_assert(CountSpaceSampler<BlockModelSampler>);
+static_assert(!CountSpaceSampler<CsrSampler>);
 static_assert(NeighborSampler<CirculantSampler>);
 static_assert(NeighborSampler<HypercubeSampler>);
 static_assert(NeighborSampler<TorusSampler>);

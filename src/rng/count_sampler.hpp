@@ -1,0 +1,169 @@
+// Exact binomial / multinomial sampling over counter-based streams —
+// the randomness of the count-space engine backend (core/count_engine),
+// where one round is O(q * blocks) draws instead of n vertex updates.
+//
+// Exactness matters here: rng::binomial (distributions.hpp) switches to
+// a normal approximation for large n*p, which is fine for generator
+// workloads but would put a systematic O(1/sqrt(np)) bias into every
+// count-space round and fail the statistical equivalence suite
+// (tests/test_count_engine.cpp). This sampler is exact at every size:
+//
+//   - n*p <= kInversionCutoff: BINV inversion (Kachitvichyanukul &
+//     Schmeiser) — walk the CDF with the multiplicative pmf recurrence.
+//     One uniform per draw. Underflow-safe in this regime: after the
+//     p <= 1/2 reflection, (1-p)^n >= e^(-2*n*p) stays far above
+//     double's denormal floor.
+//   - n*p > kInversionCutoff: BTRS transformed rejection (Hoermann
+//     1993, the TF/JAX workhorse), with the squeeze step replaced by
+//     the EXACT log-pmf acceptance test through std::lgamma. The hat
+//     construction needs n*p >= 10, which the cutoff guarantees; the
+//     squeeze only buys speed, and a count-space round draws so few
+//     variates that the ~1.15 expected iterations of the plain exact
+//     test are already noise. Two uniforms per iteration.
+//
+// Draw discipline: everything is consumed from a caller-provided
+// UniformRng, so a count-space run stays counter-checkpointable — the
+// engine hands each (block, colour, round) its own
+// CounterRng(seed, round, block*q + colour, kDrawCountSpace) stream and
+// a draw sequence is a pure function of that position. The rejection
+// loop's consumption is unbounded in principle but needs ~2^17 failed
+// iterations to exhaust a stream's 2^18-u32 budget (probability
+// astronomically small; CounterRng then throws rather than aliasing).
+//
+// tests/test_goldens.cpp pins draw sequences for fixed (seed, purpose)
+// streams; tests/test_rng.cpp checks moments and exact tail masses
+// against theory/binomial's log-domain pmfs on both sides of the
+// cutoff.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "rng/bounded.hpp"
+
+namespace b3v::rng {
+
+/// n*p above which binomial_exact switches from BINV inversion to BTRS
+/// rejection. Must stay >= 10 (the BTRS hat's validity region) and
+/// small enough that inversion's O(n*p) expected walk stays cheap.
+inline constexpr double kBinomialInversionCutoff = 30.0;
+
+namespace detail {
+
+/// BINV: inversion by CDF walk, valid for p <= 1/2 and modest n*p.
+template <UniformRng G>
+std::uint64_t binomial_inversion(G& gen, std::uint64_t n, double p) {
+  const double q = 1.0 - p;
+  const double s = p / q;
+  // pmf(0) = q^n via the log domain (q^n underflows no earlier than
+  // e^-2np >= e^-60 here, comfortably normal).
+  double pmf = std::exp(static_cast<double>(n) * std::log1p(-p));
+  double u = gen.next_double();
+  std::uint64_t k = 0;
+  while (u > pmf) {
+    u -= pmf;
+    ++k;
+    if (k > n) {
+      // Floating-point leftovers: the walked masses summed to < 1 by
+      // an ulp and u landed in the gap. The gap's mass is O(n * eps),
+      // ~1e-13 here — return the endpoint rather than loop.
+      return n;
+    }
+    pmf *= s * static_cast<double>(n - k + 1) / static_cast<double>(k);
+  }
+  return k;
+}
+
+/// BTRS: Hoermann's transformed rejection with the exact log-pmf
+/// acceptance test. Requires p <= 1/2 and n*p >= 10.
+template <UniformRng G>
+std::uint64_t binomial_btrs(G& gen, std::uint64_t n, double p) {
+  const double nd = static_cast<double>(n);
+  const double q = 1.0 - p;
+  const double np = nd * p;
+  const double spq = std::sqrt(np * q);
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = np + 0.5;
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double lpq = std::log(p / q);
+  const double m = std::floor((nd + 1.0) * p);  // the mode
+  const double lfm = std::lgamma(m + 1.0) + std::lgamma(nd - m + 1.0);
+  for (;;) {
+    const double u = gen.next_double() - 0.5;
+    const double v = gen.next_double();
+    const double us = 0.5 - std::abs(u);
+    const double kd = std::floor((2.0 * a / us + b) * u + c);
+    if (kd < 0.0 || kd > nd) continue;
+    // Exact acceptance: v * alpha / (a/us^2 + b) <= pmf(k) / pmf(m),
+    // tested in logs. v == 0 (prob 2^-53) is the always-accept limit.
+    const double lhs =
+        std::log(v) + std::log(alpha) - std::log(a / (us * us) + b);
+    const double rhs = lfm - std::lgamma(kd + 1.0) -
+                       std::lgamma(nd - kd + 1.0) + (kd - m) * lpq;
+    if (lhs <= rhs) return static_cast<std::uint64_t>(kd);
+  }
+}
+
+}  // namespace detail
+
+/// One exact Bin(n, p) draw from `gen`. Throws std::invalid_argument on
+/// p outside [0, 1] (NaN included).
+template <UniformRng G>
+std::uint64_t binomial_exact(G& gen, std::uint64_t n, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("binomial_exact: p must lie in [0, 1]");
+  }
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  // Reflect onto p <= 1/2: fewer inversion steps, and the BTRS hat is
+  // only built for this half.
+  if (p > 0.5) return n - binomial_exact(gen, n, 1.0 - p);
+  if (static_cast<double>(n) * p <= kBinomialInversionCutoff) {
+    return detail::binomial_inversion(gen, n, p);
+  }
+  return detail::binomial_btrs(gen, n, p);
+}
+
+/// One exact Multinomial(n, probs) draw into `out` (same length as
+/// probs), by the conditional-binomial chain: category c receives
+/// Bin(remaining, probs[c] / rest). Throws std::invalid_argument on
+/// negative entries or a total off 1 by more than 1e-8.
+template <UniformRng G>
+void multinomial_exact(G& gen, std::uint64_t n, std::span<const double> probs,
+                       std::span<std::uint64_t> out) {
+  if (probs.empty() || out.size() != probs.size()) {
+    throw std::invalid_argument(
+        "multinomial_exact: probs and out must be non-empty and equal-sized");
+  }
+  double total = 0.0;
+  for (const double p : probs) {
+    if (!(p >= 0.0)) {
+      throw std::invalid_argument(
+          "multinomial_exact: probabilities must be >= 0");
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-8) {
+    throw std::invalid_argument(
+        "multinomial_exact: probabilities must sum to 1");
+  }
+  std::uint64_t remaining = n;
+  double rest = total;
+  for (std::size_t c = 0; c + 1 < probs.size(); ++c) {
+    if (remaining == 0 || rest <= 0.0) {
+      out[c] = 0;
+      continue;
+    }
+    const double pc = std::min(1.0, probs[c] / rest);
+    const std::uint64_t x = binomial_exact(gen, remaining, pc);
+    out[c] = x;
+    remaining -= x;
+    rest -= probs[c];
+  }
+  out[probs.size() - 1] = remaining;
+}
+
+}  // namespace b3v::rng

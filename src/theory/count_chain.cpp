@@ -1,0 +1,105 @@
+#include "theory/count_chain.hpp"
+
+#include <stdexcept>
+
+#include "theory/binomial.hpp"
+#include "theory/recursions.hpp"
+
+namespace b3v::theory {
+namespace {
+
+/// Majority-blue probability of k samples at blue fraction p, given the
+/// vertex's own colour — the same closed form ExactCompleteChain builds
+/// its f_blue / f_red from (the two must stay identical; the one-block
+/// slice is pinned against it).
+double majority_blue(unsigned k, double p, bool own_blue, core::TieRule tie) {
+  const double strict = binomial_tail_geq(k, k / 2 + 1, p);
+  if (k % 2 == 1) return strict;
+  const double tied = binomial_pmf(k, k / 2, p);
+  switch (tie) {
+    case core::TieRule::kRandom:
+      return strict + 0.5 * tied;
+    case core::TieRule::kKeepOwn:
+      return strict + (own_blue ? tied : 0.0);
+    case core::TieRule::kPreferRed:
+      return strict;
+    case core::TieRule::kPreferBlue:
+      return strict + tied;
+  }
+  return strict;
+}
+
+}  // namespace
+
+CountChain::CountChain(graph::CountModel model, core::Protocol protocol)
+    : model_(std::move(model)),
+      protocol_(protocol),
+      q_(protocol.num_colours()),
+      n_(0) {
+  model_.validate();
+  core::validate(protocol_);
+  n_ = model_.num_vertices();
+  if (protocol_.kind == core::RuleKind::kPlurality &&
+      (protocol_.k > 16 || protocol_.q > 16)) {
+    throw std::invalid_argument(
+        "CountChain: plurality rates need the exact multinomial "
+        "enumeration of plurality_drift, which is guarded at k, q <= 16");
+  }
+  const std::size_t blocks = model_.num_blocks();
+  pool_.resize(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    double w = 0.0;
+    for (std::size_t j = 0; j < blocks; ++j) {
+      w += model_.weights[i][j] *
+           static_cast<double>(model_.sizes[j] - (j == i ? 1 : 0));
+    }
+    pool_[i] = w;  // > 0, enforced by CountModel::validate
+  }
+}
+
+std::vector<double> CountChain::sample_distribution(
+    std::span<const std::uint64_t> counts, std::size_t block,
+    unsigned own) const {
+  const std::size_t blocks = model_.num_blocks();
+  if (counts.size() != blocks * q_) {
+    throw std::invalid_argument(
+        "CountChain: counts must be num_blocks() x q, flattened");
+  }
+  if (block >= blocks || own >= q_) {
+    throw std::invalid_argument("CountChain: block / colour out of range");
+  }
+  std::vector<double> y(q_, 0.0);
+  for (std::size_t j = 0; j < blocks; ++j) {
+    const double w = model_.weights[block][j] / pool_[block];
+    if (w == 0.0) continue;
+    for (unsigned c = 0; c < q_; ++c) {
+      double cnt = static_cast<double>(counts[j * q_ + c]);
+      // Self-exclusion; the max(0) mirrors ExactCompleteChain's b == 0
+      // guard for hypothetical queries at an empty (block, own) cell.
+      if (j == block && c == own && cnt > 0.0) cnt -= 1.0;
+      y[c] += w * cnt;
+    }
+  }
+  return y;
+}
+
+std::vector<double> CountChain::update_distribution(
+    std::span<const std::uint64_t> counts, std::size_t block,
+    unsigned own) const {
+  const std::vector<double> y = sample_distribution(counts, block, own);
+  if (protocol_.kind != core::RuleKind::kPlurality) {
+    double p_blue = majority_blue(protocol_.effective_k(), y[1], own == 1,
+                                  protocol_.effective_tie());
+    if (protocol_.noise > 0.0) {
+      // The noisy kernel's fault coin is fair over {red, blue}.
+      p_blue = (1.0 - protocol_.noise) * p_blue + 0.5 * protocol_.noise;
+    }
+    return {1.0 - p_blue, p_blue};
+  }
+  std::vector<double> own_delta(q_, 0.0);
+  own_delta[own] = 1.0;
+  return plurality_drift(y, own_delta, protocol_.k,
+                         protocol_.ptie == core::PluralityTie::kKeepOwn);
+}
+
+}  // namespace b3v::theory

@@ -1,0 +1,81 @@
+// Exact per-vertex transition rates of voting dynamics on exchangeable
+// block models — the q-colour, k-block generalisation of
+// ExactCompleteChain's f_blue / f_red.
+//
+// On a graph::CountModel the per-vertex state is exchangeable within a
+// block, so the dynamics is a Markov chain on (block x colour) counts:
+// given the current counts, every vertex of block i with colour c
+// independently re-colours by ONE distribution, and the next counts
+// are a sum of multinomials. This class computes that distribution
+// exactly for every registry protocol:
+//
+//   sample_distribution: the colour law of one sampled neighbour, with
+//     the updating vertex excluded from its own block's pool — the
+//     self-exclusion that makes ExactCompleteChain's f_blue(b) use
+//     (b-1)/(n-1) while f_red(b) uses b/(n-1). The one-block binary
+//     slice of this class reproduces those two rates bit-for-bit
+//     (tests/test_count_engine.cpp pins the identity).
+//   update_distribution: the law of the vertex's next colour — binary
+//     rules through the binomial majority probability (k samples, tie
+//     rule, then the noise mix p' = (1 - noise) p + noise / 2, matching
+//     step_best_of_k_noisy's fair coin); plurality through
+//     theory::plurality_drift with a point-mass `own` (so its tie
+//     rules match the per-vertex kernel distributionally).
+//
+// The multi-block sample law is the annealed-SBM mixture
+//   y_c = sum_j w_ij (counts[j][c] - [j == i][c == own]) / W_i,
+// W_i = sum_j w_ij (sizes[j] - [j == i]) — at n -> infinity this is
+// exactly the y_i = w_in x_i + w_out sum_{j != i} x_j of the coupled
+// mean-field maps (theory::sbm_plurality_step and the two-block binary
+// maps), so the count chain is their finite-n, self-excluded refinement
+// (docs/THEORY.md tabulates the mapping).
+//
+// Consumed by core::run_counts, which draws the actual multinomial
+// transitions through rng::binomial_exact / multinomial_exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "graph/samplers.hpp"
+
+namespace b3v::theory {
+
+class CountChain {
+ public:
+  /// Validates both arguments. Plurality protocols additionally need
+  /// k, q <= 16 (plurality_drift's exact-enumeration guard); binary
+  /// rules (any k, tie, noise) have closed binomial forms at every
+  /// size. Throws std::invalid_argument otherwise.
+  CountChain(graph::CountModel model, core::Protocol protocol);
+
+  const graph::CountModel& model() const noexcept { return model_; }
+  const core::Protocol& protocol() const noexcept { return protocol_; }
+  unsigned q() const noexcept { return q_; }
+  std::size_t num_blocks() const noexcept { return model_.num_blocks(); }
+  std::uint64_t n() const noexcept { return n_; }
+
+  /// Colour law of one sampled neighbour of a block-`block` vertex of
+  /// colour `own`, given the current counts (flattened blocks x q,
+  /// row-major: counts[i * q + c]). Self-excluded as above.
+  std::vector<double> sample_distribution(
+      std::span<const std::uint64_t> counts, std::size_t block,
+      unsigned own) const;
+
+  /// Law of the vertex's NEXT colour under the protocol: the f(counts)
+  /// whose Bin / multinomial draws are one count-space round.
+  std::vector<double> update_distribution(std::span<const std::uint64_t> counts,
+                                          std::size_t block,
+                                          unsigned own) const;
+
+ private:
+  graph::CountModel model_;
+  core::Protocol protocol_;
+  unsigned q_;
+  std::uint64_t n_;
+  std::vector<double> pool_;  // W_i per block (counts-independent)
+};
+
+}  // namespace b3v::theory

@@ -1,0 +1,486 @@
+// Count-space engine backend: structural tests plus the statistical
+// cross-validation suite (ctest label `statistical`, applied to this
+// whole binary by tests/CMakeLists.txt).
+//
+// The backend's correctness claim is purely distributional — one round
+// draws O(q * blocks) binomial/multinomial transitions instead of n
+// vertex updates, so trajectories CANNOT match the per-vertex engine
+// draw-for-draw. The suite therefore checks, with fixed seeds:
+//   (a) machine-epsilon identities: the one-block binary slice of
+//       theory::CountChain against ExactCompleteChain's f_blue/f_red;
+//   (b) chi-square: one-round count distributions over >= 10^4 seeded
+//       replicates against ExactCompleteChain::step_distribution at
+//       n in {200, 999} (both sampler regimes: BINV inversion and BTRS
+//       rejection land in the expected counts);
+//   (c) two-sample KS on absorption time plus a two-proportion z-test
+//       on the winner rate, count-space vs per-vertex core::run, for
+//       every parseable registry protocol on K_n and a 3-block
+//       (annealed) SBM at overlapping n.
+//
+// False-positive budget: every seed below is pinned, so each assertion
+// is a ONE-TIME draw from its null — the suite either passes forever
+// or fails forever (it was verified green at these seeds; re-seeding
+// re-rolls the dice). Under the null the nominal levels are ~3e-7 per
+// chi-square z < 5, 1e-4 per KS test, ~6e-7 per winner z < 5; summed
+// over the ~3 + 14 + 14 assertions the whole suite's budget is
+// ~1.5e-3 per re-seeding. A real distributional bug (e.g. the
+// normal-approximation binomial this backend deliberately avoids)
+// shows up orders of magnitude past these thresholds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "core/count_engine.hpp"
+#include "core/engine.hpp"
+#include "core/initializer.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+#include "theory/count_chain.hpp"
+#include "theory/exact_chain.hpp"
+
+namespace {
+
+using namespace b3v;
+
+// ---------------------------------------------------------------------
+// Structural: exact identities and dispatch policy
+// ---------------------------------------------------------------------
+
+TEST(CountChain, OneBlockBinarySliceMatchesExactChain) {
+  const std::uint32_t n = 61;
+  for (const core::TieRule tie :
+       {core::TieRule::kRandom, core::TieRule::kKeepOwn,
+        core::TieRule::kPreferRed, core::TieRule::kPreferBlue}) {
+    for (const unsigned k : {1u, 2u, 3u, 4u, 5u}) {
+      const theory::ExactCompleteChain exact(n, k, tie);
+      const theory::CountChain chain(graph::CountModel::complete(n),
+                                     core::best_of(k, tie));
+      for (std::uint32_t b = 1; b < n; ++b) {
+        const std::vector<std::uint64_t> counts{n - b, b};
+        EXPECT_NEAR(chain.update_distribution(counts, 0, 1)[1],
+                    exact.blue_stays_blue(b), 1e-14);
+        EXPECT_NEAR(chain.update_distribution(counts, 0, 0)[1],
+                    exact.red_turns_blue(b), 1e-14);
+      }
+    }
+  }
+}
+
+TEST(CountChain, TwoChoicesFoldsToBestOfTwoKeepOwn) {
+  const std::uint32_t n = 40;
+  const theory::CountChain tc(graph::CountModel::complete(n),
+                              core::two_choices());
+  const theory::CountChain b2(graph::CountModel::complete(n),
+                              core::best_of(2, core::TieRule::kKeepOwn));
+  const std::vector<std::uint64_t> counts{25, 15};
+  for (const unsigned own : {0u, 1u}) {
+    EXPECT_DOUBLE_EQ(tc.update_distribution(counts, 0, own)[1],
+                     b2.update_distribution(counts, 0, own)[1]);
+  }
+}
+
+TEST(CountChain, NoiseMixesInAFairCoin) {
+  const std::uint32_t n = 50;
+  const theory::CountChain clean(graph::CountModel::complete(n),
+                                 core::best_of(3));
+  const theory::CountChain noisy(graph::CountModel::complete(n),
+                                 core::best_of(3, core::TieRule::kRandom, 0.2));
+  const std::vector<std::uint64_t> counts{30, 20};
+  const double p = clean.update_distribution(counts, 0, 0)[1];
+  EXPECT_NEAR(noisy.update_distribution(counts, 0, 0)[1], 0.8 * p + 0.1,
+              1e-14);
+}
+
+TEST(CountChain, SampleDistributionSelfExcludesPerBlock) {
+  // 2 blocks of 10, disconnected-ish weights: a block-0 blue vertex
+  // samples blue with (b0 - 1) weighted against the other block.
+  graph::CountModel model = graph::CountModel::sbm(20, 2, 0.5);
+  const theory::CountChain chain(model, core::best_of(3));
+  // counts: block 0 = {4 red, 6 blue}, block 1 = {10 red, 0 blue}.
+  const std::vector<std::uint64_t> counts{4, 6, 10, 0};
+  const double w_in = model.weights[0][0], w_out = model.weights[0][1];
+  const double pool = w_in * 9.0 + w_out * 10.0;
+  const auto y_blue = chain.sample_distribution(counts, 0, 1);
+  EXPECT_NEAR(y_blue[1], w_in * 5.0 / pool, 1e-14);
+  const auto y_red = chain.sample_distribution(counts, 0, 0);
+  EXPECT_NEAR(y_red[1], w_in * 6.0 / pool, 1e-14);
+  // Lambda = 0 is K_n re-labelled: matches the one-block slice.
+  const theory::CountChain flat(graph::CountModel::sbm(20, 2, 0.0),
+                                core::best_of(3));
+  const theory::CountChain complete(graph::CountModel::complete(20),
+                                    core::best_of(3));
+  const std::vector<std::uint64_t> merged{14, 6};
+  EXPECT_NEAR(flat.update_distribution(counts, 0, 1)[1],
+              complete.update_distribution(merged, 0, 1)[1], 1e-14);
+}
+
+TEST(CountEngine, RunCountsConservesBlockSizesEveryRound) {
+  const graph::CountModel model = graph::CountModel::sbm(90, 3, 0.5);
+  core::CountRunSpec spec;
+  spec.protocol = core::plurality(3, 3);
+  spec.seed = 7;
+  spec.max_rounds = 40;
+  spec.stop_at_consensus = false;
+  std::uint64_t calls = 0;
+  spec.observer = [&](std::uint64_t, std::span<const std::uint64_t> counts) {
+    ++calls;
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::uint64_t row = 0;
+      for (unsigned c = 0; c < 3; ++c) row += counts[i * 3 + c];
+      EXPECT_EQ(row, 30u);
+    }
+    return true;
+  };
+  const std::vector<std::uint64_t> init{30, 0, 0, 0, 30, 0, 0, 0, 30};
+  const auto result = core::run_counts(model, init, spec);
+  EXPECT_EQ(result.rounds, 40u);
+  EXPECT_EQ(calls, 41u);  // t = 0 plus every round
+  EXPECT_EQ(result.num_vertices, 90u);
+}
+
+TEST(CountEngine, ObserverStopsTheRun) {
+  core::CountRunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 3;
+  spec.stop_at_consensus = false;
+  spec.observer = [](std::uint64_t t, std::span<const std::uint64_t>) {
+    return t < 5;
+  };
+  const auto result =
+      core::run_counts(graph::CountModel::complete(100), {50, 50}, spec);
+  EXPECT_EQ(result.rounds, 5u);
+}
+
+TEST(CountEngine, RunCountsValidatesItsInputs) {
+  core::CountRunSpec spec;
+  spec.protocol = core::best_of(3);
+  EXPECT_THROW(core::run_counts(graph::CountModel::complete(10), {4, 5}, spec),
+               std::invalid_argument);  // row sum != block size
+  EXPECT_THROW(core::run_counts(graph::CountModel::complete(10), {10}, spec),
+               std::invalid_argument);  // wrong shape
+  spec.protocol = core::plurality(3, 17);
+  EXPECT_THROW(
+      core::run_counts(graph::CountModel::complete(20),
+                       std::vector<std::uint64_t>(17, 0), spec),
+      std::invalid_argument);  // past the plurality enumeration guard
+}
+
+TEST(CountEngine, DispatchRejectsPerVertexObserverAndRepresentation) {
+  const graph::CompleteSampler sampler(64);
+  parallel::ThreadPool pool(1);
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.state_space = core::StateSpace::kCounts;
+
+  auto initial = core::iid_bernoulli(64, 0.4, 1);
+  std::vector<std::uint64_t> sink;
+  {
+    core::RunSpec bad = spec;
+    bad.observer = core::observers::record_trajectory(sink);
+    EXPECT_THROW(core::run(sampler, initial, bad, pool),
+                 std::invalid_argument);
+  }
+  {
+    core::RunSpec bad = spec;
+    bad.representation = core::Representation::kBit1;
+    EXPECT_THROW(core::run(sampler, initial, bad, pool),
+                 std::invalid_argument);
+  }
+  {
+    core::RunSpec bad = spec;
+    bad.schedule = core::Schedule::kAsyncSweeps;
+    EXPECT_THROW(core::run(sampler, initial, bad, pool),
+                 std::invalid_argument);
+  }
+  {
+    // And the mirror image: a count observer on a per-vertex run.
+    core::RunSpec bad;
+    bad.protocol = core::best_of(3);
+    bad.count_observer = [](std::uint64_t, std::span<const std::uint64_t>) {
+      return true;
+    };
+    EXPECT_THROW(core::run(sampler, initial, bad, pool),
+                 std::invalid_argument);
+  }
+  {
+    // Samplers without a count model are rejected at dispatch.
+    const graph::Graph g = graph::dense_circulant(64, 8);
+    const graph::CsrSampler csr(g);
+    EXPECT_THROW(core::run(csr, initial, spec, pool), std::invalid_argument);
+  }
+}
+
+TEST(CountEngine, RunDispatchMatchesRunCountsAndIsDeterministic) {
+  const graph::CompleteSampler sampler(200);
+  parallel::ThreadPool pool(2);
+  auto initial = core::iid_bernoulli(200, 0.4, 9);
+  const std::uint64_t blue0 = core::count_blue(initial);
+
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 99;
+  spec.state_space = core::StateSpace::kCounts;
+  std::vector<std::uint64_t> traj;
+  spec.count_observer = [&](std::uint64_t, std::span<const std::uint64_t> c) {
+    traj.push_back(c[1]);
+    return true;
+  };
+  const auto via_run = core::run(sampler, initial, spec, pool);
+
+  core::CountRunSpec cspec;
+  cspec.protocol = spec.protocol;
+  cspec.seed = spec.seed;
+  const auto direct = core::run_counts(graph::CountModel::complete(200),
+                                       {200 - blue0, blue0}, cspec);
+  EXPECT_EQ(via_run.rounds, direct.rounds);
+  EXPECT_EQ(via_run.consensus, direct.consensus);
+  EXPECT_EQ(via_run.final_blue, direct.colour_counts(2)[1]);
+  ASSERT_EQ(traj.size(), via_run.rounds + 1);
+  EXPECT_EQ(traj.front(), blue0);
+  EXPECT_EQ(traj.back(), via_run.final_blue);
+  // The synthesized final state is a faithful representative.
+  EXPECT_EQ(core::count_blue(via_run.final_state), via_run.final_blue);
+
+  // Multi-opinion overload, same backend: identical rounds and counts.
+  core::MultiRunSpec mspec;
+  mspec.protocol = spec.protocol;
+  mspec.seed = spec.seed;
+  mspec.state_space = core::StateSpace::kCounts;
+  const auto multi = core::run(sampler, initial, mspec, pool);
+  EXPECT_EQ(multi.rounds, via_run.rounds);
+  EXPECT_EQ(multi.final_counts[1], via_run.final_blue);
+}
+
+TEST(CountEngine, BillionVertexRoundsAreFeasible) {
+  // The headline: n = 10^9 on a 3-block model, rounds cost O(q*blocks)
+  // draws. A best-of-3 run from 52% blue collapses in O(log log n)
+  // rounds; the whole thing must be near-instant.
+  const std::uint64_t n = 1'000'000'000;
+  const graph::CountModel model = graph::CountModel::sbm(n, 3, 0.4);
+  std::vector<std::uint64_t> init;
+  for (const std::uint64_t s : model.sizes) {
+    const std::uint64_t blue = s * 52 / 100;
+    init.push_back(s - blue);
+    init.push_back(blue);
+  }
+  core::CountRunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 17;
+  spec.max_rounds = 200;
+  const auto result = core::run_counts(model, init, spec);
+  EXPECT_TRUE(result.consensus);
+  EXPECT_EQ(result.winner, 1);  // blue started ahead
+  EXPECT_LT(result.rounds, 40u);
+  EXPECT_EQ(result.num_vertices, n);
+}
+
+// ---------------------------------------------------------------------
+// (b) chi-square: one-round distributions vs the exact chain
+// ---------------------------------------------------------------------
+
+/// Runs `replicates` seeded one-round count-space steps from blue
+/// count b0 on K_n and chi-squares the landed counts against
+/// ExactCompleteChain::step_distribution(b0), with cells merged to
+/// expected counts >= 8.
+analysis::ChiSquare one_round_chi_square(std::uint32_t n, std::uint32_t b0,
+                                         const core::Protocol& protocol,
+                                         std::size_t replicates,
+                                         std::uint64_t master_seed) {
+  const theory::ExactCompleteChain exact(
+      n, protocol.effective_k(), protocol.effective_tie());
+  const auto expected = exact.step_distribution(b0);
+
+  std::vector<std::uint64_t> landed(n + 1, 0);
+  const graph::CountModel model = graph::CountModel::complete(n);
+  core::CountRunSpec spec;
+  spec.protocol = protocol;
+  spec.max_rounds = 1;
+  spec.stop_at_consensus = false;
+  for (std::size_t rep = 0; rep < replicates; ++rep) {
+    spec.seed = rng::derive_stream(master_seed, rep);
+    const auto result = core::run_counts(model, {n - b0, b0}, spec);
+    ++landed[result.block_counts[1]];
+  }
+
+  // Merge consecutive cells until each bin expects >= 8 replicates.
+  std::vector<std::uint64_t> obs_bins;
+  std::vector<double> exp_bins;
+  double exp_acc = 0.0;
+  std::uint64_t obs_acc = 0;
+  const double min_expected = 8.0 / static_cast<double>(replicates);
+  for (std::uint32_t k = 0; k <= n; ++k) {
+    exp_acc += expected[k];
+    obs_acc += landed[k];
+    if (exp_acc >= min_expected) {
+      exp_bins.push_back(exp_acc);
+      obs_bins.push_back(obs_acc);
+      exp_acc = 0.0;
+      obs_acc = 0;
+    }
+  }
+  // Fold the leftover tail into the last bin.
+  if (!exp_bins.empty()) {
+    exp_bins.back() += exp_acc;
+    obs_bins.back() += obs_acc;
+  }
+  return analysis::chi_square_fit(obs_bins, exp_bins);
+}
+
+TEST(CountEngineStatistical, OneRoundMatchesExactChainSmallN) {
+  const auto chi =
+      one_round_chi_square(200, 80, core::best_of(3), 10000, 0xC0DE0001);
+  EXPECT_LT(std::abs(chi.z_score), 5.0)
+      << "chi=" << chi.statistic << " dof=" << chi.degrees_of_freedom;
+}
+
+TEST(CountEngineStatistical, OneRoundMatchesExactChainEvenKTie) {
+  const auto chi = one_round_chi_square(
+      200, 100, core::best_of(2, core::TieRule::kRandom), 10000, 0xC0DE0002);
+  EXPECT_LT(std::abs(chi.z_score), 5.0)
+      << "chi=" << chi.statistic << " dof=" << chi.degrees_of_freedom;
+}
+
+TEST(CountEngineStatistical, OneRoundMatchesExactChainLargerN) {
+  // n = 999, b0 = 400: both transition rates put n * p past the BTRS
+  // cutoff, so this pins the rejection regime of the sampler inside
+  // the engine round.
+  const auto chi =
+      one_round_chi_square(999, 400, core::best_of(3), 10000, 0xC0DE0003);
+  EXPECT_LT(std::abs(chi.z_score), 5.0)
+      << "chi=" << chi.statistic << " dof=" << chi.degrees_of_freedom;
+}
+
+// ---------------------------------------------------------------------
+// (c) KS cross-validation: count-space vs per-vertex, every protocol
+// ---------------------------------------------------------------------
+
+struct AbsorptionSample {
+  std::vector<double> rounds;  // capped runs report the cap
+  std::uint64_t winner_hits = 0;
+  std::size_t reps = 0;
+};
+
+/// Absorption statistics of `reps` runs through the ONE multi-opinion
+/// core::run path (binary rules dispatch to the binary kernels there),
+/// on the chosen backend. The winner event is "colour 0 holds every
+/// vertex" — well-defined on both backends, capped runs count as a
+/// miss.
+template <typename S>
+AbsorptionSample absorb(const S& sampler, const core::Protocol& protocol,
+                        core::StateSpace space, std::size_t reps,
+                        std::uint64_t master_seed, std::uint64_t max_rounds,
+                        parallel::ThreadPool& pool) {
+  const unsigned q = protocol.num_colours();
+  const std::size_t n = sampler.num_vertices();
+  // Mild planted advantage for colour 0 keeps absorption times short
+  // and the winner rate away from the degenerate 0/1 corners.
+  std::vector<double> probs(q, (1.0 - (1.0 / q + 0.05)) / (q - 1.0));
+  probs[0] = 1.0 / q + 0.05;
+  AbsorptionSample out;
+  out.reps = reps;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const std::uint64_t seed = rng::derive_stream(master_seed, rep);
+    core::MultiRunSpec spec;
+    spec.protocol = protocol;
+    spec.seed = seed;
+    spec.max_rounds = max_rounds;
+    spec.state_space = space;
+    auto initial =
+        core::iid_multi(n, probs, rng::derive_stream(seed, 0x1217));
+    const auto result = core::run(sampler, std::move(initial), spec, pool);
+    out.rounds.push_back(static_cast<double>(result.rounds));
+    out.winner_hits += result.consensus && result.winner == 0;
+  }
+  return out;
+}
+
+void expect_equivalent(const AbsorptionSample& a, const AbsorptionSample& b,
+                       const std::string& label) {
+  // KS on absorption time at alpha = 1e-4 (conservative on the
+  // discrete rounds scale).
+  const double ks = analysis::ks_two_sample(a.rounds, b.rounds);
+  const double crit =
+      analysis::ks_two_sample_critical(a.rounds.size(), b.rounds.size(), 1e-4);
+  EXPECT_LT(ks, crit) << label << ": KS=" << ks << " crit=" << crit;
+  // Two-proportion z on the winner rate, 5 sigma.
+  const double p1 =
+      static_cast<double>(a.winner_hits) / static_cast<double>(a.reps);
+  const double p2 =
+      static_cast<double>(b.winner_hits) / static_cast<double>(b.reps);
+  const double pooled =
+      static_cast<double>(a.winner_hits + b.winner_hits) /
+      static_cast<double>(a.reps + b.reps);
+  const double se = std::sqrt(
+      pooled * (1.0 - pooled) *
+      (1.0 / static_cast<double>(a.reps) + 1.0 / static_cast<double>(b.reps)));
+  if (se == 0.0) {
+    EXPECT_EQ(a.winner_hits * b.reps, b.winner_hits * a.reps) << label;
+  } else {
+    EXPECT_LT(std::abs(p1 - p2) / se, 5.0)
+        << label << ": winner rates " << p1 << " vs " << p2;
+  }
+}
+
+/// Every parseable registry protocol (the bracketed entries are
+/// documentation placeholders, not names).
+std::vector<core::Protocol> registry_protocols() {
+  std::vector<core::Protocol> out;
+  for (const std::string& name : core::known_protocol_names()) {
+    if (name.find('[') != std::string::npos) continue;
+    out.push_back(core::protocol_from_name(name));
+  }
+  return out;
+}
+
+TEST(CountEngineStatistical, MatchesPerVertexEngineOnCompleteGraph) {
+  parallel::ThreadPool pool(2);
+  const graph::CompleteSampler sampler(120);
+  constexpr std::size_t kReps = 250;
+  const auto protocols = registry_protocols();
+  ASSERT_GE(protocols.size(), 5u);  // the registry filter went wrong otherwise
+  std::uint64_t salt = 0;
+  for (const core::Protocol& protocol : protocols) {
+    // Voter has no drift: absorption is a count-space random walk,
+    // O(n) rounds; drifty rules collapse in O(log log n).
+    const std::uint64_t cap = protocol.effective_k() == 1 ? 4000 : 400;
+    const std::uint64_t seed = 0x5EEDB10C0001ULL + salt;
+    const auto pv = absorb(sampler, protocol, core::StateSpace::kPerVertex,
+                           kReps, seed, cap, pool);
+    const auto cs = absorb(sampler, protocol, core::StateSpace::kCounts,
+                           kReps, seed + 1, cap, pool);
+    expect_equivalent(pv, cs, "K_120 " + core::name(protocol));
+    ++salt;
+  }
+}
+
+TEST(CountEngineStatistical, MatchesPerVertexEngineOnThreeBlockSbm) {
+  parallel::ThreadPool pool(2);
+  // The ANNEALED 3-block model: BlockModelSampler realises exactly the
+  // per-vertex chain the count model describes, so the two backends
+  // share one distribution (a quenched k_block_sbm graph would not).
+  const graph::BlockModelSampler sampler(graph::CountModel::sbm(120, 3, 0.4));
+  constexpr std::size_t kReps = 250;
+  const auto protocols = registry_protocols();
+  ASSERT_GE(protocols.size(), 5u);
+  std::uint64_t salt = 0;
+  for (const core::Protocol& protocol : protocols) {
+    const std::uint64_t cap = protocol.effective_k() == 1 ? 4000 : 400;
+    const std::uint64_t seed = 0x5EEDB10C0002ULL + salt;
+    const auto pv = absorb(sampler, protocol, core::StateSpace::kPerVertex,
+                           kReps, seed, cap, pool);
+    const auto cs = absorb(sampler, protocol, core::StateSpace::kCounts,
+                           kReps, seed + 1, cap, pool);
+    expect_equivalent(pv, cs, "SBM3 " + core::name(protocol));
+    ++salt;
+  }
+}
+
+}  // namespace

@@ -10,12 +10,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/count_engine.hpp"
 #include "core/engine.hpp"
 #include "core/initializer.hpp"
 #include "core/opinion.hpp"
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
+#include "rng/count_sampler.hpp"
 #include "rng/philox.hpp"
 #include "theory/recursions.hpp"
 
@@ -143,6 +145,61 @@ TEST(GoldensTheory, GapGrowth) {
   EXPECT_DOUBLE_EQ(theory::delta_growth_step(0.1, 0.001),
                    0x1.26e978d4fdf3cp-3);
   EXPECT_TRUE(theory::delta_growth_applicable(0.1, 0.001));
+}
+
+// The exact binomial/multinomial sampler behind the count-space
+// backend is part of the deterministic surface: every count-space
+// checkpoint (seed, round, counts) replays through it. The three
+// sub-streams pin the inversion (small n p), reflection (p > 1/2 via
+// the tiny-p complement), and BTRS rejection (n p large) code paths.
+TEST(GoldensCountSampler, BinomialStream) {
+  rng::CounterRng g(42, 7, 3, core::kDrawCountSpace);
+  const std::uint64_t btrs[] = {327, 331, 308, 293, 278, 267};
+  for (const std::uint64_t e : btrs) {
+    EXPECT_EQ(rng::binomial_exact(g, 1000, 0.3), e);
+  }
+  const std::uint64_t inv[] = {4, 1, 1, 0};
+  for (const std::uint64_t e : inv) {
+    EXPECT_EQ(rng::binomial_exact(g, 50, 0.02), e);
+  }
+  const std::uint64_t huge[] = {500000731, 499992006, 500032783, 500016941};
+  for (const std::uint64_t e : huge) {
+    EXPECT_EQ(rng::binomial_exact(g, 1'000'000'000, 0.5), e);
+  }
+}
+
+TEST(GoldensCountSampler, MultinomialStream) {
+  rng::CounterRng g(42, 0, 5, core::kDrawCountSpace);
+  const std::vector<double> probs{0.5, 0.2, 0.2, 0.1};
+  const std::uint64_t golden[3][4] = {{50241, 19669, 20116, 9974},
+                                      {50306, 19990, 19678, 10026},
+                                      {50149, 19854, 20003, 9994}};
+  std::vector<std::uint64_t> out(4);
+  for (const auto& row : golden) {
+    rng::multinomial_exact(g, 100000, probs, out);
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(out[c], row[c]);
+  }
+}
+
+// A full count-space run is a pure function of (model, initial counts,
+// seed); its blue trajectory is the count-space analogue of the
+// RunSyncTrajectory pin above.
+TEST(GoldensCountEngine, RunCountsTrajectory) {
+  core::CountRunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 2024;
+  std::vector<std::uint64_t> trajectory;
+  spec.observer = [&](std::uint64_t, std::span<const std::uint64_t> counts) {
+    trajectory.push_back(counts[1]);
+    return true;
+  };
+  const auto res =
+      core::run_counts(graph::CountModel::complete(100), {60, 40}, spec);
+  EXPECT_TRUE(res.consensus);
+  EXPECT_EQ(res.winner, 0);  // red
+  EXPECT_EQ(res.rounds, 6u);
+  const std::vector<std::uint64_t> golden = {40, 37, 27, 24, 15, 4, 0};
+  EXPECT_EQ(trajectory, golden);
 }
 
 TEST(GoldensTheory, Lemma4AndTheorem1) {

@@ -11,11 +11,13 @@
 
 #include "rng/alias_table.hpp"
 #include "rng/bounded.hpp"
+#include "rng/count_sampler.hpp"
 #include "rng/distributions.hpp"
 #include "rng/philox.hpp"
 #include "rng/splitmix64.hpp"
 #include "analysis/stats.hpp"
 #include "rng/xoshiro256.hpp"
+#include "theory/binomial.hpp"
 
 namespace {
 
@@ -362,6 +364,177 @@ TEST(AliasTable, RejectsInvalidInput) {
   EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
   EXPECT_THROW(AliasTable(std::vector<double>{-1.0, 2.0}), std::invalid_argument);
   EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Exact binomial/multinomial sampler (the count-space engine's draws)
+// ---------------------------------------------------------------------
+// Every statistical case below constructs a FRESH CounterRng per
+// replicate — exactly the engine's one-stream-per-(round, cell)
+// discipline, and required anyway: a single stream caps out at 2^18
+// u32 draws by design.
+
+TEST(CountSampler, BinomialEdgeCasesAndValidation) {
+  CounterRng g(1, 0, 0, 0);
+  EXPECT_EQ(binomial_exact(g, 0, 0.5), 0u);
+  EXPECT_EQ(binomial_exact(g, 25, 0.0), 0u);
+  EXPECT_EQ(binomial_exact(g, 25, 1.0), 25u);
+  EXPECT_THROW(binomial_exact(g, 10, -0.1), std::invalid_argument);
+  EXPECT_THROW(binomial_exact(g, 10, 1.1), std::invalid_argument);
+  for (int i = 0; i < 1000; ++i) {
+    CounterRng h(2, static_cast<std::uint64_t>(i), 0, 0);
+    EXPECT_LE(binomial_exact(h, 17, 0.8), 17u);
+  }
+}
+
+TEST(CountSampler, BinomialIsDeterministicPerStream) {
+  CounterRng a(5, 3, 1, 2), b(5, 3, 1, 2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(binomial_exact(a, 1000, 0.3), binomial_exact(b, 1000, 0.3));
+  }
+}
+
+/// Chi-squares `reps` fresh-stream draws of Bin(n, p) against the
+/// log-domain theory::binomial_pmf, merging consecutive outcomes until
+/// each bin expects >= 8 hits.
+b3v::analysis::ChiSquare binomial_chi_square(std::uint64_t n, double p,
+                                             int reps, std::uint64_t seed) {
+  std::vector<std::uint64_t> landed(n + 1, 0);
+  for (int i = 0; i < reps; ++i) {
+    CounterRng g(seed, static_cast<std::uint64_t>(i), 0, 0);
+    ++landed[binomial_exact(g, n, p)];
+  }
+  std::vector<std::uint64_t> obs;
+  std::vector<double> expect;
+  double e_acc = 0.0;
+  std::uint64_t o_acc = 0;
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    e_acc += b3v::theory::binomial_pmf(n, k, p);
+    o_acc += landed[k];
+    if (e_acc * reps >= 8.0) {
+      expect.push_back(e_acc);
+      obs.push_back(o_acc);
+      e_acc = 0.0;
+      o_acc = 0;
+    }
+  }
+  expect.back() += e_acc;
+  obs.back() += o_acc;
+  return b3v::analysis::chi_square_fit(obs, expect);
+}
+
+TEST(CountSampler, InversionRegimeMatchesPmf) {
+  // n p = 20 <= the inversion cutoff: the CDF-walk path.
+  const auto chi = binomial_chi_square(40, 0.5, 40000, 0xB1A50001);
+  EXPECT_LT(std::abs(chi.z_score), 5.0) << "statistic=" << chi.statistic;
+}
+
+TEST(CountSampler, BtrsRegimeMatchesPmf) {
+  // n p = 300: the BTRS rejection path with the exact log-pmf accept.
+  const auto chi = binomial_chi_square(1000, 0.3, 40000, 0xB1A50002);
+  EXPECT_LT(std::abs(chi.z_score), 5.0) << "statistic=" << chi.statistic;
+}
+
+TEST(CountSampler, ReflectionRegimeMatchesPmf) {
+  // p = 0.97 runs through the p > 1/2 complement reflection.
+  const auto chi = binomial_chi_square(500, 0.97, 40000, 0xB1A50003);
+  EXPECT_LT(std::abs(chi.z_score), 5.0) << "statistic=" << chi.statistic;
+}
+
+TEST(CountSampler, MomentsAcrossRegimes) {
+  // Mean within 5 standard errors, variance ratio within 5 of its own
+  // asymptotic error (~sqrt(2/reps)) — all regimes, including an n far
+  // past anything the per-vertex engine could reach.
+  const std::tuple<std::uint64_t, double> cases[] = {
+      {40, 0.5}, {1000, 0.3}, {500, 0.97}, {2'000'000, 0.37}};
+  const int reps = 20000;
+  std::uint64_t salt = 0;
+  for (const auto& [n, p] : cases) {
+    double mean = 0.0, m2 = 0.0;
+    for (int i = 0; i < reps; ++i) {
+      CounterRng g(0xB1A5000F + salt, static_cast<std::uint64_t>(i), 0, 0);
+      const double x = static_cast<double>(binomial_exact(g, n, p));
+      const double delta = x - mean;
+      mean += delta / (i + 1);
+      m2 += delta * (x - mean);
+    }
+    const double nd = static_cast<double>(n);
+    const double true_var = nd * p * (1.0 - p);
+    EXPECT_NEAR(mean, nd * p, 5.0 * std::sqrt(true_var / reps))
+        << "n=" << n << " p=" << p;
+    EXPECT_NEAR(m2 / (reps - 1) / true_var, 1.0, 5.0 * std::sqrt(2.0 / reps))
+        << "n=" << n << " p=" << p;
+    ++salt;
+  }
+}
+
+TEST(CountSampler, TailMassMatchesLogDomainTail) {
+  // Empirical P(X >= mean + 3 sigma) vs the exact binomial_tail_geq,
+  // within 5 binomial standard errors: a direct probe of the BTRS
+  // acceptance in the region where a sloppy hat would show first.
+  const std::uint64_t n = 1000;
+  const double p = 0.3;
+  const int reps = 60000;
+  const double sigma = std::sqrt(n * p * (1.0 - p));
+  const auto k0 = static_cast<std::uint64_t>(n * p + 3.0 * sigma);
+  const double p_tail = b3v::theory::binomial_tail_geq(n, k0, p);
+  int hits = 0;
+  for (int i = 0; i < reps; ++i) {
+    CounterRng g(0xB1A50011, static_cast<std::uint64_t>(i), 0, 0);
+    hits += binomial_exact(g, n, p) >= k0;
+  }
+  const double se = std::sqrt(p_tail * (1.0 - p_tail) / reps);
+  EXPECT_NEAR(static_cast<double>(hits) / reps, p_tail, 5.0 * se);
+}
+
+TEST(CountSampler, MultinomialSumsAndValidates) {
+  const std::vector<double> probs{0.5, 0.2, 0.2, 0.1};
+  std::vector<std::uint64_t> out(4);
+  for (int i = 0; i < 2000; ++i) {
+    CounterRng g(0xB1A50021, static_cast<std::uint64_t>(i), 0, 0);
+    multinomial_exact(g, 1000, probs, out);
+    std::uint64_t total = 0;
+    for (const auto c : out) total += c;
+    ASSERT_EQ(total, 1000u);
+  }
+  CounterRng g(1, 0, 0, 0);
+  const std::vector<double> negative{0.5, -0.1, 0.6};
+  EXPECT_THROW(multinomial_exact(g, 10, negative, out), std::invalid_argument);
+  const std::vector<double> short_sum{0.3, 0.3};
+  EXPECT_THROW(multinomial_exact(g, 10, short_sum, out), std::invalid_argument);
+}
+
+TEST(CountSampler, MultinomialMarginalMatchesBinomial) {
+  // Component c of a multinomial is Bin(n, p_c): chi-square the first
+  // marginal against the log-domain pmf.
+  const std::vector<double> probs{0.35, 0.4, 0.25};
+  const std::uint64_t n = 200;
+  const int reps = 30000;
+  std::vector<std::uint64_t> landed(n + 1, 0);
+  std::vector<std::uint64_t> out(3);
+  for (int i = 0; i < reps; ++i) {
+    CounterRng g(0xB1A50031, static_cast<std::uint64_t>(i), 0, 0);
+    multinomial_exact(g, n, probs, out);
+    ++landed[out[0]];
+  }
+  std::vector<std::uint64_t> obs;
+  std::vector<double> expect;
+  double e_acc = 0.0;
+  std::uint64_t o_acc = 0;
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    e_acc += b3v::theory::binomial_pmf(n, k, probs[0]);
+    o_acc += landed[k];
+    if (e_acc * reps >= 8.0) {
+      expect.push_back(e_acc);
+      obs.push_back(o_acc);
+      e_acc = 0.0;
+      o_acc = 0;
+    }
+  }
+  expect.back() += e_acc;
+  obs.back() += o_acc;
+  const auto chi = b3v::analysis::chi_square_fit(obs, expect);
+  EXPECT_LT(std::abs(chi.z_score), 5.0) << "statistic=" << chi.statistic;
 }
 
 }  // namespace
