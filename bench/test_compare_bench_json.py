@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench_json.py (pure stdlib, run via ctest).
+
+The contract under test, in order of importance:
+  - --strict fails (exit 1) when a baseline benchmark disappeared from
+    the candidate, but a benchmark NEW in the candidate — the PR that
+    introduces a BM_* before bench/reference/ knows about it — only
+    warns and is skipped, never gate-fails.
+  - regressions past --threshold exit 1; within threshold exit 0.
+  - aggregate rows (mean/median/stddev) are ignored.
+  - unreadable input exits 2, not a traceback.
+"""
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import compare_bench_json  # noqa: E402
+
+
+def bench_doc(rows):
+    return {"benchmarks": rows}
+
+
+def row(name, real_time, run_type="iteration"):
+    return {"name": name, "run_type": run_type,
+            "real_time": real_time, "cpu_time": real_time * 0.9}
+
+
+class CompareBenchJsonTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = Path(self._tmp.name)
+        self.baseline = root / "baseline"
+        self.candidate = root / "candidate"
+        self.baseline.mkdir()
+        self.candidate.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, directory, filename, rows):
+        (directory / filename).write_text(json.dumps(bench_doc(rows)),
+                                          encoding="utf-8")
+
+    def run_main(self, *extra):
+        """Returns (exit_code, stdout, stderr)."""
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = compare_bench_json.main(
+                [str(self.baseline), str(self.candidate), *extra])
+        return code, out.getvalue(), err.getvalue()
+
+    def test_identical_results_pass(self):
+        rows = [row("BM_step/1000", 100.0)]
+        self.write(self.baseline, "BENCH_step.json", rows)
+        self.write(self.candidate, "BENCH_step.json", rows)
+        code, out, _ = self.run_main("--strict")
+        self.assertEqual(code, 0)
+        self.assertIn("no regressions", out)
+
+    def test_regression_past_threshold_fails(self):
+        self.write(self.baseline, "BENCH_step.json", [row("BM_step", 100.0)])
+        self.write(self.candidate, "BENCH_step.json", [row("BM_step", 200.0)])
+        code, out, err = self.run_main("--threshold", "1.5")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("1 regression(s)", err)
+
+    def test_slowdown_within_threshold_passes(self):
+        self.write(self.baseline, "BENCH_step.json", [row("BM_step", 100.0)])
+        self.write(self.candidate, "BENCH_step.json", [row("BM_step", 140.0)])
+        code, _, _ = self.run_main("--threshold", "1.5")
+        self.assertEqual(code, 0)
+
+    def test_new_benchmark_warns_and_skips_even_under_strict(self):
+        # The satellite case: the PR that introduces BM_new predates its
+        # bench/reference/ entry. --strict must not gate-fail it.
+        self.write(self.baseline, "BENCH_step.json", [row("BM_old", 100.0)])
+        self.write(self.candidate, "BENCH_step.json",
+                   [row("BM_old", 100.0), row("BM_new", 5.0)])
+        code, _, err = self.run_main("--strict")
+        self.assertEqual(code, 0)
+        self.assertIn("warning: new in candidate", err)
+        self.assertIn("BM_new", err)
+
+    def test_disappeared_benchmark_fails_only_under_strict(self):
+        self.write(self.baseline, "BENCH_step.json",
+                   [row("BM_kept", 100.0), row("BM_gone", 50.0)])
+        self.write(self.candidate, "BENCH_step.json", [row("BM_kept", 100.0)])
+        code, _, err = self.run_main()
+        self.assertEqual(code, 0)
+        self.assertIn("warning: missing from candidate: BM_gone", err)
+        code, _, err = self.run_main("--strict")
+        self.assertEqual(code, 1)
+        self.assertIn("1 benchmark(s) missing", err)
+
+    def test_aggregate_rows_are_ignored(self):
+        self.write(self.baseline, "BENCH_step.json", [row("BM_step", 100.0)])
+        self.write(self.candidate, "BENCH_step.json", [
+            row("BM_step", 100.0),
+            row("BM_step_mean", 900.0, run_type="aggregate"),
+        ])
+        code, out, _ = self.run_main("--strict", "--threshold", "1.1")
+        self.assertEqual(code, 0)
+        self.assertNotIn("BM_step_mean", out)
+
+    def test_cpu_time_metric_is_selectable(self):
+        self.write(self.baseline, "BENCH_step.json", [row("BM_step", 100.0)])
+        self.write(self.candidate, "BENCH_step.json", [row("BM_step", 300.0)])
+        code, out, _ = self.run_main("--metric", "cpu_time",
+                                     "--threshold", "2.0")
+        self.assertEqual(code, 1)
+        self.assertIn("cpu_time", out)
+
+    def test_empty_directory_exits_2(self):
+        self.write(self.candidate, "BENCH_step.json", [row("BM_step", 1.0)])
+        code, _, err = self.run_main()
+        self.assertEqual(code, 2)
+        self.assertIn("no BENCH_*.json", err)
+
+    def test_malformed_json_exits_2(self):
+        (self.baseline / "BENCH_bad.json").write_text("{not json",
+                                                      encoding="utf-8")
+        self.write(self.candidate, "BENCH_step.json", [row("BM_step", 1.0)])
+        code, _, err = self.run_main()
+        self.assertEqual(code, 2)
+        self.assertIn("error:", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

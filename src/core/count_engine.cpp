@@ -55,9 +55,10 @@ CountSimResult run_counts(const graph::CountModel& model,
   std::vector<std::uint64_t> draw(q);
   // Same bookkeeping order as detail::run_loop: observer at t = 0,
   // consensus check before each round, observer after each write.
-  bool keep_going = !spec.observer || spec.observer(0, counts);
-  for (std::uint64_t round = 0; keep_going && round < spec.max_rounds;
-       ++round) {
+  bool keep_going =
+      !spec.observer || spec.observer(spec.start_round, counts);
+  for (std::uint64_t r = 0; keep_going && r < spec.max_rounds; ++r) {
+    const std::uint64_t round = spec.start_round + r;
     if (spec.stop_at_consensus) {
       const int w = winner_if_consensus(counts, q, n);
       if (w >= 0) {
@@ -85,7 +86,7 @@ CountSimResult run_counts(const graph::CountModel& model,
     counts.swap(next);
     ++result.rounds;
     if (spec.observer) {
-      keep_going = spec.observer(result.rounds, counts);
+      keep_going = spec.observer(spec.start_round + result.rounds, counts);
     }
   }
   if (!result.consensus) {

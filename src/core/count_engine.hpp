@@ -74,6 +74,11 @@ using CountRoundObserver =
 struct CountRunSpec {
   Protocol protocol{};
   std::uint64_t seed = 1;
+  std::uint64_t start_round = 0;    // absolute index of the first round
+                                    // this call executes: round r draws
+                                    // from CounterRng(seed, r, cell,
+                                    // kDrawCountSpace), so (seed, round,
+                                    // counts) checkpoints resume exactly
   std::uint64_t max_rounds = 10000;
   bool stop_at_consensus = true;
   CountRoundObserver observer{};

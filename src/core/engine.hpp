@@ -182,7 +182,15 @@ using RoundObserver = std::function<bool(
 struct RunSpec {
   Protocol protocol{};
   std::uint64_t seed = 1;
-  std::uint64_t max_rounds = 10000;     // sweeps under kAsyncSweeps
+  std::uint64_t start_round = 0;        // first round index this call
+                                        // executes: round r draws from
+                                        // CounterRng(seed, r, ...), so a
+                                        // run checkpointed at round t
+                                        // resumes bit-exactly from
+                                        // (state at t, start_round = t).
+                                        // Observers see absolute t.
+  std::uint64_t max_rounds = 10000;     // rounds THIS call may execute
+                                        // (sweeps under kAsyncSweeps)
   Schedule schedule = Schedule::kSynchronous;
   bool stop_at_consensus = true;        // false: run the full budget
                                         // (stationary measurements)
@@ -291,7 +299,11 @@ SimResult run_loop(std::size_t n, std::uint64_t initial_blue,
   SimResult result;
   result.num_vertices = n;
   std::uint64_t blue = initial_blue;
-  bool keep_going = !spec.observer || spec.observer(0, state(), blue);
+  // Round indices are absolute (spec.start_round + executed) so every
+  // stream CounterRng(seed, round, ...) — and every observer t — is the
+  // one an uninterrupted run would use; a resumed run is bit-exact.
+  bool keep_going =
+      !spec.observer || spec.observer(spec.start_round, state(), blue);
   for (std::uint64_t round = 0; keep_going && round < spec.max_rounds;
        ++round) {
     if (spec.stop_at_consensus && (blue == 0 || blue == n)) {
@@ -299,10 +311,11 @@ SimResult run_loop(std::size_t n, std::uint64_t initial_blue,
       result.winner = blue == 0 ? Opinion::kRed : Opinion::kBlue;
       break;
     }
-    blue = step(round);
+    blue = step(spec.start_round + round);
     ++result.rounds;
     if (spec.observer) {
-      keep_going = spec.observer(result.rounds, state(), blue);
+      keep_going =
+          spec.observer(spec.start_round + result.rounds, state(), blue);
     }
   }
   if (!result.consensus && (blue == 0 || blue == n)) {
@@ -359,6 +372,7 @@ CountRunSpec count_spec_of(const Spec& spec) {
   CountRunSpec cspec;
   cspec.protocol = spec.protocol;
   cspec.seed = spec.seed;
+  cspec.start_round = spec.start_round;
   cspec.max_rounds = spec.max_rounds;
   cspec.stop_at_consensus = spec.stop_at_consensus;
   cspec.observer = spec.count_observer;
@@ -440,6 +454,8 @@ SimResult run(const S& sampler, Opinions initial, const RunSpec& spec,
     SimResult result = detail::run_loop(
         n, blue, spec,
         [&](std::uint64_t round) {
+          // `round` is absolute, so the micro counter of a resumed run
+          // continues exactly where the checkpointed one stopped.
           blue = step_async_sweep(sampler, state, spec.protocol.effective_k(),
                                   spec.protocol.effective_tie(),
                                   spec.protocol.noise, spec.seed, round * n,
@@ -510,6 +526,8 @@ using MultiRoundObserver = std::function<bool(
 struct MultiRunSpec {
   Protocol protocol{};
   std::uint64_t seed = 1;
+  std::uint64_t start_round = 0;    // absolute index of the first round
+                                    // this call executes (see RunSpec)
   std::uint64_t max_rounds = 10000;
   bool stop_at_consensus = true;
   Representation representation = Representation::kAuto;  // state width
@@ -616,7 +634,8 @@ MultiSimResult multi_run_loop(std::size_t n, unsigned q,
     }
     return -1;
   };
-  bool keep_going = !spec.observer || spec.observer(0, state(), counts);
+  bool keep_going =
+      !spec.observer || spec.observer(spec.start_round, state(), counts);
   for (std::uint64_t round = 0; keep_going && round < spec.max_rounds;
        ++round) {
     if (spec.stop_at_consensus) {
@@ -627,10 +646,11 @@ MultiSimResult multi_run_loop(std::size_t n, unsigned q,
         break;
       }
     }
-    counts = step(round);
+    counts = step(spec.start_round + round);
     ++result.rounds;
     if (spec.observer) {
-      keep_going = spec.observer(result.rounds, state(), counts);
+      keep_going =
+          spec.observer(spec.start_round + result.rounds, state(), counts);
     }
   }
   if (!result.consensus) {

@@ -1,0 +1,106 @@
+// b3vd — the b3v simulation service. Accepts Protocol-registry jobs
+// over HTTP/JSON, runs them concurrently on a shared thread pool,
+// streams observer rows as NDJSON, and checkpoints every job so a
+// killed or restarted server resumes each in-flight job EXACTLY
+// (bit-identical results; see docs/SERVICE.md).
+//
+// Usage:
+//   b3vd --data-dir=DIR [--host=127.0.0.1] [--port=0]
+//        [--workers=2] [--pool-threads=0] [--checkpoint-every=64]
+//
+// Prints "b3vd listening on HOST:PORT" once serving (port 0 binds an
+// ephemeral port — harnesses read the line to find it). SIGINT/SIGTERM
+// stop gracefully: running jobs checkpoint at the next round boundary
+// and return to queued, so the next start over the same --data-dir
+// resumes them. A SIGKILL loses nothing either — recovery replays from
+// the last durable checkpoint (that is the crash-equivalence suite's
+// whole premise).
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <semaphore>
+#include <string>
+#include <string_view>
+
+#include "service/service.hpp"
+
+namespace {
+
+// Async-signal-safe wake-up for the main thread; release() is on the
+// POSIX 2008 async-signal-safe list's sem_post equivalent.
+std::binary_semaphore g_shutdown(0);
+
+void on_signal(int) { g_shutdown.release(); }
+
+[[noreturn]] void usage(std::string_view error) {
+  std::cerr << "b3vd: " << error << "\n"
+            << "usage: b3vd --data-dir=DIR [--host=ADDR] [--port=N]\n"
+            << "            [--workers=N] [--pool-threads=N]\n"
+            << "            [--checkpoint-every=N]\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(std::string_view flag, std::string_view value) {
+  std::uint64_t out = 0;
+  if (value.empty()) usage(std::string(flag) + " needs a value");
+  for (const char c : value) {
+    if (c < '0' || c > '9') usage(std::string(flag) + " needs a number");
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  b3v::service::ServiceConfig config;
+  config.scheduler.workers = 2;
+  config.scheduler.default_checkpoint_every = 64;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value_of = [&](std::string_view flag) {
+      return arg.substr(flag.size());
+    };
+    if (arg.starts_with("--data-dir=")) {
+      config.scheduler.data_dir = std::string(value_of("--data-dir="));
+    } else if (arg.starts_with("--host=")) {
+      config.host = std::string(value_of("--host="));
+    } else if (arg.starts_with("--port=")) {
+      config.port =
+          static_cast<std::uint16_t>(parse_u64("--port", value_of("--port=")));
+    } else if (arg.starts_with("--workers=")) {
+      config.scheduler.workers = static_cast<std::size_t>(
+          parse_u64("--workers", value_of("--workers=")));
+    } else if (arg.starts_with("--pool-threads=")) {
+      config.scheduler.pool_threads = static_cast<std::size_t>(
+          parse_u64("--pool-threads", value_of("--pool-threads=")));
+    } else if (arg.starts_with("--checkpoint-every=")) {
+      config.scheduler.default_checkpoint_every =
+          parse_u64("--checkpoint-every", value_of("--checkpoint-every="));
+    } else {
+      usage("unknown argument \"" + std::string(arg) + "\"");
+    }
+  }
+  if (config.scheduler.data_dir.empty()) usage("--data-dir is required");
+
+  try {
+    const std::string host = config.host;
+    b3v::service::Service service(std::move(config));
+    service.start();
+    std::cout << "b3vd listening on " << host << ":" << service.port()
+              << std::endl;  // flushed: harnesses read the port from here
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    g_shutdown.acquire();
+
+    std::cout << "b3vd stopping" << std::endl;
+    service.stop();  // graceful: jobs checkpoint and return to queued
+  } catch (const std::exception& e) {
+    std::cerr << "b3vd: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

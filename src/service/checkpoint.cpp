@@ -1,0 +1,163 @@
+#include "service/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace b3v::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', '3', 'V', 'C', 'K', 'P', 'T', '\n'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// Bounds-checked little-endian reads over the raw record.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::string_view take(std::size_t n) {
+    if (bytes_.size() - pos_ < n) {
+      throw std::runtime_error("checkpoint: truncated record");
+    }
+    const std::string_view out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::uint32_t u32() {
+    const std::string_view b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= std::uint32_t{static_cast<unsigned char>(b[i])} << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::string_view b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= std::uint64_t{static_cast<unsigned char>(b[i])} << (8 * i);
+    }
+    return v;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode(const Checkpoint& ckpt) {
+  const bool counts = ckpt.kind == Checkpoint::Kind::kCounts;
+  const std::uint64_t items =
+      counts ? ckpt.counts.size() : ckpt.state.size();
+  std::string out;
+  out.reserve(8 + 4 + 1 + 8 + 8 + items * (counts ? 8 : 1) + 8);
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kVersion);
+  out.push_back(static_cast<char>(ckpt.kind));
+  put_u64(out, ckpt.round);
+  put_u64(out, items);
+  if (counts) {
+    for (const std::uint64_t c : ckpt.counts) put_u64(out, c);
+  } else {
+    for (const core::OpinionValue v : ckpt.state) {
+      out.push_back(static_cast<char>(v));
+    }
+  }
+  put_u64(out, fnv1a(out));
+  return out;
+}
+
+Checkpoint decode(std::string_view bytes) {
+  Reader r(bytes);
+  if (r.take(sizeof(kMagic)) != std::string_view(kMagic, sizeof(kMagic))) {
+    throw std::runtime_error("checkpoint: bad magic — not a b3vd checkpoint");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unknown version " +
+                             std::to_string(version) + " (this build reads " +
+                             std::to_string(kVersion) + ")");
+  }
+  const auto kind_byte = static_cast<unsigned char>(r.take(1)[0]);
+  if (kind_byte > 1) {
+    throw std::runtime_error("checkpoint: unknown payload kind " +
+                             std::to_string(kind_byte));
+  }
+  Checkpoint ckpt;
+  ckpt.kind = static_cast<Checkpoint::Kind>(kind_byte);
+  ckpt.round = r.u64();
+  const std::uint64_t items = r.u64();
+  const std::size_t item_size = ckpt.kind == Checkpoint::Kind::kCounts ? 8 : 1;
+  if (r.remaining() != items * item_size + 8) {
+    throw std::runtime_error("checkpoint: payload size mismatch");
+  }
+  if (ckpt.kind == Checkpoint::Kind::kCounts) {
+    ckpt.counts.reserve(items);
+    for (std::uint64_t i = 0; i < items; ++i) ckpt.counts.push_back(r.u64());
+  } else {
+    const std::string_view payload = r.take(items);
+    ckpt.state.reserve(items);
+    for (const char c : payload) {
+      ckpt.state.push_back(static_cast<core::OpinionValue>(c));
+    }
+  }
+  const std::uint64_t expect = fnv1a(bytes.substr(0, r.pos()));
+  if (r.u64() != expect) {
+    throw std::runtime_error("checkpoint: integrity hash mismatch");
+  }
+  return ckpt;
+}
+
+void write_checkpoint_atomic(const std::filesystem::path& path,
+                             const Checkpoint& ckpt) {
+  const std::string bytes = encode(ckpt);
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("checkpoint: failed writing " + tmp.string());
+    }
+  }
+  // rename is atomic within a filesystem: readers (and a restarted
+  // server) see either the old complete record or the new one.
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<Checkpoint> read_checkpoint(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return decode(buf.str());
+}
+
+}  // namespace b3v::service

@@ -1,0 +1,76 @@
+// Checkpoint codec: the durable (round, state) snapshot b3vd writes so
+// a killed server resumes every in-flight job EXACTLY.
+//
+// Why this is sufficient: every engine backend draws round r from
+// counter-based streams CounterRng(seed, r, ...), so (spec, round,
+// state-after-round) determines the remainder of the run bit-for-bit —
+// restarting with start_round = round replays the very draws the
+// uninterrupted run would have made. Two payload kinds cover every
+// backend: per-vertex runs checkpoint the OpinionValue bytes their
+// observers see (packed representations unpack at the observer
+// boundary, and core::run re-packs the restored bytes, so packed runs
+// round-trip through the byte snapshot bit-for-bit), and count-space
+// runs checkpoint the flattened (block x colour) u64 counts.
+//
+// File format (version 1, little-endian):
+//   "B3VCKPT\n"  8-byte magic
+//   u32          version (1)
+//   u8           kind: 0 = per-vertex bytes, 1 = count-space u64s
+//   u64          round the payload is the state AFTER
+//   u64          item count (vertices, or blocks x colours)
+//   payload      count bytes, or count u64s
+//   u64          FNV-1a 64 over everything above
+// Writes go through a temp file + atomic rename, so a crash leaves
+// either the previous complete checkpoint or the new one — never a
+// torn file. The trailing hash turns any other corruption (truncated
+// copy, bit rot) into a refused load instead of a silently-wrong
+// resume.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/opinion.hpp"
+
+namespace b3v::service {
+
+struct Checkpoint {
+  enum class Kind : std::uint8_t {
+    kPerVertex = 0,  // one OpinionValue byte per vertex
+    kCounts = 1,     // flattened (block x colour) u64 counts
+  };
+
+  Kind kind = Kind::kPerVertex;
+  /// The payload is the state AFTER this round; resuming sets the
+  /// engine's start_round to it.
+  std::uint64_t round = 0;
+  std::vector<core::OpinionValue> state;  // kPerVertex payload
+  std::vector<std::uint64_t> counts;      // kCounts payload
+
+  bool operator==(const Checkpoint&) const = default;
+};
+
+/// Serialises to the version-1 byte format above.
+std::string encode(const Checkpoint& ckpt);
+
+/// Decodes a version-1 checkpoint; throws std::runtime_error naming the
+/// defect (bad magic, unknown version, size mismatch, hash mismatch) on
+/// anything but a byte-exact record.
+Checkpoint decode(std::string_view bytes);
+
+/// Writes encode(ckpt) via temp file + rename, so concurrent readers
+/// and crash-interrupted writers only ever see complete checkpoints.
+/// Throws std::runtime_error on I/O failure.
+void write_checkpoint_atomic(const std::filesystem::path& path,
+                             const Checkpoint& ckpt);
+
+/// Loads and decodes `path`; std::nullopt when the file does not exist
+/// (a job that never reached its first checkpoint), decode's exceptions
+/// when it exists but does not verify.
+std::optional<Checkpoint> read_checkpoint(const std::filesystem::path& path);
+
+}  // namespace b3v::service

@@ -1,0 +1,246 @@
+#include "service/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace b3v::service {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error("http: " + what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the predicate is satisfied or the peer closes.
+template <typename DoneFn>
+void read_until(int fd, std::string& buf, DoneFn&& done) {
+  char chunk[4096];
+  while (!done()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv");
+    }
+    if (n == 0) break;  // peer closed
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::size_t content_length(std::string_view headers) {
+  // Case-insensitive scan for the Content-Length header.
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    std::size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = headers.size();
+    const std::string_view line = headers.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string key(line.substr(0, colon));
+      for (char& c : key) c = static_cast<char>(std::tolower(c));
+      if (key == "content-length") {
+        std::size_t value = 0;
+        for (const char c : line.substr(colon + 1)) {
+          if (c == ' ' || c == '\t') continue;
+          if (c < '0' || c > '9') {
+            throw std::runtime_error("http: malformed Content-Length");
+          }
+          value = value * 10 + static_cast<std::size_t>(c - '0');
+        }
+        return value;
+      }
+    }
+    pos = eol + 2;
+  }
+  return 0;
+}
+
+constexpr std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Status";
+  }
+}
+
+std::string render(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    std::string(status_text(resp.status)) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+/// Parses "METHOD target HTTP/1.1\r\nheaders\r\n\r\nbody" off the
+/// socket. Returns false on a connection that closed before a full
+/// request arrived (port scanners, health probes).
+bool read_request(int fd, HttpRequest& req) {
+  std::string buf;
+  std::size_t header_end = std::string::npos;
+  read_until(fd, buf, [&] {
+    header_end = buf.find("\r\n\r\n");
+    return header_end != std::string::npos;
+  });
+  if (header_end == std::string::npos) return false;
+
+  const std::string_view head = std::string_view(buf).substr(0, header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return false;
+  }
+  req.method = std::string(request_line.substr(0, sp1));
+  req.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+
+  const std::size_t want = content_length(
+      head.substr(std::min(request_line.size() + 2, head.size())));
+  const std::size_t body_start = header_end + 4;
+  read_until(fd, buf, [&] { return buf.size() >= body_start + want; });
+  if (buf.size() < body_start + want) return false;
+  req.body = buf.substr(body_start, want);
+  return true;
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("http: bad IPv4 address \"" + host + "\"");
+  }
+  return addr;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(std::string host, std::uint16_t port, Handler handler)
+    : host_(std::move(host)), port_(port), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host_, port_);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail_errno("bind " + host_ + ":" + std::to_string(port_));
+  }
+  if (::listen(listen_fd_, 64) != 0) fail_errno("listen");
+  if (port_ == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      fail_errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ >= 0) {
+    // shutdown unblocks a blocked accept(); close alone may not.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket closed: stop()
+    }
+    try {
+      HttpRequest req;
+      if (read_request(fd, req)) {
+        HttpResponse resp;
+        try {
+          resp = handler_(req);
+        } catch (const std::exception& e) {
+          resp.status = 500;
+          resp.body = std::string(e.what()) + "\n";
+          resp.content_type = "text/plain";
+        }
+        write_all(fd, render(resp));
+      }
+    } catch (const std::exception&) {
+      // Socket-level failure on this connection: drop it, keep serving.
+    }
+    ::close(fd);
+  }
+}
+
+HttpResponse http_request(const std::string& host, std::uint16_t port,
+                          const std::string& method, const std::string& target,
+                          const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  struct Closer {
+    int fd;
+    ~Closer() { ::close(fd); }
+  } closer{fd};
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    fail_errno("connect " + host + ":" + std::to_string(port));
+  }
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: " + host + "\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  req += "Connection: close\r\n\r\n";
+  req += body;
+  write_all(fd, req);
+
+  std::string resp_bytes;
+  read_until(fd, resp_bytes, [] { return false; });  // until peer closes
+  const std::size_t header_end = resp_bytes.find("\r\n\r\n");
+  if (header_end == std::string::npos ||
+      resp_bytes.compare(0, 9, "HTTP/1.1 ") != 0) {
+    throw std::runtime_error("http: malformed response");
+  }
+  HttpResponse resp;
+  resp.status = std::stoi(resp_bytes.substr(9, 3));
+  resp.body = resp_bytes.substr(header_end + 4);
+  return resp;
+}
+
+}  // namespace b3v::service

@@ -1,0 +1,69 @@
+// Minimal HTTP/1.1 plumbing for b3vd: a blocking accept-loop server and
+// a one-shot client helper (tests, CLI probes). Deliberately tiny — the
+// container bakes in no HTTP library, and the API is small JSON bodies
+// over short-lived connections, so this speaks exactly that subset:
+// one request per connection, Content-Length bodies, Connection: close.
+// The heavy lifting (simulation rounds) happens on the scheduler's
+// workers, so the single accept thread handling connections serially is
+// not on any hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace b3v::service {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string target;  // path, e.g. "/v1/jobs/3/stream"
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Accept-loop server bound to host:port (port 0 = ephemeral; port()
+/// reports the bound one). `handler` runs on the accept thread; any
+/// exception it leaks becomes a 500 with the message as the body.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(std::string host, std::uint16_t port, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the accept thread. Throws
+  /// std::runtime_error (with errno text) on bind/listen failure.
+  void start();
+
+  /// Closes the listening socket and joins the accept thread.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void accept_loop();
+
+  std::string host_;
+  std::uint16_t port_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+};
+
+/// One blocking request against a local server; throws
+/// std::runtime_error on connect/IO failure or an unparseable response.
+HttpResponse http_request(const std::string& host, std::uint16_t port,
+                          const std::string& method, const std::string& target,
+                          const std::string& body = {});
+
+}  // namespace b3v::service

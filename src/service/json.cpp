@@ -1,0 +1,451 @@
+#include "service/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace b3v::service {
+namespace {
+
+[[noreturn]] void type_error(const char* want, const char* got) {
+  throw JsonError(std::string("json: expected ") + want + ", have " + got);
+}
+
+const char* kind_name(std::size_t index) {
+  static constexpr std::array<const char*, 8> kNames = {
+      "null", "bool", "number", "number", "number",
+      "string", "array", "object"};
+  return index < kNames.size() ? kNames[index] : "?";
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  type_error("bool", kind_name(value_.index()));
+}
+
+double Json::as_double() const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+    return static_cast<double>(*u);
+  }
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  type_error("number", kind_name(value_.index()));
+}
+
+std::uint64_t Json::as_u64() const {
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) return *u;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    if (*i < 0) throw JsonError("json: expected unsigned integer, have negative");
+    return static_cast<std::uint64_t>(*i);
+  }
+  if (const double* d = std::get_if<double>(&value_)) {
+    if (*d < 0 || *d != std::floor(*d) || *d > 9.007199254740992e15) {
+      throw JsonError("json: expected unsigned integer, have non-integral number");
+    }
+    return static_cast<std::uint64_t>(*d);
+  }
+  type_error("unsigned integer", kind_name(value_.index()));
+}
+
+std::int64_t Json::as_i64() const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+    if (*u > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+      throw JsonError("json: integer out of int64 range");
+    }
+    return static_cast<std::int64_t>(*u);
+  }
+  if (const double* d = std::get_if<double>(&value_)) {
+    if (*d != std::floor(*d) || std::abs(*d) > 9.007199254740992e15) {
+      throw JsonError("json: expected integer, have non-integral number");
+    }
+    return static_cast<std::int64_t>(*d);
+  }
+  type_error("integer", kind_name(value_.index()));
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("string", kind_name(value_.index()));
+}
+
+const Json::Array& Json::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  type_error("array", kind_name(value_.index()));
+}
+
+const Json::Object& Json::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  type_error("object", kind_name(value_.index()));
+}
+
+bool Json::has(std::string_view key) const {
+  const Object* o = std::get_if<Object>(&value_);
+  return o && o->find(key) != o->end();
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Object& o = as_object();
+  const auto it = o.find(key);
+  if (it == o.end()) {
+    throw JsonError("json: missing field \"" + std::string(key) + "\"");
+  }
+  return it->second;
+}
+
+const Json& Json::get_or(std::string_view key, const Json& fallback) const {
+  const Object& o = as_object();
+  const auto it = o.find(key);
+  return it == o.end() ? fallback : it->second;
+}
+
+// ---------------------------------------------------------------------
+// dump
+// ---------------------------------------------------------------------
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Json& v, std::string& out);
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the interoperable stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, ptr);
+}
+
+void dump_value(const Json& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_string()) {
+    dump_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Json& e : v.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(e, out);
+    }
+    out.push_back(']');
+  } else if (v.is_object()) {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(k, out);
+      out.push_back(':');
+      dump_value(e, out);
+    }
+    out.push_back('}');
+  } else if (v.is_u64()) {
+    out += std::to_string(v.as_u64());
+  } else if (v.is_i64()) {
+    out += std::to_string(v.as_i64());
+  } else {
+    dump_number(v.as_double(), out);
+  }
+}
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// parse
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("json parse error at byte offset " + std::to_string(pos_) +
+                    ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.insert_or_assign(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Json(std::move(obj));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Json(std::move(arr));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(unsigned cp, std::string& out) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must pair with \uDC00..\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired UTF-16 surrogate");
+            }
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      if (token[0] == '-') {
+        std::int64_t i = 0;
+        const auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), i);
+        if (ec == std::errc() && p == token.data() + token.size()) {
+          return Json(i);
+        }
+      } else {
+        std::uint64_t u = 0;
+        const auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), u);
+        if (ec == std::errc() && p == token.data() + token.size()) {
+          return Json(u);
+        }
+      }
+      // Out-of-range integers fall through to double.
+    }
+    double d = 0.0;
+    const auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc() || p != token.data() + token.size()) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace b3v::service

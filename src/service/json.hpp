@@ -1,0 +1,94 @@
+// Minimal JSON value type for the b3vd wire API and on-disk job
+// metadata: parse, navigate, dump. Deliberately dependency-free (the
+// container bakes in no JSON library) and small — objects are ordered
+// maps so dumps are deterministic, numbers keep 64-bit integers exact
+// (seeds and vertex counts exceed the double mantissa), and parse
+// errors carry the byte offset so wire errors can point at the
+// offending input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace b3v::service {
+
+/// Parse/typing failure; `what()` includes the byte offset for parse
+/// errors and the offending key/kind for access errors.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // std::map: deterministic key order in dump(), so persisted job files
+  // and wire responses are byte-stable across runs.
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(std::uint64_t u) : value_(u) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : value_(static_cast<std::uint64_t>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::uint64_t>(value_) ||
+           std::holds_alternative<std::int64_t>(value_);
+  }
+  bool is_u64() const { return std::holds_alternative<std::uint64_t>(value_); }
+  bool is_i64() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const;
+  double as_double() const;
+  /// Exact unsigned 64-bit value; throws on negatives, fractions, or
+  /// doubles too large to be integers.
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object field access. `has` is false for non-objects; `at` throws
+  /// JsonError naming the missing key.
+  bool has(std::string_view key) const;
+  const Json& at(std::string_view key) const;
+  /// Object field or a fallback when the key is absent.
+  const Json& get_or(std::string_view key, const Json& fallback) const;
+
+  /// Serialises compactly (no whitespace), deterministically.
+  std::string dump() const;
+
+  /// Strict-ish RFC 8259 parser: full escape handling incl. \uXXXX
+  /// surrogate pairs, nesting depth capped, trailing garbage rejected.
+  /// Throws JsonError with the byte offset on malformed input.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json&) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::uint64_t, std::int64_t,
+               std::string, Array, Object>
+      value_;
+};
+
+}  // namespace b3v::service

@@ -1,0 +1,529 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "core/count_engine.hpp"
+#include "core/engine.hpp"
+#include "core/initializer.hpp"
+#include "core/opinion.hpp"
+#include "service/checkpoint.hpp"
+
+namespace b3v::service {
+
+namespace {
+
+void write_text_atomic(const std::filesystem::path& path,
+                       const std::string& text) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("b3vd: failed writing " + tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+/// Whole file, or "" when it does not exist.
+std::string read_text(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string stream_row(std::uint64_t t, std::span<const std::uint64_t> counts) {
+  Json::Array arr;
+  arr.reserve(counts.size());
+  for (const std::uint64_t c : counts) arr.emplace_back(c);
+  Json::Object row;
+  row["t"] = Json(t);
+  row["counts"] = Json(std::move(arr));
+  return Json(std::move(row)).dump() + "\n";
+}
+
+/// Rewrites the stream keeping only rows with t < keep_below — the rows
+/// a resume from round keep_below will NOT re-emit (the engine's first
+/// observer call on resume is t = keep_below). Rows arrive in t order,
+/// so everything from the first row at or past the cut — including a
+/// torn trailing row from a crash mid-append — is dropped; the resumed
+/// run regenerates it identically. keep_below = 0 truncates everything
+/// (a job restarting from its initializer).
+void prune_stream(const std::filesystem::path& path,
+                  std::uint64_t keep_below) {
+  if (keep_below == 0) {
+    std::filesystem::remove(path);
+    return;
+  }
+  const std::string text = read_text(path);
+  if (text.empty()) return;
+  std::string kept;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn trailing row
+    const std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    bool keep = false;
+    try {
+      keep = Json::parse(line).at("t").as_u64() < keep_below;
+    } catch (const JsonError&) {
+      keep = false;  // torn row: drop it and the tail
+    }
+    if (!keep) break;
+    kept.append(line);
+    kept.push_back('\n');
+  }
+  write_text_atomic(path, kept);
+}
+
+Json result_to_json(const JobResult& r) {
+  Json::Array counts;
+  counts.reserve(r.final_counts.size());
+  for (const std::uint64_t c : r.final_counts) counts.emplace_back(c);
+  Json::Object obj;
+  obj["consensus"] = Json(r.consensus);
+  obj["winner"] = Json(static_cast<std::uint64_t>(r.winner));
+  obj["rounds"] = Json(r.rounds);
+  obj["final_counts"] = Json(std::move(counts));
+  return Json(std::move(obj));
+}
+
+JobResult result_from_json(const Json& j) {
+  JobResult r;
+  r.consensus = j.at("consensus").as_bool();
+  r.winner = static_cast<unsigned>(j.at("winner").as_u64());
+  r.rounds = j.at("rounds").as_u64();
+  for (const Json& c : j.at("final_counts").as_array()) {
+    r.final_counts.push_back(c.as_u64());
+  }
+  return r;
+}
+
+core::Opinions build_initial(const JobSpec& spec, std::size_t n) {
+  switch (spec.init.kind) {
+    case InitSpec::Kind::kBernoulli:
+      return core::iid_bernoulli(n, spec.init.p, spec.seed);
+    case InitSpec::Kind::kExactCount:
+      return core::exact_count(n, spec.init.num_blue, spec.seed);
+    case InitSpec::Kind::kMulti:
+      return core::iid_multi(n, spec.init.probs, spec.seed);
+    case InitSpec::Kind::kCounts:
+      break;  // unreachable: wire validation binds kCounts to counts jobs
+  }
+  throw std::logic_error("b3vd: per-vertex job with a counts initializer");
+}
+
+}  // namespace
+
+std::string_view name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+JobStatus job_status_from_name(std::string_view token) {
+  for (const JobStatus s :
+       {JobStatus::kQueued, JobStatus::kRunning, JobStatus::kDone,
+        JobStatus::kFailed, JobStatus::kCancelled}) {
+    if (token == name(s)) return s;
+  }
+  throw std::invalid_argument("b3vd: unknown job status \"" +
+                              std::string(token) + "\"");
+}
+
+struct Scheduler::Job {
+  std::uint64_t id = 0;
+  JobSpec spec{};
+  JobStatus status = JobStatus::kQueued;
+  std::optional<JobResult> result;
+  std::string error;
+  std::atomic<bool> cancel_requested{false};
+};
+
+Scheduler::Scheduler(SchedulerConfig config)
+    : config_(std::move(config)),
+      pool_(static_cast<unsigned>(config_.pool_threads)) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.default_checkpoint_every == 0) {
+    config_.default_checkpoint_every = 64;
+  }
+  std::filesystem::create_directories(config_.data_dir);
+  recover();
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+std::filesystem::path Scheduler::job_path(std::uint64_t id) const {
+  return config_.data_dir / ("job-" + std::to_string(id) + ".json");
+}
+
+std::filesystem::path Scheduler::ckpt_path(std::uint64_t id) const {
+  return config_.data_dir / ("job-" + std::to_string(id) + ".ckpt");
+}
+
+std::filesystem::path Scheduler::stream_path(std::uint64_t id) const {
+  return config_.data_dir / ("job-" + std::to_string(id) + ".stream.ndjson");
+}
+
+Json Scheduler::job_json_locked(const Job& job) const {
+  Json::Object obj;
+  obj["id"] = Json(job.id);
+  obj["spec"] = to_json(job.spec);
+  obj["status"] = Json(name(job.status));
+  if (job.result) obj["result"] = result_to_json(*job.result);
+  if (!job.error.empty()) obj["error"] = Json(job.error);
+  return Json(std::move(obj));
+}
+
+void Scheduler::persist_locked(const Job& job) {
+  write_text_atomic(job_path(job.id), job_json_locked(job).dump() + "\n");
+}
+
+void Scheduler::recover() {
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.data_dir)) {
+    const std::string fname = entry.path().filename().string();
+    if (!fname.starts_with("job-") || !fname.ends_with(".json")) continue;
+    try {
+      const Json doc = Json::parse(read_text(entry.path()));
+      auto job = std::make_unique<Job>();
+      job->id = doc.at("id").as_u64();
+      job->spec = job_spec_from_json(doc.at("spec"));
+      job->status = job_status_from_name(doc.at("status").as_string());
+      if (doc.has("result")) job->result = result_from_json(doc.at("result"));
+      if (doc.has("error")) job->error = doc.at("error").as_string();
+      const std::uint64_t id = job->id;
+      // A job on disk as queued OR running was interrupted: it re-enters
+      // the queue and its worker resumes it from the checkpoint (or the
+      // initializer when it never reached one).
+      if (job->status == JobStatus::kQueued ||
+          job->status == JobStatus::kRunning) {
+        job->status = JobStatus::kQueued;
+        persist_locked(*job);
+        queue_.push_back(id);
+      }
+      next_id_ = std::max(next_id_, id + 1);
+      jobs_.emplace(id, std::move(job));
+    } catch (const std::exception& e) {
+      // Not one of ours (or unreadably damaged): leave the file alone,
+      // say so, and keep recovering the rest.
+      std::cerr << "b3vd: skipping " << entry.path() << ": " << e.what()
+                << '\n';
+    }
+  }
+  std::sort(queue_.begin(), queue_.end());  // resume in submit order
+}
+
+std::uint64_t Scheduler::submit(JobSpec spec) {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->spec = std::move(spec);
+  persist_locked(*job);  // durable before the id is returned
+  jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  lock.unlock();
+  work_cv_.notify_one();
+  return id;
+}
+
+std::optional<Json> Scheduler::job_json(std::uint64_t id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return job_json_locked(*it->second);
+}
+
+Json Scheduler::list_json() const {
+  std::lock_guard lock(mutex_);
+  Json::Array jobs;
+  jobs.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    jobs.emplace_back(job_json_locked(*job));
+  }
+  Json::Object obj;
+  obj["jobs"] = Json(std::move(jobs));
+  return Json(std::move(obj));
+}
+
+bool Scheduler::cancel(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (job.status == JobStatus::kQueued) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    job.status = JobStatus::kCancelled;
+    persist_locked(job);
+    if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    return true;
+  }
+  if (job.status == JobStatus::kRunning) {
+    job.cancel_requested.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;  // already terminal
+}
+
+std::optional<std::string> Scheduler::stream_text(std::uint64_t id) const {
+  {
+    std::lock_guard lock(mutex_);
+    if (!jobs_.contains(id)) return std::nullopt;
+  }
+  return read_text(stream_path(id));
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      const std::uint64_t id = queue_.front();
+      queue_.erase(queue_.begin());
+      job = jobs_.at(id).get();
+      job->status = JobStatus::kRunning;
+      ++running_;
+      persist_locked(*job);
+    }
+    try {
+      run_job(*job);
+    } catch (const std::exception& e) {
+      std::lock_guard lock(mutex_);
+      job->status = JobStatus::kFailed;
+      job->error = e.what();
+      persist_locked(*job);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void Scheduler::run_job(Job& job) {
+  const JobSpec& spec = job.spec;
+  const std::uint64_t cadence = spec.checkpoint_every != 0
+                                    ? spec.checkpoint_every
+                                    : config_.default_checkpoint_every;
+  const std::filesystem::path cpath = ckpt_path(job.id);
+  const std::filesystem::path spath = stream_path(job.id);
+
+  // A corrupt checkpoint throws here -> the job fails loudly instead of
+  // resuming from a wrong state.
+  const std::optional<Checkpoint> ckpt = read_checkpoint(cpath);
+  const std::uint64_t resume_t = ckpt ? ckpt->round : 0;
+  prune_stream(spath, resume_t);
+  std::ofstream stream(spath, std::ios::binary | std::ios::app);
+
+  // spec.max_rounds is the job's TOTAL budget; the engine takes the
+  // rounds remaining past the checkpoint.
+  const std::uint64_t budget =
+      spec.max_rounds > resume_t ? spec.max_rounds - resume_t : 0;
+
+  enum class StopCause { kNatural, kCancel, kShutdown };
+  StopCause cause = StopCause::kNatural;
+
+  // Shared observer plumbing: stream the row, honour cancel/shutdown
+  // (checkpointing at t so the stop point resumes exactly), and
+  // checkpoint on the cadence. `snapshot` captures the current state as
+  // a Checkpoint payload.
+  const auto on_observed = [&](std::uint64_t t,
+                               std::span<const std::uint64_t> row_counts,
+                               const auto& snapshot) -> bool {
+    const std::string row = stream_row(t, row_counts);
+    stream.write(row.data(), static_cast<std::streamsize>(row.size()));
+    stream.flush();
+    const bool cancel = job.cancel_requested.load(std::memory_order_relaxed);
+    const bool shutdown = stopping_.load(std::memory_order_relaxed);
+    if (cancel || shutdown) {
+      write_checkpoint_atomic(cpath, snapshot(t));
+      cause = cancel ? StopCause::kCancel : StopCause::kShutdown;
+      return false;
+    }
+    if (cadence != 0 && t > resume_t && t % cadence == 0) {
+      write_checkpoint_atomic(cpath, snapshot(t));
+    }
+    return true;
+  };
+
+  JobResult result;
+  if (spec.state_space == core::StateSpace::kCounts) {
+    const graph::CountModel model = count_model(spec.graph);
+    const unsigned q = spec.protocol.num_colours();
+    std::vector<std::uint64_t> counts0;
+    if (ckpt) {
+      if (ckpt->kind != Checkpoint::Kind::kCounts) {
+        throw std::runtime_error(
+            "b3vd: checkpoint payload kind does not match the job's state "
+            "space");
+      }
+      counts0 = ckpt->counts;
+    } else {
+      counts0 = spec.init.counts;
+    }
+
+    core::CountRunSpec cs;
+    cs.protocol = spec.protocol;
+    cs.seed = spec.seed;
+    cs.start_round = resume_t;
+    cs.max_rounds = budget;
+    cs.stop_at_consensus = spec.stop_at_consensus;
+    cs.observer = [&](std::uint64_t t, std::span<const std::uint64_t> counts) {
+      return on_observed(t, counts, [&](std::uint64_t at) {
+        Checkpoint c;
+        c.kind = Checkpoint::Kind::kCounts;
+        c.round = at;
+        c.counts.assign(counts.begin(), counts.end());
+        return c;
+      });
+    };
+    const core::CountSimResult r = core::run_counts(model, std::move(counts0), cs);
+    result.consensus = r.consensus;
+    result.winner = static_cast<unsigned>(r.winner);
+    result.rounds = resume_t + r.rounds;
+    result.final_counts = r.colour_counts(q);
+  } else {
+    const SamplerVariant sampler = make_sampler(spec.graph);
+    const std::size_t n = std::visit(
+        [](const auto& s) { return static_cast<std::size_t>(s.num_vertices()); },
+        sampler);
+    core::Opinions initial;
+    if (ckpt) {
+      if (ckpt->kind != Checkpoint::Kind::kPerVertex) {
+        throw std::runtime_error(
+            "b3vd: checkpoint payload kind does not match the job's state "
+            "space");
+      }
+      if (ckpt->state.size() != n) {
+        throw std::runtime_error(
+            "b3vd: checkpoint state size does not match the job's graph");
+      }
+      initial = ckpt->state;
+    } else {
+      initial = build_initial(spec, n);
+    }
+
+    const auto snapshot_state = [](std::span<const core::OpinionValue> state) {
+      return [state](std::uint64_t at) {
+        Checkpoint c;
+        c.kind = Checkpoint::Kind::kPerVertex;
+        c.round = at;
+        c.state.assign(state.begin(), state.end());
+        return c;
+      };
+    };
+
+    if (spec.schedule == core::Schedule::kAsyncSweeps) {
+      core::RunSpec rs;
+      rs.protocol = spec.protocol;
+      rs.seed = spec.seed;
+      rs.start_round = resume_t;
+      rs.max_rounds = budget;
+      rs.schedule = spec.schedule;
+      rs.stop_at_consensus = spec.stop_at_consensus;
+      rs.representation = spec.representation;
+      rs.observer = [&](std::uint64_t t,
+                        std::span<const core::OpinionValue> state,
+                        std::uint64_t blue) {
+        const std::uint64_t counts[2] = {n - blue, blue};
+        return on_observed(t, std::span<const std::uint64_t>(counts, 2),
+                           snapshot_state(state));
+      };
+      const core::SimResult r = std::visit(
+          [&](const auto& s) {
+            return core::run(s, std::move(initial), rs, pool_);
+          },
+          sampler);
+      result.consensus = r.consensus;
+      result.winner = r.winner == core::Opinion::kBlue ? 1u : 0u;
+      result.rounds = resume_t + r.rounds;
+      result.final_counts = {r.num_vertices - r.final_blue, r.final_blue};
+    } else {
+      // The multi-opinion overload runs binary rules through the exact
+      // binary kernels (same streams), so one path serves the whole
+      // registry with uniform per-colour count rows.
+      core::MultiRunSpec ms;
+      ms.protocol = spec.protocol;
+      ms.seed = spec.seed;
+      ms.start_round = resume_t;
+      ms.max_rounds = budget;
+      ms.stop_at_consensus = spec.stop_at_consensus;
+      ms.representation = spec.representation;
+      ms.observer = [&](std::uint64_t t,
+                        std::span<const core::OpinionValue> state,
+                        std::span<const std::uint64_t> counts) {
+        return on_observed(t, counts, snapshot_state(state));
+      };
+      core::MultiSimResult r = std::visit(
+          [&](const auto& s) {
+            return core::run(s, std::move(initial), ms, pool_);
+          },
+          sampler);
+      result.consensus = r.consensus;
+      result.winner = static_cast<unsigned>(r.winner);
+      result.rounds = resume_t + r.rounds;
+      result.final_counts = std::move(r.final_counts);
+    }
+  }
+
+  std::lock_guard lock(mutex_);
+  switch (cause) {
+    case StopCause::kNatural:
+      job.status = JobStatus::kDone;
+      job.result = std::move(result);
+      break;
+    case StopCause::kCancel:
+      job.status = JobStatus::kCancelled;
+      break;
+    case StopCause::kShutdown:
+      // Durably back to queued: the next server over this data dir
+      // resumes from the checkpoint written at the stop round.
+      job.status = JobStatus::kQueued;
+      break;
+  }
+  persist_locked(job);
+}
+
+}  // namespace b3v::service

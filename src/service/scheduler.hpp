@@ -1,0 +1,141 @@
+// The b3vd job scheduler: a durable queue of Protocol-registry
+// simulation jobs running concurrently on worker threads that share ONE
+// parallel::ThreadPool (whose parallel_for serialises whole calls, so
+// concurrent jobs interleave safely at round granularity).
+//
+// Durability model — every job owns three files in the data directory:
+//   job-<id>.json           spec + status (+ result / error), rewritten
+//                           atomically on every transition
+//   job-<id>.ckpt           the latest (round, state) checkpoint
+//                           (service/checkpoint.hpp), written every
+//                           checkpoint_every rounds via temp + rename
+//   job-<id>.stream.ndjson  one {"t": ..., "counts": [...]} row per
+//                           observed round, appended and flushed as the
+//                           run progresses
+//
+// Exact resume: because every engine backend draws round r from
+// CounterRng(seed, r, ...), restarting a job from its checkpoint with
+// start_round = ckpt.round replays the identical dynamics — a server
+// SIGKILLed mid-run and restarted over the same data directory finishes
+// every job with results and streams bit-identical to a never-killed
+// run (rows past the checkpoint are pruned on resume and regenerated
+// by the very draws the uninterrupted run would have made; the
+// crash-equivalence suite under the `service` ctest label proves it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "service/json.hpp"
+#include "service/wire.hpp"
+
+namespace b3v::service {
+
+enum class JobStatus : std::uint8_t {
+  kQueued,     // waiting for a worker (fresh or recovered)
+  kRunning,    // a worker is executing rounds
+  kDone,       // finished (consensus or round budget)
+  kFailed,     // threw; error recorded
+  kCancelled,  // stopped by request
+};
+
+std::string_view name(JobStatus status);
+JobStatus job_status_from_name(std::string_view token);
+
+/// Final outcome of a done job, as persisted and served.
+struct JobResult {
+  bool consensus = false;
+  unsigned winner = 0;       // colour index, meaningful iff consensus
+  std::uint64_t rounds = 0;  // absolute rounds executed (resume-spanning)
+  std::vector<std::uint64_t> final_counts;  // per-colour totals
+};
+
+struct SchedulerConfig {
+  std::filesystem::path data_dir;
+  std::size_t workers = 2;  // concurrent jobs
+  /// Cadence for jobs whose spec leaves checkpoint_every = 0.
+  std::uint64_t default_checkpoint_every = 64;
+  std::size_t pool_threads = 0;  // simulation threads; 0 = hardware
+};
+
+/// Thread-safe job scheduler. Construction recovers the data directory:
+/// terminal jobs (done / failed / cancelled) are loaded as history,
+/// interrupted ones (queued / running on disk) re-enter the queue and
+/// resume from their checkpoints.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues a validated spec; returns the job id (monotonic, unique
+  /// across restarts). The job file is durable before this returns.
+  std::uint64_t submit(JobSpec spec);
+
+  /// The job's document: {"id", "spec", "status", "result"?, "error"?}.
+  std::optional<Json> job_json(std::uint64_t id) const;
+
+  /// Every job's document, ordered by id, under {"jobs": [...]}.
+  Json list_json() const;
+
+  /// Requests cancellation. Queued jobs cancel immediately; running
+  /// jobs stop after the current round. False iff the job is unknown
+  /// or already terminal.
+  bool cancel(std::uint64_t id);
+
+  /// The observer rows streamed so far (NDJSON text, possibly empty);
+  /// std::nullopt for unknown ids.
+  std::optional<std::string> stream_text(std::uint64_t id) const;
+
+  /// Blocks until no job is queued or running (tests and drain-style
+  /// shutdown).
+  void wait_idle();
+
+  /// Graceful stop: running jobs checkpoint at the next round boundary
+  /// and return to queued (durably — the next start resumes them);
+  /// workers join. Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Job;
+
+  std::filesystem::path job_path(std::uint64_t id) const;
+  std::filesystem::path ckpt_path(std::uint64_t id) const;
+  std::filesystem::path stream_path(std::uint64_t id) const;
+
+  void persist_locked(const Job& job);
+  Json job_json_locked(const Job& job) const;
+  void recover();
+  void worker_loop();
+  void run_job(Job& job);
+
+  SchedulerConfig config_;
+  parallel::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // queue / stop signal
+  std::condition_variable idle_cv_;   // wait_idle
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::vector<std::uint64_t> queue_;  // FIFO of queued job ids
+  std::uint64_t next_id_ = 1;
+  std::size_t running_ = 0;
+  // Atomic so running jobs' observers poll it without taking mutex_
+  // every round; writes still happen under the lock for the condvars.
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace b3v::service

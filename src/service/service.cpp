@@ -1,0 +1,138 @@
+#include "service/service.hpp"
+
+#include <charconv>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "service/wire.hpp"
+
+namespace b3v::service {
+
+namespace {
+
+HttpResponse json_response(int status, const Json& body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = body.dump() + "\n";
+  return resp;
+}
+
+HttpResponse error_response(int status, std::string_view kind,
+                            std::string_view message) {
+  Json::Object obj;
+  obj["error"] = Json(message);
+  obj["kind"] = Json(kind);
+  return json_response(status, Json(std::move(obj)));
+}
+
+/// Parses the <id> segment exactly (digits only, no trailing junk).
+std::optional<std::uint64_t> parse_id(std::string_view segment) {
+  std::uint64_t id = 0;
+  const auto [ptr, ec] =
+      std::from_chars(segment.data(), segment.data() + segment.size(), id);
+  if (ec != std::errc{} || ptr != segment.data() + segment.size()) {
+    return std::nullopt;
+  }
+  return id;
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config)
+    : scheduler_(std::move(config.scheduler)),
+      server_(std::move(config.host), config.port,
+              [this](const HttpRequest& req) { return handle(req); }) {}
+
+Service::~Service() { stop(); }
+
+void Service::start() { server_.start(); }
+
+void Service::stop() {
+  server_.stop();
+  scheduler_.stop();
+}
+
+HttpResponse Service::handle(const HttpRequest& req) {
+  const std::string_view target = req.target;
+
+  if (target == "/v1/healthz") {
+    if (req.method != "GET") {
+      return error_response(405, "method", "GET only");
+    }
+    Json::Object obj;
+    obj["ok"] = Json(true);
+    return json_response(200, Json(std::move(obj)));
+  }
+
+  if (target == "/v1/jobs") {
+    if (req.method == "GET") return json_response(200, scheduler_.list_json());
+    if (req.method != "POST") {
+      return error_response(405, "method", "GET or POST only");
+    }
+    try {
+      const std::uint64_t id =
+          scheduler_.submit(job_spec_from_json(Json::parse(req.body)));
+      Json::Object obj;
+      obj["id"] = Json(id);
+      return json_response(200, Json(std::move(obj)));
+    } catch (const JsonError& e) {
+      // Malformed JSON or a missing/mis-typed field.
+      return error_response(400, "json", e.what());
+    } catch (const std::invalid_argument& e) {
+      // Semantic rejection — the library's own dispatch-validation
+      // message (unknown protocol, invalid combination, ...).
+      return error_response(400, "invalid", e.what());
+    }
+  }
+
+  if (target.starts_with("/v1/jobs/")) {
+    std::string_view rest = target.substr(9);
+    std::string_view action;
+    if (const std::size_t slash = rest.find('/');
+        slash != std::string_view::npos) {
+      action = rest.substr(slash + 1);
+      rest = rest.substr(0, slash);
+    }
+    const std::optional<std::uint64_t> id = parse_id(rest);
+    if (!id) return error_response(404, "not-found", "no such job");
+
+    if (action.empty()) {
+      if (req.method != "GET") {
+        return error_response(405, "method", "GET only");
+      }
+      if (const std::optional<Json> doc = scheduler_.job_json(*id)) {
+        return json_response(200, *doc);
+      }
+      return error_response(404, "not-found", "no such job");
+    }
+    if (action == "stream") {
+      if (req.method != "GET") {
+        return error_response(405, "method", "GET only");
+      }
+      if (std::optional<std::string> text = scheduler_.stream_text(*id)) {
+        HttpResponse resp;
+        resp.content_type = "application/x-ndjson";
+        resp.body = std::move(*text);
+        return resp;
+      }
+      return error_response(404, "not-found", "no such job");
+    }
+    if (action == "cancel") {
+      if (req.method != "POST") {
+        return error_response(405, "method", "POST only");
+      }
+      if (!scheduler_.job_json(*id)) {
+        return error_response(404, "not-found", "no such job");
+      }
+      Json::Object obj;
+      obj["cancelled"] = Json(scheduler_.cancel(*id));
+      return json_response(200, Json(std::move(obj)));
+    }
+    return error_response(404, "not-found", "no such action");
+  }
+
+  return error_response(404, "not-found", "no such path");
+}
+
+}  // namespace b3v::service

@@ -1,0 +1,64 @@
+// The b3vd API: HTTP routes over the scheduler. Kept separate from the
+// socket layer so the routing + error mapping is testable as a pure
+// function (tests/test_service.cpp drives handle() directly, no ports).
+//
+//   POST /v1/jobs                submit a JobSpec        -> {"id": N}
+//   GET  /v1/jobs                all jobs                -> {"jobs": [...]}
+//   GET  /v1/jobs/<id>           one job's document
+//   GET  /v1/jobs/<id>/stream    its NDJSON rows so far
+//   POST /v1/jobs/<id>/cancel    request cancellation    -> {"cancelled": b}
+//   GET  /v1/healthz             liveness                -> {"ok": true}
+//
+// Error mapping — structured, never a 500 for a bad request: malformed
+// JSON and shape errors (JsonError) and semantic rejections
+// (std::invalid_argument, carrying the library's own dispatch-validation
+// messages via wire.hpp) both become
+//   400 {"error": "<message>", "kind": "json" | "invalid"}
+// Unknown paths are 404 {"error": ...}, wrong methods 405. Only a
+// genuine internal defect surfaces as 500 (HttpServer's last-resort
+// catch).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/http.hpp"
+#include "service/json.hpp"
+#include "service/scheduler.hpp"
+
+namespace b3v::service {
+
+struct ServiceConfig {
+  SchedulerConfig scheduler{};
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; Service::port() reports it
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Routes one request. Thread-compatible with the live server (the
+  /// scheduler is the shared state and is itself thread-safe).
+  HttpResponse handle(const HttpRequest& req);
+
+  /// Starts serving on config.host:config.port.
+  void start();
+  /// Stops the listener, then the scheduler (graceful: running jobs
+  /// checkpoint and return to queued). Idempotent.
+  void stop();
+
+  std::uint16_t port() const { return server_.port(); }
+  Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  Scheduler scheduler_;
+  HttpServer server_;
+};
+
+}  // namespace b3v::service

@@ -1,0 +1,383 @@
+#include "service/wire.hpp"
+
+#include <initializer_list>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "graph/samplers.hpp"
+
+namespace b3v::service {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+/// Rejects unknown keys so a typo'd field fails the submit instead of
+/// silently running with the default.
+void reject_unknown_keys(const Json& obj, std::string_view where,
+                         std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : obj.as_object()) {
+    bool ok = false;
+    for (const std::string_view k : known) ok = ok || key == k;
+    if (!ok) {
+      bad("b3vd: unknown field \"" + key + "\" in " + std::string(where));
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t GraphSpec::num_vertices() const {
+  switch (family) {
+    case Family::kComplete:
+    case Family::kBlockModel:
+    case Family::kCirculant: return n;
+    case Family::kHypercube: return std::uint64_t{1} << dim;
+    case Family::kTorus: return rows * cols;
+  }
+  return 0;
+}
+
+std::string_view name(GraphSpec::Family family) {
+  switch (family) {
+    case GraphSpec::Family::kComplete: return "complete";
+    case GraphSpec::Family::kBlockModel: return "block-model";
+    case GraphSpec::Family::kCirculant: return "circulant";
+    case GraphSpec::Family::kHypercube: return "hypercube";
+    case GraphSpec::Family::kTorus: return "torus";
+  }
+  return "?";
+}
+
+GraphSpec::Family graph_family_from_name(std::string_view token) {
+  if (token == "complete") return GraphSpec::Family::kComplete;
+  if (token == "block-model") return GraphSpec::Family::kBlockModel;
+  if (token == "circulant") return GraphSpec::Family::kCirculant;
+  if (token == "hypercube") return GraphSpec::Family::kHypercube;
+  if (token == "torus") return GraphSpec::Family::kTorus;
+  bad("b3vd: unknown graph family \"" + std::string(token) +
+      "\" — known: complete, block-model, circulant, hypercube, torus");
+}
+
+SamplerVariant make_sampler(const GraphSpec& g) {
+  const std::uint64_t n = g.num_vertices();
+  if (n > std::numeric_limits<graph::VertexId>::max()) {
+    throw std::invalid_argument(
+        "b3vd: per-vertex samplers index vertices with 32-bit ids — run "
+        "larger complete/block-model instances through the counts state "
+        "space");
+  }
+  switch (g.family) {
+    case GraphSpec::Family::kComplete:
+      return graph::CompleteSampler(static_cast<graph::VertexId>(g.n));
+    case GraphSpec::Family::kBlockModel:
+      return graph::BlockModelSampler(
+          graph::CountModel::sbm(g.n, g.blocks, g.lambda));
+    case GraphSpec::Family::kCirculant:
+      return graph::CirculantSampler::dense(
+          static_cast<graph::VertexId>(g.n), g.degree);
+    case GraphSpec::Family::kHypercube:
+      return graph::HypercubeSampler(g.dim);
+    case GraphSpec::Family::kTorus:
+      return graph::TorusSampler(static_cast<graph::VertexId>(g.rows),
+                                 static_cast<graph::VertexId>(g.cols));
+  }
+  bad("b3vd: unknown graph family");
+}
+
+graph::CountModel count_model(const GraphSpec& g) {
+  switch (g.family) {
+    case GraphSpec::Family::kComplete:
+      return graph::CountModel::complete(g.n);
+    case GraphSpec::Family::kBlockModel:
+      return graph::CountModel::sbm(g.n, g.blocks, g.lambda);
+    default:
+      // The engine's dispatch message, verbatim (core/engine.hpp).
+      bad("core::run: StateSpace::kCounts needs a sampler with a count "
+          "model (graph::CountSpaceSampler — CompleteSampler or "
+          "BlockModelSampler)");
+  }
+}
+
+std::string_view name(InitSpec::Kind kind) {
+  switch (kind) {
+    case InitSpec::Kind::kBernoulli: return "bernoulli";
+    case InitSpec::Kind::kExactCount: return "exact-count";
+    case InitSpec::Kind::kMulti: return "multi";
+    case InitSpec::Kind::kCounts: return "counts";
+  }
+  return "?";
+}
+
+InitSpec::Kind init_kind_from_name(std::string_view token) {
+  if (token == "bernoulli") return InitSpec::Kind::kBernoulli;
+  if (token == "exact-count") return InitSpec::Kind::kExactCount;
+  if (token == "multi") return InitSpec::Kind::kMulti;
+  if (token == "counts") return InitSpec::Kind::kCounts;
+  bad("b3vd: unknown init kind \"" + std::string(token) +
+      "\" — known: bernoulli, exact-count, multi, counts");
+}
+
+std::string_view name(core::Schedule schedule) {
+  switch (schedule) {
+    case core::Schedule::kSynchronous: return "synchronous";
+    case core::Schedule::kAsyncSweeps: return "async-sweeps";
+  }
+  return "?";
+}
+
+core::Schedule schedule_from_name(std::string_view token) {
+  if (token == "synchronous") return core::Schedule::kSynchronous;
+  if (token == "async-sweeps") return core::Schedule::kAsyncSweeps;
+  bad("b3vd: unknown schedule \"" + std::string(token) +
+      "\" — known: synchronous, async-sweeps");
+}
+
+core::Representation representation_from_name(std::string_view token) {
+  for (const core::Representation r :
+       {core::Representation::kAuto, core::Representation::kByte,
+        core::Representation::kBit1, core::Representation::kBit2,
+        core::Representation::kBit4}) {
+    if (token == core::name(r)) return r;
+  }
+  bad("b3vd: unknown representation \"" + std::string(token) +
+      "\" — known: auto, byte, 1-bit, 2-bit, 4-bit");
+}
+
+core::StateSpace state_space_from_name(std::string_view token) {
+  if (token == core::name(core::StateSpace::kPerVertex)) {
+    return core::StateSpace::kPerVertex;
+  }
+  if (token == core::name(core::StateSpace::kCounts)) {
+    return core::StateSpace::kCounts;
+  }
+  bad("b3vd: unknown state space \"" + std::string(token) +
+      "\" — known: per-vertex, counts");
+}
+
+namespace {
+
+GraphSpec graph_from_json(const Json& j) {
+  GraphSpec g;
+  g.family = graph_family_from_name(j.at("family").as_string());
+  switch (g.family) {
+    case GraphSpec::Family::kComplete:
+      reject_unknown_keys(j, "graph", {"family", "n"});
+      g.n = j.at("n").as_u64();
+      break;
+    case GraphSpec::Family::kBlockModel:
+      reject_unknown_keys(j, "graph", {"family", "n", "blocks", "lambda"});
+      g.n = j.at("n").as_u64();
+      g.blocks = static_cast<unsigned>(j.at("blocks").as_u64());
+      g.lambda = j.at("lambda").as_double();
+      break;
+    case GraphSpec::Family::kCirculant:
+      reject_unknown_keys(j, "graph", {"family", "n", "degree"});
+      g.n = j.at("n").as_u64();
+      g.degree = static_cast<std::uint32_t>(j.at("degree").as_u64());
+      break;
+    case GraphSpec::Family::kHypercube:
+      reject_unknown_keys(j, "graph", {"family", "dim"});
+      g.dim = static_cast<unsigned>(j.at("dim").as_u64());
+      break;
+    case GraphSpec::Family::kTorus:
+      reject_unknown_keys(j, "graph", {"family", "rows", "cols"});
+      g.rows = j.at("rows").as_u64();
+      g.cols = j.at("cols").as_u64();
+      break;
+  }
+  return g;
+}
+
+InitSpec init_from_json(const Json& j) {
+  InitSpec init;
+  init.kind = init_kind_from_name(j.at("kind").as_string());
+  switch (init.kind) {
+    case InitSpec::Kind::kBernoulli:
+      reject_unknown_keys(j, "init", {"kind", "p"});
+      init.p = j.at("p").as_double();
+      if (!(init.p >= 0.0 && init.p <= 1.0)) {
+        bad("b3vd: init.p must be in [0, 1]");
+      }
+      break;
+    case InitSpec::Kind::kExactCount:
+      reject_unknown_keys(j, "init", {"kind", "num_blue"});
+      init.num_blue = j.at("num_blue").as_u64();
+      break;
+    case InitSpec::Kind::kMulti:
+      reject_unknown_keys(j, "init", {"kind", "probs"});
+      for (const Json& p : j.at("probs").as_array()) {
+        init.probs.push_back(p.as_double());
+      }
+      break;
+    case InitSpec::Kind::kCounts:
+      reject_unknown_keys(j, "init", {"kind", "counts"});
+      for (const Json& c : j.at("counts").as_array()) {
+        init.counts.push_back(c.as_u64());
+      }
+      break;
+  }
+  return init;
+}
+
+/// Semantic validation of the whole spec. Constructs the job's sampler
+/// (or count model) so the graph parameters fail with the library's own
+/// constructor messages; routes the (protocol, schedule, representation)
+/// triple through core::resolve_representation; and applies the
+/// engine's count-space dispatch rules with its wording.
+void validate_spec(const JobSpec& s) {
+  const std::uint64_t n = s.graph.num_vertices();
+
+  if (s.state_space == core::StateSpace::kCounts) {
+    // Non-count-model families throw the engine's dispatch message here.
+    const graph::CountModel model = count_model(s.graph);
+    if (s.schedule != core::Schedule::kSynchronous) {
+      bad("core::run: the count-space backend is synchronous-only — the "
+          "count chain is defined by the synchronous round");
+    }
+    if (s.representation != core::Representation::kAuto) {
+      bad("core::run: StateSpace::kCounts carries counts, not a "
+          "per-vertex state — an explicit Representation cannot apply");
+    }
+    if (s.init.kind != InitSpec::Kind::kCounts) {
+      bad("b3vd: a counts-state-space job takes its start state as "
+          "explicit (block x colour) counts — set init.kind to \"counts\"");
+    }
+    model.validate();
+    const unsigned q = s.protocol.num_colours();
+    if (s.init.counts.size() != model.num_blocks() * q) {
+      // run_counts' wording (core/count_engine.cpp).
+      bad("run_counts: initial counts must be num_blocks() x num_colours(), "
+          "flattened row-major");
+    }
+    for (std::size_t i = 0; i < model.num_blocks(); ++i) {
+      std::uint64_t row = 0;
+      for (unsigned c = 0; c < q; ++c) row += s.init.counts[i * q + c];
+      if (row != model.sizes[i]) {
+        bad("run_counts: a block's colour counts must sum to its size");
+      }
+    }
+    return;
+  }
+
+  // Per-vertex jobs: building the sampler applies every family's own
+  // constructor validation (n >= 2, offset bounds, dim range, ...).
+  make_sampler(s.graph);
+  if (s.init.kind == InitSpec::Kind::kCounts) {
+    bad("b3vd: init.kind \"counts\" is the start state of a counts "
+        "state-space job — per-vertex jobs start from bernoulli, "
+        "exact-count or multi");
+  }
+  if (s.init.kind == InitSpec::Kind::kExactCount && s.init.num_blue > n) {
+    bad("b3vd: init.num_blue exceeds the number of vertices");
+  }
+  if (s.init.kind == InitSpec::Kind::kMulti &&
+      s.init.probs.size() != s.protocol.num_colours()) {
+    bad("b3vd: init.probs must list one probability per protocol colour (" +
+        std::to_string(s.protocol.num_colours()) + ")");
+  }
+  if (s.schedule == core::Schedule::kAsyncSweeps &&
+      s.protocol.kind == core::RuleKind::kPlurality) {
+    bad("b3vd: async-sweeps is binary-only — the asynchronous kernel has "
+        "no q-colour variant yet; run plurality on the synchronous "
+        "schedule");
+  }
+  // Invalid (protocol, schedule, representation) combinations throw
+  // core::resolve_representation's messages here, at submit time.
+  core::resolve_representation(s.protocol, s.schedule, n, s.representation);
+}
+
+}  // namespace
+
+JobSpec job_spec_from_json(const Json& j) {
+  reject_unknown_keys(j, "job spec",
+                      {"protocol", "graph", "init", "seed", "max_rounds",
+                       "stop_at_consensus", "schedule", "representation",
+                       "state_space", "checkpoint_every"});
+  JobSpec s;
+  // Unknown protocol names throw core::protocol_from_name's message,
+  // which lists the known forms.
+  s.protocol = core::protocol_from_name(j.at("protocol").as_string());
+  s.protocol_name = core::name(s.protocol);
+  s.graph = graph_from_json(j.at("graph"));
+  s.init = init_from_json(j.at("init"));
+  s.seed = j.get_or("seed", Json(std::uint64_t{1})).as_u64();
+  s.max_rounds = j.get_or("max_rounds", Json(std::uint64_t{10000})).as_u64();
+  if (s.max_rounds == 0) bad("b3vd: max_rounds must be >= 1");
+  s.stop_at_consensus = j.get_or("stop_at_consensus", Json(true)).as_bool();
+  s.schedule =
+      schedule_from_name(j.get_or("schedule", Json("synchronous")).as_string());
+  s.representation = representation_from_name(
+      j.get_or("representation", Json("auto")).as_string());
+  s.state_space = state_space_from_name(
+      j.get_or("state_space", Json("per-vertex")).as_string());
+  s.checkpoint_every =
+      j.get_or("checkpoint_every", Json(std::uint64_t{0})).as_u64();
+  validate_spec(s);
+  return s;
+}
+
+Json to_json(const JobSpec& s) {
+  Json::Object graph;
+  graph["family"] = Json(name(s.graph.family));
+  switch (s.graph.family) {
+    case GraphSpec::Family::kComplete:
+      graph["n"] = Json(s.graph.n);
+      break;
+    case GraphSpec::Family::kBlockModel:
+      graph["n"] = Json(s.graph.n);
+      graph["blocks"] = Json(s.graph.blocks);
+      graph["lambda"] = Json(s.graph.lambda);
+      break;
+    case GraphSpec::Family::kCirculant:
+      graph["n"] = Json(s.graph.n);
+      graph["degree"] = Json(static_cast<std::uint64_t>(s.graph.degree));
+      break;
+    case GraphSpec::Family::kHypercube:
+      graph["dim"] = Json(s.graph.dim);
+      break;
+    case GraphSpec::Family::kTorus:
+      graph["rows"] = Json(s.graph.rows);
+      graph["cols"] = Json(s.graph.cols);
+      break;
+  }
+  Json::Object init;
+  init["kind"] = Json(name(s.init.kind));
+  switch (s.init.kind) {
+    case InitSpec::Kind::kBernoulli:
+      init["p"] = Json(s.init.p);
+      break;
+    case InitSpec::Kind::kExactCount:
+      init["num_blue"] = Json(s.init.num_blue);
+      break;
+    case InitSpec::Kind::kMulti: {
+      Json::Array probs;
+      for (const double p : s.init.probs) probs.emplace_back(p);
+      init["probs"] = Json(std::move(probs));
+      break;
+    }
+    case InitSpec::Kind::kCounts: {
+      Json::Array counts;
+      for (const std::uint64_t c : s.init.counts) counts.emplace_back(c);
+      init["counts"] = Json(std::move(counts));
+      break;
+    }
+  }
+  Json::Object obj;
+  obj["protocol"] = Json(s.protocol_name);
+  obj["graph"] = Json(std::move(graph));
+  obj["init"] = Json(std::move(init));
+  obj["seed"] = Json(s.seed);
+  obj["max_rounds"] = Json(s.max_rounds);
+  obj["stop_at_consensus"] = Json(s.stop_at_consensus);
+  obj["schedule"] = Json(name(s.schedule));
+  obj["representation"] = Json(core::name(s.representation));
+  obj["state_space"] = Json(core::name(s.state_space));
+  obj["checkpoint_every"] = Json(s.checkpoint_every);
+  return Json(std::move(obj));
+}
+
+}  // namespace b3v::service

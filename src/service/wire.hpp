@@ -1,0 +1,139 @@
+// The b3vd wire vocabulary: JobSpec — everything a Protocol-registry
+// job needs to run, checkpoint and resume — parsed from / serialised to
+// the JSON the HTTP API and the on-disk job files speak.
+//
+// Validation policy: parsing REUSES the library's own dispatch
+// validation instead of duplicating it — the protocol string goes
+// through core::protocol_from_name (unknown names throw its message,
+// known forms included), the (protocol, schedule, representation)
+// combination through core::resolve_representation, and the count-space
+// rules mirror core::run's dispatch wording — so a submit-time 400
+// carries the same structured message the engine would have thrown at
+// dispatch, and nothing reaches the scheduler that the engine would
+// refuse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "graph/samplers.hpp"
+#include "service/json.hpp"
+
+namespace b3v::service {
+
+/// The graph families a job can name. All are reconstructed from the
+/// spec alone (no edge lists over the wire), which is what makes a
+/// checkpoint self-contained: (spec, round, state) rebuilds the exact
+/// sampler. complete/block-model expose count models, so they are the
+/// two families StateSpace::kCounts accepts (same rule as the engine).
+struct GraphSpec {
+  enum class Family : std::uint8_t {
+    kComplete,    // K_n
+    kBlockModel,  // annealed B-block SBM at mixing lambda
+    kCirculant,   // dense circulant of even degree d
+    kHypercube,   // Q_dim
+    kTorus,       // rows x cols periodic grid
+  };
+
+  Family family = Family::kComplete;
+  std::uint64_t n = 0;         // complete / block-model / circulant
+  unsigned blocks = 2;         // block-model
+  double lambda = 0.0;         // block-model mixing
+  std::uint32_t degree = 0;    // circulant
+  unsigned dim = 0;            // hypercube
+  std::uint64_t rows = 0;      // torus
+  std::uint64_t cols = 0;      // torus
+
+  std::uint64_t num_vertices() const;
+  /// True for the families whose sampler satisfies
+  /// graph::CountSpaceSampler (complete, block-model).
+  bool has_count_model() const {
+    return family == Family::kComplete || family == Family::kBlockModel;
+  }
+};
+
+std::string_view name(GraphSpec::Family family);
+GraphSpec::Family graph_family_from_name(std::string_view token);
+
+/// The per-vertex sampler a GraphSpec names. The ONE construction path
+/// for both submit-time validation and execution, so a spec that parses
+/// is a spec that runs: each family's own constructor validation (n >=
+/// 2, offset bounds, dim range, ...) applies here, and b3vd adds only
+/// the 32-bit vertex-id ceiling (larger complete/block-model instances
+/// run through StateSpace::kCounts, which never builds per-vertex ids).
+using SamplerVariant =
+    std::variant<graph::CompleteSampler, graph::BlockModelSampler,
+                 graph::CirculantSampler, graph::HypercubeSampler,
+                 graph::TorusSampler>;
+SamplerVariant make_sampler(const GraphSpec& g);
+
+/// The count model of a has_count_model() family; throws the engine's
+/// count-space dispatch message for the others.
+graph::CountModel count_model(const GraphSpec& g);
+
+/// How the initial configuration is produced — deterministically from
+/// (kind, parameters, job seed), so a job never needs its start state
+/// checkpointed: resuming from round 0 just rebuilds it.
+struct InitSpec {
+  enum class Kind : std::uint8_t {
+    kBernoulli,   // core::iid_bernoulli(n, p, seed)
+    kExactCount,  // core::exact_count(n, num_blue, seed)
+    kMulti,       // core::iid_multi(n, probs, seed)
+    kCounts,      // explicit (block x colour) counts; kCounts jobs only
+  };
+
+  Kind kind = Kind::kBernoulli;
+  double p = 0.5;                     // kBernoulli
+  std::uint64_t num_blue = 0;         // kExactCount
+  std::vector<double> probs;          // kMulti
+  std::vector<std::uint64_t> counts;  // kCounts, flattened blocks x q
+};
+
+std::string_view name(InitSpec::Kind kind);
+InitSpec::Kind init_kind_from_name(std::string_view token);
+
+/// Schedule tokens ("synchronous" / "async-sweeps") — the engine enum
+/// has no registry of its own.
+std::string_view name(core::Schedule schedule);
+core::Schedule schedule_from_name(std::string_view token);
+core::Representation representation_from_name(std::string_view token);
+core::StateSpace state_space_from_name(std::string_view token);
+
+/// Everything a job is: WHAT to run (protocol, graph, initial state),
+/// HOW LONG (seed, max_rounds as a TOTAL round budget, stop rule), on
+/// WHICH backend (schedule, representation, state space) and how often
+/// to checkpoint. A JobSpec is durable: it round-trips through JSON
+/// bit-for-bit meaningful fields, and (spec, checkpoint) determines the
+/// rest of the run exactly.
+struct JobSpec {
+  std::string protocol_name;  // canonical registry spelling
+  core::Protocol protocol{};
+  GraphSpec graph{};
+  InitSpec init{};
+  std::uint64_t seed = 1;
+  std::uint64_t max_rounds = 10000;
+  bool stop_at_consensus = true;
+  core::Schedule schedule = core::Schedule::kSynchronous;
+  core::Representation representation = core::Representation::kAuto;
+  core::StateSpace state_space = core::StateSpace::kPerVertex;
+  std::uint64_t checkpoint_every = 0;  // rounds between checkpoints;
+                                       // 0 = the server's default cadence
+};
+
+/// Parses and VALIDATES a job spec. Throws JsonError on shape errors
+/// (missing/mis-typed fields) and std::invalid_argument on semantic
+/// ones — the latter reusing the library's own messages
+/// (core::protocol_from_name, core::resolve_representation, the
+/// engine's count-space dispatch wording) wherever the rule exists
+/// there.
+JobSpec job_spec_from_json(const Json& j);
+
+/// Serialises a spec so job_spec_from_json(to_json(s)) reproduces it.
+Json to_json(const JobSpec& s);
+
+}  // namespace b3v::service

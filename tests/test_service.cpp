@@ -1,0 +1,637 @@
+// The b3vd service suite:
+//   - JSON: parse/dump round trips, exact 64-bit integers, error offsets
+//   - Checkpoint codec: round trips, corruption refusals
+//   - Wire: JobSpec parse/serialize round trip; error paths reusing the
+//     library's own dispatch-validation messages verbatim
+//   - Exact resume (the checkpoint property): for every registry
+//     protocol x state space (byte, packed widths, kCounts) and both
+//     schedules, a run serialized through the codec at round t and
+//     resumed with start_round = t is bit-identical — trajectory AND
+//     final state — to the uninterrupted run, across thread counts
+//   - Scheduler/API: jobs run to done with gapless streams, structured
+//     wire errors (never 500s), cancellation, and graceful-stop
+//     equivalence: stop() mid-run + a fresh Scheduler over the same
+//     data dir ends bit-identical to a never-stopped reference
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/count_engine.hpp"
+#include "core/engine.hpp"
+#include "core/initializer.hpp"
+#include "parallel/thread_pool.hpp"
+#include "service/checkpoint.hpp"
+#include "service/json.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+
+namespace b3v {
+namespace {
+
+using service::Checkpoint;
+using service::Json;
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+TEST(ServiceJson, RoundTripsAndDumpsDeterministically) {
+  const std::string text =
+      R"({"a":[1,2.5,"x",true,null],"b":{"nested":-3},"c":18446744073709551615})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j.dump(), text);  // ordered maps: dump is canonical
+  EXPECT_EQ(Json::parse(j.dump()), j);
+  EXPECT_EQ(j.at("c").as_u64(), 18446744073709551615ull);  // exact u64
+  EXPECT_EQ(j.at("b").at("nested").as_i64(), -3);
+  EXPECT_DOUBLE_EQ(j.at("a").as_array()[1].as_double(), 2.5);
+}
+
+TEST(ServiceJson, StringEscapesRoundTrip) {
+  const Json j = Json::parse(R"("a\"b\\c\n\tAé😀")");
+  EXPECT_EQ(j.as_string(), "a\"b\\c\n\tA\xc3\xa9\xf0\x9f\x98\x80");
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(ServiceJson, ErrorsCarryByteOffsets) {
+  try {
+    Json::parse("{\"a\": 1, }");
+    FAIL() << "expected JsonError";
+  } catch (const service::JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+  EXPECT_THROW(Json::parse(""), service::JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), service::JsonError);
+  EXPECT_THROW(Json::parse("[1, 2"), service::JsonError);
+}
+
+TEST(ServiceJson, TypedAccessorsRejectMismatches) {
+  const Json j = Json::parse(R"({"s":"x","neg":-1,"frac":1.5})");
+  EXPECT_THROW(j.at("s").as_u64(), service::JsonError);
+  EXPECT_THROW(j.at("neg").as_u64(), service::JsonError);
+  EXPECT_THROW(j.at("frac").as_u64(), service::JsonError);
+  EXPECT_THROW(j.at("missing"), service::JsonError);
+  EXPECT_EQ(j.get_or("missing", Json(std::uint64_t{7})).as_u64(), 7u);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint codec
+// ---------------------------------------------------------------------
+
+Checkpoint per_vertex_ckpt() {
+  Checkpoint c;
+  c.kind = Checkpoint::Kind::kPerVertex;
+  c.round = 42;
+  c.state = {0, 1, 2, 3, 1, 0, 15};
+  return c;
+}
+
+Checkpoint counts_ckpt() {
+  Checkpoint c;
+  c.kind = Checkpoint::Kind::kCounts;
+  c.round = 7;
+  c.counts = {1000000000000ull, 0, 3, 42};
+  return c;
+}
+
+TEST(ServiceCheckpoint, EncodeDecodeRoundTripsBothKinds) {
+  for (const Checkpoint& c : {per_vertex_ckpt(), counts_ckpt()}) {
+    EXPECT_EQ(service::decode(service::encode(c)), c);
+  }
+}
+
+TEST(ServiceCheckpoint, RefusesCorruption) {
+  const std::string good = service::encode(per_vertex_ckpt());
+  EXPECT_THROW(service::decode(""), std::runtime_error);
+  EXPECT_THROW(service::decode("NOTACKPT" + good.substr(8)),
+               std::runtime_error);
+  EXPECT_THROW(service::decode(good.substr(0, good.size() - 1)),
+               std::runtime_error);  // truncated
+  std::string flipped = good;
+  flipped[good.size() / 2] = static_cast<char>(flipped[good.size() / 2] ^ 1);
+  EXPECT_THROW(service::decode(flipped), std::runtime_error);  // hash
+}
+
+TEST(ServiceCheckpoint, AtomicWriteReadRoundTrips) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("b3v_ckpt_" + std::to_string(::getpid()) + ".ckpt");
+  EXPECT_FALSE(service::read_checkpoint(path).has_value());
+  service::write_checkpoint_atomic(path, counts_ckpt());
+  const auto loaded = service::read_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, counts_ckpt());
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Wire
+// ---------------------------------------------------------------------
+
+/// The message a callable's std::invalid_argument carries.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+std::string submit_error(const std::string& body) {
+  return thrown_message(
+      [&] { service::job_spec_from_json(Json::parse(body)); });
+}
+
+TEST(ServiceWire, JobSpecRoundTripsThroughJson) {
+  const Json j = Json::parse(R"({
+    "protocol": "plurality-of-3/q4",
+    "graph": {"family": "block-model", "n": 9000, "blocks": 3, "lambda": 0.25},
+    "init": {"kind": "multi", "probs": [0.4, 0.3, 0.2, 0.1]},
+    "seed": 99, "max_rounds": 500, "stop_at_consensus": false,
+    "checkpoint_every": 17})");
+  const service::JobSpec spec = service::job_spec_from_json(j);
+  EXPECT_EQ(spec.protocol_name, "plurality-of-3/q4");
+  EXPECT_EQ(spec.graph.num_vertices(), 9000u);
+  const service::JobSpec again =
+      service::job_spec_from_json(service::to_json(spec));
+  EXPECT_EQ(service::to_json(again).dump(), service::to_json(spec).dump());
+}
+
+TEST(ServiceWire, UnknownProtocolReusesRegistryMessage) {
+  const std::string expect = thrown_message(
+      [] { core::protocol_from_name("best-of-nope"); });
+  ASSERT_FALSE(expect.empty());
+  EXPECT_EQ(submit_error(R"({"protocol": "best-of-nope",
+                             "graph": {"family": "complete", "n": 100},
+                             "init": {"kind": "bernoulli", "p": 0.5}})"),
+            expect);
+}
+
+TEST(ServiceWire, InvalidRepresentationComboReusesDispatchMessage) {
+  // Binary rule on the 2-bit colour state: resolve_representation's
+  // wording, verbatim.
+  const std::string expect = thrown_message([] {
+    core::resolve_representation(core::best_of(3), core::Schedule::kSynchronous,
+                                 100, core::Representation::kBit2);
+  });
+  ASSERT_FALSE(expect.empty());
+  EXPECT_EQ(submit_error(R"({"protocol": "best-of-3",
+                             "graph": {"family": "complete", "n": 100},
+                             "init": {"kind": "bernoulli", "p": 0.5},
+                             "representation": "2-bit"})"),
+            expect);
+}
+
+TEST(ServiceWire, CountSpaceRulesReuseEngineWording) {
+  // Engine dispatch messages, verbatim (core/engine.hpp).
+  EXPECT_EQ(submit_error(R"({"protocol": "best-of-3",
+                             "graph": {"family": "hypercube", "dim": 10},
+                             "init": {"kind": "counts", "counts": [512, 512]},
+                             "state_space": "counts"})"),
+            "core::run: StateSpace::kCounts needs a sampler with a count "
+            "model (graph::CountSpaceSampler — CompleteSampler or "
+            "BlockModelSampler)");
+  EXPECT_EQ(submit_error(R"({"protocol": "best-of-3",
+                             "graph": {"family": "complete", "n": 100},
+                             "init": {"kind": "counts", "counts": [50, 50]},
+                             "state_space": "counts",
+                             "schedule": "async-sweeps"})"),
+            "core::run: the count-space backend is synchronous-only — the "
+            "count chain is defined by the synchronous round");
+  EXPECT_EQ(submit_error(R"({"protocol": "best-of-3",
+                             "graph": {"family": "complete", "n": 100},
+                             "init": {"kind": "counts", "counts": [50, 50]},
+                             "state_space": "counts",
+                             "representation": "byte"})"),
+            "core::run: StateSpace::kCounts carries counts, not a "
+            "per-vertex state — an explicit Representation cannot apply");
+  // And run_counts' own wording for a malformed count vector.
+  EXPECT_EQ(submit_error(R"({"protocol": "best-of-3",
+                             "graph": {"family": "complete", "n": 100},
+                             "init": {"kind": "counts", "counts": [50, 49]},
+                             "state_space": "counts"})"),
+            "run_counts: a block's colour counts must sum to its size");
+}
+
+TEST(ServiceWire, RejectsShapeAndSemanticDefects) {
+  EXPECT_THROW(service::job_spec_from_json(Json::parse("{}")),
+               service::JsonError);  // missing protocol
+  // Unknown fields fail loudly instead of silently defaulting.
+  EXPECT_NE(submit_error(R"({"protocol": "voter",
+                             "graph": {"family": "complete", "n": 100},
+                             "init": {"kind": "bernoulli", "p": 0.5},
+                             "max_round": 5})")
+                .find("unknown field \"max_round\""),
+            std::string::npos);
+  // Sampler constructor validation applies at submit.
+  EXPECT_EQ(submit_error(R"({"protocol": "voter",
+                             "graph": {"family": "complete", "n": 1},
+                             "init": {"kind": "bernoulli", "p": 0.5}})"),
+            "CompleteSampler: n >= 2");
+  // probs arity must match the protocol's colour count.
+  EXPECT_NE(submit_error(R"({"protocol": "plurality-of-3/q4",
+                             "graph": {"family": "complete", "n": 100},
+                             "init": {"kind": "multi", "probs": [0.5, 0.5]}})")
+                .find("one probability per protocol colour (4)"),
+            std::string::npos);
+  // Async sweeps are binary-only.
+  EXPECT_NE(submit_error(R"({"protocol": "plurality-of-3/q3",
+                             "graph": {"family": "complete", "n": 100},
+                             "init": {"kind": "multi",
+                                      "probs": [0.4, 0.3, 0.3]},
+                             "schedule": "async-sweeps"})")
+                .find("async-sweeps is binary-only"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Exact resume: the checkpoint property
+// ---------------------------------------------------------------------
+
+/// One observed trajectory: rows[t] = the per-colour (or per-cell)
+/// counts after round t.
+using Trajectory = std::map<std::uint64_t, std::vector<std::uint64_t>>;
+
+constexpr std::uint64_t kRounds = 24;
+constexpr std::uint64_t kSplit = 9;  // uneven on purpose
+
+/// Registry protocols under test: every concrete registry example plus
+/// a noisy form and a wide-q plurality.
+std::vector<std::string> resume_protocols() {
+  std::vector<std::string> names;
+  for (const std::string& n : core::known_protocol_names()) {
+    if (n.find('[') == std::string::npos) names.push_back(n);  // concrete
+  }
+  names.push_back("best-of-3+noise=0.25");
+  names.push_back("plurality-of-4/q5/keep-own");
+  return names;
+}
+
+/// Runs [start, start + budget) rounds of the multi-opinion per-vertex
+/// path, recording rows, and returns the final state.
+core::Opinions run_multi_leg(const core::Protocol& p,
+                             core::Representation rep, core::Opinions initial,
+                             std::uint64_t start, std::uint64_t budget,
+                             unsigned threads, Trajectory& rows) {
+  graph::CompleteSampler sampler(600);
+  parallel::ThreadPool pool(threads);
+  core::MultiRunSpec spec;
+  spec.protocol = p;
+  spec.seed = 12345;
+  spec.start_round = start;
+  spec.max_rounds = budget;
+  spec.stop_at_consensus = false;  // run the whole budget
+  spec.representation = rep;
+  spec.observer = [&rows](std::uint64_t t,
+                          std::span<const core::OpinionValue>,
+                          std::span<const std::uint64_t> counts) {
+    const std::vector<std::uint64_t> row(counts.begin(), counts.end());
+    const auto [it, inserted] = rows.emplace(t, row);
+    EXPECT_EQ(it->second, row) << "re-observed round " << t << " differs";
+    return true;
+  };
+  core::MultiSimResult r =
+      core::run(sampler, std::move(initial), spec, pool);
+  return std::move(r.final_state);
+}
+
+TEST(ServiceResume, PerVertexResumeIsBitExactForEveryRegistryProtocol) {
+  for (const std::string& name : resume_protocols()) {
+    const core::Protocol p = core::protocol_from_name(name);
+    // Every width the combination supports: byte always, 1-bit for
+    // binary rules, 2-/4-bit for plurality by q.
+    std::vector<core::Representation> reps = {core::Representation::kByte};
+    if (p.kind != core::RuleKind::kPlurality) {
+      reps.push_back(core::Representation::kBit1);
+    } else {
+      if (p.q <= 4) reps.push_back(core::Representation::kBit2);
+      reps.push_back(core::Representation::kBit4);
+    }
+    std::vector<double> probs(p.num_colours(),
+                              1.0 / static_cast<double>(p.num_colours()));
+    for (const core::Representation rep : reps) {
+      SCOPED_TRACE(name + " @ " + std::string(core::name(rep)));
+      const core::Opinions initial = core::iid_multi(600, probs, 4242);
+
+      Trajectory ref_rows;
+      const core::Opinions ref_final =
+          run_multi_leg(p, rep, initial, 0, kRounds, 2, ref_rows);
+
+      // Interrupted twin: stop at kSplit, round-trip the state through
+      // the checkpoint CODEC (not just memory), resume on a different
+      // thread count.
+      Trajectory rows;
+      core::Opinions mid = run_multi_leg(p, rep, initial, 0, kSplit, 1, rows);
+      Checkpoint c;
+      c.kind = Checkpoint::Kind::kPerVertex;
+      c.round = kSplit;
+      c.state = std::move(mid);
+      const Checkpoint restored = service::decode(service::encode(c));
+      ASSERT_EQ(restored.round, kSplit);
+      const core::Opinions resumed_final =
+          run_multi_leg(p, rep, restored.state, kSplit, kRounds - kSplit, 4,
+                        rows);
+
+      EXPECT_EQ(rows, ref_rows);
+      EXPECT_EQ(resumed_final, ref_final);
+    }
+  }
+}
+
+TEST(ServiceResume, AsyncSweepsResumeIsBitExact) {
+  for (const char* name : {"voter", "best-of-3", "two-choices"}) {
+    SCOPED_TRACE(name);
+    const core::Protocol p = core::protocol_from_name(name);
+    graph::CompleteSampler sampler(600);
+    const core::Opinions initial = core::iid_bernoulli(600, 0.5, 4242);
+
+    const auto leg = [&](core::Opinions start_state, std::uint64_t start,
+                         std::uint64_t budget, unsigned threads,
+                         Trajectory& rows) {
+      parallel::ThreadPool pool(threads);
+      core::RunSpec spec;
+      spec.protocol = p;
+      spec.seed = 777;
+      spec.schedule = core::Schedule::kAsyncSweeps;
+      spec.start_round = start;
+      spec.max_rounds = budget;
+      spec.stop_at_consensus = false;
+      spec.observer = [&rows](std::uint64_t t,
+                              std::span<const core::OpinionValue>,
+                              std::uint64_t blue) {
+        rows.emplace(t, std::vector<std::uint64_t>{blue});
+        return true;
+      };
+      core::SimResult r = core::run(sampler, std::move(start_state), spec, pool);
+      return std::move(r.final_state);
+    };
+
+    Trajectory ref_rows;
+    const core::Opinions ref_final = leg(initial, 0, kRounds, 2, ref_rows);
+
+    Trajectory rows;
+    core::Opinions mid = leg(initial, 0, kSplit, 1, rows);
+    Checkpoint c;
+    c.kind = Checkpoint::Kind::kPerVertex;
+    c.round = kSplit;
+    c.state = std::move(mid);
+    const core::Opinions resumed_final =
+        leg(service::decode(service::encode(c)).state, kSplit,
+            kRounds - kSplit, 4, rows);
+
+    EXPECT_EQ(rows, ref_rows);
+    EXPECT_EQ(resumed_final, ref_final);
+  }
+}
+
+TEST(ServiceResume, CountSpaceResumeIsBitExactForEveryRegistryProtocol) {
+  const graph::CountModel model = graph::CountModel::sbm(30000, 3, 0.25);
+  for (const std::string& name : resume_protocols()) {
+    SCOPED_TRACE(name);
+    const core::Protocol p = core::protocol_from_name(name);
+    const unsigned q = p.num_colours();
+    // Equal split within each block; the first colour absorbs remainder.
+    std::vector<std::uint64_t> initial(model.num_blocks() * q, 0);
+    for (std::size_t i = 0; i < model.num_blocks(); ++i) {
+      std::uint64_t left = model.sizes[i];
+      for (unsigned c = 1; c < q; ++c) {
+        initial[i * q + c] = model.sizes[i] / q;
+        left -= model.sizes[i] / q;
+      }
+      initial[i * q] = left;
+    }
+
+    const auto leg = [&](std::vector<std::uint64_t> counts,
+                         std::uint64_t start, std::uint64_t budget,
+                         Trajectory& rows) {
+      core::CountRunSpec spec;
+      spec.protocol = p;
+      spec.seed = 31337;
+      spec.start_round = start;
+      spec.max_rounds = budget;
+      spec.stop_at_consensus = false;
+      spec.observer = [&rows](std::uint64_t t,
+                              std::span<const std::uint64_t> counts_now) {
+        rows.emplace(t, std::vector<std::uint64_t>(counts_now.begin(),
+                                                   counts_now.end()));
+        return true;
+      };
+      return core::run_counts(model, std::move(counts), spec).block_counts;
+    };
+
+    Trajectory ref_rows;
+    const std::vector<std::uint64_t> ref_final =
+        leg(initial, 0, kRounds, ref_rows);
+
+    Trajectory rows;
+    Checkpoint c;
+    c.kind = Checkpoint::Kind::kCounts;
+    c.round = kSplit;
+    c.counts = leg(initial, 0, kSplit, rows);
+    const std::vector<std::uint64_t> resumed_final =
+        leg(service::decode(service::encode(c)).counts, kSplit,
+            kRounds - kSplit, rows);
+
+    EXPECT_EQ(rows, ref_rows);
+    EXPECT_EQ(resumed_final, ref_final);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler + API
+// ---------------------------------------------------------------------
+
+std::filesystem::path fresh_dir(const std::string& tag) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("b3v_service_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+service::ServiceConfig test_config(const std::filesystem::path& dir) {
+  service::ServiceConfig config;
+  config.scheduler.data_dir = dir;
+  config.scheduler.workers = 2;
+  config.scheduler.pool_threads = 2;
+  config.scheduler.default_checkpoint_every = 8;
+  return config;
+}
+
+service::HttpResponse post_job(service::Service& svc, const std::string& body) {
+  service::HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/jobs";
+  req.body = body;
+  return svc.handle(req);
+}
+
+service::HttpResponse get(service::Service& svc, const std::string& target) {
+  service::HttpRequest req;
+  req.method = "GET";
+  req.target = target;
+  return svc.handle(req);
+}
+
+TEST(ServiceApi, JobsRunToDoneWithGaplessStreams) {
+  const auto dir = fresh_dir("done");
+  service::Service svc(test_config(dir));
+  const auto resp = post_job(svc, R"({
+    "protocol": "best-of-3",
+    "graph": {"family": "complete", "n": 3000},
+    "init": {"kind": "exact-count", "num_blue": 1200},
+    "seed": 5, "max_rounds": 400})");
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  const std::uint64_t id = Json::parse(resp.body).at("id").as_u64();
+  svc.scheduler().wait_idle();
+
+  const Json doc = Json::parse(get(svc, "/v1/jobs/" + std::to_string(id)).body);
+  EXPECT_EQ(doc.at("status").as_string(), "done");
+  ASSERT_TRUE(doc.has("result"));
+  const Json& result = doc.at("result");
+  EXPECT_TRUE(result.at("consensus").as_bool());
+
+  // The stream covers t = 0 .. final round with no gaps, and its last
+  // row agrees with the result.
+  const std::string stream = get(svc, "/v1/jobs/" + std::to_string(id) +
+                                          "/stream").body;
+  std::uint64_t expect_t = 0;
+  Json last;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t nl = stream.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    last = Json::parse(std::string_view(stream).substr(pos, nl - pos));
+    EXPECT_EQ(last.at("t").as_u64(), expect_t++);
+    pos = nl + 1;
+  }
+  EXPECT_EQ(last.at("t").as_u64(), result.at("rounds").as_u64());
+  std::uint64_t winner_count =
+      last.at("counts").as_array()[result.at("winner").as_u64()].as_u64();
+  EXPECT_EQ(winner_count, 3000u);
+  svc.stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceApi, WireErrorsAreStructuredNot500) {
+  const auto dir = fresh_dir("errors");
+  service::Service svc(test_config(dir));
+
+  auto resp = post_job(svc, "{not json");
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_EQ(Json::parse(resp.body).at("kind").as_string(), "json");
+
+  resp = post_job(svc, R"({"protocol": "frobnicate",
+                           "graph": {"family": "complete", "n": 100},
+                           "init": {"kind": "bernoulli", "p": 0.5}})");
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_EQ(Json::parse(resp.body).at("kind").as_string(), "invalid");
+  EXPECT_EQ(Json::parse(resp.body).at("error").as_string(),
+            thrown_message([] { core::protocol_from_name("frobnicate"); }));
+
+  resp = post_job(svc, R"({"protocol": "best-of-3",
+                           "graph": {"family": "torus", "rows": 8, "cols": 8},
+                           "init": {"kind": "counts", "counts": [32, 32]},
+                           "state_space": "counts"})");
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_EQ(Json::parse(resp.body).at("error").as_string(),
+            "core::run: StateSpace::kCounts needs a sampler with a count "
+            "model (graph::CountSpaceSampler — CompleteSampler or "
+            "BlockModelSampler)");
+
+  EXPECT_EQ(get(svc, "/v1/jobs/999").status, 404);
+  EXPECT_EQ(get(svc, "/v1/nonsense").status, 404);
+  service::HttpRequest del;
+  del.method = "DELETE";
+  del.target = "/v1/jobs";
+  EXPECT_EQ(svc.handle(del).status, 405);
+
+  // Nothing was accepted.
+  EXPECT_TRUE(Json::parse(get(svc, "/v1/jobs").body)
+                  .at("jobs").as_array().empty());
+  svc.stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceApi, CancelStopsAJob) {
+  const auto dir = fresh_dir("cancel");
+  service::ServiceConfig config = test_config(dir);
+  config.scheduler.workers = 1;
+  service::Service svc(config);
+  // A long job (no consensus stop) followed by cancellation.
+  const auto resp = post_job(svc, R"({
+    "protocol": "voter",
+    "graph": {"family": "complete", "n": 200000},
+    "init": {"kind": "bernoulli", "p": 0.5},
+    "stop_at_consensus": false, "max_rounds": 100000})");
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  const std::uint64_t id = Json::parse(resp.body).at("id").as_u64();
+
+  service::HttpRequest cancel;
+  cancel.method = "POST";
+  cancel.target = "/v1/jobs/" + std::to_string(id) + "/cancel";
+  EXPECT_TRUE(Json::parse(svc.handle(cancel).body).at("cancelled").as_bool());
+  svc.scheduler().wait_idle();
+  EXPECT_EQ(Json::parse(get(svc, "/v1/jobs/" + std::to_string(id)).body)
+                .at("status").as_string(),
+            "cancelled");
+  // Cancelling a terminal job reports false.
+  EXPECT_FALSE(Json::parse(svc.handle(cancel).body).at("cancelled").as_bool());
+  svc.stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceApi, GracefulStopResumesBitIdentical) {
+  const std::string spec_body = R"({
+    "protocol": "plurality-of-3/q3",
+    "graph": {"family": "complete", "n": 120000},
+    "init": {"kind": "multi", "probs": [0.35, 0.35, 0.3]},
+    "seed": 11, "stop_at_consensus": false, "max_rounds": 60,
+    "checkpoint_every": 5})";
+
+  // Reference: uninterrupted.
+  const auto ref_dir = fresh_dir("stop_ref");
+  std::string ref_doc, ref_stream;
+  {
+    service::Service svc(test_config(ref_dir));
+    const std::uint64_t id =
+        Json::parse(post_job(svc, spec_body).body).at("id").as_u64();
+    svc.scheduler().wait_idle();
+    ref_doc = get(svc, "/v1/jobs/" + std::to_string(id)).body;
+    ref_stream = get(svc, "/v1/jobs/" + std::to_string(id) + "/stream").body;
+    svc.stop();
+  }
+
+  // Interrupted twin: stop mid-run (graceful: checkpoints and returns
+  // to queued), then a FRESH scheduler over the same directory resumes.
+  const auto dir = fresh_dir("stop_twin");
+  std::uint64_t id = 0;
+  {
+    service::Service svc(test_config(dir));
+    id = Json::parse(post_job(svc, spec_body).body).at("id").as_u64();
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    svc.stop();
+  }
+  {
+    service::Service svc(test_config(dir));  // recovery requeues
+    svc.scheduler().wait_idle();
+    EXPECT_EQ(get(svc, "/v1/jobs/" + std::to_string(id)).body, ref_doc);
+    EXPECT_EQ(get(svc, "/v1/jobs/" + std::to_string(id) + "/stream").body,
+              ref_stream);
+    svc.stop();
+  }
+  std::filesystem::remove_all(ref_dir);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace b3v

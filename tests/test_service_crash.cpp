@@ -1,0 +1,279 @@
+// Crash equivalence: the b3vd BINARY (found via the B3VD_BIN env var,
+// wired by tests/CMakeLists.txt as $<TARGET_FILE:b3vd>) is started over
+// a data directory, fed a batch of jobs spanning the registry —
+// per-vertex sync, async sweeps, and count-space — then SIGKILLed
+// mid-run and restarted over the same directory with a DIFFERENT
+// simulation thread count. The suite asserts every job's final document
+// and full NDJSON stream are byte-identical to a never-killed reference
+// server's.
+//
+// That is the service's headline guarantee end to end: kill -9 at an
+// arbitrary point (torn stream rows, half-written temp files and all)
+// loses nothing, because checkpoints are atomic, streams are pruned to
+// the checkpoint on resume, and the counter-based RNG makes the
+// resumed rounds draw exactly what the uninterrupted run drew.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/http.hpp"
+#include "service/json.hpp"
+
+namespace b3v {
+namespace {
+
+namespace fs = std::filesystem;
+using service::Json;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// One live b3vd process.
+struct Server {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// B3VD_BIN (wired by tests/CMakeLists.txt), with a fallback to the
+/// build-tree layout relative to this test binary.
+std::string b3vd_binary() {
+  if (const char* env = std::getenv("B3VD_BIN")) return env;
+  std::error_code ec;
+  const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    const fs::path guess =
+        self.parent_path().parent_path() / "src" / "service" / "b3vd";
+    if (fs::exists(guess)) return guess.string();
+  }
+  return {};
+}
+
+Server start_server(const fs::path& data_dir, const fs::path& log,
+                    unsigned pool_threads) {
+  const std::string bin = b3vd_binary();
+  EXPECT_FALSE(bin.empty()) << "B3VD_BIN must point at the b3vd binary";
+  if (bin.empty()) return {};
+
+  const std::string data_arg = "--data-dir=" + data_dir.string();
+  const std::string pool_arg =
+      "--pool-threads=" + std::to_string(pool_threads);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::execl(bin.c_str(), "b3vd", data_arg.c_str(), "--port=0", "--workers=2",
+            pool_arg.c_str(), "--checkpoint-every=6",
+            static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  // The server prints "b3vd listening on 127.0.0.1:PORT" once bound.
+  Server server{pid, 0};
+  for (int i = 0; i < 200 && server.port == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    const std::string text = slurp(log);
+    const std::size_t at = text.find("listening on 127.0.0.1:");
+    if (at != std::string::npos) {
+      server.port = static_cast<std::uint16_t>(
+          std::stoi(text.substr(at + 23)));
+    }
+  }
+  EXPECT_NE(server.port, 0) << "server never reported a port; log:\n"
+                            << slurp(log);
+  return server;
+}
+
+void kill_hard(Server& server) {
+  if (server.pid > 0) {
+    ::kill(server.pid, SIGKILL);
+    ::waitpid(server.pid, nullptr, 0);
+    server.pid = -1;
+  }
+}
+
+void stop_gracefully(Server& server) {
+  if (server.pid > 0) {
+    ::kill(server.pid, SIGTERM);
+    ::waitpid(server.pid, nullptr, 0);
+    server.pid = -1;
+  }
+}
+
+/// The job batch: one entry per execution path worth distinguishing —
+/// every rule family, both schedules, all five graph families, and the
+/// count-space backend. Budgets are fixed (no consensus stop) so both
+/// servers execute the identical round set.
+std::vector<std::string> job_batch() {
+  return {
+      R"({"protocol": "voter", "graph": {"family": "complete", "n": 150000},
+          "init": {"kind": "bernoulli", "p": 0.5}, "seed": 1,
+          "stop_at_consensus": false, "max_rounds": 220})",
+      R"({"protocol": "best-of-3", "graph": {"family": "complete", "n": 150000},
+          "init": {"kind": "exact-count", "num_blue": 74000}, "seed": 2,
+          "stop_at_consensus": false, "max_rounds": 220})",
+      R"({"protocol": "best-of-2/keep-own",
+          "graph": {"family": "circulant", "n": 150000, "degree": 64},
+          "init": {"kind": "bernoulli", "p": 0.45}, "seed": 3,
+          "stop_at_consensus": false, "max_rounds": 220})",
+      R"({"protocol": "two-choices", "graph": {"family": "hypercube", "dim": 17},
+          "init": {"kind": "bernoulli", "p": 0.5}, "seed": 4,
+          "stop_at_consensus": false, "max_rounds": 220})",
+      R"({"protocol": "plurality-of-3/q3",
+          "graph": {"family": "block-model", "n": 120000, "blocks": 3,
+                    "lambda": 0.2},
+          "init": {"kind": "multi", "probs": [0.35, 0.33, 0.32]}, "seed": 5,
+          "stop_at_consensus": false, "max_rounds": 220})",
+      R"({"protocol": "best-of-3+noise=0.1",
+          "graph": {"family": "torus", "rows": 400, "cols": 375},
+          "init": {"kind": "bernoulli", "p": 0.5}, "seed": 6,
+          "stop_at_consensus": false, "max_rounds": 220})",
+      R"({"protocol": "best-of-3", "graph": {"family": "complete", "n": 150000},
+          "init": {"kind": "bernoulli", "p": 0.5}, "seed": 7,
+          "schedule": "async-sweeps",
+          "stop_at_consensus": false, "max_rounds": 90})",
+      R"({"protocol": "plurality-of-5/q4",
+          "graph": {"family": "block-model", "n": 10000000, "blocks": 4,
+                    "lambda": 0.3},
+          "init": {"kind": "counts",
+                   "counts": [700000, 650000, 600000, 550000,
+                              700000, 650000, 600000, 550000,
+                              700000, 650000, 600000, 550000,
+                              700000, 650000, 600000, 550000]},
+          "seed": 8, "state_space": "counts",
+          "stop_at_consensus": false, "max_rounds": 2500})",
+  };
+}
+
+std::vector<std::uint64_t> submit_batch(std::uint16_t port) {
+  std::vector<std::uint64_t> ids;
+  for (const std::string& body : job_batch()) {
+    const service::HttpResponse resp =
+        service::http_request("127.0.0.1", port, "POST", "/v1/jobs", body);
+    EXPECT_EQ(resp.status, 200) << resp.body;
+    ids.push_back(Json::parse(resp.body).at("id").as_u64());
+  }
+  return ids;
+}
+
+bool all_done(std::uint16_t port) {
+  const service::HttpResponse resp =
+      service::http_request("127.0.0.1", port, "GET", "/v1/jobs");
+  for (const Json& job : Json::parse(resp.body).at("jobs").as_array()) {
+    if (job.at("status").as_string() != "done") return false;
+  }
+  return true;
+}
+
+void wait_all_done(std::uint16_t port) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(240);
+  while (!all_done(port)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "jobs did not finish in time";
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+std::string job_doc(std::uint16_t port, std::uint64_t id) {
+  return service::http_request("127.0.0.1", port, "GET",
+                               "/v1/jobs/" + std::to_string(id))
+      .body;
+}
+
+std::string job_stream(std::uint16_t port, std::uint64_t id) {
+  return service::http_request("127.0.0.1", port, "GET",
+                               "/v1/jobs/" + std::to_string(id) + "/stream")
+      .body;
+}
+
+TEST(ServiceCrash, SigkillThenRestartMatchesNeverKilledReference) {
+  const fs::path base = fs::temp_directory_path() /
+                        ("b3v_crash_" + std::to_string(::getpid()));
+  const fs::path ref_dir = base / "ref";
+  const fs::path crash_dir = base / "crash";
+  fs::remove_all(base);
+  fs::create_directories(ref_dir);
+  fs::create_directories(crash_dir);
+
+  // Reference: run the batch to completion, never killed.
+  std::vector<std::string> ref_docs, ref_streams;
+  {
+    Server ref = start_server(ref_dir, base / "ref.log", 2);
+    ASSERT_NE(ref.port, 0);
+    const std::vector<std::uint64_t> ids = submit_batch(ref.port);
+    wait_all_done(ref.port);
+    for (const std::uint64_t id : ids) {
+      ref_docs.push_back(job_doc(ref.port, id));
+      ref_streams.push_back(job_stream(ref.port, id));
+    }
+    stop_gracefully(ref);
+  }
+
+  // Crash run: same batch, SIGKILL once the work is demonstrably
+  // mid-flight (some stream has rows but not every job is done).
+  std::vector<std::uint64_t> ids;
+  {
+    Server victim = start_server(crash_dir, base / "victim.log", 2);
+    ASSERT_NE(victim.port, 0);
+    ids = submit_batch(victim.port);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (job_stream(victim.port, ids.front()).find('\n') ==
+           std::string::npos) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    kill_hard(victim);  // no warning, no flush, no checkpoint on the way out
+  }
+
+  // The kill must actually have interrupted something, or the test
+  // proves nothing: at least one job on disk is non-terminal.
+  {
+    std::size_t interrupted = 0;
+    for (const std::uint64_t id : ids) {
+      const fs::path doc = crash_dir / ("job-" + std::to_string(id) + ".json");
+      const std::string status =
+          Json::parse(slurp(doc)).at("status").as_string();
+      if (status == "queued" || status == "running") ++interrupted;
+    }
+    ASSERT_GE(interrupted, 1u) << "SIGKILL landed after every job finished — "
+                                  "grow the batch";
+  }
+
+  // Restart over the same directory with a different thread count
+  // (results must not depend on it), let recovery finish everything.
+  {
+    Server revived = start_server(crash_dir, base / "revived.log", 3);
+    ASSERT_NE(revived.port, 0);
+    wait_all_done(revived.port);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      SCOPED_TRACE("job " + std::to_string(ids[i]));
+      EXPECT_EQ(job_doc(revived.port, ids[i]), ref_docs[i]);
+      EXPECT_EQ(job_stream(revived.port, ids[i]), ref_streams[i]);
+    }
+    stop_gracefully(revived);
+  }
+
+  fs::remove_all(base);
+}
+
+}  // namespace
+}  // namespace b3v
