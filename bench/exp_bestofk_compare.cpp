@@ -18,6 +18,7 @@
 #include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 #include "theory/binomial.hpp"
 
 int main(int argc, char** argv) {
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
             // laptop-sized and report the censoring.
             spec.max_rounds = protocol.k == 1 ? 2000 : 300;
             core::Opinions init = core::iid_bernoulli(
-                n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+                n, 0.5 - delta, rng::derive_stream(seed, rng::kStreamInitialPlacement));
             return core::run(sampler, std::move(init), spec, pool);
           });
       // best_of_k_map is the NOISELESS drift map; a +noise= rule gets

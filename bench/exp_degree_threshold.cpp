@@ -18,6 +18,7 @@
 #include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 
 namespace {
 
@@ -37,7 +38,7 @@ void run_family(const std::string& name, const S& sampler, double delta,
         spec.seed = seed;
         spec.max_rounds = cap;
         core::Opinions init = core::iid_bernoulli(
-            n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+            n, 0.5 - delta, rng::derive_stream(seed, rng::kStreamInitialPlacement));
         return core::run(sampler, std::move(init), spec, pool);
       });
   table.add_row({std::string(name), static_cast<std::int64_t>(n),

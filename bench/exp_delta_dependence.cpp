@@ -17,6 +17,7 @@
 #include "experiments/sweep.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 #include "theory/recursions.hpp"
 
 namespace {
@@ -45,7 +46,7 @@ void sweep(const std::string& family, const S& sampler,
           spec.seed = seed;
           spec.max_rounds = 2000;
           core::Opinions init = core::iid_bernoulli(
-              n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+              n, 0.5 - delta, rng::derive_stream(seed, rng::kStreamInitialPlacement));
           return core::run(sampler, std::move(init), spec, pool);
         });
     const int mf = theory::meanfield_steps_to(0.5 - delta,

@@ -67,12 +67,14 @@ int main(int argc, char** argv) {
       }
       return true;
     };
-    core::run(sampler,
-              core::iid_bernoulli(
-                  n, 0.4,
-                  rng::derive_stream(ctx.base_seed,
-                                     static_cast<std::uint64_t>(noise * 1e6))),
-              spec, pool);
+    // The stationary observer consumes the run; the result is redundant.
+    static_cast<void>(core::run(
+        sampler,
+        core::iid_bernoulli(
+            n, 0.4,
+            rng::derive_stream(ctx.base_seed,
+                               static_cast<std::uint64_t>(noise * 1e6))),
+        spec, pool));
     const double predicted = base_is_bo3
                                  ? theory::noisy_stationary_minority(noise)
                                  : std::nan("");

@@ -20,6 +20,7 @@
 #include "experiments/session.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 #include "theory/recursions.hpp"
 
 namespace {
@@ -84,7 +85,7 @@ int main(int argc, char** argv) {
       const auto result = experiments::run_recorded(
           sampler,
           core::iid_bernoulli(n, 0.5 - delta,
-                              rng::derive_stream(spec.seed, 0xB10E)),
+                              rng::derive_stream(spec.seed, rng::kStreamInitialPlacement)),
           spec, pool);
       if (!result.consensus) continue;
       const auto phases = segment(result.blue_trajectory, n, d);

@@ -40,6 +40,7 @@
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 #include "theory/recursions.hpp"
 
 namespace {
@@ -232,7 +233,7 @@ int main(int argc, char** argv) {
                                (rep << 1) ^
                                (protocol.ptie == core::PluralityTie::kKeepOwn));
         auto init =
-            core::block_multi(block_of, start, rng::derive_stream(seed, 0xB10C));
+            core::block_multi(block_of, start, rng::derive_stream(seed, rng::kStreamBlockPlacement));
         const auto out = run_lock(sampler, std::move(init), block_of, q,
                                   protocol, seed, kMaxRounds, pool);
         if (out.consensus) {

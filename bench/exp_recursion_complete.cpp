@@ -15,6 +15,7 @@
 #include "experiments/session.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 #include "theory/recursions.hpp"
 
 int main(int argc, char** argv) {
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
       const auto result = experiments::run_recorded(
           sampler,
           core::iid_bernoulli(n, 0.5 - delta,
-                              rng::derive_stream(spec.seed, 0xB10E)),
+                              rng::derive_stream(spec.seed, rng::kStreamInitialPlacement)),
           spec, pool);
       if (per_round.size() < result.blue_trajectory.size()) {
         per_round.resize(result.blue_trajectory.size());

@@ -33,6 +33,7 @@
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 #include "theory/recursions.hpp"
 
 namespace {
@@ -155,7 +156,7 @@ int main(int argc, char** argv) {
           // Blue home block vs all-red block: global blue 1/2 - bias.
           const std::vector<double> p_blue{1.0 - 2.0 * bias, 0.0};
           auto init = core::block_bernoulli(block_of, p_blue,
-                                            rng::derive_stream(seed, 0xB10C));
+                                            rng::derive_stream(seed, rng::kStreamBlockPlacement));
           const auto out =
               run_community(sampler, std::move(init), block_of, protocol,
                             seed, kMaxRounds, pool);

@@ -25,6 +25,7 @@
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 
 int main(int argc, char** argv) {
   using namespace b3v;
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
       const auto result = core::run(
           sampler,
           core::iid_bernoulli(n, 0.5 - delta,
-                              rng::derive_stream(spec.seed, 0xB10E)),
+                              rng::derive_stream(spec.seed, rng::kStreamInitialPlacement)),
           spec, pool);
       // The stripe metrics read the end configuration straight from
       // the result (moved out of the engine, no per-round copies).

@@ -23,6 +23,7 @@
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 #include "theory/recursions.hpp"
 
 namespace {
@@ -49,7 +50,7 @@ Row run_circulant(std::size_t n, double alpha, double delta, std::size_t reps,
         spec.seed = seed;
         spec.max_rounds = 500;
         core::Opinions init = core::iid_bernoulli(
-            n, 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+            n, 0.5 - delta, rng::derive_stream(seed, rng::kStreamInitialPlacement));
         return core::run(sampler, std::move(init), spec, pool);
       });
   return {n, d, std::move(agg)};

@@ -28,6 +28,7 @@
 #include "graph/generators.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 
 namespace {
 
@@ -56,7 +57,7 @@ void add_rows(analysis::Table& table, const S& sampler,
           spec.max_rounds = kMaxRounds;
           return core::run(sampler,
                            core::iid_bernoulli(n, 0.5 - delta,
-                                               rng::derive_stream(seed, 0xB10E)),
+                                               rng::derive_stream(seed, rng::kStreamInitialPlacement)),
                            spec, pool);
         });
     if (pi == 0) baseline_mean = agg.rounds.mean();

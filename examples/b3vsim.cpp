@@ -35,6 +35,7 @@
 #include "graph/generators.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 
 namespace {
 
@@ -167,7 +168,7 @@ core::SimResult run_once(const graph::Graph& g, const core::Protocol& protocol,
   core::SimResult result = core::run(
       graph::CsrSampler(g),
       core::iid_bernoulli(g.num_vertices(), 0.5 - delta,
-                          rng::derive_stream(seed, 0xB10E)),
+                          rng::derive_stream(seed, rng::kStreamInitialPlacement)),
       spec, pool);
   result.blue_trajectory = std::move(traj);
   return result;
@@ -194,7 +195,7 @@ core::MultiSimResult run_once_multi(
   }
   return core::run(
       graph::CsrSampler(g),
-      core::iid_multi(g.num_vertices(), probs, rng::derive_stream(seed, 0xB10E)),
+      core::iid_multi(g.num_vertices(), probs, rng::derive_stream(seed, rng::kStreamInitialPlacement)),
       spec, pool);
 }
 

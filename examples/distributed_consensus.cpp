@@ -24,6 +24,7 @@
 #include "graph/generators.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 
 int main(int argc, char** argv) {
   using namespace b3v;
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
       const auto result = core::run(
           sampler,
           core::iid_bernoulli(n, 0.5 - delta,
-                              rng::derive_stream(spec.seed, 0xB10E)),
+                              rng::derive_stream(spec.seed, rng::kStreamInitialPlacement)),
           spec, pool);
       if (!result.consensus) {
         ++failed;

@@ -17,6 +17,7 @@
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 #include "theory/recursions.hpp"
 
 int main(int argc, char** argv) {
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
   core::SimResult result =
       core::run(graph::CsrSampler(g),
                 core::iid_bernoulli(g.num_vertices(), 0.5 - delta,
-                                    rng::derive_stream(seed, 0xB10E)),
+                                    rng::derive_stream(seed, rng::kStreamInitialPlacement)),
                 spec, pool);
   result.blue_trajectory = std::move(trajectory);
 

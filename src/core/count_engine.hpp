@@ -114,8 +114,8 @@ struct CountSimResult {
 /// every vertex (unless disabled), the observer stops it, or
 /// spec.max_rounds. Deterministic in (model, initial, spec); no thread
 /// pool — a round is O(q^2 * blocks) work.
-CountSimResult run_counts(const graph::CountModel& model,
-                          std::vector<std::uint64_t> initial_block_counts,
-                          const CountRunSpec& spec);
+[[nodiscard]] CountSimResult run_counts(
+    const graph::CountModel& model,
+    std::vector<std::uint64_t> initial_block_counts, const CountRunSpec& spec);
 
 }  // namespace b3v::core

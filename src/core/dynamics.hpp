@@ -33,6 +33,7 @@
 #include "parallel/thread_pool.hpp"
 #include "rng/distributions.hpp"
 #include "rng/philox.hpp"
+#include "rng/streams.hpp"
 
 namespace b3v::core {
 
@@ -44,19 +45,19 @@ enum class TieRule : std::uint8_t {
   kPreferBlue,
 };
 
-/// RNG purpose tags: separates the neighbour-sampling stream from the
-/// tie-break stream so adding tie coins never shifts sample draws.
-inline constexpr std::uint32_t kDrawNeighbors = 0;
-inline constexpr std::uint32_t kDrawTie = 1;
-
-/// RNG purpose tag of the count-space backend's transition draws: one
-/// CounterRng(seed, round, block * q + colour, kDrawCountSpace) stream
-/// per (block, colour) cell per round feeds the exact binomial /
-/// multinomial sampler (rng/count_sampler.hpp via core/count_engine).
-/// Disjoint from every per-vertex purpose, so the two state spaces
-/// never share a draw. (kDrawAsyncPick = 2 and kDrawNoise = 3 are
-/// declared below, next to their kernels.)
-inline constexpr std::uint32_t kDrawCountSpace = 4;
+/// The RNG purpose tags live in the central stream registry
+/// (rng/streams.hpp — one static_assert-uniqueness-checked header,
+/// policed by tools/b3vlint); re-exported here because the kernels and
+/// their callers have always spelled them core::kDraw*. Values are the
+/// historical ones, so every pinned stream is unchanged.
+// NOLINTBEGIN(misc-unused-using-decls): API re-exports, not imports —
+// whether a given TU touches all five is incidental.
+using rng::kDrawAsyncPick;
+using rng::kDrawCountSpace;
+using rng::kDrawNeighbors;
+using rng::kDrawNoise;
+using rng::kDrawTie;
+// NOLINTEND(misc-unused-using-decls)
 
 namespace detail {
 
@@ -230,9 +231,6 @@ std::uint64_t step_two_choices(const S& sampler,
       [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
-/// RNG purpose tag for the noise coin of the noisy dynamics.
-inline constexpr std::uint32_t kDrawNoise = 3;
-
 /// Noisy Best-of-k round: with probability `noise` a vertex ignores its
 /// sample and adopts a uniformly random opinion instead (communication
 /// faults / contrarians). With noise > 0 consensus is no longer
@@ -292,10 +290,6 @@ std::uint64_t step_best_of_k_noisy(const S& sampler,
       },
       [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
-
-/// RNG purpose tag for the asynchronous schedule's "which vertex
-/// updates next" draw (CounterRng(seed, micro, 0, kDrawAsyncPick)).
-inline constexpr std::uint32_t kDrawAsyncPick = 2;
 
 /// One asynchronous sweep: `n` single-vertex updates, each updating one
 /// uniformly random vertex in place from the *current* state. The

@@ -386,8 +386,8 @@ CountRunSpec count_spec_of(const Spec& spec) {
 /// spec.max_rounds. Deterministic in (sampler, initial, spec) at any
 /// thread count.
 template <graph::NeighborSampler S>
-SimResult run(const S& sampler, Opinions initial, const RunSpec& spec,
-              parallel::ThreadPool& pool) {
+[[nodiscard]] SimResult run(const S& sampler, Opinions initial,
+                            const RunSpec& spec, parallel::ThreadPool& pool) {
   validate(spec.protocol);
   if (spec.protocol.kind == RuleKind::kPlurality) {
     throw std::invalid_argument(
@@ -667,8 +667,9 @@ MultiSimResult multi_run_loop(std::size_t n, unsigned q,
 }  // namespace detail
 
 template <graph::NeighborSampler S>
-MultiSimResult run(const S& sampler, Opinions initial,
-                   const MultiRunSpec& spec, parallel::ThreadPool& pool) {
+[[nodiscard]] MultiSimResult run(const S& sampler, Opinions initial,
+                                 const MultiRunSpec& spec,
+                                 parallel::ThreadPool& pool) {
   validate(spec.protocol);
   const unsigned q = spec.protocol.num_colours();
   const std::size_t n = sampler.num_vertices();

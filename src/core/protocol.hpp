@@ -175,7 +175,7 @@ std::string name(const Protocol& p);
 /// spelling runs the binary kernels (and the pinned goldens)
 /// bit-for-bit. Throws std::invalid_argument, listing the known forms,
 /// on anything else.
-Protocol protocol_from_name(std::string_view spelling);
+[[nodiscard]] Protocol protocol_from_name(std::string_view spelling);
 
 /// The registry's canonical example names (for --help text and error
 /// messages): voter, two-choices, best-of-3, best-of-2/keep-own, ...

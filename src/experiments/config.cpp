@@ -84,7 +84,7 @@ ExperimentConfig config_from_env() {
   cfg.output_path = env_or("B3V_OUT", "");
   if (const char* rule_env = std::getenv("B3V_RULE"); rule_env != nullptr) {
     try {
-      core::protocol_from_name(rule_env);
+      static_cast<void>(core::protocol_from_name(rule_env));
       cfg.rule = rule_env;
     } catch (const std::invalid_argument& e) {
       // Same contract as --rule, but env parsing has no error channel:
@@ -151,7 +151,8 @@ bool apply_flag(ExperimentConfig& cfg, const std::string& arg,
     cfg.output_path = value;
   } else if (key == "rule") {
     try {
-      core::protocol_from_name(value);  // validated here, parsed by drivers
+      // Validated here (for the error channel), parsed again by drivers.
+      static_cast<void>(core::protocol_from_name(value));
     } catch (const std::invalid_argument& e) {
       return set_error(error, std::string("--rule: ") + e.what());
     }

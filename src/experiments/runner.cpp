@@ -3,6 +3,7 @@
 #include "core/initializer.hpp"
 #include "graph/samplers.hpp"
 #include "rng/splitmix64.hpp"
+#include "rng/streams.hpp"
 
 namespace b3v::experiments {
 
@@ -14,7 +15,8 @@ core::SimResult theorem1_run(const graph::Graph& g, double delta,
   spec.seed = seed;
   spec.max_rounds = max_rounds;
   core::Opinions initial = core::iid_bernoulli(
-      g.num_vertices(), 0.5 - delta, rng::derive_stream(seed, 0xB10E));
+      g.num_vertices(), 0.5 - delta,
+      rng::derive_stream(seed, rng::kStreamInitialPlacement));
   return run_recorded(graph::CsrSampler(g), std::move(initial), spec, pool);
 }
 
@@ -24,6 +26,10 @@ ConsensusAggregate aggregate_runs(
   ConsensusAggregate agg;
   agg.total_runs = reps;
   for (std::size_t r = 0; r < reps; ++r) {
+    // Level 1 of the two-level derivation scheme (rng/streams.hpp):
+    // the replicate index is a data-dependent purpose; named kStream*
+    // tags are only ever applied to this call's OUTPUT, so the two tag
+    // ranges can never meet on the same base.
     const std::uint64_t seed = rng::derive_stream(base_seed, r);
     const core::SimResult result = runner(seed);
     if (!result.consensus) {

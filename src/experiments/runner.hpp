@@ -1,7 +1,9 @@
 // Repetition/aggregation bookkeeping shared by experiment drivers:
-// aggregate_runs derives one seed per repetition (rng::derive_stream)
-// and folds SimResults — typically from core::run over a Protocol,
-// or a driver-local loop — into win counts, round statistics and the
+// aggregate_runs derives one seed per repetition (rng::derive_stream
+// with the replicate index as a level-1 data-dependent purpose — see
+// the two-level derivation scheme in rng/streams.hpp) and folds
+// SimResults — typically from core::run over a Protocol, or a
+// driver-local loop — into win counts, round statistics and the
 // censoring tally of note N3.
 //
 // The other pieces a driver composes through its Session live in
@@ -46,10 +48,11 @@ core::SimResult run_recorded(const S& sampler, core::Opinions initial,
 }
 
 /// The paper's headline setting in one call: i.i.d.
-/// Bernoulli(1/2 - delta) start (stream derive_stream(seed, 0xB10E) —
-/// the placement every Theorem-1 driver shares), Best-of-3 through
-/// core::run, trajectory recorded. The Theorem 1 claim is
-/// (consensus && winner == Red && rounds small).
+/// Bernoulli(1/2 - delta) start (stream derive_stream(seed,
+/// rng::kStreamInitialPlacement) — the placement every Theorem-1
+/// driver shares), Best-of-3 through core::run, trajectory recorded.
+/// The Theorem 1 claim is (consensus && winner == Red && rounds
+/// small).
 core::SimResult theorem1_run(const graph::Graph& g, double delta,
                              std::uint64_t seed, parallel::ThreadPool& pool,
                              std::uint64_t max_rounds = 10000);

@@ -1,0 +1,136 @@
+// The stream-purpose registry: every named tag that selects a random
+// stream lives HERE, in one header, so the probability space the repo's
+// claims rest on — goldens, checkpoint/crash-equivalence, the SBM phase
+// diagrams — stays exactly the documented family of streams and two
+// tags can never silently collide. Uniqueness is machine-checked twice:
+// at compile time by the static_asserts below, and by the
+// rng-purpose-unique check of tools/b3vlint (which also bans raw
+// integer literals at CounterRng / CounterRngTile / derive_stream call
+// sites — see docs/STATIC_ANALYSIS.md).
+//
+// There are two distinct tag spaces:
+//
+// 1. DRAW purposes — the `c` argument of rng::CounterRng(seed, a, b, c)
+//    and rng::CounterRngTile. The purpose occupies the high 16 bits of
+//    the Philox counter word ctr[3] (philox.hpp), so values must stay
+//    below 2^16 and a stream is hard-bounded at 2^16 blocks: tag c's
+//    block 2^16 would be tag (c+1)'s block 0, which is exactly the
+//    aliasing bug the bound closes. Adding a kernel = adding a kDraw*
+//    constant here, next in sequence; never reuse a value, and never
+//    pass a literal at a call site.
+//
+// 2. STREAM purposes — the 64-bit `stream` argument of
+//    rng::derive_stream(base, stream) (splitmix64.hpp), which hashes
+//    (base, stream) into an independent seed. The experiments use a
+//    TWO-LEVEL derivation scheme:
+//
+//      level 1   rep_seed = derive_stream(base_seed, r)
+//                r = the replicate / trial index — a DATA-DEPENDENT
+//                purpose (small integers 0, 1, 2, ...), one stream per
+//                repetition (experiments::aggregate_runs, the drivers'
+//                trial loops).
+//      level 2   derive_stream(rep_seed, kStream*)
+//                named tags selecting the independent sub-streams of
+//                ONE run (initial placement, ...), always applied to a
+//                level-1 OUTPUT (or to a spec seed), never to the raw
+//                base seed that level 1 consumes.
+//
+//    The levels therefore never share a base value, so the
+//    data-dependent range {0, 1, 2, ...} cannot collide with a named
+//    tag even if a replicate index ever equalled a tag's value; what
+//    MUST stay collision-free is the set of named tags applied to the
+//    same base, which is this registry's job. Driver-local tags
+//    (bench/ mixes driver-specific constants with sweep indices, e.g.
+//    0xE14000 + lambda_index) are level-1-style data-dependent
+//    purposes: they derive per-configuration seeds from the driver's
+//    own base and never meet the level-2 tags below.
+//
+// Migration note: these values are the historical ones (kDrawNeighbors
+// was dynamics.hpp's, kStreamInitialPlacement is the 0xB10E every
+// Theorem-1 driver shared), moved verbatim — the registry is
+// value-preserving by construction and tests/test_goldens.cpp pins the
+// streams bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace b3v::rng {
+
+// ---------------------------------------------------------------------
+// Draw purposes (CounterRng / CounterRngTile `c` argument, < 2^16)
+// ---------------------------------------------------------------------
+
+/// Neighbour sampling: CounterRng(seed, round, v, kDrawNeighbors) is
+/// vertex v's sample package for round `round` — the paper's i.i.d.
+/// package indexed by (v, t). Also the stream the voting-DAG /
+/// COBRA machinery replays (votingdag/), which is what makes a DAG
+/// expansion bit-identical to the dynamics it certifies.
+inline constexpr std::uint32_t kDrawNeighbors = 0;
+
+/// The kRandom tie-break coin, separate from kDrawNeighbors so adding
+/// tie coins never shifts sample draws.
+inline constexpr std::uint32_t kDrawTie = 1;
+
+/// The asynchronous schedule's "which vertex updates next" draw:
+/// CounterRng(seed, micro, 0, kDrawAsyncPick).
+inline constexpr std::uint32_t kDrawAsyncPick = 2;
+
+/// The noisy dynamics' per-vertex fault coin (and the faulted vertex's
+/// replacement opinion).
+inline constexpr std::uint32_t kDrawNoise = 3;
+
+/// The count-space backend's transition draws: one CounterRng(seed,
+/// round, block * q + colour, kDrawCountSpace) stream per (block,
+/// colour) cell per round (core/count_engine, rng/count_sampler).
+/// Disjoint from every per-vertex purpose, so the two state spaces
+/// never share a draw.
+inline constexpr std::uint32_t kDrawCountSpace = 4;
+
+// ---------------------------------------------------------------------
+// Stream purposes (derive_stream `stream` argument, level 2 — see top)
+// ---------------------------------------------------------------------
+
+/// Initial-placement stream of a run: iid_bernoulli / iid_multi draw
+/// from derive_stream(seed, kStreamInitialPlacement). The placement
+/// every Theorem-1 driver shares (historically the literal 0xB10E);
+/// tests/test_goldens.cpp pins iid_bernoulli on this stream.
+inline constexpr std::uint64_t kStreamInitialPlacement = 0xB10E;
+
+/// Block-structured initial placement (block_multi on SBM workloads):
+/// derive_stream(seed, kStreamBlockPlacement), disjoint from the
+/// i.i.d. placement so a driver can draw both from one spec seed.
+inline constexpr std::uint64_t kStreamBlockPlacement = 0xB10C;
+
+// ---------------------------------------------------------------------
+// Uniqueness — compile-time, per tag space
+// ---------------------------------------------------------------------
+
+namespace detail {
+template <typename T, std::size_t N>
+constexpr bool all_distinct(const T (&values)[N]) {
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = i + 1; j < N; ++j) {
+      if (values[i] == values[j]) return false;
+    }
+  }
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::all_distinct({kDrawNeighbors, kDrawTie,
+                                    kDrawAsyncPick, kDrawNoise,
+                                    kDrawCountSpace}),
+              "duplicate draw-purpose tag — two kernels would share a "
+              "CounterRng stream");
+static_assert(kDrawNeighbors < (1u << 16) && kDrawTie < (1u << 16) &&
+                  kDrawAsyncPick < (1u << 16) && kDrawNoise < (1u << 16) &&
+                  kDrawCountSpace < (1u << 16),
+              "draw purposes occupy the high 16 bits of the Philox "
+              "counter word — values must stay below 2^16");
+static_assert(detail::all_distinct({kStreamInitialPlacement,
+                                    kStreamBlockPlacement}),
+              "duplicate derive_stream tag — two sub-streams of one run "
+              "would coincide");
+
+}  // namespace b3v::rng

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -31,6 +32,10 @@ class Json {
   // and wire responses are byte-stable across runs.
   using Object = std::map<std::string, Json, std::less<>>;
 
+  // The converting constructors are deliberately implicit: builder code
+  // writes obj["reps"] = 100 and Json{{"id", id}, {"state", name}}; an
+  // explicit Json(...) at every literal would bury the payload shape.
+  // NOLINTBEGIN(google-explicit-constructor)
   Json() : value_(nullptr) {}
   Json(std::nullptr_t) : value_(nullptr) {}
   Json(bool b) : value_(b) {}
@@ -44,6 +49,7 @@ class Json {
   Json(std::string_view s) : value_(std::string(s)) {}
   Json(Array a) : value_(std::move(a)) {}
   Json(Object o) : value_(std::move(o)) {}
+  // NOLINTEND(google-explicit-constructor)
 
   bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
   bool is_bool() const { return std::holds_alternative<bool>(value_); }

@@ -15,6 +15,7 @@
 
 #include "graph/samplers.hpp"
 #include "rng/philox.hpp"
+#include "rng/streams.hpp"
 
 namespace b3v::votingdag {
 
@@ -30,7 +31,9 @@ std::vector<graph::VertexId> cobra_step(const S& sampler,
   std::vector<graph::VertexId> next;
   next.reserve(occupied.size() * k);
   for (const graph::VertexId v : occupied) {
-    rng::CounterRng gen(seed, round_key, v, /*purpose=*/0);
+    // Matching the DAG expansion's stream keeps the COBRA/DAG identity
+    // bit-exact (same draws, not just the same distribution).
+    rng::CounterRng gen(seed, round_key, v, rng::kDrawNeighbors);
     for (unsigned i = 0; i < k; ++i) next.push_back(sampler.sample(v, gen));
   }
   std::sort(next.begin(), next.end());

@@ -17,12 +17,15 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/samplers.hpp"
+#include "rng/streams.hpp"
 
 namespace b3v::votingdag {
 
@@ -111,8 +114,10 @@ VotingDag build_voting_dag(const S& sampler, graph::VertexId v0, int T,
     std::vector<DagNode> below;
     auto& above = top_down.back();
     for (auto& node : above) {
+      // The dynamics' neighbour stream — the duality is bit-exact only
+      // because the DAG replays the forward kernels' draws.
       rng::CounterRng gen(seed, static_cast<std::uint64_t>(t) - 1, node.vertex,
-                          /*purpose=*/0);
+                          rng::kDrawNeighbors);
       for (int slot = 0; slot < kFanout; ++slot) {
         const graph::VertexId w = sampler.sample(node.vertex, gen);
         auto [it, inserted] =

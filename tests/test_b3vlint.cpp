@@ -1,0 +1,206 @@
+// End-to-end tests for tools/b3vlint (ctest label: lint).
+//
+// Each check is pinned three ways against the fixtures in
+// tools/b3vlint/fixtures/: the bad fixture MUST produce findings (exit
+// 1), the ok fixture MUST be silent (exit 0), and the suppressed
+// fixture MUST pass while recording the allow-reason in the report.
+// Two integration cases run the real tree: compdb mode over the build's
+// compile_commands.json must be clean, and the pre-registry runner.cpp
+// (0xB10E restored) must be caught — the finding this tool exists for.
+//
+// The binary/fixture/compdb paths are baked in as B3VLINT_DEFAULT_*
+// compile definitions by tests/CMakeLists.txt; B3VLINT_BIN etc.
+// environment variables override them at runtime.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/json.hpp"
+
+namespace {
+
+using b3v::service::Json;
+
+// Build-time defaults from tests/CMakeLists.txt; same-named environment
+// variables override them (useful for pointing the suite at an
+// out-of-tree binary or build directory).
+std::string path_config(const char* env_name, const char* fallback) {
+  const char* v = std::getenv(env_name);
+  if (v != nullptr && *v != '\0') return v;
+  return fallback;
+}
+
+std::string bin_path() {
+  return path_config("B3VLINT_BIN", B3VLINT_DEFAULT_BIN);
+}
+std::string fixtures_dir() {
+  return path_config("B3VLINT_FIXTURES", B3VLINT_DEFAULT_FIXTURES);
+}
+std::string compdb_path() {
+  return path_config("B3VLINT_COMPDB", B3VLINT_DEFAULT_COMPDB);
+}
+std::string src_root_dir() {
+  return path_config("B3VLINT_SRC_ROOT", B3VLINT_DEFAULT_SRC_ROOT);
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout only; stderr passes through
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd = bin_path() + " " + args;
+  RunResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return r;
+  }
+  std::array<char, 4096> buf{};
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), got);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const std::string& name) {
+  return fixtures_dir() + "/" + name;
+}
+
+struct CheckCase {
+  const char* check;
+  const char* bad;
+  const char* ok;
+  const char* suppressed;
+  int bad_findings;  // exact count the bad fixture pins
+};
+
+class B3vlintFixtures : public ::testing::TestWithParam<CheckCase> {};
+
+std::string file_flags(const CheckCase& c, const char* which) {
+  // The registry check reads its target via --registry; the per-file
+  // checks take positional files.
+  const std::string path = fixture(which);
+  if (std::string(c.check) == "rng-purpose-unique") {
+    return "--registry " + path;
+  }
+  return path;
+}
+
+TEST_P(B3vlintFixtures, BadFixtureFires) {
+  const CheckCase c = GetParam();
+  const RunResult r = run_lint("--check=" + std::string(c.check) + " " +
+                               file_flags(c, c.bad));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  std::string needle = "[";
+  needle += c.check;
+  needle += "]";
+  std::size_t count = 0;
+  for (std::size_t pos = r.output.find(needle); pos != std::string::npos;
+       pos = r.output.find(needle, pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(c.bad_findings)) << r.output;
+}
+
+TEST_P(B3vlintFixtures, OkFixturePasses) {
+  const CheckCase c = GetParam();
+  const RunResult r = run_lint("--check=" + std::string(c.check) + " " +
+                               file_flags(c, c.ok));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::string needle = "[";
+  needle += c.check;
+  needle += "] ";
+  EXPECT_EQ(r.output.find(needle), std::string::npos) << r.output;
+}
+
+TEST_P(B3vlintFixtures, SuppressedFixturePassesAndRecordsReason) {
+  const CheckCase c = GetParam();
+  const std::string report =
+      ::testing::TempDir() + "b3vlint_report_" + c.check + ".json";
+  const RunResult r =
+      run_lint("--check=" + std::string(c.check) + " --report=" + report +
+               " " + file_flags(c, c.suppressed));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("suppressed"), std::string::npos) << r.output;
+
+  std::ifstream in(report);
+  ASSERT_TRUE(in.good()) << report;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const Json doc = Json::parse(ss.str());
+  ASSERT_TRUE(doc.at("findings").is_array());
+  ASSERT_EQ(doc.at("findings").as_array().size(), 1u);
+  const Json& f = doc.at("findings").as_array().front();
+  EXPECT_EQ(f.at("check").as_string(), c.check);
+  EXPECT_TRUE(f.at("suppressed").as_bool());
+  // The reason is mandatory in the grammar and must survive into the
+  // report — an allow nobody can audit later is worthless.
+  EXPECT_FALSE(f.at("reason").as_string().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChecks, B3vlintFixtures,
+    ::testing::Values(
+        CheckCase{"rng-purpose-literal", "purpose_literal_bad.cpp",
+                  "purpose_literal_ok.cpp", "purpose_literal_suppressed.cpp",
+                  4},
+        CheckCase{"rng-purpose-unique", "purpose_unique_bad.hpp",
+                  "purpose_unique_ok.hpp", "purpose_unique_suppressed.hpp",
+                  2},
+        CheckCase{"rng-foreign-engine", "foreign_engine_bad.cpp",
+                  "foreign_engine_ok.cpp", "foreign_engine_suppressed.cpp",
+                  4},
+        CheckCase{"nondeterministic-iteration", "nondet_iter_bad.cpp",
+                  "nondet_iter_ok.cpp", "nondet_iter_suppressed.cpp", 2}),
+    [](const ::testing::TestParamInfo<CheckCase>& info) {
+      std::string name = info.param.check;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// The tree itself must stay clean: every TU in the build's
+// compile_commands.json plus every header under src/, all four checks.
+// This is the same invocation CI's static-analysis job runs.
+TEST(B3vlintTree, RealTreeIsClean) {
+  const std::string compdb = compdb_path();
+  const std::string src_root = src_root_dir();
+  const RunResult r =
+      run_lint("--compdb " + compdb + " --src-root " + src_root);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// The finding that motivated the tool: restore the literal 0xB10E that
+// runner.cpp shipped with before the registry, and b3vlint must name it.
+TEST(B3vlintTree, PreRegistryRunnerIsCaught) {
+  const std::string src_root = src_root_dir();
+  std::ifstream in(src_root + "/experiments/runner.cpp");
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  const std::string named = "rng::kStreamInitialPlacement";
+  const std::size_t pos = text.find(named);
+  ASSERT_NE(pos, std::string::npos)
+      << "runner.cpp no longer derives the placement stream by name";
+  text.replace(pos, named.size(), "0xB10E");
+
+  const std::string copy = ::testing::TempDir() + "runner_preregistry.cpp";
+  std::ofstream(copy) << text;
+  const RunResult r = run_lint("--check=rng-purpose-literal " + copy);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("0xB10E"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("derive_stream"), std::string::npos) << r.output;
+}
+
+}  // namespace

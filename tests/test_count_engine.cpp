@@ -162,13 +162,13 @@ TEST(CountEngine, ObserverStopsTheRun) {
 TEST(CountEngine, RunCountsValidatesItsInputs) {
   core::CountRunSpec spec;
   spec.protocol = core::best_of(3);
-  EXPECT_THROW(core::run_counts(graph::CountModel::complete(10), {4, 5}, spec),
+  EXPECT_THROW((void)core::run_counts(graph::CountModel::complete(10), {4, 5}, spec),
                std::invalid_argument);  // row sum != block size
-  EXPECT_THROW(core::run_counts(graph::CountModel::complete(10), {10}, spec),
+  EXPECT_THROW((void)core::run_counts(graph::CountModel::complete(10), {10}, spec),
                std::invalid_argument);  // wrong shape
   spec.protocol = core::plurality(3, 17);
   EXPECT_THROW(
-      core::run_counts(graph::CountModel::complete(20),
+      (void)core::run_counts(graph::CountModel::complete(20),
                        std::vector<std::uint64_t>(17, 0), spec),
       std::invalid_argument);  // past the plurality enumeration guard
 }
@@ -185,19 +185,19 @@ TEST(CountEngine, DispatchRejectsPerVertexObserverAndRepresentation) {
   {
     core::RunSpec bad = spec;
     bad.observer = core::observers::record_trajectory(sink);
-    EXPECT_THROW(core::run(sampler, initial, bad, pool),
+    EXPECT_THROW((void)core::run(sampler, initial, bad, pool),
                  std::invalid_argument);
   }
   {
     core::RunSpec bad = spec;
     bad.representation = core::Representation::kBit1;
-    EXPECT_THROW(core::run(sampler, initial, bad, pool),
+    EXPECT_THROW((void)core::run(sampler, initial, bad, pool),
                  std::invalid_argument);
   }
   {
     core::RunSpec bad = spec;
     bad.schedule = core::Schedule::kAsyncSweeps;
-    EXPECT_THROW(core::run(sampler, initial, bad, pool),
+    EXPECT_THROW((void)core::run(sampler, initial, bad, pool),
                  std::invalid_argument);
   }
   {
@@ -207,14 +207,14 @@ TEST(CountEngine, DispatchRejectsPerVertexObserverAndRepresentation) {
     bad.count_observer = [](std::uint64_t, std::span<const std::uint64_t>) {
       return true;
     };
-    EXPECT_THROW(core::run(sampler, initial, bad, pool),
+    EXPECT_THROW((void)core::run(sampler, initial, bad, pool),
                  std::invalid_argument);
   }
   {
     // Samplers without a count model are rejected at dispatch.
     const graph::Graph g = graph::dense_circulant(64, 8);
     const graph::CsrSampler csr(g);
-    EXPECT_THROW(core::run(csr, initial, spec, pool), std::invalid_argument);
+    EXPECT_THROW((void)core::run(csr, initial, spec, pool), std::invalid_argument);
   }
 }
 

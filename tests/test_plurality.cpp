@@ -187,7 +187,7 @@ TEST(PluralityProtocol, BadSpellingsAndValuesThrow) {
         "plurality-of-3/q1", "plurality-of-3/q65", "plurality-of-0/q3",
         "plurality-of-x/q3", "plurality-of-3/q3/sideways",
         "plurality-of-3/q3+noise=0.1", "plurality-of-256/q3"}) {
-    EXPECT_THROW(core::protocol_from_name(bad), std::invalid_argument) << bad;
+    EXPECT_THROW((void)core::protocol_from_name(bad), std::invalid_argument) << bad;
   }
   core::Protocol mangled = core::plurality(3, 3);
   mangled.q = 2;  // a hand-mangled kPlurality with q = 2 is invalid:
@@ -323,15 +323,15 @@ TEST(MultiEngine, RejectsBadInputs) {
   core::MultiRunSpec spec;
   spec.protocol = core::plurality(3, 3);
   // Initial colour out of range for q = 3.
-  EXPECT_THROW(core::run(sampler, Opinions(16, 3), spec, pool),
+  EXPECT_THROW((void)core::run(sampler, Opinions(16, 3), spec, pool),
                std::invalid_argument);
   // Size mismatch.
-  EXPECT_THROW(core::run(sampler, Opinions(4, 0), spec, pool),
+  EXPECT_THROW((void)core::run(sampler, Opinions(4, 0), spec, pool),
                std::invalid_argument);
   // The binary overload refuses q-colour protocols...
   core::RunSpec binary;
   binary.protocol = core::plurality(3, 3);
-  EXPECT_THROW(core::run(sampler, Opinions(16, 0), binary, pool),
+  EXPECT_THROW((void)core::run(sampler, Opinions(16, 0), binary, pool),
                std::invalid_argument);
   // ...and so does the binary step dispatch.
   Opinions a(16, 0), b(16);

@@ -70,10 +70,10 @@ TEST(ProtocolRegistry, UnknownNamesThrowWithContext) {
         "best-of-2/sideways", "two-choice", "best-of-3+noise=",
         "best-of-3+noise=1.5", "best-of-3+noise=-0.1", "best-of-3+noise=0",
         "best-of-3+noise=abc"}) {
-    EXPECT_THROW(core::protocol_from_name(bad), std::invalid_argument) << bad;
+    EXPECT_THROW((void)core::protocol_from_name(bad), std::invalid_argument) << bad;
   }
   try {
-    core::protocol_from_name("definitely-not-a-rule");
+    (void)core::protocol_from_name("definitely-not-a-rule");
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string what = e.what();
@@ -360,10 +360,10 @@ TEST(Engine, RejectsSizeMismatchAndBadProtocol) {
   core::RunSpec spec;
   spec.protocol = core::best_of(3);
   core::Opinions wrong(100, 0);
-  EXPECT_THROW(core::run(f.sampler, wrong, spec, f.pool),
+  EXPECT_THROW((void)core::run(f.sampler, wrong, spec, f.pool),
                std::invalid_argument);
   spec.protocol.k = 0;
-  EXPECT_THROW(core::run(f.sampler, f.init, spec, f.pool),
+  EXPECT_THROW((void)core::run(f.sampler, f.init, spec, f.pool),
                std::invalid_argument);
 }
 

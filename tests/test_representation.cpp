@@ -240,7 +240,7 @@ TEST(RunRepresentation, RunRejectsBadOverrides) {
     core::MultiRunSpec spec;
     spec.protocol = core::plurality(3, 5);
     spec.representation = Representation::kBit2;
-    EXPECT_THROW(core::run(sampler,
+    EXPECT_THROW((void)core::run(sampler,
                            core::iid_multi(100, {0.2, 0.2, 0.2, 0.2, 0.2}, 1),
                            spec, pool),
                  std::invalid_argument);

@@ -168,7 +168,7 @@ TEST(ServiceWire, JobSpecRoundTripsThroughJson) {
 
 TEST(ServiceWire, UnknownProtocolReusesRegistryMessage) {
   const std::string expect = thrown_message(
-      [] { core::protocol_from_name("best-of-nope"); });
+      [] { (void)core::protocol_from_name("best-of-nope"); });
   ASSERT_FALSE(expect.empty());
   EXPECT_EQ(submit_error(R"({"protocol": "best-of-nope",
                              "graph": {"family": "complete", "n": 100},
@@ -536,7 +536,8 @@ TEST(ServiceApi, WireErrorsAreStructuredNot500) {
   EXPECT_EQ(resp.status, 400);
   EXPECT_EQ(Json::parse(resp.body).at("kind").as_string(), "invalid");
   EXPECT_EQ(Json::parse(resp.body).at("error").as_string(),
-            thrown_message([] { core::protocol_from_name("frobnicate"); }));
+            thrown_message(
+                [] { (void)core::protocol_from_name("frobnicate"); }));
 
   resp = post_job(svc, R"({"protocol": "best-of-3",
                            "graph": {"family": "torus", "rows": 8, "cols": 8},

@@ -1,0 +1,420 @@
+#include "checks.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace b3vlint {
+namespace {
+
+using Span = std::vector<Token>;
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::kIdent && t.text == text;
+}
+
+/// Splits a balanced argument list starting at the opening '(' or '{'
+/// at `open` into top-level comma-separated spans. Tracks ()/[]/{}
+/// depth only — angle brackets are expression-ambiguous in C++ and none
+/// of the audited argument positions need them balanced. Returns the
+/// index one past the closing bracket via `end`, or tokens.size() if
+/// unbalanced (then no args are produced).
+std::vector<Span> split_args(const std::vector<Token>& tokens,
+                             std::size_t open, std::size_t& end) {
+  std::vector<Span> args;
+  end = tokens.size();
+  if (open >= tokens.size()) return args;
+  const bool brace = is_punct(tokens[open], "{");
+  const char* close = brace ? "}" : ")";
+  int depth = 0;
+  Span current;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) {
+      if (++depth > 1) current.push_back(t);
+      continue;
+    }
+    if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) {
+      if (--depth == 0) {
+        if (!is_punct(t, close)) return {};  // mismatched: bail out
+        if (!current.empty() || !args.empty()) args.push_back(current);
+        end = i + 1;
+        return args;
+      }
+      current.push_back(t);
+      continue;
+    }
+    if (depth == 1 && is_punct(t, ",")) {
+      args.push_back(current);
+      current.clear();
+      continue;
+    }
+    if (depth >= 1) current.push_back(t);
+  }
+  return {};  // ran off the file unbalanced
+}
+
+/// Reduces an argument span to its core expression: strips redundant
+/// outer parentheses, static_cast<T>(x), and functional casts like
+/// std::uint64_t{x} / uint32_t(x). Stops when no rule applies.
+Span strip_casts(Span span) {
+  for (bool changed = true; changed && !span.empty();) {
+    changed = false;
+    // ( X )  ->  X   (only when the parens wrap the whole span)
+    if (is_punct(span.front(), "(") && is_punct(span.back(), ")")) {
+      int depth = 0;
+      bool wraps = true;
+      for (std::size_t i = 0; i + 1 < span.size(); ++i) {
+        if (is_punct(span[i], "(")) ++depth;
+        if (is_punct(span[i], ")")) --depth;
+        if (depth == 0) {
+          wraps = false;
+          break;
+        }
+      }
+      if (wraps) {
+        span = Span(span.begin() + 1, span.end() - 1);
+        changed = true;
+        continue;
+      }
+    }
+    // static_cast < T > ( X )  ->  X
+    if (span.size() >= 5 && is_ident(span.front(), "static_cast") &&
+        is_punct(span[1], "<")) {
+      std::size_t i = 2;
+      int angle = 1;
+      while (i < span.size() && angle > 0) {
+        if (is_punct(span[i], "<")) ++angle;
+        if (is_punct(span[i], ">")) --angle;
+        ++i;
+      }
+      if (i < span.size() && is_punct(span[i], "(") &&
+          is_punct(span.back(), ")")) {
+        span = Span(span.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                    span.end() - 1);
+        changed = true;
+        continue;
+      }
+    }
+    // T ( X ) or T { X } functional cast, T a (qualified) identifier.
+    if (span.size() >= 3 && span.front().kind == Tok::kIdent) {
+      std::size_t i = 1;
+      while (i + 1 < span.size() && is_punct(span[i], "::") &&
+             span[i + 1].kind == Tok::kIdent) {
+        i += 2;
+      }
+      if (i + 1 >= span.size()) break;
+      const bool paren = is_punct(span[i], "(") && is_punct(span.back(), ")");
+      const bool brace = is_punct(span[i], "{") && is_punct(span.back(), "}");
+      if (paren || brace) {
+        span = Span(span.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                    span.end() - 1);
+        changed = true;
+        continue;
+      }
+    }
+  }
+  return span;
+}
+
+/// "0xB10E" / "42u" / "1'000" — the shapes rng-purpose-literal bans.
+/// Floating-point spellings are not purposes; don't flag them.
+bool is_integer_literal(const Span& span) {
+  if (span.size() != 1 || span[0].kind != Tok::kNumber) return false;
+  const std::string& s = span[0].text;
+  if (s.find('.') != std::string::npos) return false;
+  const bool hex = s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X');
+  if (!hex &&
+      (s.find('e') != std::string::npos || s.find('E') != std::string::npos)) {
+    return false;
+  }
+  return true;
+}
+
+std::string span_text(const Span& span) {
+  std::string out;
+  for (const Token& t : span) {
+    if (!out.empty()) out += ' ';
+    out += t.text;
+  }
+  return out;
+}
+
+struct CallSite {
+  std::size_t open = 0;  // index of '(' or '{'
+  std::string callee;
+  int line = 0;
+};
+
+/// 0-based argument positions of the purpose/stream tag per callee.
+struct AuditedArg {
+  const char* callee;
+  std::size_t arg_index;
+};
+constexpr AuditedArg kAuditedArgs[] = {
+    {"CounterRng", 3},      // CounterRng(seed, a, b, purpose)
+    {"CounterRngTile", 3},  // CounterRngTile(seed, a, b0, purpose, width)
+    {"at_block", 3},        // CounterRng::at_block(seed, a, b, purpose, blk)
+    {"derive_stream", 1},   // derive_stream(base, stream_purpose)
+};
+
+std::uint64_t parse_literal(std::string s) {
+  std::string digits;
+  for (char c : s) {
+    if (c != '\'') digits += c;
+  }
+  while (!digits.empty()) {
+    const char c = digits.back();
+    if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' || c == 'Z') {
+      digits.pop_back();
+    } else {
+      break;
+    }
+  }
+  try {
+    return std::stoull(digits, nullptr, 0);
+  } catch (...) {
+    return ~std::uint64_t{0};  // not an integer after all; never collides
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> check_purpose_literal(const LexedFile& file) {
+  std::vector<Finding> findings;
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    for (const AuditedArg& audit : kAuditedArgs) {
+      if (toks[i].text != audit.callee) continue;
+      // `struct CounterRng { ... }` is a definition, not a brace-init.
+      if (i > 0 && (is_ident(toks[i - 1], "struct") ||
+                    is_ident(toks[i - 1], "class") ||
+                    is_ident(toks[i - 1], "union"))) {
+        break;
+      }
+      // Accept the call shapes that occur in practice:
+      //   CounterRng(arg...)           temporary / at_block qualified call
+      //   CounterRng name(arg...)      declaration with direct-init
+      //   CounterRng name{arg...}      declaration with brace-init
+      // `CounterRng :: at_block` is found via the `at_block` entry, so a
+      // `::` right after the name means this token is just the qualifier
+      // — skip it here.
+      std::size_t open = i + 1;
+      if (open < toks.size() && is_punct(toks[open], "::")) break;
+      if (open < toks.size() && toks[open].kind == Tok::kIdent) ++open;
+      if (open >= toks.size() ||
+          (!is_punct(toks[open], "(") && !is_punct(toks[open], "{"))) {
+        break;
+      }
+      std::size_t end = 0;
+      const std::vector<Span> args = split_args(toks, open, end);
+      if (args.size() <= audit.arg_index) break;
+      const Span core = strip_casts(args[audit.arg_index]);
+      if (is_integer_literal(core)) {
+        findings.push_back(
+            {"rng-purpose-literal", file.path, toks[i].line,
+             std::string(audit.callee) + " called with integer literal " +
+                 core[0].text +
+                 " as its purpose tag; pass a named constant from "
+                 "rng/streams.hpp (add one if this is a new stream)",
+             false,
+             {}});
+      }
+      break;
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_purpose_unique(const LexedFile& registry) {
+  std::vector<Finding> findings;
+  // Two independent tag spaces, keyed by naming convention (which the
+  // registry header also documents): kDraw* (CounterRng purpose ids,
+  // uint32_t) and kStream* (derive_stream purposes, uint64_t).
+  struct Entry {
+    std::string name;
+    int line;
+  };
+  std::map<std::string, std::map<std::uint64_t, std::vector<Entry>>> spaces;
+  const auto& toks = registry.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    const std::string& name = toks[i].text;
+    const bool draw = name.rfind("kDraw", 0) == 0;
+    const bool stream = name.rfind("kStream", 0) == 0;
+    if (!draw && !stream) continue;
+    if (!is_punct(toks[i + 1], "=")) continue;
+    // Only single integer-literal initialisers are evaluated; an
+    // expression initialiser is out of this check's reach (the header's
+    // static_asserts still cover it at compile time).
+    if (toks[i + 2].kind != Tok::kNumber) continue;
+    if (i + 3 < toks.size() && !is_punct(toks[i + 3], ";") &&
+        !is_punct(toks[i + 3], ",") && !is_punct(toks[i + 3], "}")) {
+      continue;
+    }
+    spaces[draw ? "draw" : "stream"][parse_literal(toks[i + 2].text)]
+        .push_back({name, toks[i].line});
+  }
+  for (const auto& [space, by_value] : spaces) {
+    for (const auto& [value, entries] : by_value) {
+      if (entries.size() < 2) continue;
+      std::string names;
+      for (const Entry& e : entries) {
+        if (!names.empty()) names += ", ";
+        names += e.name;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "0x%llX",
+                    static_cast<unsigned long long>(value));
+      findings.push_back({"rng-purpose-unique", registry.path,
+                          entries.back().line,
+                          "duplicate " + space + "-purpose tag value " + buf +
+                              " shared by " + names +
+                              "; every registry tag must be distinct",
+                          false,
+                          {}});
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_foreign_engine(const LexedFile& file) {
+  static const std::set<std::string> kBanned = {
+      "mt19937",        "mt19937_64",     "minstd_rand",
+      "minstd_rand0",   "ranlux24",       "ranlux48",
+      "ranlux24_base",  "ranlux48_base",  "knuth_b",
+      "default_random_engine",            "random_device",
+      "rand",           "srand",          "random_shuffle",
+  };
+  std::vector<Finding> findings;
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "std") || !is_punct(toks[i + 1], "::")) continue;
+    const Token& sym = toks[i + 2];
+    if (sym.kind != Tok::kIdent) continue;
+    const bool distribution = sym.text.size() > 13 &&
+                              sym.text.ends_with("_distribution");
+    if (!distribution && kBanned.count(sym.text) == 0) continue;
+    findings.push_back(
+        {"rng-foreign-engine", file.path, sym.line,
+         "std::" + sym.text +
+             " is banned outside src/rng/: foreign engines are neither "
+             "counter-indexed nor replayable — draw through rng::CounterRng "
+             "(and rng/bounded.hpp for ranges) instead",
+         false,
+         {}});
+  }
+  return findings;
+}
+
+std::vector<Finding> check_nondeterministic_iteration(const LexedFile& file) {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  const auto& toks = file.tokens;
+
+  // Pass 1: names declared with an unordered type anywhere in this
+  // file (includes are not resolved — a cross-file iteration needs the
+  // inline `unordered_` spelling to fire, which the fixtures pin).
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || kUnordered.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= toks.size() || !is_punct(toks[j], "<")) continue;
+    int angle = 1;
+    ++j;
+    while (j < toks.size() && angle > 0) {
+      if (is_punct(toks[j], "<")) ++angle;
+      if (is_punct(toks[j], ">")) --angle;
+      ++j;
+    }
+    // Past the template args: skip cv/ref/ptr decoration, then the next
+    // identifier is the declared name (if this was a declaration at all).
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == Tok::kIdent) {
+      unordered_names.insert(toks[j].text);
+    }
+  }
+
+  // Pass 2: range-for statements; the range expression is everything
+  // after the top-level ':' inside the for-parentheses.
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    std::size_t end = 0;
+    int depth = 0;
+    std::size_t colon = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "(") || is_punct(toks[j], "[") ||
+          is_punct(toks[j], "{")) {
+        ++depth;
+      } else if (is_punct(toks[j], ")") || is_punct(toks[j], "]") ||
+                 is_punct(toks[j], "}")) {
+        if (--depth == 0) {
+          end = j;
+          break;
+        }
+      } else if (depth == 1 && colon == 0 && is_punct(toks[j], ":")) {
+        colon = j;
+      }
+    }
+    if (end == 0 || colon == 0) continue;  // classic for / unbalanced
+    Span range(toks.begin() + static_cast<std::ptrdiff_t>(colon) + 1,
+               toks.begin() + static_cast<std::ptrdiff_t>(end));
+    bool hit = false;
+    for (const Token& t : range) {
+      if (t.kind != Tok::kIdent) continue;
+      if (kUnordered.count(t.text) != 0 || unordered_names.count(t.text) != 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      findings.push_back(
+          {"nondeterministic-iteration", file.path, toks[i].line,
+           "range-for over unordered container `" + span_text(range) +
+               "`: iteration order is implementation-defined, so anything "
+               "folded from this loop is not reproducible — iterate a sorted "
+               "copy or an ordered container instead",
+           false,
+           {}});
+    }
+  }
+  return findings;
+}
+
+void apply_suppressions(const LexedFile& file,
+                        std::vector<Finding>& findings) {
+  // `// b3vlint: allow(<check>) -- <reason>`; the reason is mandatory —
+  // an allow without a recorded why is itself not allowed.
+  static const std::regex kAllow(
+      R"(b3vlint:\s*allow\(([A-Za-z0-9-]+)\)\s*--\s*(\S.*))");
+  for (Finding& f : findings) {
+    for (const Comment& c : file.comments) {
+      if (c.line != f.line && c.line != f.line - 1) continue;
+      std::smatch m;
+      if (!std::regex_search(c.text, m, kAllow)) continue;
+      if (m[1].str() != f.check) continue;
+      f.suppressed = true;
+      f.suppress_reason = m[2].str();
+      break;
+    }
+  }
+}
+
+}  // namespace b3vlint

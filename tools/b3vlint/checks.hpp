@@ -1,0 +1,63 @@
+// The four stream-discipline checks. Each is a token-level heuristic —
+// documented inline where it could over- or under-approximate — tuned
+// to fire on the specific ways RNG discipline has actually regressed in
+// this tree (see docs/STATIC_ANALYSIS.md for the rationale and the
+// division of labour with clang-tidy).
+//
+// Check names (the spelling used by --check=, allow(...) suppressions
+// and the JSON report):
+//   rng-purpose-literal       integer literal passed as a purpose tag
+//   rng-purpose-unique        duplicate tag values in the registry
+//   rng-foreign-engine        std:: RNG machinery outside src/rng/
+//   nondeterministic-iteration  range-for over unordered containers
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace b3vlint {
+
+struct Finding {
+  std::string check;
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;
+};
+
+/// Flags CounterRng / CounterRngTile / CounterRng::at_block
+/// constructions whose purpose argument (arg 4) and derive_stream calls
+/// whose stream argument (arg 2) are a bare integer literal (looking
+/// through parentheses, static_cast and functional casts). Named
+/// constants, expressions and data-dependent values pass.
+std::vector<Finding> check_purpose_literal(const LexedFile& file);
+
+/// Parses the registry header for `kDraw*` / `kStream*` constants with
+/// integer-literal initialisers and reports value collisions within
+/// each tag space (draw tags and stream tags are independent spaces —
+/// see rng/streams.hpp). The header's static_asserts stop a compile;
+/// this reports the same facts at lint level, by name and value.
+std::vector<Finding> check_purpose_unique(const LexedFile& registry);
+
+/// Flags qualified std:: RNG machinery — engines (mt19937 et al.),
+/// rand/srand, random_device and any *_distribution — which would
+/// silently break the replayable counter-RNG discipline. The caller
+/// skips files under src/rng/, the one directory allowed to name them.
+std::vector<Finding> check_foreign_engine(const LexedFile& file);
+
+/// Flags range-for statements whose range expression names an
+/// unordered_{map,set,multimap,multiset} — either spelled inline or a
+/// variable declared (with an unordered type) earlier in the same file.
+/// Iteration order of unordered containers is implementation-defined,
+/// so any result folded from such a loop is not reproducible.
+std::vector<Finding> check_nondeterministic_iteration(const LexedFile& file);
+
+/// Marks findings covered by a `// b3vlint: allow(<check>) -- <reason>`
+/// comment on the same or the preceding line as suppressed (with the
+/// reason captured). Suppressions without a reason do not count.
+void apply_suppressions(const LexedFile& file, std::vector<Finding>& findings);
+
+}  // namespace b3vlint

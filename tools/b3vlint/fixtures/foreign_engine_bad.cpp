@@ -1,0 +1,16 @@
+// Fixture: rng-foreign-engine MUST fire on each std:: site below.
+// Foreign engines carry hidden state — no counter, no replay, results
+// change with call order and thread count.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+double sample_noise() {
+  std::random_device rd;                       // finding 1
+  std::mt19937 engine(rd());                   // finding 2
+  std::uniform_real_distribution<double> u01;  // finding 3
+  return u01(engine) + std::rand();            // finding 4
+}
+
+}  // namespace fixture

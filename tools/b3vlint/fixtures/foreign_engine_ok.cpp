@@ -1,0 +1,25 @@
+// Fixture: rng-foreign-engine must stay silent — counter-RNG draws and
+// project-local names that merely *resemble* std machinery. The
+// `degree_distribution` method mirrors real tree code (analysis-side
+// histogram helpers); only std::-qualified names are contraband.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct CounterRng {
+  CounterRng(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+             std::uint32_t c);
+  std::uint64_t operator()();
+};
+
+struct GraphStats {
+  std::vector<std::uint64_t> degree_distribution() const;  // not std::
+};
+
+std::uint64_t draw(std::uint64_t seed, std::uint32_t purpose) {
+  CounterRng gen(seed, 0, 0, purpose);
+  return gen();
+}
+
+}  // namespace fixture

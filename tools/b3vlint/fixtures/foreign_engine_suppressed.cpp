@@ -1,0 +1,12 @@
+// Fixture: one foreign-engine site, suppressed with a reason.
+#include <random>
+
+namespace fixture {
+
+unsigned hardware_entropy() {
+  // b3vlint: allow(rng-foreign-engine) -- seeds the OS entropy probe in the CLI only, never a simulation
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

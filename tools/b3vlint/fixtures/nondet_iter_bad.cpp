@@ -1,0 +1,22 @@
+// Fixture: nondeterministic-iteration MUST fire on both loops — one
+// over a declared unordered variable, one over an inline temporary.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::uint64_t fold(const std::unordered_map<std::string, std::uint64_t>& m) {
+  const std::unordered_map<std::string, std::uint64_t>& weights = m;
+  std::uint64_t acc = 0;
+  for (const auto& [name, w] : weights) {  // finding 1: declared variable
+    acc = acc * 31 + w + name.size();
+  }
+  for (const int v : std::unordered_set<int>{1, 2, 3}) {  // finding 2: inline
+    acc += static_cast<std::uint64_t>(v);
+  }
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: nondeterministic-iteration must stay silent — the unordered
+// container is consulted by key and folded through a sorted copy; only
+// iteration ORDER is banned, not the containers themselves.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t fold(const std::unordered_map<std::string, std::uint64_t>& m,
+                   const std::vector<std::string>& keys) {
+  std::vector<std::string> ordered = keys;
+  std::sort(ordered.begin(), ordered.end());
+  std::uint64_t acc = 0;
+  for (const std::string& k : ordered) {  // ordered container: fine
+    const auto it = m.find(k);            // keyed lookup: fine
+    if (it != m.end()) acc = acc * 31 + it->second;
+  }
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: one order-dependent-looking loop, suppressed with a reason
+// (order-insensitive fold — summation commutes).
+#include <cstdint>
+#include <unordered_set>
+
+namespace fixture {
+
+std::uint64_t count_even(const std::unordered_set<std::uint64_t>& values) {
+  std::uint64_t even = 0;
+  // b3vlint: allow(nondeterministic-iteration) -- pure commutative count, order cannot leak into the result
+  for (const std::uint64_t v : values) {
+    even += (v % 2 == 0) ? 1 : 0;
+  }
+  return even;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: rng-purpose-literal MUST fire on every site below.
+// This reproduces the pre-registry tree verbatim — runner.cpp shipped
+// `derive_stream(seed, 0xB10E)` for five PRs before the registry
+// landed; the lint exists so the sixth never happens.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t derive_stream(std::uint64_t base, std::uint64_t stream);
+
+struct CounterRng {
+  CounterRng(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+             std::uint32_t c);
+  static CounterRng at_block(std::uint64_t seed, std::uint64_t a,
+                             std::uint64_t b, std::uint32_t c,
+                             std::uint32_t block);
+  std::uint64_t operator()();
+};
+
+std::uint64_t use(std::uint64_t seed, std::uint64_t round,
+                  std::uint64_t vertex) {
+  // finding 1: the historical literal, exactly as runner.cpp had it
+  const std::uint64_t placement = derive_stream(seed, 0xB10E);
+  // finding 2: draw-purpose literal in a direct-init declaration
+  CounterRng gen(placement, round, vertex, 1);
+  // finding 3: literal laundered through a cast still counts
+  CounterRng gen2(placement, round, vertex,
+                  static_cast<std::uint32_t>(0x2u));
+  // finding 4: temporaries and qualified calls are audited too
+  return CounterRng::at_block(seed, round, vertex, 3, 0)() + gen() + gen2();
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: rng-purpose-literal must stay silent — every purpose below
+// is either a named registry constant or a data-dependent value (the
+// level-1 half of the two-level derivation scheme in rng/streams.hpp).
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+inline constexpr std::uint32_t kDrawNeighbors = 0;
+inline constexpr std::uint64_t kStreamInitialPlacement = 0xB10E;
+
+std::uint64_t derive_stream(std::uint64_t base, std::uint64_t stream);
+
+struct CounterRng {
+  CounterRng(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+             std::uint32_t c);
+  std::uint64_t operator()();
+};
+
+std::uint64_t use(std::uint64_t seed, std::uint64_t round,
+                  std::uint64_t vertex, std::size_t replicate) {
+  // Named stream tag: fine.
+  const std::uint64_t placement =
+      derive_stream(seed, kStreamInitialPlacement);
+  // Data-dependent level-1 purpose (replicate index): fine.
+  const std::uint64_t rep_seed = derive_stream(seed, replicate);
+  // Named draw tag, including through a cast: fine.
+  CounterRng gen(placement, round, vertex,
+                 static_cast<std::uint32_t>(kDrawNeighbors));
+  return gen() + rep_seed;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: one rng-purpose-literal site, suppressed with a reason —
+// b3vlint must exit 0 and record the suppression in its report.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t derive_stream(std::uint64_t base, std::uint64_t stream);
+
+std::uint64_t use(std::uint64_t seed) {
+  // b3vlint: allow(rng-purpose-literal) -- golden pin replays the pre-registry byte stream
+  return derive_stream(seed, 0xB10E);
+}
+
+}  // namespace fixture

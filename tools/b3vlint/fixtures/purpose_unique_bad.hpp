@@ -1,0 +1,20 @@
+// Fixture registry: rng-purpose-unique MUST report both collisions —
+// a draw-tag pair and a stream-tag pair. This is the "someone added a
+// tag without reading the neighbours" regression; note the spaces are
+// independent, so kDrawNoise == kStreamExtra would NOT be a finding.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture::rng {
+
+inline constexpr std::uint32_t kDrawNeighbors = 0;
+inline constexpr std::uint32_t kDrawTie = 1;
+inline constexpr std::uint32_t kDrawNoise = 3;
+inline constexpr std::uint32_t kDrawShiny = 3;  // collides with kDrawNoise
+
+inline constexpr std::uint64_t kStreamInitialPlacement = 0xB10E;
+inline constexpr std::uint64_t kStreamBlockPlacement = 0xB10C;
+inline constexpr std::uint64_t kStreamResume = 0xB10E;  // collides too
+
+}  // namespace fixture::rng

@@ -1,0 +1,18 @@
+// Fixture registry: all tags distinct within their space —
+// rng-purpose-unique must stay silent. The draw/stream spaces are
+// independent, so reusing 3 across them is deliberate here.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture::rng {
+
+inline constexpr std::uint32_t kDrawNeighbors = 0;
+inline constexpr std::uint32_t kDrawTie = 1;
+inline constexpr std::uint32_t kDrawNoise = 3;
+
+inline constexpr std::uint64_t kStreamInitialPlacement = 0xB10E;
+inline constexpr std::uint64_t kStreamBlockPlacement = 0xB10C;
+inline constexpr std::uint64_t kStreamExtra = 3;  // distinct space: fine
+
+}  // namespace fixture::rng

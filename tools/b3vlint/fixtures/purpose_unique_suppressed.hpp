@@ -1,0 +1,13 @@
+// Fixture registry: one collision, suppressed with a reason at the
+// reporting site (the later of the two declarations).
+#pragma once
+
+#include <cstdint>
+
+namespace fixture::rng {
+
+inline constexpr std::uint64_t kStreamInitialPlacement = 0xB10E;
+// b3vlint: allow(rng-purpose-unique) -- legacy alias kept one release for rollback
+inline constexpr std::uint64_t kStreamPlacementLegacy = 0xB10E;
+
+}  // namespace fixture::rng

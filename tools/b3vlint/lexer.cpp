@@ -1,0 +1,133 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <utility>
+
+namespace b3vlint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string_view src) {
+  LexedFile out;
+  out.path = std::move(path);
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k) {
+      if (src[i] == '\n') ++line;
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+        c == '\f') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back({start_line, std::string(src.substr(i, j - i))});
+      advance(j - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      out.comments.push_back(
+          {start_line, std::string(src.substr(i, end - i))});
+      advance(end - i);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '(') ++j;
+      std::string delim;
+      delim += ')';
+      delim += src.substr(i + 2, j - (i + 2));
+      delim += '"';
+      const std::size_t close = src.find(delim, j);
+      const std::size_t end = (close == std::string_view::npos)
+                                  ? n
+                                  : close + delim.size();
+      out.tokens.push_back({Tok::kString, "<raw-string>", line});
+      advance(end - i);
+      continue;
+    }
+    // String / char literal (escapes honoured, content opaque).
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') break;  // unterminated: stop at EOL
+        ++j;
+      }
+      const std::size_t end = (j < n && src[j] == c) ? j + 1 : j;
+      out.tokens.push_back(
+          {c == '"' ? Tok::kString : Tok::kChar, "<literal>", start_line});
+      advance(end - i);
+      continue;
+    }
+    // pp-number: digits, idents chars, '.', digit separators, and
+    // exponent signs after e/E/p/P. Catches every integer spelling the
+    // purpose checks care about (0xB10E, 42u, 1'000).
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({Tok::kNumber, std::string(src.substr(i, j - i)), line});
+      advance(j - i);
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.tokens.push_back({Tok::kIdent, std::string(src.substr(i, j - i)), line});
+      advance(j - i);
+      continue;
+    }
+    // "::" stays one token so qualified names (std::mt19937) and the
+    // range-for ':' never collide.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({Tok::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return out;
+}
+
+}  // namespace b3vlint

@@ -1,0 +1,45 @@
+// A deliberately small C++ lexer — just enough structure for the
+// stream-discipline checks in checks.hpp: identifiers, numbers,
+// strings/chars (skipped as opaque tokens), punctuation with `::` kept
+// whole, and comments recorded per line so `// b3vlint: allow(...)`
+// suppressions can be matched against finding lines. It does not
+// preprocess, resolve includes, or parse; every check that needs more
+// than token shapes documents its heuristic next to its implementation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace b3vlint {
+
+enum class Tok {
+  kIdent,
+  kNumber,  // pp-number: 0xB10E, 42u, 1'000'000, 1.5e-3
+  kString,
+  kChar,
+  kPunct,  // single characters, except "::" which stays one token
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+struct Comment {
+  int line = 0;  // line the comment starts on
+  std::string text;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes `src` (the contents of `path`). Never fails: bytes that fit no
+/// token class are dropped, unterminated literals run to end-of-file.
+LexedFile lex(std::string path, std::string_view src);
+
+}  // namespace b3vlint

@@ -1,0 +1,297 @@
+// b3vlint — stream-discipline static analysis for the b3v tree.
+//
+// Drives the checks in checks.hpp over a compile_commands.json (plus
+// the header files under --src-root, which compilation databases do
+// not list) or over explicitly named files. See docs/STATIC_ANALYSIS.md
+// for what each check enforces and why, and tools/b3vlint/fixtures/ for
+// one firing / one passing / one suppressed example per check.
+//
+// Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/environment
+// error (unreadable compdb, missing file, unknown check name).
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "lexer.hpp"
+#include "service/json.hpp"
+
+namespace fs = std::filesystem;
+using b3v::service::Json;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: b3vlint [options] [files...]\n"
+    "\n"
+    "  --compdb PATH    compile_commands.json to draw the file set from\n"
+    "  -p DIR           shorthand for --compdb DIR/compile_commands.json\n"
+    "  --src-root DIR   analysis root (default: src); compdb entries and\n"
+    "                   headers outside it are ignored, and the per-check\n"
+    "                   directory scoping is resolved against it\n"
+    "  --registry PATH  stream/purpose registry header\n"
+    "                   (default: <src-root>/rng/streams.hpp)\n"
+    "  --check NAME     run only NAME (repeatable; default: all four)\n"
+    "  --report PATH    write a JSON report (findings incl. suppressed)\n"
+    "\n"
+    "checks: rng-purpose-literal rng-purpose-unique rng-foreign-engine\n"
+    "        nondeterministic-iteration\n"
+    "suppress with: // b3vlint: allow(<check>) -- <reason>\n";
+
+const std::set<std::string> kKnownChecks = {
+    "rng-purpose-literal", "rng-purpose-unique", "rng-foreign-engine",
+    "nondeterministic-iteration"};
+
+struct Options {
+  std::string compdb;
+  std::string src_root = "src";
+  std::string registry;
+  std::string report;
+  std::set<std::string> checks;  // empty = all
+  std::vector<std::string> files;
+};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Path of `path` relative to `root`, or empty if not under it.
+/// Drives the per-check directory scoping; explicitly named files
+/// outside the root get every requested check (that is what the
+/// fixture suite relies on).
+std::string relative_to_root(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path canon = fs::weakly_canonical(path, ec);
+  const fs::path canon_root = fs::weakly_canonical(root, ec);
+  const auto rel = canon.lexically_relative(canon_root);
+  if (rel.empty() || rel.native().starts_with("..")) return {};
+  return rel.generic_string();
+}
+
+bool has_cxx_extension(const fs::path& p) {
+  static const std::set<std::string> kExt = {".cpp", ".cc", ".cxx",
+                                             ".hpp", ".h",  ".hh"};
+  return kExt.count(p.extension().string()) != 0;
+}
+
+bool enabled(const Options& opt, const char* check) {
+  return opt.checks.empty() || opt.checks.count(check) != 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "b3vlint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--compdb") {
+      opt.compdb = value("--compdb");
+    } else if (arg.rfind("--compdb=", 0) == 0) {
+      opt.compdb = arg.substr(9);
+    } else if (arg == "-p") {
+      opt.compdb = std::string(value("-p")) + "/compile_commands.json";
+    } else if (arg == "--src-root") {
+      opt.src_root = value("--src-root");
+    } else if (arg.rfind("--src-root=", 0) == 0) {
+      opt.src_root = arg.substr(11);
+    } else if (arg == "--registry") {
+      opt.registry = value("--registry");
+    } else if (arg.rfind("--registry=", 0) == 0) {
+      opt.registry = arg.substr(11);
+    } else if (arg == "--check") {
+      opt.checks.insert(value("--check"));
+    } else if (arg.rfind("--check=", 0) == 0) {
+      opt.checks.insert(arg.substr(8));
+    } else if (arg == "--report") {
+      opt.report = value("--report");
+    } else if (arg.rfind("--report=", 0) == 0) {
+      opt.report = arg.substr(9);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "b3vlint: unknown option " << arg << "\n" << kUsage;
+      return 2;
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+  for (const std::string& c : opt.checks) {
+    if (kKnownChecks.count(c) == 0) {
+      std::cerr << "b3vlint: unknown check '" << c << "'\n" << kUsage;
+      return 2;
+    }
+  }
+  // A registry given explicitly is a complete analysis request on its
+  // own (the fixture suite audits bad registries exactly this way).
+  if (opt.compdb.empty() && opt.files.empty() && opt.registry.empty()) {
+    std::cerr << "b3vlint: nothing to analyse (pass --compdb/-p, --registry "
+                 "or files)\n"
+              << kUsage;
+    return 2;
+  }
+  if (opt.registry.empty()) {
+    opt.registry = opt.src_root + "/rng/streams.hpp";
+  }
+
+  // Assemble the file set: explicit files verbatim, then (in compdb
+  // mode) every TU the build compiles that lives under --src-root, plus
+  // the headers under --src-root that compilation databases never list.
+  std::vector<std::string> files = opt.files;
+  const fs::path root(opt.src_root);
+  if (!opt.compdb.empty()) {
+    std::string text;
+    if (!read_file(opt.compdb, text)) {
+      std::cerr << "b3vlint: cannot read compdb " << opt.compdb << "\n";
+      return 2;
+    }
+    Json db;
+    try {
+      db = Json::parse(text);
+    } catch (const std::exception& e) {
+      std::cerr << "b3vlint: bad compdb " << opt.compdb << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+    if (!db.is_array()) {
+      std::cerr << "b3vlint: compdb is not a JSON array\n";
+      return 2;
+    }
+    std::set<std::string> seen;
+    for (const Json& entry : db.as_array()) {
+      fs::path file(entry.at("file").as_string());
+      if (file.is_relative() && entry.is_object() &&
+          entry.as_object().count("directory") != 0) {
+        file = fs::path(entry.at("directory").as_string()) / file;
+      }
+      if (relative_to_root(file, root).empty()) continue;  // out of scope
+      if (seen.insert(fs::weakly_canonical(file).string()).second) {
+        files.push_back(file.string());
+      }
+    }
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file() || !has_cxx_extension(it->path())) continue;
+      const std::string p = it->path().string();
+      if (p.ends_with(".cpp") || p.ends_with(".cc") || p.ends_with(".cxx")) {
+        continue;  // TUs come from the compdb — it is the build's truth
+      }
+      if (seen.insert(fs::weakly_canonical(it->path()).string()).second) {
+        files.push_back(p);
+      }
+    }
+    std::sort(files.begin() + static_cast<std::ptrdiff_t>(opt.files.size()),
+              files.end());
+  }
+
+  std::vector<b3vlint::Finding> findings;
+  std::size_t scanned = 0;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::cerr << "b3vlint: cannot read " << path << "\n";
+      return 2;
+    }
+    const b3vlint::LexedFile lexed = b3vlint::lex(path, text);
+    ++scanned;
+    const std::string rel = relative_to_root(path, root);
+    std::vector<b3vlint::Finding> file_findings;
+    if (enabled(opt, "rng-purpose-literal")) {
+      auto f = b3vlint::check_purpose_literal(lexed);
+      file_findings.insert(file_findings.end(), f.begin(), f.end());
+    }
+    // src/rng/ implements the sanctioned engine; everywhere else the
+    // std ones are contraband.
+    if (enabled(opt, "rng-foreign-engine") && rel.rfind("rng/", 0) != 0) {
+      auto f = b3vlint::check_foreign_engine(lexed);
+      file_findings.insert(file_findings.end(), f.begin(), f.end());
+    }
+    // Determinism-critical directories only (plus explicit files, whose
+    // rel is empty): graph builders may iterate hash containers during
+    // construction, but results folded in these layers must replay.
+    const bool determinism_scoped =
+        rel.empty() || rel.rfind("core/", 0) == 0 ||
+        rel.rfind("theory/", 0) == 0 || rel.rfind("experiments/", 0) == 0 ||
+        rel.rfind("service/", 0) == 0;
+    if (enabled(opt, "nondeterministic-iteration") && determinism_scoped) {
+      auto f = b3vlint::check_nondeterministic_iteration(lexed);
+      file_findings.insert(file_findings.end(), f.begin(), f.end());
+    }
+    b3vlint::apply_suppressions(lexed, file_findings);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  if (enabled(opt, "rng-purpose-unique")) {
+    std::string text;
+    if (!read_file(opt.registry, text)) {
+      std::cerr << "b3vlint: cannot read registry " << opt.registry << "\n";
+      return 2;
+    }
+    const b3vlint::LexedFile lexed = b3vlint::lex(opt.registry, text);
+    ++scanned;
+    auto f = b3vlint::check_purpose_unique(lexed);
+    b3vlint::apply_suppressions(lexed, f);
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
+
+  std::size_t active = 0;
+  for (const b3vlint::Finding& f : findings) {
+    if (f.suppressed) {
+      std::cout << f.file << ":" << f.line << ": [" << f.check
+                << "] suppressed (" << f.suppress_reason << ")\n";
+    } else {
+      std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
+                << f.message << "\n";
+      ++active;
+    }
+  }
+  std::cout << "b3vlint: " << scanned << " file(s), " << active
+            << " finding(s), " << (findings.size() - active)
+            << " suppressed\n";
+
+  if (!opt.report.empty()) {
+    Json::Array items;
+    for (const b3vlint::Finding& f : findings) {
+      Json::Object o;
+      o["check"] = f.check;
+      o["file"] = f.file;
+      o["line"] = static_cast<std::uint64_t>(f.line);
+      o["message"] = f.message;
+      o["suppressed"] = f.suppressed;
+      if (f.suppressed) o["reason"] = f.suppress_reason;
+      items.push_back(Json(std::move(o)));
+    }
+    Json::Object report;
+    report["files_scanned"] = static_cast<std::uint64_t>(scanned);
+    report["findings"] = Json(std::move(items));
+    report["active"] = static_cast<std::uint64_t>(active);
+    std::ofstream out(opt.report, std::ios::binary);
+    if (!out) {
+      std::cerr << "b3vlint: cannot write report " << opt.report << "\n";
+      return 2;
+    }
+    out << Json(std::move(report)).dump() << "\n";
+  }
+  return active == 0 ? 0 : 1;
+}
