@@ -111,8 +111,10 @@ void BM_Step_LargeN(benchmark::State& state) {
   // Mode (range 1): 0 = byte batched kernel, 1 = 1-bit packed kernel,
   // 2 = the scalar per-vertex baseline (a fresh CounterRng per vertex
   // through next_opinion — the pre-batching hot path, kept as the
-  // denominator of the batching speedup). n = 10^7 rows land in the
-  // checked-in BENCHMARKING.md table.
+  // denominator of the batching speedup), 3 = the byte kernel with the
+  // pass-1 prefetches disabled (the prefetch ablation: mode 0 minus
+  // mode 3 is what hiding the state-load latency buys). n = 10^7 rows
+  // land in the checked-in BENCHMARKING.md table.
   const auto n = static_cast<graph::VertexId>(state.range(0));
   const auto mode = static_cast<unsigned>(state.range(1));
   const auto threads = static_cast<unsigned>(state.range(2));
@@ -121,6 +123,7 @@ void BM_Step_LargeN(benchmark::State& state) {
   const core::Opinions init = core::iid_bernoulli(n, 0.4, 1);
   const core::Protocol p = core::best_of(3);
   std::uint64_t round = 0;
+  core::detail::set_prefetch_enabled(mode != 3);
   if (mode == 1) {
     core::PackedOpinions cur{std::span<const core::OpinionValue>(init)};
     core::PackedOpinions next(n);
@@ -154,6 +157,7 @@ void BM_Step_LargeN(benchmark::State& state) {
       cur.swap(next);
     }
   }
+  core::detail::set_prefetch_enabled(true);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
@@ -161,6 +165,11 @@ BENCHMARK(BM_Step_LargeN)
     ->Args({10'000'000, 0, 1})
     ->Args({10'000'000, 1, 1})
     ->Args({10'000'000, 2, 1})
+    ->Args({10'000'000, 3, 1})
+    ->Args({10'000'000, 0, 4})
+    ->Args({10'000'000, 3, 4})
+    ->Args({10'000'000, 0, 8})
+    ->Args({10'000'000, 3, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_Step_PluralityWidths(benchmark::State& state) {

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
       spec.protocol = core::best_of(3);
       spec.seed = rng::derive_stream(ctx.base_seed, b0 * 100000 + rep);
       spec.max_rounds = 10000;
+      spec.memory_policy = ctx.memory_policy;
       const auto result = core::run(
           sampler,
           core::exact_count(n, b0, rng::derive_stream(spec.seed, 0xC0)),

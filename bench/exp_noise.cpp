@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     spec.protocol = core::Protocol{base.kind, base.k, base.tie, noise};
     spec.seed = rng::derive_stream(ctx.base_seed, 77);
     spec.max_rounds = warmup + measure;
+    spec.memory_policy = ctx.memory_policy;
     // Noise makes consensus non-absorbing: measure the stationary
     // regime over the full budget instead of stopping.
     spec.stop_at_consensus = false;

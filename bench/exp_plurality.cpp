@@ -94,12 +94,14 @@ struct LockOutcome {
 LockOutcome run_lock(const graph::CsrSampler& sampler, core::Opinions initial,
                      std::span<const core::BlockId> block_of, unsigned q,
                      const core::Protocol& protocol, std::uint64_t seed,
-                     std::uint64_t max_rounds, parallel::ThreadPool& pool) {
+                     std::uint64_t max_rounds, core::MemoryPolicy mem_policy,
+                     parallel::ThreadPool& pool) {
   LockOutcome out;
   core::MultiRunSpec spec;
   spec.protocol = protocol;
   spec.seed = seed;
   spec.max_rounds = max_rounds;
+  spec.memory_policy = mem_policy;
   spec.observer = [&](std::uint64_t t,
                       std::span<const core::OpinionValue> state,
                       std::span<const std::uint64_t>) {
@@ -172,6 +174,7 @@ int main(int argc, char** argv) {
         spec.protocol = protocol;
         spec.seed = seed;
         spec.max_rounds = kMaxRounds;
+        spec.memory_policy = ctx.memory_policy;
         const auto result = core::run(
             complete,
             core::iid_multi(n_complete, probs, rng::derive_stream(seed, 0x316)),
@@ -235,7 +238,8 @@ int main(int argc, char** argv) {
         auto init =
             core::block_multi(block_of, start, rng::derive_stream(seed, rng::kStreamBlockPlacement));
         const auto out = run_lock(sampler, std::move(init), block_of, q,
-                                  protocol, seed, kMaxRounds, pool);
+                                  protocol, seed, kMaxRounds,
+                                  ctx.memory_policy, pool);
         if (out.consensus) {
           rounds.add(static_cast<double>(out.rounds));
           c0 += out.c0_winner;

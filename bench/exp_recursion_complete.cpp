@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
       spec.protocol = core::best_of(3);
       spec.seed = rng::derive_stream(ctx.base_seed, 555 + rep);
       spec.max_rounds = 60;
+      spec.memory_policy = ctx.memory_policy;
       const auto result = experiments::run_recorded(
           sampler,
           core::iid_bernoulli(n, 0.5 - delta,

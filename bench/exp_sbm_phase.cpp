@@ -59,12 +59,14 @@ CommunityOutcome run_community(const graph::CsrSampler& sampler,
                                std::span<const core::BlockId> block_of,
                                const core::Protocol& protocol,
                                std::uint64_t seed, std::uint64_t max_rounds,
+                               core::MemoryPolicy mem_policy,
                                parallel::ThreadPool& pool) {
   CommunityOutcome out;
   core::RunSpec spec;
   spec.protocol = protocol;
   spec.seed = seed;
   spec.max_rounds = max_rounds;
+  spec.memory_policy = mem_policy;
   spec.observer = [&](std::uint64_t t,
                       std::span<const core::OpinionValue> state,
                       std::uint64_t) {
@@ -159,7 +161,7 @@ int main(int argc, char** argv) {
                                             rng::derive_stream(seed, rng::kStreamBlockPlacement));
           const auto out =
               run_community(sampler, std::move(init), block_of, protocol,
-                            seed, kMaxRounds, pool);
+                            seed, kMaxRounds, ctx.memory_policy, pool);
           if (out.consensus) {
             rounds.add(static_cast<double>(out.rounds));
             if (out.red_winner) ++red;

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
       spec.protocol = protocol;
       spec.seed = rng::derive_stream(ctx.base_seed, 7000 + rep);
       spec.max_rounds = cap;
+      spec.memory_policy = ctx.memory_policy;
       const auto result = core::run(
           sampler,
           core::iid_bernoulli(n, 0.5 - delta,

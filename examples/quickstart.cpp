@@ -42,17 +42,19 @@ int main(int argc, char** argv) {
             << " min_deg=" << g.min_degree()
             << "  protocol: " << core::name(args.protocol) << "\n";
 
-  parallel::ThreadPool pool;
   core::RunSpec spec;
   spec.protocol = args.protocol;
   spec.seed = seed;
   std::vector<std::uint64_t> trajectory;
   spec.observer = core::observers::record_trajectory(trajectory);
+  // No explicit ThreadPool: the default-pool overload runs on the
+  // lazily-built process-wide pool (parallel::ThreadPool::global()).
+  // Pass your own pool only to control thread count or lifetime.
   core::SimResult result =
       core::run(graph::CsrSampler(g),
                 core::iid_bernoulli(g.num_vertices(), 0.5 - delta,
                                     rng::derive_stream(seed, rng::kStreamInitialPlacement)),
-                spec, pool);
+                spec);
   result.blue_trajectory = std::move(trajectory);
 
   std::cout << "initial blue fraction: " << result.blue_fraction(0)

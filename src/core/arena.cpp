@@ -1,0 +1,145 @@
+#include "core/arena.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace b3v::core {
+
+namespace {
+
+std::atomic<bool> g_force_fallback{false};
+
+// 2 MiB — the x86-64 / aarch64 transparent-huge-page size. Mapped
+// allocations are rounded up to it so THP can back the whole range.
+constexpr std::size_t kHugePageSize = std::size_t{2} << 20;
+
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+constexpr bool kHaveHugePages = true;
+#else
+constexpr bool kHaveHugePages = false;
+#endif
+
+/// Maps `*length` (rounded up to a huge-page multiple) anonymous
+/// zeroed bytes and applies the THP hint. Returns nullptr when the
+/// platform, the kernel, or the test hook says no — the caller falls
+/// back to the heap.
+void* map_huge(std::size_t* length, bool* huge) {
+  *huge = false;
+  if (!kHaveHugePages || g_force_fallback.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  const std::size_t rounded =
+      (*length + kHugePageSize - 1) & ~(kHugePageSize - 1);
+  void* p = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return nullptr;
+  // Best-effort: pages still work (and are still node-bound by first
+  // touch) if the kernel refuses the hint.
+  *huge = ::madvise(p, rounded, MADV_HUGEPAGE) == 0;
+  *length = rounded;
+  return p;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace
+
+std::string_view name(MemoryPolicy policy) noexcept {
+  switch (policy) {
+    case MemoryPolicy::kAuto:
+      return "auto";
+    case MemoryPolicy::kMalloc:
+      return "malloc";
+    case MemoryPolicy::kHugePages:
+      return "huge-pages";
+  }
+  return "auto";
+}
+
+MemoryPolicy memory_policy_from_name(std::string_view name) {
+  if (name == "auto") return MemoryPolicy::kAuto;
+  if (name == "malloc") return MemoryPolicy::kMalloc;
+  if (name == "huge-pages") return MemoryPolicy::kHugePages;
+  throw std::invalid_argument("unknown memory policy '" + std::string(name) +
+                              "' (expected auto | malloc | huge-pages)");
+}
+
+void StateArena::force_hugepage_fallback(bool on) noexcept {
+  g_force_fallback.store(on, std::memory_order_relaxed);
+}
+
+StateArena::StateArena(std::size_t bytes, MemoryPolicy policy,
+                       parallel::ThreadPool& pool, std::size_t chunk_bytes) {
+  if (bytes == 0) return;
+  bytes_ = bytes;
+  const bool want_mapped =
+      policy == MemoryPolicy::kHugePages ||
+      (policy == MemoryPolicy::kAuto && bytes >= kAutoHugeThreshold);
+  if (want_mapped) {
+    std::size_t length = bytes;
+    base_ = map_huge(&length, &huge_);
+    if (base_ != nullptr) mapped_ = length;
+  }
+  if (base_ == nullptr) {
+    // Heap path: kMalloc, small kAuto, or the mapped path declined.
+    // Page alignment keeps the double-buffer layout (and any future
+    // madvise over the range) page-tidy under every policy.
+    base_ = ::operator new(bytes, std::align_val_t{detail::kStatePageSize});
+  }
+  // First-touch pass: zero-fill through the pool at the kernels' chunk
+  // granularity, binding each page to the node of the worker that will
+  // (statistically) process it. mmap pages are already zero, but they
+  // are not yet *placed* — the write is what pins them; the heap path
+  // simply needs the zeroing.
+  if (chunk_bytes == 0) chunk_bytes = detail::kStatePageSize;
+  std::byte* data = static_cast<std::byte*>(base_);
+  pool.parallel_for(0, bytes, chunk_bytes,
+                    [data](std::size_t lo, std::size_t hi) {
+                      std::memset(data + lo, 0, hi - lo);
+                    });
+}
+
+void StateArena::release() noexcept {
+  if (base_ == nullptr) return;
+#if defined(__linux__)
+  if (mapped_ != 0) {
+    ::munmap(base_, mapped_);
+    base_ = nullptr;
+    mapped_ = 0;
+    return;
+  }
+#endif
+  ::operator delete(base_, std::align_val_t{detail::kStatePageSize});
+  base_ = nullptr;
+}
+
+StateArena::~StateArena() { release(); }
+
+StateArena::StateArena(StateArena&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      mapped_(std::exchange(other.mapped_, 0)),
+      huge_(std::exchange(other.huge_, false)) {}
+
+StateArena& StateArena::operator=(StateArena&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = std::exchange(other.base_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    mapped_ = std::exchange(other.mapped_, 0);
+    huge_ = std::exchange(other.huge_, false);
+  }
+  return *this;
+}
+
+}  // namespace b3v::core

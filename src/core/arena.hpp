@@ -1,0 +1,153 @@
+// StateArena — the allocator behind the engine's current/next state
+// buffers (ROADMAP: "beat memory latency").
+//
+// Random-access state reads dominate a synchronous round once n is
+// large: every vertex samples k neighbours, so the round touches ~kn
+// uniformly random state locations. Two levers live at the allocation
+// layer and both are here:
+//
+//  * Transparent huge pages. A 10^7-vertex byte state spans ~2 400
+//    4 KiB pages but only ~5 2 MiB pages: MADV_HUGEPAGE collapses the
+//    TLB working set of the random-read storm from "misses on nearly
+//    every sample" to "a handful of entries that never leave the TLB".
+//    Requested via madvise so the build and the binary stay portable —
+//    on kernels without THP (or when the madvise fails, or under the
+//    test-only force_hugepage_fallback hook) the arena silently serves
+//    ordinary pages.
+//
+//  * NUMA first-touch placement. Linux binds a page to the node of the
+//    thread that first writes it. The arena zero-fills its pages
+//    through the SAME ThreadPool the round kernels run on, chunked at
+//    the same granularity (make_state_buffers takes the kernel's
+//    chunk_elems), so on a multi-socket host each worker's share of
+//    the state lands on its own node without any libnuma dependency —
+//    and on single-node hosts (or single-worker pools) the pass is
+//    just a parallel memset.
+//
+// MemoryPolicy picks between the mapped path and a plain aligned heap
+// allocation; kAuto switches on state size. The engine threads the
+// policy through RunSpec/MultiRunSpec (--mem-policy / B3V_MEM_POLICY
+// at the experiment CLI). Buffers are raw spans, not containers: the
+// packed state classes view them (PackedOpinions/PackedColours view
+// constructors) and the byte kernels take spans already, so one arena
+// serves every representation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "parallel/thread_pool.hpp"
+
+namespace b3v::core {
+
+/// How the engine backs its per-round state buffers.
+enum class MemoryPolicy : std::uint8_t {
+  kAuto,       // huge pages once the state outgrows kAutoHugeThreshold
+  kMalloc,     // aligned heap allocation, no huge-page hinting
+  kHugePages,  // mmap + MADV_HUGEPAGE, plain pages when unavailable
+};
+
+/// State size (bytes) at which kAuto switches to huge pages: 8 MiB —
+/// four 2 MiB huge pages, the point where the TLB savings clearly
+/// outweigh the up-to-2 MiB of overcommit per buffer.
+inline constexpr std::size_t kAutoHugeThreshold = std::size_t{8} << 20;
+
+/// Canonical spelling ("auto", "malloc", "huge-pages") — the
+/// --mem-policy / B3V_MEM_POLICY vocabulary.
+std::string_view name(MemoryPolicy policy) noexcept;
+
+/// Inverse of name(); throws std::invalid_argument on anything else.
+MemoryPolicy memory_policy_from_name(std::string_view name);
+
+/// One zero-initialised, page-aligned allocation. Move-only; unmaps or
+/// frees on destruction. The arena does not know what lives in it —
+/// make_state_buffers below carves the double-buffer layout.
+class StateArena {
+ public:
+  StateArena() = default;
+
+  /// Allocates `bytes` under `policy` and first-touches every page via
+  /// `pool` in `chunk_bytes` chunks (see the header comment; pass the
+  /// kernel's chunk size in bytes). The memory is zero-filled.
+  StateArena(std::size_t bytes, MemoryPolicy policy,
+             parallel::ThreadPool& pool, std::size_t chunk_bytes);
+  ~StateArena();
+
+  StateArena(StateArena&& other) noexcept;
+  StateArena& operator=(StateArena&& other) noexcept;
+  StateArena(const StateArena&) = delete;
+  StateArena& operator=(const StateArena&) = delete;
+
+  std::byte* data() noexcept { return static_cast<std::byte*>(base_); }
+  const std::byte* data() const noexcept {
+    return static_cast<const std::byte*>(base_);
+  }
+  std::size_t size() const noexcept { return bytes_; }
+
+  /// Whether this allocation was mapped with the MADV_HUGEPAGE hint
+  /// applied successfully (false under kMalloc, on non-Linux builds,
+  /// after a fallback, or for an empty arena).
+  bool huge_pages() const noexcept { return huge_; }
+
+  /// A typed view of `count` Ts starting `offset_bytes` into the
+  /// arena; offset and extent must lie inside the allocation.
+  template <typename T>
+  std::span<T> view(std::size_t offset_bytes, std::size_t count) noexcept {
+    return std::span<T>(reinterpret_cast<T*>(data() + offset_bytes), count);
+  }
+
+  /// Test hook: when set, the mapped path behaves as if mmap/madvise
+  /// were unavailable, exercising the plain-pages fallback on hosts
+  /// where huge pages work. Not for production use.
+  static void force_hugepage_fallback(bool on) noexcept;
+
+ private:
+  void release() noexcept;
+
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;   // requested size
+  std::size_t mapped_ = 0;  // mmap length (0 = heap allocation)
+  bool huge_ = false;
+};
+
+/// The engine's double-buffer layout: one arena, two equal typed
+/// spans. The second buffer starts on a fresh 4 KiB page so the
+/// first-touch chunking of both buffers lines up with the kernels'
+/// vertex chunking.
+template <typename T>
+struct StateBuffers {
+  StateArena arena;
+  std::span<T> current;
+  std::span<T> next;
+};
+
+namespace detail {
+
+inline constexpr std::size_t kStatePageSize = 4096;
+
+inline constexpr std::size_t round_up_page(std::size_t bytes) noexcept {
+  return (bytes + kStatePageSize - 1) & ~(kStatePageSize - 1);
+}
+
+}  // namespace detail
+
+/// Carves current/next buffers of `count` Ts each from one arena.
+/// `chunk_elems` is the round kernels' parallel chunk size in
+/// elements (vertices for byte state, words for packed state); the
+/// first-touch pass uses the matching byte granularity.
+template <typename T>
+StateBuffers<T> make_state_buffers(std::size_t count, MemoryPolicy policy,
+                                   parallel::ThreadPool& pool,
+                                   std::size_t chunk_elems) {
+  const std::size_t buffer_bytes = detail::round_up_page(count * sizeof(T));
+  StateBuffers<T> out;
+  out.arena = StateArena(2 * buffer_bytes, policy, pool,
+                         chunk_elems * sizeof(T));
+  out.current = out.arena.template view<T>(0, count);
+  out.next = out.arena.template view<T>(buffer_bytes, count);
+  return out;
+}
+
+}  // namespace b3v::core

@@ -43,6 +43,7 @@
 
 #include "core/opinion.hpp"
 #include "core/protocol.hpp"
+#include "core/run_controls.hpp"
 #include "graph/samplers.hpp"
 
 namespace b3v::core {
@@ -71,16 +72,12 @@ using CountRoundObserver =
 /// Everything a count-space run needs besides the model and the start
 /// counts. No Schedule / Representation: the count chain is defined by
 /// the synchronous round, and the state is always the count vector.
-struct CountRunSpec {
+/// The shared dials (seed / start_round / max_rounds /
+/// stop_at_consensus) are the inherited core::RunControls; round r
+/// draws from CounterRng(seed, r, cell, kDrawCountSpace), so (seed,
+/// round, counts) checkpoints resume exactly.
+struct CountRunSpec : RunControls {
   Protocol protocol{};
-  std::uint64_t seed = 1;
-  std::uint64_t start_round = 0;    // absolute index of the first round
-                                    // this call executes: round r draws
-                                    // from CounterRng(seed, r, cell,
-                                    // kDrawCountSpace), so (seed, round,
-                                    // counts) checkpoints resume exactly
-  std::uint64_t max_rounds = 10000;
-  bool stop_at_consensus = true;
   CountRoundObserver observer{};
 };
 

@@ -15,15 +15,23 @@
 // Batching: the synchronous kernels generate the per-vertex Philox
 // blocks for whole 16-vertex tiles up front (rng::CounterRngTile — one
 // vectorisable structure-of-arrays pass instead of 16 serial 10-round
-// chains) and the per-vertex decision logic is shared between the
-// scalar entry points, the batched byte kernels and the bit-packed
-// kernels (packed.hpp) through detail::best_of_k_update — ONE
+// chains) and run each tile as a TWO-PASS pipeline: pass 1 draws every
+// lane's neighbour samples (consuming the tile's RNG words in the exact
+// scalar order) and issues a software prefetch for each sampled state
+// address — up to 48 independent line fetches in flight per best-of-3
+// tile — and pass 2 runs the per-vertex decisions against now-resident
+// lines. Sampling consumes RNG; reading state does not; so the split
+// leaves every stream untouched. The decision logic is shared between
+// the scalar entry points, the fused fallback (k > kMaxPipelineK), the
+// batched byte kernels and the bit-packed kernels (packed.hpp) through
+// detail::best_of_k_update / detail::best_of_k_verdict — ONE
 // implementation of the sampling/majority/tie decision, one RNG
 // placement. The draw sequence is bit-for-bit the scalar CounterRng's,
 // so tests/test_goldens.cpp pins the batched kernels unchanged.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -61,6 +69,41 @@ using rng::kDrawTie;
 
 namespace detail {
 
+/// Largest k the two-pass tile pipeline buffers (sampled indices per
+/// lane). Registry rules live at k <= 5; anything deeper falls back to
+/// the fused sample-and-read loop — same draws, same decisions, just
+/// without the prefetch distance.
+inline constexpr unsigned kMaxPipelineK = 8;
+
+/// Benchmark knob: when false, pass 1 still draws and records every
+/// sample (the pipeline structure — and every stream — is unchanged)
+/// but issues no software prefetches, so BM_Step_LargeN can measure the
+/// prefetch win in isolation. Relaxed atomic: toggled only between
+/// benchmark runs, read once per chunk.
+inline std::atomic<bool> g_prefetch_enabled{true};
+
+inline void set_prefetch_enabled(bool on) noexcept {
+  g_prefetch_enabled.store(on, std::memory_order_relaxed);
+}
+inline bool prefetch_enabled() noexcept {
+  return g_prefetch_enabled.load(std::memory_order_relaxed);
+}
+
+/// Pass 1 of the tile pipeline for one lane: draws the k neighbour
+/// samples in the exact scalar order and hands each index to `pf`,
+/// which prefetches the state line pass 2 will read. The prefetch
+/// address depends on the representation (byte element vs packed
+/// word), so the callable is the kernel's.
+template <graph::NeighborSampler S, typename Gen, typename Prefetch>
+inline void sample_lane(const S& sampler, graph::VertexId v, unsigned k,
+                        Gen& gen, graph::VertexId* out, Prefetch&& pf) {
+  for (unsigned i = 0; i < k; ++i) {
+    const graph::VertexId u = sampler.sample(v, gen);
+    out[i] = u;
+    pf(u);
+  }
+}
+
 /// One Best-of-k vertex decision, drawing neighbour samples from `gen`
 /// (positioned at the start of the (seed, round, v, kDrawNeighbors)
 /// stream) and reading the current state through `read(u) -> 0/1`.
@@ -69,15 +112,15 @@ namespace detail {
 /// neighbour samples from `gen`, the kRandom tie coin from a fresh
 /// (seed, round, v, kDrawTie) stream, kKeepOwn reads, the prefer rules
 /// draw nothing.
-template <graph::NeighborSampler S, typename Read, typename Gen>
-OpinionValue best_of_k_update(const S& sampler, Read&& read,
-                              graph::VertexId v, unsigned k, TieRule tie,
-                              std::uint64_t seed, std::uint64_t round,
-                              Gen& gen) {
-  unsigned blues = 0;
-  for (unsigned i = 0; i < k; ++i) {
-    blues += read(sampler.sample(v, gen));
-  }
+/// The majority-or-tie verdict given the sampled blue count — the ONE
+/// decision tail shared by the fused update below and the two-pass tile
+/// kernels (whose pass 2 counts blues over the recorded sample
+/// indices). The kRandom tie coin comes from a fresh (seed, round, v,
+/// kDrawTie) stream either way, so pass placement cannot move a draw.
+template <typename Read>
+OpinionValue best_of_k_verdict(Read&& read, graph::VertexId v, unsigned blues,
+                               unsigned k, TieRule tie, std::uint64_t seed,
+                               std::uint64_t round) {
   if (2 * blues > k) return 1;
   if (2 * blues < k) return 0;
   switch (tie) {  // only reachable for even k
@@ -95,16 +138,38 @@ OpinionValue best_of_k_update(const S& sampler, Read&& read,
   return read(v);
 }
 
+template <graph::NeighborSampler S, typename Read, typename Gen>
+OpinionValue best_of_k_update(const S& sampler, Read&& read,
+                              graph::VertexId v, unsigned k, TieRule tie,
+                              std::uint64_t seed, std::uint64_t round,
+                              Gen& gen) {
+  unsigned blues = 0;
+  for (unsigned i = 0; i < k; ++i) {
+    blues += read(sampler.sample(v, gen));
+  }
+  return best_of_k_verdict(read, v, blues, k, tie, seed, round);
+}
+
 /// The two-choices decision: adopt iff both samples agree, else keep
 /// own. Bit-for-bit Best-of-2/kKeepOwn (same stream, same outcome);
 /// kept as its own function only so the dedicated kernel below stays a
 /// branch-free two-sample loop.
+/// The two-choices decision over already-drawn sample indices (pass 2
+/// of the tile pipeline; the fused update below routes through it too).
+template <typename Read>
+OpinionValue two_choices_verdict(Read&& read, graph::VertexId v,
+                                 graph::VertexId u1, graph::VertexId u2) {
+  const OpinionValue s1 = static_cast<OpinionValue>(read(u1));
+  const OpinionValue s2 = static_cast<OpinionValue>(read(u2));
+  return s1 == s2 ? s1 : static_cast<OpinionValue>(read(v));
+}
+
 template <graph::NeighborSampler S, typename Read, typename Gen>
 OpinionValue two_choices_update(const S& sampler, Read&& read,
                                 graph::VertexId v, Gen& gen) {
-  const OpinionValue s1 = static_cast<OpinionValue>(read(sampler.sample(v, gen)));
-  const OpinionValue s2 = static_cast<OpinionValue>(read(sampler.sample(v, gen)));
-  return s1 == s2 ? s1 : static_cast<OpinionValue>(read(v));
+  const graph::VertexId u1 = sampler.sample(v, gen);
+  const graph::VertexId u2 = sampler.sample(v, gen);
+  return two_choices_verdict(read, v, u1, u2);
 }
 
 }  // namespace detail
@@ -137,15 +202,21 @@ std::uint64_t step_best_of_k(const S& sampler, std::span<const OpinionValue> cur
   if (k == 0) throw std::invalid_argument("step_best_of_k: k >= 1");
   constexpr std::size_t kGrain = 4096;  // multiple of the tile width
   constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const bool pf_on = detail::prefetch_enabled();
   const auto read = [&](graph::VertexId u) -> unsigned { return current[u]; };
+  const auto pf = [&](graph::VertexId u) {
+    if (pf_on) __builtin_prefetch(&current[u], 0, 3);
+  };
   return pool.parallel_reduce<std::uint64_t>(
       0, n, kGrain, 0,
       [&](std::size_t lo, std::size_t hi) {
         std::uint64_t blues = 0;
         if (k == 3) {
-          // Fast path for the paper's protocol: three unrolled draws
-          // per vertex, one precomputed block each — the tile IS the
-          // round's randomness.
+          // Fast path for the paper's protocol, two-pass: pass 1 draws
+          // the tile's 48 samples (the tile IS the round's randomness)
+          // and prefetches each state line; pass 2 reads the resident
+          // lines and takes the unrolled majority.
+          graph::VertexId s[kW * 3];
           for (std::size_t base = lo; base < hi; base += kW) {
             const std::size_t lanes = std::min(kW, hi - base);
             const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
@@ -153,15 +224,40 @@ std::uint64_t step_best_of_k(const S& sampler, std::span<const OpinionValue> cur
             for (std::size_t i = 0; i < lanes; ++i) {
               const auto vid = static_cast<graph::VertexId>(base + i);
               auto gen = tile.stream(i);
-              const unsigned b = current[sampler.sample(vid, gen)] +
-                                 current[sampler.sample(vid, gen)] +
-                                 current[sampler.sample(vid, gen)];
+              detail::sample_lane(sampler, vid, 3, gen, &s[3 * i], pf);
+            }
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const unsigned b = current[s[3 * i]] + current[s[3 * i + 1]] +
+                                 current[s[3 * i + 2]];
               const OpinionValue out = b >= 2 ? 1 : 0;
               next[base + i] = out;
               blues += out;
             }
           }
+        } else if (k <= detail::kMaxPipelineK) {
+          graph::VertexId s[kW * detail::kMaxPipelineK];
+          for (std::size_t base = lo; base < hi; base += kW) {
+            const std::size_t lanes = std::min(kW, hi - base);
+            const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                           lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              auto gen = tile.stream(i);
+              detail::sample_lane(sampler, vid, k, gen, &s[k * i], pf);
+            }
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              unsigned b = 0;
+              for (unsigned j = 0; j < k; ++j) b += current[s[k * i + j]];
+              const OpinionValue out = detail::best_of_k_verdict(
+                  read, vid, b, k, tie, seed, round);
+              next[base + i] = out;
+              blues += out;
+            }
+          }
         } else {
+          // Deep-k fallback: the fused sample-and-read loop — same
+          // draws, same shared decision, no pipeline buffer.
           for (std::size_t base = lo; base < hi; base += kW) {
             const std::size_t lanes = std::min(kW, hi - base);
             const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
@@ -208,11 +304,16 @@ std::uint64_t step_two_choices(const S& sampler,
   }
   constexpr std::size_t kGrain = 4096;
   constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const bool pf_on = detail::prefetch_enabled();
   const auto read = [&](graph::VertexId u) -> unsigned { return current[u]; };
+  const auto pf = [&](graph::VertexId u) {
+    if (pf_on) __builtin_prefetch(&current[u], 0, 3);
+  };
   return pool.parallel_reduce<std::uint64_t>(
       0, n, kGrain, 0,
       [&](std::size_t lo, std::size_t hi) {
         std::uint64_t blues = 0;
+        graph::VertexId s[kW * 2];
         for (std::size_t base = lo; base < hi; base += kW) {
           const std::size_t lanes = std::min(kW, hi - base);
           const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
@@ -220,8 +321,12 @@ std::uint64_t step_two_choices(const S& sampler,
           for (std::size_t i = 0; i < lanes; ++i) {
             const auto vid = static_cast<graph::VertexId>(base + i);
             auto gen = tile.stream(i);
+            detail::sample_lane(sampler, vid, 2, gen, &s[2 * i], pf);
+          }
+          for (std::size_t i = 0; i < lanes; ++i) {
+            const auto vid = static_cast<graph::VertexId>(base + i);
             const OpinionValue out =
-                detail::two_choices_update(sampler, read, vid, gen);
+                detail::two_choices_verdict(read, vid, s[2 * i], s[2 * i + 1]);
             next[base + i] = out;
             blues += out;
           }
@@ -260,30 +365,77 @@ std::uint64_t step_best_of_k_noisy(const S& sampler,
   const rng::BernoulliSampler coin(noise);
   constexpr std::size_t kGrain = 4096;
   constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const bool pf_on = detail::prefetch_enabled();
   const auto read = [&](graph::VertexId u) -> unsigned { return current[u]; };
+  const auto pf = [&](graph::VertexId u) {
+    if (pf_on) __builtin_prefetch(&current[u], 0, 3);
+  };
   return pool.parallel_reduce<std::uint64_t>(
       0, n, kGrain, 0,
       [&](std::size_t lo, std::size_t hi) {
         std::uint64_t blues = 0;
-        for (std::size_t base = lo; base < hi; base += kW) {
-          const std::size_t lanes = std::min(kW, hi - base);
-          const rng::CounterRngTile noise_tile(seed, round, base, kDrawNoise,
-                                               lanes);
-          const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
-                                         lanes);
-          for (std::size_t i = 0; i < lanes; ++i) {
-            const auto vid = static_cast<graph::VertexId>(base + i);
-            auto noise_gen = noise_tile.stream(i);
-            OpinionValue out;
-            if (coin(noise_gen)) {
-              out = static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
-            } else {
-              auto gen = tile.stream(i);
-              out = detail::best_of_k_update(sampler, read, vid, k, tie, seed,
-                                             round, gen);
+        if (k <= detail::kMaxPipelineK) {
+          // Two-pass with the fault coin folded into pass 1: a faulted
+          // lane's outcome is decided there (its neighbour stream is
+          // never consumed, exactly as in the scalar path) and only
+          // non-faulted lanes sample and prefetch.
+          graph::VertexId s[kW * detail::kMaxPipelineK];
+          OpinionValue fault_out[kW];
+          bool faulted[kW];
+          for (std::size_t base = lo; base < hi; base += kW) {
+            const std::size_t lanes = std::min(kW, hi - base);
+            const rng::CounterRngTile noise_tile(seed, round, base, kDrawNoise,
+                                                 lanes);
+            const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                           lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              auto noise_gen = noise_tile.stream(i);
+              faulted[i] = coin(noise_gen);
+              if (faulted[i]) {
+                fault_out[i] =
+                    static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
+              } else {
+                auto gen = tile.stream(i);
+                detail::sample_lane(sampler, vid, k, gen, &s[k * i], pf);
+              }
             }
-            next[base + i] = out;
-            blues += out;
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              OpinionValue out;
+              if (faulted[i]) {
+                out = fault_out[i];
+              } else {
+                unsigned b = 0;
+                for (unsigned j = 0; j < k; ++j) b += current[s[k * i + j]];
+                out = detail::best_of_k_verdict(read, vid, b, k, tie, seed,
+                                                round);
+              }
+              next[base + i] = out;
+              blues += out;
+            }
+          }
+        } else {
+          for (std::size_t base = lo; base < hi; base += kW) {
+            const std::size_t lanes = std::min(kW, hi - base);
+            const rng::CounterRngTile noise_tile(seed, round, base, kDrawNoise,
+                                                 lanes);
+            const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                           lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              auto noise_gen = noise_tile.stream(i);
+              OpinionValue out;
+              if (coin(noise_gen)) {
+                out = static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
+              } else {
+                auto gen = tile.stream(i);
+                out = detail::best_of_k_update(sampler, read, vid, k, tie,
+                                               seed, round, gen);
+              }
+              next[base + i] = out;
+              blues += out;
+            }
           }
         }
         return blues;

@@ -40,6 +40,7 @@
 // rule-comparing drivers can hold ONE run path across q.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -49,11 +50,13 @@
 #include <utility>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/count_engine.hpp"
 #include "core/dynamics.hpp"
 #include "core/opinion.hpp"
 #include "core/packed.hpp"
 #include "core/protocol.hpp"
+#include "core/run_controls.hpp"
 #include "graph/samplers.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -179,21 +182,12 @@ using RoundObserver = std::function<bool(
     std::uint64_t t, std::span<const OpinionValue> state, std::uint64_t blue)>;
 
 /// Everything a run needs besides the sampler and the start state.
-struct RunSpec {
+/// The shared run-length/determinism dials (seed, start_round,
+/// max_rounds, stop_at_consensus) are the inherited core::RunControls
+/// — one control block across RunSpec / MultiRunSpec / CountRunSpec.
+struct RunSpec : RunControls {
   Protocol protocol{};
-  std::uint64_t seed = 1;
-  std::uint64_t start_round = 0;        // first round index this call
-                                        // executes: round r draws from
-                                        // CounterRng(seed, r, ...), so a
-                                        // run checkpointed at round t
-                                        // resumes bit-exactly from
-                                        // (state at t, start_round = t).
-                                        // Observers see absolute t.
-  std::uint64_t max_rounds = 10000;     // rounds THIS call may execute
-                                        // (sweeps under kAsyncSweeps)
   Schedule schedule = Schedule::kSynchronous;
-  bool stop_at_consensus = true;        // false: run the full budget
-                                        // (stationary measurements)
   Representation representation = Representation::kAuto;  // state width;
                                         // kAuto picks by (n, protocol,
                                         // schedule), override for
@@ -202,6 +196,12 @@ struct RunSpec {
                                         // the run onto the (block x
                                         // colour) count chain — needs a
                                         // CountSpaceSampler
+  MemoryPolicy memory_policy = MemoryPolicy::kAuto;  // how the engine
+                                        // backs its state buffers
+                                        // (core/arena.hpp): huge pages
+                                        // above kAutoHugeThreshold by
+                                        // default, never changes a
+                                        // trajectory
   RoundObserver observer{};             // null = observe nothing;
                                         // kPerVertex only (kCounts has
                                         // no per-vertex state to show —
@@ -218,8 +218,9 @@ struct SimResult {
   std::uint64_t rounds = 0;         // rounds (or sweeps) executed
   std::uint64_t final_blue = 0;     // blue count at the end
   std::size_t num_vertices = 0;
-  Opinions final_state;             // the end configuration (moved out
-                                    // of the engine's buffer, no copy)
+  Opinions final_state;             // the end configuration (one copy
+                                    // out of the engine's arena buffer
+                                    // at the end of the run)
   std::vector<std::uint64_t> blue_trajectory;  // [0] = initial count
 
   /// Fraction of blue vertices after round t (t = 0 is the start).
@@ -366,18 +367,21 @@ inline Opinions state_from_counts(const graph::CountModel& model,
   return state;
 }
 
-/// The CountRunSpec a kCounts dispatch hands run_counts.
+/// The CountRunSpec a kCounts dispatch hands run_counts: the whole
+/// shared control block in one assignment, plus the count observer.
 template <typename Spec>
 CountRunSpec count_spec_of(const Spec& spec) {
   CountRunSpec cspec;
+  controls_of(cspec) = controls_of(spec);
   cspec.protocol = spec.protocol;
-  cspec.seed = spec.seed;
-  cspec.start_round = spec.start_round;
-  cspec.max_rounds = spec.max_rounds;
-  cspec.stop_at_consensus = spec.stop_at_consensus;
   cspec.observer = spec.count_observer;
   return cspec;
 }
+
+/// The engine's parallel chunk size in vertices (the round kernels'
+/// grain) — also the first-touch granularity of the state arena, so
+/// NUMA page placement follows the same chunking the kernels use.
+inline constexpr std::size_t kChunkVertices = 4096;
 
 }  // namespace detail
 
@@ -470,9 +474,16 @@ template <graph::NeighborSampler S>
     // 1-bit state: same kernels' decisions over the same streams, so
     // the trajectory equals the byte path's bit for bit; observers see
     // a lazily unpacked byte view (only materialised when one is set).
+    // The word double buffer lives in a StateArena (huge pages /
+    // first-touch per spec.memory_policy); the PackedOpinions are
+    // views over it, swapped by pointer each round.
     count_colours(initial, 2);  // packing coerces — reject loudly instead
-    PackedOpinions current{std::span<const OpinionValue>(initial)};
-    PackedOpinions next(n);
+    auto bufs = make_state_buffers<std::uint64_t>(
+        PackedOpinions::words_for(n), spec.memory_policy, pool,
+        detail::kChunkVertices / 64);
+    PackedOpinions current{bufs.current, n};
+    PackedOpinions next{bufs.next, n};
+    current.assign(initial);
     Opinions scratch;
     SimResult result = detail::run_loop(
         n, current.count_blue(), spec,
@@ -489,19 +500,35 @@ template <graph::NeighborSampler S>
     result.final_state = current.unpack();
     return result;
   }
-  Opinions current = std::move(initial);
-  Opinions next(n);
+  // Byte state in a StateArena double buffer; rounds swap the spans.
+  auto bufs = make_state_buffers<OpinionValue>(n, spec.memory_policy, pool,
+                                               detail::kChunkVertices);
+  std::span<OpinionValue> current = bufs.current;
+  std::span<OpinionValue> next = bufs.next;
+  std::copy(initial.begin(), initial.end(), current.begin());
   SimResult result = detail::run_loop(
       n, count_blue(current), spec,
       [&](std::uint64_t round) {
         const std::uint64_t blue = step_protocol(
             sampler, spec.protocol, current, next, spec.seed, round, pool);
-        current.swap(next);
+        std::swap(current, next);
         return blue;
       },
       [&] { return std::span<const OpinionValue>(current); });
-  result.final_state = std::move(current);
+  result.final_state.assign(current.begin(), current.end());
   return result;
+}
+
+/// Default-pool convenience: runs on the process-wide pool
+/// (parallel::ThreadPool::global(), one worker per hardware thread).
+/// Pass an explicit pool instead when you need a specific thread
+/// count (benchmark sweeps, CI determinism at size 1) or when several
+/// concurrent drivers must not share one dispatch queue.
+template <graph::NeighborSampler S>
+[[nodiscard]] SimResult run(const S& sampler, Opinions initial,
+                            const RunSpec& spec) {
+  return run(sampler, std::move(initial), spec,
+             parallel::ThreadPool::global());
 }
 
 // ---------------------------------------------------------------------
@@ -523,16 +550,13 @@ using MultiRoundObserver = std::function<bool(
 /// sweep kernel is binary, so a q-colour kAsyncSweeps schedule would
 /// silently be a different dynamics; it stays a compile-time
 /// impossibility here until a q-colour async kernel exists.
-struct MultiRunSpec {
+struct MultiRunSpec : RunControls {
   Protocol protocol{};
-  std::uint64_t seed = 1;
-  std::uint64_t start_round = 0;    // absolute index of the first round
-                                    // this call executes (see RunSpec)
-  std::uint64_t max_rounds = 10000;
-  bool stop_at_consensus = true;
   Representation representation = Representation::kAuto;  // state width
   StateSpace state_space = StateSpace::kPerVertex;  // kCounts = the
                                         // (block x colour) count chain
+  MemoryPolicy memory_policy = MemoryPolicy::kAuto;  // state buffer
+                                        // backing (core/arena.hpp)
   MultiRoundObserver observer{};        // kPerVertex only
   CountRoundObserver count_observer{};  // kCounts only: flattened
                                         // blocks x q counts each round
@@ -545,7 +569,8 @@ struct MultiSimResult {
   std::uint64_t rounds = 0;
   std::size_t num_vertices = 0;
   std::vector<std::uint64_t> final_counts;  // per-colour, at the end
-  Opinions final_state;       // moved out of the engine's buffer
+  Opinions final_state;       // copied out of the engine's arena
+                              // buffer at the end of the run
 
   /// Final fraction of colour c.
   double final_fraction(unsigned c) const {
@@ -722,9 +747,14 @@ template <graph::NeighborSampler S>
   std::vector<std::uint64_t> counts = count_colours(initial, q);
 
   if (rep == Representation::kBit1) {
-    // Binary rule on 1-bit state, reporting {red, blue}.
-    PackedOpinions current{std::span<const OpinionValue>(initial)};
-    PackedOpinions next(n);
+    // Binary rule on 1-bit state, reporting {red, blue}. Arena-backed
+    // word double buffer, same as the binary overload.
+    auto bufs = make_state_buffers<std::uint64_t>(
+        PackedOpinions::words_for(n), spec.memory_policy, pool,
+        detail::kChunkVertices / 64);
+    PackedOpinions current{bufs.current, n};
+    PackedOpinions next{bufs.next, n};
+    current.assign(initial);
     Opinions scratch;
     MultiSimResult result = detail::multi_run_loop(
         n, q, std::move(counts), spec,
@@ -743,8 +773,12 @@ template <graph::NeighborSampler S>
   }
   if (rep == Representation::kBit2 || rep == Representation::kBit4) {
     const auto run_packed = [&]<unsigned Bits>() {
-      PackedColours<Bits> current{std::span<const OpinionValue>(initial)};
-      PackedColours<Bits> next(n);
+      auto bufs = make_state_buffers<std::uint64_t>(
+          PackedColours<Bits>::words_for(n), spec.memory_policy, pool,
+          detail::kChunkVertices / PackedColours<Bits>::kLanes);
+      PackedColours<Bits> current{bufs.current, n};
+      PackedColours<Bits> next{bufs.next, n};
+      current.assign(initial);
       Opinions scratch;
       MultiSimResult result = detail::multi_run_loop(
           n, q, std::move(counts), spec,
@@ -765,19 +799,33 @@ template <graph::NeighborSampler S>
                ? run_packed.template operator()<2>()
                : run_packed.template operator()<4>();
   }
-  Opinions current = std::move(initial);
-  Opinions next(n);
+  // Byte state in a StateArena double buffer; rounds swap the spans.
+  auto bufs = make_state_buffers<OpinionValue>(n, spec.memory_policy, pool,
+                                               detail::kChunkVertices);
+  std::span<OpinionValue> current = bufs.current;
+  std::span<OpinionValue> next = bufs.next;
+  std::copy(initial.begin(), initial.end(), current.begin());
   MultiSimResult result = detail::multi_run_loop(
       n, q, std::move(counts), spec,
       [&](std::uint64_t round) {
         auto c = step_protocol_multi(sampler, spec.protocol, current, next,
                                      spec.seed, round, pool);
-        current.swap(next);
+        std::swap(current, next);
         return c;
       },
       [&] { return std::span<const OpinionValue>(current); });
-  result.final_state = std::move(current);
+  result.final_state.assign(current.begin(), current.end());
   return result;
+}
+
+/// Default-pool convenience (multi-opinion): runs on the process-wide
+/// pool — see the binary overload above for when to pass an explicit
+/// pool instead.
+template <graph::NeighborSampler S>
+[[nodiscard]] MultiSimResult run(const S& sampler, Opinions initial,
+                                 const MultiRunSpec& spec) {
+  return run(sampler, std::move(initial), spec,
+             parallel::ThreadPool::global());
 }
 
 }  // namespace b3v::core

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <span>
@@ -41,16 +42,106 @@
 
 namespace b3v::core {
 
+namespace detail {
+
+/// Word storage behind the packed state classes: either owns a heap
+/// vector (the default — standalone PackedOpinions/PackedColours work
+/// exactly as before) or views externally allocated words (the
+/// engine's StateArena buffers, see core/arena.hpp). Copies always
+/// deep-copy into owned storage; moves preserve view-ness, so the
+/// engine's std::swap(current, next) is a pointer swap either way. A
+/// view's memory must outlive the store.
+class WordStore {
+ public:
+  WordStore() = default;
+  explicit WordStore(std::size_t num_words)
+      : owned_(num_words, 0), data_(owned_.data()), size_(num_words) {}
+  explicit WordStore(std::span<std::uint64_t> view) noexcept
+      : data_(view.data()), size_(view.size()) {}
+
+  WordStore(const WordStore& other)
+      : owned_(other.data_, other.data_ + other.size_),
+        data_(owned_.data()),
+        size_(other.size_) {}
+  WordStore& operator=(const WordStore& other) {
+    if (this != &other) {
+      owned_.assign(other.data_, other.data_ + other.size_);
+      data_ = owned_.data();
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  WordStore(WordStore&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        data_(owned_.empty() ? other.data_ : owned_.data()),
+        size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  WordStore& operator=(WordStore&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      data_ = owned_.empty() ? other.data_ : owned_.data();
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  std::uint64_t* data() noexcept { return data_; }
+  const std::uint64_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  std::uint64_t& operator[](std::size_t i) noexcept { return data_[i]; }
+  std::uint64_t operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  std::vector<std::uint64_t> owned_;
+  std::uint64_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
 /// Fixed-size bitset with one bit per vertex (1 = Blue).
 class PackedOpinions {
  public:
   PackedOpinions() = default;
-  explicit PackedOpinions(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+  explicit PackedOpinions(std::size_t n) : n_(n), words_(words_for(n)) {}
 
   /// Packs a byte-per-vertex opinion vector.
   explicit PackedOpinions(std::span<const OpinionValue> opinions)
       : PackedOpinions(opinions.size()) {
     for (std::size_t v = 0; v < opinions.size(); ++v) {
+      if (opinions[v]) set(v, 1);
+    }
+  }
+
+  /// View over externally allocated words (the engine's StateArena
+  /// buffers): no copy, no ownership — `words` must hold exactly
+  /// words_for(n) entries and outlive this object. The words are used
+  /// as-is; call assign() (or set every word) before reading.
+  PackedOpinions(std::span<std::uint64_t> words, std::size_t n)
+      : n_(n), words_(words) {
+    if (words.size() != words_for(n)) {
+      throw std::invalid_argument(
+          "PackedOpinions: view must hold exactly words_for(n) words");
+    }
+  }
+
+  /// Words needed to hold `n` vertices.
+  static constexpr std::size_t words_for(std::size_t n) noexcept {
+    return (n + 63) / 64;
+  }
+
+  /// Repacks a byte-per-vertex vector (size() entries) into this
+  /// storage, overwriting every word.
+  void assign(std::span<const OpinionValue> opinions) {
+    if (opinions.size() != n_) {
+      throw std::invalid_argument("PackedOpinions::assign: size mismatch");
+    }
+    std::fill(words_.data(), words_.data() + words_.size(), std::uint64_t{0});
+    for (std::size_t v = 0; v < n_; ++v) {
       if (opinions[v]) set(v, 1);
     }
   }
@@ -72,24 +163,43 @@ class PackedOpinions {
 
   std::uint64_t count_blue() const noexcept {
     std::uint64_t acc = 0;
-    for (const std::uint64_t w : words_) acc += std::popcount(w);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      acc += std::popcount(words_[i]);
+    }
     return acc;
   }
 
   /// Unpacks to the byte representation.
   Opinions unpack() const {
+    // b3vlint: allow(state-raw-alloc) -- caller-facing result copy, not an engine round buffer
     Opinions out(n_);
     for (std::size_t v = 0; v < n_; ++v) out[v] = get(v);
     return out;
   }
 
   std::size_t num_words() const noexcept { return words_.size(); }
-  std::uint64_t word(std::size_t i) const { return words_.at(i); }
-  void set_word(std::size_t i, std::uint64_t w) { words_.at(i) = w; }
+  std::uint64_t word(std::size_t i) const {
+    if (i >= words_.size()) {
+      throw std::out_of_range("PackedOpinions::word: index out of range");
+    }
+    return words_[i];
+  }
+  void set_word(std::size_t i, std::uint64_t w) {
+    if (i >= words_.size()) {
+      throw std::out_of_range("PackedOpinions::set_word: index out of range");
+    }
+    words_[i] = w;
+  }
+
+  /// Address of the word holding vertex `v`'s bit — the pass-1
+  /// prefetch target of the packed kernels.
+  const std::uint64_t* word_addr(std::size_t v) const noexcept {
+    return words_.data() + (v >> 6);
+  }
 
  private:
   std::size_t n_ = 0;
-  std::vector<std::uint64_t> words_;
+  detail::WordStore words_;
 };
 
 /// Fixed-size q-colour state with `Bits` bits per vertex: 2 bits hold
@@ -107,14 +217,45 @@ class PackedColours {
   static constexpr std::uint64_t kLaneMask = kCapacity - 1;
 
   PackedColours() = default;
-  explicit PackedColours(std::size_t n)
-      : n_(n), words_((n + kLanes - 1) / kLanes, 0) {}
+  explicit PackedColours(std::size_t n) : n_(n), words_(words_for(n)) {}
 
   /// Packs a byte-per-vertex colour vector; every value must fit the
   /// width (throws std::invalid_argument otherwise).
   explicit PackedColours(std::span<const OpinionValue> colours)
       : PackedColours(colours.size()) {
     for (std::size_t v = 0; v < colours.size(); ++v) {
+      if (colours[v] >= kCapacity) {
+        throw std::invalid_argument(
+            "PackedColours: colour value does not fit the lane width");
+      }
+      set(v, colours[v]);
+    }
+  }
+
+  /// View over externally allocated words (the engine's StateArena
+  /// buffers): no copy, no ownership — `words` must hold exactly
+  /// words_for(n) entries and outlive this object.
+  PackedColours(std::span<std::uint64_t> words, std::size_t n)
+      : n_(n), words_(words) {
+    if (words.size() != words_for(n)) {
+      throw std::invalid_argument(
+          "PackedColours: view must hold exactly words_for(n) words");
+    }
+  }
+
+  /// Words needed to hold `n` vertices.
+  static constexpr std::size_t words_for(std::size_t n) noexcept {
+    return (n + kLanes - 1) / kLanes;
+  }
+
+  /// Repacks a byte-per-vertex colour vector (size() entries, every
+  /// value below kCapacity) into this storage, overwriting every word.
+  void assign(std::span<const OpinionValue> colours) {
+    if (colours.size() != n_) {
+      throw std::invalid_argument("PackedColours::assign: size mismatch");
+    }
+    std::fill(words_.data(), words_.data() + words_.size(), std::uint64_t{0});
+    for (std::size_t v = 0; v < n_; ++v) {
       if (colours[v] >= kCapacity) {
         throw std::invalid_argument(
             "PackedColours: colour value does not fit the lane width");
@@ -139,6 +280,7 @@ class PackedColours {
 
   /// Unpacks to the byte representation.
   Opinions unpack() const {
+    // b3vlint: allow(state-raw-alloc) -- caller-facing result copy, not an engine round buffer
     Opinions out(n_);
     for (std::size_t v = 0; v < n_; ++v) out[v] = get(v);
     return out;
@@ -159,12 +301,28 @@ class PackedColours {
   }
 
   std::size_t num_words() const noexcept { return words_.size(); }
-  std::uint64_t word(std::size_t i) const { return words_.at(i); }
-  void set_word(std::size_t i, std::uint64_t w) { words_.at(i) = w; }
+  std::uint64_t word(std::size_t i) const {
+    if (i >= words_.size()) {
+      throw std::out_of_range("PackedColours::word: index out of range");
+    }
+    return words_[i];
+  }
+  void set_word(std::size_t i, std::uint64_t w) {
+    if (i >= words_.size()) {
+      throw std::out_of_range("PackedColours::set_word: index out of range");
+    }
+    words_[i] = w;
+  }
+
+  /// Address of the word holding vertex `v`'s lanes — the pass-1
+  /// prefetch target of the packed kernels.
+  const std::uint64_t* word_addr(std::size_t v) const noexcept {
+    return words_.data() + (v / kLanes);
+  }
 
  private:
   std::size_t n_ = 0;
-  std::vector<std::uint64_t> words_;
+  detail::WordStore words_;
 };
 
 /// One synchronous round of any BINARY protocol on 1-bit state — the
@@ -201,13 +359,21 @@ std::uint64_t step_protocol_packed(const S& sampler, const Protocol& p,
   const std::size_t num_words = current.num_words();
   constexpr std::size_t kWordGrain = 64;  // 4096 vertices per chunk
   constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const bool pipelined = k <= detail::kMaxPipelineK;
+  const bool pf_on = detail::prefetch_enabled();
   const auto read = [&](graph::VertexId u) -> unsigned {
     return current.get(u);
+  };
+  const auto pf = [&](graph::VertexId u) {
+    if (pf_on) __builtin_prefetch(current.word_addr(u), 0, 3);
   };
   return pool.parallel_reduce<std::uint64_t>(
       0, num_words, kWordGrain, 0,
       [&](std::size_t lo, std::size_t hi) {
         std::uint64_t blues = 0;
+        graph::VertexId s[kW * detail::kMaxPipelineK];
+        OpinionValue fault_out[kW];
+        bool faulted[kW];
         for (std::size_t w = lo; w < hi; ++w) {
           std::uint64_t out = 0;
           const std::size_t word_base = w * 64;
@@ -217,7 +383,46 @@ std::uint64_t step_protocol_packed(const S& sampler, const Protocol& p,
             const std::size_t lanes = std::min(kW, limit - sub);
             const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
                                            lanes);
-            if (!noisy) {
+            if (pipelined) {
+              // Two-pass subtile: pass 1 decides faults, draws and
+              // prefetches; pass 2 reads resident words and decides.
+              if (!noisy) {
+                for (std::size_t i = 0; i < lanes; ++i) {
+                  const auto vid = static_cast<graph::VertexId>(base + i);
+                  auto gen = tile.stream(i);
+                  detail::sample_lane(sampler, vid, k, gen, &s[k * i], pf);
+                  faulted[i] = false;
+                }
+              } else {
+                const rng::CounterRngTile noise_tile(seed, round, base,
+                                                     kDrawNoise, lanes);
+                for (std::size_t i = 0; i < lanes; ++i) {
+                  const auto vid = static_cast<graph::VertexId>(base + i);
+                  auto noise_gen = noise_tile.stream(i);
+                  faulted[i] = coin(noise_gen);
+                  if (faulted[i]) {
+                    fault_out[i] =
+                        static_cast<OpinionValue>(noise_gen.next_u64() & 1u);
+                  } else {
+                    auto gen = tile.stream(i);
+                    detail::sample_lane(sampler, vid, k, gen, &s[k * i], pf);
+                  }
+                }
+              }
+              for (std::size_t i = 0; i < lanes; ++i) {
+                const auto vid = static_cast<graph::VertexId>(base + i);
+                OpinionValue o;
+                if (faulted[i]) {
+                  o = fault_out[i];
+                } else {
+                  unsigned b = 0;
+                  for (unsigned j = 0; j < k; ++j) b += read(s[k * i + j]);
+                  o = detail::best_of_k_verdict(read, vid, b, k, tie, seed,
+                                                round);
+                }
+                out |= static_cast<std::uint64_t>(o) << (sub + i);
+              }
+            } else if (!noisy) {
               for (std::size_t i = 0; i < lanes; ++i) {
                 const auto vid = static_cast<graph::VertexId>(base + i);
                 auto gen = tile.stream(i);
@@ -281,13 +486,19 @@ std::vector<std::uint64_t> step_plurality_packed(
   constexpr std::size_t kWordGrain = 4096 / kLanes;
   using Counts = std::vector<std::uint64_t>;
   const std::size_t num_words = current.num_words();
+  const bool pipelined = p.k <= detail::kMaxPipelineK;
+  const bool pf_on = detail::prefetch_enabled();
   const auto read = [&](graph::VertexId u) -> OpinionValue {
     return current.get(u);
+  };
+  const auto pf = [&](graph::VertexId u) {
+    if (pf_on) __builtin_prefetch(current.word_addr(u), 0, 3);
   };
   return pool.parallel_reduce<Counts>(
       0, num_words, kWordGrain, Counts(p.q, 0),
       [&](std::size_t lo, std::size_t hi) {
         Counts local(p.q, 0);
+        graph::VertexId s[kW * detail::kMaxPipelineK];
         for (std::size_t w = lo; w < hi; ++w) {
           std::uint64_t out = 0;
           const std::size_t word_base = w * kLanes;
@@ -298,13 +509,34 @@ std::vector<std::uint64_t> step_plurality_packed(
             const std::size_t lanes = std::min(kW, limit - sub);
             const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
                                            lanes);
-            for (std::size_t i = 0; i < lanes; ++i) {
-              const auto vid = static_cast<graph::VertexId>(base + i);
-              auto gen = tile.stream(i);
-              const OpinionValue o = detail::plurality_update(
-                  sampler, read, vid, p.k, p.q, p.ptie, seed, round, gen);
-              out |= static_cast<std::uint64_t>(o) << ((sub + i) * Bits);
-              ++local[o];
+            if (pipelined) {
+              // Two-pass subtile: pass 1 draws and prefetches, pass 2
+              // counts colours over resident words and decides.
+              for (std::size_t i = 0; i < lanes; ++i) {
+                const auto vid = static_cast<graph::VertexId>(base + i);
+                auto gen = tile.stream(i);
+                detail::sample_lane(sampler, vid, p.k, gen, &s[p.k * i], pf);
+              }
+              for (std::size_t i = 0; i < lanes; ++i) {
+                const auto vid = static_cast<graph::VertexId>(base + i);
+                std::array<std::uint8_t, kMaxOpinions> counts{};
+                for (unsigned j = 0; j < p.k; ++j) {
+                  ++counts[read(s[p.k * i + j])];
+                }
+                const OpinionValue o = detail::plurality_verdict(
+                    read, vid, counts, p.q, p.ptie, seed, round);
+                out |= static_cast<std::uint64_t>(o) << ((sub + i) * Bits);
+                ++local[o];
+              }
+            } else {
+              for (std::size_t i = 0; i < lanes; ++i) {
+                const auto vid = static_cast<graph::VertexId>(base + i);
+                auto gen = tile.stream(i);
+                const OpinionValue o = detail::plurality_update(
+                    sampler, read, vid, p.k, p.q, p.ptie, seed, round, gen);
+                out |= static_cast<std::uint64_t>(o) << ((sub + i) * Bits);
+                ++local[o];
+              }
             }
           }
           next.set_word(w, out);

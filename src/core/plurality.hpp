@@ -51,15 +51,16 @@ namespace detail {
 /// binary rules. `gen` must be positioned at the start of the
 /// (seed, round, v, kDrawNeighbors) stream; the kRandom tie coin comes
 /// from a fresh kDrawTie stream, kKeepOwn draws nothing.
-template <graph::NeighborSampler S, typename Read, typename Gen>
-OpinionValue plurality_update(const S& sampler, Read&& read,
-                              graph::VertexId v, unsigned k, unsigned q,
-                              PluralityTie tie, std::uint64_t seed,
-                              std::uint64_t round, Gen& gen) {
-  std::array<std::uint8_t, kMaxOpinions> counts{};
-  for (unsigned i = 0; i < k; ++i) {
-    ++counts[read(sampler.sample(v, gen))];
-  }
+/// The most-frequent/tie verdict over an already-filled sample-count
+/// table — the ONE decision tail shared by the fused update below and
+/// pass 2 of the two-pass tile kernels (which count colours over the
+/// recorded sample indices). The kRandom tie coin comes from a fresh
+/// (seed, round, v, kDrawTie) stream either way.
+template <typename Read>
+OpinionValue plurality_verdict(Read&& read, graph::VertexId v,
+                               const std::array<std::uint8_t, kMaxOpinions>& counts,
+                               unsigned q, PluralityTie tie,
+                               std::uint64_t seed, std::uint64_t round) {
   unsigned best = 0;
   for (unsigned c = 1; c < q; ++c) {
     if (counts[c] > counts[best]) best = c;
@@ -80,6 +81,18 @@ OpinionValue plurality_update(const S& sampler, Read&& read,
     }
   }
   return static_cast<OpinionValue>(read(v));
+}
+
+template <graph::NeighborSampler S, typename Read, typename Gen>
+OpinionValue plurality_update(const S& sampler, Read&& read,
+                              graph::VertexId v, unsigned k, unsigned q,
+                              PluralityTie tie, std::uint64_t seed,
+                              std::uint64_t round, Gen& gen) {
+  std::array<std::uint8_t, kMaxOpinions> counts{};
+  for (unsigned i = 0; i < k; ++i) {
+    ++counts[read(sampler.sample(v, gen))];
+  }
+  return plurality_verdict(read, v, counts, q, tie, seed, round);
 }
 
 }  // namespace detail
@@ -113,22 +126,49 @@ std::vector<std::uint64_t> step_plurality(
   using Counts = std::vector<std::uint64_t>;
   constexpr std::size_t kGrain = 4096;
   constexpr std::size_t kW = rng::CounterRngTile::kWidth;
+  const bool pf_on = detail::prefetch_enabled();
   const auto read = [&](graph::VertexId u) { return current[u]; };
+  const auto pf = [&](graph::VertexId u) {
+    if (pf_on) __builtin_prefetch(&current[u], 0, 3);
+  };
   return pool.parallel_reduce<Counts>(
       0, n, kGrain, Counts(q, 0),
       [&](std::size_t lo, std::size_t hi) {
         Counts local(q, 0);
-        for (std::size_t base = lo; base < hi; base += kW) {
-          const std::size_t lanes = std::min(kW, hi - base);
-          const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
-                                         lanes);
-          for (std::size_t i = 0; i < lanes; ++i) {
-            const auto vid = static_cast<graph::VertexId>(base + i);
-            auto gen = tile.stream(i);
-            const OpinionValue out = detail::plurality_update(
-                sampler, read, vid, k, q, tie, seed, round, gen);
-            next[base + i] = out;
-            ++local[out];
+        if (k <= detail::kMaxPipelineK) {
+          graph::VertexId s[kW * detail::kMaxPipelineK];
+          for (std::size_t base = lo; base < hi; base += kW) {
+            const std::size_t lanes = std::min(kW, hi - base);
+            const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                           lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              auto gen = tile.stream(i);
+              detail::sample_lane(sampler, vid, k, gen, &s[k * i], pf);
+            }
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              std::array<std::uint8_t, kMaxOpinions> counts{};
+              for (unsigned j = 0; j < k; ++j) ++counts[read(s[k * i + j])];
+              const OpinionValue out = detail::plurality_verdict(
+                  read, vid, counts, q, tie, seed, round);
+              next[base + i] = out;
+              ++local[out];
+            }
+          }
+        } else {
+          for (std::size_t base = lo; base < hi; base += kW) {
+            const std::size_t lanes = std::min(kW, hi - base);
+            const rng::CounterRngTile tile(seed, round, base, kDrawNeighbors,
+                                           lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+              const auto vid = static_cast<graph::VertexId>(base + i);
+              auto gen = tile.stream(i);
+              const OpinionValue out = detail::plurality_update(
+                  sampler, read, vid, k, q, tie, seed, round, gen);
+              next[base + i] = out;
+              ++local[out];
+            }
           }
         }
         return local;

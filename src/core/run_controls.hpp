@@ -1,0 +1,56 @@
+// RunControls — the run-length-and-determinism contract every spec
+// shares. RunSpec (binary per-vertex), MultiRunSpec (q-colour) and
+// CountRunSpec (count-space) each add their own dials — schedule,
+// representation, observers — but seed/start_round/max_rounds/
+// stop_at_consensus mean exactly the same thing on all three, and the
+// job service's resume logic reads and writes ONLY these four.
+// Factoring them into one base lets that code (scheduler.cpp,
+// detail::count_spec_of) copy the whole control block in one
+// assignment instead of field-by-field in triplicate, and guarantees a
+// new control dial lands on every path or none.
+//
+// RunControls is an aggregate and the specs inherit it as their first
+// (and only) base, so aggregate initialisation and the designated-
+// initializer style both keep working:
+//
+//   RunSpec spec;
+//   spec.seed = 7;             // inherited member, same spelling
+//   spec.max_rounds = 100;
+//
+//   controls_of(spec) = other_controls;   // one-shot control copy
+#pragma once
+
+#include <cstdint>
+
+namespace b3v::core {
+
+/// The four dials shared by every run spec (see header comment).
+struct RunControls {
+  std::uint64_t seed = 1;
+  std::uint64_t start_round = 0;     // absolute index of the first round
+                                     // this call executes: round r draws
+                                     // from CounterRng(seed, r, ...), so
+                                     // a run checkpointed at round t
+                                     // resumes bit-exactly from (state
+                                     // at t, start_round = t). Observers
+                                     // see absolute t.
+  std::uint64_t max_rounds = 10000;  // rounds THIS call may execute
+                                     // (sweeps under kAsyncSweeps)
+  bool stop_at_consensus = true;     // false: run the full budget
+                                     // (stationary measurements)
+};
+
+/// The control block of any spec, as one assignable value — the idiom
+/// for copying controls across spec types:
+///   controls_of(run_spec) = controls_of(job_spec);
+template <typename Spec>
+RunControls& controls_of(Spec& spec) {
+  return static_cast<RunControls&>(spec);
+}
+
+template <typename Spec>
+const RunControls& controls_of(const Spec& spec) {
+  return static_cast<const RunControls&>(spec);
+}
+
+}  // namespace b3v::core

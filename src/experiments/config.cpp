@@ -82,6 +82,17 @@ ExperimentConfig config_from_env() {
     }
   }
   cfg.output_path = env_or("B3V_OUT", "");
+  if (const char* mp_env = std::getenv("B3V_MEM_POLICY"); mp_env != nullptr) {
+    try {
+      cfg.memory_policy = core::memory_policy_from_name(mp_env);
+    } catch (const std::invalid_argument& e) {
+      // Same contract as --mem-policy, but env parsing has no error
+      // channel: warn loudly instead of silently running on the
+      // default backing.
+      std::cerr << "b3v: ignoring B3V_MEM_POLICY (" << e.what()
+                << "); using '" << core::name(cfg.memory_policy) << "'\n";
+    }
+  }
   if (const char* rule_env = std::getenv("B3V_RULE"); rule_env != nullptr) {
     try {
       static_cast<void>(core::protocol_from_name(rule_env));
@@ -149,6 +160,12 @@ bool apply_flag(ExperimentConfig& cfg, const std::string& arg,
     cfg.base_seed = u;
   } else if (key == "out") {
     cfg.output_path = value;
+  } else if (key == "mem-policy") {
+    try {
+      cfg.memory_policy = core::memory_policy_from_name(value);
+    } catch (const std::invalid_argument& e) {
+      return set_error(error, std::string("--mem-policy: ") + e.what());
+    }
   } else if (key == "rule") {
     try {
       // Validated here (for the error channel), parsed again by drivers.
@@ -167,9 +184,10 @@ std::string usage(const std::string& driver) {
   return "usage: " + driver +
          " [--scale=X] [--reps=N] [--threads=N]"
          " [--format=ascii|csv|markdown] [--seed=N] [--out=PATH]"
-         " [--rule=NAME]\n"
+         " [--rule=NAME] [--mem-policy=auto|malloc|huge-pages]\n"
          "Flags override the matching B3V_SCALE / B3V_REPS / B3V_THREADS /\n"
-         "B3V_FORMAT / B3V_SEED / B3V_OUT / B3V_RULE environment variables.\n"
+         "B3V_FORMAT / B3V_SEED / B3V_OUT / B3V_RULE / B3V_MEM_POLICY\n"
+         "environment variables.\n"
          "--out writes structured results (metadata + every table);\n"
          "a .json extension selects JSON, anything else CSV.\n"
          "--rule restricts a rule-comparing driver to one protocol by\n"

@@ -17,6 +17,9 @@
 //                               best-of-3, two-choices, best-of-5,
 //                               best-of-2/keep-own, best-of-3+noise=0.1,
 //                               plurality-of-3/q3/keep-own
+//   B3V_MEM_POLICY / --mem-policy=P  state-buffer backing for engine
+//                               runs: auto | malloc | huge-pages
+//                               (core/arena.hpp; never changes results)
 //
 // Sweeps must be derived from the *scaled* sizes (see sweep.hpp), never
 // from fixed lists: a fixed degree list that was feasible at scale 1
@@ -29,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/protocol.hpp"
 
 namespace b3v::experiments {
@@ -41,6 +45,9 @@ struct ExperimentConfig {
   std::uint64_t base_seed = 0xB3B3B3B3ULL;
   std::string output_path;       // "" = no structured results file
   std::string rule;              // "" = the driver's default rule(s)
+  core::MemoryPolicy memory_policy = core::MemoryPolicy::kAuto;
+                                 // engine state-buffer backing; drivers
+                                 // forward it into RunSpec/MultiRunSpec
 
   enum class OutputKind { kNone, kCsv, kJson };
 

@@ -44,22 +44,40 @@ SpectralResult second_eigenvalue(const Graph& g, parallel::ThreadPool& pool,
     const double proj = dot(vec, v1);
     for (VertexId v = 0; v < n; ++v) vec[v] -= proj * v1[v];
   };
+  // Per-thread work counters (Galois-style stats hook): each executor
+  // accumulates into its own slot — no atomics on the hot loop — and
+  // the slots are summed once at the end. Padded to a cache line so
+  // neighbouring slots never false-share.
+  struct alignas(64) WorkCounter {
+    std::uint64_t edges = 0;
+  };
+  std::vector<WorkCounter> work(pool.num_threads());
   auto matvec = [&](const std::vector<double>& in, std::vector<double>& out) {
-    pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t v = lo; v < hi; ++v) {
-        double acc = 0.0;
-        for (VertexId u : g.neighbors(static_cast<VertexId>(v))) {
-          acc += in[u] * inv_sqrt_deg[u];
-        }
-        out[v] = acc * inv_sqrt_deg[v];
-      }
-    });
+    pool.parallel_for(
+        0, n, [&](std::size_t lo, std::size_t hi, unsigned thread) {
+          std::uint64_t edges = 0;
+          for (std::size_t v = lo; v < hi; ++v) {
+            double acc = 0.0;
+            for (VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+              acc += in[u] * inv_sqrt_deg[u];
+              ++edges;
+            }
+            out[v] = acc * inv_sqrt_deg[v];
+          }
+          work[thread].edges += edges;
+        });
   };
 
   deflate(x);
   double xnorm = norm(x);
   if (xnorm == 0.0) return result;
   for (auto& xi : x) xi /= xnorm;
+
+  const auto total_work = [&work] {
+    std::uint64_t edges = 0;
+    for (const WorkCounter& w : work) edges += w.edges;
+    return edges;
+  };
 
   double prev = 0.0;
   for (int it = 1; it <= max_iter; ++it) {
@@ -70,17 +88,20 @@ SpectralResult second_eigenvalue(const Graph& g, parallel::ThreadPool& pool,
     if (lambda == 0.0) {
       result.lambda2 = 0.0;
       result.converged = true;
+      result.edges_traversed = total_work();
       return result;
     }
     for (VertexId v = 0; v < n; ++v) x[v] = y[v] / lambda;
     if (it > 4 && std::abs(lambda - prev) <= tol * std::max(1.0, lambda)) {
       result.lambda2 = lambda;
       result.converged = true;
+      result.edges_traversed = total_work();
       return result;
     }
     prev = lambda;
   }
   result.lambda2 = prev;
+  result.edges_traversed = total_work();
   return result;
 }
 

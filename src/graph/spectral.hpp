@@ -20,6 +20,7 @@ struct SpectralResult {
   double lambda2 = 0.0;    // |second eigenvalue| estimate
   int iterations = 0;      // power iterations used
   bool converged = false;  // tolerance met before the iteration cap
+  std::uint64_t edges_traversed = 0;  // matvec work done (both directions)
 };
 
 /// Estimates |lambda_2(P)|. `tol` is the relative change stopping

@@ -11,7 +11,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   if (n == 0) n = 1;
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -29,7 +29,7 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned thread_index) {
   inside_worker_ = true;
   std::uint64_t seen_generation = 0;
   for (;;) {
@@ -41,7 +41,7 @@ void ThreadPool::worker_loop() {
       seen_generation = generation_;
       job = job_;
     }
-    drain_job(job);
+    drain_job(job, thread_index);
     if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(mutex_);
       cv_done_.notify_all();
@@ -49,24 +49,25 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::drain_job(const Job& job) {
+void ThreadPool::drain_job(const Job& job, unsigned thread_index) {
   for (;;) {
     const std::size_t lo = cursor_.fetch_add(job.grain, std::memory_order_relaxed);
     if (lo >= job.end) return;
     const std::size_t hi = std::min(lo + job.grain, job.end);
-    (*job.body)(lo, hi);
+    (*job.body)(lo, hi, thread_index);
   }
 }
 
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t, unsigned)>& body) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
   // Serial fast paths: tiny ranges, single worker, or nested call (from
   // a worker thread, or re-entrantly from a body run on the caller).
+  // All run on the calling thread, so they present the caller's index.
   if (inside_worker_ || workers_.size() <= 1 || end - begin <= grain) {
-    body(begin, end);
+    body(begin, end, size());
     return;
   }
   // One job in flight at a time; concurrent external callers serialise.
@@ -84,7 +85,7 @@ void ThreadPool::parallel_for(
   // The caller participates too; mark it so nested calls run serially
   // instead of clobbering the in-flight job.
   inside_worker_ = true;
-  drain_job(job);
+  drain_job(job, size());
   inside_worker_ = false;
   std::unique_lock lock(mutex_);
   cv_done_.wait(lock, [&] { return active_.load(std::memory_order_acquire) == 0; });
@@ -92,12 +93,30 @@ void ThreadPool::parallel_for(
 
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t, unsigned)>& body) {
   if (begin >= end) return;
   const std::size_t span = end - begin;
   const std::size_t target_chunks = static_cast<std::size_t>(size()) * 8;
   const std::size_t grain = std::max<std::size_t>(1, span / std::max<std::size_t>(1, target_chunks));
   parallel_for(begin, end, grain, body);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(begin, end, grain,
+               [&body](std::size_t lo, std::size_t hi, unsigned) {
+                 body(lo, hi);
+               });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(begin, end,
+               [&body](std::size_t lo, std::size_t hi, unsigned) {
+                 body(lo, hi);
+               });
 }
 
 }  // namespace b3v::parallel

@@ -34,10 +34,38 @@ class ThreadPool {
   /// Number of worker threads (>= 1).
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
-  /// Runs body(begin, end) over [begin, end) split into chunks of at most
-  /// `grain` indices. Blocks until complete. The calling thread
-  /// participates. Safe to call with begin >= end (no-op). Calls from
-  /// inside a worker (nesting) degrade gracefully to serial execution.
+  /// Number of threads that may execute a parallel_for body: the
+  /// workers plus the participating caller. Per-thread state (stats,
+  /// scratch) should be sized num_threads(); the thread index the
+  /// body receives is always < num_threads().
+  unsigned num_threads() const noexcept { return size() + 1; }
+
+  /// Runs body(begin, end, thread_index) over [begin, end) split into
+  /// chunks of at most `grain` indices. Blocks until complete. The
+  /// calling thread participates. Safe to call with begin >= end
+  /// (no-op). Calls from inside a worker (nesting) degrade gracefully
+  /// to serial execution.
+  ///
+  /// `thread_index` identifies the executing thread for the duration
+  /// of the call — workers are 0..size()-1 and the participating
+  /// caller (also the serial fast paths) is size() — so bodies can
+  /// accumulate into per-thread slots of a num_threads()-sized array
+  /// with no atomics and no false sharing between calls (the
+  /// Galois-style per-thread stats idiom). Caveat: concurrent external
+  /// callers serialise on the dispatch mutex but both present index
+  /// size(); per-thread arrays must not be shared across pools or
+  /// across concurrent top-level calls.
+  void parallel_for(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, unsigned)>& body);
+
+  /// Convenience: picks a grain targeting ~8 chunks per worker.
+  void parallel_for(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, unsigned)>& body);
+
+  /// Range-only body — the common case when no per-thread state is
+  /// needed.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
@@ -69,15 +97,16 @@ class ThreadPool {
 
  private:
   struct Job {
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    const std::function<void(std::size_t, std::size_t, unsigned)>* body =
+        nullptr;
     std::size_t begin = 0;
     std::size_t end = 0;
     std::size_t grain = 1;
   };
 
-  void worker_loop();
+  void worker_loop(unsigned thread_index);
   /// Claims and runs chunks of the current job; returns when exhausted.
-  void drain_job(const Job& job);
+  void drain_job(const Job& job, unsigned thread_index);
 
   std::vector<std::thread> workers_;
   std::mutex dispatch_mutex_;  // serialises whole parallel_for calls

@@ -1,0 +1,65 @@
+// The CounterRngTile compute core, out of line so it can carry SIMD
+// clones: gcc/clang emit one body per listed target plus the portable
+// default, and the dynamic loader picks the widest one the host
+// supports (ifunc) — no build-flag changes, no runtime branches in the
+// loop, and an identical integer bijection (hence identical streams
+// and goldens) on every host. The 10-round loop is the single hottest
+// computation in the simulator: every synchronous round runs it once
+// per 16-vertex tile.
+#include "rng/philox.hpp"
+
+// Sanitizer builds must not use target_clones: the glibc ifunc
+// resolvers it emits run before the sanitizer runtimes initialise and
+// segfault at startup. The portable body below is bit-identical, so
+// sanitizer runs lose nothing but SIMD width.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define B3V_PHILOX_NO_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define B3V_PHILOX_NO_CLONES 1
+#endif
+#endif
+
+#if defined(__x86_64__) && defined(__has_attribute) && \
+    !defined(B3V_PHILOX_NO_CLONES)
+#if __has_attribute(target_clones) && defined(__GLIBC__)
+#define B3V_PHILOX_CLONES \
+  [[gnu::target_clones("default", "avx2", "arch=x86-64-v4")]]
+#endif
+#endif
+#ifndef B3V_PHILOX_CLONES
+#define B3V_PHILOX_CLONES
+#endif
+
+namespace b3v::rng::detail {
+
+B3V_PHILOX_CLONES
+void philox_tile_rounds(std::uint32_t x[4][16], std::uint64_t seed) noexcept {
+  constexpr std::size_t kWidth = 16;
+  static_assert(kWidth == CounterRngTile::kWidth);
+  std::uint32_t k0 = static_cast<std::uint32_t>(seed);
+  std::uint32_t k1 = static_cast<std::uint32_t>(seed >> 32);
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      const std::uint64_t p0 =
+          static_cast<std::uint64_t>(Philox4x32::kMul0) * x[0][i];
+      const std::uint64_t p1 =
+          static_cast<std::uint64_t>(Philox4x32::kMul1) * x[2][i];
+      const std::uint32_t y0 =
+          static_cast<std::uint32_t>(p1 >> 32) ^ x[1][i] ^ k0;
+      const std::uint32_t y1 = static_cast<std::uint32_t>(p1);
+      const std::uint32_t y2 =
+          static_cast<std::uint32_t>(p0 >> 32) ^ x[3][i] ^ k1;
+      const std::uint32_t y3 = static_cast<std::uint32_t>(p0);
+      x[0][i] = y0;
+      x[1][i] = y1;
+      x[2][i] = y2;
+      x[3][i] = y3;
+    }
+    k0 += Philox4x32::kWeyl0;
+    k1 += Philox4x32::kWeyl1;
+  }
+}
+
+}  // namespace b3v::rng::detail

@@ -158,6 +158,19 @@ class CounterRng {
 
 class CounterRngTile;
 
+namespace detail {
+
+/// The 10-round Philox4x32 loop over 16 independent SoA counter lanes
+/// — the compute core of CounterRngTile. Out of line (philox.cpp) so
+/// the build can attach per-CPU SIMD clones (AVX2/AVX-512, resolved
+/// once at load time via ifunc) while the portable baseline stays the
+/// default codegen; every clone computes the identical integer
+/// bijection, so streams — and the goldens that pin them — are
+/// bit-for-bit the same on every host.
+void philox_tile_rounds(std::uint32_t x[4][16], std::uint64_t seed) noexcept;
+
+}  // namespace detail
+
 /// Generator view over ONE LANE of a CounterRngTile: serves the lane's
 /// precomputed first block in CounterRng's word order (word 3 down to
 /// word 0), then continues the stream from block 1 — so the full draw
@@ -241,28 +254,7 @@ class CounterRngTile {
       x_[2][i] = static_cast<std::uint32_t>(b);
       x_[3][i] = c << 16;  // block index 0
     }
-    std::uint32_t k0 = static_cast<std::uint32_t>(seed);
-    std::uint32_t k1 = static_cast<std::uint32_t>(seed >> 32);
-    for (int round = 0; round < 10; ++round) {
-      for (std::size_t i = 0; i < kWidth; ++i) {
-        const std::uint64_t p0 =
-            static_cast<std::uint64_t>(Philox4x32::kMul0) * x_[0][i];
-        const std::uint64_t p1 =
-            static_cast<std::uint64_t>(Philox4x32::kMul1) * x_[2][i];
-        const std::uint32_t y0 =
-            static_cast<std::uint32_t>(p1 >> 32) ^ x_[1][i] ^ k0;
-        const std::uint32_t y1 = static_cast<std::uint32_t>(p1);
-        const std::uint32_t y2 =
-            static_cast<std::uint32_t>(p0 >> 32) ^ x_[3][i] ^ k1;
-        const std::uint32_t y3 = static_cast<std::uint32_t>(p0);
-        x_[0][i] = y0;
-        x_[1][i] = y1;
-        x_[2][i] = y2;
-        x_[3][i] = y3;
-      }
-      k0 += Philox4x32::kWeyl0;
-      k1 += Philox4x32::kWeyl1;
-    }
+    detail::philox_tile_rounds(x_, seed);
   }
 
   std::size_t width() const noexcept { return width_; }

@@ -155,9 +155,13 @@ struct Scheduler::Job {
   std::atomic<bool> cancel_requested{false};
 };
 
-Scheduler::Scheduler(SchedulerConfig config)
-    : config_(std::move(config)),
-      pool_(static_cast<unsigned>(config_.pool_threads)) {
+Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config)) {
+  if (config_.pool_threads != 0) {
+    owned_pool_.emplace(static_cast<unsigned>(config_.pool_threads));
+    pool_ = &*owned_pool_;
+  } else {
+    pool_ = &parallel::ThreadPool::global();
+  }
   if (config_.workers == 0) config_.workers = 1;
   if (config_.default_checkpoint_every == 0) {
     config_.default_checkpoint_every = 64;
@@ -405,11 +409,13 @@ void Scheduler::run_job(Job& job) {
     }
 
     core::CountRunSpec cs;
-    cs.protocol = spec.protocol;
-    cs.seed = spec.seed;
+    // One shared control block (core::RunControls) across JobSpec and
+    // every engine spec: copy it whole, then point the window at the
+    // checkpoint (same pattern in the per-vertex branches below).
+    core::controls_of(cs) = core::controls_of(spec);
     cs.start_round = resume_t;
     cs.max_rounds = budget;
-    cs.stop_at_consensus = spec.stop_at_consensus;
+    cs.protocol = spec.protocol;
     cs.observer = [&](std::uint64_t t, std::span<const std::uint64_t> counts) {
       return on_observed(t, counts, [&](std::uint64_t at) {
         Checkpoint c;
@@ -457,12 +463,11 @@ void Scheduler::run_job(Job& job) {
 
     if (spec.schedule == core::Schedule::kAsyncSweeps) {
       core::RunSpec rs;
-      rs.protocol = spec.protocol;
-      rs.seed = spec.seed;
+      core::controls_of(rs) = core::controls_of(spec);
       rs.start_round = resume_t;
       rs.max_rounds = budget;
+      rs.protocol = spec.protocol;
       rs.schedule = spec.schedule;
-      rs.stop_at_consensus = spec.stop_at_consensus;
       rs.representation = spec.representation;
       rs.observer = [&](std::uint64_t t,
                         std::span<const core::OpinionValue> state,
@@ -473,7 +478,7 @@ void Scheduler::run_job(Job& job) {
       };
       const core::SimResult r = std::visit(
           [&](const auto& s) {
-            return core::run(s, std::move(initial), rs, pool_);
+            return core::run(s, std::move(initial), rs, *pool_);
           },
           sampler);
       result.consensus = r.consensus;
@@ -485,11 +490,10 @@ void Scheduler::run_job(Job& job) {
       // binary kernels (same streams), so one path serves the whole
       // registry with uniform per-colour count rows.
       core::MultiRunSpec ms;
-      ms.protocol = spec.protocol;
-      ms.seed = spec.seed;
+      core::controls_of(ms) = core::controls_of(spec);
       ms.start_round = resume_t;
       ms.max_rounds = budget;
-      ms.stop_at_consensus = spec.stop_at_consensus;
+      ms.protocol = spec.protocol;
       ms.representation = spec.representation;
       ms.observer = [&](std::uint64_t t,
                         std::span<const core::OpinionValue> state,
@@ -498,7 +502,7 @@ void Scheduler::run_job(Job& job) {
       };
       core::MultiSimResult r = std::visit(
           [&](const auto& s) {
-            return core::run(s, std::move(initial), ms, pool_);
+            return core::run(s, std::move(initial), ms, *pool_);
           },
           sampler);
       result.consensus = r.consensus;

@@ -66,7 +66,13 @@ struct SchedulerConfig {
   std::size_t workers = 2;  // concurrent jobs
   /// Cadence for jobs whose spec leaves checkpoint_every = 0.
   std::uint64_t default_checkpoint_every = 64;
-  std::size_t pool_threads = 0;  // simulation threads; 0 = hardware
+  /// Simulation threads. 0 (the default) shares the process-wide
+  /// parallel::ThreadPool::global() — the same pool the engine's
+  /// default-pool overloads use — instead of owning a second pool;
+  /// a nonzero count constructs a dedicated pool of that size
+  /// (the "explicit pool" case: pinning simulation parallelism
+  /// independently of whatever else the process runs).
+  std::size_t pool_threads = 0;
 };
 
 /// Thread-safe job scheduler. Construction recovers the data directory:
@@ -123,7 +129,10 @@ class Scheduler {
   void run_job(Job& job);
 
   SchedulerConfig config_;
-  parallel::ThreadPool pool_;
+  // Owned only when config_.pool_threads != 0; pool_ otherwise points
+  // at parallel::ThreadPool::global() (see SchedulerConfig).
+  std::optional<parallel::ThreadPool> owned_pool_;
+  parallel::ThreadPool* pool_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // queue / stop signal

@@ -105,19 +105,20 @@ core::Representation representation_from_name(std::string_view token);
 core::StateSpace state_space_from_name(std::string_view token);
 
 /// Everything a job is: WHAT to run (protocol, graph, initial state),
-/// HOW LONG (seed, max_rounds as a TOTAL round budget, stop rule), on
-/// WHICH backend (schedule, representation, state space) and how often
-/// to checkpoint. A JobSpec is durable: it round-trips through JSON
-/// bit-for-bit meaningful fields, and (spec, checkpoint) determines the
-/// rest of the run exactly.
-struct JobSpec {
+/// HOW LONG (the inherited core::RunControls — seed, max_rounds as a
+/// TOTAL round budget, stop rule), on WHICH backend (schedule,
+/// representation, state space) and how often to checkpoint. A JobSpec
+/// is durable: it round-trips through JSON bit-for-bit meaningful
+/// fields, and (spec, checkpoint) determines the rest of the run
+/// exactly. The controls block is what the scheduler copies into the
+/// engine spec wholesale (core::controls_of), then overrides
+/// start_round/max_rounds from the checkpoint — start_round itself is
+/// never on the wire: a job's position lives in its checkpoint.
+struct JobSpec : core::RunControls {
   std::string protocol_name;  // canonical registry spelling
   core::Protocol protocol{};
   GraphSpec graph{};
   InitSpec init{};
-  std::uint64_t seed = 1;
-  std::uint64_t max_rounds = 10000;
-  bool stop_at_consensus = true;
   core::Schedule schedule = core::Schedule::kSynchronous;
   core::Representation representation = core::Representation::kAuto;
   core::StateSpace state_space = core::StateSpace::kPerVertex;

@@ -1,0 +1,319 @@
+// StateArena and MemoryPolicy: allocator unit behaviour (double-buffer
+// layout, zero-fill, move semantics, the forced no-hugepage fallback,
+// policy naming) and the guarantee the whole feature rests on — what
+// backs the engine's state buffers NEVER changes what a run computes.
+// The equivalence suite runs every registry rule across byte and packed
+// widths, thread counts 1/2/4 and both explicit policies, and pins the
+// trajectories and final states bit-identical.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/arena.hpp"
+#include "core/engine.hpp"
+#include "core/initializer.hpp"
+#include "core/protocol.hpp"
+#include "graph/generators.hpp"
+#include "graph/samplers.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace b3v;
+using core::MemoryPolicy;
+using core::Representation;
+using core::StateArena;
+
+/// Restores the fallback hook even when an assertion fails mid-test.
+struct ForcedFallback {
+  ForcedFallback() { StateArena::force_hugepage_fallback(true); }
+  ~ForcedFallback() { StateArena::force_hugepage_fallback(false); }
+};
+
+TEST(MemoryPolicyNames, RoundTripAndReject) {
+  for (const MemoryPolicy p :
+       {MemoryPolicy::kAuto, MemoryPolicy::kMalloc, MemoryPolicy::kHugePages}) {
+    EXPECT_EQ(core::memory_policy_from_name(core::name(p)), p);
+  }
+  EXPECT_EQ(core::name(MemoryPolicy::kAuto), "auto");
+  EXPECT_EQ(core::name(MemoryPolicy::kMalloc), "malloc");
+  EXPECT_EQ(core::name(MemoryPolicy::kHugePages), "huge-pages");
+  EXPECT_THROW((void)core::memory_policy_from_name("hugepages"),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::memory_policy_from_name(""),
+               std::invalid_argument);
+}
+
+TEST(StateArena, DoubleBufferLayoutIsPageAlignedAndZeroFilled) {
+  parallel::ThreadPool pool(2);
+  const std::size_t n = 5000;  // deliberately not a page multiple
+  auto bufs = core::make_state_buffers<std::uint8_t>(
+      n, MemoryPolicy::kMalloc, pool, 1024);
+  ASSERT_EQ(bufs.current.size(), n);
+  ASSERT_EQ(bufs.next.size(), n);
+  // The second buffer starts on the next page boundary after the first.
+  EXPECT_EQ(bufs.next.data() - bufs.current.data(),
+            static_cast<std::ptrdiff_t>(core::detail::round_up_page(n)));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(bufs.current.data()) %
+                core::detail::kStatePageSize,
+            0u);
+  for (const std::size_t i : {std::size_t{0}, n / 2, n - 1}) {
+    EXPECT_EQ(bufs.current[i], 0u);
+    EXPECT_EQ(bufs.next[i], 0u);
+  }
+}
+
+TEST(StateArena, MoveTransfersOwnership) {
+  parallel::ThreadPool pool(1);
+  StateArena a(core::detail::kStatePageSize * 4, MemoryPolicy::kMalloc, pool,
+               core::detail::kStatePageSize);
+  std::byte* const base = a.data();
+  ASSERT_NE(base, nullptr);
+  a.data()[7] = std::byte{42};
+
+  StateArena b(std::move(a));
+  EXPECT_EQ(b.data(), base);
+  EXPECT_EQ(b.size(), core::detail::kStatePageSize * 4);
+  EXPECT_EQ(b.data()[7], std::byte{42});
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.size(), 0u);
+
+  StateArena c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), base);
+  EXPECT_EQ(c.data()[7], std::byte{42});
+  EXPECT_EQ(b.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(StateArena, MallocPolicyNeverReportsHugePages) {
+  parallel::ThreadPool pool(1);
+  StateArena a(std::size_t{16} << 20, MemoryPolicy::kMalloc, pool, 1 << 16);
+  EXPECT_FALSE(a.huge_pages());
+}
+
+TEST(StateArena, ForcedFallbackServesUsableOrdinaryPages) {
+  const ForcedFallback guard;
+  parallel::ThreadPool pool(2);
+  StateArena a(std::size_t{16} << 20, MemoryPolicy::kHugePages, pool, 1 << 16);
+  EXPECT_FALSE(a.huge_pages());
+  ASSERT_NE(a.data(), nullptr);
+  // The fallback must still be zero-filled, writable memory.
+  EXPECT_EQ(a.data()[0], std::byte{0});
+  EXPECT_EQ(a.data()[a.size() - 1], std::byte{0});
+  a.data()[a.size() - 1] = std::byte{7};
+  EXPECT_EQ(a.data()[a.size() - 1], std::byte{7});
+}
+
+TEST(StateArena, EmptyArenaIsInert) {
+  StateArena a;
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_FALSE(a.huge_pages());
+}
+
+/// One binary run with everything recorded, for exact comparison.
+struct BinaryOutcome {
+  std::vector<std::uint64_t> trajectory;
+  core::Opinions final_state;
+  std::uint64_t rounds = 0;
+  bool consensus = false;
+
+  bool operator==(const BinaryOutcome&) const = default;
+};
+
+BinaryOutcome run_binary(const graph::CsrSampler& sampler, std::size_t n,
+                         const core::Protocol& protocol, Representation rep,
+                         MemoryPolicy policy, unsigned threads) {
+  parallel::ThreadPool pool(threads);
+  core::RunSpec spec;
+  spec.protocol = protocol;
+  spec.seed = 29;
+  spec.max_rounds = 25;
+  spec.stop_at_consensus = false;  // fixed budget: compare full loops
+  spec.representation = rep;
+  spec.memory_policy = policy;
+  BinaryOutcome out;
+  spec.observer = core::observers::record_trajectory(out.trajectory);
+  const core::SimResult r =
+      core::run(sampler, core::iid_bernoulli(n, 0.45, 5), spec, pool);
+  out.final_state = r.final_state;
+  out.rounds = r.rounds;
+  out.consensus = r.consensus;
+  return out;
+}
+
+TEST(ArenaEquivalence, BinaryRulesIdenticalAcrossPoliciesAndThreads) {
+  const std::size_t n = 900;
+  const graph::Graph g =
+      graph::dense_circulant(static_cast<graph::VertexId>(n), 64);
+  const graph::CsrSampler sampler(g);
+  for (const char* spelling :
+       {"voter", "two-choices", "best-of-3", "best-of-5", "best-of-2/keep-own",
+        "best-of-2/random", "best-of-3+noise=0.05"}) {
+    const core::Protocol protocol = core::protocol_from_name(spelling);
+    for (const Representation rep :
+         {Representation::kByte, Representation::kBit1}) {
+      const BinaryOutcome baseline =
+          run_binary(sampler, n, protocol, rep, MemoryPolicy::kMalloc, 1);
+      ASSERT_FALSE(baseline.trajectory.empty()) << spelling;
+      for (const unsigned threads : {1u, 2u, 4u}) {
+        for (const MemoryPolicy policy :
+             {MemoryPolicy::kMalloc, MemoryPolicy::kHugePages}) {
+          const BinaryOutcome got =
+              run_binary(sampler, n, protocol, rep, policy, threads);
+          EXPECT_EQ(got, baseline)
+              << spelling << " rep=" << static_cast<int>(rep)
+              << " threads=" << threads << " policy=" << core::name(policy);
+        }
+      }
+    }
+  }
+}
+
+TEST(ArenaEquivalence, ForcedHugepageFallbackIsStillBitIdentical) {
+  const std::size_t n = 700;
+  const graph::Graph g =
+      graph::dense_circulant(static_cast<graph::VertexId>(n), 32);
+  const graph::CsrSampler sampler(g);
+  const core::Protocol protocol = core::best_of(3);
+  for (const Representation rep :
+       {Representation::kByte, Representation::kBit1}) {
+    const BinaryOutcome baseline =
+        run_binary(sampler, n, protocol, rep, MemoryPolicy::kMalloc, 2);
+    const ForcedFallback guard;
+    const BinaryOutcome got =
+        run_binary(sampler, n, protocol, rep, MemoryPolicy::kHugePages, 2);
+    EXPECT_EQ(got, baseline) << "rep=" << static_cast<int>(rep);
+  }
+}
+
+/// One multi-colour run with everything recorded.
+struct MultiOutcome {
+  std::vector<std::vector<std::uint64_t>> trajectory;
+  core::Opinions final_state;
+  std::vector<std::uint64_t> final_counts;
+  std::uint64_t rounds = 0;
+  bool consensus = false;
+
+  bool operator==(const MultiOutcome&) const = default;
+};
+
+MultiOutcome run_multi(const graph::CsrSampler& sampler, std::size_t n,
+                       const core::Protocol& protocol, Representation rep,
+                       MemoryPolicy policy, unsigned threads) {
+  parallel::ThreadPool pool(threads);
+  core::MultiRunSpec spec;
+  spec.protocol = protocol;
+  spec.seed = 31;
+  spec.max_rounds = 20;
+  spec.stop_at_consensus = false;
+  spec.representation = rep;
+  spec.memory_policy = policy;
+  MultiOutcome out;
+  spec.observer = core::multi_observers::record_trajectory(out.trajectory);
+  const unsigned q = protocol.num_colours();
+  const std::vector<double> probs(q, 1.0 / q);
+  const core::MultiSimResult r =
+      core::run(sampler, core::iid_multi(n, probs, 17), spec, pool);
+  out.final_state = r.final_state;
+  out.final_counts = r.final_counts;
+  out.rounds = r.rounds;
+  out.consensus = r.consensus;
+  return out;
+}
+
+TEST(ArenaEquivalence, PluralityWidthsIdenticalAcrossPoliciesAndThreads) {
+  const std::size_t n = 800;
+  const graph::Graph g =
+      graph::dense_circulant(static_cast<graph::VertexId>(n), 48);
+  const graph::CsrSampler sampler(g);
+  struct Case {
+    unsigned q;
+    Representation rep;
+  };
+  // One case per packed width plus the byte fallback past 4-bit lanes.
+  for (const Case c : {Case{3, Representation::kBit2},
+                       Case{7, Representation::kBit4},
+                       Case{5, Representation::kByte}}) {
+    const core::Protocol protocol = core::plurality(3, c.q);
+    const MultiOutcome baseline =
+        run_multi(sampler, n, protocol, c.rep, MemoryPolicy::kMalloc, 1);
+    ASSERT_FALSE(baseline.trajectory.empty()) << "q=" << c.q;
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      for (const MemoryPolicy policy :
+           {MemoryPolicy::kMalloc, MemoryPolicy::kHugePages}) {
+        const MultiOutcome got =
+            run_multi(sampler, n, protocol, c.rep, policy, threads);
+        EXPECT_EQ(got, baseline)
+            << "q=" << c.q << " threads=" << threads
+            << " policy=" << core::name(policy);
+      }
+    }
+  }
+}
+
+TEST(RunControls, SharedAcrossSpecsAndCopyableAsOneBlock) {
+  // The three spec types expose the same inherited control block, so a
+  // single assignment through controls_of moves all four dials at once.
+  core::RunSpec rs;
+  rs.seed = 0xC0FFEE;
+  rs.start_round = 3;
+  rs.max_rounds = 77;
+  rs.stop_at_consensus = false;
+
+  core::MultiRunSpec ms;
+  core::controls_of(ms) = core::controls_of(rs);
+  EXPECT_EQ(ms.seed, 0xC0FFEEu);
+  EXPECT_EQ(ms.start_round, 3u);
+  EXPECT_EQ(ms.max_rounds, 77u);
+  EXPECT_FALSE(ms.stop_at_consensus);
+
+  core::CountRunSpec cs;
+  core::controls_of(cs) = core::controls_of(ms);
+  EXPECT_EQ(cs.seed, 0xC0FFEEu);
+  EXPECT_EQ(cs.start_round, 3u);
+  EXPECT_EQ(cs.max_rounds, 77u);
+  EXPECT_FALSE(cs.stop_at_consensus);
+
+  // Field-by-field spelling at existing call sites keeps compiling.
+  const core::RunControls& controls = rs;
+  EXPECT_EQ(controls.seed, 0xC0FFEEu);
+}
+
+TEST(DefaultPoolOverload, MatchesExplicitPoolRun) {
+  const std::size_t n = 600;
+  const graph::Graph g =
+      graph::dense_circulant(static_cast<graph::VertexId>(n), 32);
+  const graph::CsrSampler sampler(g);
+  core::RunSpec spec;
+  spec.protocol = core::best_of(3);
+  spec.seed = 41;
+  spec.max_rounds = 40;
+
+  const core::SimResult via_default =
+      core::run(sampler, core::iid_bernoulli(n, 0.4, 9), spec);
+  parallel::ThreadPool pool(2);
+  const core::SimResult via_explicit =
+      core::run(sampler, core::iid_bernoulli(n, 0.4, 9), spec, pool);
+  EXPECT_EQ(via_default.final_state, via_explicit.final_state);
+  EXPECT_EQ(via_default.rounds, via_explicit.rounds);
+  EXPECT_EQ(via_default.consensus, via_explicit.consensus);
+  EXPECT_EQ(via_default.final_blue, via_explicit.final_blue);
+
+  core::MultiRunSpec mspec;
+  mspec.protocol = core::plurality(3, 3);
+  mspec.seed = 43;
+  mspec.max_rounds = 40;
+  const std::vector<double> probs{0.4, 0.3, 0.3};
+  const core::MultiSimResult m_default =
+      core::run(sampler, core::iid_multi(n, probs, 13), mspec);
+  const core::MultiSimResult m_explicit =
+      core::run(sampler, core::iid_multi(n, probs, 13), mspec, pool);
+  EXPECT_EQ(m_default.final_state, m_explicit.final_state);
+  EXPECT_EQ(m_default.final_counts, m_explicit.final_counts);
+  EXPECT_EQ(m_default.rounds, m_explicit.rounds);
+}
+
+}  // namespace

@@ -160,7 +160,10 @@ INSTANTIATE_TEST_SUITE_P(
                   "foreign_engine_ok.cpp", "foreign_engine_suppressed.cpp",
                   4},
         CheckCase{"nondeterministic-iteration", "nondet_iter_bad.cpp",
-                  "nondet_iter_ok.cpp", "nondet_iter_suppressed.cpp", 2}),
+                  "nondet_iter_ok.cpp", "nondet_iter_suppressed.cpp", 2},
+        CheckCase{"state-raw-alloc", "state_raw_alloc_bad.cpp",
+                  "state_raw_alloc_ok.cpp", "state_raw_alloc_suppressed.cpp",
+                  4}),
     [](const ::testing::TestParamInfo<CheckCase>& info) {
       std::string name = info.param.check;
       for (char& ch : name) {

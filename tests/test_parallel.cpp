@@ -146,4 +146,64 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
 }
 
+TEST(ThreadPool, NumThreadsCountsWorkersPlusCaller) {
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.num_threads(), pool4.size() + 1);
+  ThreadPool pool1(1);
+  EXPECT_EQ(pool1.num_threads(), 2u);  // one worker + the caller slot
+}
+
+TEST(ThreadPool, ThreadIndexStaysBelowNumThreads) {
+  ThreadPool pool(4);
+  const std::size_t n = 50000;
+  std::atomic<bool> out_of_range{false};
+  pool.parallel_for(0, n, 64,
+                    [&](std::size_t, std::size_t, unsigned thread) {
+                      if (thread >= pool.num_threads()) out_of_range = true;
+                    });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPool, PerThreadSlotsAccumulateWithoutRaces) {
+  // The Galois-style stats idiom the index exists for: one padded slot
+  // per thread, no atomics, exact totals after the join.
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  struct alignas(64) Slot {
+    std::uint64_t count = 0;
+  };
+  std::vector<Slot> slots(pool.num_threads());
+  pool.parallel_for(0, n, 64,
+                    [&](std::size_t lo, std::size_t hi, unsigned thread) {
+                      slots[thread].count += hi - lo;
+                    });
+  std::uint64_t total = 0;
+  for (const Slot& s : slots) total += s.count;
+  EXPECT_EQ(total, n);
+}
+
+TEST(ThreadPool, SerialFastPathPresentsCallerIndex) {
+  // Ranges at or under the grain never leave the calling thread, which
+  // is presented as index size() (the caller slot).
+  ThreadPool pool(4);
+  std::vector<unsigned> seen;
+  pool.parallel_for(0, 5, 1000,
+                    [&](std::size_t, std::size_t, unsigned thread) {
+                      seen.push_back(thread);
+                    });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], pool.size());
+}
+
+TEST(ThreadPool, TwoArgBodyStillSupported) {
+  // The pre-index overload keeps working: most call sites don't carry
+  // per-thread state and should not have to name an unused parameter.
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  pool.parallel_for(0, 1000, 16, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 1000u);
+}
+
 }  // namespace

@@ -398,6 +398,106 @@ std::vector<Finding> check_nondeterministic_iteration(const LexedFile& file) {
   return findings;
 }
 
+std::vector<Finding> check_state_raw_alloc(const LexedFile& file) {
+  // The types whose sized paren-construction means "a per-vertex state
+  // buffer was just heap-allocated": the byte representation and the
+  // two packed families. Word-level buffers reach the packed types
+  // through their owning constructors, so auditing the wrappers covers
+  // them too. std::vector of anything else (counts arrays, per-block
+  // scratch) is deliberately out of scope — those are small and not
+  // round-buffer shaped.
+  static const std::set<std::string> kStateTypes = {
+      "Opinions", "PackedOpinions", "PackedColours"};
+  std::vector<Finding> findings;
+  const auto& toks = file.tokens;
+
+  auto arg_is_value_expr = [](const Span& arg) {
+    // A parameter list spells types: const/&/*/:: (or nothing at all)
+    // appear in every declaration shape this tree uses, never in the
+    // element-count expressions passed to a sizing constructor.
+    for (const Token& t : arg) {
+      if (is_ident(t, "const") || is_punct(t, "&") || is_punct(t, "*") ||
+          is_punct(t, "::")) {
+        return false;
+      }
+    }
+    return !arg.empty();
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Array-new: `new T[n]` (optionally qualified/templated T). The
+    // round buffers this check exists for are never placement-new'd,
+    // so any array-new of any type in scope is a finding.
+    if (is_ident(toks[i], "new")) {
+      std::size_t j = i + 1;
+      int angle = 0;
+      while (j < toks.size() &&
+             (toks[j].kind == Tok::kIdent || is_punct(toks[j], "::") ||
+              angle > 0 || is_punct(toks[j], "<"))) {
+        if (is_punct(toks[j], "<")) ++angle;
+        if (is_punct(toks[j], ">")) --angle;
+        ++j;
+      }
+      if (j > i + 1 && j < toks.size() && is_punct(toks[j], "[")) {
+        findings.push_back(
+            {"state-raw-alloc", file.path, toks[i].line,
+             "array-new state buffer bypasses core::StateArena — route the "
+             "allocation through make_state_buffers (core/arena.hpp) so the "
+             "memory policy (huge pages, first-touch) applies",
+             false,
+             {}});
+      }
+      continue;
+    }
+    if (toks[i].kind != Tok::kIdent || kStateTypes.count(toks[i].text) == 0) {
+      continue;
+    }
+    // `struct PackedOpinions { ... }` is the definition, not a use.
+    if (i > 0 && (is_ident(toks[i - 1], "struct") ||
+                  is_ident(toks[i - 1], "class"))) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    // PackedColours<Bits> — step over the template argument list.
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      int angle = 1;
+      ++j;
+      while (j < toks.size() && angle > 0) {
+        if (is_punct(toks[j], "<")) ++angle;
+        if (is_punct(toks[j], ">")) --angle;
+        ++j;
+      }
+    }
+    // Declared name, then a paren argument list: `Opinions out(n)`.
+    // Brace-init (`PackedOpinions cur{span, n}`) is the view spelling
+    // and passes; so does `Opinions scratch;` and a bare temporary.
+    if (j >= toks.size() || toks[j].kind != Tok::kIdent) continue;
+    const std::size_t open = j + 1;
+    if (open >= toks.size() || !is_punct(toks[open], "(")) continue;
+    std::size_t end = 0;
+    const std::vector<Span> args = split_args(toks, open, end);
+    if (args.empty()) continue;  // `Opinions unpack()` — a declaration
+    bool all_values = true;
+    for (const Span& arg : args) {
+      if (!arg_is_value_expr(arg)) {
+        all_values = false;  // parameter list, not a size
+        break;
+      }
+    }
+    if (!all_values) continue;
+    findings.push_back(
+        {"state-raw-alloc", file.path, toks[i].line,
+         toks[i].text + " " + toks[j].text +
+             "(...) heap-allocates a per-vertex state buffer outside "
+             "core::StateArena — carve it from make_state_buffers "
+             "(core/arena.hpp) and bind a view (brace-init) instead, so "
+             "MemoryPolicy / huge pages / first-touch placement apply",
+         false,
+         {}});
+  }
+  return findings;
+}
+
 void apply_suppressions(const LexedFile& file,
                         std::vector<Finding>& findings) {
   // `// b3vlint: allow(<check>) -- <reason>`; the reason is mandatory —

@@ -1,6 +1,6 @@
-// The four stream-discipline checks. Each is a token-level heuristic —
+// The five tree-discipline checks. Each is a token-level heuristic —
 // documented inline where it could over- or under-approximate — tuned
-// to fire on the specific ways RNG discipline has actually regressed in
+// to fire on the specific ways discipline has actually regressed in
 // this tree (see docs/STATIC_ANALYSIS.md for the rationale and the
 // division of labour with clang-tidy).
 //
@@ -10,6 +10,7 @@
 //   rng-purpose-unique        duplicate tag values in the registry
 //   rng-foreign-engine        std:: RNG machinery outside src/rng/
 //   nondeterministic-iteration  range-for over unordered containers
+//   state-raw-alloc           state buffers allocated past StateArena
 #pragma once
 
 #include <string>
@@ -54,6 +55,18 @@ std::vector<Finding> check_foreign_engine(const LexedFile& file);
 /// Iteration order of unordered containers is implementation-defined,
 /// so any result folded from such a loop is not reproducible.
 std::vector<Finding> check_nondeterministic_iteration(const LexedFile& file);
+
+/// Flags per-vertex state buffers allocated outside core::StateArena
+/// inside src/core/ engine code: array-new (`new T[n]`) and sized
+/// paren-construction of a state type (`Opinions x(n)`,
+/// `PackedOpinions x(n)`, `PackedColours<B> x(n)`) whose arguments are
+/// plain value expressions. Brace-init passes — that is the arena-view
+/// spelling (`PackedOpinions{span, n}`) — as do default construction,
+/// empty parens, and anything whose argument list contains
+/// const/&/*/:: (a function declaration's parameter list, not a size).
+/// The caller scopes this to src/core/ minus the initializer/opinion
+/// headers, whose whole job is building caller-owned Opinions.
+std::vector<Finding> check_state_raw_alloc(const LexedFile& file);
 
 /// Marks findings covered by a `// b3vlint: allow(<check>) -- <reason>`
 /// comment on the same or the preceding line as suppressed (with the

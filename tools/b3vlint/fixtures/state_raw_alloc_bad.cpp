@@ -1,0 +1,30 @@
+// Fixture: state-raw-alloc MUST fire on each allocation below. Every
+// one of them heap-allocates a per-vertex round buffer behind the
+// arena's back, so MemoryPolicy / huge pages / first-touch placement
+// silently stop applying to the hottest memory in the process.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using OpinionValue = std::uint8_t;
+using Opinions = std::vector<OpinionValue>;
+struct PackedOpinions {
+  explicit PackedOpinions(std::size_t n);
+};
+template <unsigned Bits>
+struct PackedColours {
+  explicit PackedColours(std::size_t n);
+};
+
+void round_buffers(std::size_t n) {
+  Opinions next(n);                    // finding 1
+  PackedOpinions current(n);           // finding 2
+  PackedColours<2> colours(n / 32);    // finding 3
+  auto* words = new std::uint64_t[n];  // finding 4
+  delete[] words;
+  static_cast<void>(next);
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: state-raw-alloc must stay silent — the arena-backed
+// spellings and the declaration shapes that merely *mention* a state
+// type. Views are brace-initialised over spans carved from
+// make_state_buffers; default construction allocates nothing; paren
+// lists spelling types are function declarations, not sizes.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fixture {
+
+using OpinionValue = std::uint8_t;
+using Opinions = std::vector<OpinionValue>;
+struct PackedOpinions {
+  PackedOpinions(std::span<std::uint64_t> words, std::size_t n);
+};
+struct StateBuffers {
+  std::span<std::uint64_t> current;
+  std::span<std::uint64_t> next;
+};
+StateBuffers make_state_buffers(std::size_t words);
+
+// A declaration's parameter list spells types — not a sizing call.
+Opinions unpack();
+Opinions state_from_counts(const std::vector<std::uint64_t>& counts,
+                           unsigned q);
+
+void round_buffers(std::size_t n) {
+  const StateBuffers bufs = make_state_buffers((n + 63) / 64);
+  PackedOpinions current{bufs.current, n};  // arena view: brace-init
+  PackedOpinions next{bufs.next, n};
+  Opinions scratch;  // default-constructed, nothing allocated
+  scratch.clear();
+  static_cast<void>(current);
+  static_cast<void>(next);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: one raw state allocation, suppressed with a reason.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using Opinions = std::vector<std::uint8_t>;
+
+Opinions unpack_copy(std::size_t n) {
+  // b3vlint: allow(state-raw-alloc) -- caller-facing result copy, not an engine round buffer
+  Opinions out(n);
+  return out;
+}
+
+}  // namespace fixture

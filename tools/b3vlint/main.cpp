@@ -41,12 +41,12 @@ constexpr const char* kUsage =
     "  --report PATH    write a JSON report (findings incl. suppressed)\n"
     "\n"
     "checks: rng-purpose-literal rng-purpose-unique rng-foreign-engine\n"
-    "        nondeterministic-iteration\n"
+    "        nondeterministic-iteration state-raw-alloc\n"
     "suppress with: // b3vlint: allow(<check>) -- <reason>\n";
 
 const std::set<std::string> kKnownChecks = {
     "rng-purpose-literal", "rng-purpose-unique", "rng-foreign-engine",
-    "nondeterministic-iteration"};
+    "nondeterministic-iteration", "state-raw-alloc"};
 
 struct Options {
   std::string compdb;
@@ -235,6 +235,19 @@ int main(int argc, char** argv) {
         rel.rfind("service/", 0) == 0;
     if (enabled(opt, "nondeterministic-iteration") && determinism_scoped) {
       auto f = b3vlint::check_nondeterministic_iteration(lexed);
+      file_findings.insert(file_findings.end(), f.begin(), f.end());
+    }
+    // Engine code only: core/ owns the round buffers StateArena backs.
+    // The initializer/opinion headers build caller-owned Opinions —
+    // that is their whole interface — so they are carved out.
+    const fs::path rel_name = fs::path(rel).filename();
+    const bool arena_scoped =
+        rel.empty() ||
+        (rel.rfind("core/", 0) == 0 &&
+         !rel_name.string().starts_with("initializer.") &&
+         !rel_name.string().starts_with("opinion."));
+    if (enabled(opt, "state-raw-alloc") && arena_scoped) {
+      auto f = b3vlint::check_state_raw_alloc(lexed);
       file_findings.insert(file_findings.end(), f.begin(), f.end());
     }
     b3vlint::apply_suppressions(lexed, file_findings);
